@@ -1,0 +1,121 @@
+//! Ablation studies: switch off one modelled mechanism at a time and show
+//! its contribution to the corresponding paper result (`DESIGN.md` §4).
+//!
+//! ```text
+//! cargo bench --bench ablations
+//! ```
+
+use hopper_isa::mma::OperandSource;
+use hopper_isa::{DType, MmaDesc};
+use hopper_micro::tcbench::{self, Init};
+use hopper_sim::{DeviceConfig, Gpu, SimOptions};
+
+fn main() {
+    let base = SimOptions::default();
+
+    println!("== Ablation: DVFS / power model ==");
+    let wg =
+        MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    let mut on = Gpu::new(DeviceConfig::h800());
+    let mut off = Gpu::with_options(
+        DeviceConfig::h800(),
+        SimOptions { model_dvfs: false, ..base },
+    );
+    let rand_on = tcbench::wgmma_throughput(&mut on, &wg, Init::Rand);
+    let rand_off = tcbench::wgmma_throughput(&mut off, &wg, Init::Rand);
+    println!("  wgmma f32.f16 rand, DVFS on : {rand_on:7.1} TFLOPS (paper: 665.4)");
+    println!("  wgmma f32.f16 rand, DVFS off: {rand_off:7.1} TFLOPS (≈ the Zero column)");
+    println!("  → the Rand/Zero gap of Table VIII is entirely the 350 W limit\n");
+
+    println!("== Ablation: sparse-SS operand-fetch penalty ==");
+    let sp =
+        MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+    let mut on = Gpu::new(DeviceConfig::h800());
+    let mut off = Gpu::with_options(
+        DeviceConfig::h800(),
+        SimOptions { sparse_ss_penalty: false, ..base },
+    );
+    let ss_on = tcbench::wgmma_throughput(&mut on, &sp, Init::Zero);
+    let ss_off = tcbench::wgmma_throughput(&mut off, &sp, Init::Zero);
+    println!("  sparse wgmma SS, penalty on : {ss_on:7.1} TFLOPS (paper: 1312.3)");
+    println!("  sparse wgmma SS, penalty off: {ss_off:7.1} TFLOPS (≈ the RS column, 1476.2)");
+    println!("  → Table IX's SS deficit is the uncompressed-A re-read\n");
+
+    println!("== Ablation: Hopper mma issue gap ==");
+    let mma = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
+    let mut on = Gpu::new(DeviceConfig::h800());
+    let mut off = Gpu::with_options(
+        DeviceConfig::h800(),
+        SimOptions { mma_issue_gap: false, ..base },
+    );
+    let gap_on = tcbench::mma_throughput(&mut on, &mma, Init::Zero);
+    let gap_off = tcbench::mma_throughput(&mut off, &mma, Init::Zero);
+    println!("  mma f16.f16 k16, gap on : {gap_on:7.1} TFLOPS (paper: 494.4 — 65 % of peak)");
+    println!("  mma f16.f16 k16, gap off: {gap_off:7.1} TFLOPS (→ peak, like A100's mma)");
+    println!("  → Hopper's warp-level-mma tax is a fixed per-issue cost\n");
+
+    println!("== Ablation: shared-memory bank conflicts ==");
+    // Stride-128B shared loads: all 32 lanes hit bank 0 (degree 32).
+    let conflicted = hopper_isa::asm::assemble(
+        r#"
+        .shared 4096;
+        mov %r1, %tid.x;
+        shl.s32 %r2, %r1, 7;
+        and.s32 %r2, %r2, 4095;
+        mov.s32 %r3, 0;
+    LOOP:
+        ld.shared.b32 %r4, [%r2];
+        add.s32 %r3, %r3, 1;
+        setp.lt.s32 %p0, %r3, 256;
+        @%p0 bra LOOP;
+        exit;
+    "#,
+    )
+    .unwrap();
+    let mut on = Gpu::new(DeviceConfig::h800());
+    let mut off = Gpu::with_options(
+        DeviceConfig::h800(),
+        SimOptions { model_bank_conflicts: false, ..base },
+    );
+    let c_on = on
+        .launch(&conflicted, &hopper_sim::Launch::new(1, 1024))
+        .unwrap()
+        .metrics
+        .cycles;
+    let c_off = off
+        .launch(&conflicted, &hopper_sim::Launch::new(1, 1024))
+        .unwrap()
+        .metrics
+        .cycles;
+    println!("  stride-128B smem loads, conflicts on : {c_on} cycles");
+    println!("  stride-128B smem loads, conflicts off: {c_off} cycles");
+    println!("  → {:.1}× serialisation from 32-way bank conflicts\n", c_on as f64 / c_off as f64);
+
+    println!("== Ablation: block dispatch stagger ==");
+    let mut on = Gpu::new(DeviceConfig::h800());
+    let mut off = Gpu::with_options(
+        DeviceConfig::h800(),
+        SimOptions { block_stagger: false, ..base },
+    );
+    let sync_on = hopper_micro::asyncbench::gemm_throughput(
+        &mut on,
+        32,
+        2,
+        hopper_micro::asyncbench::Variant::SyncShare,
+    );
+    let sync_off = hopper_micro::asyncbench::gemm_throughput(
+        &mut off,
+        32,
+        2,
+        hopper_micro::asyncbench::Variant::SyncShare,
+    );
+    println!("  SyncShare 32×32 bps=2, stagger on : {sync_on:7.0} GFLOPS");
+    println!("  SyncShare 32×32 bps=2, stagger off: {sync_off:7.0} GFLOPS");
+    println!(
+        "  → second-order here ({:+.1} %): with L2-resident panels the stage is
+    latency-bound, so phase-locking costs little; the stagger exists to keep
+    deterministic co-residents from pathological lock-step in bandwidth-bound
+    phases (see DESIGN.md §4a)",
+        (sync_on - sync_off) / sync_off * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! Cache-geometry detection: latency vs ring footprint (the classic
+//! Saavedra/Wong methodology the paper's §III-A builds on) plus the
+//! detected capacities of each device.
+//!
+//! ```text
+//! cargo bench --bench cachesweep
+//! ```
+
+use hopper_micro::pchase;
+use hopper_sim::{DeviceConfig, Gpu};
+
+fn main() {
+    for dev in DeviceConfig::all() {
+        let l1_cfg = dev.l1_bytes;
+        let l2_cfg = dev.l2_bytes;
+        let name = dev.name;
+        let mut gpu = Gpu::new(dev);
+        println!("== {name} ==");
+        println!("  L1 sweep (ca, stride 128):");
+        let mut fp = 16 * 1024u64;
+        while fp <= 1 << 20 {
+            let lat = pchase::ring_latency(&mut gpu, "ca", fp, 128);
+            println!("    {:7} KiB  {lat:6.1} clk", fp >> 10);
+            fp *= 2;
+        }
+        println!("  L2 sweep (cg, stride 512):");
+        let mut fp = 16u64 << 20;
+        while fp <= 256 << 20 {
+            let lat = pchase::ring_latency(&mut gpu, "cg", fp, 512);
+            println!("    {:7} MiB  {lat:6.1} clk", fp >> 20);
+            fp *= 2;
+        }
+        let l1 = pchase::detect_l1_capacity(&mut gpu);
+        let l2 = pchase::detect_l2_capacity(&mut gpu);
+        println!("  detected L1 ≈ {:4} KiB (configured {:4} KiB)", l1 >> 10, l1_cfg >> 10);
+        println!("  detected L2 ≈ {:4} MiB (configured {:4} MiB)\n", l2 >> 20, l2_cfg >> 20);
+    }
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig03` — regenerates the paper's fig03.
+fn main() {
+    println!("{}", hopper_bench::fig03().render());
+}

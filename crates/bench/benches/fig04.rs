@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig04` — regenerates the paper's fig04.
+fn main() {
+    println!("{}", hopper_bench::fig04().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig05` — regenerates the paper's fig05.
+fn main() {
+    println!("{}", hopper_bench::fig05().render());
+}

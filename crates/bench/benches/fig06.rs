@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig06` — regenerates the paper's fig06.
+fn main() {
+    println!("{}", hopper_bench::fig06().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig07` — regenerates the paper's fig07.
+fn main() {
+    println!("{}", hopper_bench::fig07().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig08` — regenerates the paper's fig08.
+fn main() {
+    println!("{}", hopper_bench::fig08().render());
+}

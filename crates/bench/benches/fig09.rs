@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig09` — regenerates the paper's fig09.
+fn main() {
+    println!("{}", hopper_bench::fig09().render());
+}

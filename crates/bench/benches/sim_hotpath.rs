@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the simulator's own hot paths (host-side
+//! performance, not paper results): FP8 encode, the functional tensor-core
+//! datapath, and a full small-kernel simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fp8_encode(c: &mut Criterion) {
+    use hopper_numerics::{Fp8E4M3, SoftFloat};
+    let vals: Vec<f64> = (0..1024).map(|i| (i as f64 - 512.0) * 0.37).collect();
+    c.bench_function("fp8_e4m3_encode_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &vals {
+                acc ^= Fp8E4M3::from_f64(black_box(v)).to_bits();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_mma_functional(c: &mut Criterion) {
+    use hopper_isa::{DType, MmaDesc, TilePattern};
+    use hopper_sim::tiles::{execute_mma, Tile};
+    let desc = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
+    let a = Tile::from_pattern(DType::F16, 16, 16, TilePattern::Random { seed: 1 });
+    let bm = Tile::from_pattern(DType::F16, 16, 8, TilePattern::Random { seed: 2 });
+    let cm = Tile::zeros(DType::F32, 16, 8);
+    c.bench_function("mma_functional_16x8x16", |b| {
+        b.iter(|| execute_mma(black_box(&desc), &a, &bm, &cm).unwrap())
+    });
+}
+
+fn bench_small_kernel(c: &mut Criterion) {
+    use hopper_isa::asm::assemble;
+    use hopper_sim::{DeviceConfig, Gpu, Launch};
+    let k = assemble(
+        "mov.s32 %r1, 0;\nLOOP:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p0, %r1, 256;\n@%p0 bra LOOP;\nexit;",
+    )
+    .unwrap();
+    c.bench_function("sim_small_kernel_32warps", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::h800());
+            gpu.launch(black_box(&k), &Launch::new(1, 1024)).unwrap().metrics.cycles
+        })
+    });
+}
+
+criterion_group!(benches, bench_fp8_encode, bench_mma_functional, bench_small_kernel);
+criterion_main!(benches);

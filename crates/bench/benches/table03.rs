@@ -1,0 +1,4 @@
+//! `cargo bench --bench table03` — regenerates the paper's Table 03.
+fn main() {
+    println!("{}", hopper_bench::table03().render());
+}

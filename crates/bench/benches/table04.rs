@@ -1,0 +1,4 @@
+//! `cargo bench --bench table04` — regenerates the paper's Table 04.
+fn main() {
+    println!("{}", hopper_bench::table04().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table05` — regenerates the paper's Table 05.
+fn main() {
+    println!("{}", hopper_bench::table05().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table06` — the PTX→SASS lowering matrix.
+fn main() {
+    println!("{}", hopper_bench::table06_text());
+}

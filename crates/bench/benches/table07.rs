@@ -1,0 +1,4 @@
+//! `cargo bench --bench table07` — regenerates the paper's Table 07.
+fn main() {
+    println!("{}", hopper_bench::table07().render());
+}

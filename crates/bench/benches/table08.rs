@@ -1,0 +1,4 @@
+//! `cargo bench --bench table08` — regenerates the paper's Table 08.
+fn main() {
+    println!("{}", hopper_bench::table08().render());
+}

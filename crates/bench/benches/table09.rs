@@ -1,0 +1,4 @@
+//! `cargo bench --bench table09` — regenerates the paper's Table 09.
+fn main() {
+    println!("{}", hopper_bench::table09().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table10` — regenerates the paper's Table 10.
+fn main() {
+    println!("{}", hopper_bench::table10().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table11` — regenerates the paper's Table 11.
+fn main() {
+    println!("{}", hopper_bench::table11().render());
+}

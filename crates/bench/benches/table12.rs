@@ -1,0 +1,4 @@
+//! `cargo bench --bench table12` — regenerates the paper's Table 12.
+fn main() {
+    println!("{}", hopper_bench::table12().render());
+}

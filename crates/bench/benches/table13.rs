@@ -1,0 +1,4 @@
+//! `cargo bench --bench table13` — regenerates the paper's Table 13.
+fn main() {
+    println!("{}", hopper_bench::table13().render());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table14` — regenerates the paper's Table 14.
+fn main() {
+    println!("{}", hopper_bench::table14().render());
+}

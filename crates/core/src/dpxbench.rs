@@ -1,0 +1,189 @@
+//! DPX dynamic-programming instruction benchmarks (Figs. 6–7).
+//!
+//! Latency: one thread iterating a dependent chain of the DPX function.
+//! Throughput: one block of 1024 threads issuing independent DPX ops.
+//! The block sweep varies the grid size to expose the wave-quantisation
+//! sawtooth from which the paper infers that "the DPX acceleration unit is
+//! located at the SM level".
+
+use crate::report::Report;
+use hopper_isa::dpx::{DpxFunc, ALL_DPX};
+use hopper_isa::{
+    CmpOp, IAluOp, KernelBuilder, Operand::Imm, Operand::Reg as R, Pred, Reg,
+};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+
+fn build_chain(func: DpxFunc, iters: i64) -> hopper_isa::Kernel {
+    let mut b = KernelBuilder::new(format!("dpx_lat_{func}"));
+    b.mov(Reg(1), Imm(5));
+    b.mov(Reg(2), Imm(-3));
+    b.mov(Reg(3), Imm(1000));
+    b.mov(Reg(4), Imm(0));
+    let top = b.label_here();
+    // Dependent chain, unrolled 8× so loop control doesn't hide the
+    // function latency.
+    for _ in 0..8 {
+        b.dpx(func, Reg(1), R(Reg(1)), R(Reg(2)), R(Reg(3)));
+    }
+    b.ialu(IAluOp::Add, Reg(4), R(Reg(4)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(4)), Imm(iters));
+    b.bra_if(top, Pred(0), true);
+    b.exit();
+    b.build()
+}
+
+fn build_stream(func: DpxFunc, iters: i64, ilp: usize) -> hopper_isa::Kernel {
+    let mut b = KernelBuilder::new(format!("dpx_tput_{func}"));
+    b.mov(Reg(1), Imm(5));
+    b.mov(Reg(2), Imm(-3));
+    b.mov(Reg(3), Imm(1000));
+    b.mov(Reg(4), Imm(0));
+    let top = b.label_here();
+    for i in 0..ilp {
+        // Independent results; sources never written → no dependencies.
+        b.dpx(func, Reg(10 + i as u16), R(Reg(1)), R(Reg(2)), R(Reg(3)));
+    }
+    b.ialu(IAluOp::Add, Reg(4), R(Reg(4)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(4)), Imm(iters));
+    b.bra_if(top, Pred(0), true);
+    b.exit();
+    b.build()
+}
+
+/// Per-call latency (cycles) of a dependent DPX chain (Fig. 6).
+pub fn dpx_latency(gpu: &mut Gpu, func: DpxFunc) -> f64 {
+    let lo = gpu.launch(&build_chain(func, 64), &Launch::new(1, 1)).expect("launch");
+    let hi = gpu.launch(&build_chain(func, 320), &Launch::new(1, 1)).expect("launch");
+    (hi.metrics.cycles - lo.metrics.cycles) as f64 / (256.0 * 8.0)
+}
+
+/// Per-SM DPX throughput in (warp-level × 32) operations per cycle
+/// (Fig. 7's per-SM rate).
+pub fn dpx_throughput_per_sm(gpu: &mut Gpu, func: DpxFunc) -> f64 {
+    let ilp = 8;
+    let lo = gpu.launch(&build_stream(func, 16, ilp), &Launch::new(1, 1024)).expect("launch");
+    let hi = gpu.launch(&build_stream(func, 80, ilp), &Launch::new(1, 1024)).expect("launch");
+    let ops = (hi.metrics.dpx_ops - lo.metrics.dpx_ops) as f64;
+    let cycles = (hi.metrics.cycles - lo.metrics.cycles) as f64;
+    ops / cycles
+}
+
+/// Device-level DPX throughput (Gops/s) as a function of launched blocks —
+/// the sawtooth experiment.
+pub fn dpx_block_sweep(gpu: &mut Gpu, func: DpxFunc, blocks: u32) -> f64 {
+    let k = build_stream(func, 48, 8);
+    let stats = gpu.launch(&k, &Launch::new(blocks, 1024)).expect("launch");
+    stats.metrics.dpx_ops as f64 / stats.seconds() / 1e9
+}
+
+/// Regenerate Fig. 6: DPX latency on the three devices.
+///
+/// The paper's figure carries no numeric table; the assertions of record
+/// are the relative claims (H800 hardware ≫ emulation for 16-bit ReLU
+/// fused ops, near-parity for simple ones).
+pub fn fig6() -> Report {
+    let mut rep = Report::new("Fig 6", "DPX function latency (cycles)");
+    for dev in DeviceConfig::all() {
+        let name = dev.name;
+        let mut gpu = Gpu::new(dev);
+        for f in ALL_DPX {
+            let lat = dpx_latency(&mut gpu, f);
+            rep.push_measured(format!("{} / {}", f.cuda_name(), name), lat, "clk");
+        }
+    }
+    rep.note("paper plots are not numerically labelled; see tests for the relative claims");
+    rep
+}
+
+/// Regenerate Fig. 7: DPX throughput per SM + the block sweep.
+pub fn fig7() -> Report {
+    let mut rep = Report::new("Fig 7", "DPX throughput (ops/clk/SM)");
+    for dev in DeviceConfig::all() {
+        let name = dev.name;
+        let mut gpu = Gpu::new(dev);
+        for f in ALL_DPX {
+            let t = dpx_throughput_per_sm(&mut gpu, f);
+            rep.push_measured(format!("{} / {}", f.cuda_name(), name), t, "ops/clk/SM");
+        }
+    }
+    // Block sweep on the H800 (the paper's SM-level-unit inference).
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let sms = gpu.device().num_sms;
+    for blocks in [sms / 2, sms, sms + 1, sms * 2 - 8, sms * 2, sms * 2 + 1] {
+        let t = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, blocks);
+        rep.push_measured(format!("H800 sweep blocks={blocks}"), t, "Gops/s");
+    }
+    rep.note("throughput plummets just past an integer multiple of the SM count — the sawtooth");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_16x2_speedup_up_to_13x() {
+        // Paper: "For 16-bit operations, H800 also has significant
+        // acceleration, up to 13 times."
+        let mut h = Gpu::new(DeviceConfig::h800());
+        let mut a = Gpu::new(DeviceConfig::a100());
+        let f = DpxFunc::ViMax3S16x2Relu;
+        let lh = dpx_latency(&mut h, f);
+        let la = dpx_latency(&mut a, f);
+        let ratio = la / lh;
+        assert!(ratio > 8.0 && ratio < 16.0, "16x2 ReLU latency ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn simple_op_near_parity() {
+        // Paper: __viaddmax_s32 "performance of the three devices is close".
+        let mut h = Gpu::new(DeviceConfig::h800());
+        let mut a = Gpu::new(DeviceConfig::a100());
+        let f = DpxFunc::ViAddMaxS32;
+        let lh = dpx_latency(&mut h, f);
+        let la = dpx_latency(&mut a, f);
+        assert!(la / lh < 2.5, "simple op should be close: H800 {lh}, A100 {la}");
+    }
+
+    #[test]
+    fn ampere_and_ada_emulations_match() {
+        let mut a = Gpu::new(DeviceConfig::a100());
+        let mut r = Gpu::new(DeviceConfig::rtx4090());
+        for f in [DpxFunc::ViMax3S32, DpxFunc::ViAddMaxS16x2Relu] {
+            let la = dpx_latency(&mut a, f);
+            let lr = dpx_latency(&mut r, f);
+            assert!((la - lr).abs() / la < 0.15, "{f}: A100 {la} vs 4090 {lr}");
+        }
+    }
+
+    #[test]
+    fn hopper_throughput_advantage() {
+        let mut h = Gpu::new(DeviceConfig::h800());
+        let mut a = Gpu::new(DeviceConfig::a100());
+        let f = DpxFunc::ViMax3S16x2;
+        let th = dpx_throughput_per_sm(&mut h, f);
+        let ta = dpx_throughput_per_sm(&mut a, f);
+        assert!(th > 3.0 * ta, "H800 {th} vs A100 {ta} ops/clk/SM");
+    }
+
+    #[test]
+    fn sawtooth_at_sm_boundary() {
+        let mut gpu = Gpu::new(DeviceConfig::h800());
+        let sms = gpu.device().num_sms;
+        let full = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms);
+        let spill = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms + 1);
+        let recover = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms * 2);
+        assert!(spill < 0.6 * full, "one extra block must halve throughput: {spill} vs {full}");
+        assert!(recover > 0.9 * full, "2×SMs recovers the peak: {recover} vs {full}");
+    }
+
+    #[test]
+    fn throughput_proportional_below_sm_count() {
+        let mut gpu = Gpu::new(DeviceConfig::h800());
+        let sms = gpu.device().num_sms;
+        let half = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms / 2);
+        let full = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms);
+        let ratio = full / half;
+        assert!((ratio - 2.0).abs() < 0.25, "throughput ∝ blocks below SM count: {ratio}");
+    }
+}

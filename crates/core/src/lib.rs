@@ -1,0 +1,28 @@
+//! The paper's contribution: the microbenchmark suite.
+//!
+//! Each module implements one family of the paper's experiments against the
+//! `hopper-sim` substrate and reports paper-vs-measured through
+//! [`report::Report`]:
+//!
+//! | module | paper content |
+//! |---|---|
+//! | [`pchase`] / [`membench`] | Tables IV–V: memory latency & throughput |
+//! | [`tcbench`] | Tables VI–XI: tensor cores (`mma`, `wgmma`, energy) |
+//! | [`dpxbench`] | Figs 6–7: DPX latency/throughput + block sweep |
+//! | [`asyncbench`] | Tables XIII–XIV: `globalToShmemAsyncCopy` |
+//! | [`dsmbench`] | Figs 8–9 + §IV-E: distributed shared memory |
+//! | [`paper`] | the paper's published numbers (comparison targets) |
+//! | [`report`] | table rendering + EXPERIMENTS.md generation |
+
+#![warn(missing_docs)]
+
+pub mod asyncbench;
+pub mod dpxbench;
+pub mod dsmbench;
+pub mod membench;
+pub mod paper;
+pub mod pchase;
+pub mod report;
+pub mod tcbench;
+
+pub use report::{Cell, Report};

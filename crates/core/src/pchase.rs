@@ -1,0 +1,253 @@
+//! P-chase latency probes (Saavedra-style pointer chasing, the paper's
+//! §III-A methodology).
+//!
+//! A ring of pointers is laid out in the target memory level; a single
+//! thread chases it with a dependent-load chain, so the measured
+//! cycles-per-iteration is exactly the load-to-use latency of that level.
+
+use hopper_isa::asm::assemble_named;
+use hopper_sim::{Gpu, Launch};
+
+/// Memory level to probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// L1 data cache (`ld.global.ca` over an L1-resident ring).
+    L1,
+    /// Per-block shared memory.
+    Shared,
+    /// L2 cache (`ld.global.cg` over an L2-resident ring).
+    L2,
+    /// DRAM (`ld.global.cg` over a ring larger than L2).
+    Global,
+}
+
+/// Measured per-iteration latency in cycles for `level`.
+///
+/// Includes a warm-up launch so tags are hot (the paper warms explicitly;
+/// our simulated caches persist across launches like the real ones).
+pub fn latency(gpu: &mut Gpu, level: MemLevel) -> f64 {
+    let iters = 2048u32;
+    match level {
+        MemLevel::Shared => {
+            let k = assemble_named(
+                &format!(
+                    r#"
+                    .shared 4096;
+                    mov %r1, %tid.x;
+                    shl.s32 %r2, %r1, 3;
+                    add.s32 %r3, %r2, 8;
+                    and.s32 %r3, %r3, 4095;
+                    st.shared.b64 [%r2], %r3;
+                    bar.sync;
+                    mov.s64 %r4, 0;
+                    mov.s32 %r5, 0;
+                LOOP:
+                    ld.shared.b64 %r4, [%r4];
+                    add.s32 %r5, %r5, 1;
+                    setp.lt.s32 %p0, %r5, {iters};
+                    @%p0 bra LOOP;
+                    exit;
+                "#
+                ),
+                "pchase_shared",
+            )
+            .expect("static kernel assembles");
+            let stats = gpu.launch(&k, &Launch::new(1, 32)).expect("launch");
+            // Setup instructions are negligible against 2048 iterations.
+            stats.metrics.cycles as f64 / iters as f64
+        }
+        MemLevel::L1 | MemLevel::L2 | MemLevel::Global => {
+            let (ring_bytes, stride, cop) = match level {
+                // Small ring, fine stride, cached in L1.
+                MemLevel::L1 => (16 * 1024u64, 128u64, "ca"),
+                // Mid-size ring, bypasses L1 (`cg`), resident in L2.
+                MemLevel::L2 => (4 * 1024 * 1024, 128, "cg"),
+                // A ring with more entries than the chase ever walks, so no
+                // line is revisited; combined with the cache flush below,
+                // every access is a DRAM access (the paper instead sizes
+                // the buffer past L2 and warms only the TLB).
+                MemLevel::Global => (4 * 1024 * 1024, 512, "cg"),
+                MemLevel::Shared => unreachable!(),
+            };
+            let n = ring_bytes / stride;
+            let buf = gpu.alloc(ring_bytes).expect("ring allocation");
+            for i in 0..n {
+                let next = buf + ((i + 1) % n) * stride;
+                gpu.mem_mut().write_scalar(buf + i * stride, 8, next);
+            }
+            let k = assemble_named(
+                &format!(
+                    r#"
+                    mov.s64 %r3, %r0;
+                    mov.s32 %r4, 0;
+                LOOP:
+                    ld.global.{cop}.b64 %r3, [%r3];
+                    add.s32 %r4, %r4, 1;
+                    setp.lt.s32 %p0, %r4, {iters};
+                    @%p0 bra LOOP;
+                    exit;
+                "#
+                ),
+                "pchase_global",
+            )
+            .expect("static kernel assembles");
+            let launch = Launch::new(1, 1).with_params(vec![buf]);
+            if level == MemLevel::Global {
+                // Cold caches: every chased line misses to DRAM.
+                gpu.flush_caches();
+                let stats = gpu.launch(&k, &launch).expect("measured run");
+                return stats.metrics.cycles as f64 / iters as f64;
+            }
+            // Warm-up (fills tags), then measure.
+            gpu.launch(&k, &launch).expect("warm-up");
+            let stats = gpu.launch(&k, &launch).expect("measured run");
+            stats.metrics.cycles as f64 / iters as f64
+        }
+    }
+}
+
+/// Average chase latency over a fresh ring of `ring_bytes` at `stride`,
+/// walked `iters` times with `cop` loads.  Caches are flushed first, then
+/// warmed with one full pass — the classic capacity-detection probe: once
+/// the ring's lines exceed a level's capacity, the LRU cyclic walk misses
+/// on every access and the latency jumps to the next level.
+pub fn ring_latency(gpu: &mut Gpu, cop: &str, ring_bytes: u64, stride: u64) -> f64 {
+    let n = ring_bytes / stride;
+    let buf = gpu.alloc(ring_bytes).expect("ring allocation");
+    for i in 0..n {
+        let next = buf + ((i + 1) % n) * stride;
+        gpu.mem_mut().write_scalar(buf + i * stride, 8, next);
+    }
+    // Walk exactly one lap: the warm pass fills the prefix, the measured
+    // pass re-walks it — a cyclic LRU miss on every access once the
+    // prefix's *lines* exceed the level's capacity.
+    let iters = n.clamp(512, 2_000_000) as u32;
+    let k = assemble_named(
+        &format!(
+            r#"
+            mov.s64 %r3, %r0;
+            mov.s32 %r4, 0;
+        LOOP:
+            ld.global.{cop}.b64 %r3, [%r3];
+            add.s32 %r4, %r4, 1;
+            setp.lt.s32 %p0, %r4, {iters};
+            @%p0 bra LOOP;
+            exit;
+        "#
+        ),
+        "ring_latency",
+    )
+    .expect("static kernel assembles");
+    let launch = Launch::new(1, 1).with_params(vec![buf]);
+    gpu.flush_caches();
+    gpu.launch(&k, &launch).expect("warm pass");
+    let stats = gpu.launch(&k, &launch).expect("measured pass");
+    stats.metrics.cycles as f64 / iters as f64
+}
+
+/// Detect a cache level's capacity by doubling the ring footprint until
+/// the latency crosses the midpoint between `low_lat` and `high_lat`;
+/// returns the last footprint that still measured "fast".
+pub fn detect_capacity(
+    gpu: &mut Gpu,
+    cop: &str,
+    stride: u64,
+    start: u64,
+    limit: u64,
+    low_lat: f64,
+    high_lat: f64,
+) -> u64 {
+    let threshold = (low_lat + high_lat) / 2.0;
+    let mut last_fast = start;
+    let mut fp = start;
+    while fp <= limit {
+        let lat = ring_latency(gpu, cop, fp, stride);
+        if lat > threshold {
+            return last_fast;
+        }
+        last_fast = fp;
+        fp *= 2;
+    }
+    last_fast
+}
+
+/// Detected L1 capacity (bytes): `ca` rings between 16 KiB and 2 MiB.
+pub fn detect_l1_capacity(gpu: &mut Gpu) -> u64 {
+    let l1 = gpu.device().l1_latency as f64;
+    let l2 = gpu.device().l2_latency as f64;
+    detect_capacity(gpu, "ca", 128, 16 * 1024, 2 << 20, l1, l2)
+}
+
+/// Detected L2 capacity (bytes): `cg` rings between 16 MiB and 512 MiB at
+/// stride 512.  A stride-512 ring touches every 4th set, so the usable
+/// way-capacity shrinks by the same 4× that the per-entry line footprint
+/// does — the two cancel, and the ring size at the latency cliff reads the
+/// cache capacity directly (the classic set-aliasing identity).
+pub fn detect_l2_capacity(gpu: &mut Gpu) -> u64 {
+    let l2 = gpu.device().l2_latency as f64;
+    let dram = gpu.device().dram_latency as f64;
+    detect_capacity(gpu, "cg", 512, 16 << 20, 512 << 20, l2, dram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::DeviceConfig;
+
+    #[test]
+    fn levels_ordered_on_every_device() {
+        for dev in DeviceConfig::all() {
+            let mut gpu = Gpu::new(dev);
+            let smem = latency(&mut gpu, MemLevel::Shared);
+            let l1 = latency(&mut gpu, MemLevel::L1);
+            let l2 = latency(&mut gpu, MemLevel::L2);
+            let glob = latency(&mut gpu, MemLevel::Global);
+            assert!(smem < l1, "{}: shared {smem} !< L1 {l1}", gpu.device().name);
+            assert!(l1 < l2, "{}: L1 {l1} !< L2 {l2}", gpu.device().name);
+            assert!(l2 < glob, "{}: L2 {l2} !< global {glob}", gpu.device().name);
+        }
+    }
+
+    #[test]
+    fn capacity_detection_finds_configured_sizes() {
+        // The doubling probe must land within a factor of 2 of the
+        // configured capacities on every device (the classic Saavedra
+        // methodology recovers the cache geometry from latency alone).
+        for dev in DeviceConfig::all() {
+            let l1_cfg = dev.l1_bytes as u64;
+            let l2_cfg = dev.l2_bytes;
+            let name = dev.name;
+            let mut gpu = Gpu::new(dev);
+            let l1 = detect_l1_capacity(&mut gpu);
+            assert!(
+                l1 >= l1_cfg / 2 && l1 <= l1_cfg,
+                "{name}: detected L1 {l1} vs configured {l1_cfg}"
+            );
+            let l2 = detect_l2_capacity(&mut gpu);
+            assert!(
+                l2 >= l2_cfg / 2 && l2 <= l2_cfg,
+                "{name}: detected L2 {l2} vs configured {l2_cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_latency_transitions_at_l1_boundary() {
+        let mut gpu = Gpu::new(DeviceConfig::h800());
+        let inside = ring_latency(&mut gpu, "ca", 64 * 1024, 128);
+        let outside = ring_latency(&mut gpu, "ca", 1 << 20, 128);
+        assert!((inside - gpu.device().l1_latency as f64).abs() < 4.0, "inside {inside}");
+        assert!(outside > gpu.device().l2_latency as f64 - 10.0, "outside {outside}");
+    }
+
+    #[test]
+    fn h800_latencies_match_config() {
+        let mut gpu = Gpu::new(DeviceConfig::h800());
+        let l1 = latency(&mut gpu, MemLevel::L1);
+        assert!((l1 - gpu.device().l1_latency as f64).abs() < 2.5, "L1 {l1}");
+        let l2 = latency(&mut gpu, MemLevel::L2);
+        assert!((l2 - gpu.device().l2_latency as f64).abs() < 4.0, "L2 {l2}");
+        let g = latency(&mut gpu, MemLevel::Global);
+        assert!((g - gpu.device().dram_latency as f64).abs() < 12.0, "global {g}");
+    }
+}

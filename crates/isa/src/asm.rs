@@ -1,0 +1,664 @@
+//! A small text assembler for a PTX-flavoured syntax.
+//!
+//! This exists so tests, examples and docs can show kernels as readable
+//! text instead of builder chains.  It covers the subset of PTX the
+//! paper's microbenchmarks need; anything fancier should use
+//! [`crate::kernel::KernelBuilder`] directly.
+//!
+//! ```
+//! use hopper_isa::asm::assemble;
+//! let k = assemble(r#"
+//!     mov.s32 %r1, 0;
+//! LOOP:
+//!     add.s32 %r1, %r1, 1;
+//!     setp.lt.s32 %p0, %r1, 128;
+//!     @%p0 bra LOOP;
+//!     exit;
+//! "#).unwrap();
+//! assert_eq!(k.instrs.len(), 5);
+//! ```
+
+use crate::dpx::{DpxFunc, ALL_DPX};
+use crate::instr::*;
+use crate::kernel::Kernel;
+use crate::mma::{MmaDesc, OperandSource};
+use crate::DType;
+use std::collections::HashMap;
+
+/// Assembly error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assemble PTX-flavoured `source` into a [`Kernel`] named `asm`.
+pub fn assemble(source: &str) -> Result<Kernel, AsmError> {
+    assemble_named(source, "asm")
+}
+
+/// Assemble with an explicit kernel name.
+pub fn assemble_named(source: &str, name: &str) -> Result<Kernel, AsmError> {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (instr idx, label, line)
+    let mut smem_bytes = 0u32;
+    let mut max_reg = 0u16;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split("//").next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Labels may share a line with an instruction: `L: add.s32 ...`.
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let head = &rest[..colon];
+            if head.chars().all(|c| c.is_alphanumeric() || c == '_') && !head.is_empty()
+                && !head.starts_with('%')
+            {
+                labels.insert(head.to_string(), instrs.len());
+                rest = rest[colon + 1..].trim();
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        for stmt in rest.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if let Some(sz) = stmt.strip_prefix(".shared ") {
+                smem_bytes = smem_bytes.max(
+                    sz.trim().parse::<u32>().map_err(|e| AsmError {
+                        line,
+                        msg: format!("bad .shared size: {e}"),
+                    })?,
+                );
+                continue;
+            }
+            let instr = parse_stmt(stmt, line, &mut fixups, instrs.len())?;
+            track_regs(&instr, &mut max_reg);
+            instrs.push(instr);
+        }
+    }
+
+    for (idx, label, line) in fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or_else(|| AsmError { line, msg: format!("undefined label `{label}`") })?;
+        if let Instr::Bra { target: t, .. } = &mut instrs[idx] {
+            *t = target;
+        }
+    }
+
+    if !matches!(instrs.last(), Some(Instr::Exit)) {
+        return err(source.lines().count(), "kernel must end with `exit`");
+    }
+    Ok(Kernel {
+        instrs,
+        regs_per_thread: (max_reg as u32 + 1).max(16).div_ceil(8) * 8,
+        smem_bytes,
+        name: name.to_string(),
+    })
+}
+
+fn track_regs(i: &Instr, max: &mut u16) {
+    let mut see = |r: &Reg| *max = (*max).max(r.0);
+    let see_op = |o: &Operand, max: &mut u16| {
+        if let Operand::Reg(r) = o {
+            *max = (*max).max(r.0);
+        }
+    };
+    match i {
+        Instr::IAlu { dst, a, b, .. } | Instr::FAlu { dst, a, b, .. } => {
+            see(dst);
+            see_op(a, max);
+            see_op(b, max);
+        }
+        Instr::IMad { dst, a, b, c } | Instr::FFma { dst, a, b, c, .. } => {
+            see(dst);
+            see_op(a, max);
+            see_op(b, max);
+            see_op(c, max);
+        }
+        Instr::Dpx { dst, a, b, c, .. } => {
+            see(dst);
+            see_op(a, max);
+            see_op(b, max);
+            see_op(c, max);
+        }
+        Instr::Mov { dst, src } => {
+            see(dst);
+            see_op(src, max);
+        }
+        Instr::SetP { a, b, .. } => {
+            see_op(a, max);
+            see_op(b, max);
+        }
+        Instr::Sel { dst, a, b, .. } => {
+            see(dst);
+            see_op(a, max);
+            see_op(b, max);
+        }
+        Instr::Ld { dst, addr, .. } => {
+            see(dst);
+            see(&addr.base);
+        }
+        Instr::St { src, addr, .. } => {
+            see(src);
+            see(&addr.base);
+        }
+        Instr::AtomAdd { dst, addr, src, .. } => {
+            if let Some(d) = dst {
+                see(d);
+            }
+            see(&addr.base);
+            see_op(src, max);
+        }
+        Instr::CpAsync { smem, gmem, .. } => {
+            see(&smem.base);
+            see(&gmem.base);
+        }
+        Instr::Mapa { dst, addr, rank } => {
+            see(dst);
+            see_op(addr, max);
+            see_op(rank, max);
+        }
+        Instr::ReadSpecial { dst, .. } => see(dst),
+        _ => {}
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix("%r") {
+        if let Ok(i) = n.parse::<u16>() {
+            return Ok(Reg(i));
+        }
+    }
+    err(line, format!("expected register, got `{t}`"))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<Pred, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix("%p") {
+        if let Ok(i) = n.parse::<u8>() {
+            return Ok(Pred(i));
+        }
+    }
+    err(line, format!("expected predicate, got `{t}`"))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if t.starts_with("%r") {
+        return Ok(Operand::Reg(parse_reg(t, line)?));
+    }
+    if let Some(hex) = t.strip_prefix("0x") {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Ok(Operand::Imm(v));
+        }
+    }
+    t.parse::<i64>()
+        .map(Operand::Imm)
+        .map_err(|_| AsmError { line, msg: format!("expected operand, got `{t}`") })
+}
+
+/// Parse `[%rN+off]` / `[%rN]`.
+fn parse_addr(tok: &str, line: usize) -> Result<AddrExpr, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected [addr], got `{t}`") })?;
+    let (base, off) = match inner.find(['+', '-']) {
+        Some(pos) if pos > 0 => {
+            let (b, o) = inner.split_at(pos);
+            (b, o.parse::<i64>().map_err(|e| AsmError { line, msg: format!("bad offset: {e}") })?)
+        }
+        _ => (inner, 0),
+    };
+    Ok(AddrExpr { base: parse_reg(base, line)?, offset: off })
+}
+
+fn parse_width(tok: &str, line: usize) -> Result<Width, AsmError> {
+    match tok {
+        "b8" => Ok(Width::B1),
+        "b16" => Ok(Width::B2),
+        "b32" | "f32" | "u32" | "s32" => Ok(Width::B4),
+        "b64" | "f64" | "u64" | "s64" => Ok(Width::B8),
+        "v4" | "b128" => Ok(Width::B16),
+        _ => err(line, format!("unknown width `{tok}`")),
+    }
+}
+
+fn parse_special(tok: &str) -> Option<Special> {
+    Some(match tok {
+        "%tid.x" => Special::TidX,
+        "%ctaid.x" => Special::CtaIdX,
+        "%ntid.x" => Special::NTidX,
+        "%nctaid.x" => Special::NCtaIdX,
+        "%laneid" => Special::LaneId,
+        "%warpid" => Special::WarpId,
+        "%smid" => Special::SmId,
+        "%cluster_ctarank" => Special::ClusterCtaRank,
+        "%cluster_nctarank" => Special::ClusterNCtaRank,
+        "%clock" => Special::Clock,
+        _ => return None,
+    })
+}
+
+fn parse_stmt(
+    stmt: &str,
+    line: usize,
+    fixups: &mut Vec<(usize, String, usize)>,
+    idx: usize,
+) -> Result<Instr, AsmError> {
+    // Guarded branch: `@%p0 bra L` / `@!%p0 bra L`.
+    if let Some(rest) = stmt.strip_prefix('@') {
+        let (guard, rest) = rest.split_once(' ').ok_or_else(|| AsmError {
+            line,
+            msg: "malformed guarded instruction".into(),
+        })?;
+        let (neg, ptok) = if let Some(p) = guard.strip_prefix('!') { (true, p) } else { (false, guard) };
+        let pred = parse_pred(ptok, line)?;
+        let rest = rest.trim();
+        if let Some(label) = rest.strip_prefix("bra ") {
+            fixups.push((idx, label.trim().to_string(), line));
+            return Ok(Instr::Bra { target: usize::MAX, guard: Some((pred, !neg)) });
+        }
+        return err(line, "only `bra` may be guarded in this assembler");
+    }
+
+    let mut parts = stmt.splitn(2, ' ');
+    let op = parts.next().unwrap();
+    let args: Vec<&str> = parts
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let dots: Vec<&str> = op.split('.').collect();
+
+    match dots.as_slice() {
+        ["exit"] => Ok(Instr::Exit),
+        ["bar", "sync"] => Ok(Instr::BarSync),
+        ["barrier", "cluster"] => Ok(Instr::ClusterSync),
+        ["bra"] => {
+            let label = args.first().ok_or_else(|| AsmError { line, msg: "bra needs a label".into() })?;
+            fixups.push((idx, label.to_string(), line));
+            Ok(Instr::Bra { target: usize::MAX, guard: None })
+        }
+        ["mov", ..] => {
+            let dst = parse_reg(args.first().copied().unwrap_or(""), line)?;
+            let srctok = args.get(1).copied().unwrap_or("");
+            if let Some(sr) = parse_special(srctok) {
+                Ok(Instr::ReadSpecial { dst, sr })
+            } else {
+                Ok(Instr::Mov { dst, src: parse_operand(srctok, line)? })
+            }
+        }
+        [alu @ ("add" | "sub" | "mul" | "min" | "max" | "and" | "or" | "xor" | "shl" | "shr"), ty] => {
+            let dst = parse_reg(args.first().copied().unwrap_or(""), line)?;
+            let a = parse_operand(args.get(1).copied().unwrap_or(""), line)?;
+            let b = parse_operand(args.get(2).copied().unwrap_or(""), line)?;
+            match *ty {
+                "f32" | "f64" => {
+                    let fop = match *alu {
+                        "add" => FAluOp::Add,
+                        "mul" => FAluOp::Mul,
+                        "min" => FAluOp::Min,
+                        "max" => FAluOp::Max,
+                        other => return err(line, format!("no float op `{other}`")),
+                    };
+                    let prec = if *ty == "f32" { FloatPrec::F32 } else { FloatPrec::F64 };
+                    Ok(Instr::FAlu { op: fop, prec, dst, a, b })
+                }
+                _ => {
+                    let iop = match *alu {
+                        "add" => IAluOp::Add,
+                        "sub" => IAluOp::Sub,
+                        "mul" => IAluOp::Mul,
+                        "min" => IAluOp::Min,
+                        "max" => IAluOp::Max,
+                        "and" => IAluOp::And,
+                        "or" => IAluOp::Or,
+                        "xor" => IAluOp::Xor,
+                        "shl" => IAluOp::Shl,
+                        "shr" => IAluOp::Shr,
+                        _ => unreachable!(),
+                    };
+                    Ok(Instr::IAlu { op: iop, dst, a, b })
+                }
+            }
+        }
+        ["mad", _ty] => Ok(Instr::IMad {
+            dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+            a: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
+            b: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+            c: parse_operand(args.get(3).copied().unwrap_or(""), line)?,
+        }),
+        ["fma", ty] => Ok(Instr::FFma {
+            prec: if *ty == "f64" { FloatPrec::F64 } else { FloatPrec::F32 },
+            dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+            a: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
+            b: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+            c: parse_operand(args.get(3).copied().unwrap_or(""), line)?,
+        }),
+        ["setp", cmp, _ty] => {
+            let c = match *cmp {
+                "eq" => CmpOp::Eq,
+                "ne" => CmpOp::Ne,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                "ge" => CmpOp::Ge,
+                other => return err(line, format!("unknown comparison `{other}`")),
+            };
+            Ok(Instr::SetP {
+                pred: parse_pred(args.first().copied().unwrap_or(""), line)?,
+                cmp: c,
+                a: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
+                b: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+            })
+        }
+        ["sel"] => Ok(Instr::Sel {
+            dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+            pred: parse_pred(args.get(1).copied().unwrap_or(""), line)?,
+            a: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+            b: parse_operand(args.get(3).copied().unwrap_or(""), line)?,
+        }),
+        ["ld", space, rest @ ..] => {
+            let (cop, wtok) = match rest {
+                [c @ ("ca" | "cg" | "cs"), w] => (
+                    match *c {
+                        "ca" => CacheOp::Ca,
+                        "cg" => CacheOp::Cg,
+                        _ => CacheOp::Cs,
+                    },
+                    *w,
+                ),
+                [w] => (CacheOp::Ca, *w),
+                _ => return err(line, "malformed ld"),
+            };
+            Ok(Instr::Ld {
+                space: parse_space(space, line)?,
+                cop,
+                width: parse_width(wtok, line)?,
+                dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+                addr: parse_addr(args.get(1).copied().unwrap_or(""), line)?,
+            })
+        }
+        ["st", space, wtok] => Ok(Instr::St {
+            space: parse_space(space, line)?,
+            width: parse_width(wtok, line)?,
+            addr: parse_addr(args.first().copied().unwrap_or(""), line)?,
+            src: parse_reg(args.get(1).copied().unwrap_or(""), line)?,
+        }),
+        ["atom", space, "add", _w] => {
+            // Forms: `atom.shared.add.b32 %rd, [a], v` or `atom... [a], v`.
+            let (dst, ai, vi) = if args.len() == 3 { (Some(parse_reg(args[0], line)?), 1, 2) } else { (None, 0, 1) };
+            Ok(Instr::AtomAdd {
+                space: parse_space(space, line)?,
+                dst,
+                addr: parse_addr(args.get(ai).copied().unwrap_or(""), line)?,
+                src: parse_operand(args.get(vi).copied().unwrap_or(""), line)?,
+            })
+        }
+        ["cp", "async", ..] if op.contains("commit") => Ok(Instr::CpAsyncCommit),
+        ["cp", "async", ..] if op.contains("wait") => Ok(Instr::CpAsyncWait {
+            groups: args
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| AsmError { line, msg: "cp.async.wait_group needs N".into() })?,
+        }),
+        ["cp", "async", ..] => {
+            let bytes: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| AsmError { line, msg: "cp.async needs byte count".into() })?;
+            let width = match bytes {
+                4 => Width::B4,
+                8 => Width::B8,
+                16 => Width::B16,
+                _ => return err(line, "cp.async supports 4/8/16 bytes"),
+            };
+            Ok(Instr::CpAsync {
+                width,
+                smem: parse_addr(args[0], line)?,
+                gmem: parse_addr(args[1], line)?,
+            })
+        }
+        ["mapa"] => Ok(Instr::Mapa {
+            dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+            addr: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
+            rank: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+        }),
+        ["wgmma", "fence"] => Ok(Instr::WgmmaFence),
+        ["wgmma", "commit_group"] => Ok(Instr::WgmmaCommit),
+        ["wgmma", "wait_group"] => Ok(Instr::WgmmaWait {
+            groups: args.first().and_then(|s| s.parse().ok()).unwrap_or(0),
+        }),
+        _ if op.starts_with("dpx.") => {
+            let fname = &op[4..];
+            let func = ALL_DPX
+                .iter()
+                .copied()
+                .find(|f: &DpxFunc| f.cuda_name().trim_start_matches("__") == fname)
+                .ok_or_else(|| AsmError { line, msg: format!("unknown DPX function `{fname}`") })?;
+            Ok(Instr::Dpx {
+                func,
+                dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
+                a: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
+                b: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
+                c: parse_operand(args.get(3).copied().unwrap_or(""), line)?,
+            })
+        }
+        _ if op.starts_with("mma.") || op.starts_with("wgmma.") => parse_mma(op, &args, line),
+        _ => err(line, format!("unknown instruction `{op}`")),
+    }
+}
+
+fn parse_space(tok: &str, line: usize) -> Result<MemSpace, AsmError> {
+    match tok {
+        "global" => Ok(MemSpace::Global),
+        "shared" => Ok(MemSpace::Shared),
+        "shared::cluster" => Ok(MemSpace::SharedCluster),
+        _ => err(line, format!("unknown state space `{tok}`")),
+    }
+}
+
+fn parse_dtype(tok: &str, line: usize) -> Result<DType, AsmError> {
+    match tok {
+        "f16" => Ok(DType::F16),
+        "bf16" => Ok(DType::BF16),
+        "tf32" => Ok(DType::TF32),
+        "f32" => Ok(DType::F32),
+        "f64" => Ok(DType::F64),
+        "e4m3" => Ok(DType::E4M3),
+        "e5m2" => Ok(DType::E5M2),
+        "s8" => Ok(DType::S8),
+        "s4" => Ok(DType::S4),
+        "b1" => Ok(DType::B1),
+        "s32" => Ok(DType::S32),
+        _ => err(line, format!("unknown dtype `{tok}`")),
+    }
+}
+
+fn parse_tile(tok: &str, line: usize) -> Result<TileId, AsmError> {
+    tok.trim()
+        .strip_prefix('t')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(TileId)
+        .ok_or_else(|| AsmError { line, msg: format!("expected tile `tN`, got `{tok}`") })
+}
+
+/// `mma[.sp].mMnNkK.<cd>.<ab> tD, tA, tB, tC`
+/// `wgmma[.sp].mMnNkK.<cd>.<ab>[.rs|.ss] tD, tA, tB`
+fn parse_mma(op: &str, args: &[&str], line: usize) -> Result<Instr, AsmError> {
+    let is_wgmma = op.starts_with("wgmma");
+    let mut toks: Vec<&str> = op.split('.').collect();
+    toks.remove(0);
+    let sparse = toks.first() == Some(&"sp");
+    if sparse {
+        toks.remove(0);
+    }
+    let shape = toks
+        .first()
+        .copied()
+        .ok_or_else(|| AsmError { line, msg: "missing shape".into() })?;
+    let (m, n, k) = parse_shape(shape, line)?;
+    let cd = parse_dtype(toks.get(1).copied().unwrap_or(""), line)?;
+    let ab = parse_dtype(toks.get(2).copied().unwrap_or(""), line)?;
+    let a_src = match toks.get(3).copied() {
+        Some("rs") => OperandSource::RegShared,
+        Some("ss") | None => OperandSource::SharedShared,
+        Some(other) => return err(line, format!("unknown operand-source `{other}`")),
+    };
+    if is_wgmma {
+        if m != 64 {
+            return err(line, format!("wgmma requires m64, got m{m}"));
+        }
+        let desc = MmaDesc::wgmma(n, ab, cd, sparse, a_src)
+            .map_err(|e| AsmError { line, msg: e.to_string() })?;
+        if desc.k != k {
+            return err(line, format!("wgmma.{} requires k{}, got k{}", ab.ptx_name(), desc.k, k));
+        }
+        Ok(Instr::Wgmma {
+            desc,
+            d: parse_tile(args.first().copied().unwrap_or(""), line)?,
+            a: parse_tile(args.get(1).copied().unwrap_or(""), line)?,
+            b: parse_tile(args.get(2).copied().unwrap_or(""), line)?,
+        })
+    } else {
+        let desc = MmaDesc::mma(m, n, k, ab, cd, sparse)
+            .map_err(|e| AsmError { line, msg: e.to_string() })?;
+        Ok(Instr::Mma {
+            desc,
+            d: parse_tile(args.first().copied().unwrap_or(""), line)?,
+            a: parse_tile(args.get(1).copied().unwrap_or(""), line)?,
+            b: parse_tile(args.get(2).copied().unwrap_or(""), line)?,
+            c: parse_tile(args.get(3).copied().unwrap_or(""), line)?,
+        })
+    }
+}
+
+fn parse_shape(tok: &str, line: usize) -> Result<(u32, u32, u32), AsmError> {
+    // mMnNkK
+    let bad = || AsmError { line, msg: format!("malformed shape `{tok}`") };
+    let rest = tok.strip_prefix('m').ok_or_else(bad)?;
+    let npos = rest.find('n').ok_or_else(bad)?;
+    let kpos = rest.find('k').ok_or_else(bad)?;
+    let m = rest[..npos].parse().map_err(|_| bad())?;
+    let n = rest[npos + 1..kpos].parse().map_err(|_| bad())?;
+    let k = rest[kpos + 1..].parse().map_err(|_| bad())?;
+    Ok((m, n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_alu_and_loop() {
+        let k = assemble(
+            "mov.s32 %r1, 5;\nTOP:\nadd.s32 %r1, %r1, -1;\nsetp.gt.s32 %p0, %r1, 0;\n@%p0 bra TOP;\nexit;",
+        )
+        .unwrap();
+        assert_eq!(k.instrs.len(), 5);
+        assert!(matches!(k.instrs[2], Instr::SetP { cmp: CmpOp::Gt, .. }));
+        assert!(matches!(k.instrs[3], Instr::Bra { target: 1, .. }));
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let k = assemble(
+            ".shared 4096;\nld.global.cg.b32 %r2, [%r1+64];\nld.shared.b64 %r3, [%r2];\nst.global.v4 [%r4+16], %r5;\nexit;",
+        )
+        .unwrap();
+        assert_eq!(k.smem_bytes, 4096);
+        assert!(matches!(
+            k.instrs[0],
+            Instr::Ld { space: MemSpace::Global, cop: CacheOp::Cg, width: Width::B4, addr: AddrExpr { offset: 64, .. }, .. }
+        ));
+        assert!(matches!(k.instrs[2], Instr::St { width: Width::B16, .. }));
+    }
+
+    #[test]
+    fn mma_and_wgmma() {
+        let k = assemble(
+            "mma.m16n8k16.f32.f16 t0, t1, t2, t0;\nwgmma.m64n256k16.f32.f16.ss t0, t1, t2;\nwgmma.sp.m64n256k32.f32.f16.rs t0, t1, t2;\nexit;",
+        )
+        .unwrap();
+        match &k.instrs[1] {
+            Instr::Wgmma { desc, .. } => {
+                assert_eq!(desc.n, 256);
+                assert!(!desc.sparse);
+                assert_eq!(desc.a_src, OperandSource::SharedShared);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &k.instrs[2] {
+            Instr::Wgmma { desc, .. } => {
+                assert!(desc.sparse);
+                assert_eq!(desc.a_src, OperandSource::RegShared);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dpx_and_specials() {
+        let k = assemble(
+            "mov %r1, %smid;\nmov %r2, %clock;\ndpx.viaddmax_s32 %r3, %r1, %r2, 7;\nexit;",
+        )
+        .unwrap();
+        assert!(matches!(k.instrs[0], Instr::ReadSpecial { sr: Special::SmId, .. }));
+        assert!(matches!(k.instrs[2], Instr::Dpx { func: DpxFunc::ViAddMaxS32, .. }));
+    }
+
+    #[test]
+    fn async_and_cluster_ops() {
+        let k = assemble(
+            "cp.async.cg.shared.global [%r1], [%r2], 16;\ncp.async.commit_group;\ncp.async.wait_group 0;\nmapa %r3, %r1, 1;\nbarrier.cluster;\natom.shared::cluster.add.b32 [%r3], 1;\nexit;",
+        )
+        .unwrap();
+        assert!(matches!(k.instrs[0], Instr::CpAsync { width: Width::B16, .. }));
+        assert!(matches!(k.instrs[2], Instr::CpAsyncWait { groups: 0 }));
+        assert!(matches!(k.instrs[5], Instr::AtomAdd { space: MemSpace::SharedCluster, dst: None, .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("mov.s32 %r1, 0;\nbogus.op %r1;\nexit;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = assemble("bra NOWHERE;\nexit;").unwrap_err();
+        assert!(e.msg.contains("NOWHERE"));
+    }
+
+    #[test]
+    fn wgmma_shape_mismatch_rejected() {
+        let e = assemble("wgmma.m64n256k8.f32.f16.ss t0, t1, t2;\nexit;").unwrap_err();
+        assert!(e.msg.contains("k16"));
+    }
+}

@@ -1,0 +1,560 @@
+//! Warp-level instructions.
+//!
+//! Instructions execute SIMT-style over the 32 lanes of a warp.  Control
+//! flow is restricted to *uniform* branches (all active lanes agree on the
+//! predicate) — sufficient for every microbenchmark in the paper, and the
+//! simulator traps loudly on divergence rather than silently mis-timing it.
+
+use crate::dpx::DpxFunc;
+use crate::mma::MmaDesc;
+use core::fmt;
+
+/// A general-purpose register index (per-lane 64-bit storage in the
+/// simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+/// A predicate register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pred(pub u8);
+
+/// A tile-register index for matrix fragments (see `hopper-sim`'s tile
+/// storage; abstracts the per-lane fragment layout, which the paper does
+/// not measure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileId(pub u8);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// General-purpose register.
+    Reg(Reg),
+    /// Sign-extended immediate.
+    Imm(i64),
+}
+
+/// Memory access width in bytes (1, 2, 4, 8 or 16 = vectorised `v4.f32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes (`b32` / `f32`).
+    B4,
+    /// 8 bytes (`b64` / `f64`).
+    B8,
+    /// 16 bytes (`v4.f32` / `float4`).
+    B16,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+            Width::B16 => 16,
+        }
+    }
+}
+
+/// PTX cache operators on loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOp {
+    /// `.ca` — cache at all levels (L1 and L2).
+    Ca,
+    /// `.cg` — cache at global level (L2 only, bypass L1).
+    Cg,
+    /// `.cs` — streaming (evict-first); timing-wise like `.ca` here.
+    Cs,
+}
+
+/// Memory state spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Global device memory (through L1/L2 per the cache operator).
+    Global,
+    /// Per-block shared memory.
+    Shared,
+    /// Another block's shared memory within the cluster (address produced
+    /// by `mapa`; travels over the SM-to-SM network).
+    SharedCluster,
+}
+
+/// Integer ALU operations (per 32-bit lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IAluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply (low 32 bits).
+    Mul,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+}
+
+/// Floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FAluOp {
+    /// Addition.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate over signed 64-bit operands.
+    pub fn eval(&self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Address expression: `[reg + imm]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrExpr {
+    /// Base register (per-lane byte address).
+    pub base: Reg,
+    /// Byte offset.
+    pub offset: i64,
+}
+
+/// Special (read-only) registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// `%tid.x` — thread index within the block.
+    TidX,
+    /// `%ctaid.x` — block index within the grid.
+    CtaIdX,
+    /// `%ntid.x` — block dimension.
+    NTidX,
+    /// `%nctaid.x` — grid dimension.
+    NCtaIdX,
+    /// `%laneid`.
+    LaneId,
+    /// `%warpid` within the block.
+    WarpId,
+    /// `%smid` — physical SM the block runs on.
+    SmId,
+    /// `%cluster_ctarank` — block rank within its cluster.
+    ClusterCtaRank,
+    /// `%cluster_nctarank` — cluster size.
+    ClusterNCtaRank,
+    /// `%clock` — SM cycle counter (32-bit in PTX; we deliver 64).
+    Clock,
+}
+
+/// FP precision for scalar float ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatPrec {
+    /// 32-bit.
+    F32,
+    /// 64-bit.
+    F64,
+}
+
+/// Tile initialisation patterns for [`Instr::FillTile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TilePattern {
+    /// All zeros (the paper's "Zero" initialisation).
+    Zero,
+    /// Deterministic pseudo-random values in (−1, 1) (the paper's "Rand").
+    Random {
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Identity-like: 1 on the diagonal, 0 elsewhere.
+    Identity,
+    /// 2:4-structured pseudo-random values (for sparse operands).
+    Sparse24Random {
+        /// Stream seed.
+        seed: u64,
+    },
+}
+
+/// A warp-level instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Integer ALU: `dst = op(a, b)` per lane.
+    IAlu {
+        /// Operation.
+        op: IAluOp,
+        /// Destination.
+        dst: Reg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer multiply-add `dst = a*b + c` (IMAD).
+    IMad {
+        /// Destination.
+        dst: Reg,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// Float ALU `dst = op(a, b)` per lane.
+    FAlu {
+        /// Operation.
+        op: FAluOp,
+        /// Precision.
+        prec: FloatPrec,
+        /// Destination.
+        dst: Reg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Fused multiply-add `dst = a*b + c` per lane.
+    FFma {
+        /// Precision.
+        prec: FloatPrec,
+        /// Destination.
+        dst: Reg,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// Register move / immediate load.
+    Mov {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Operand,
+    },
+    /// DPX function `dst = f(a, b, c)`.
+    Dpx {
+        /// Which DPX function.
+        func: DpxFunc,
+        /// Destination.
+        dst: Reg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+        /// Third source.
+        c: Operand,
+    },
+    /// Predicate set: `pred = cmp(a, b)` (uniform across the warp for
+    /// branching purposes).
+    SetP {
+        /// Destination predicate.
+        pred: Pred,
+        /// Comparison.
+        cmp: CmpOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Select: `dst = pred ? a : b` per lane.
+    Sel {
+        /// Destination.
+        dst: Reg,
+        /// Guard predicate.
+        pred: Pred,
+        /// Value if true.
+        a: Operand,
+        /// Value if false.
+        b: Operand,
+    },
+    /// Branch to a label, optionally guarded (`@p` / `@!p`).
+    Bra {
+        /// Instruction index to jump to (resolved by the builder).
+        target: usize,
+        /// Optional (predicate, expected-value) guard.
+        guard: Option<(Pred, bool)>,
+    },
+    /// Load: `dst = [addr]`.
+    Ld {
+        /// State space.
+        space: MemSpace,
+        /// Cache operator (global loads).
+        cop: CacheOp,
+        /// Access width.
+        width: Width,
+        /// Destination register (first of a pair for B8/B16).
+        dst: Reg,
+        /// Address.
+        addr: AddrExpr,
+    },
+    /// Store: `[addr] = src`.
+    St {
+        /// State space.
+        space: MemSpace,
+        /// Access width.
+        width: Width,
+        /// Source register.
+        src: Reg,
+        /// Address.
+        addr: AddrExpr,
+    },
+    /// Atomic add (returns old value into `dst` if present).
+    AtomAdd {
+        /// State space (shared, cluster-shared or global).
+        space: MemSpace,
+        /// Destination for the fetched value, if used.
+        dst: Option<Reg>,
+        /// Address.
+        addr: AddrExpr,
+        /// Addend.
+        src: Operand,
+    },
+    /// `cp.async` — asynchronous global→shared copy issued by this thread.
+    CpAsync {
+        /// Bytes per lane (4, 8 or 16).
+        width: Width,
+        /// Shared-memory destination address.
+        smem: AddrExpr,
+        /// Global-memory source address.
+        gmem: AddrExpr,
+    },
+    /// `cp.async.commit_group`.
+    CpAsyncCommit,
+    /// `cp.async.wait_group N` — wait until ≤ N groups are outstanding.
+    CpAsyncWait {
+        /// Maximum outstanding groups allowed after the wait.
+        groups: u8,
+    },
+    /// TMA bulk 2-D tensor copy (global→shared), Hopper only: one
+    /// instruction moves a `rows × row_bytes` box whose global rows are
+    /// `gstride` bytes apart — the Tensor Memory Accelerator's descriptor
+    /// shape.  Completion is tracked through the `cp.async` group
+    /// machinery (an mbarrier approximation).
+    TmaCopy {
+        /// Rows in the box.
+        rows: u16,
+        /// Bytes per row.
+        row_bytes: u16,
+        /// Global stride between rows, bytes.
+        gstride: u32,
+        /// Shared-memory destination (rows packed contiguously).
+        smem: AddrExpr,
+        /// Global source of row 0.
+        gmem: AddrExpr,
+    },
+    /// Tensor-core `mma`: `Dtile = Atile·Btile + Ctile`, warp-synchronous.
+    Mma {
+        /// Instruction descriptor.
+        desc: MmaDesc,
+        /// Destination tile.
+        d: TileId,
+        /// A tile.
+        a: TileId,
+        /// B tile.
+        b: TileId,
+        /// C tile.
+        c: TileId,
+    },
+    /// `wgmma.fence` — order register accesses before an async group.
+    WgmmaFence,
+    /// Tensor-core `wgmma`: `Dtile += Atile·Btile`, asynchronous, issued by
+    /// a warp group.
+    Wgmma {
+        /// Instruction descriptor (carries RS/SS operand sourcing).
+        desc: MmaDesc,
+        /// Accumulator tile (read-modify-write).
+        d: TileId,
+        /// A tile (register fragment for RS; shared-memory descriptor
+        /// for SS — the tile storage models both).
+        a: TileId,
+        /// B tile (always a shared-memory descriptor).
+        b: TileId,
+    },
+    /// `wgmma.commit_group`.
+    WgmmaCommit,
+    /// `wgmma.wait_group N`.
+    WgmmaWait {
+        /// Maximum outstanding groups allowed after the wait.
+        groups: u8,
+    },
+    /// Load a tile of `rows × cols` elements of `dtype` from memory into
+    /// tile storage (models `ldmatrix` and the `wgmma` shared-memory
+    /// matrix descriptors; row-major at `addr`).
+    LdTile {
+        /// Destination tile.
+        tile: TileId,
+        /// Element type.
+        dtype: crate::DType,
+        /// Rows.
+        rows: u16,
+        /// Columns.
+        cols: u16,
+        /// Source space (global or shared).
+        space: MemSpace,
+        /// Base address of the row-major tile.
+        addr: AddrExpr,
+    },
+    /// Store a tile to memory (models `stmatrix` / fragment stores);
+    /// element width follows the tile's dtype.
+    StTile {
+        /// Source tile.
+        tile: TileId,
+        /// Destination space.
+        space: MemSpace,
+        /// Base address (row-major).
+        addr: AddrExpr,
+    },
+    /// Initialise a tile in-place without memory traffic — benchmark setup
+    /// for the paper's "Zero" vs "Rand" matrix-initialisation experiments.
+    FillTile {
+        /// Destination tile.
+        tile: TileId,
+        /// Element type.
+        dtype: crate::DType,
+        /// Rows.
+        rows: u16,
+        /// Columns.
+        cols: u16,
+        /// Fill pattern.
+        pattern: TilePattern,
+    },
+    /// `mapa` — translate a shared-memory address into the cluster-DSM
+    /// address of the block ranked `rank`.
+    Mapa {
+        /// Destination register for the mapped address.
+        dst: Reg,
+        /// Local shared-memory address.
+        addr: Operand,
+        /// Target block rank within the cluster.
+        rank: Operand,
+    },
+    /// `bar.sync` — block-wide barrier.
+    BarSync,
+    /// `barrier.cluster.arrive` + `wait` — cluster-wide barrier.
+    ClusterSync,
+    /// Read a special register.
+    ReadSpecial {
+        /// Destination.
+        dst: Reg,
+        /// Which special register.
+        sr: Special,
+    },
+    /// End the warp.
+    Exit,
+}
+
+impl Instr {
+    /// Short mnemonic for traces and error messages.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::IAlu { .. } => "ialu",
+            Instr::IMad { .. } => "imad",
+            Instr::FAlu { .. } => "falu",
+            Instr::FFma { .. } => "ffma",
+            Instr::Mov { .. } => "mov",
+            Instr::Dpx { .. } => "dpx",
+            Instr::SetP { .. } => "setp",
+            Instr::Sel { .. } => "sel",
+            Instr::Bra { .. } => "bra",
+            Instr::Ld { .. } => "ld",
+            Instr::St { .. } => "st",
+            Instr::AtomAdd { .. } => "atom.add",
+            Instr::CpAsync { .. } => "cp.async",
+            Instr::CpAsyncCommit => "cp.async.commit_group",
+            Instr::CpAsyncWait { .. } => "cp.async.wait_group",
+            Instr::TmaCopy { .. } => "cp.async.bulk.tensor",
+            Instr::Mma { .. } => "mma",
+            Instr::WgmmaFence => "wgmma.fence",
+            Instr::Wgmma { .. } => "wgmma",
+            Instr::WgmmaCommit => "wgmma.commit_group",
+            Instr::WgmmaWait { .. } => "wgmma.wait_group",
+            Instr::LdTile { .. } => "ldmatrix",
+            Instr::StTile { .. } => "stmatrix",
+            Instr::FillTile { .. } => "filltile",
+            Instr::Mapa { .. } => "mapa",
+            Instr::BarSync => "bar.sync",
+            Instr::ClusterSync => "barrier.cluster",
+            Instr::ReadSpecial { .. } => "mov.special",
+            Instr::Exit => "exit",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(-1, 0));
+        assert!(!CmpOp::Lt.eval(0, 0));
+        assert!(CmpOp::Ge.eval(0, 0));
+        assert!(CmpOp::Ne.eval(1, 2));
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::B16.bytes(), 16);
+        assert_eq!(Width::B4.bytes(), 4);
+    }
+
+    #[test]
+    fn mnemonics() {
+        let i = Instr::Mov { dst: Reg(0), src: Operand::Imm(1) };
+        assert_eq!(i.mnemonic(), "mov");
+        assert_eq!(Instr::WgmmaFence.mnemonic(), "wgmma.fence");
+    }
+}

@@ -1,0 +1,329 @@
+//! Tensor-core instruction descriptors (`mma`, `mma.sp`, `wgmma`,
+//! `wgmma.sp`).
+//!
+//! Shape and type validity follows the PTX ISA manual as summarised in the
+//! paper: `mma` executes on one warp with shapes `m16n8k*`; `wgmma` executes
+//! asynchronously on a warp group (four warps) with shapes `m64nNk*` where
+//! `N ∈ {8, 16, 24, …, 256}`; sparse variants double the effective K.
+
+use crate::dtype::{Arch, DType};
+use core::fmt;
+
+/// Which programming interface a descriptor belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MmaKind {
+    /// Warp-synchronous `mma` (Turing onwards).
+    Mma,
+    /// Warp-group asynchronous `wgmma` (Hopper only).
+    Wgmma,
+}
+
+/// Where `wgmma` reads its A operand from ("RS" = register file,
+/// "SS" = shared memory; B is always shared memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandSource {
+    /// A in registers, B in shared memory ("RS").
+    RegShared,
+    /// Both A and B in shared memory ("SS").
+    SharedShared,
+}
+
+impl OperandSource {
+    /// The paper's two-letter label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperandSource::RegShared => "RS",
+            OperandSource::SharedShared => "SS",
+        }
+    }
+}
+
+/// Error for invalid descriptor construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmaError(pub String);
+
+impl fmt::Display for MmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for MmaError {}
+
+/// Complete description of a tensor-core instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmaDesc {
+    /// Interface (`mma` vs `wgmma`).
+    pub kind: MmaKind,
+    /// M extent.
+    pub m: u32,
+    /// N extent.
+    pub n: u32,
+    /// K extent — for sparse descriptors this is the *instruction modifier*
+    /// K, i.e. the uncompressed depth (the paper's tables list the
+    /// compressed shape, half of this).
+    pub k: u32,
+    /// A/B element type.
+    pub ab: DType,
+    /// C/D element type.
+    pub cd: DType,
+    /// 2:4 structured-sparse variant (`.sp`).
+    pub sparse: bool,
+    /// Operand source (meaningful for `wgmma` only; `mma` is register-only).
+    pub a_src: OperandSource,
+}
+
+impl MmaDesc {
+    /// The canonical dense K for one instruction of a given A/B type under
+    /// `mma` (m16n8kK): 4 for TF32, 8/16 for FP16, 16/32 for INT8,
+    /// 128/256 for binary.
+    pub fn mma_valid_k(ab: DType) -> &'static [u32] {
+        match ab {
+            DType::F16 | DType::BF16 => &[8, 16],
+            DType::TF32 => &[4, 8],
+            DType::S8 => &[16, 32],
+            DType::S4 => &[32, 64],
+            DType::B1 => &[128, 256],
+            DType::F64 => &[4],
+            _ => &[],
+        }
+    }
+
+    /// The fixed K of a dense `wgmma` instruction per A/B type.
+    pub fn wgmma_k(ab: DType) -> Option<u32> {
+        match ab {
+            DType::F16 | DType::BF16 => Some(16),
+            DType::TF32 => Some(8),
+            DType::E4M3 | DType::E5M2 | DType::S8 => Some(32),
+            DType::B1 => Some(256),
+            _ => None,
+        }
+    }
+
+    /// Construct an `mma` descriptor, validating shape/type legality.
+    pub fn mma(
+        m: u32,
+        n: u32,
+        k: u32,
+        ab: DType,
+        cd: DType,
+        sparse: bool,
+    ) -> Result<Self, MmaError> {
+        if (m, n) != (16, 8) {
+            return Err(MmaError(format!("mma requires m16n8, got m{m}n{n}")));
+        }
+        if ab.is_fp8() {
+            return Err(MmaError("no mma instructions exist for FP8 (Table VI)".into()));
+        }
+        let base_k = if sparse { k / 2 } else { k };
+        if !Self::mma_valid_k(ab).contains(&base_k) {
+            return Err(MmaError(format!(
+                "mma.{}: invalid k{} (valid compressed k: {:?})",
+                ab.ptx_name(),
+                k,
+                Self::mma_valid_k(ab)
+            )));
+        }
+        if sparse && matches!(ab, DType::B1 | DType::F64) {
+            return Err(MmaError(format!("no sparse mma for {}", ab.ptx_name())));
+        }
+        Self::check_cd(ab, cd)?;
+        Ok(MmaDesc { kind: MmaKind::Mma, m, n, k, ab, cd, sparse, a_src: OperandSource::RegShared })
+    }
+
+    /// Construct a `wgmma` descriptor, validating shape/type legality.
+    pub fn wgmma(
+        n: u32,
+        ab: DType,
+        cd: DType,
+        sparse: bool,
+        a_src: OperandSource,
+    ) -> Result<Self, MmaError> {
+        if ab == DType::S4 {
+            return Err(MmaError("wgmma does not support INT4 (Table VI)".into()));
+        }
+        let k = Self::wgmma_k(ab)
+            .ok_or_else(|| MmaError(format!("no wgmma for {}", ab.ptx_name())))?;
+        let k = if sparse { k * 2 } else { k };
+        if !(8..=256).contains(&n) || !n.is_multiple_of(8) {
+            return Err(MmaError(format!("wgmma N must be a multiple of 8 in 8..=256, got {n}")));
+        }
+        if sparse && ab == DType::B1 {
+            return Err(MmaError("no sparse wgmma for binary".into()));
+        }
+        Self::check_cd(ab, cd)?;
+        Ok(MmaDesc { kind: MmaKind::Wgmma, m: 64, n, k, ab, cd, sparse, a_src })
+    }
+
+    fn check_cd(ab: DType, cd: DType) -> Result<(), MmaError> {
+        let ok = match ab {
+            DType::F16 => matches!(cd, DType::F16 | DType::F32),
+            DType::BF16 | DType::TF32 => cd == DType::F32,
+            DType::E4M3 | DType::E5M2 => matches!(cd, DType::F16 | DType::F32),
+            DType::S8 | DType::S4 | DType::B1 => cd == DType::S32,
+            DType::F64 => cd == DType::F64,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MmaError(format!(
+                "invalid accumulator {} for A/B type {}",
+                cd.ptx_name(),
+                ab.ptx_name()
+            )))
+        }
+    }
+
+    /// Is this instruction executable on `arch`?
+    pub fn supported_on(&self, arch: Arch) -> bool {
+        if self.kind == MmaKind::Wgmma && !arch.has_wgmma() {
+            return false;
+        }
+        // INT4 mma still *compiles* on Hopper (to IMAD) — supported, but it
+        // runs on CUDA cores; the lowering module reports that.
+        if self.ab.is_fp8() && self.kind == MmaKind::Mma {
+            return false;
+        }
+        match self.ab {
+            DType::E4M3 | DType::E5M2 => matches!(arch, Arch::Ada | Arch::Hopper),
+            _ => true,
+        }
+    }
+
+    /// Multiply + add operation count of one instruction: `2·m·n·k`
+    /// (for sparse, K here is already the uncompressed depth, matching how
+    /// the paper computes sparse TFLOPS).
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// PTX mnemonic, e.g. `mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32`
+    /// abbreviated to the form the paper uses.
+    pub fn ptx_name(&self) -> String {
+        let sp = if self.sparse { "sp." } else { "" };
+        match self.kind {
+            MmaKind::Mma => format!(
+                "mma.{}m{}n{}k{}.{}.{}",
+                sp, self.m, self.n, self.k, self.cd.ptx_name(), self.ab.ptx_name()
+            ),
+            MmaKind::Wgmma => format!(
+                "wgmma.{}m{}n{}k{}.{}.{}",
+                sp, self.m, self.n, self.k, self.cd.ptx_name(), self.ab.ptx_name()
+            ),
+        }
+    }
+
+    /// The paper's "compressed shape" K (what Table VII prints for sparse
+    /// rows): K/2 for sparse, K for dense.
+    pub fn compressed_k(&self) -> u32 {
+        if self.sparse {
+            self.k / 2
+        } else {
+            self.k
+        }
+    }
+
+    /// Bytes of A operand (per instruction).
+    pub fn a_bytes(&self) -> u64 {
+        let elems = self.m as u64 * self.k as u64;
+        let elems = if self.sparse { elems / 2 } else { elems };
+        elems * self.ab.bits() as u64 / 8
+    }
+
+    /// Bytes of A fetched from *shared memory* in SS mode for a sparse
+    /// instruction: the hardware reads the uncompressed m×k tile and prunes
+    /// during execution (the paper's explanation for the SS sparse penalty).
+    pub fn a_smem_bytes_ss(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.ab.bits() as u64 / 8
+    }
+
+    /// Bytes of B operand (always dense k×n).
+    pub fn b_bytes(&self) -> u64 {
+        self.k as u64 * self.n as u64 * self.ab.bits() as u64 / 8
+    }
+}
+
+impl fmt::Display for MmaDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.ptx_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mma_shapes() {
+        assert!(MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).is_ok());
+        assert!(MmaDesc::mma(16, 8, 8, DType::F16, DType::F16, false).is_ok());
+        assert!(MmaDesc::mma(16, 8, 4, DType::TF32, DType::F32, false).is_ok());
+        assert!(MmaDesc::mma(16, 8, 32, DType::S8, DType::S32, false).is_ok());
+        assert!(MmaDesc::mma(16, 8, 256, DType::B1, DType::S32, false).is_ok());
+        // Sparse doubles the modifier K.
+        assert!(MmaDesc::mma(16, 8, 32, DType::F16, DType::F32, true).is_ok());
+        assert!(MmaDesc::mma(16, 8, 16, DType::TF32, DType::F32, true).is_ok());
+        // Bad shapes rejected.
+        assert!(MmaDesc::mma(8, 8, 16, DType::F16, DType::F32, false).is_err());
+        assert!(MmaDesc::mma(16, 8, 7, DType::F16, DType::F32, false).is_err());
+        // FP8 has no mma path at all.
+        assert!(MmaDesc::mma(16, 8, 32, DType::E4M3, DType::F32, false).is_err());
+    }
+
+    #[test]
+    fn wgmma_shapes() {
+        for n in (8..=256).step_by(8) {
+            assert!(MmaDesc::wgmma(n, DType::F16, DType::F32, false, OperandSource::SharedShared).is_ok());
+        }
+        assert!(MmaDesc::wgmma(12, DType::F16, DType::F32, false, OperandSource::SharedShared).is_err());
+        assert!(MmaDesc::wgmma(512, DType::F16, DType::F32, false, OperandSource::SharedShared).is_err());
+        // K is fixed per type: FP16→16, TF32→8, FP8/INT8→32, B1→256.
+        let d = MmaDesc::wgmma(256, DType::E4M3, DType::F16, false, OperandSource::RegShared).unwrap();
+        assert_eq!(d.k, 32);
+        let d = MmaDesc::wgmma(256, DType::TF32, DType::F32, false, OperandSource::SharedShared).unwrap();
+        assert_eq!(d.k, 8);
+        // Sparse doubles K: sp.m64n256k32 for FP16.
+        let d = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        assert_eq!(d.k, 32);
+        assert_eq!(d.compressed_k(), 16);
+        // No INT4 wgmma.
+        assert!(MmaDesc::wgmma(256, DType::S4, DType::S32, false, OperandSource::SharedShared).is_err());
+    }
+
+    #[test]
+    fn arch_support() {
+        let wg = MmaDesc::wgmma(64, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        assert!(wg.supported_on(Arch::Hopper));
+        assert!(!wg.supported_on(Arch::Ada));
+        assert!(!wg.supported_on(Arch::Ampere));
+        let m = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
+        assert!(m.supported_on(Arch::Ampere));
+    }
+
+    #[test]
+    fn flops_and_bytes() {
+        let d = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        assert_eq!(d.flops(), 2 * 64 * 256 * 16);
+        assert_eq!(d.a_bytes(), 64 * 16 * 2);
+        assert_eq!(d.b_bytes(), 16 * 256 * 2);
+        // Sparse: compressed A is half, but SS fetches the full tile.
+        let s = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        assert_eq!(s.a_bytes(), 64 * 32 * 2 / 2);
+        assert_eq!(s.a_smem_bytes_ss(), 64 * 32 * 2);
+    }
+
+    #[test]
+    fn ptx_names() {
+        let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
+        assert_eq!(d.ptx_name(), "mma.m16n8k16.f32.f16");
+        let s = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        assert_eq!(s.ptx_name(), "wgmma.sp.m64n256k32.f32.f16");
+    }
+
+    #[test]
+    fn accumulator_rules() {
+        assert!(MmaDesc::mma(16, 8, 16, DType::F16, DType::S32, false).is_err());
+        assert!(MmaDesc::wgmma(64, DType::S8, DType::F32, false, OperandSource::SharedShared).is_err());
+        assert!(MmaDesc::wgmma(64, DType::E5M2, DType::F16, false, OperandSource::SharedShared).is_ok());
+    }
+}

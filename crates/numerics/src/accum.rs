@@ -1,0 +1,121 @@
+//! Tensor-core accumulation models.
+//!
+//! Hardware tensor cores form the K products of a dot product exactly (the
+//! product of two FP16 numbers is exact in FP32-or-wider precision) and add
+//! them into an accumulator that is either FP32 or FP16.  The accumulator
+//! precision is a visible numeric behaviour — the paper's Tables VII–X
+//! distinguish `C/D = FP16` from `C/D = FP32` — so we model both.
+
+use crate::types::SoftFloat;
+
+/// Accumulator precision of a tensor-core dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumMode {
+    /// Products summed in FP32 (round-to-nearest after every add).
+    F32,
+    /// Products summed in FP16 (narrow accumulate — lossier).
+    F16,
+    /// Products summed in i32 (integer/binary paths; exact until overflow,
+    /// wrapping like the hardware).
+    I32,
+}
+
+/// Dot-product engine over a pair of element slices.
+#[derive(Debug, Clone, Copy)]
+pub struct DotEngine {
+    /// Accumulation mode for this engine.
+    pub mode: AccumMode,
+}
+
+impl DotEngine {
+    /// New engine with the given accumulation mode.
+    pub const fn new(mode: AccumMode) -> Self {
+        DotEngine { mode }
+    }
+
+    /// `c + Σ a[i]·b[i]` over soft-float elements, with products formed
+    /// exactly and sums rounded per [`AccumMode`].
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` differ in length.
+    pub fn dot_float<T: SoftFloat>(&self, a: &[T], b: &[T], c: f64) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+        match self.mode {
+            AccumMode::F32 => {
+                let mut acc = c as f32;
+                for (x, y) in a.iter().zip(b) {
+                    // Product of two narrow floats is exact in f64; round
+                    // the running sum to f32 each step, like the hardware
+                    // FP32 accumulator.
+                    let p = x.to_f64() * y.to_f64();
+                    acc = ((acc as f64) + p) as f32;
+                }
+                acc as f64
+            }
+            AccumMode::F16 => {
+                let mut acc = crate::types::F16::from_f64(c);
+                for (x, y) in a.iter().zip(b) {
+                    let p = x.to_f64() * y.to_f64();
+                    acc = crate::types::F16::from_f64(acc.to_f64() + p);
+                }
+                acc.to_f64()
+            }
+            AccumMode::I32 => panic!("use dot_int for integer accumulation"),
+        }
+    }
+
+    /// `c + Σ a[i]·b[i]` over widening integer products with wrapping i32
+    /// accumulation (matches IMMA overflow behaviour).
+    pub fn dot_int(&self, products: impl Iterator<Item = i32>, c: i32) -> i32 {
+        debug_assert_eq!(self.mode, AccumMode::I32);
+        products.fold(c, |acc, p| acc.wrapping_add(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{F16, SoftFloat};
+
+    #[test]
+    fn fp32_accumulate_is_sequential_rounding() {
+        let a: Vec<F16> = (0..8).map(|i| F16::from_f64(1.0 + i as f64 * 0.125)).collect();
+        let b: Vec<F16> = (0..8).map(|_| F16::from_f64(1.0)).collect();
+        let eng = DotEngine::new(AccumMode::F32);
+        let got = eng.dot_float(&a, &b, 0.0);
+        let mut want = 0.0f32;
+        for x in &a {
+            want = ((want as f64) + x.to_f64()) as f32;
+        }
+        assert_eq!(got, want as f64);
+    }
+
+    #[test]
+    fn fp16_accumulate_loses_small_addends() {
+        // 2048 in the accumulator swallows +1 contributions entirely.
+        let a = vec![F16::from_f64(1.0); 64];
+        let b = vec![F16::from_f64(1.0); 64];
+        let eng16 = DotEngine::new(AccumMode::F16);
+        let eng32 = DotEngine::new(AccumMode::F32);
+        let with16 = eng16.dot_float(&a, &b, 2048.0);
+        let with32 = eng32.dot_float(&a, &b, 2048.0);
+        assert_eq!(with16, 2048.0, "fp16 accumulator drops every +1");
+        assert_eq!(with32, 2112.0, "fp32 accumulator keeps them");
+    }
+
+    #[test]
+    fn int_accumulate_wraps() {
+        let eng = DotEngine::new(AccumMode::I32);
+        let got = eng.dot_int([i32::MAX, 1].into_iter(), 0);
+        assert_eq!(got, i32::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let eng = DotEngine::new(AccumMode::F32);
+        let a = vec![F16::zero(); 4];
+        let b = vec![F16::zero(); 5];
+        eng.dot_float(&a, &b, 0.0);
+    }
+}

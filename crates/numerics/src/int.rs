@@ -1,0 +1,123 @@
+//! Integer and binary tensor-core element types.
+
+use core::fmt;
+
+/// Signed 8-bit tensor-core element (`s8`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Int8(pub i8);
+
+/// Signed 4-bit tensor-core element (`s4`), stored sign-extended.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Int4(i8);
+
+/// A 32-bit word of 1-bit (binary) tensor-core elements.
+///
+/// Binary tensor cores compute `popcount(a AND b)` along K
+/// (`bmma ... .and.popc`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BinaryWord(pub u32);
+
+impl Int8 {
+    /// Widening multiply used by IMMA: i8 × i8 → i32.
+    #[inline]
+    pub fn mul_wide(self, rhs: Self) -> i32 {
+        self.0 as i32 * rhs.0 as i32
+    }
+}
+
+impl Int4 {
+    /// Minimum representable value (−8).
+    pub const MIN: i8 = -8;
+    /// Maximum representable value (7).
+    pub const MAX: i8 = 7;
+
+    /// Construct, clamping into the s4 range.
+    pub fn new_clamped(v: i32) -> Self {
+        Int4(v.clamp(Self::MIN as i32, Self::MAX as i32) as i8)
+    }
+
+    /// Construct from the low nibble of `v` (sign-extended).
+    pub fn from_nibble(v: u8) -> Self {
+        let n = (v & 0xf) as i8;
+        Int4(if n >= 8 { n - 16 } else { n })
+    }
+
+    /// Value as `i8`.
+    #[inline]
+    pub fn get(self) -> i8 {
+        self.0
+    }
+
+    /// Low-nibble encoding.
+    pub fn to_nibble(self) -> u8 {
+        (self.0 as u8) & 0xf
+    }
+
+    /// Widening multiply: s4 × s4 → i32.
+    #[inline]
+    pub fn mul_wide(self, rhs: Self) -> i32 {
+        self.0 as i32 * rhs.0 as i32
+    }
+}
+
+impl BinaryWord {
+    /// `popcount(self AND rhs)` — the binary tensor-core inner product over
+    /// 32 K-elements.
+    #[inline]
+    pub fn and_popc(self, rhs: Self) -> i32 {
+        (self.0 & rhs.0).count_ones() as i32
+    }
+}
+
+impl fmt::Debug for Int8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s8({})", self.0)
+    }
+}
+impl fmt::Debug for Int4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s4({})", self.0)
+    }
+}
+impl fmt::Debug for BinaryWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b32({:#010x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int4_roundtrip_all_nibbles() {
+        for v in 0..16u8 {
+            let x = Int4::from_nibble(v);
+            assert!(x.get() >= Int4::MIN && x.get() <= Int4::MAX);
+            assert_eq!(Int4::from_nibble(x.to_nibble()), x);
+        }
+        assert_eq!(Int4::from_nibble(0xf).get(), -1);
+        assert_eq!(Int4::from_nibble(0x8).get(), -8);
+        assert_eq!(Int4::from_nibble(0x7).get(), 7);
+    }
+
+    #[test]
+    fn int4_clamp() {
+        assert_eq!(Int4::new_clamped(100).get(), 7);
+        assert_eq!(Int4::new_clamped(-100).get(), -8);
+        assert_eq!(Int4::new_clamped(3).get(), 3);
+    }
+
+    #[test]
+    fn int8_widening() {
+        assert_eq!(Int8(-128).mul_wide(Int8(-128)), 16384);
+        assert_eq!(Int8(127).mul_wide(Int8(-1)), -127);
+    }
+
+    #[test]
+    fn binary_and_popc() {
+        assert_eq!(BinaryWord(u32::MAX).and_popc(BinaryWord(u32::MAX)), 32);
+        assert_eq!(BinaryWord(0xF0F0_F0F0).and_popc(BinaryWord(0x0F0F_0F0F)), 0);
+        assert_eq!(BinaryWord(0b1011).and_popc(BinaryWord(0b1110)), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Software numerics for the Hopper-dissection reproduction.
+//!
+//! Nvidia tensor cores operate on a family of narrow floating-point and
+//! integer formats (FP16, BF16, TF32, FP8-E4M3, FP8-E5M2, INT8, INT4,
+//! Binary).  This crate implements those formats from scratch — encoding,
+//! decoding, IEEE-754 round-to-nearest-even conversion, subnormals, and the
+//! OCP FP8 special-case rules — together with the accumulation models used
+//! by the tensor-core pipeline (products formed exactly, sums rounded into
+//! an FP32 or FP16 accumulator), 2:4 structured sparsity with metadata, and
+//! dense/sparse reference GEMMs.
+//!
+//! Everything here is *functional* (bit-exact values); timing lives in
+//! `hopper-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use hopper_numerics::{F16, Fp8E4M3, SoftFloat};
+//!
+//! let a = F16::from_f64(1.5);
+//! let b = F16::from_f64(2.25);
+//! assert_eq!((a.to_f64() * b.to_f64()), 3.375);
+//!
+//! // FP8-E4M3 saturates to its maximum finite value (448) instead of
+//! // producing infinity, per the OCP spec / `cvt.satfinite`.
+//! let big = Fp8E4M3::from_f64(1.0e9);
+//! assert_eq!(big.to_f64(), 448.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accum;
+pub mod format;
+pub mod int;
+pub mod matrix;
+pub mod sparse;
+pub mod types;
+
+pub use accum::{AccumMode, DotEngine};
+pub use format::{FloatSpec, RoundedEncode};
+pub use int::{BinaryWord, Int4, Int8};
+pub use matrix::{gemm_int_ref, gemm_ref, gemm_sparse_ref, Matrix};
+pub use sparse::{Sparse24, SparsityError};
+pub use types::{Bf16, Fp8E4M3, Fp8E5M2, SoftFloat, Tf32, F16};

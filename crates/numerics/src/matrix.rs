@@ -1,0 +1,208 @@
+//! Row-major matrices and reference GEMMs.
+//!
+//! These are the golden models that the tensor-core pipeline in
+//! `hopper-sim` is validated against, and the functional payload of the
+//! `mma`/`wgmma` instructions.
+
+use crate::accum::{AccumMode, DotEngine};
+use crate::sparse::Sparse24;
+use crate::types::SoftFloat;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Matrix built from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Backing storage (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: SoftFloat> Matrix<T> {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, T::zero())
+    }
+
+    /// Deterministic pseudo-random matrix in (−1, 1) — a linear-congruential
+    /// stream so tests don't depend on `rand`.
+    pub fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Self::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) as f64) / (1u64 << 31) as f64; // [0,2)
+            T::from_f64(u - 1.0)
+        })
+    }
+
+    /// Column `c` gathered into a vector.
+    pub fn col(&self, c: usize) -> Vec<T> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+}
+
+/// Reference dense GEMM: `D = A·B + C` with the given accumulator model.
+///
+/// `A` is `m×k`, `B` is `k×n`, `C`/`D` are `m×n` held in `f64` (wide enough
+/// to represent either an FP16 or FP32 destination exactly; callers round
+/// `D` into the destination type themselves when modelling `C/D = FP16`).
+pub fn gemm_ref<T: SoftFloat>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &Matrix<f64>,
+    mode: AccumMode,
+) -> Matrix<f64> {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    let eng = DotEngine::new(mode);
+    Matrix::from_fn(a.rows, b.cols, |i, j| {
+        let bcol = b.col(j);
+        eng.dot_float(a.row(i), &bcol, c.get(i, j))
+    })
+}
+
+/// Reference sparse GEMM: `A` given as per-row 2:4 compressed operands.
+pub fn gemm_sparse_ref<T: SoftFloat>(
+    a_rows: &[Sparse24<T>],
+    b: &Matrix<T>,
+    c: &Matrix<f64>,
+) -> Matrix<f64> {
+    assert!(!a_rows.is_empty());
+    assert_eq!(a_rows[0].k, b.rows);
+    Matrix::from_fn(a_rows.len(), b.cols, |i, j| {
+        let bcol = b.col(j);
+        c.get(i, j) + a_rows[i].dot_dense(&bcol)
+    })
+}
+
+/// Integer reference GEMM over i32 widened products (IMMA semantics).
+pub fn gemm_int_ref(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    c: &Matrix<i32>,
+) -> Matrix<i32> {
+    assert_eq!(a.cols, b.rows);
+    Matrix::from_fn(a.rows, b.cols, |i, j| {
+        let mut acc = c.get(i, j);
+        for k in 0..a.cols {
+            acc = acc.wrapping_add(a.get(i, k) as i32 * b.get(k, j) as i32);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{F16, SoftFloat};
+
+    #[test]
+    fn gemm_identity() {
+        let a = Matrix::<F16>::from_fn(4, 4, |r, c| F16::from_f64(if r == c { 1.0 } else { 0.0 }));
+        let b = Matrix::<F16>::pseudo_random(4, 4, 7);
+        let c = Matrix::filled(4, 4, 0.0);
+        let d = gemm_ref(&a, &b, &c, AccumMode::F32);
+        for r in 0..4 {
+            for cc in 0..4 {
+                assert_eq!(d.get(r, cc), b.get(r, cc).to_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_c() {
+        let a = Matrix::<F16>::filled(2, 2, F16::one());
+        let b = Matrix::<F16>::filled(2, 2, F16::one());
+        let c = Matrix::filled(2, 2, 10.0);
+        let d = gemm_ref(&a, &b, &c, AccumMode::F32);
+        assert!(d.as_slice().iter().all(|&v| v == 12.0));
+    }
+
+    #[test]
+    fn sparse_gemm_matches_dense_on_structured_input() {
+        let k = 16;
+        let dense_a = Matrix::<F16>::from_fn(4, k, |r, c| {
+            // Two non-zeros per group of 4.
+            if c % 4 < 2 {
+                F16::from_f64((r + c) as f64 * 0.125 + 0.25)
+            } else {
+                F16::zero()
+            }
+        });
+        let b = Matrix::<F16>::pseudo_random(k, 6, 3);
+        let c = Matrix::filled(4, 6, 0.0);
+        let a_rows: Vec<_> = (0..4)
+            .map(|r| Sparse24::compress(dense_a.row(r)).unwrap())
+            .collect();
+        let want = gemm_ref(&dense_a, &b, &c, AccumMode::F32);
+        let got = gemm_sparse_ref(&a_rows, &b, &c);
+        for r in 0..4 {
+            for j in 0..6 {
+                assert!((want.get(r, j) - got.get(r, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn int_gemm_known() {
+        let a = Matrix::<i8>::from_fn(2, 3, |r, c| (r * 3 + c) as i8);
+        let b = Matrix::<i8>::from_fn(3, 2, |r, c| (r * 2 + c) as i8 - 2);
+        let c = Matrix::filled(2, 2, 1);
+        let d = gemm_int_ref(&a, &b, &c);
+        // Row 0 of a = [0,1,2]; col 0 of b = [-2,0,2] -> 4 (+1) = 5.
+        assert_eq!(d.get(0, 0), 5);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_bounded() {
+        let m1 = Matrix::<F16>::pseudo_random(8, 8, 42);
+        let m2 = Matrix::<F16>::pseudo_random(8, 8, 42);
+        assert_eq!(m1, m2);
+        assert!(m1.as_slice().iter().all(|v| v.to_f64().abs() <= 1.0));
+        let m3 = Matrix::<F16>::pseudo_random(8, 8, 43);
+        assert_ne!(m1, m3);
+    }
+}

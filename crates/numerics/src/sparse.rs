@@ -1,0 +1,185 @@
+//! 2:4 structured sparsity (Ampere/Hopper sparse tensor cores).
+//!
+//! Sparse `mma.sp`/`wgmma.sp` instructions consume an A operand that has
+//! been *pruned* so that every group of four consecutive K-elements holds at
+//! most two non-zeros.  The hardware stores only the two surviving values
+//! ("compressed" A, half the size) plus 2 bits of metadata per survivor
+//! selecting its position within the group of four.
+
+use crate::types::SoftFloat;
+
+/// Error produced when a row violates the 2:4 structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityError {
+    /// Group index (along K, in units of 4 elements) that held >2 non-zeros.
+    pub group: usize,
+    /// Number of non-zeros found in that group.
+    pub nonzeros: usize,
+}
+
+impl core::fmt::Display for SparsityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "group {} has {} non-zeros; 2:4 sparsity allows at most 2",
+            self.group, self.nonzeros
+        )
+    }
+}
+
+impl std::error::Error for SparsityError {}
+
+/// A 2:4-compressed row: `values.len() == k/2`, with 2-bit metadata per
+/// value giving its source position in each group of four.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sparse24<T> {
+    /// Surviving values, two per group of four.
+    pub values: Vec<T>,
+    /// Packed metadata: entry `i` holds the in-group position (0..4) of
+    /// `values[i]`, two bits each, as the hardware metadata operand does.
+    pub meta: Vec<u8>,
+    /// Original (uncompressed) K extent.
+    pub k: usize,
+}
+
+impl<T: SoftFloat> Sparse24<T> {
+    /// Compress a dense row that already satisfies the 2:4 property.
+    ///
+    /// Returns an error naming the first offending group otherwise.
+    pub fn compress(dense: &[T]) -> Result<Self, SparsityError> {
+        assert!(dense.len().is_multiple_of(4), "K must be a multiple of 4 for 2:4 sparsity");
+        let mut values = Vec::with_capacity(dense.len() / 2);
+        let mut meta = Vec::with_capacity(dense.len() / 2);
+        for (g, group) in dense.chunks_exact(4).enumerate() {
+            let nz: Vec<usize> =
+                (0..4).filter(|&i| group[i].to_f64() != 0.0).collect();
+            if nz.len() > 2 {
+                return Err(SparsityError { group: g, nonzeros: nz.len() });
+            }
+            // Keep the (up to two) non-zeros; pad with position 0/1 zeros so
+            // every group contributes exactly two survivors, as the
+            // hardware layout requires.
+            let mut picks = nz.clone();
+            let mut fill = 0usize;
+            while picks.len() < 2 {
+                while picks.contains(&fill) {
+                    fill += 1;
+                }
+                picks.push(fill);
+                fill += 1;
+            }
+            picks.sort_unstable();
+            for &p in &picks {
+                values.push(group[p]);
+                meta.push(p as u8);
+            }
+        }
+        Ok(Sparse24 { values, meta, k: dense.len() })
+    }
+
+    /// Prune a dense row *into* 2:4 form by keeping the two largest-
+    /// magnitude elements of every group (the standard magnitude-based
+    /// pruning used when preparing sparse weights), then compress.
+    pub fn prune_and_compress(dense: &[T]) -> Self {
+        assert!(dense.len().is_multiple_of(4));
+        let mut pruned: Vec<T> = dense.to_vec();
+        for group in pruned.chunks_exact_mut(4) {
+            let mut idx = [0usize, 1, 2, 3];
+            idx.sort_by(|&a, &b| {
+                group[b]
+                    .to_f64()
+                    .abs()
+                    .partial_cmp(&group[a].to_f64().abs())
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            });
+            for &drop in &idx[2..] {
+                group[drop] = T::zero();
+            }
+        }
+        Self::compress(&pruned).expect("pruned row satisfies 2:4 by construction")
+    }
+
+    /// Expand back to a dense row of length `k`.
+    pub fn decompress(&self) -> Vec<T> {
+        let mut out = vec![T::zero(); self.k];
+        for (i, (&m, v)) in self.meta.iter().zip(&self.values).enumerate() {
+            let group = i / 2;
+            out[group * 4 + m as usize] = *v;
+        }
+        out
+    }
+
+    /// Sparse dot against a dense B column of length `k`: only survivors
+    /// contribute, exactly as the sparse tensor core multiplies.
+    pub fn dot_dense(&self, b: &[T]) -> f64 {
+        assert_eq!(b.len(), self.k, "B column length must equal K");
+        let mut acc = 0.0f32;
+        for (i, (&m, v)) in self.meta.iter().zip(&self.values).enumerate() {
+            let group = i / 2;
+            let p = v.to_f64() * b[group * 4 + m as usize].to_f64();
+            acc = ((acc as f64) + p) as f32;
+        }
+        acc as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{F16, SoftFloat};
+
+    fn row(vals: &[f64]) -> Vec<F16> {
+        vals.iter().map(|&v| F16::from_f64(v)).collect()
+    }
+
+    #[test]
+    fn compress_valid_row() {
+        let dense = row(&[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0]);
+        let s = Sparse24::compress(&dense).unwrap();
+        assert_eq!(s.values.len(), 4);
+        assert_eq!(s.meta, vec![0, 2, 1, 3]);
+        assert_eq!(s.decompress(), dense);
+    }
+
+    #[test]
+    fn compress_rejects_dense_group() {
+        let dense = row(&[1.0, 2.0, 3.0, 0.0]);
+        let err = Sparse24::compress(&dense).unwrap_err();
+        assert_eq!(err.group, 0);
+        assert_eq!(err.nonzeros, 3);
+        assert!(err.to_string().contains("2:4"));
+    }
+
+    #[test]
+    fn prune_keeps_two_largest() {
+        let dense = row(&[1.0, -8.0, 3.0, 0.5]);
+        let s = Sparse24::prune_and_compress(&dense);
+        let d = s.decompress();
+        assert_eq!(d[0].to_f64(), 0.0);
+        assert_eq!(d[1].to_f64(), -8.0);
+        assert_eq!(d[2].to_f64(), 3.0);
+        assert_eq!(d[3].to_f64(), 0.0);
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense_dot() {
+        let dense = row(&[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0]);
+        let b = row(&[0.5, 9.0, 1.5, 9.0, 9.0, 2.0, 9.0, 0.25]);
+        let s = Sparse24::compress(&dense).unwrap();
+        let want: f64 = dense
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.to_f64() * y.to_f64())
+            .sum();
+        assert_eq!(s.dot_dense(&b), want);
+    }
+
+    #[test]
+    fn all_zero_group_pads_deterministically() {
+        let dense = row(&[0.0; 8]);
+        let s = Sparse24::compress(&dense).unwrap();
+        assert_eq!(s.values.len(), 4);
+        assert!(s.values.iter().all(|v| v.to_f64() == 0.0));
+        assert_eq!(s.decompress(), dense);
+    }
+}

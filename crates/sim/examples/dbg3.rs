@@ -1,0 +1,19 @@
+fn main() {
+    use hopper_sim::*;
+    use hopper_isa::*;
+    use hopper_isa::mma::OperandSource;
+    let desc = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    let mut b = KernelBuilder::new("one");
+    b.fill_tile(TileId(0), DType::F16, 64, 16, TilePattern::Zero);
+    b.fill_tile(TileId(1), DType::F16, 16, 256, TilePattern::Zero);
+    b.fill_tile(TileId(2), DType::F32, 64, 256, TilePattern::Zero);
+    b.wgmma_fence();
+    b.wgmma(desc, TileId(2), TileId(0), TileId(1));
+    b.wgmma_commit();
+    b.wgmma_wait(0);
+    b.exit();
+    let k = b.build();
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let s = gpu.launch(&k, &Launch::new(1, 128)).unwrap();
+    println!("one-wgmma cycles = {} (expect ~ lat 128 + ~6 setup)", s.metrics.cycles);
+}

@@ -1,0 +1,5 @@
+fn main() {
+    use hopper_sim::*;
+    // reuse micro? can't (circular). quick inline estimate via cycles from stats printed by micro test instead
+    let _ = DeviceConfig::h800();
+}

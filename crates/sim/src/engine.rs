@@ -1,0 +1,1785 @@
+//! The lockstep multi-SM execution engine.
+//!
+//! The engine co-simulates a set of resident blocks on their SMs cycle by
+//! cycle: four schedulers per SM issue one warp-instruction each per cycle,
+//! a per-warp scoreboard enforces register dependencies, and functional
+//! units / memory levels are modelled as throughput limiters whose queueing
+//! delays produce both latency and sustained-bandwidth saturation.
+//!
+//! Functional execution happens at issue (so data-dependent addressing —
+//! P-chase! — works), while destination registers become *ready* at the
+//! modelled completion time.
+
+use crate::device::{DeviceConfig, SimOptions};
+use crate::mem::{bank_conflict_degree, coalesce_sectors, GlobalMem, Limiter, TagArray};
+use crate::metrics::Metrics;
+use crate::power;
+use crate::tc_timing;
+use crate::tiles::{execute_mma, Tile};
+use hopper_isa::{
+    AddrExpr, CacheOp, DType, FAluOp, FloatPrec, IAluOp, Instr, Kernel, MemSpace, MmaKind,
+    Operand, Reg, Special, TileId, Width,
+};
+use std::collections::HashMap;
+
+/// Tag marking a register value as a cluster-DSM address produced by
+/// `mapa` (bit 62 set; rank in bits 32..48; offset in the low 32).
+pub const DSM_TAG: u64 = 1 << 62;
+
+/// Hard cap on simulated cycles — a runaway-kernel backstop far above any
+/// real microbenchmark in this repository.
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Barrier release overhead, cycles.
+const BAR_RELEASE: u64 = 22;
+/// Cluster-barrier release overhead, cycles.
+const CLUSTER_BAR_RELEASE: u64 = 60;
+/// How far ahead of "now" the memory pipes accept new requests (models
+/// finite MSHR/queue depth).
+const MEM_QUEUE_DEPTH: f64 = 100.0;
+/// Backlog bound on the DRAM channel (cycles); large enough to cover the
+/// DRAM latency so bandwidth saturates, small enough that in-flight misses
+/// stay finite (MSHR analogue).
+const DRAM_QUEUE_DEPTH: f64 = 1200.0;
+/// Dispatch stagger between co-resident blocks on one SM (cycles).  The
+/// real block scheduler dispatches sequentially and memory jitter
+/// decouples block phases; a deterministic simulator needs an explicit
+/// offset or co-resident blocks stay phase-locked and never overlap each
+/// other's load and compute phases.
+const BLOCK_DISPATCH_STAGGER: u64 = 1500;
+/// Extra completion depth of `cp.async` relative to a register load,
+/// cycles (see `do_cp_async`).
+const CP_ASYNC_EXTRA_LATENCY: f64 = 260.0;
+
+/// Placement of one block for this engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSpec {
+    /// `%ctaid.x` the block observes.
+    pub ctaid: u32,
+    /// Engine-local SM index the block runs on.
+    pub sm: usize,
+    /// Cluster this block belongs to (engine-local id).
+    pub cluster_id: u32,
+    /// `%cluster_ctarank`.
+    pub cluster_rank: u32,
+    /// Physical SM id reported by `%smid`.
+    pub smid: u32,
+}
+
+/// Engine launch description.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Blocks to co-simulate (must reference SMs `0..num_sms_used`).
+    pub blocks: Vec<BlockSpec>,
+    /// Threads per block (1..=1024).
+    pub threads_per_block: u32,
+    /// `%nctaid.x` the kernel observes (full grid, not just resident).
+    pub grid_dim: u32,
+    /// Cluster size (1 = no clustering).
+    pub cluster_size: u32,
+    /// Kernel parameters, loaded into `%r0..` of every thread.
+    pub params: Vec<u64>,
+    /// Fraction of device L2 bandwidth available to the simulated subset.
+    pub l2_bw_scale: f64,
+    /// Fraction of DRAM bandwidth available to the simulated subset.
+    pub dram_bw_scale: f64,
+    /// Mechanism toggles (ablations).
+    pub opts: SimOptions,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpStatus {
+    Ready,
+    Barrier,
+    ClusterBarrier,
+    Done,
+}
+
+struct WarpState {
+    block: usize,
+    warp_in_block: usize,
+    scheduler: usize,
+    pc: usize,
+    active: u32,
+    /// regs[r * 32 + lane]
+    regs: Vec<u64>,
+    reg_ready: Vec<u64>,
+    pred: [u32; 8],
+    pred_ready: [u64; 8],
+    status: WarpStatus,
+    next_ready: u64,
+    /// Earliest cycle a retry can possibly succeed (set on stall; stalls
+    /// only ever resolve at known future times in this engine).
+    retry_at: u64,
+    /// Uncommitted cp.async completion times.
+    cp_pending: f64,
+    /// Committed cp.async groups (completion times, FIFO).
+    cp_groups: Vec<f64>,
+}
+
+struct BlockState {
+    spec: BlockSpec,
+    smem: Vec<u8>,
+    warps: Vec<usize>,
+    barrier_count: usize,
+    /// Tiles keyed by (owner_key, tile id): owner is the warp for `mma`,
+    /// the warp group for `wgmma`.
+    tiles: HashMap<(u32, u8), Tile>,
+    /// Completion times of tile writers (gates dependent `mma` issue).
+    tile_ready: HashMap<(u32, u8), u64>,
+    /// Per-warp-group wgmma pipeline: uncommitted max completion + FIFO of
+    /// committed group completion times.
+    wgmma: HashMap<u32, (f64, Vec<f64>)>,
+}
+
+struct SmState {
+    l1_port: Limiter,
+    smem_port: Limiter,
+    int_pipe: Limiter,
+    fp32_pipe: Limiter,
+    fp64_pipe: Limiter,
+    dpx_pipe: Limiter,
+    tc_quadrant: [Limiter; 4],
+    tc_whole: Limiter,
+    dsm_port: Limiter,
+    last_sched: [usize; 4],
+}
+
+/// Persistent cache tag state, owned by the [`crate::Gpu`] so warm-up
+/// launches keep their effect (the paper's methodology warms caches with a
+/// separate pass before measuring).
+#[derive(Debug)]
+pub struct CacheState {
+    /// Per-SM L1 tag arrays.
+    pub l1: Vec<TagArray>,
+    /// Device-wide L2 tag array.
+    pub l2: TagArray,
+    /// Device-wide TLB over 2 MiB pages (a page walk costs
+    /// `DeviceConfig::tlb_miss_latency` extra cycles).
+    pub tlb: TagArray,
+}
+
+impl CacheState {
+    /// Fresh (cold) caches for a device.
+    pub fn new(dev: &DeviceConfig) -> Self {
+        CacheState {
+            l1: (0..dev.num_sms as usize)
+                .map(|_| TagArray::new(dev.l1_bytes as u64, 128, 8))
+                .collect(),
+            l2: TagArray::new(dev.l2_bytes, 128, 16),
+            tlb: TagArray::new(
+                dev.tlb_entries as u64 * (2 << 20),
+                2 << 20,
+                dev.tlb_entries.min(32) as usize,
+            ),
+        }
+    }
+}
+
+/// The lockstep engine (one wave of resident blocks).
+pub struct Engine<'a> {
+    dev: &'a DeviceConfig,
+    kernel: &'a Kernel,
+    cfg: EngineConfig,
+    global: &'a mut GlobalMem,
+    caches: &'a mut CacheState,
+    sms: Vec<SmState>,
+    blocks: Vec<BlockState>,
+    warps: Vec<WarpState>,
+    l2_port: Limiter,
+    dram_port: Limiter,
+    cycle: u64,
+    cluster_barriers: HashMap<u32, usize>,
+    metrics: Metrics,
+    l1_stats0: (u64, u64),
+    l2_stats0: (u64, u64),
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine for one co-resident wave.
+    pub fn new(
+        dev: &'a DeviceConfig,
+        kernel: &'a Kernel,
+        cfg: EngineConfig,
+        global: &'a mut GlobalMem,
+        caches: &'a mut CacheState,
+    ) -> Self {
+        assert!(!cfg.blocks.is_empty(), "engine needs at least one block");
+        assert!(cfg.threads_per_block >= 1 && cfg.threads_per_block <= 1024);
+        let num_sms = cfg.blocks.iter().map(|b| b.sm).max().unwrap() + 1;
+        let nregs = (kernel.regs_per_thread as usize).max(cfg.params.len() + 1).min(256);
+        let _ = &nregs;
+        let warps_per_block = cfg.threads_per_block.div_ceil(32) as usize;
+
+        let mut warps = Vec::new();
+        let mut blocks = Vec::new();
+        // Count warps already placed per SM to assign schedulers, and
+        // blocks per SM for the dispatch stagger.
+        let mut sm_warp_count = vec![0usize; num_sms];
+        let mut sm_block_count = vec![0u64; num_sms];
+        for (bi, spec) in cfg.blocks.iter().enumerate() {
+            // Alternate half-phase offsets (plus a small linear skew) so
+            // even/odd co-resident blocks land in anti-phase.
+            let i = sm_block_count[spec.sm];
+            let dispatch_at = if cfg.opts.block_stagger {
+                (i % 2) * BLOCK_DISPATCH_STAGGER + (i / 2) * 120
+            } else {
+                0
+            };
+            sm_block_count[spec.sm] += 1;
+            let mut block_warps = Vec::new();
+            for w in 0..warps_per_block {
+                let threads_left = cfg.threads_per_block as usize - w * 32;
+                let active = if threads_left >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << threads_left) - 1
+                };
+                let mut ws = WarpState {
+                    block: bi,
+                    warp_in_block: w,
+                    scheduler: sm_warp_count[spec.sm] % 4,
+                    pc: 0,
+                    active,
+                    regs: vec![0u64; nregs * 32],
+                    reg_ready: vec![0u64; nregs],
+                    pred: [0; 8],
+                    pred_ready: [0; 8],
+                    status: WarpStatus::Ready,
+                    next_ready: dispatch_at,
+                    retry_at: 0,
+                    cp_pending: 0.0,
+                    cp_groups: Vec::new(),
+                };
+                for (i, &p) in cfg.params.iter().enumerate() {
+                    for lane in 0..32 {
+                        ws.regs[i * 32 + lane] = p;
+                    }
+                }
+                sm_warp_count[spec.sm] += 1;
+                block_warps.push(warps.len());
+                warps.push(ws);
+            }
+            blocks.push(BlockState {
+                spec: *spec,
+                smem: vec![0u8; kernel.smem_bytes as usize],
+                warps: block_warps,
+                barrier_count: 0,
+                tiles: HashMap::new(),
+                tile_ready: HashMap::new(),
+                wgmma: HashMap::new(),
+            });
+        }
+
+        assert!(
+            caches.l1.len() >= num_sms,
+            "cache state sized for {} SMs; engine needs {num_sms}",
+            caches.l1.len()
+        );
+        let sms = (0..num_sms)
+            .map(|_| SmState {
+                l1_port: Limiter::new(),
+                smem_port: Limiter::new(),
+                int_pipe: Limiter::new(),
+                fp32_pipe: Limiter::new(),
+                fp64_pipe: Limiter::new(),
+                dpx_pipe: Limiter::new(),
+                tc_quadrant: [Limiter::new(), Limiter::new(), Limiter::new(), Limiter::new()],
+                tc_whole: Limiter::new(),
+                dsm_port: Limiter::new(),
+                last_sched: [0; 4],
+            })
+            .collect();
+
+        let l1_stats0 = caches.l1.iter().map(|t| t.stats()).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        let l2_stats0 = caches.l2.stats();
+        Engine {
+            dev,
+            kernel,
+            cfg,
+            global,
+            caches,
+            sms,
+            blocks,
+            warps,
+            l2_port: Limiter::new(),
+            dram_port: Limiter::new(),
+            cycle: 0,
+            cluster_barriers: HashMap::new(),
+            metrics: Metrics::default(),
+            l1_stats0,
+            l2_stats0,
+        }
+    }
+
+    /// Run to completion; returns the wave's metrics.
+    pub fn run(mut self) -> Metrics {
+        // Static warp→(sm, scheduler) rosters (built once; warp placement
+        // never changes during a launch).
+        let mut roster: Vec<Vec<Vec<usize>>> =
+            vec![vec![Vec::new(); 4]; self.sms.len()];
+        for (w, ws) in self.warps.iter().enumerate() {
+            roster[self.blocks[ws.block].spec.sm][ws.scheduler].push(w);
+        }
+        let mut live = self.warps.len();
+        loop {
+            if live == 0 {
+                break;
+            }
+            assert!(
+                self.cycle < MAX_CYCLES,
+                "kernel `{}` exceeded {MAX_CYCLES} cycles — runaway loop?",
+                self.kernel.name
+            );
+            let mut issued_any = false;
+            let mut earliest_wakeup = u64::MAX;
+            #[allow(clippy::needless_range_loop)] // sm/sched also index self.sms
+            for sm in 0..self.sms.len() {
+                for sched in 0..4 {
+                    // Round-robin within the scheduler's warps, starting
+                    // after the last issued one (greedy-then-oldest-ish).
+                    let candidates = &roster[sm][sched];
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let start = self.sms[sm].last_sched[sched] % candidates.len();
+                    for i in 0..candidates.len() {
+                        let w = candidates[(start + i) % candidates.len()];
+                        if self.warps[w].status == WarpStatus::Done {
+                            continue;
+                        }
+                        if self.warps[w].retry_at > self.cycle {
+                            earliest_wakeup =
+                                earliest_wakeup.min(self.warps[w].retry_at);
+                            continue;
+                        }
+                        match self.try_issue(w) {
+                            IssueResult::Issued => {
+                                self.sms[sm].last_sched[sched] = (start + i) % candidates.len();
+                                issued_any = true;
+                                if self.warps[w].status == WarpStatus::Done {
+                                    live -= 1;
+                                }
+                                break;
+                            }
+                            IssueResult::Stalled(until) => {
+                                if until != u64::MAX {
+                                    self.warps[w].retry_at = until.max(self.cycle + 1);
+                                }
+                                earliest_wakeup = earliest_wakeup.min(until.max(self.cycle + 1));
+                            }
+                        }
+                    }
+                }
+            }
+            self.release_barriers();
+            if issued_any || earliest_wakeup == u64::MAX {
+                self.cycle += 1;
+            } else {
+                // Fast-forward across a global stall.
+                self.cycle = earliest_wakeup.max(self.cycle + 1);
+            }
+        }
+        self.metrics.cycles = self.cycle;
+        let (h, m) = self.caches.l2.stats();
+        self.metrics.l2_hits = h - self.l2_stats0.0;
+        self.metrics.l2_misses = m - self.l2_stats0.1;
+        let l1 = self
+            .caches
+            .l1
+            .iter()
+            .map(|t| t.stats())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        self.metrics.l1_hits = l1.0 - self.l1_stats0.0;
+        self.metrics.l1_misses = l1.1 - self.l1_stats0.1;
+        self.metrics
+    }
+
+    fn release_barriers(&mut self) {
+        // Block barriers.
+        for bi in 0..self.blocks.len() {
+            if self.blocks[bi].barrier_count == self.blocks[bi].warps.len() {
+                self.blocks[bi].barrier_count = 0;
+                let release = self.cycle + BAR_RELEASE;
+                for &w in self.blocks[bi].warps.clone().iter() {
+                    if self.warps[w].status == WarpStatus::Barrier {
+                        self.warps[w].status = WarpStatus::Ready;
+                        self.warps[w].next_ready = self.warps[w].next_ready.max(release);
+                        self.warps[w].retry_at = 0;
+                    }
+                }
+            }
+        }
+        // Cluster barriers.
+        let mut released: Vec<u32> = Vec::new();
+        for (&cid, &count) in &self.cluster_barriers {
+            let member_blocks: Vec<usize> = self
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.spec.cluster_id == cid)
+                .map(|(i, _)| i)
+                .collect();
+            let total_warps: usize = member_blocks.iter().map(|&b| self.blocks[b].warps.len()).sum();
+            if count == total_warps {
+                released.push(cid);
+                let release = self.cycle + CLUSTER_BAR_RELEASE;
+                for &b in &member_blocks {
+                    for &w in self.blocks[b].warps.clone().iter() {
+                        if self.warps[w].status == WarpStatus::ClusterBarrier {
+                            self.warps[w].status = WarpStatus::Ready;
+                            self.warps[w].next_ready = self.warps[w].next_ready.max(release);
+                            self.warps[w].retry_at = 0;
+                        }
+                    }
+                }
+            }
+        }
+        for cid in released {
+            self.cluster_barriers.remove(&cid);
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn try_issue(&mut self, w: usize) -> IssueResult {
+        let now = self.cycle;
+        {
+            let ws = &self.warps[w];
+            match ws.status {
+                WarpStatus::Done => return IssueResult::Stalled(u64::MAX),
+                WarpStatus::Barrier | WarpStatus::ClusterBarrier => {
+                    return IssueResult::Stalled(u64::MAX)
+                }
+                WarpStatus::Ready => {}
+            }
+            if ws.next_ready > now {
+                return IssueResult::Stalled(ws.next_ready);
+            }
+        }
+        // Copy the shared kernel reference out of `self` so the borrow of
+        // the instruction doesn't pin `self` (and no clone per attempt).
+        let kernel: &Kernel = self.kernel;
+        let instr = &kernel.instrs[self.warps[w].pc];
+
+        // Data-dependency check.
+        if let Some(ready_at) = self.deps_ready_at(w, instr) {
+            if ready_at > now {
+                return IssueResult::Stalled(ready_at);
+            }
+        }
+
+        // Structural + execute.
+        let res = self.execute(w, instr);
+        match res {
+            IssueResult::Issued => {
+                self.metrics.instructions += 1;
+                let ws = &mut self.warps[w];
+                ws.next_ready = ws.next_ready.max(now + 1);
+            }
+            IssueResult::Stalled(_) => {}
+        }
+        res
+    }
+
+    /// Latest ready time over every register the instruction reads or
+    /// writes (write-after-write ordering included); `None` = no deps.
+    fn deps_ready_at(&self, w: usize, instr: &Instr) -> Option<u64> {
+        let ws = &self.warps[w];
+        let mut t = 0u64;
+        let mut any = false;
+        let reg = |r: &Reg, t: &mut u64, any: &mut bool| {
+            if (r.0 as usize) < ws.reg_ready.len() {
+                *t = (*t).max(ws.reg_ready[r.0 as usize]);
+                *any = true;
+            }
+        };
+        let op = |o: &Operand, t: &mut u64, any: &mut bool| {
+            if let Operand::Reg(r) = o {
+                if (r.0 as usize) < ws.reg_ready.len() {
+                    *t = (*t).max(ws.reg_ready[r.0 as usize]);
+                    *any = true;
+                }
+            }
+        };
+        match instr {
+            Instr::IAlu { dst, a, b, .. } | Instr::FAlu { dst, a, b, .. } => {
+                reg(dst, &mut t, &mut any);
+                op(a, &mut t, &mut any);
+                op(b, &mut t, &mut any);
+            }
+            Instr::IMad { dst, a, b, c } | Instr::FFma { dst, a, b, c, .. } => {
+                reg(dst, &mut t, &mut any);
+                op(a, &mut t, &mut any);
+                op(b, &mut t, &mut any);
+                op(c, &mut t, &mut any);
+            }
+            Instr::Dpx { dst, a, b, c, .. } => {
+                reg(dst, &mut t, &mut any);
+                op(a, &mut t, &mut any);
+                op(b, &mut t, &mut any);
+                op(c, &mut t, &mut any);
+            }
+            Instr::Mov { dst, src } => {
+                reg(dst, &mut t, &mut any);
+                op(src, &mut t, &mut any);
+            }
+            Instr::SetP { a, b, .. } => {
+                op(a, &mut t, &mut any);
+                op(b, &mut t, &mut any);
+            }
+            Instr::Sel { dst, pred, a, b } => {
+                reg(dst, &mut t, &mut any);
+                op(a, &mut t, &mut any);
+                op(b, &mut t, &mut any);
+                t = t.max(ws.pred_ready[pred.0 as usize]);
+                any = true;
+            }
+            Instr::Bra { guard: Some((p, _)), .. } => {
+                t = t.max(ws.pred_ready[p.0 as usize]);
+                any = true;
+            }
+            Instr::Ld { dst, addr, width, .. } => {
+                reg(dst, &mut t, &mut any);
+                if *width == Width::B16 {
+                    reg(&Reg(dst.0 + 1), &mut t, &mut any);
+                }
+                reg(&addr.base, &mut t, &mut any);
+            }
+            Instr::St { src, addr, .. } => {
+                reg(src, &mut t, &mut any);
+                reg(&addr.base, &mut t, &mut any);
+            }
+            Instr::AtomAdd { dst, addr, src, .. } => {
+                if let Some(d) = dst {
+                    reg(d, &mut t, &mut any);
+                }
+                reg(&addr.base, &mut t, &mut any);
+                op(src, &mut t, &mut any);
+            }
+            Instr::CpAsync { smem, gmem, .. } => {
+                reg(&smem.base, &mut t, &mut any);
+                reg(&gmem.base, &mut t, &mut any);
+            }
+            Instr::LdTile { addr, .. } | Instr::StTile { addr, .. } => {
+                reg(&addr.base, &mut t, &mut any);
+            }
+            Instr::Mapa { dst, addr, rank } => {
+                reg(dst, &mut t, &mut any);
+                op(addr, &mut t, &mut any);
+                op(rank, &mut t, &mut any);
+            }
+            Instr::ReadSpecial { dst, .. } => {
+                reg(dst, &mut t, &mut any);
+            }
+            _ => {}
+        }
+        if any {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------- execute
+
+    fn execute(&mut self, w: usize, instr: &Instr) -> IssueResult {
+        let now = self.cycle as f64;
+        let nowc = self.cycle;
+        match instr {
+            Instr::IAlu { op, dst, a, b } => {
+                let cost = 32.0 / self.dev.int_per_clk as f64;
+                let sm = self.sm_of(w);
+                if self.sms[sm].int_pipe.free_at() > now {
+                    return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64);
+                }
+                self.sms[sm].int_pipe.acquire(now, cost);
+                // The integer datapath is 64-bit (addresses need it); PTX
+                // .s32 ops run at full width, observationally equivalent
+                // for kernels that keep 32-bit quantities in range.
+                self.lane_op2(w, *dst, *a, *b, |x, y| match op {
+                    IAluOp::Add => x.wrapping_add(y),
+                    IAluOp::Sub => x.wrapping_sub(y),
+                    IAluOp::Mul => x.wrapping_mul(y),
+                    IAluOp::Min => (x as i64).min(y as i64) as u64,
+                    IAluOp::Max => (x as i64).max(y as i64) as u64,
+                    IAluOp::And => x & y,
+                    IAluOp::Or => x | y,
+                    IAluOp::Xor => x ^ y,
+                    IAluOp::Shl => x.wrapping_shl(y as u32),
+                    IAluOp::Shr => x.wrapping_shr(y as u32),
+                });
+                self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
+                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::IMad { dst, a, b, c } => {
+                let cost = 32.0 / self.dev.int_per_clk as f64;
+                let sm = self.sm_of(w);
+                if self.sms[sm].int_pipe.free_at() > now {
+                    return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64);
+                }
+                self.sms[sm].int_pipe.acquire(now, cost);
+                self.lane_op3(w, *dst, *a, *b, *c, |x, y, z| {
+                    x.wrapping_mul(y).wrapping_add(z)
+                });
+                self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64 + 1);
+                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::FAlu { op, prec, dst, a, b } => self.fp_op(w, *prec, *dst, &[*a, *b], {
+                let op = *op;
+                move |v: &[f64]| match op {
+                    FAluOp::Add => v[0] + v[1],
+                    FAluOp::Mul => v[0] * v[1],
+                    FAluOp::Min => v[0].min(v[1]),
+                    FAluOp::Max => v[0].max(v[1]),
+                }
+            }),
+            Instr::FFma { prec, dst, a, b, c } => {
+                self.fp_op(w, *prec, *dst, &[*a, *b, *c], |v: &[f64]| v[0] * v[1] + v[2])
+            }
+            Instr::Mov { dst, src } => {
+                let sm = self.sm_of(w);
+                let cost = 32.0 / self.dev.int_per_clk as f64;
+                self.sms[sm].int_pipe.acquire(now, cost);
+                for lane in 0..32 {
+                    let v = self.read_op(w, *src, lane);
+                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                }
+                self.finish_reg(w, *dst, nowc + 2);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Dpx { func, dst, a, b, c } => {
+                let sm = self.sm_of(w);
+                if self.dev.arch.has_dpx_hardware() {
+                    let cost = 32.0 / self.dev.dpx_per_clk as f64;
+                    if self.sms[sm].dpx_pipe.free_at() > now + 4.0 {
+                        return IssueResult::Stalled(self.sms[sm].dpx_pipe.free_at() as u64 - 4);
+                    }
+                    self.sms[sm].dpx_pipe.acquire(now, cost);
+                    self.finish_reg(w, *dst, nowc + self.dev.dpx_latency as u64);
+                } else {
+                    // Software emulation: a dependent chain of ALU ops.
+                    let ops = func.emulation_ops(self.dev.arch);
+                    let cost = ops as f64 * 32.0 / self.dev.int_per_clk as f64;
+                    if self.sms[sm].int_pipe.free_at() > now + 4.0 {
+                        return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64 - 4);
+                    }
+                    self.sms[sm].int_pipe.acquire(now, cost);
+                    self.metrics.instructions += ops as u64 - 1;
+                    self.finish_reg(w, *dst, nowc + (ops * self.dev.alu_latency) as u64);
+                }
+                let (fa, fb, fc, fd) = (*a, *b, *c, *dst);
+                let f = *func;
+                self.lane_op3(w, fd, fa, fb, fc, move |x, y, z| {
+                    f.eval(x as u32, y as u32, z as u32) as u64
+                });
+                self.metrics.dpx_ops += 32;
+                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J * 1.5;
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::SetP { pred, cmp, a, b } => {
+                let mut mask = 0u32;
+                for lane in 0..32 {
+                    let x = self.read_op(w, *a, lane) as i64;
+                    let y = self.read_op(w, *b, lane) as i64;
+                    if cmp.eval(x, y) {
+                        mask |= 1 << lane;
+                    }
+                }
+                let ws = &mut self.warps[w];
+                ws.pred[pred.0 as usize] = mask;
+                ws.pred_ready[pred.0 as usize] = nowc + self.dev.alu_latency as u64;
+                let sm = self.sm_of(w);
+                self.sms[sm].int_pipe.acquire(now, 0.5);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Sel { dst, pred, a, b } => {
+                let pmask = self.warps[w].pred[pred.0 as usize];
+                for lane in 0..32 {
+                    let v = if pmask & (1 << lane) != 0 {
+                        self.read_op(w, *a, lane)
+                    } else {
+                        self.read_op(w, *b, lane)
+                    };
+                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                }
+                self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Bra { target, guard } => {
+                let taken = match guard {
+                    None => true,
+                    Some((p, expect)) => {
+                        let mask = self.warps[w].pred[p.0 as usize];
+                        let active = self.warps[w].active;
+                        let t = mask & active;
+                        if t != 0 && t != active {
+                            panic!(
+                                "divergent branch in kernel `{}` at pc {} — \
+                                 the engine supports uniform control flow only",
+                                self.kernel.name, self.warps[w].pc
+                            );
+                        }
+                        (t == active) == *expect
+                    }
+                };
+                if taken {
+                    self.warps[w].pc = *target;
+                } else {
+                    self.advance(w);
+                }
+                IssueResult::Issued
+            }
+            Instr::Ld { space, cop, width, dst, addr } => self.do_load(w, *space, *cop, *width, *dst, *addr),
+            Instr::St { space, width, src, addr } => self.do_store(w, *space, *width, *src, *addr),
+            Instr::AtomAdd { space, dst, addr, src } => self.do_atom(w, *space, *dst, *addr, *src),
+            Instr::CpAsync { width, smem, gmem } => self.do_cp_async(w, *width, *smem, *gmem),
+            Instr::CpAsyncCommit => {
+                let ws = &mut self.warps[w];
+                let c = ws.cp_pending;
+                ws.cp_pending = 0.0;
+                ws.cp_groups.push(c);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::CpAsyncWait { groups } => {
+                let ws = &mut self.warps[w];
+                while !ws.cp_groups.is_empty() && ws.cp_groups[0] <= now {
+                    ws.cp_groups.remove(0);
+                }
+                if ws.cp_groups.len() > *groups as usize {
+                    let idx = ws.cp_groups.len() - *groups as usize - 1;
+                    return IssueResult::Stalled(ws.cp_groups[idx].ceil() as u64);
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::TmaCopy { rows, row_bytes, gstride, smem, gmem } => {
+                self.do_tma(w, *rows, *row_bytes, *gstride, *smem, *gmem)
+            }
+            Instr::Mma { desc, d, a, b, c } => self.do_mma(w, desc, *d, *a, *b, *c),
+            Instr::WgmmaFence => {
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Wgmma { desc, d, a, b } => self.do_wgmma(w, desc, *d, *a, *b),
+            Instr::WgmmaCommit => {
+                let key = self.wg_key(w);
+                let bi = self.warps[w].block;
+                let e = self.blocks[bi].wgmma.entry(key).or_insert((0.0, Vec::new()));
+                let c = e.0;
+                e.0 = 0.0;
+                e.1.push(c);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::WgmmaWait { groups } => {
+                let key = self.wg_key(w);
+                let bi = self.warps[w].block;
+                let e = self.blocks[bi].wgmma.entry(key).or_insert((0.0, Vec::new()));
+                while !e.1.is_empty() && e.1[0] <= now {
+                    e.1.remove(0);
+                }
+                if e.1.len() > *groups as usize {
+                    let idx = e.1.len() - *groups as usize - 1;
+                    return IssueResult::Stalled(e.1[idx].ceil() as u64);
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::LdTile { tile, dtype, rows, cols, space, addr } => {
+                self.do_ld_tile(w, *tile, *dtype, *rows as usize, *cols as usize, *space, *addr)
+            }
+            Instr::StTile { tile, space, addr } => self.do_st_tile(w, *tile, *space, *addr),
+            Instr::FillTile { tile, dtype, rows, cols, pattern } => {
+                let key = self.tile_owner(w);
+                let t = Tile::from_pattern(*dtype, *rows as usize, *cols as usize, *pattern);
+                let bi = self.warps[w].block;
+                self.blocks[bi].tiles.insert((key, tile.0), t);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Mapa { dst, addr, rank } => {
+                for lane in 0..32 {
+                    let a = self.read_op(w, *addr, lane) & 0xffff_ffff;
+                    let r = self.read_op(w, *rank, lane) & 0xffff;
+                    self.warps[w].regs[dst.0 as usize * 32 + lane] = DSM_TAG | (r << 32) | a;
+                }
+                self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::BarSync => {
+                let bi = self.warps[w].block;
+                self.blocks[bi].barrier_count += 1;
+                self.metrics.barrier_waits += 1;
+                self.warps[w].status = WarpStatus::Barrier;
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::ClusterSync => {
+                let bi = self.warps[w].block;
+                let cid = self.blocks[bi].spec.cluster_id;
+                *self.cluster_barriers.entry(cid).or_insert(0) += 1;
+                self.metrics.barrier_waits += 1;
+                self.warps[w].status = WarpStatus::ClusterBarrier;
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::ReadSpecial { dst, sr } => {
+                let bi = self.warps[w].block;
+                let spec = self.blocks[bi].spec;
+                let wib = self.warps[w].warp_in_block;
+                for lane in 0..32 {
+                    let v = match sr {
+                        Special::TidX => (wib * 32 + lane) as u64,
+                        Special::CtaIdX => spec.ctaid as u64,
+                        Special::NTidX => self.cfg.threads_per_block as u64,
+                        Special::NCtaIdX => self.cfg.grid_dim as u64,
+                        Special::LaneId => lane as u64,
+                        Special::WarpId => wib as u64,
+                        Special::SmId => spec.smid as u64,
+                        Special::ClusterCtaRank => spec.cluster_rank as u64,
+                        Special::ClusterNCtaRank => self.cfg.cluster_size as u64,
+                        Special::Clock => nowc,
+                    };
+                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                }
+                self.finish_reg(w, *dst, nowc + 2);
+                self.advance(w);
+                IssueResult::Issued
+            }
+            Instr::Exit => {
+                self.warps[w].status = WarpStatus::Done;
+                IssueResult::Issued
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn sm_of(&self, w: usize) -> usize {
+        self.blocks[self.warps[w].block].spec.sm
+    }
+
+    fn advance(&mut self, w: usize) {
+        self.warps[w].pc += 1;
+    }
+
+    fn finish_reg(&mut self, w: usize, r: Reg, at: u64) {
+        let ws = &mut self.warps[w];
+        if (r.0 as usize) < ws.reg_ready.len() {
+            ws.reg_ready[r.0 as usize] = at;
+        }
+    }
+
+    fn read_op(&self, w: usize, o: Operand, lane: usize) -> u64 {
+        match o {
+            Operand::Imm(v) => v as u64,
+            Operand::Reg(r) => self.warps[w].regs[r.0 as usize * 32 + lane],
+        }
+    }
+
+    fn lane_op2(&mut self, w: usize, dst: Reg, a: Operand, b: Operand, f: impl Fn(u64, u64) -> u64) {
+        for lane in 0..32 {
+            let x = self.read_op(w, a, lane);
+            let y = self.read_op(w, b, lane);
+            self.warps[w].regs[dst.0 as usize * 32 + lane] = f(x, y);
+        }
+    }
+
+    fn lane_op3(
+        &mut self,
+        w: usize,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+        f: impl Fn(u64, u64, u64) -> u64,
+    ) {
+        for lane in 0..32 {
+            let x = self.read_op(w, a, lane);
+            let y = self.read_op(w, b, lane);
+            let z = self.read_op(w, c, lane);
+            self.warps[w].regs[dst.0 as usize * 32 + lane] = f(x, y, z);
+        }
+    }
+
+    fn fp_op(
+        &mut self,
+        w: usize,
+        prec: FloatPrec,
+        dst: Reg,
+        srcs: &[Operand],
+        f: impl Fn(&[f64]) -> f64,
+    ) -> IssueResult {
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        let (pipe_free, cost, lat) = match prec {
+            FloatPrec::F32 => (
+                self.sms[sm].fp32_pipe.free_at(),
+                32.0 / self.dev.fp32_per_clk as f64,
+                self.dev.alu_latency as u64,
+            ),
+            FloatPrec::F64 => (
+                self.sms[sm].fp64_pipe.free_at(),
+                32.0 / self.dev.fp64_per_clk as f64,
+                self.dev.alu_latency as u64 + (32 / self.dev.fp64_per_clk) as u64,
+            ),
+        };
+        if pipe_free > now + 2.0 {
+            return IssueResult::Stalled(pipe_free as u64 - 2);
+        }
+        match prec {
+            FloatPrec::F32 => self.sms[sm].fp32_pipe.acquire(now, cost),
+            FloatPrec::F64 => self.sms[sm].fp64_pipe.acquire(now, cost),
+        };
+        for lane in 0..32 {
+            let vals: Vec<f64> = srcs
+                .iter()
+                .map(|&o| {
+                    let bits = self.read_op(w, o, lane);
+                    match prec {
+                        FloatPrec::F32 => f32::from_bits(bits as u32) as f64,
+                        FloatPrec::F64 => f64::from_bits(bits),
+                    }
+                })
+                .collect();
+            let r = f(&vals);
+            let bits = match prec {
+                FloatPrec::F32 => (r as f32).to_bits() as u64,
+                FloatPrec::F64 => r.to_bits(),
+            };
+            self.warps[w].regs[dst.0 as usize * 32 + lane] = bits;
+        }
+        self.finish_reg(w, dst, self.cycle + lat);
+        self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    fn lane_addrs(&self, w: usize, addr: AddrExpr) -> Vec<(usize, u64)> {
+        let ws = &self.warps[w];
+        (0..32)
+            .filter(|lane| ws.active & (1 << lane) != 0)
+            .map(|lane| {
+                let base = ws.regs[addr.base.0 as usize * 32 + lane];
+                (lane, base.wrapping_add(addr.offset as u64))
+            })
+            .collect()
+    }
+
+    /// Decode a possibly-`mapa`-tagged shared address into (block index,
+    /// offset).
+    fn resolve_shared(&self, w: usize, addr: u64) -> (usize, u64) {
+        let bi = self.warps[w].block;
+        if addr & DSM_TAG != 0 {
+            let rank = ((addr >> 32) & 0xffff) as u32;
+            let off = addr & 0xffff_ffff;
+            let cid = self.blocks[bi].spec.cluster_id;
+            let target = self
+                .blocks
+                .iter()
+                .position(|b| b.spec.cluster_id == cid && b.spec.cluster_rank == rank)
+                .unwrap_or_else(|| {
+                    panic!("mapa rank {rank} not resident in cluster {cid} (kernel `{}`)", self.kernel.name)
+                });
+            (target, off)
+        } else {
+            (bi, addr)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_load(
+        &mut self,
+        w: usize,
+        space: MemSpace,
+        cop: CacheOp,
+        width: Width,
+        dst: Reg,
+        addr: AddrExpr,
+    ) -> IssueResult {
+        let now = self.cycle as f64;
+        let lanes = self.lane_addrs(w, addr);
+        let bytes = width.bytes();
+        match space {
+            MemSpace::Shared | MemSpace::SharedCluster => {
+                let remote = space == MemSpace::SharedCluster
+                    || lanes.iter().any(|&(_, a)| a & DSM_TAG != 0);
+                let sm = self.sm_of(w);
+                if remote {
+                    let eff_bw = self.dsm_bw_eff();
+                    let cost = (lanes.len() as u64 * bytes) as f64 / eff_bw;
+                    if self.sms[sm].dsm_port.free_at() > now + MEM_QUEUE_DEPTH {
+                        return IssueResult::Stalled(self.sms[sm].dsm_port.free_at() as u64);
+                    }
+                    let start = self.sms[sm].dsm_port.acquire(now, cost);
+                    let done = (start + cost) as u64 + self.dev.dsm_latency as u64;
+                    self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
+                    self.metrics.energy_j +=
+                        lanes.len() as f64 * bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
+                    self.read_shared_lanes(w, &lanes, bytes, dst);
+                    self.finish_load_regs(w, dst, width, done);
+                } else {
+                    let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
+                    let cost = degree.max(lanes.len() as f64 * bytes as f64 / self.dev.smem_bw);
+                    if self.sms[sm].smem_port.free_at() > now + MEM_QUEUE_DEPTH {
+                        return IssueResult::Stalled(self.sms[sm].smem_port.free_at() as u64);
+                    }
+                    let start = self.sms[sm].smem_port.acquire(now, cost);
+                    let done = (start + cost) as u64 + self.dev.smem_latency as u64 - 1;
+                    self.metrics.smem_bytes += lanes.len() as u64 * bytes;
+                    self.metrics.energy_j +=
+                        lanes.len() as f64 * bytes as f64 * power::SMEM_ENERGY_PER_BYTE_J;
+                    self.read_shared_lanes(w, &lanes, bytes, dst);
+                    self.finish_load_regs(w, dst, width, done);
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+            MemSpace::Global => {
+                let sm = self.sm_of(w);
+                if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
+                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                }
+                if let Some(until) = self.mem_backpressure(now) {
+                    return IssueResult::Stalled(until);
+                }
+                // Functional read.
+                for &(lane, a) in &lanes {
+                    let lo = self.global.read_scalar(a, bytes.min(8));
+                    self.warps[w].regs[dst.0 as usize * 32 + lane] = lo;
+                    if width == Width::B16 {
+                        let hi = self.global.read_scalar(a + 8, 8);
+                        self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
+                    }
+                }
+                let done = self.global_access_time(sm, &lanes, bytes, cop, now);
+                self.finish_load_regs(w, dst, width, done);
+                self.advance(w);
+                IssueResult::Issued
+            }
+        }
+    }
+
+    fn read_shared_lanes(&mut self, w: usize, lanes: &[(usize, u64)], bytes: u64, dst: Reg) {
+        for &(lane, a) in lanes {
+            let (bi, off) = self.resolve_shared(w, a);
+            let mut lo = 0u64;
+            for i in 0..bytes.min(8) {
+                let idx = (off + i) as usize;
+                let byte = self.blocks[bi].smem.get(idx).copied().unwrap_or_else(|| {
+                    panic!(
+                        "shared load out of bounds: offset {} ≥ {} in kernel `{}`",
+                        idx,
+                        self.blocks[bi].smem.len(),
+                        self.kernel.name
+                    )
+                });
+                lo |= (byte as u64) << (8 * i);
+            }
+            self.warps[w].regs[dst.0 as usize * 32 + lane] = lo;
+            if bytes == 16 {
+                let mut hi = 0u64;
+                for i in 0..8 {
+                    hi |= (self.blocks[bi].smem[(off + 8 + i) as usize] as u64) << (8 * i);
+                }
+                self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
+            }
+        }
+    }
+
+    fn finish_load_regs(&mut self, w: usize, dst: Reg, width: Width, done: u64) {
+        self.finish_reg(w, dst, done);
+        if width == Width::B16 {
+            self.finish_reg(w, Reg(dst.0 + 1), done);
+        }
+    }
+
+    /// Timing of a coalesced global access through L1 → L2 → DRAM.
+    /// Returns the completion cycle.
+    fn global_access_time(
+        &mut self,
+        sm: usize,
+        lanes: &[(usize, u64)],
+        bytes: u64,
+        cop: CacheOp,
+        now: f64,
+    ) -> u64 {
+        let sectors = coalesce_sectors(lanes.iter().map(|&(_, a)| a), bytes);
+        let total_bytes = (sectors.len() * 32) as u64;
+        self.metrics.l1_bytes += total_bytes;
+
+        // L1 port occupancy regardless of hit/miss.
+        let l1_cost = total_bytes as f64 / self.dev.l1_bw.for_width(bytes);
+        let start = self.sms[sm].l1_port.acquire(now, l1_cost);
+
+        // Classify lines.
+        let mut lines: Vec<u64> = sectors.iter().map(|&s| s / 128).collect();
+        lines.dedup();
+        // Address translation: a TLB miss on any touched 2 MiB page adds a
+        // page walk to the access.
+        let mut tlb_penalty = 0.0;
+        let mut pages: Vec<u64> = sectors.iter().map(|&s| s >> 21).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            if !self.caches.tlb.access(page << 21) {
+                tlb_penalty = self.dev.tlb_miss_latency as f64;
+                self.metrics.tlb_misses += 1;
+            }
+        }
+        let mut worst_done = start + l1_cost + self.dev.l1_latency as f64 - 1.0;
+        let mut miss_bytes = 0u64;
+        for &line in &lines {
+            let l1_hit = cop == CacheOp::Ca && self.caches.l1[sm].access(line * 128);
+            if l1_hit {
+                continue;
+            }
+            miss_bytes += 128;
+            let l2_hit = self.caches.l2.access(line * 128);
+            if !l2_hit {
+                let dram_cost =
+                    128.0 / (self.dev.dram_bw / self.dev.clock_hz * self.cfg.dram_bw_scale);
+                let s2 = self.dram_port.acquire(start, dram_cost);
+                self.metrics.dram_bytes += 128;
+                self.metrics.energy_j += 128.0 * power::DRAM_ENERGY_PER_BYTE_J;
+                worst_done = worst_done.max(s2 + dram_cost + self.dev.dram_latency as f64);
+            } else {
+                worst_done = worst_done.max(start + self.dev.l2_latency as f64);
+            }
+        }
+        if miss_bytes > 0 {
+            let l2_cost =
+                miss_bytes as f64 / (self.dev.l2_bw.for_width(bytes) * self.cfg.l2_bw_scale);
+            let s = self.l2_port.acquire(start, l2_cost);
+            self.metrics.l2_bytes += miss_bytes;
+            self.metrics.energy_j += miss_bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
+            worst_done = worst_done.max(s + l2_cost + self.dev.l2_latency as f64 - 1.0);
+        }
+        // The page walk precedes the data access, delaying whatever level
+        // ultimately serves it.
+        (worst_done + tlb_penalty).ceil() as u64
+    }
+
+    fn do_store(
+        &mut self,
+        w: usize,
+        space: MemSpace,
+        width: Width,
+        src: Reg,
+        addr: AddrExpr,
+    ) -> IssueResult {
+        let now = self.cycle as f64;
+        let lanes = self.lane_addrs(w, addr);
+        let bytes = width.bytes();
+        match space {
+            MemSpace::Shared | MemSpace::SharedCluster => {
+                let sm = self.sm_of(w);
+                let remote = space == MemSpace::SharedCluster
+                    || lanes.iter().any(|&(_, a)| a & DSM_TAG != 0);
+                if remote {
+                    let eff_bw = self.dsm_bw_eff();
+                    let cost = (lanes.len() as u64 * bytes) as f64 / eff_bw;
+                    if self.sms[sm].dsm_port.free_at() > now + MEM_QUEUE_DEPTH {
+                        return IssueResult::Stalled(self.sms[sm].dsm_port.free_at() as u64);
+                    }
+                    self.sms[sm].dsm_port.acquire(now, cost);
+                    self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
+                } else {
+                    let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
+                    let cost = degree.max(lanes.len() as f64 * bytes as f64 / self.dev.smem_bw);
+                    if self.sms[sm].smem_port.free_at() > now + MEM_QUEUE_DEPTH {
+                        return IssueResult::Stalled(self.sms[sm].smem_port.free_at() as u64);
+                    }
+                    self.sms[sm].smem_port.acquire(now, cost);
+                    self.metrics.smem_bytes += lanes.len() as u64 * bytes;
+                }
+                for &(lane, a) in &lanes {
+                    let (bi, off) = self.resolve_shared(w, a);
+                    let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
+                    for i in 0..bytes.min(8) {
+                        self.blocks[bi].smem[(off + i) as usize] = (lo >> (8 * i)) as u8;
+                    }
+                    if bytes == 16 {
+                        let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
+                        for i in 0..8 {
+                            self.blocks[bi].smem[(off + 8 + i) as usize] = (hi >> (8 * i)) as u8;
+                        }
+                    }
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+            MemSpace::Global => {
+                let sm = self.sm_of(w);
+                if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
+                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                }
+                if let Some(until) = self.mem_backpressure(now) {
+                    return IssueResult::Stalled(until);
+                }
+                for &(lane, a) in &lanes {
+                    let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
+                    self.global.write_scalar(a, bytes.min(8), lo);
+                    if width == Width::B16 {
+                        let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
+                        self.global.write_scalar(a + 8, 8, hi);
+                    }
+                }
+                // Stores are fire-and-forget; they still consume bandwidth.
+                self.global_access_time(sm, &lanes, bytes, CacheOp::Cg, now);
+                self.advance(w);
+                IssueResult::Issued
+            }
+        }
+    }
+
+    fn do_atom(
+        &mut self,
+        w: usize,
+        space: MemSpace,
+        dst: Option<Reg>,
+        addr: AddrExpr,
+        src: Operand,
+    ) -> IssueResult {
+        let now = self.cycle as f64;
+        let lanes = self.lane_addrs(w, addr);
+        let sm = self.sm_of(w);
+        match space {
+            MemSpace::Shared | MemSpace::SharedCluster => {
+                let remote = space == MemSpace::SharedCluster
+                    || lanes.iter().any(|&(_, a)| a & DSM_TAG != 0);
+                // Same-address collisions serialise.
+                let mut counts: HashMap<u64, u32> = HashMap::new();
+                for &(_, a) in &lanes {
+                    *counts.entry(a).or_insert(0) += 1;
+                }
+                let serial = counts.values().copied().max().unwrap_or(1) as f64;
+                let degree =
+                    self.conflict_degree(lanes.iter().map(|&(_, a)| a & !DSM_TAG & 0xffff_ffff), 4);
+                let (lat, port_cost) = if remote {
+                    let eff_bw = self.dsm_bw_eff();
+                    ((self.dev.dsm_latency as f64), (lanes.len() as f64 * 4.0 / eff_bw).max(serial))
+                } else {
+                    ((self.dev.smem_latency as f64), degree.max(serial))
+                };
+                let port = if remote { &mut self.sms[sm].dsm_port } else { &mut self.sms[sm].smem_port };
+                if port.free_at() > now + MEM_QUEUE_DEPTH {
+                    return IssueResult::Stalled(port.free_at() as u64);
+                }
+                let start = port.acquire(now, port_cost);
+                if remote {
+                    self.metrics.dsm_bytes += lanes.len() as u64 * 4;
+                } else {
+                    self.metrics.smem_bytes += lanes.len() as u64 * 4;
+                }
+                // Functional: sequential lane order.
+                for &(lane, a) in &lanes {
+                    let (bi, off) = self.resolve_shared(w, a);
+                    let old = u32::from_le_bytes(
+                        self.blocks[bi].smem[off as usize..off as usize + 4].try_into().unwrap(),
+                    );
+                    let add = self.read_op(w, src, lane) as u32;
+                    let newv = old.wrapping_add(add);
+                    self.blocks[bi].smem[off as usize..off as usize + 4]
+                        .copy_from_slice(&newv.to_le_bytes());
+                    if let Some(d) = dst {
+                        self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                    }
+                }
+                if let Some(d) = dst {
+                    self.finish_reg(w, d, (start + port_cost + lat) as u64);
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+            MemSpace::Global => {
+                // Atomics resolve at L2.
+                if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
+                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                }
+                let cost = (lanes.len() * 4) as f64 / (self.dev.l2_bw.b4 * self.cfg.l2_bw_scale);
+                let start = self.l2_port.acquire(now, cost);
+                self.metrics.l2_bytes += lanes.len() as u64 * 4;
+                for &(lane, a) in &lanes {
+                    let old = self.global.read_scalar(a, 4) as u32;
+                    let add = self.read_op(w, src, lane) as u32;
+                    self.global.write_scalar(a, 4, old.wrapping_add(add) as u64);
+                    if let Some(d) = dst {
+                        self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                    }
+                }
+                if let Some(d) = dst {
+                    self.finish_reg(w, d, (start + cost + self.dev.l2_latency as f64) as u64);
+                }
+                self.advance(w);
+                IssueResult::Issued
+            }
+        }
+    }
+
+    /// Finite-MSHR backpressure: stall issue while the shared L2/DRAM
+    /// queues are too far ahead of "now".
+    fn mem_backpressure(&self, now: f64) -> Option<u64> {
+        // The L2 window must exceed the L2 hit latency or in-flight
+        // requests can never cover it (MLP starvation).
+        let l2_window = 2.0 * self.dev.l2_latency as f64;
+        let l2_lag = self.l2_port.backlog(now);
+        if l2_lag > l2_window {
+            return Some((now + l2_lag - l2_window) as u64);
+        }
+        let dram_lag = self.dram_port.backlog(now);
+        if dram_lag > DRAM_QUEUE_DEPTH {
+            return Some((now + dram_lag - DRAM_QUEUE_DEPTH) as u64);
+        }
+        None
+    }
+
+    /// Bank-conflict degree, honouring the ablation toggle.
+    fn conflict_degree(&self, addrs: impl Iterator<Item = u64>, width: u64) -> f64 {
+        if self.cfg.opts.model_bank_conflicts {
+            bank_conflict_degree(addrs, width) as f64
+        } else {
+            1.0
+        }
+    }
+
+    fn dsm_bw_eff(&self) -> f64 {
+        let cs = self.cfg.cluster_size.max(2) as f64;
+        self.dev.dsm_bw_per_sm / (1.0 + self.dev.dsm_contention_per_cs * (cs - 2.0))
+    }
+
+    fn do_cp_async(&mut self, w: usize, width: Width, smem: AddrExpr, gmem: AddrExpr) -> IssueResult {
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
+            return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+        }
+        if let Some(until) = self.mem_backpressure(now) {
+            return IssueResult::Stalled(until);
+        }
+        let bytes = width.bytes();
+        let g = self.lane_addrs(w, gmem);
+        let s = self.lane_addrs(w, smem);
+        // Functional copy now.
+        for (&(_, ga), &(lane, sa)) in g.iter().zip(s.iter()) {
+            let _ = lane;
+            let (bi, off) = self.resolve_shared(w, sa);
+            for i in 0..bytes {
+                let b = self.global.read_u8(ga + i);
+                self.blocks[bi].smem[(off + i) as usize] = b;
+            }
+        }
+        // Timing: global fetch (L2 path, bypasses RF) + shared write.
+        // The shared-memory port cost is charged at issue (reserving it at
+        // the far-future completion time would falsely serialise every
+        // later shared access behind this copy).
+        let done = self.global_access_time(sm, &g, bytes, CacheOp::Cg, now);
+        let smem_cost = (g.len() as u64 * bytes) as f64 / self.dev.smem_bw;
+        self.sms[sm].smem_port.acquire(now, smem_cost);
+        self.metrics.smem_bytes += g.len() as u64 * bytes;
+        // The asynchronous path (L2 → shared, bypassing the register file)
+        // completes through a deeper pipe than an ordinary load; the extra
+        // depth is calibrated against Table XIII's 16×16 AsyncPipe rows.
+        let done = done as f64 + CP_ASYNC_EXTRA_LATENCY;
+        let ws = &mut self.warps[w];
+        ws.cp_pending = ws.cp_pending.max(done + smem_cost);
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    /// TMA bulk 2-D tensor copy: a single warp instruction streams a
+    /// `rows × row_bytes` box at L2 bandwidth — no per-thread issue cost,
+    /// which is the Tensor Memory Accelerator's whole point.
+    #[allow(clippy::too_many_arguments)]
+    fn do_tma(
+        &mut self,
+        w: usize,
+        rows: u16,
+        row_bytes: u16,
+        gstride: u32,
+        smem: AddrExpr,
+        gmem: AddrExpr,
+    ) -> IssueResult {
+        assert!(
+            self.dev.arch.has_tma(),
+            "TMA bulk copies require Hopper; {} is {}",
+            self.dev.name,
+            self.dev.arch
+        );
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        if let Some(until) = self.mem_backpressure(now) {
+            return IssueResult::Stalled(until);
+        }
+        let bytes = rows as u64 * row_bytes as u64;
+        // Addresses come from lane 0 (the TMA descriptor is uniform).
+        let gbase = self.warps[w].regs[gmem.base.0 as usize * 32].wrapping_add(gmem.offset as u64);
+        let sbase = self.warps[w].regs[smem.base.0 as usize * 32].wrapping_add(smem.offset as u64);
+        let (bi, soff) = self.resolve_shared(w, sbase);
+        for r in 0..rows as u64 {
+            for i in 0..row_bytes as u64 {
+                let b = self.global.read_u8(gbase + r * gstride as u64 + i);
+                self.blocks[bi].smem[(soff + r * row_bytes as u64 + i) as usize] = b;
+            }
+        }
+        // Timing: one bulk request through L2 (rows touch whole lines) plus
+        // the shared-memory write stream.
+        let lanes: Vec<(usize, u64)> = (0..rows as u64)
+            .flat_map(|r| {
+                (0..row_bytes as u64)
+                    .step_by(128)
+                    .map(move |i| (0usize, gbase + r * gstride as u64 + i))
+            })
+            .collect();
+        let done = self.global_access_time(sm, &lanes, 16, CacheOp::Cg, now);
+        let smem_cost = bytes as f64 / self.dev.smem_bw;
+        self.sms[sm].smem_port.acquire(now, smem_cost);
+        self.metrics.smem_bytes += bytes;
+        let done = done as f64 + CP_ASYNC_EXTRA_LATENCY + smem_cost;
+        let ws = &mut self.warps[w];
+        ws.cp_pending = ws.cp_pending.max(done);
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    /// Tile ownership key: per *warp*.  `mma` runs per warp; for `wgmma`
+    /// only the group leader (warp 4k) touches tiles, so its per-warp key
+    /// doubles as the group's tile namespace.
+    fn tile_owner(&self, w: usize) -> u32 {
+        self.warps[w].warp_in_block as u32
+    }
+
+    /// `wgmma` commit-group namespace: per warp group (so every member
+    /// warp's `wgmma.wait_group` observes the leader's pipeline).
+    fn wg_key(&self, w: usize) -> u32 {
+        0x1000 + self.warps[w].warp_in_block as u32 / 4
+    }
+
+    fn get_tile(&self, bi: usize, key: u32, id: TileId, what: &str) -> Tile {
+        self.blocks[bi].tiles.get(&(key, id.0)).cloned().unwrap_or_else(|| {
+            panic!(
+                "kernel `{}`: {what} tile t{} not initialised (FillTile/LdTile first)",
+                self.kernel.name, id.0
+            )
+        })
+    }
+
+    fn do_mma(
+        &mut self,
+        w: usize,
+        desc: &hopper_isa::MmaDesc,
+        d: TileId,
+        a: TileId,
+        b: TileId,
+        c: TileId,
+    ) -> IssueResult {
+        assert!(
+            desc.supported_on(self.dev.arch),
+            "{desc} is not executable on {} ({})",
+            self.dev.name,
+            self.dev.arch
+        );
+        let now = self.cycle as f64;
+        let nowc = self.cycle;
+        let sm = self.sm_of(w);
+        let key = self.tile_owner(w);
+        let bi = self.warps[w].block;
+
+        // Accumulator/operand dependency: a dependent chain of mma ops
+        // serialises at the completion latency (this is exactly what the
+        // paper's single-warp latency benchmark measures).
+        let dep = [d, a, b, c]
+            .iter()
+            .filter_map(|t| self.blocks[bi].tile_ready.get(&(key, t.0)).copied())
+            .max()
+            .unwrap_or(0);
+        if dep > nowc {
+            return IssueResult::Stalled(dep);
+        }
+
+        // Hopper INT4 falls back to IMAD on the integer pipe (Table VI).
+        let lowered = hopper_isa::lower::sass_for(self.dev.arch, desc)
+            .expect("descriptor validated above");
+        if lowered.unit == hopper_isa::lower::ExecUnit::CudaCore {
+            let cost = lowered.expansion as f64 * 32.0 / self.dev.int_per_clk as f64;
+            if self.sms[sm].int_pipe.free_at() > now + 4.0 {
+                return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64 - 4);
+            }
+            self.sms[sm].int_pipe.acquire(now, cost);
+            self.metrics.instructions += lowered.expansion as u64 - 1;
+            self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
+            self.metrics.tc_ops += desc.flops();
+            self.advance(w);
+            return IssueResult::Issued;
+        }
+
+        let quadrant = self.warps[w].scheduler;
+        let mut ii = tc_timing::mma_interval(self.dev, desc);
+        if !self.cfg.opts.mma_issue_gap {
+            ii -= self.dev.mma_issue_gap;
+        }
+        // Fractional intervals: issue as soon as the quadrant frees within
+        // this cycle (acquire() still serialises at the exact II).
+        if self.sms[sm].tc_quadrant[quadrant].free_at() >= now + 1.0 {
+            return IssueResult::Stalled(self.sms[sm].tc_quadrant[quadrant].free_at() as u64);
+        }
+        let start = self.sms[sm].tc_quadrant[quadrant].acquire(now, ii);
+        let lat = tc_timing::mma_latency(self.dev, desc);
+        let act = self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
+        self.metrics.tc_ops += desc.flops();
+        self.metrics.energy_j += desc.flops() as f64
+            * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Mma)
+            * act;
+        self.blocks[bi].tile_ready.insert((key, d.0), (start + lat).ceil() as u64);
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    fn do_wgmma(
+        &mut self,
+        w: usize,
+        desc: &hopper_isa::MmaDesc,
+        d: TileId,
+        a: TileId,
+        b: TileId,
+    ) -> IssueResult {
+        assert!(
+            desc.supported_on(self.dev.arch),
+            "{desc} requires Hopper; {} is {}",
+            self.dev.name,
+            self.dev.arch
+        );
+        let leader = self.warps[w].warp_in_block.is_multiple_of(4);
+        if !leader {
+            self.advance(w);
+            return IssueResult::Issued;
+        }
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        let ii = tc_timing::wgmma_interval_opts(self.dev, desc, self.cfg.opts.sparse_ss_penalty);
+        if self.sms[sm].tc_whole.free_at() >= now + 1.0 {
+            return IssueResult::Stalled(self.sms[sm].tc_whole.free_at() as u64);
+        }
+        let start = self.sms[sm].tc_whole.acquire(now, ii);
+        let lat = tc_timing::wgmma_latency(self.dev, desc);
+        // Results become accessible at the completion latency even though
+        // the pipeline stays occupied for the full initiation interval
+        // (accumulator forwarding) — this is what the paper's "completion
+        // latency" measures (N/2 = 128 at N=256 while the sustained
+        // interval is ~142).
+        let done = start + lat;
+        let key = self.tile_owner(w);
+        let bi = self.warps[w].block;
+        let act = self.exec_mma_functional(bi, key, desc, d, a, b, None);
+        self.metrics.tc_ops += desc.flops();
+        self.metrics.energy_j += desc.flops() as f64
+            * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Wgmma)
+            * act;
+        if desc.a_src == hopper_isa::OperandSource::SharedShared {
+            self.metrics.smem_bytes += if desc.sparse {
+                desc.a_smem_bytes_ss()
+            } else {
+                desc.a_bytes()
+            } + desc.b_bytes();
+        } else {
+            self.metrics.smem_bytes += desc.b_bytes();
+        }
+        let gk = self.wg_key(w);
+        let e = self.blocks[bi].wgmma.entry(gk).or_insert((0.0, Vec::new()));
+        e.0 = e.0.max(done);
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    /// Run the functional datapath; returns the operand activity factor
+    /// for the power model.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_mma_functional(
+        &mut self,
+        bi: usize,
+        key: u32,
+        desc: &hopper_isa::MmaDesc,
+        d: TileId,
+        a: TileId,
+        b: TileId,
+        c: Option<TileId>,
+    ) -> f64 {
+        let ta = self.get_tile(bi, key, a, "A");
+        let tb = self.get_tile(bi, key, b, "B");
+        // 2:4-sparse A stores half its elements as structural zeros; the
+        // *compressed* data the hardware toggles is the non-zero half.
+        let act_a = if desc.sparse { (ta.activity() * 2.0).min(1.0) } else { ta.activity() };
+        let tc = match c {
+            Some(ct) => self.get_tile(bi, key, ct, "C"),
+            None => self
+                .blocks[bi]
+                .tiles
+                .get(&(key, d.0))
+                .cloned()
+                .unwrap_or_else(|| Tile::zeros(desc.cd, desc.m as usize, desc.n as usize)),
+        };
+        let act = (act_a + tb.activity()) / 2.0;
+        let out = execute_mma(desc, &ta, &tb, &tc).unwrap_or_else(|e| {
+            panic!("kernel `{}`: functional {desc} failed: {e}", self.kernel.name)
+        });
+        self.blocks[bi].tiles.insert((key, d.0), out);
+        power::ACT_FLOOR + (1.0 - power::ACT_FLOOR) * act.min(1.0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_ld_tile(
+        &mut self,
+        w: usize,
+        tile: TileId,
+        dtype: DType,
+        rows: usize,
+        cols: usize,
+        space: MemSpace,
+        addr: AddrExpr,
+    ) -> IssueResult {
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        let base = self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64);
+        let ebits = dtype.bits().max(8) as u64; // B1/S4 padded to bytes in memory
+        let total = (rows * cols) as u64 * ebits / 8;
+        let mut data = Vec::with_capacity(rows * cols);
+        match space {
+            MemSpace::Shared | MemSpace::SharedCluster => {
+                let (bi, off) = self.resolve_shared(w, base);
+                for i in 0..(rows * cols) as u64 {
+                    let raw = read_elem_from(&self.blocks[bi].smem, off + i * ebits / 8, ebits);
+                    data.push(decode_elem(dtype, raw));
+                }
+                let cost = total as f64 / self.dev.smem_bw;
+                self.sms[sm].smem_port.acquire(now, cost);
+                self.metrics.smem_bytes += total;
+                self.warps[w].next_ready = (now + cost) as u64 + 1;
+            }
+            MemSpace::Global => {
+                for i in 0..(rows * cols) as u64 {
+                    let raw = self.global.read_scalar(base + i * ebits / 8, ebits / 8);
+                    data.push(decode_elem(dtype, raw));
+                }
+                let lanes: Vec<(usize, u64)> =
+                    (0..total.div_ceil(128)).map(|i| (0usize, base + i * 128)).collect();
+                let done = self.global_access_time(sm, &lanes, 16, CacheOp::Ca, now);
+                self.warps[w].next_ready = done;
+            }
+        }
+        let key = self.tile_owner(w);
+        let bi = self.warps[w].block;
+        self.blocks[bi].tiles.insert((key, tile.0), Tile { dtype, rows, cols, data });
+        self.advance(w);
+        IssueResult::Issued
+    }
+
+    fn do_st_tile(&mut self, w: usize, tile: TileId, space: MemSpace, addr: AddrExpr) -> IssueResult {
+        let now = self.cycle as f64;
+        let sm = self.sm_of(w);
+        let key = self.tile_owner(w);
+        let bi = self.warps[w].block;
+        let t = self.get_tile(bi, key, tile, "store");
+        let base = self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64);
+        let ebits = t.dtype.bits().max(8) as u64;
+        let total = (t.rows * t.cols) as u64 * ebits / 8;
+        match space {
+            MemSpace::Shared | MemSpace::SharedCluster => {
+                let (tbi, off) = self.resolve_shared(w, base);
+                for (i, &v) in t.data.iter().enumerate() {
+                    let raw = encode_elem(t.dtype, v);
+                    write_elem_to(&mut self.blocks[tbi].smem, off + i as u64 * ebits / 8, ebits, raw);
+                }
+                let cost = total as f64 / self.dev.smem_bw;
+                self.sms[sm].smem_port.acquire(now, cost);
+                self.metrics.smem_bytes += total;
+            }
+            MemSpace::Global => {
+                for (i, &v) in t.data.iter().enumerate() {
+                    let raw = encode_elem(t.dtype, v);
+                    self.global.write_scalar(base + i as u64 * ebits / 8, ebits / 8, raw);
+                }
+                let lanes: Vec<(usize, u64)> =
+                    (0..total.div_ceil(128)).map(|i| (0usize, base + i * 128)).collect();
+                self.global_access_time(sm, &lanes, 16, CacheOp::Cg, now);
+            }
+        }
+        self.advance(w);
+        IssueResult::Issued
+    }
+}
+
+fn read_elem_from(buf: &[u8], off: u64, ebits: u64) -> u64 {
+    let bytes = ebits / 8;
+    let mut v = 0u64;
+    for i in 0..bytes {
+        v |= (buf[(off + i) as usize] as u64) << (8 * i);
+    }
+    v
+}
+
+fn write_elem_to(buf: &mut [u8], off: u64, ebits: u64, v: u64) {
+    for i in 0..ebits / 8 {
+        buf[(off + i) as usize] = (v >> (8 * i)) as u8;
+    }
+}
+
+/// Decode a raw little-endian element into its numeric value.
+pub fn decode_elem(dtype: DType, raw: u64) -> f64 {
+    use hopper_numerics::{Bf16, Fp8E4M3, Fp8E5M2, SoftFloat, Tf32, F16};
+    match dtype {
+        DType::F16 => F16::from_bits(raw).to_f64(),
+        DType::BF16 => Bf16::from_bits(raw).to_f64(),
+        DType::TF32 => Tf32::from_bits(raw & 0x7ffff).to_f64(),
+        DType::F32 => f32::from_bits(raw as u32) as f64,
+        DType::F64 => f64::from_bits(raw),
+        DType::E4M3 => Fp8E4M3::from_bits(raw).to_f64(),
+        DType::E5M2 => Fp8E5M2::from_bits(raw).to_f64(),
+        DType::S8 => raw as u8 as i8 as f64,
+        DType::S4 => hopper_numerics::Int4::from_nibble(raw as u8).get() as f64,
+        DType::B1 => {
+            if raw & 1 != 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        DType::S32 => raw as u32 as i32 as f64,
+    }
+}
+
+/// Encode a numeric value into its raw little-endian element bits.
+pub fn encode_elem(dtype: DType, v: f64) -> u64 {
+    use hopper_numerics::{Bf16, Fp8E4M3, Fp8E5M2, SoftFloat, Tf32, F16};
+    match dtype {
+        DType::F16 => F16::from_f64(v).to_bits(),
+        DType::BF16 => Bf16::from_f64(v).to_bits(),
+        DType::TF32 => Tf32::from_f64(v).to_bits(),
+        DType::F32 => (v as f32).to_bits() as u64,
+        DType::F64 => v.to_bits(),
+        DType::E4M3 => Fp8E4M3::from_f64(v).to_bits(),
+        DType::E5M2 => Fp8E5M2::from_f64(v).to_bits(),
+        DType::S8 => (v as i64 as i8) as u8 as u64,
+        DType::S4 => hopper_numerics::Int4::new_clamped(v as i32).to_nibble() as u64,
+        DType::B1 => (v != 0.0) as u64,
+        DType::S32 => (v as i64 as i32) as u32 as u64,
+    }
+}
+
+/// Result of an issue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueResult {
+    Issued,
+    /// Could not issue; earliest cycle worth retrying at.
+    Stalled(u64),
+}

@@ -1,0 +1,293 @@
+//! Functional memory state and timing primitives.
+//!
+//! Functional state (what the bytes are) and timing state (when an access
+//! completes) are deliberately separate: caches here are *tag arrays only*
+//! — data is always read from the backing store, which is sound because the
+//! simulated GPU has a single coherent view per launch.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressed global memory.
+///
+/// Allocations are virtual; pages materialise on first touch (so a
+/// "40 GB" device costs host memory only for what kernels actually use).
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    next: u64,
+    allocated: u64,
+}
+
+impl GlobalMem {
+    /// Base of the allocation arena (non-zero so that null-ish addresses
+    /// trap in tests).
+    pub const BASE: u64 = 0x1000_0000;
+
+    /// New empty memory.
+    pub fn new() -> Self {
+        GlobalMem { pages: HashMap::new(), next: Self::BASE, allocated: 0 }
+    }
+
+    /// Allocate `bytes` (256-byte aligned, like `cudaMalloc`).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.next;
+        self.next = (self.next + bytes + 255) & !255;
+        self.allocated += bytes;
+        addr
+    }
+
+    /// Total bytes allocated so far (for OOM modelling).
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Read `n ≤ 8` bytes little-endian.
+    pub fn read_scalar(&self, addr: u64, n: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write `n ≤ 8` bytes little-endian.
+    pub fn write_scalar(&mut self, addr: u64, n: u64, v: u64) {
+        for i in 0..n {
+            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Bulk write.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Bulk read.
+    pub fn read_bytes(&self, addr: u64, n: usize) -> Vec<u8> {
+        (0..n as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+}
+
+/// A throughput limiter: a pipe that serves work at a fixed rate.
+///
+/// `acquire(now, cost)` returns the service *start* time — `max(now, free)`
+/// — and pushes the pipe's free time forward by `cost`.  Composing
+/// limiters along the access path yields both latency (queueing delay) and
+/// sustained-bandwidth saturation.
+#[derive(Debug, Clone, Default)]
+pub struct Limiter {
+    free: f64,
+}
+
+impl Limiter {
+    /// New idle limiter.
+    pub fn new() -> Self {
+        Limiter { free: 0.0 }
+    }
+
+    /// Reserve `cost` cycles of service starting no earlier than `now`.
+    pub fn acquire(&mut self, now: f64, cost: f64) -> f64 {
+        let start = now.max(self.free);
+        self.free = start + cost;
+        start
+    }
+
+    /// When the pipe next becomes free.
+    pub fn free_at(&self) -> f64 {
+        self.free
+    }
+
+    /// Backlog relative to `now` (how far ahead the queue extends).
+    pub fn backlog(&self, now: f64) -> f64 {
+        (self.free - now).max(0.0)
+    }
+}
+
+/// Set-associative tag array with LRU replacement (timing only).
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    /// Line size, bytes.
+    pub line: u64,
+    sets: usize,
+    ways: usize,
+    /// `tags[set]` ordered most-recently-used first.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TagArray {
+    /// Build from capacity / line / associativity.
+    pub fn new(capacity: u64, line: u64, ways: usize) -> Self {
+        let lines = (capacity / line).max(1) as usize;
+        let sets = (lines / ways).max(1);
+        TagArray { line, sets, ways, tags: vec![Vec::new(); sets], hits: 0, misses: 0 }
+    }
+
+    /// Probe-and-fill: returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let lineaddr = addr / self.line;
+        let set = (lineaddr as usize) % self.sets;
+        let ways = self.ways;
+        let entry = &mut self.tags[set];
+        if let Some(pos) = entry.iter().position(|&t| t == lineaddr) {
+            let t = entry.remove(pos);
+            entry.insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            entry.insert(0, lineaddr);
+            entry.truncate(ways);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probe without filling or stat updates.
+    pub fn contains(&self, addr: u64) -> bool {
+        let lineaddr = addr / self.line;
+        let set = (lineaddr as usize) % self.sets;
+        self.tags[set].contains(&lineaddr)
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Coalesce a warp's per-lane addresses into distinct 32-byte sectors,
+/// returning the sector base addresses (deduplicated, order-preserving).
+pub fn coalesce_sectors(addrs: impl Iterator<Item = u64>, width: u64) -> Vec<u64> {
+    let mut sectors: Vec<u64> = Vec::with_capacity(32);
+    for a in addrs {
+        // An access may straddle sector boundaries (16B at offset 24).
+        let first = a / 32;
+        let last = (a + width - 1) / 32;
+        for s in first..=last {
+            if !sectors.contains(&(s * 32)) {
+                sectors.push(s * 32);
+            }
+        }
+    }
+    sectors
+}
+
+/// Shared-memory bank-conflict degree: the maximum number of *distinct*
+/// 4-byte words in the same bank across the active lanes (32 banks × 4 B).
+pub fn bank_conflict_degree(addrs: impl Iterator<Item = u64>, width: u64) -> u32 {
+    let mut per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+    for a in addrs {
+        // Wide accesses occupy multiple words.
+        let words = (width / 4).max(1);
+        for w in 0..words {
+            let word = a / 4 + w;
+            let bank = word % 32;
+            let v = per_bank.entry(bank).or_default();
+            if !v.contains(&word) {
+                v.push(word);
+            }
+        }
+    }
+    per_bank.values().map(|v| v.len() as u32).max().unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_roundtrip() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc(1024);
+        assert_eq!(a % 256, 0);
+        g.write_scalar(a + 100, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(g.read_scalar(a + 100, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(g.read_scalar(a + 100, 4), 0xcafe_f00d);
+        // Cross-page write.
+        let b = g.alloc(8192);
+        g.write_scalar(b + 4094, 8, u64::MAX);
+        assert_eq!(g.read_scalar(b + 4094, 8), u64::MAX);
+        // Untouched memory reads zero.
+        assert_eq!(g.read_scalar(a + 900, 8), 0);
+    }
+
+    #[test]
+    fn alloc_is_disjoint() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc(100);
+        let b = g.alloc(100);
+        assert!(b >= a + 100);
+        assert_eq!(g.allocated(), 200);
+    }
+
+    #[test]
+    fn limiter_serialises() {
+        let mut l = Limiter::new();
+        assert_eq!(l.acquire(10.0, 5.0), 10.0);
+        assert_eq!(l.acquire(10.0, 5.0), 15.0); // queued behind first
+        assert_eq!(l.acquire(100.0, 1.0), 100.0); // idle gap
+        assert_eq!(l.backlog(100.5), 0.5);
+    }
+
+    #[test]
+    fn tag_array_lru() {
+        let mut t = TagArray::new(4 * 128, 128, 4); // 1 set, 4 ways
+        assert!(!t.access(0));
+        assert!(!t.access(128));
+        assert!(!t.access(256));
+        assert!(!t.access(384));
+        assert!(t.access(0)); // still resident
+        assert!(!t.access(512)); // evicts LRU (128)
+        assert!(!t.access(128));
+        assert_eq!(t.stats().0, 1);
+    }
+
+    #[test]
+    fn coalescing() {
+        // 32 lanes × 4B contiguous = 4 sectors of 32B.
+        let addrs = (0..32u64).map(|l| l * 4);
+        assert_eq!(coalesce_sectors(addrs, 4).len(), 4);
+        // Stride-32B: every lane its own sector.
+        let addrs = (0..32u64).map(|l| l * 32);
+        assert_eq!(coalesce_sectors(addrs, 4).len(), 32);
+        // float4 contiguous: 32 × 16B = 16 sectors.
+        let addrs = (0..32u64).map(|l| l * 16);
+        assert_eq!(coalesce_sectors(addrs, 16).len(), 16);
+        // Straddling access counts both sectors.
+        assert_eq!(coalesce_sectors([24u64].into_iter(), 16).len(), 2);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        // Contiguous 4B: conflict-free.
+        assert_eq!(bank_conflict_degree((0..32u64).map(|l| l * 4), 4), 1);
+        // Stride 128B (= 32 words): all lanes hit bank 0 with distinct words.
+        assert_eq!(bank_conflict_degree((0..32u64).map(|l| l * 128), 4), 32);
+        // Same word in same bank: broadcast, no conflict.
+        assert_eq!(bank_conflict_degree((0..32u64).map(|_| 0), 4), 1);
+        // Stride 8B: 2-way conflict.
+        assert_eq!(bank_conflict_degree((0..32u64).map(|l| l * 8), 4), 2);
+    }
+}

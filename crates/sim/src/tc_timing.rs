@@ -1,0 +1,300 @@
+//! Tensor-core timing formulas: completion latency and initiation interval
+//! for `mma` and `wgmma`, as calibrated against the paper's Tables VII–X.
+//!
+//! The mechanisms (not just the numbers) follow the paper's own analysis:
+//!
+//! * `mma` latency grows linearly with the FP16-equivalent K depth
+//!   (`LAT = base + k_compressed · bits/16`), which reproduces every
+//!   latency cell of Table VII within ±2 cycles across all three GPUs;
+//! * `wgmma` completion latency is `N/2` cycles once the pipeline is
+//!   compute-bound; in "SS" mode the operand fetch from shared memory
+//!   (`(A_bytes + B_bytes) / 128 B·clk⁻¹`) shows through whenever it
+//!   exceeds `N/2` — exactly the paper's small-N observation (Table X);
+//! * sparse "SS" `wgmma` re-reads the *uncompressed* `m×k` A tile and
+//!   prunes in-flight (the paper's explanation), which adds an
+//!   unoverlapped `A_ss / 128` cycles to both latency and the sustained
+//!   initiation interval — reproducing the 144-vs-128-cycle latency split
+//!   and the SS throughput deficit of Table IX.
+
+use crate::device::DeviceConfig;
+use hopper_isa::mma::OperandSource;
+use hopper_isa::{Arch, DType, MmaDesc, MmaKind};
+
+/// Minimum issue interval of back-to-back `wgmma` instructions (cycles):
+/// the warp-group front end cannot start them faster than this regardless
+/// of N (Table X's small-N "RS" rows plateau near it).
+const WGMMA_MIN_ISSUE: f64 = 12.0;
+
+/// Sparse-speedup actually achievable through the *`mma`* interface.
+///
+/// Table VII: the 4090 doubles throughput for every sparse shape; the A100
+/// only for the larger shapes; the H800 averages just 1.42× ("sparse mma
+/// instructions may not fully harness the sparse tensor cores").
+pub fn mma_sparse_speedup(arch: Arch, k_compressed: u32, ab: DType) -> f64 {
+    let big_shape = k_compressed as f64 * ab.bits() as f64 / 16.0 >= 16.0;
+    match arch {
+        Arch::Ada => 2.0,
+        Arch::Ampere => {
+            if big_shape {
+                2.0
+            } else {
+                1.31
+            }
+        }
+        Arch::Hopper => {
+            if big_shape {
+                1.28
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// `mma` completion latency in cycles.
+pub fn mma_latency(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
+    debug_assert_eq!(d.kind, MmaKind::Mma);
+    let base = match dev.arch {
+        Arch::Ampere => 9.0,
+        Arch::Ada => 9.0,
+        Arch::Hopper => 8.0,
+    };
+    // FP16-equivalent K of the *compressed* operand (sparse latency equals
+    // dense latency in the paper).
+    let mut k_eq = d.compressed_k() as f64 * d.ab.bits() as f64 / 16.0;
+    if half_rate_on_ada(dev.arch, d) {
+        k_eq *= 1.5; // the nerfed FP32-accumulate path drains slower
+    }
+    base + k_eq
+}
+
+/// `mma` initiation interval on one tensor-core quadrant, cycles.
+pub fn mma_interval(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
+    debug_assert_eq!(d.kind, MmaKind::Mma);
+    let Some(rate) = dev.tc_rate(d.ab) else {
+        // Hopper INT4: lowered to IMAD on CUDA cores — the caller routes it
+        // to the integer pipe instead.
+        return 0.0;
+    };
+    let mut per_quadrant = rate.dense / 4.0;
+    if d.sparse {
+        per_quadrant *= mma_sparse_speedup(dev.arch, d.compressed_k(), d.ab);
+    }
+    if half_rate_on_ada(dev.arch, d) {
+        per_quadrant /= 2.0;
+    }
+    d.flops() as f64 / per_quadrant + dev.mma_issue_gap
+}
+
+/// GeForce Ada halves FP16/BF16 tensor throughput when accumulating in
+/// FP32 (Table VII: 178.9 vs 357.6 TFLOPS).
+fn half_rate_on_ada(arch: Arch, d: &MmaDesc) -> bool {
+    arch == Arch::Ada
+        && matches!(d.ab, DType::F16 | DType::BF16)
+        && d.cd == DType::F32
+}
+
+/// Cycles to stream a `wgmma` instruction's shared-memory operands through
+/// the 128 B/clk shared-memory datapath.
+fn wgmma_fetch_cycles(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
+    let a = match d.a_src {
+        OperandSource::SharedShared => {
+            if d.sparse {
+                d.a_smem_bytes_ss() // uncompressed m×k, pruned in flight
+            } else {
+                d.a_bytes()
+            }
+        }
+        OperandSource::RegShared => 0,
+    };
+    (a + d.b_bytes()) as f64 / dev.smem_bw
+}
+
+/// `wgmma` completion latency in cycles.
+pub fn wgmma_latency(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
+    debug_assert_eq!(d.kind, MmaKind::Wgmma);
+    let compute = d.n as f64 / 2.0;
+    match (d.sparse, d.a_src) {
+        (false, OperandSource::RegShared) => compute.max(13.0),
+        (false, OperandSource::SharedShared) => {
+            compute.max(wgmma_fetch_cycles(dev, d)).max(13.0)
+        }
+        (true, OperandSource::RegShared) => compute.max(16.0),
+        (true, OperandSource::SharedShared) => {
+            // The extra uncompressed-A pass cannot overlap the MMA pipeline:
+            // paper Table IX/X show a constant +16-cycle offset over dense.
+            compute + d.a_smem_bytes_ss() as f64 / dev.smem_bw / 2.0
+        }
+    }
+}
+
+/// Sustained initiation interval of back-to-back `wgmma` instructions on
+/// the SM's (whole) tensor-core pipeline, cycles.
+pub fn wgmma_interval(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
+    wgmma_interval_opts(dev, d, true)
+}
+
+/// [`wgmma_interval`] with the sparse-SS operand-fetch penalty switchable
+/// (ablation studies).
+pub fn wgmma_interval_opts(dev: &DeviceConfig, d: &MmaDesc, ss_penalty: bool) -> f64 {
+    debug_assert_eq!(d.kind, MmaKind::Wgmma);
+    let rate = dev
+        .tc_rate(d.ab)
+        .expect("wgmma descriptor validated against device support");
+    let per_sm = if d.sparse { rate.sparse } else { rate.dense };
+    let compute = d.flops() as f64 / per_sm;
+    let fetch = wgmma_fetch_cycles(dev, d);
+    let mut ii = compute.max(WGMMA_MIN_ISSUE);
+    if d.a_src == OperandSource::SharedShared {
+        if d.sparse {
+            ii = if ss_penalty {
+                // Unoverlapped *extra* half of the uncompressed-A fetch
+                // (the compressed half streams like the RS operand; see
+                // module docs).
+                compute.max(WGMMA_MIN_ISSUE)
+                    + d.a_smem_bytes_ss() as f64 / dev.smem_bw / 2.0
+            } else {
+                // Ablation: pretend SS sourcing is free, i.e. RS timing.
+                compute.max(WGMMA_MIN_ISSUE)
+            };
+        } else {
+            ii = compute.max(fetch).max(WGMMA_MIN_ISSUE);
+        }
+    }
+    ii + dev.wgmma_issue_gap * 0.7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_isa::mma::OperandSource::{RegShared as RS, SharedShared as SS};
+
+    fn h800() -> DeviceConfig {
+        DeviceConfig::h800()
+    }
+
+    fn tput_tflops(dev: &DeviceConfig, d: &MmaDesc, ii: f64) -> f64 {
+        d.flops() as f64 / ii * dev.num_sms as f64 * dev.clock_hz / 1e12
+    }
+
+    #[test]
+    fn mma_latency_matches_table_vii() {
+        let dev = h800();
+        let cases = [
+            (MmaDesc::mma(16, 8, 8, DType::F16, DType::F16, false).unwrap(), 16.0),
+            (MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap(), 24.1),
+            (MmaDesc::mma(16, 8, 4, DType::TF32, DType::F32, false).unwrap(), 16.5),
+            (MmaDesc::mma(16, 8, 8, DType::TF32, DType::F32, false).unwrap(), 24.5),
+            (MmaDesc::mma(16, 8, 16, DType::S8, DType::S32, false).unwrap(), 16.1),
+            (MmaDesc::mma(16, 8, 32, DType::S8, DType::S32, false).unwrap(), 24.0),
+        ];
+        for (d, paper) in cases {
+            let got = mma_latency(&dev, &d);
+            assert!((got - paper).abs() <= 2.0, "{d}: got {got}, paper {paper}");
+        }
+        // Sparse latency equals dense latency.
+        let dense = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
+        let sparse = MmaDesc::mma(16, 8, 32, DType::F16, DType::F32, true).unwrap();
+        assert_eq!(mma_latency(&dev, &dense), mma_latency(&dev, &sparse));
+    }
+
+    #[test]
+    fn ada_half_rate_latency() {
+        let dev = DeviceConfig::rtx4090();
+        let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
+        let got = mma_latency(&dev, &d);
+        assert!((got - 33.0).abs() <= 1.0, "paper 33.0, got {got}");
+    }
+
+    #[test]
+    fn hopper_mma_throughput_underuses_peak() {
+        // Table VII: H800 m16n8k16 f16/f16 dense = 494.4 TFLOPS (65 % of
+        // 756.5 peak); m16n8k8 = 368.6.
+        let dev = h800();
+        let k16 = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
+        let ii = mma_interval(&dev, &k16);
+        // Four quadrants work in parallel.
+        let t = tput_tflops(&dev, &k16, ii) * 4.0;
+        assert!((t - 494.4).abs() / 494.4 < 0.1, "k16 throughput {t}");
+        let k8 = MmaDesc::mma(16, 8, 8, DType::F16, DType::F16, false).unwrap();
+        let t8 = tput_tflops(&dev, &k8, mma_interval(&dev, &k8)) * 4.0;
+        assert!((t8 - 368.6).abs() / 368.6 < 0.12, "k8 throughput {t8}");
+    }
+
+    #[test]
+    fn a100_mma_reaches_peak() {
+        let dev = DeviceConfig::a100();
+        let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
+        let t = tput_tflops(&dev, &d, mma_interval(&dev, &d)) * 4.0;
+        assert!(t > 0.95 * 312.0, "A100 should sustain ≥95 % of peak, got {t}");
+    }
+
+    #[test]
+    fn wgmma_latency_table_x() {
+        let dev = h800();
+        // Dense f16, SS: paper 18/20/24/32/64/128 for N=8..256.
+        for (n, paper) in [(8, 18.0), (16, 20.0), (32, 24.0), (64, 32.0), (128, 64.0), (256, 128.0)] {
+            let d = MmaDesc::wgmma(n, DType::F16, DType::F32, false, SS).unwrap();
+            assert_eq!(wgmma_latency(&dev, &d), paper, "dense SS N={n}");
+        }
+        // Dense RS: 13/13/16/32/64/128.
+        for (n, paper) in [(8, 13.0), (16, 13.0), (32, 16.0), (64, 32.0), (128, 64.0), (256, 128.0)] {
+            let d = MmaDesc::wgmma(n, DType::F16, DType::F32, false, RS).unwrap();
+            assert_eq!(wgmma_latency(&dev, &d), paper, "dense RS N={n}");
+        }
+        // Sparse SS: N/2 + 16 → 20/24/32/48/80/144.
+        for (n, paper) in [(8, 20.0), (16, 24.0), (32, 32.0), (64, 48.0), (128, 80.0), (256, 144.0)] {
+            let d = MmaDesc::wgmma(n, DType::F16, DType::F32, true, SS).unwrap();
+            assert_eq!(wgmma_latency(&dev, &d), paper, "sparse SS N={n}");
+        }
+    }
+
+    #[test]
+    fn wgmma_dense_throughput_table_viii() {
+        let dev = h800();
+        for (ab, cd, paper) in [
+            (DType::F16, DType::F16, 729.3),
+            (DType::F16, DType::F32, 728.5),
+            (DType::TF32, DType::F32, 364.4),
+            (DType::E4M3, DType::F16, 1448.4),
+            (DType::S8, DType::S32, 1448.7),
+        ] {
+            let d = MmaDesc::wgmma(256, ab, cd, false, SS).unwrap();
+            let t = tput_tflops(&dev, &d, wgmma_interval(&dev, &d));
+            assert!((t - paper).abs() / paper < 0.04, "{d}: got {t}, paper {paper}");
+        }
+    }
+
+    #[test]
+    fn wgmma_sparse_ss_penalty_table_ix() {
+        let dev = h800();
+        let ss = MmaDesc::wgmma(256, DType::F16, DType::F32, true, SS).unwrap();
+        let rs = MmaDesc::wgmma(256, DType::F16, DType::F32, true, RS).unwrap();
+        let t_ss = tput_tflops(&dev, &ss, wgmma_interval(&dev, &ss));
+        let t_rs = tput_tflops(&dev, &rs, wgmma_interval(&dev, &rs));
+        assert!((t_rs - 1476.2).abs() / 1476.2 < 0.05, "RS {t_rs}");
+        assert!((t_ss - 1312.3).abs() / 1312.3 < 0.06, "SS {t_ss}");
+        assert!(t_ss < t_rs, "SS must lose to RS for sparse wgmma");
+    }
+
+    #[test]
+    fn wgmma_small_n_loses_throughput() {
+        // Table X: N ≥ 64 stays near peak; N < 64 falls off.
+        let dev = h800();
+        let big = MmaDesc::wgmma(64, DType::F16, DType::F32, false, SS).unwrap();
+        let t64 = tput_tflops(&dev, &big, wgmma_interval(&dev, &big));
+        assert!(t64 > 0.9 * 728.5, "N=64 should be ≥90 % of peak, got {t64}");
+        let small = MmaDesc::wgmma(8, DType::F16, DType::F32, false, SS).unwrap();
+        let t8 = tput_tflops(&dev, &small, wgmma_interval(&dev, &small));
+        assert!((t8 - 158.2).abs() / 158.2 < 0.15, "N=8 paper 158.2, got {t8}");
+    }
+
+    #[test]
+    fn sparse_speedup_matrix() {
+        assert_eq!(mma_sparse_speedup(Arch::Ada, 8, DType::F16), 2.0);
+        assert_eq!(mma_sparse_speedup(Arch::Ampere, 16, DType::F16), 2.0);
+        assert!(mma_sparse_speedup(Arch::Ampere, 8, DType::F16) < 1.5);
+        assert!(mma_sparse_speedup(Arch::Hopper, 16, DType::F16) < 1.5);
+        assert_eq!(mma_sparse_speedup(Arch::Hopper, 8, DType::F16), 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The `te.TransformerLayer` analogue (Fig. 5).
+//!
+//! A Llama-style block per the paper's §III-C2: RMSNorm → QKV projection →
+//! flash-attention (FP16, *not* FP8 — the paper notes `DotProductAttention`
+//! "uses flash-attention rather than FP8 Tensor Cores") → output projection
+//! → RMSNorm → SwiGLU MLP.  Softmax/GeLU-class elementwise ops stay in
+//! FP16 too, which is why FP8 "does not achieve double FP16 performance".
+
+use crate::cost::{CostModel, Precision};
+use crate::linear::Linear;
+
+/// Layer hyperparameters (the paper's Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerConfig {
+    /// Embedding dimension.
+    pub hidden: u64,
+    /// MLP inner dimension.
+    pub ffn_hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+}
+
+impl LayerConfig {
+    /// The paper's Table II row for a given hidden size.
+    pub fn from_table_ii(hidden: u64) -> Self {
+        let (ffn_hidden, heads) = match hidden {
+            1024 => (2816, 8),
+            2048 => (5632, 16),
+            4096 => (11008, 32),
+            5120 => (13824, 40),
+            8192 => (22016, 64),
+            other => panic!("hidden size {other} is not a Table II configuration"),
+        };
+        LayerConfig { hidden, ffn_hidden, heads }
+    }
+
+    /// All Table II configurations.
+    pub fn table_ii() -> [LayerConfig; 5] {
+        [1024, 2048, 4096, 5120, 8192].map(Self::from_table_ii)
+    }
+}
+
+/// One transformer layer bound to a batch/sequence shape.
+#[derive(Debug, Clone)]
+pub struct TransformerLayer {
+    /// Hyperparameters.
+    pub cfg: LayerConfig,
+    /// Batch size (paper: 4).
+    pub batch: u64,
+    /// Sequence length (paper: 512).
+    pub seq: u64,
+}
+
+impl TransformerLayer {
+    /// The paper's fixed input shape `(4, 512, hidden)`.
+    pub fn paper_shape(cfg: LayerConfig) -> Self {
+        TransformerLayer { cfg, batch: 4, seq: 512 }
+    }
+
+    /// Encoding latency of a single layer pass, seconds.
+    pub fn forward_s(&self, cm: &CostModel, p: Precision) -> f64 {
+        let tokens = self.batch * self.seq;
+        let h = self.cfg.hidden;
+        let f = self.cfg.ffn_hidden;
+
+        // Projections use the requested precision (these are the te.Linear
+        // analogues); attention core and elementwise ops stay FP16/FP32.
+        let lin = |m: u64, k: u64, n: u64| Linear { m, k, n }.forward(cm, p).total();
+
+        let qkv = lin(tokens, h, 3 * h);
+        let out_proj = lin(tokens, h, h);
+        // SwiGLU MLP: gate + up (h→f each) and down (f→h).
+        let mlp = lin(tokens, h, f) + lin(tokens, h, f) + lin(tokens, f, h);
+
+        // Flash attention: 2·(QKᵀ) + 2·(PV) ≈ 4·b·heads·s²·dh flops in FP16.
+        let attn_flops = 4.0 * self.batch as f64 * self.seq as f64 * self.seq as f64 * h as f64;
+        let attn_prec = if p == Precision::Fp32 { Precision::Fp32 } else { Precision::Fp16 };
+        let attn = attn_flops / (cm.matmul_peak(attn_prec) * 0.55) + 2.0 * cm.launch_overhead_s;
+
+        // Two RMSNorms + residual adds, memory-bound at 16-bit width.
+        let norm_bytes = tokens * h * 2;
+        let norms = 2.0 * cm.elementwise_s(norm_bytes, norm_bytes);
+        let residuals = 2.0 * cm.elementwise_s(2 * norm_bytes, norm_bytes);
+        // SwiGLU elementwise over the f-wide activations.
+        let act = cm.elementwise_s(2 * tokens * f * 2, tokens * f * 2);
+
+        qkv + out_proj + mlp + attn + norms + residuals + act
+    }
+
+    /// Latency in milliseconds (Fig. 5's y-axis).
+    pub fn forward_ms(&self, cm: &CostModel, p: Precision) -> f64 {
+        self.forward_s(cm, p) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::DeviceConfig;
+
+    fn h800() -> CostModel {
+        CostModel::new(DeviceConfig::h800())
+    }
+
+    #[test]
+    fn table_ii_lookup() {
+        let c = LayerConfig::from_table_ii(5120);
+        assert_eq!(c.ffn_hidden, 13824);
+        assert_eq!(c.heads, 40);
+        assert_eq!(LayerConfig::table_ii().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Table II configuration")]
+    fn unknown_hidden_panics() {
+        LayerConfig::from_table_ii(3000);
+    }
+
+    #[test]
+    fn fig5_fp16_roughly_doubles_fp32() {
+        // Paper: "FP16 shows nearly twice the speed compared to FP32".
+        let cm = h800();
+        let l = TransformerLayer::paper_shape(LayerConfig::from_table_ii(8192));
+        let t32 = l.forward_ms(&cm, Precision::Fp32);
+        let t16 = l.forward_ms(&cm, Precision::Fp16);
+        let r = t32 / t16;
+        assert!(r > 1.6 && r < 3.5, "FP32/FP16 = {r:.2}");
+    }
+
+    #[test]
+    fn fig5_fp8_wins_only_at_large_hidden() {
+        // Paper: "FP8 outperforms FP16 for hidden_size>4096 but does not
+        // achieve double FP16 performance."
+        let cm = h800();
+        let small = TransformerLayer::paper_shape(LayerConfig::from_table_ii(1024));
+        assert!(
+            small.forward_ms(&cm, Precision::Fp8) > small.forward_ms(&cm, Precision::Fp16),
+            "FP8 should lose at hidden=1024"
+        );
+        let big = TransformerLayer::paper_shape(LayerConfig::from_table_ii(8192));
+        let t16 = big.forward_ms(&cm, Precision::Fp16);
+        let t8 = big.forward_ms(&cm, Precision::Fp8);
+        assert!(t8 < t16, "FP8 must win at hidden=8192: {t8:.2} vs {t16:.2}");
+        assert!(t16 / t8 < 2.0, "but not by 2×: ratio {:.2}", t16 / t8);
+    }
+
+    #[test]
+    fn fig5_h800_fastest_at_scale() {
+        let big = TransformerLayer::paper_shape(LayerConfig::from_table_ii(8192));
+        let th = big.forward_ms(&h800(), Precision::Fp16);
+        let ta = big.forward_ms(&CostModel::new(DeviceConfig::a100()), Precision::Fp16);
+        let tr = big.forward_ms(&CostModel::new(DeviceConfig::rtx4090()), Precision::Fp16);
+        assert!(th < ta && th < tr, "H800 {th:.2} vs A100 {ta:.2} / 4090 {tr:.2}");
+    }
+
+    #[test]
+    fn latency_grows_with_hidden() {
+        let cm = h800();
+        let mut last = 0.0;
+        for c in LayerConfig::table_ii() {
+            let t = TransformerLayer::paper_shape(c).forward_ms(&cm, Precision::Fp16);
+            assert!(t > last);
+            last = t;
+        }
+    }
+}

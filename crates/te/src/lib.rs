@@ -1,0 +1,36 @@
+//! Transformer-Engine analogue over the simulated devices.
+//!
+//! Nvidia's Transformer Engine is a PyTorch-level library; what the paper
+//! measures through it are *device-level* effects — FP8 tensor-core GEMM
+//! throughput vs the cast/quantisation overheads around it, operator-fusion
+//! gaps, and the memory-bound nature of decode-only LLM inference.  This
+//! crate rebuilds those mechanics:
+//!
+//! * [`cost`] — an analytic operator cost model derived from the same
+//!   calibrated [`hopper_sim::DeviceConfig`]s the cycle engine uses
+//!   (tensor-core rates, DRAM bandwidth, kernel-launch overheads), with
+//!   tile/wave utilisation effects;
+//! * [`ops`] — functional FP8 quantisation (amax → scale → cast, via
+//!   `hopper-numerics`) plus the operator set of a Transformer layer;
+//! * [`linear`] — the `te.Linear` analogue (Figs. 3 and 4);
+//! * [`layer`] — the `te.TransformerLayer` analogue with the paper's
+//!   Table II configurations (Fig. 5);
+//! * [`llm`] — decode-only generation with device-memory accounting (OOM
+//!   cells) reproducing Table XII;
+//! * [`workload`] — a synthetic ShareGPT-like request generator (the real
+//!   dump is not redistributable; we match its published length shape).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod layer;
+pub mod linear;
+pub mod llm;
+pub mod ops;
+pub mod workload;
+
+pub use cost::{CostModel, Precision};
+pub use layer::{LayerConfig, TransformerLayer};
+pub use linear::Linear;
+pub use llm::{GenerationReport, LlmModel, LlmRunner};
+pub use workload::{Request, ShareGptSynth};

@@ -1,0 +1,149 @@
+//! The `te.Linear` analogue (Figs. 3 and 4).
+//!
+//! For FP8, the forward pass is: amax(input) → cast input → amax(weight,
+//! cached) → cast weight (cached across steps; the paper's Fig. 3 includes
+//! it as part of the conversion overhead) → FP8 GEMM → rescale output.
+//! Lower precisions skip straight to the GEMM.
+
+use crate::cost::{CostModel, Precision};
+
+/// Per-operator time breakdown of one forward pass, seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearBreakdown {
+    /// Input amax reduction.
+    pub amax_s: f64,
+    /// Input + weight casts to FP8.
+    pub cast_s: f64,
+    /// The GEMM itself.
+    pub gemm_s: f64,
+    /// Output rescale (dequantise).
+    pub rescale_s: f64,
+}
+
+impl LinearBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.amax_s + self.cast_s + self.gemm_s + self.rescale_s
+    }
+
+    /// Fraction of time not spent in the GEMM — the conversion overhead of
+    /// Fig. 3.
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.gemm_s / self.total()
+    }
+}
+
+/// A `te.Linear` layer: `out[m×n] = inp[m×k] · w[k×n]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Rows of the input (batch × sequence).
+    pub m: u64,
+    /// Input features.
+    pub k: u64,
+    /// Output features.
+    pub n: u64,
+}
+
+impl Linear {
+    /// Square layer, as in the paper's Fig. 4 (`D(N×N)=A(N×N)·B(N×N)`).
+    pub fn square(n: u64) -> Self {
+        Linear { m: n, k: n, n }
+    }
+
+    /// Forward time breakdown in the given precision.
+    pub fn forward(&self, cm: &CostModel, p: Precision) -> LinearBreakdown {
+        match p {
+            Precision::Fp8 => {
+                assert!(cm.supports_fp8(), "{} has no FP8 tensor cores", cm.device().name);
+                let inp_elems = self.m * self.k;
+                let w_elems = self.k * self.n;
+                let out_elems = self.m * self.n;
+                let _ = w_elems; // weight casts are cached across steps by TE
+                LinearBreakdown {
+                    amax_s: cm.reduction_s(inp_elems, 2),
+                    // Cast reads FP16 and writes FP8 for the input (the
+                    // weight's FP8 copy is cached by the Transformer
+                    // Engine after the first forward).
+                    cast_s: cm.elementwise_s(inp_elems * 2, inp_elems),
+                    gemm_s: cm.gemm_s(self.m, self.n, self.k, Precision::Fp8),
+                    rescale_s: cm.elementwise_s(out_elems * 2, out_elems * 2),
+                }
+            }
+            other => LinearBreakdown {
+                amax_s: 0.0,
+                cast_s: 0.0,
+                gemm_s: cm.gemm_s(self.m, self.n, self.k, other),
+                rescale_s: 0.0,
+            },
+        }
+    }
+
+    /// Achieved GFLOPS of a forward pass (Fig. 4's y-axis).
+    pub fn throughput_gflops(&self, cm: &CostModel, p: Precision) -> f64 {
+        let flops = 2.0 * self.m as f64 * self.k as f64 * self.n as f64;
+        flops / self.forward(cm, p).total() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::DeviceConfig;
+
+    fn h800() -> CostModel {
+        CostModel::new(DeviceConfig::h800())
+    }
+
+    #[test]
+    fn fig3_overhead_shrinks_with_n() {
+        // Paper Fig. 3: conversion dominates small N, GEMM dominates large.
+        let cm = h800();
+        let small = Linear::square(1024).forward(&cm, Precision::Fp8);
+        let large = Linear::square(16384).forward(&cm, Precision::Fp8);
+        assert!(small.overhead_fraction() > 0.5, "small-N overhead {:.2}", small.overhead_fraction());
+        assert!(large.overhead_fraction() < 0.25, "large-N overhead {:.2}", large.overhead_fraction());
+    }
+
+    #[test]
+    fn fig4_fp8_crossover() {
+        // Paper: FP8 loses below ~4–8k, wins clearly at 16384 (≈2× FP16).
+        let cm = h800();
+        let small = Linear::square(1024);
+        assert!(
+            small.throughput_gflops(&cm, Precision::Fp8)
+                < small.throughput_gflops(&cm, Precision::Fp16)
+        );
+        let big = Linear::square(16384);
+        let r = big.throughput_gflops(&cm, Precision::Fp8)
+            / big.throughput_gflops(&cm, Precision::Fp16);
+        assert!(r > 1.6 && r < 2.1, "FP8/FP16 at N=16384 = {r:.2}");
+    }
+
+    #[test]
+    fn fig4_monotone_in_n() {
+        let cm = h800();
+        let mut last = 0.0;
+        for n in [1024u64, 2048, 4096, 8192, 16384] {
+            let t = Linear::square(n).throughput_gflops(&cm, Precision::Fp16);
+            assert!(t > last, "throughput must grow with N ({n}: {t:.0})");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn h800_beats_others_at_scale() {
+        let big = Linear::square(16384);
+        let h = big.throughput_gflops(&h800(), Precision::Fp16);
+        let a = big.throughput_gflops(&CostModel::new(DeviceConfig::a100()), Precision::Fp16);
+        let r = big.throughput_gflops(&CostModel::new(DeviceConfig::rtx4090()), Precision::Fp16);
+        assert!(h > 2.0 * a, "H800 {h:.0} vs A100 {a:.0}");
+        assert!(h > 1.8 * r, "H800 {h:.0} vs 4090 {r:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no FP8")]
+    fn fp8_on_ampere_panics() {
+        let cm = CostModel::new(DeviceConfig::a100());
+        Linear::square(1024).forward(&cm, Precision::Fp8);
+    }
+}

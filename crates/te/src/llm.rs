@@ -1,0 +1,367 @@
+//! Decode-only LLM generation model (Table XII).
+//!
+//! The paper swaps `te.Linear`/`te.RMSNorm` into Llama and measures
+//! tokens/s with input/output capped at 128 and batch 8.  At that scale,
+//! decode is dominated by (a) streaming the weights every step and (b)
+//! per-layer framework/cast overheads — which is exactly why FP8 shows "no
+//! significant computational advantage" (§IV-D): its weight traffic is
+//! smaller, but the Transformer Engine's unfused quantise/dequantise ops
+//! add per-layer cost.
+//!
+//! Memory accounting runs through the simulated device allocator, so the
+//! OOM cells of Table XII fall out of `Gpu::alloc` failures.
+
+use crate::cost::{CostModel, Precision};
+use crate::workload::Request;
+use hopper_isa::Arch;
+use hopper_sim::{DeviceConfig, Gpu, LaunchError};
+
+/// A decoder-only model's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Total parameters.
+    pub params: u64,
+    /// Hidden size.
+    pub hidden: u64,
+    /// Layer count.
+    pub layers: u64,
+    /// MLP inner size.
+    pub ffn_hidden: u64,
+}
+
+impl LlmModel {
+    /// OpenLLaMA-3B.
+    pub fn llama_3b() -> Self {
+        LlmModel { name: "llama-3B", params: 3_430_000_000, hidden: 3200, layers: 26, ffn_hidden: 8640 }
+    }
+    /// Llama-2-7B.
+    pub fn llama2_7b() -> Self {
+        LlmModel { name: "llama-2-7B", params: 6_740_000_000, hidden: 4096, layers: 32, ffn_hidden: 11008 }
+    }
+    /// Llama-2-13B.
+    pub fn llama2_13b() -> Self {
+        LlmModel { name: "llama-2-13B", params: 13_020_000_000, hidden: 5120, layers: 40, ffn_hidden: 13824 }
+    }
+    /// The paper's three models.
+    pub fn all() -> [LlmModel; 3] {
+        [Self::llama_3b(), Self::llama2_7b(), Self::llama2_13b()]
+    }
+
+    /// Resident weight bytes in a precision.  The FP8 path keeps FP16
+    /// master weights *plus* the Transformer Engine's cached FP8 copy and
+    /// its transpose (≈4 bytes/param total) — the reason llama-2-7B FP8
+    /// still OOMs on 24 GB even though its streamed footprint is tiny.
+    pub fn weight_bytes(&self, p: Precision) -> u64 {
+        match p {
+            Precision::Fp32 => self.params * 4,
+            Precision::Fp16 | Precision::Bf16 => self.params * 2,
+            Precision::Fp8 => self.params * 4,
+        }
+    }
+
+    /// KV-cache bytes for `batch` streams of `ctx` tokens (FP16 K and V).
+    pub fn kv_bytes(&self, batch: u64, ctx: u64) -> u64 {
+        2 * self.layers * self.hidden * ctx * batch * 2
+    }
+}
+
+/// Per-layer per-step overhead, seconds, bundling kernel launches and the
+/// framework's cast traffic.  Derived by solving the paper's own Table XII
+/// against the weight-streaming term (`time/step = weights/BW + layers·c`);
+/// the solved constants are remarkably stable across model sizes —
+/// e.g. H800 BF16 gives c ≈ 0.77/0.66/0.85 ms for 7B/13B/3B.
+fn layer_overhead_s(arch: Arch, p: Precision) -> f64 {
+    let ms = match (arch, p) {
+        (Arch::Hopper, Precision::Fp32) => 0.52,
+        (Arch::Hopper, Precision::Bf16 | Precision::Fp16) => 0.78,
+        (Arch::Hopper, Precision::Fp8) => 0.96,
+        (Arch::Ampere, Precision::Fp32) => 0.50,
+        (Arch::Ampere, _) => 0.62,
+        (Arch::Ada, Precision::Fp32) => 0.90,
+        (Arch::Ada, Precision::Bf16 | Precision::Fp16) => 1.05,
+        (Arch::Ada, Precision::Fp8) => 1.25,
+    };
+    ms * 1e-3
+}
+
+/// Outcome of a generation benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerationReport {
+    /// Completed; throughput in tokens/s (paper metric:
+    /// `batch·(input+output)/time`).
+    Ok {
+        /// Tokens per second.
+        tokens_per_s: f64,
+        /// Total wall-clock seconds.
+        seconds: f64,
+    },
+    /// The model + caches do not fit device memory.
+    OutOfMemory,
+    /// The precision is not supported on this architecture (FP8 before
+    /// CC 8.9).
+    Unsupported,
+}
+
+impl GenerationReport {
+    /// Tokens/s if the run completed.
+    pub fn tokens_per_s(&self) -> Option<f64> {
+        match self {
+            GenerationReport::Ok { tokens_per_s, .. } => Some(*tokens_per_s),
+            _ => None,
+        }
+    }
+}
+
+/// Benchmark runner binding a model to a device.
+#[derive(Debug)]
+pub struct LlmRunner {
+    /// Device under test.
+    pub dev: DeviceConfig,
+    /// Batch size (paper: 8).
+    pub batch: u64,
+    /// Framework + CUDA-context reservation the allocator cannot use.
+    pub framework_reserve: u64,
+}
+
+impl LlmRunner {
+    /// New runner with the paper's batch size.
+    pub fn new(dev: DeviceConfig) -> Self {
+        LlmRunner { dev, batch: 8, framework_reserve: 2_500_000_000 }
+    }
+
+    /// Run generation with fixed 128-in/128-out requests (the paper's
+    /// caps) and return the Table XII metric.
+    pub fn generate(&self, model: &LlmModel, p: Precision) -> GenerationReport {
+        self.generate_requests(
+            model,
+            p,
+            &vec![Request { input_len: 128, output_len: 128 }; self.batch as usize],
+        )
+    }
+
+    /// Run generation for an explicit request batch.
+    pub fn generate_requests(
+        &self,
+        model: &LlmModel,
+        p: Precision,
+        reqs: &[Request],
+    ) -> GenerationReport {
+        if p == Precision::Fp8 && !matches!(self.dev.arch, Arch::Ada | Arch::Hopper) {
+            return GenerationReport::Unsupported;
+        }
+        let cm = CostModel::new(self.dev.clone());
+        let max_in = reqs.iter().map(|r| r.input_len).max().unwrap_or(0) as u64;
+        let max_out = reqs.iter().map(|r| r.output_len).max().unwrap_or(0) as u64;
+        let batch = reqs.len() as u64;
+
+        // Memory feasibility through the simulated allocator.
+        let mut gpu = Gpu::new(self.dev.clone());
+        let reserve = gpu.alloc(self.framework_reserve);
+        debug_assert!(reserve.is_ok());
+        let need = [
+            model.weight_bytes(p),
+            model.kv_bytes(batch, max_in + max_out),
+            // Activations + logits workspace.
+            batch * (max_in + max_out) * model.hidden * 4 + 512 * 1024 * 1024,
+        ];
+        for bytes in need {
+            if let Err(LaunchError::OutOfMemory { .. }) = gpu.alloc(bytes) {
+                return GenerationReport::OutOfMemory;
+            }
+        }
+
+        // Prefill: compute-bound pass over the prompts.
+        let prefill_tokens = reqs.iter().map(|r| r.input_len as u64).sum::<u64>();
+        let prefill_flops = 2.0 * model.params as f64 * prefill_tokens as f64;
+        let prefill_prec = if p == Precision::Fp32 { Precision::Fp32 } else { Precision::Fp16 };
+        let prefill = prefill_flops / (cm.matmul_peak(prefill_prec) * 0.6)
+            + model.layers as f64 * layer_overhead_s(self.dev.arch, p);
+
+        // Decode: weight streaming + per-layer overheads, step by step
+        // (batched streams advance together; KV reads grow with context).
+        let mut decode = 0.0;
+        let steps = max_out;
+        for s in 0..steps {
+            let ctx = max_in + s;
+            let weight_stream = model.weight_bytes(p).min(model.params * 2) as f64;
+            // FP8 streams the FP8 copies (1 B/param); FP32 streams 4.
+            let weight_stream = match p {
+                Precision::Fp8 => model.params as f64,
+                Precision::Fp32 => model.params as f64 * 4.0,
+                _ => weight_stream,
+            };
+            let kv = model.kv_bytes(batch, ctx) as f64;
+            decode += (weight_stream + kv) / self.dev.dram_bw
+                + model.layers as f64 * layer_overhead_s(self.dev.arch, p);
+        }
+
+        let seconds = prefill + decode;
+        let tokens = batch as f64 * (max_in + max_out) as f64;
+        GenerationReport::Ok { tokens_per_s: tokens / seconds, seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(dev: DeviceConfig, m: LlmModel, p: Precision) -> GenerationReport {
+        LlmRunner::new(dev).generate(&m, p)
+    }
+
+    #[test]
+    fn h800_matches_table_xii_within_tolerance() {
+        let cases = [
+            (LlmModel::llama_3b(), Precision::Fp32, 679.45),
+            (LlmModel::llama_3b(), Precision::Bf16, 624.10),
+            (LlmModel::llama_3b(), Precision::Fp8, 537.92),
+            (LlmModel::llama2_7b(), Precision::Fp32, 568.91),
+            (LlmModel::llama2_7b(), Precision::Bf16, 502.65),
+            (LlmModel::llama2_7b(), Precision::Fp8, 474.42),
+            (LlmModel::llama2_13b(), Precision::Fp32, 357.57),
+            (LlmModel::llama2_13b(), Precision::Bf16, 399.38),
+            (LlmModel::llama2_13b(), Precision::Fp8, 356.11),
+        ];
+        for (m, p, want) in cases {
+            let got = run(DeviceConfig::h800(), m, p).tokens_per_s().expect("fits on 80 GB");
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "{} {}: got {got:.0}, paper {want}",
+                m.name,
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn h800_fp32_beats_bf16_until_13b() {
+        // The paper's counter-intuitive finding, driven by per-op overheads.
+        let d = DeviceConfig::h800();
+        for m in [LlmModel::llama_3b(), LlmModel::llama2_7b()] {
+            let f32t = run(d.clone(), m, Precision::Fp32).tokens_per_s().unwrap();
+            let bf = run(d.clone(), m, Precision::Bf16).tokens_per_s().unwrap();
+            assert!(f32t > bf, "{}: fp32 {f32t:.0} !> bf16 {bf:.0}", m.name);
+        }
+        let m = LlmModel::llama2_13b();
+        let f32t = run(d.clone(), m, Precision::Fp32).tokens_per_s().unwrap();
+        let bf = run(d, m, Precision::Bf16).tokens_per_s().unwrap();
+        assert!(bf > f32t, "13B: bf16 {bf:.0} must win over fp32 {f32t:.0}");
+    }
+
+    #[test]
+    fn fp8_never_wins_at_this_scale_on_h800() {
+        // §IV-D: "the computational advantages of FP8 Tensor Cores are not
+        // significant" for short memory-bound decode.
+        let d = DeviceConfig::h800();
+        for m in LlmModel::all() {
+            let bf = run(d.clone(), m, Precision::Bf16).tokens_per_s().unwrap();
+            let f8 = run(d.clone(), m, Precision::Fp8).tokens_per_s().unwrap();
+            assert!(f8 < bf * 1.02, "{}: fp8 {f8:.0} vs bf16 {bf:.0}", m.name);
+        }
+    }
+
+    #[test]
+    fn oom_cells_match_table_xii() {
+        // 4090 (24 GB): 7B FP32 and FP8 OOM; BF16 fits.
+        let d = DeviceConfig::rtx4090();
+        let m7 = LlmModel::llama2_7b();
+        assert_eq!(run(d.clone(), m7, Precision::Fp32), GenerationReport::OutOfMemory);
+        assert_eq!(run(d.clone(), m7, Precision::Fp8), GenerationReport::OutOfMemory);
+        assert!(run(d.clone(), m7, Precision::Bf16).tokens_per_s().is_some());
+        // A100 (40 GB): 13B FP32 OOMs, BF16 fits; FP8 unsupported.
+        let a = DeviceConfig::a100();
+        let m13 = LlmModel::llama2_13b();
+        assert_eq!(run(a.clone(), m13, Precision::Fp32), GenerationReport::OutOfMemory);
+        assert!(run(a.clone(), m13, Precision::Bf16).tokens_per_s().is_some());
+        assert_eq!(run(a, m13, Precision::Fp8), GenerationReport::Unsupported);
+    }
+
+    #[test]
+    fn a100_and_4090_land_near_paper() {
+        let cases = [
+            (DeviceConfig::a100(), LlmModel::llama_3b(), Precision::Fp32, 674.50),
+            (DeviceConfig::a100(), LlmModel::llama2_7b(), Precision::Bf16, 548.57),
+            (DeviceConfig::a100(), LlmModel::llama2_13b(), Precision::Bf16, 420.81),
+            (DeviceConfig::rtx4090(), LlmModel::llama_3b(), Precision::Fp32, 414.08),
+            (DeviceConfig::rtx4090(), LlmModel::llama_3b(), Precision::Fp8, 429.31),
+            (DeviceConfig::rtx4090(), LlmModel::llama2_7b(), Precision::Bf16, 350.69),
+        ];
+        for (d, m, p, want) in cases {
+            let name = d.name;
+            let got = run(d, m, p).tokens_per_s().expect("fits");
+            assert!(
+                (got - want).abs() / want < 0.2,
+                "{name} {} {}: got {got:.0}, paper {want}",
+                m.name,
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn batching_amortises_weight_streaming() {
+        // Doubling the batch shares every weight read: tokens/s must rise
+        // clearly (decode is weight-stream + per-layer overhead bound).
+        let m = LlmModel::llama2_7b();
+        let mut small = LlmRunner::new(DeviceConfig::h800());
+        small.batch = 4;
+        let mut big = LlmRunner::new(DeviceConfig::h800());
+        big.batch = 16;
+        let t4 = small.generate(&m, Precision::Bf16).tokens_per_s().unwrap();
+        let t16 = big.generate(&m, Precision::Bf16).tokens_per_s().unwrap();
+        assert!(t16 > 2.5 * t4, "batch 16 {t16:.0} vs batch 4 {t4:.0}");
+    }
+
+    #[test]
+    fn decode_step_cost_is_flat_in_output_length() {
+        // Per-step cost is roughly constant (KV growth is second-order at
+        // these context sizes), so total time scales ~linearly with the
+        // number of decode steps once prefill is subtracted.
+        let m = LlmModel::llama_3b();
+        let runner = LlmRunner::new(DeviceConfig::h800());
+        let secs = |out: u32| match runner.generate_requests(
+            &m,
+            Precision::Bf16,
+            &[Request { input_len: 128, output_len: out }; 8],
+        ) {
+            GenerationReport::Ok { seconds, .. } => seconds,
+            other => panic!("{other:?}"),
+        };
+        let s32 = secs(32);
+        let s128 = secs(128);
+        let per_step = (s128 - s32) / 96.0;
+        let early = s32 / 32.0; // includes prefill, so slightly larger
+        assert!(per_step < early, "steady per-step {per_step:.4} vs early {early:.4}");
+        assert!(per_step > 0.5 * early, "steps can't be free: {per_step:.4} vs {early:.4}");
+    }
+
+    #[test]
+    fn kv_cache_grows_with_context() {
+        let m = LlmModel::llama2_7b();
+        assert_eq!(m.kv_bytes(8, 256), 2 * 32 * 4096 * 256 * 8 * 2);
+        assert!(m.kv_bytes(8, 512) == 2 * m.kv_bytes(8, 256));
+    }
+
+    #[test]
+    fn workload_requests_respected() {
+        let runner = LlmRunner::new(DeviceConfig::h800());
+        let mut gen = crate::workload::ShareGptSynth::new(3);
+        let reqs = gen.batch(8);
+        let rep = runner.generate_requests(&LlmModel::llama_3b(), Precision::Bf16, &reqs);
+        let full = runner.generate(&LlmModel::llama_3b(), Precision::Bf16);
+        // Shorter synthesized requests must not be slower than the caps.
+        let (a, b) = (rep.tokens_per_s().unwrap(), full.tokens_per_s().unwrap());
+        let ra = match rep {
+            GenerationReport::Ok { seconds, .. } => seconds,
+            _ => unreachable!(),
+        };
+        let rb = match full {
+            GenerationReport::Ok { seconds, .. } => seconds,
+            _ => unreachable!(),
+        };
+        assert!(ra <= rb, "capped requests bound the time: {ra} vs {rb}");
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Functional FP8 quantisation and the Transformer operator set.
+//!
+//! The numeric path is real: amax scan → scaling factor → per-element cast
+//! through `hopper-numerics`' FP8 encoder → FP8 GEMM → rescale, exactly
+//! the `te.Linear` recipe the paper describes in §III-C1.
+
+use hopper_numerics::{Fp8E4M3, SoftFloat};
+
+/// Result of quantising a tensor to FP8-E4M3.
+#[derive(Debug, Clone)]
+pub struct QuantizedFp8 {
+    /// Quantised values (bit patterns).
+    pub data: Vec<Fp8E4M3>,
+    /// The scaling factor `s` such that `x ≈ decode(q) · s`.
+    pub scale: f64,
+}
+
+/// Quantise to FP8-E4M3 with amax scaling: `s = amax / 448`, `q = x / s`.
+///
+/// Zero tensors quantise with scale 1.
+pub fn quantize_fp8(x: &[f32]) -> QuantizedFp8 {
+    let amax = x.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let scale = if amax == 0.0 { 1.0 } else { amax as f64 / Fp8E4M3::max_finite() };
+    let data = x.iter().map(|&v| Fp8E4M3::from_f64(v as f64 / scale)).collect();
+    QuantizedFp8 { data, scale }
+}
+
+/// Dequantise back to f32.
+pub fn dequantize_fp8(q: &QuantizedFp8) -> Vec<f32> {
+    q.data.iter().map(|v| (v.to_f64() * q.scale) as f32).collect()
+}
+
+/// FP8 GEMM with FP32 accumulation: `C[m×n] = A[m×k] · B[k×n]`, operands
+/// quantised per-tensor, result rescaled by `sa·sb` — the `te.Linear`
+/// forward path.
+pub fn linear_forward_fp8(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let qa = quantize_fp8(a);
+    let qb = quantize_fp8(b);
+    let rescale = (qa.scale * qb.scale) as f32;
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let p = qa.data[i * k + kk].to_f64() * qb.data[kk * n + j].to_f64();
+                acc = ((acc as f64) + p) as f32;
+            }
+            c[i * n + j] = acc * rescale;
+        }
+    }
+    c
+}
+
+/// Reference FP32 GEMM for error comparisons.
+pub fn linear_forward_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// RMSNorm (the paper swaps Llama's normalisation in, §III-C2).
+pub fn rmsnorm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), weight.len());
+    let ms = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(weight).map(|(&v, &w)| v * inv * w).collect()
+}
+
+/// SwiGLU activation: `silu(gate) · up` (§III-C2).
+pub fn swiglu(gate: &[f32], up: &[f32]) -> Vec<f32> {
+    assert_eq!(gate.len(), up.len());
+    gate.iter()
+        .zip(up)
+        .map(|(&g, &u)| {
+            let silu = g / (1.0 + (-g).exp());
+            silu * u
+        })
+        .collect()
+}
+
+/// Numerically-stable softmax over a row.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_scale_uses_amax() {
+        let x = vec![0.5f32, -2.0, 1.0];
+        let q = quantize_fp8(&x);
+        assert!((q.scale - 2.0 / 448.0).abs() < 1e-9);
+        // The amax element maps to ±448 exactly.
+        assert_eq!(q.data[1].to_f64(), -448.0);
+        let back = dequantize_fp8(&q);
+        assert!((back[1] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let x = pseudo(256, 7);
+        let q = quantize_fp8(&x);
+        let back = dequantize_fp8(&q);
+        for (orig, rec) in x.iter().zip(&back) {
+            // E4M3 has ~2 decimal digits: relative error ≤ 2^-3 of amax.
+            assert!((orig - rec).abs() <= 1.0 / 8.0 * 1.01, "{orig} vs {rec}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let q = quantize_fp8(&[0.0; 16]);
+        assert_eq!(q.scale, 1.0);
+        assert!(dequantize_fp8(&q).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fp8_gemm_tracks_fp32_within_format_error() {
+        let (m, k, n) = (8, 32, 8);
+        let a = pseudo(m * k, 1);
+        let b = pseudo(k * n, 2);
+        let c8 = linear_forward_fp8(&a, &b, m, k, n);
+        let c32 = linear_forward_f32(&a, &b, m, k, n);
+        for (x8, x32) in c8.iter().zip(&c32) {
+            // k=32 dot of O(1) values: absolute error budget ~ k·ε_fp8.
+            assert!((x8 - x32).abs() < 0.5, "{x8} vs {x32}");
+        }
+    }
+
+    #[test]
+    fn rmsnorm_normalises() {
+        let x = vec![3.0f32, 4.0];
+        let w = vec![1.0f32, 1.0];
+        let y = rmsnorm(&x, &w, 1e-6);
+        let ms: f32 = y.iter().map(|v| v * v).sum::<f32>() / 2.0;
+        assert!((ms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_and_softmax_sanity() {
+        let g = vec![0.0f32, 10.0, -10.0];
+        let u = vec![1.0f32, 1.0, 1.0];
+        let y = swiglu(&g, &u);
+        assert_eq!(y[0], 0.0);
+        assert!((y[1] - 10.0).abs() < 1e-2); // silu(10) ≈ 10
+        assert!(y[2].abs() < 1e-2);
+        let sm = softmax(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(sm.iter().all(|&p| (p - 0.25).abs() < 1e-6));
+    }
+}

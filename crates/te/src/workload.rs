@@ -1,0 +1,108 @@
+//! Synthetic ShareGPT-like workload generator.
+//!
+//! The paper tokenises ShareGPT conversations and synthesises client
+//! requests from the observed input/output length distribution, capping
+//! both at 128 tokens (§III-C3).  The real dump is not redistributable, so
+//! this generator draws from a log-normal fit of the published ShareGPT
+//! length statistics (median input ≈ 60, long tail) with the same caps.
+
+/// One synthesised client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Prompt tokens.
+    pub input_len: u32,
+    /// Generated tokens.
+    pub output_len: u32,
+}
+
+/// Deterministic ShareGPT-shaped request stream.
+#[derive(Debug, Clone)]
+pub struct ShareGptSynth {
+    state: u64,
+    /// Cap on prompt length (paper: 128).
+    pub max_input: u32,
+    /// Cap on generation length (paper: 128).
+    pub max_output: u32,
+}
+
+impl ShareGptSynth {
+    /// New generator with the paper's caps.
+    pub fn new(seed: u64) -> Self {
+        ShareGptSynth { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, max_input: 128, max_output: 128 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box–Muller.
+    fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal draw with the ShareGPT-ish shape (median `med`,
+    /// σ_log 0.9), clamped to `[1, cap]`.
+    fn lognormal_len(&mut self, med: f64, cap: u32) -> u32 {
+        let x = (med.ln() + 0.9 * self.normal()).exp();
+        (x.round() as u32).clamp(1, cap)
+    }
+
+    /// Draw the next request.
+    pub fn next_request(&mut self) -> Request {
+        Request {
+            input_len: self.lognormal_len(60.0, self.max_input),
+            output_len: self.lognormal_len(100.0, self.max_output),
+        }
+    }
+
+    /// Draw a batch.
+    pub fn batch(&mut self, n: usize) -> Vec<Request> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_capped() {
+        let mut a = ShareGptSynth::new(42);
+        let mut b = ShareGptSynth::new(42);
+        let ba = a.batch(100);
+        let bb = b.batch(100);
+        assert_eq!(ba, bb);
+        for r in &ba {
+            assert!(r.input_len >= 1 && r.input_len <= 128);
+            assert!(r.output_len >= 1 && r.output_len <= 128);
+        }
+    }
+
+    #[test]
+    fn shape_is_long_tailed() {
+        let mut g = ShareGptSynth::new(7);
+        let reqs = g.batch(2000);
+        let capped = reqs.iter().filter(|r| r.input_len == 128).count();
+        let short = reqs.iter().filter(|r| r.input_len < 30).count();
+        // A real long-tail hits the cap often AND has many short prompts.
+        assert!(capped > 100, "cap hits: {capped}");
+        assert!(short > 300, "short prompts: {short}");
+        let mean: f64 =
+            reqs.iter().map(|r| r.input_len as f64).sum::<f64>() / reqs.len() as f64;
+        assert!(mean > 40.0 && mean < 90.0, "mean input {mean}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ShareGptSynth::new(1).batch(10);
+        let b = ShareGptSynth::new(2).batch(10);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+// Shared-memory histogram over 256 bins; each thread classifies its own id.
+// params: %r0 = output bins (256 u32)
+.shared 1024;
+mov %r1, %tid.x;
+and.s32 %r2, %r1, 255;
+shl.s32 %r3, %r2, 2;
+atom.shared.add.b32 [%r3], 1;
+bar.sync;
+// warp 0 publishes bins tid, tid+32, ... via global atomics
+mov %r4, %warpid;
+setp.ne.s32 %p0, %r4, 0;
+@%p0 bra DONE;
+mov.s32 %r5, 0;
+LOOP:
+shl.s32 %r6, %r5, 5;
+add.s32 %r6, %r6, %r1;
+shl.s32 %r7, %r6, 2;
+ld.shared.b32 %r8, [%r7];
+add.s32 %r9, %r7, %r0;
+atom.global.add.b32 [%r9], %r8;
+add.s32 %r5, %r5, 1;
+setp.lt.s32 %p1, %r5, 8;
+@%p1 bra LOOP;
+DONE:
+exit;

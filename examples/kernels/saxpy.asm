@@ -1,0 +1,14 @@
+// SAXPY: y[i] = a*x[i] + y[i]
+// params: %r0 = x base, %r8 = a (f32 bits), %r9 = y base
+mov %r1, %tid.x;
+mov %r2, %ctaid.x;
+mov %r3, %ntid.x;
+mad.s32 %r4, %r2, %r3, %r1;
+shl.s32 %r5, %r4, 2;
+add.s32 %r6, %r5, %r0;
+add.s32 %r7, %r5, %r9;
+ld.global.ca.b32 %r10, [%r6];
+ld.global.ca.b32 %r11, [%r7];
+fma.f32 %r12, %r10, %r8, %r11;
+st.global.b32 [%r7], %r12;
+exit;

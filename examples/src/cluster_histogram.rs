@@ -1,0 +1,120 @@
+//! Distributed shared memory: a cluster-wide histogram, bins partitioned
+//! across the blocks of a Hopper thread-block cluster — the paper's Fig. 9
+//! application, with a host-side correctness check.
+//!
+//! ```text
+//! cargo run --release -p hopper-examples --bin cluster-histogram
+//! ```
+
+use hopper_isa::{
+    CacheOp, CmpOp, IAluOp, KernelBuilder, MemSpace, Operand::Imm, Operand::Reg as R, Pred, Reg,
+    Special, Width,
+};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+
+const NBINS: u32 = 256;
+const CLUSTER: u32 = 4;
+const BLOCK: u32 = 128;
+const ELEMS_PER_THREAD: i64 = 32;
+
+/// Each cluster block owns `NBINS/CLUSTER` bins; threads route increments
+/// to the owning block over the SM-to-SM network via `mapa`, then rank 0's
+/// thread 0 of each block publishes its partial bins to global memory.
+fn build_kernel() -> hopper_isa::Kernel {
+    let bins_per_block = NBINS / CLUSTER;
+    let log2_bpb = bins_per_block.trailing_zeros() as i64;
+    let mut b = KernelBuilder::new("cluster_histogram");
+    b.shared_mem(bins_per_block * 4);
+    b.special(Reg(1), Special::ClusterCtaRank);
+    b.special(Reg(2), Special::TidX);
+    b.special(Reg(3), Special::CtaIdX);
+    // Element cursor: elems[(ctaid·BLOCK + tid)·4], grid-strided.
+    b.imad(Reg(4), R(Reg(3)), Imm(BLOCK as i64), R(Reg(2)));
+    b.imad(Reg(5), R(Reg(4)), Imm(4), R(Reg(0)));
+    b.mov(Reg(6), Imm(0));
+    let top = b.label_here();
+    b.ld(MemSpace::Global, CacheOp::Cg, Width::B4, Reg(7), Reg(5), 0);
+    b.ialu(IAluOp::And, Reg(8), R(Reg(7)), Imm(NBINS as i64 - 1)); // bin
+    b.ialu(IAluOp::Shr, Reg(9), R(Reg(8)), Imm(log2_bpb)); // owner rank
+    b.ialu(IAluOp::And, Reg(10), R(Reg(8)), Imm(bins_per_block as i64 - 1));
+    b.ialu(IAluOp::Mul, Reg(10), R(Reg(10)), Imm(4));
+    b.mapa(Reg(11), R(Reg(10)), R(Reg(9)));
+    b.atom_add(MemSpace::SharedCluster, None, Reg(11), 0, Imm(1));
+    b.ialu(IAluOp::Add, Reg(5), R(Reg(5)), Imm((CLUSTER * BLOCK * 4) as i64));
+    b.ialu(IAluOp::Add, Reg(6), R(Reg(6)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(6)), Imm(ELEMS_PER_THREAD));
+    b.bra_if(top, Pred(0), true);
+    b.cluster_sync();
+    // Warp 0 of every block copies its owned bins out:
+    // out[rank·bins_per_block + tid] += smem[tid·4]  (tid < bins_per_block).
+    b.special(Reg(12), Special::WarpId);
+    b.setp(Pred(1), CmpOp::Ne, R(Reg(12)), Imm(0));
+    let done = b.forward_label();
+    b.bra_if(done, Pred(1), true);
+    let mut off = 0i64;
+    while off < bins_per_block as i64 {
+        // Each lane handles bins tid, tid+32, … (uniform loop, no
+        // divergence: bins_per_block is a multiple of 32).
+        b.imad(Reg(13), R(Reg(2)), Imm(4), R(Reg(30))); // tid·4 (+r30≡0)
+        b.ialu(IAluOp::Add, Reg(13), R(Reg(13)), Imm(off * 4));
+        b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, Reg(14), Reg(13), 0);
+        // global index = (rank·bins_per_block + tid + off)·4 + out_base
+        b.imad(Reg(15), R(Reg(1)), Imm(bins_per_block as i64), R(Reg(2)));
+        b.ialu(IAluOp::Add, Reg(15), R(Reg(15)), Imm(off));
+        b.imad(Reg(16), R(Reg(15)), Imm(4), R(Reg(17)));
+        b.atom_add(MemSpace::Global, None, Reg(16), 0, R(Reg(14)));
+        off += 32;
+    }
+    b.place(done);
+    b.exit();
+    b.build()
+}
+
+fn main() {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let total_threads = (CLUSTER * BLOCK) as usize;
+    let n_elems = total_threads * ELEMS_PER_THREAD as usize;
+
+    // Deterministic pseudo-random elements.
+    let elems: Vec<u32> = (0..n_elems as u32).map(|i| i.wrapping_mul(2654435761) >> 5).collect();
+    let elem_buf = gpu.alloc((n_elems * 4) as u64).expect("elems");
+    let out_buf = gpu.alloc((NBINS * 4) as u64).expect("bins");
+    gpu.write_u32s(elem_buf, &elems);
+
+    // Kernel parameters: r0 = elements, r17 = output bins.
+    let mut kernel = build_kernel();
+    // r17 is filled from params[17]? Parameters load into r0..rN in order;
+    // pass the output pointer as the second parameter into r1… but r1 is
+    // the cluster rank register in this kernel, so we pass it via r17's
+    // slot: params fill r0..r17 inclusive.
+    let mut params = vec![0u64; 18];
+    params[0] = elem_buf;
+    params[17] = out_buf;
+    kernel.regs_per_thread = kernel.regs_per_thread.max(24);
+
+    let stats = gpu
+        .launch(
+            &kernel,
+            &Launch::new(CLUSTER, BLOCK).with_cluster(CLUSTER).with_params(params),
+        )
+        .expect("launch");
+
+    // Host reference.
+    let mut want = vec![0u32; NBINS as usize];
+    for &e in &elems {
+        want[(e & (NBINS - 1)) as usize] += 1;
+    }
+    let got = gpu.read_u32s(out_buf, NBINS as usize);
+    assert_eq!(got, want, "histogram must match the host reference");
+    println!("✓ {n_elems} elements binned into {NBINS} bins across a {CLUSTER}-block cluster");
+    println!(
+        "  {} bytes crossed the SM-to-SM network in {} cycles ({:.1} µs)",
+        stats.metrics.dsm_bytes,
+        stats.metrics.cycles,
+        stats.seconds() * 1e6
+    );
+    println!(
+        "  remote traffic share: {:.0} % (bins owned by other blocks)",
+        100.0 * (CLUSTER - 1) as f64 / CLUSTER as f64
+    );
+}

@@ -1,0 +1,123 @@
+//! Dynamic programming with DPX: banded Smith–Waterman-style sequence
+//! alignment — the workload family Hopper's DPX instructions exist for.
+//!
+//! Each thread scores one query against the reference with the classic
+//! recurrence `H[i][j] = max(H[i-1][j-1] + sub, E, F, 0)`, expressed with
+//! `__viaddmax_s32_relu` (one DPX call per cell on Hopper; a multi-op
+//! emulation on Ampere/Ada).  The example verifies the score against a
+//! host implementation and compares device runtimes.
+//!
+//! ```text
+//! cargo run --release -p hopper-examples --bin dp-alignment
+//! ```
+
+use hopper_isa::dpx::DpxFunc;
+use hopper_isa::{
+    CacheOp, CmpOp, IAluOp, KernelBuilder, MemSpace, Operand::Imm, Operand::Reg as R, Pred, Reg,
+    Special, Width,
+};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+
+const REF_LEN: usize = 96;
+const MATCH: i32 = 3;
+const MISMATCH: i32 = -2;
+const GAP: i32 = -4;
+
+/// Host reference: banded (bandwidth-1) alignment score of `q` against
+/// `reference` — each thread tracks a single diagonal, so the device
+/// kernel's recurrence is `h = max(h_prev + sub(q, r[j]), h - gap, 0)`.
+fn host_score(q: u32, reference: &[u32]) -> i32 {
+    let mut h = 0i32;
+    for &r in reference {
+        let sub = if q == r { MATCH } else { MISMATCH };
+        // max(max(h + sub, h + GAP), 0) — the __viaddmax_s32_relu shape.
+        let cand = (h + sub).max(h + GAP);
+        h = cand.max(0);
+    }
+    h
+}
+
+fn build_kernel() -> hopper_isa::Kernel {
+    // r0 = reference base, r1 = scores out base.
+    let mut b = KernelBuilder::new("sw_banded");
+    b.special(Reg(2), Special::TidX);
+    b.special(Reg(3), Special::CtaIdX);
+    b.imad(Reg(4), R(Reg(3)), Imm(256), R(Reg(2))); // gid = query symbol
+    b.ialu(IAluOp::And, Reg(5), R(Reg(4)), Imm(3)); // 4-letter alphabet
+    b.mov(Reg(6), Imm(0)); // H
+    b.mov(Reg(7), Imm(0)); // j
+    b.mov(Reg(8), R(Reg(0))); // ref cursor
+    // Software pipeline, depth 4: prefetch reference symbols four cells
+    // ahead so the recurrence's critical path is sel → DPX, not the load.
+    for u in 0..4u16 {
+        b.ld(MemSpace::Global, CacheOp::Ca, Width::B4, Reg(20 + u), Reg(8), 4 * u as i64);
+    }
+    let top = b.label_here();
+    for u in 0..4u16 {
+        // sub = (q == r) ? MATCH : MISMATCH — branch-free via setp+sel.
+        b.setp(Pred(1), CmpOp::Eq, R(Reg(5)), R(Reg(20 + u)));
+        b.sel(Reg(10), Pred(1), Imm(MATCH as i64), Imm(MISMATCH as i64));
+        // Refill this pipeline slot (not on the H-chain).
+        b.ld(MemSpace::Global, CacheOp::Ca, Width::B4, Reg(20 + u), Reg(8), 4 * (u as i64 + 4));
+        // gap candidate: g = H + GAP (plain add, parallel with the sel)…
+        b.ialu(IAluOp::Add, Reg(11), R(Reg(6)), Imm(GAP as i64));
+        // …then H = max(max(H + sub, g), 0) in ONE DPX op.
+        b.dpx(DpxFunc::ViAddMaxS32Relu, Reg(6), R(Reg(6)), R(Reg(10)), R(Reg(11)));
+    }
+    b.ialu(IAluOp::Add, Reg(8), R(Reg(8)), Imm(16));
+    b.ialu(IAluOp::Add, Reg(7), R(Reg(7)), Imm(4));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(7)), Imm(REF_LEN as i64));
+    b.bra_if(top, Pred(0), true);
+    // scores[gid] = H
+    b.imad(Reg(12), R(Reg(4)), Imm(4), R(Reg(1)));
+    b.st(MemSpace::Global, Width::B4, Reg(6), Reg(12), 0);
+    b.exit();
+    b.build()
+}
+
+fn run_on(dev: DeviceConfig, reference: &[u32]) -> (Vec<i32>, u64, f64) {
+    let mut gpu = Gpu::new(dev);
+    // One extra slot: the pipeline prefetches one symbol past the end.
+    let ref_buf = gpu.alloc(((REF_LEN + 8) * 4) as u64).expect("ref");
+    let out_buf = gpu.alloc(1024 * 4).expect("out");
+    gpu.write_u32s(ref_buf, reference);
+    let k = build_kernel();
+    let stats = gpu
+        .launch(&k, &Launch::new(4, 256).with_params(vec![ref_buf, out_buf]))
+        .expect("launch");
+    let scores = gpu
+        .read_u32s(out_buf, 1024)
+        .into_iter()
+        .map(|v| v as i32)
+        .collect();
+    (scores, stats.metrics.cycles, stats.seconds())
+}
+
+fn main() {
+    // Deterministic 4-letter reference sequence.
+    let reference: Vec<u32> = (0..REF_LEN as u32).map(|i| (i.wrapping_mul(2654435761) >> 7) & 3).collect();
+
+    println!("aligning 1024 queries against a {REF_LEN}-symbol reference\n");
+    let (h800_scores, h800_c, h800_t) = run_on(DeviceConfig::h800(), &reference);
+    let (a100_scores, a100_c, a100_t) = run_on(DeviceConfig::a100(), &reference);
+    let (ada_scores, ada_c, ada_t) = run_on(DeviceConfig::rtx4090(), &reference);
+
+    // Correctness: all devices agree with the host recurrence.
+    for gid in 0..1024 {
+        let want = host_score(gid as u32 & 3, &reference);
+        assert_eq!(h800_scores[gid], want, "H800 score for query {gid}");
+        assert_eq!(a100_scores[gid], want, "A100 score for query {gid}");
+        assert_eq!(ada_scores[gid], want, "4090 score for query {gid}");
+    }
+    println!("✓ all 1024 alignment scores match the host reference\n");
+
+    let per_cell = |c: u64| c as f64 / REF_LEN as f64;
+    println!("H800    (hardware DPX): {:5.1} cycles/cell  {:7.2} µs", per_cell(h800_c), h800_t * 1e6);
+    println!("A100    (emulated DPX): {:5.1} cycles/cell  {:7.2} µs", per_cell(a100_c), a100_t * 1e6);
+    println!("RTX4090 (emulated DPX): {:5.1} cycles/cell  {:7.2} µs", per_cell(ada_c), ada_t * 1e6);
+    let speedup = a100_c as f64 / h800_c as f64;
+    assert!(speedup > 1.4, "hardware DPX should clearly win in cycles: {speedup:.2}×");
+    println!("\n→ the paper's DPX finding, on a real DP workload: Hopper's");
+    println!("  hardware unit collapses the add+max+relu chain into one op");
+    println!("  ({speedup:.1}× fewer cycles per DP cell than the emulated path).");
+}

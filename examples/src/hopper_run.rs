@@ -1,0 +1,209 @@
+//! `hopper-run`: execute a PTX-flavoured assembly file on a simulated
+//! device from the command line.
+//!
+//! ```text
+//! hopper-run kernel.asm --device h800 --grid 4 --block 256 \
+//!     --alloc 4096 --param @0 --dump 0:8
+//! ```
+//!
+//! * `--alloc BYTES` — allocate a device buffer (repeatable; buffers are
+//!   numbered 0, 1, … in order);
+//! * `--param V` — kernel parameter loaded into `%r0`, `%r1`, …; `@N`
+//!   passes buffer N's address, a plain integer passes the value;
+//! * `--fill N:V0,V1,…` — pre-fill buffer N with little-endian u32s;
+//! * `--dump N:COUNT` — print COUNT u32s of buffer N after the run;
+//! * `--cluster CS` — launch as thread-block clusters (Hopper only).
+
+use hopper_isa::asm::assemble_named;
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+
+struct Args {
+    file: String,
+    device: DeviceConfig,
+    grid: u32,
+    block: u32,
+    cluster: u32,
+    json: bool,
+    allocs: Vec<u64>,
+    params: Vec<String>,
+    fills: Vec<(usize, Vec<u32>)>,
+    dumps: Vec<(usize, usize)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hopper-run FILE [--device h800|a100|rtx4090] [--grid N] [--block N]\n\
+         \x20                 [--cluster CS] [--alloc BYTES]… [--param V|@N]…\n\
+         \x20                 [--fill N:V0,V1,…]… [--dump N:COUNT]…"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: String::new(),
+        device: DeviceConfig::h800(),
+        grid: 1,
+        block: 32,
+        cluster: 1,
+        json: false,
+        allocs: Vec::new(),
+        params: Vec::new(),
+        fills: Vec::new(),
+        dumps: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--device" => {
+                args.device = match next("--device").to_lowercase().as_str() {
+                    "h800" | "hopper" => DeviceConfig::h800(),
+                    "a100" | "ampere" => DeviceConfig::a100(),
+                    "rtx4090" | "4090" | "ada" => DeviceConfig::rtx4090(),
+                    other => {
+                        eprintln!("unknown device `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--grid" => args.grid = next("--grid").parse().unwrap_or_else(|_| usage()),
+            "--block" => args.block = next("--block").parse().unwrap_or_else(|_| usage()),
+            "--cluster" => args.cluster = next("--cluster").parse().unwrap_or_else(|_| usage()),
+            "--alloc" => args.allocs.push(next("--alloc").parse().unwrap_or_else(|_| usage())),
+            "--param" => args.params.push(next("--param")),
+            "--fill" => {
+                let v = next("--fill");
+                let (idx, vals) = v.split_once(':').unwrap_or_else(|| usage());
+                let idx: usize = idx.parse().unwrap_or_else(|_| usage());
+                let vals: Vec<u32> = vals
+                    .split(',')
+                    .map(|x| x.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                args.fills.push((idx, vals));
+            }
+            "--dump" => {
+                let v = next("--dump");
+                let (idx, n) = v.split_once(':').unwrap_or_else(|| usage());
+                args.dumps.push((
+                    idx.parse().unwrap_or_else(|_| usage()),
+                    n.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            f if f.starts_with("--") => {
+                eprintln!("unknown flag `{f}`");
+                usage()
+            }
+            file => {
+                if !args.file.is_empty() {
+                    usage()
+                }
+                args.file = file.to_string();
+            }
+        }
+    }
+    if args.file.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let source = std::fs::read_to_string(&args.file).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.file);
+        std::process::exit(1)
+    });
+    let kernel = assemble_named(&source, &args.file).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", args.file);
+        std::process::exit(1)
+    });
+
+    let mut gpu = Gpu::new(args.device);
+    let buffers: Vec<u64> = args
+        .allocs
+        .iter()
+        .map(|&b| {
+            gpu.alloc(b).unwrap_or_else(|e| {
+                eprintln!("allocation failed: {e}");
+                std::process::exit(1)
+            })
+        })
+        .collect();
+    for (idx, vals) in &args.fills {
+        let addr = *buffers.get(*idx).unwrap_or_else(|| {
+            eprintln!("--fill references buffer {idx}, but only {} allocated", buffers.len());
+            std::process::exit(1)
+        });
+        gpu.write_u32s(addr, vals);
+    }
+    let params: Vec<u64> = args
+        .params
+        .iter()
+        .map(|p| {
+            if let Some(n) = p.strip_prefix('@') {
+                let idx: usize = n.parse().unwrap_or_else(|_| usage());
+                *buffers.get(idx).unwrap_or_else(|| {
+                    eprintln!("--param @{idx} references an unallocated buffer");
+                    std::process::exit(1)
+                })
+            } else {
+                p.parse().unwrap_or_else(|_| usage())
+            }
+        })
+        .collect();
+
+    let launch = Launch::new(args.grid, args.block)
+        .with_cluster(args.cluster)
+        .with_params(params);
+    let stats = gpu.launch(&kernel, &launch).unwrap_or_else(|e| {
+        eprintln!("launch failed: {e}");
+        std::process::exit(1)
+    });
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialise"));
+        for (idx, n) in &args.dumps {
+            let addr = buffers[*idx];
+            println!(
+                "{}",
+                serde_json::json!({ "buffer": idx, "values": gpu.read_u32s(addr, *n) })
+            );
+        }
+        return;
+    }
+    println!(
+        "{}: {} blocks × {} threads on {}",
+        args.file, args.grid, args.block, gpu.device().name
+    );
+    let m = &stats.metrics;
+    println!(
+        "  {} cycles  ({:.3} µs at {:.0} MHz{})",
+        m.cycles,
+        stats.seconds() * 1e6,
+        stats.achieved_clock_hz / 1e6,
+        if stats.throttle() < 0.999 {
+            format!(", throttled ×{:.3}", stats.throttle())
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  {} instructions, {} TC ops, {} DPX ops",
+        m.instructions, m.tc_ops, m.dpx_ops
+    );
+    println!(
+        "  traffic: L1 {} B, L2 {} B, DRAM {} B, SMEM {} B, DSM {} B",
+        m.l1_bytes, m.l2_bytes, m.dram_bytes, m.smem_bytes, m.dsm_bytes
+    );
+    println!("  avg power {:.1} W", stats.avg_power_w);
+    for (idx, n) in &args.dumps {
+        let addr = buffers[*idx];
+        println!("  buffer {idx}[0..{n}] = {:?}", gpu.read_u32s(addr, *n));
+    }
+}

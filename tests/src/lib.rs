@@ -1,0 +1,1 @@
+//! Helper-less integration-test package; the tests live in `tests/`.

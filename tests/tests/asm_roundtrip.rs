@@ -1,0 +1,180 @@
+//! Property test: `assemble ∘ disassemble` is the identity over the
+//! assembler's instruction surface, for arbitrarily generated kernels.
+
+use hopper_isa::asm::assemble;
+use hopper_isa::disasm::disassemble;
+use hopper_isa::{
+    AddrExpr, CacheOp, CmpOp, FAluOp, FloatPrec, IAluOp, Instr, Kernel, MemSpace, Operand, Pred,
+    Reg, Special, Width,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u16..32).prop_map(Reg)
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (-1_000_000i64..1_000_000).prop_map(Operand::Imm),
+    ]
+}
+
+fn addr() -> impl Strategy<Value = AddrExpr> {
+    (reg(), -4096i64..4096).prop_map(|(base, offset)| AddrExpr { base, offset })
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B4), Just(Width::B8), Just(Width::B16)]
+}
+
+fn straightline_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(IAluOp::Add),
+                Just(IAluOp::Sub),
+                Just(IAluOp::Mul),
+                Just(IAluOp::Min),
+                Just(IAluOp::Max),
+                Just(IAluOp::And),
+                Just(IAluOp::Or),
+                Just(IAluOp::Xor),
+                Just(IAluOp::Shl),
+                Just(IAluOp::Shr),
+            ],
+            reg(),
+            operand(),
+            operand()
+        )
+            .prop_map(|(op, dst, a, b)| Instr::IAlu { op, dst, a, b }),
+        (reg(), operand(), operand(), operand())
+            .prop_map(|(dst, a, b, c)| Instr::IMad { dst, a, b, c }),
+        (
+            prop_oneof![Just(FAluOp::Add), Just(FAluOp::Mul), Just(FAluOp::Min), Just(FAluOp::Max)],
+            prop_oneof![Just(FloatPrec::F32), Just(FloatPrec::F64)],
+            reg(),
+            operand(),
+            operand()
+        )
+            .prop_map(|(op, prec, dst, a, b)| Instr::FAlu { op, prec, dst, a, b }),
+        (reg(), operand()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (
+            (0u8..4).prop_map(Pred),
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            operand(),
+            operand()
+        )
+            .prop_map(|(pred, cmp, a, b)| Instr::SetP { pred, cmp, a, b }),
+        (reg(), (0u8..4).prop_map(Pred), operand(), operand())
+            .prop_map(|(dst, pred, a, b)| Instr::Sel { dst, pred, a, b }),
+        (
+            // The cache operator only exists in text for global loads;
+            // shared loads parse to `.ca` unconditionally.
+            prop_oneof![
+                (Just(MemSpace::Global), prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)]),
+                (Just(MemSpace::Shared), Just(CacheOp::Ca)),
+            ],
+            width(),
+            reg(),
+            addr()
+        )
+            .prop_map(|((space, cop), width, dst, addr)| Instr::Ld {
+                space,
+                cop,
+                width,
+                dst,
+                addr
+            }),
+        (
+            prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)],
+            width(),
+            reg(),
+            addr()
+        )
+            .prop_map(|(space, width, src, addr)| Instr::St { space, width, src, addr }),
+        (
+            prop_oneof![
+                Just(MemSpace::Global),
+                Just(MemSpace::Shared),
+                Just(MemSpace::SharedCluster)
+            ],
+            addr(),
+            operand()
+        )
+            .prop_map(|(space, addr, src)| Instr::AtomAdd { space, dst: None, addr, src }),
+        (reg(), operand(), operand()).prop_map(|(dst, addr, rank)| Instr::Mapa { dst, addr, rank }),
+        (
+            reg(),
+            prop_oneof![
+                Just(Special::TidX),
+                Just(Special::CtaIdX),
+                Just(Special::SmId),
+                Just(Special::WarpId),
+                Just(Special::LaneId),
+                Just(Special::Clock),
+                Just(Special::ClusterCtaRank),
+            ]
+        )
+            .prop_map(|(dst, sr)| Instr::ReadSpecial { dst, sr }),
+        Just(Instr::BarSync),
+        Just(Instr::ClusterSync),
+        Just(Instr::CpAsyncCommit),
+        (0u8..4).prop_map(|groups| Instr::CpAsyncWait { groups }),
+        Just(Instr::WgmmaFence),
+        Just(Instr::WgmmaCommit),
+    ]
+}
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (proptest::collection::vec(straightline_instr(), 1..40), 0u32..8192).prop_map(
+        |(mut instrs, smem)| {
+            instrs.push(Instr::Exit);
+            let max_reg = 32u32; // generous; the assembler recomputes it
+            Kernel {
+                instrs,
+                regs_per_thread: max_reg,
+                smem_bytes: smem / 8 * 8,
+                name: "arb".into(),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn assemble_inverts_disassemble(k in arb_kernel()) {
+        let text = disassemble(&k).expect("straight-line kernels are textual");
+        let back = assemble(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&back.instrs, &k.instrs, "text was:\n{}", text);
+        prop_assert_eq!(back.smem_bytes, k.smem_bytes);
+    }
+}
+
+#[test]
+fn branches_roundtrip_with_labels() {
+    let src = r#"
+        mov.s32 %r1, 0;
+    A:
+        add.s32 %r1, %r1, 1;
+        setp.lt.s32 %p0, %r1, 3;
+        @%p0 bra A;
+        setp.ge.s32 %p1, %r1, 100;
+        @!%p1 bra B;
+        mov.s32 %r2, 9;
+    B:
+        exit;
+    "#;
+    let k1 = assemble(src).unwrap();
+    let k2 = assemble(&disassemble(&k1).unwrap()).unwrap();
+    assert_eq!(k1.instrs, k2.instrs);
+}

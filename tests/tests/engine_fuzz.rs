@@ -1,0 +1,147 @@
+//! Engine fuzzing: arbitrary straight-line kernels must (a) never panic,
+//! (b) replay deterministically, and (c) compute identical results on all
+//! three device models (timing differs; semantics must not).
+
+use hopper_isa::{
+    AddrExpr, CacheOp, CmpOp, FAluOp, IAluOp, Instr, Kernel, MemSpace, Operand, Pred, Reg,
+    Special, Width,
+};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u16..24).prop_map(Reg)
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (-65536i64..65536).prop_map(Operand::Imm),
+    ]
+}
+
+/// Global addresses are folded into the scratch buffer by masking inside
+/// the generated kernel itself (see `wrap_addr` below), so any register
+/// value is safe to dereference.
+fn fuzz_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(IAluOp::Add),
+                Just(IAluOp::Sub),
+                Just(IAluOp::Mul),
+                Just(IAluOp::Min),
+                Just(IAluOp::Max),
+                Just(IAluOp::And),
+                Just(IAluOp::Or),
+                Just(IAluOp::Xor),
+            ],
+            reg(),
+            operand(),
+            operand()
+        )
+            .prop_map(|(op, dst, a, b)| Instr::IAlu { op, dst, a, b }),
+        (reg(), operand(), operand(), operand())
+            .prop_map(|(dst, a, b, c)| Instr::IMad { dst, a, b, c }),
+        (reg(), operand()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (
+            prop_oneof![Just(FAluOp::Add), Just(FAluOp::Mul), Just(FAluOp::Min), Just(FAluOp::Max)],
+            reg(),
+            operand(),
+            operand()
+        )
+            .prop_map(|(op, dst, a, b)| Instr::FAlu {
+                op,
+                prec: hopper_isa::FloatPrec::F32,
+                dst,
+                a,
+                b
+            }),
+        (
+            (0u8..2).prop_map(Pred),
+            prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Eq)],
+            operand(),
+            operand()
+        )
+            .prop_map(|(pred, cmp, a, b)| Instr::SetP { pred, cmp, a, b }),
+        (reg(), (0u8..2).prop_map(Pred), operand(), operand())
+            .prop_map(|(dst, pred, a, b)| Instr::Sel { dst, pred, a, b }),
+        (
+            reg(),
+            prop_oneof![Just(Special::TidX), Just(Special::CtaIdX), Just(Special::LaneId)]
+        )
+            .prop_map(|(dst, sr)| Instr::ReadSpecial { dst, sr }),
+        // Memory ops use register 30 as base (wrapped each time below).
+        (prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)], reg(), (0i64..1024))
+            .prop_map(|(cop, dst, offset)| Instr::Ld {
+                space: MemSpace::Global,
+                cop,
+                width: Width::B4,
+                dst,
+                addr: AddrExpr { base: Reg(30), offset },
+            }),
+        (reg(), (0i64..1024)).prop_map(|(src, offset)| Instr::St {
+            space: MemSpace::Global,
+            width: Width::B4,
+            src,
+            addr: AddrExpr { base: Reg(30), offset },
+        }),
+        Just(Instr::BarSync),
+    ]
+}
+
+/// Build a kernel whose memory ops always land inside `[%r31, %r31+4KiB)`:
+/// before every memory access, `%r30 = %r31 + (%rX & 0xFFF)` for a
+/// generator-chosen register.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (proptest::collection::vec((fuzz_instr(), reg()), 4..48)).prop_map(|pairs| {
+        let mut instrs = Vec::new();
+        for (instr, addr_src) in pairs {
+            if matches!(instr, Instr::Ld { .. } | Instr::St { .. }) {
+                instrs.push(Instr::IAlu {
+                    op: IAluOp::And,
+                    dst: Reg(30),
+                    a: Operand::Reg(addr_src),
+                    b: Operand::Imm(0xFFC),
+                });
+                instrs.push(Instr::IAlu {
+                    op: IAluOp::Add,
+                    dst: Reg(30),
+                    a: Operand::Reg(Reg(30)),
+                    b: Operand::Reg(Reg(31)),
+                });
+            }
+            instrs.push(instr);
+        }
+        instrs.push(Instr::Exit);
+        Kernel { instrs, regs_per_thread: 32, smem_bytes: 0, name: "fuzz".into() }
+    })
+}
+
+fn run(dev: DeviceConfig, k: &Kernel) -> (u64, Vec<u32>) {
+    let mut gpu = Gpu::new(dev);
+    let scratch = gpu.alloc(8192).unwrap();
+    // Params: r0..r31; r31 = scratch base.
+    let mut params = vec![0u64; 32];
+    params[31] = scratch;
+    let stats = gpu
+        .launch(k, &Launch::new(2, 64).with_params(params))
+        .expect("fuzz kernels always launch");
+    (stats.metrics.cycles, gpu.read_u32s(scratch, 1024))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fuzzed_kernels_replay_and_agree(k in arb_kernel()) {
+        let (c1, m1) = run(DeviceConfig::h800(), &k);
+        let (c2, m2) = run(DeviceConfig::h800(), &k);
+        prop_assert_eq!(c1, c2, "cycle replay");
+        prop_assert_eq!(&m1, &m2, "memory replay");
+        let (_, ma) = run(DeviceConfig::a100(), &k);
+        let (_, mr) = run(DeviceConfig::rtx4090(), &k);
+        prop_assert_eq!(&m1, &ma, "H800 vs A100 semantics");
+        prop_assert_eq!(&ma, &mr, "A100 vs 4090 semantics");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over the numeric substrate and its integration
+//! with the simulator's functional datapath.
+
+use hopper_isa::{DType, MmaDesc, TilePattern};
+use hopper_numerics::{Bf16, Fp8E4M3, Fp8E5M2, Sparse24, SoftFloat, Tf32, F16};
+use hopper_sim::engine::{decode_elem, encode_elem};
+use hopper_sim::tiles::{execute_mma, Tile};
+use proptest::prelude::*;
+
+proptest! {
+    /// Round-to-nearest: the encoded value is never farther from x than
+    /// any neighbouring representable value.
+    #[test]
+    fn f16_encode_is_nearest(x in -70000.0f64..70000.0) {
+        let enc = F16::from_f64(x);
+        let v = enc.to_f64();
+        if v.is_finite() {
+            // Check against both neighbours.
+            let bits = enc.to_bits();
+            for nb in [bits.wrapping_sub(1), bits + 1] {
+                let w = F16::from_bits(nb & 0xffff).to_f64();
+                if w.is_finite() && (w > 0.0) == (v > 0.0) {
+                    prop_assert!((v - x).abs() <= (w - x).abs() + 1e-9,
+                        "x={x}, chose {v}, neighbour {w} closer");
+                }
+            }
+        }
+    }
+
+    /// Encode∘decode is the identity on representable values, for every
+    /// format.
+    #[test]
+    fn all_formats_roundtrip(bits in 0u64..0x10000) {
+        macro_rules! check {
+            ($t:ty, $mask:expr) => {{
+                let v = <$t>::from_bits(bits & $mask).to_f64();
+                if v.is_finite() {
+                    prop_assert_eq!(<$t>::from_f64(v).to_f64(), v);
+                }
+            }};
+        }
+        check!(F16, 0xffff);
+        check!(Bf16, 0xffff);
+        check!(Fp8E4M3, 0xff);
+        check!(Fp8E5M2, 0xff);
+        check!(Tf32, 0x7ffff);
+    }
+
+    /// E4M3 saturates (never infinite), E5M2 overflows to infinity.
+    #[test]
+    fn fp8_overflow_conventions(x in 460.0f64..1.0e12) {
+        prop_assert_eq!(Fp8E4M3::from_f64(x).to_f64(), 448.0);
+        let e5 = Fp8E5M2::from_f64(x).to_f64();
+        prop_assert!(e5 == 57344.0 || e5.is_infinite());
+    }
+
+    /// 2:4 compression round-trips any structurally-valid row.
+    #[test]
+    fn sparse24_roundtrip(positions in proptest::collection::vec(0usize..4, 4),
+                          vals in proptest::collection::vec(-8.0f64..8.0, 8)) {
+        // Build a 16-wide row with ≤2 non-zeros per group of 4.
+        let mut dense = vec![F16::zero(); 16];
+        for (g, chunk) in positions.chunks(1).enumerate().take(4) {
+            let p0 = chunk[0];
+            let p1 = (p0 + 1) % 4;
+            dense[g * 4 + p0] = F16::from_f64(vals[2 * g]);
+            dense[g * 4 + p1] = F16::from_f64(vals[2 * g + 1]);
+        }
+        let s = Sparse24::compress(&dense).unwrap();
+        prop_assert_eq!(s.decompress(), dense);
+    }
+
+    /// The engine's element codec agrees with the numerics crate for every
+    /// dtype (bit-level identity through memory).
+    #[test]
+    fn elem_codec_roundtrip(x in -500.0f64..500.0) {
+        for dt in [DType::F16, DType::BF16, DType::TF32, DType::F32, DType::E4M3, DType::E5M2] {
+            let enc = encode_elem(dt, x);
+            let dec = decode_elem(dt, enc);
+            // Decoding an encoded value must be a fixed point.
+            prop_assert_eq!(encode_elem(dt, dec), enc, "{:?}", dt);
+        }
+        let i = x as i64 as f64;
+        for dt in [DType::S8, DType::S32] {
+            let dec = decode_elem(dt, encode_elem(dt, i));
+            prop_assert_eq!(encode_elem(dt, dec), encode_elem(dt, i), "{:?}", dt);
+        }
+    }
+
+    /// Functional mma linearity: D(αA, B) == α·D(A, B) for exact powers of
+    /// two (no rounding interference).
+    #[test]
+    fn mma_scales_by_powers_of_two(seed in 0u64..1000) {
+        let desc = MmaDesc::mma(16, 8, 8, DType::F16, DType::F32, false).unwrap();
+        let a = Tile::from_pattern(DType::F16, 16, 8, TilePattern::Random { seed });
+        let mut a2 = a.clone();
+        for v in &mut a2.data { *v *= 2.0; }
+        let b = Tile::from_pattern(DType::F16, 8, 8, TilePattern::Random { seed: seed + 1 });
+        let c = Tile::zeros(DType::F32, 16, 8);
+        let d1 = execute_mma(&desc, &a, &b, &c).unwrap();
+        let d2 = execute_mma(&desc, &a2, &b, &c).unwrap();
+        for (x, y) in d1.data.iter().zip(&d2.data) {
+            prop_assert_eq!(2.0 * x, *y);
+        }
+    }
+}
+
+/// The quantise→matmul→rescale path of `hopper-te` commutes with scaling:
+/// per-tensor scaling cancels exactly through the scale factors.
+#[test]
+fn te_quantization_scale_invariance() {
+    use hopper_te::ops::{linear_forward_fp8, linear_forward_f32};
+    let a: Vec<f32> = (0..64).map(|i| ((i * 37) % 23) as f32 / 11.0 - 1.0).collect();
+    let b: Vec<f32> = (0..64).map(|i| ((i * 53) % 19) as f32 / 9.0 - 1.0).collect();
+    let base = linear_forward_fp8(&a, &b, 8, 8, 8);
+    let a4: Vec<f32> = a.iter().map(|v| v * 4.0).collect();
+    let scaled = linear_forward_fp8(&a4, &b, 8, 8, 8);
+    for (x, y) in base.iter().zip(&scaled) {
+        assert!((4.0 * x - y).abs() < 1e-4, "{x} vs {y}");
+    }
+    // And the FP8 path stays near the FP32 reference.
+    let reference = linear_forward_f32(&a, &b, 8, 8, 8);
+    for (x, r) in base.iter().zip(&reference) {
+        assert!((x - r).abs() < 0.2, "{x} vs {r}");
+    }
+}

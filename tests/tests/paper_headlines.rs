@@ -1,0 +1,121 @@
+//! End-to-end checks of the paper's headline findings, exercised through
+//! the public APIs of every crate (isa → sim → micro → te).
+
+use hopper_isa::mma::OperandSource;
+use hopper_isa::{Arch, DType, MmaDesc};
+use hopper_micro::tcbench::{self, Init};
+use hopper_micro::{dsmbench, membench, pchase};
+use hopper_sim::{DeviceConfig, Gpu};
+
+/// §IV-C: "the complete potential of Hopper TCs can only be realized
+/// through wgmma instructions" — mma leaves >30 % idle, wgmma ≥95 %.
+#[test]
+fn headline_wgmma_unlocks_hopper() {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let peak = gpu.device().peak_tflops(DType::F16).unwrap();
+    let mma = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
+    let wg = MmaDesc::wgmma(256, DType::F16, DType::F16, false, OperandSource::SharedShared)
+        .unwrap();
+    let t_mma = tcbench::mma_throughput(&mut gpu, &mma, Init::Zero);
+    let t_wg = tcbench::wgmma_throughput(&mut gpu, &wg, Init::Zero);
+    assert!(t_mma < 0.72 * peak, "mma should sit well below peak: {t_mma:.0} of {peak:.0}");
+    assert!(t_wg > 0.93 * peak, "wgmma should approach peak: {t_wg:.0} of {peak:.0}");
+}
+
+/// §IV-C: random operands push the H800 into its 350 W limit and the
+/// FP16-in/FP32-accumulate stream loses ≈9 % to DVFS; FP8 barely moves.
+#[test]
+fn headline_power_throttling() {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let f16 = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared)
+        .unwrap();
+    let fp8 = MmaDesc::wgmma(256, DType::E4M3, DType::F16, false, OperandSource::SharedShared)
+        .unwrap();
+    let f16_loss = 1.0
+        - tcbench::wgmma_throughput(&mut gpu, &f16, Init::Rand)
+            / tcbench::wgmma_throughput(&mut gpu, &f16, Init::Zero);
+    let fp8_loss = 1.0
+        - tcbench::wgmma_throughput(&mut gpu, &fp8, Init::Rand)
+            / tcbench::wgmma_throughput(&mut gpu, &fp8, Init::Zero);
+    assert!(f16_loss > 0.05 && f16_loss < 0.13, "FP16/FP32 rand loss {f16_loss:.3}");
+    assert!(fp8_loss < 0.03, "FP8 rand loss should be tiny: {fp8_loss:.3}");
+}
+
+/// §IV-E: SM-to-SM loads land ≈180 cycles — a ~32 % cut vs the L2 path —
+/// measured by actually chasing pointers across a cluster.
+#[test]
+fn headline_dsm_latency() {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let dsm = dsmbench::dsm_latency(&mut gpu);
+    let l2 = pchase::latency(&mut gpu, pchase::MemLevel::L2);
+    let cut = 1.0 - dsm / l2;
+    assert!((dsm - 180.0).abs() < 10.0, "DSM latency {dsm:.0}");
+    assert!((cut - 0.32).abs() < 0.05, "reduction vs L2: {cut:.2}");
+}
+
+/// Table V: the H800's L2 leads the other two devices by >2×, and every
+/// device's hierarchy is ordered L1 > L2-share > DRAM.
+#[test]
+fn headline_l2_bandwidth_leadership() {
+    let mut h = Gpu::new(DeviceConfig::h800());
+    let mut a = Gpu::new(DeviceConfig::a100());
+    let th = membench::l2_throughput(&mut h, membench::AccessKind::Fp32);
+    let ta = membench::l2_throughput(&mut a, membench::AccessKind::Fp32);
+    assert!(th / ta > 2.0, "H800/A100 L2 = {:.2}", th / ta);
+}
+
+/// Table VI: the INT4 `mma` silently leaves the tensor cores on Hopper.
+#[test]
+fn headline_int4_demotion() {
+    let d = MmaDesc::mma(16, 8, 32, DType::S4, DType::S32, false).unwrap();
+    let hopper = hopper_isa::lower::sass_for(Arch::Hopper, &d).unwrap();
+    let ampere = hopper_isa::lower::sass_for(Arch::Ampere, &d).unwrap();
+    assert_eq!(hopper.unit, hopper_isa::lower::ExecUnit::CudaCore);
+    assert_eq!(ampere.unit, hopper_isa::lower::ExecUnit::TensorCore);
+}
+
+/// Fig. 4 + Table XII, across crates: FP8 pays off for big square GEMMs
+/// but not for short-decode LLM serving.
+#[test]
+fn headline_fp8_is_conditional() {
+    use hopper_te::{CostModel, Linear, LlmModel, LlmRunner, Precision};
+    let cm = CostModel::new(DeviceConfig::h800());
+    let big = Linear::square(16384);
+    assert!(
+        big.throughput_gflops(&cm, Precision::Fp8)
+            > 1.5 * big.throughput_gflops(&cm, Precision::Fp16),
+        "FP8 must win the large GEMM"
+    );
+    let runner = LlmRunner::new(DeviceConfig::h800());
+    let bf = runner
+        .generate(&LlmModel::llama2_7b(), Precision::Bf16)
+        .tokens_per_s()
+        .unwrap();
+    let f8 = runner
+        .generate(&LlmModel::llama2_7b(), Precision::Fp8)
+        .tokens_per_s()
+        .unwrap();
+    assert!(f8 < bf, "FP8 must lose the short-decode serve: {f8:.0} vs {bf:.0}");
+}
+
+/// The cross-architecture feature matrix: things that must *fail* off
+/// Hopper keep failing.
+#[test]
+fn headline_feature_gating() {
+    use hopper_sim::{Launch, LaunchError};
+    // Clusters.
+    let k = hopper_isa::asm::assemble("exit;").unwrap();
+    for dev in [DeviceConfig::a100(), DeviceConfig::rtx4090()] {
+        let mut gpu = Gpu::new(dev);
+        assert!(matches!(
+            gpu.launch(&k, &Launch::new(2, 32).with_cluster(2)),
+            Err(LaunchError::Unsupported(_))
+        ));
+    }
+    // wgmma descriptors refuse to lower off Hopper.
+    let wg = MmaDesc::wgmma(64, DType::F16, DType::F32, false, OperandSource::SharedShared)
+        .unwrap();
+    assert!(hopper_isa::lower::sass_for(Arch::Ada, &wg).is_err());
+    // FP8 tensor rates exist only on Ada/Hopper.
+    assert!(DeviceConfig::a100().tc_rate(DType::E4M3).is_none());
+}

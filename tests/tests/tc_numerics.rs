@@ -1,0 +1,180 @@
+//! Numeric behaviour of the simulated tensor cores, in the spirit of
+//! Fasi et al., "Numerical behavior of NVIDIA tensor cores" (the paper's
+//! ref [25]): accumulation order, accumulator width, monotonicity,
+//! subnormals and saturation, exercised through the *full* instruction
+//! path (tiles → `execute_mma`).
+
+use hopper_isa::{DType, MmaDesc, TilePattern};
+use hopper_numerics::{Fp8E4M3, SoftFloat, F16};
+use hopper_sim::tiles::{execute_mma, Tile};
+
+fn desc_f16(cd: DType, k: u32) -> MmaDesc {
+    MmaDesc::mma(16, 8, k, DType::F16, cd, false).unwrap()
+}
+
+fn tile(dtype: DType, rows: usize, cols: usize, vals: &[f64]) -> Tile {
+    assert_eq!(vals.len(), rows * cols);
+    Tile { dtype, rows, cols, data: vals.to_vec() }
+}
+
+/// Products are formed exactly: two FP16 values whose product is not
+/// representable in FP16 still contribute exactly to an FP32 accumulator.
+#[test]
+fn products_are_exact_before_accumulation() {
+    // 0.0010004044... : pick x = 1 + 2^-10 (ulp above 1), y = 1 + 2^-10;
+    // x·y = 1 + 2^-9 + 2^-20 — the 2^-20 tail is lost by an FP16 multiply
+    // but kept by the exact-product datapath.
+    let x = 1.0 + 2f64.powi(-10);
+    let mut a = vec![0.0; 16 * 8];
+    a[0] = x;
+    let mut b = vec![0.0; 8 * 8];
+    b[0] = x;
+    let d = execute_mma(
+        &desc_f16(DType::F32, 8),
+        &tile(DType::F16, 16, 8, &a),
+        &tile(DType::F16, 8, 8, &b),
+        &Tile::zeros(DType::F32, 16, 8),
+    )
+    .unwrap();
+    let exact = (x * x) as f32 as f64; // exact product, single FP32 rounding
+    assert_eq!(d.get(0, 0), exact);
+    // An FP16-rounded product would differ.
+    let fp16_product = F16::from_f64(x * x).to_f64();
+    assert_ne!(exact, fp16_product);
+}
+
+/// The FP32 accumulator keeps small addends that an FP16 accumulator
+/// swallows — the C/D-width distinction of Tables VII/VIII.
+#[test]
+fn accumulator_width_is_observable() {
+    let k = 16;
+    let a = vec![1.0; 16 * k];
+    let b = vec![2f64.powi(-12); k * 8];
+    let c16 = Tile { dtype: DType::F16, rows: 16, cols: 8, data: vec![1.0; 128] };
+    let c32 = Tile { dtype: DType::F32, rows: 16, cols: 8, data: vec![1.0; 128] };
+    let d16 = execute_mma(
+        &desc_f16(DType::F16, k as u32),
+        &tile(DType::F16, 16, k, &a),
+        &tile(DType::F16, k, 8, &b),
+        &c16,
+    )
+    .unwrap();
+    let d32 = execute_mma(
+        &desc_f16(DType::F32, k as u32),
+        &tile(DType::F16, 16, k, &a),
+        &tile(DType::F16, k, 8, &b),
+        &c32,
+    )
+    .unwrap();
+    // 1 + 16·2^-12 = 1.00390625: representable in FP16? ulp(1)=2^-10, so
+    // yes — but each *individual* +2^-12 rounds away in FP16 (ties to 1).
+    assert_eq!(d16.get(0, 0), 1.0, "FP16 accumulator drops each tiny addend");
+    assert!((d32.get(0, 0) - (1.0 + 16.0 * 2f64.powi(-12))).abs() < 1e-7);
+}
+
+/// Accumulation is sequential in K: a cancellation ordering test detects
+/// left-to-right summation (matching our documented model).
+#[test]
+fn accumulation_order_is_sequential() {
+    // [big, -big, tiny] sums to tiny under left-to-right FP32 accumulation;
+    // any tree order of width 2 would also survive, but [tiny, big, -big]
+    // loses tiny first if order were reversed.
+    let k = 8usize;
+    let big = 3.0e7f64; // exceeds FP32's integer window relative to tiny
+    let tiny = 1.0;
+    let run = |avals: [f64; 4]| {
+        // Values exceed FP16 range; use BF16 operands (8-bit exponent).
+        let mut a = vec![0.0; 16 * k];
+        a[..4].copy_from_slice(&avals);
+        let ones = vec![1.0; k * 8];
+        let d = execute_mma(
+            &MmaDesc::mma(16, 8, k as u32, DType::BF16, DType::F32, false).unwrap(),
+            &tile(DType::BF16, 16, k, &a),
+            &tile(DType::BF16, k, 8, &ones),
+            &Tile::zeros(DType::F32, 16, 8),
+        )
+        .unwrap();
+        d.get(0, 0)
+    };
+    let forward = run([big, -big, tiny, 0.0]);
+    assert_eq!(forward, tiny, "big cancels first, tiny survives");
+    let tail = run([tiny, big, -big, 0.0]);
+    // tiny is absorbed into big (1 ulp of 3e7 in f32 is 2): lost.
+    assert_eq!(tail, 0.0, "tiny absorbed before cancellation");
+}
+
+/// Monotonicity: increasing one A element never decreases the dot product
+/// when B is non-negative.
+#[test]
+fn monotone_in_operands() {
+    let k = 8usize;
+    let base: Vec<f64> = (0..16 * k).map(|i| ((i % 7) as f64) / 8.0).collect();
+    let b: Vec<f64> = (0..k * 8).map(|i| ((i % 5) as f64) / 4.0).collect();
+    let d0 = execute_mma(
+        &desc_f16(DType::F32, k as u32),
+        &tile(DType::F16, 16, k, &base),
+        &tile(DType::F16, k, 8, &b),
+        &Tile::zeros(DType::F32, 16, 8),
+    )
+    .unwrap();
+    let mut bumped = base.clone();
+    bumped[3] += 0.25; // exactly representable
+    let d1 = execute_mma(
+        &desc_f16(DType::F32, k as u32),
+        &tile(DType::F16, 16, k, &bumped),
+        &tile(DType::F16, k, 8, &b),
+        &Tile::zeros(DType::F32, 16, 8),
+    )
+    .unwrap();
+    for j in 0..8 {
+        assert!(d1.get(0, j) >= d0.get(0, j), "column {j} must not decrease");
+    }
+}
+
+/// FP16 subnormal operands participate exactly (no flush-to-zero in the
+/// multiplier).
+#[test]
+fn subnormal_operands_multiply_exactly() {
+    let sub = 2f64.powi(-24); // smallest FP16 subnormal
+    assert_eq!(F16::from_f64(sub).to_f64(), sub);
+    let mut a = vec![0.0; 16 * 8];
+    a[0] = sub;
+    let mut b = vec![0.0; 8 * 8];
+    b[0] = 1024.0;
+    let d = execute_mma(
+        &desc_f16(DType::F32, 8),
+        &tile(DType::F16, 16, 8, &a),
+        &tile(DType::F16, 8, 8, &b),
+        &Tile::zeros(DType::F32, 16, 8),
+    )
+    .unwrap();
+    assert_eq!(d.get(0, 0), sub * 1024.0);
+}
+
+/// FP8-E4M3 destination values saturate at ±448 instead of overflowing,
+/// matching `cvt.satfinite` semantics used by the Transformer Engine.
+#[test]
+fn fp8_destination_saturates() {
+    let q = Fp8E4M3::from_f64(1.0e6);
+    assert_eq!(q.to_f64(), 448.0);
+    let qn = Fp8E4M3::from_f64(-1.0e6);
+    assert_eq!(qn.to_f64(), -448.0);
+}
+
+/// The wgmma path (D += A·B with no separate C) accumulates in place.
+#[test]
+fn wgmma_accumulates_in_place() {
+    use hopper_isa::OperandSource;
+    let desc =
+        MmaDesc::wgmma(8, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    let a = Tile::from_pattern(DType::F16, 64, 16, TilePattern::Identity);
+    let b = Tile::from_pattern(DType::F16, 16, 8, TilePattern::Random { seed: 5 });
+    let c = execute_mma(&desc, &a, &b, &Tile::zeros(DType::F32, 64, 8)).unwrap();
+    let twice = execute_mma(&desc, &a, &b, &c).unwrap();
+    for i in 0..16.min(64) {
+        for j in 0..8 {
+            let want = ((b.get(i, j) as f32) + (b.get(i, j) as f32)) as f64;
+            assert_eq!(twice.get(i, j), want, "({i},{j})");
+        }
+    }
+}
