@@ -14,12 +14,21 @@ fn main() {
     let base = SimOptions::default();
 
     println!("== Ablation: DVFS / power model ==");
-    let wg =
-        MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    let wg = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let mut on = Gpu::new(DeviceConfig::h800());
     let mut off = Gpu::with_options(
         DeviceConfig::h800(),
-        SimOptions { model_dvfs: false, ..base },
+        SimOptions {
+            model_dvfs: false,
+            ..base
+        },
     );
     let rand_on = tcbench::wgmma_throughput(&mut on, &wg, Init::Rand);
     let rand_off = tcbench::wgmma_throughput(&mut off, &wg, Init::Rand);
@@ -28,12 +37,21 @@ fn main() {
     println!("  → the Rand/Zero gap of Table VIII is entirely the 350 W limit\n");
 
     println!("== Ablation: sparse-SS operand-fetch penalty ==");
-    let sp =
-        MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+    let sp = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        true,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let mut on = Gpu::new(DeviceConfig::h800());
     let mut off = Gpu::with_options(
         DeviceConfig::h800(),
-        SimOptions { sparse_ss_penalty: false, ..base },
+        SimOptions {
+            sparse_ss_penalty: false,
+            ..base
+        },
     );
     let ss_on = tcbench::wgmma_throughput(&mut on, &sp, Init::Zero);
     let ss_off = tcbench::wgmma_throughput(&mut off, &sp, Init::Zero);
@@ -46,7 +64,10 @@ fn main() {
     let mut on = Gpu::new(DeviceConfig::h800());
     let mut off = Gpu::with_options(
         DeviceConfig::h800(),
-        SimOptions { mma_issue_gap: false, ..base },
+        SimOptions {
+            mma_issue_gap: false,
+            ..base
+        },
     );
     let gap_on = tcbench::mma_throughput(&mut on, &mma, Init::Zero);
     let gap_off = tcbench::mma_throughput(&mut off, &mma, Init::Zero);
@@ -75,7 +96,10 @@ fn main() {
     let mut on = Gpu::new(DeviceConfig::h800());
     let mut off = Gpu::with_options(
         DeviceConfig::h800(),
-        SimOptions { model_bank_conflicts: false, ..base },
+        SimOptions {
+            model_bank_conflicts: false,
+            ..base
+        },
     );
     let c_on = on
         .launch(&conflicted, &hopper_sim::Launch::new(1, 1024))
@@ -89,13 +113,19 @@ fn main() {
         .cycles;
     println!("  stride-128B smem loads, conflicts on : {c_on} cycles");
     println!("  stride-128B smem loads, conflicts off: {c_off} cycles");
-    println!("  → {:.1}× serialisation from 32-way bank conflicts\n", c_on as f64 / c_off as f64);
+    println!(
+        "  → {:.1}× serialisation from 32-way bank conflicts\n",
+        c_on as f64 / c_off as f64
+    );
 
     println!("== Ablation: block dispatch stagger ==");
     let mut on = Gpu::new(DeviceConfig::h800());
     let mut off = Gpu::with_options(
         DeviceConfig::h800(),
-        SimOptions { block_stagger: false, ..base },
+        SimOptions {
+            block_stagger: false,
+            ..base
+        },
     );
     let sync_on = hopper_micro::asyncbench::gemm_throughput(
         &mut on,

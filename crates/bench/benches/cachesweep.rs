@@ -32,7 +32,15 @@ fn main() {
         }
         let l1 = pchase::detect_l1_capacity(&mut gpu);
         let l2 = pchase::detect_l2_capacity(&mut gpu);
-        println!("  detected L1 ≈ {:4} KiB (configured {:4} KiB)", l1 >> 10, l1_cfg >> 10);
-        println!("  detected L2 ≈ {:4} MiB (configured {:4} MiB)\n", l2 >> 20, l2_cfg >> 20);
+        println!(
+            "  detected L1 ≈ {:4} KiB (configured {:4} KiB)",
+            l1 >> 10,
+            l1_cfg >> 10
+        );
+        println!(
+            "  detected L2 ≈ {:4} MiB (configured {:4} MiB)\n",
+            l2 >> 20,
+            l2_cfg >> 20
+        );
     }
 }

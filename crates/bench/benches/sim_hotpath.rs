@@ -41,10 +41,53 @@ fn bench_small_kernel(c: &mut Criterion) {
     c.bench_function("sim_small_kernel_32warps", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(DeviceConfig::h800());
-            gpu.launch(black_box(&k), &Launch::new(1, 1024)).unwrap().metrics.cycles
+            gpu.launch(black_box(&k), &Launch::new(1, 1024))
+                .unwrap()
+                .metrics
+                .cycles
         })
     });
 }
 
-criterion_group!(benches, bench_fp8_encode, bench_mma_functional, bench_small_kernel);
+fn bench_traced_kernel(c: &mut Criterion) {
+    use hopper_isa::asm::assemble;
+    use hopper_sim::{DeviceConfig, Gpu, Launch, NullSink, StallProfile};
+    let k = assemble(
+        "mov.s32 %r1, 0;\nLOOP:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p0, %r1, 256;\n@%p0 bra LOOP;\nexit;",
+    )
+    .unwrap();
+    // Same workload as `sim_small_kernel_32warps`, under each sink flavour:
+    // compare the three to see what event collection costs. Budget: the
+    // NullSink variant must stay within 2 % of the untraced baseline
+    // (asserted by `tests/null_sink_overhead.rs`); the StallProfile
+    // variant pays only for the per-slot accumulator, not per-event calls.
+    c.bench_function("sim_small_kernel_null_sink", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::h800());
+            let mut sink = NullSink;
+            gpu.launch_traced(black_box(&k), &Launch::new(1, 1024), &mut sink)
+                .unwrap()
+                .metrics
+                .cycles
+        })
+    });
+    c.bench_function("sim_small_kernel_stall_profile", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::h800());
+            let mut prof = StallProfile::default();
+            gpu.launch_traced(black_box(&k), &Launch::new(1, 1024), &mut prof)
+                .unwrap()
+                .metrics
+                .cycles
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fp8_encode,
+    bench_mma_functional,
+    bench_small_kernel,
+    bench_traced_kernel
+);
 criterion_main!(benches);

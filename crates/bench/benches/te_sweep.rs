@@ -8,17 +8,26 @@ use hopper_te::{CostModel, Linear, LlmModel, LlmRunner, Precision, Request};
 fn main() {
     println!("== te.Linear precision crossover (H800, GFLOPS) ==\n");
     let cm = CostModel::new(DeviceConfig::h800());
-    println!("{:>7} {:>10} {:>10} {:>10} {:>8}", "N", "FP32", "FP16", "FP8", "FP8/FP16");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>8}",
+        "N", "FP32", "FP16", "FP8", "FP8/FP16"
+    );
     for n in [512u64, 1024, 2048, 4096, 8192, 16384, 32768] {
         let l = Linear::square(n);
         let t32 = l.throughput_gflops(&cm, Precision::Fp32);
         let t16 = l.throughput_gflops(&cm, Precision::Fp16);
         let t8 = l.throughput_gflops(&cm, Precision::Fp8);
-        println!("{n:>7} {t32:>10.0} {t16:>10.0} {t8:>10.0} {:>7.2}×", t8 / t16);
+        println!(
+            "{n:>7} {t32:>10.0} {t16:>10.0} {t8:>10.0} {:>7.2}×",
+            t8 / t16
+        );
     }
 
     println!("\n== decode throughput vs batch (llama-2-7B, BF16, tokens/s) ==\n");
-    println!("{:>6} {:>10} {:>10} {:>10}", "batch", "RTX4090", "A100", "H800");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "batch", "RTX4090", "A100", "H800"
+    );
     for batch in [1u64, 2, 4, 8, 16, 32] {
         let mut row = Vec::new();
         for dev in DeviceConfig::all() {
@@ -37,9 +46,17 @@ fn main() {
     let runner = LlmRunner::new(DeviceConfig::h800());
     println!("{:>8} {:>10} {:>12}", "prompt", "tokens/s", "total secs");
     for input in [32u32, 128, 512, 2048] {
-        let reqs = vec![Request { input_len: input, output_len: 128 }; 8];
-        if let hopper_te::GenerationReport::Ok { tokens_per_s, seconds } =
-            runner.generate_requests(&LlmModel::llama2_7b(), Precision::Bf16, &reqs)
+        let reqs = vec![
+            Request {
+                input_len: input,
+                output_len: 128
+            };
+            8
+        ];
+        if let hopper_te::GenerationReport::Ok {
+            tokens_per_s,
+            seconds,
+        } = runner.generate_requests(&LlmModel::llama2_7b(), Precision::Bf16, &reqs)
         {
             println!("{input:>8} {tokens_per_s:>10.0} {seconds:>12.3}");
         }

@@ -7,7 +7,10 @@ use hopper_sim::{DeviceConfig, Gpu};
 
 fn main() {
     println!("== TMA vs cp.async vs sync staging (H800, GFLOPS) ==\n");
-    println!("{:>6} {:>5} {:>10} {:>10} {:>10}", "tile", "bps", "Sync", "cp.async", "TMA");
+    println!(
+        "{:>6} {:>5} {:>10} {:>10} {:>10}",
+        "tile", "bps", "Sync", "cp.async", "TMA"
+    );
     for edge in [8u32, 16, 32] {
         for bps in [1u32, 4] {
             let mut row = Vec::new();

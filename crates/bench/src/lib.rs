@@ -19,10 +19,30 @@ pub fn table03() -> Report {
         (DeviceConfig::rtx4090(), 128 * 128, 512.0, 24.0, 1008.0),
         (DeviceConfig::h800(), 114 * 128, 456.0, 80.0, 2039.0),
     ] {
-        rep.push(format!("{} CUDA cores", dev.name), cores as f64, (dev.num_sms * dev.cores_per_sm) as f64, "");
-        rep.push(format!("{} tensor cores", dev.name), tc, dev.total_tensor_cores() as f64, "");
-        rep.push(format!("{} memory", dev.name), mem_gb, dev.mem_bytes as f64 / (1u64 << 30) as f64, "GB");
-        rep.push(format!("{} theoretical BW", dev.name), bw, dev.dram_bw_theoretical / 1e9, "GB/s");
+        rep.push(
+            format!("{} CUDA cores", dev.name),
+            cores as f64,
+            (dev.num_sms * dev.cores_per_sm) as f64,
+            "",
+        );
+        rep.push(
+            format!("{} tensor cores", dev.name),
+            tc,
+            dev.total_tensor_cores() as f64,
+            "",
+        );
+        rep.push(
+            format!("{} memory", dev.name),
+            mem_gb,
+            dev.mem_bytes as f64 / (1u64 << 30) as f64,
+            "GB",
+        );
+        rep.push(
+            format!("{} theoretical BW", dev.name),
+            bw,
+            dev.dram_bw_theoretical / 1e9,
+            "GB/s",
+        );
     }
     rep
 }
@@ -92,8 +112,12 @@ pub fn table12() -> Report {
             match (paper_val, got) {
                 (Some(want), Some(g)) => rep.push(label, want, g, "tok/s"),
                 (None, None) => rep.push_measured(format!("{label} (OOM/unsupported ✓)"), 0.0, ""),
-                (None, Some(g)) => rep.push_measured(format!("{label} (paper OOM, we ran!)"), g, "tok/s"),
-                (Some(want), None) => rep.push(format!("{label} (we OOM, paper ran)"), want, 0.0, "tok/s"),
+                (None, Some(g)) => {
+                    rep.push_measured(format!("{label} (paper OOM, we ran!)"), g, "tok/s")
+                }
+                (Some(want), None) => {
+                    rep.push(format!("{label} (we OOM, paper ran)"), want, 0.0, "tok/s")
+                }
             }
         }
     }
@@ -118,7 +142,11 @@ pub fn fig03() -> Report {
         let b = Linear::square(n).forward(&cm, Precision::Fp8);
         let t = b.total();
         rep.push_measured(format!("N={n} gemm"), b.gemm_s / t, "frac");
-        rep.push_measured(format!("N={n} cast+amax"), (b.cast_s + b.amax_s) / t, "frac");
+        rep.push_measured(
+            format!("N={n} cast+amax"),
+            (b.cast_s + b.amax_s) / t,
+            "frac",
+        );
         rep.push_measured(format!("N={n} rescale"), b.rescale_s / t, "frac");
     }
     rep.note("paper shows conversion dominating at small N; the GEMM share grows with N");
@@ -136,7 +164,11 @@ pub fn fig04() -> Report {
             }
             for n in [1024u64, 4096, 8192, 16384] {
                 let t = Linear::square(n).throughput_gflops(&cm, p);
-                rep.push_measured(format!("{} {} N={n}", cm.device().name, p.label()), t, "GFLOPS");
+                rep.push_measured(
+                    format!("{} {} N={n}", cm.device().name, p.label()),
+                    t,
+                    "GFLOPS",
+                );
             }
         }
     }
@@ -146,7 +178,10 @@ pub fn fig04() -> Report {
 
 /// Fig. 5: te.TransformerLayer latency.
 pub fn fig05() -> Report {
-    let mut rep = Report::new("Fig 5", "te.TransformerLayer encode latency (ms), input (4,512,h)");
+    let mut rep = Report::new(
+        "Fig 5",
+        "te.TransformerLayer encode latency (ms), input (4,512,h)",
+    );
     for dev in DeviceConfig::all() {
         let cm = CostModel::new(dev);
         for p in [Precision::Fp32, Precision::Fp16, Precision::Fp8] {
@@ -217,7 +252,11 @@ mod tests {
     #[test]
     fn table03_is_exact() {
         let r = table03();
-        assert_eq!(r.pass_rate(0.001), 1.0, "device properties must match Table III exactly");
+        assert_eq!(
+            r.pass_rate(0.001),
+            1.0,
+            "device properties must match Table III exactly"
+        );
     }
 
     #[test]
@@ -259,8 +298,11 @@ mod tests {
             "BGMMA.64x256x256.AND.POPC",
             "IMAD.MOV.U32",
         ] {
-            assert!(t.contains(needle), "missing {needle} in:
-{t}");
+            assert!(
+                t.contains(needle),
+                "missing {needle} in:
+{t}"
+            );
         }
     }
 
@@ -271,6 +313,10 @@ mod tests {
             assert!(!c.label.contains("we ran!"), "{}", c.label);
             assert!(!c.label.contains("we OOM"), "{}", c.label);
         }
-        assert!(r.pass_rate(0.20) == 1.0, "worst dev {:.2}", r.worst_ratio_dev());
+        assert!(
+            r.pass_rate(0.20) == 1.0,
+            "worst dev {:.2}",
+            r.worst_ratio_dev()
+        );
     }
 }

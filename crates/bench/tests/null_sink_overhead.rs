@@ -1,0 +1,75 @@
+//! A `NullSink` launch must be free: the Gpu drops null sinks before the
+//! engine ever sees them, so the traced entry point compiles down to the
+//! untraced hot path plus one virtual `is_null` call per launch.
+
+use hopper_isa::asm::assemble;
+use hopper_sim::{DeviceConfig, Gpu, Launch, NullSink};
+use std::time::Instant;
+
+fn workload() -> hopper_isa::Kernel {
+    assemble(
+        "mov.s32 %r1, 0;\nLOOP:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p0, %r1, 256;\n@%p0 bra LOOP;\nexit;",
+    )
+    .unwrap()
+}
+
+/// Seconds for `reps` launches (minimum over `samples` trials, which
+/// discards scheduler noise the way criterion's minimum estimator does).
+fn time_min<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn null_sink_overhead_under_two_percent() {
+    let k = workload();
+    let launch = Launch::new(1, 1024);
+    let reps = 40;
+
+    let run_plain = || {
+        let mut acc = 0u64;
+        for _ in 0..reps {
+            let mut gpu = Gpu::new(DeviceConfig::h800());
+            acc += gpu.launch(&k, &launch).unwrap().metrics.cycles;
+        }
+        acc
+    };
+    let run_null = || {
+        let mut acc = 0u64;
+        for _ in 0..reps {
+            let mut gpu = Gpu::new(DeviceConfig::h800());
+            let mut sink = NullSink;
+            acc += gpu
+                .launch_traced(&k, &launch, &mut sink)
+                .unwrap()
+                .metrics
+                .cycles;
+        }
+        acc
+    };
+
+    // Warm up both paths, then interleave measurements.
+    std::hint::black_box(run_plain());
+    std::hint::black_box(run_null());
+    let samples = 7;
+    let t_plain = time_min(samples, || {
+        std::hint::black_box(run_plain());
+    });
+    let t_null = time_min(samples, || {
+        std::hint::black_box(run_null());
+    });
+
+    let overhead = t_null / t_plain - 1.0;
+    assert!(
+        overhead < 0.02,
+        "NullSink overhead {:.2}% exceeds 2% (plain {:.3} ms, null {:.3} ms)",
+        overhead * 100.0,
+        t_plain * 1e3,
+        t_null * 1e3
+    );
+}

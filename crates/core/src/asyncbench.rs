@@ -14,8 +14,8 @@
 
 use crate::report::Report;
 use hopper_isa::{
-    CacheOp, CmpOp, IAluOp, Kernel, KernelBuilder, MemSpace, Operand::Imm, Operand::Reg as R,
-    Pred, Reg, Width,
+    CacheOp, CmpOp, IAluOp, Kernel, KernelBuilder, MemSpace, Operand::Imm, Operand::Reg as R, Pred,
+    Reg, Width,
 };
 use hopper_sim::{DeviceConfig, Gpu, Launch};
 
@@ -90,7 +90,7 @@ fn build_kernel(edge: u32, variant: Variant) -> Kernel {
     // Shared store offsets: sA[ty][tx], sB[ty][tx] (B tile staged row-major).
     b.imad(Reg(8), R(Reg(4)), Imm(edge as i64 * 4), R(Reg(3)));
     b.imad(Reg(8), R(Reg(3)), Imm(3), R(Reg(8))); // r8 = (ty·edge + tx)·4
-    // (r8 currently ty·edge·4 + tx + 3·tx = ty·edge·4 + 4·tx — correct.)
+                                                  // (r8 currently ty·edge·4 + tx + 3·tx = ty·edge·4 + 4·tx — correct.)
     b.ialu(IAluOp::Add, Reg(9), R(Reg(8)), Imm(tile_bytes as i64));
 
     // Compute bases: a row ty of sA, column tx of sB.
@@ -127,15 +127,31 @@ fn build_kernel(edge: u32, variant: Variant) -> Kernel {
             // them.  Block-uniform cursors live in r6/r7 (overwriting the
             // per-thread cursors of the other variants).
             b.special(Reg(20), hopper_isa::Special::WarpId);
-            b.ialu(IAluOp::Mul, Reg(6), R(Reg(5)), Imm(edge as i64 * K_DIM as i64 * 4));
+            b.ialu(
+                IAluOp::Mul,
+                Reg(6),
+                R(Reg(5)),
+                Imm(edge as i64 * K_DIM as i64 * 4),
+            );
             b.ialu(IAluOp::Add, Reg(6), R(Reg(6)), R(Reg(0)));
-            b.ialu(IAluOp::Mul, Reg(7), R(Reg(5)), Imm(K_DIM as i64 * edge as i64 * 4));
+            b.ialu(
+                IAluOp::Mul,
+                Reg(7),
+                R(Reg(5)),
+                Imm(K_DIM as i64 * edge as i64 * 4),
+            );
             b.ialu(IAluOp::Add, Reg(7), R(Reg(7)), R(Reg(1)));
             let not_leader = b.forward_label();
             b.setp(Pred(2), CmpOp::Ne, R(Reg(20)), Imm(0));
             b.bra_if(not_leader, Pred(2), true);
             b.mov(Reg(22), Imm(0));
-            b.tma_copy(edge as u16, (edge * 4) as u16, K_DIM * 4, (Reg(22), 0), (Reg(6), 0));
+            b.tma_copy(
+                edge as u16,
+                (edge * 4) as u16,
+                K_DIM * 4,
+                (Reg(22), 0),
+                (Reg(6), 0),
+            );
             b.tma_copy(
                 edge as u16,
                 (edge * 4) as u16,
@@ -152,7 +168,13 @@ fn build_kernel(edge: u32, variant: Variant) -> Kernel {
             b.bra_if(skip, Pred(2), true);
             // Stage tile t+1 into the other buffer.
             b.ialu(IAluOp::Xor, Reg(22), R(Reg(17)), Imm(stage_bytes as i64));
-            b.tma_copy(edge as u16, (edge * 4) as u16, K_DIM * 4, (Reg(22), 0), (Reg(6), 0));
+            b.tma_copy(
+                edge as u16,
+                (edge * 4) as u16,
+                K_DIM * 4,
+                (Reg(22), 0),
+                (Reg(6), 0),
+            );
             b.tma_copy(
                 edge as u16,
                 (edge * 4) as u16,
@@ -221,7 +243,12 @@ fn Imm0() -> Reg {
 fn advance_cursors(b: &mut KernelBuilder, edge: u32) {
     // A advances edge columns; B advances edge rows (edge·edge elements).
     b.ialu(IAluOp::Add, Reg(6), R(Reg(6)), Imm(edge as i64 * 4));
-    b.ialu(IAluOp::Add, Reg(7), R(Reg(7)), Imm(edge as i64 * edge as i64 * 4));
+    b.ialu(
+        IAluOp::Add,
+        Reg(7),
+        R(Reg(7)),
+        Imm(edge as i64 * edge as i64 * 4),
+    );
 }
 
 fn emit_compute(b: &mut KernelBuilder, edge: u32, _stage: u32) {
@@ -236,8 +263,22 @@ fn emit_compute_regs(b: &mut KernelBuilder, edge: u32, arow: Reg, bcol: Reg) {
     // Prologue: fill the pipeline.
     for kk in 0..edge.min(4) {
         let (ra, rb) = pair(kk);
-        b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, ra, arow, kk as i64 * 4);
-        b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, rb, bcol, kk as i64 * edge as i64 * 4);
+        b.ld(
+            MemSpace::Shared,
+            CacheOp::Ca,
+            Width::B4,
+            ra,
+            arow,
+            kk as i64 * 4,
+        );
+        b.ld(
+            MemSpace::Shared,
+            CacheOp::Ca,
+            Width::B4,
+            rb,
+            bcol,
+            kk as i64 * edge as i64 * 4,
+        );
     }
     for kk in 0..edge {
         let (ra, rb) = pair(kk);
@@ -245,8 +286,22 @@ fn emit_compute_regs(b: &mut KernelBuilder, edge: u32, arow: Reg, bcol: Reg) {
         let nk = kk + 4;
         if nk < edge {
             let (na, nb) = pair(nk);
-            b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, na, arow, nk as i64 * 4);
-            b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, nb, bcol, nk as i64 * edge as i64 * 4);
+            b.ld(
+                MemSpace::Shared,
+                CacheOp::Ca,
+                Width::B4,
+                na,
+                arow,
+                nk as i64 * 4,
+            );
+            b.ld(
+                MemSpace::Shared,
+                CacheOp::Ca,
+                Width::B4,
+                nb,
+                bcol,
+                nk as i64 * edge as i64 * 4,
+            );
         }
     }
 }
@@ -268,20 +323,34 @@ pub fn gemm_throughput(gpu: &mut Gpu, edge: u32, blocks_per_sm: u32, variant: Va
 
 /// Regenerate Table XIII (H800) or XIV (A100).
 pub fn table_async(dev: DeviceConfig, rows: &[crate::paper::AsyncCopyRef]) -> Report {
-    let id = if dev.arch == hopper_isa::Arch::Hopper { "Table XIII" } else { "Table XIV" };
+    let id = if dev.arch == hopper_isa::Arch::Hopper {
+        "Table XIII"
+    } else {
+        "Table XIV"
+    };
     let mut rep = Report::new(id, format!("globalToShmemAsyncCopy on {}", dev.name));
     let dev_for = |_row: &crate::paper::AsyncCopyRef| dev.clone();
     use rayon::prelude::*;
     let cells: Vec<_> = rows
         .par_iter()
         .flat_map(|row| {
-            [1u32, 2, 4, 8, 16, 32].into_par_iter().enumerate().map(move |(i, bps)| {
-                let mut gpu = Gpu::new(dev_for(row));
-                let ap = gemm_throughput(&mut gpu, row.block_edge, bps, Variant::AsyncPipe);
-                let mut gpu = Gpu::new(dev_for(row));
-                let sy = gemm_throughput(&mut gpu, row.block_edge, bps, Variant::SyncShare);
-                (row.block_edge, bps, row.async_pipe[i], ap, row.sync_share[i], sy)
-            })
+            [1u32, 2, 4, 8, 16, 32]
+                .into_par_iter()
+                .enumerate()
+                .map(move |(i, bps)| {
+                    let mut gpu = Gpu::new(dev_for(row));
+                    let ap = gemm_throughput(&mut gpu, row.block_edge, bps, Variant::AsyncPipe);
+                    let mut gpu = Gpu::new(dev_for(row));
+                    let sy = gemm_throughput(&mut gpu, row.block_edge, bps, Variant::SyncShare);
+                    (
+                        row.block_edge,
+                        bps,
+                        row.async_pipe[i],
+                        ap,
+                        row.sync_share[i],
+                        sy,
+                    )
+                })
         })
         .collect();
     for (edge, bps, p_ap, ap, p_sy, sy) in cells {
@@ -315,7 +384,10 @@ mod tests {
     fn async_wins_big_at_8x8() {
         // Paper: +39.5 % on H800, +19.6 % on A100 at 8×8.
         let gain = average_gain(&DeviceConfig::h800(), 8, &[1, 4]);
-        assert!(gain > 15.0, "8×8 async gain on H800 should be large, got {gain:.1}%");
+        assert!(
+            gain > 15.0,
+            "8×8 async gain on H800 should be large, got {gain:.1}%"
+        );
     }
 
     #[test]
@@ -327,7 +399,10 @@ mod tests {
             g8 > g32 + 5.0,
             "gain must shrink from 8×8 ({g8:.1}%) to 32×32 ({g32:.1}%)"
         );
-        assert!(g32 < 8.0, "32×32 gain should be near zero/negative, got {g32:.1}%");
+        assert!(
+            g32 < 8.0,
+            "32×32 gain should be near zero/negative, got {g32:.1}%"
+        );
     }
 
     #[test]
@@ -336,7 +411,10 @@ mod tests {
         let t1 = gemm_throughput(&mut g1, 8, 1, Variant::AsyncPipe);
         let mut g8 = Gpu::new(DeviceConfig::h800());
         let t8 = gemm_throughput(&mut g8, 8, 8, Variant::AsyncPipe);
-        assert!(t8 > 2.0 * t1, "8 blocks/SM should far outrun 1: {t8} vs {t1}");
+        assert!(
+            t8 > 2.0 * t1,
+            "8 blocks/SM should far outrun 1: {t8} vs {t1}"
+        );
     }
 
     #[test]

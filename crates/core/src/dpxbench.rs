@@ -8,9 +8,7 @@
 
 use crate::report::Report;
 use hopper_isa::dpx::{DpxFunc, ALL_DPX};
-use hopper_isa::{
-    CmpOp, IAluOp, KernelBuilder, Operand::Imm, Operand::Reg as R, Pred, Reg,
-};
+use hopper_isa::{CmpOp, IAluOp, KernelBuilder, Operand::Imm, Operand::Reg as R, Pred, Reg};
 use hopper_sim::{DeviceConfig, Gpu, Launch};
 
 fn build_chain(func: DpxFunc, iters: i64) -> hopper_isa::Kernel {
@@ -52,8 +50,12 @@ fn build_stream(func: DpxFunc, iters: i64, ilp: usize) -> hopper_isa::Kernel {
 
 /// Per-call latency (cycles) of a dependent DPX chain (Fig. 6).
 pub fn dpx_latency(gpu: &mut Gpu, func: DpxFunc) -> f64 {
-    let lo = gpu.launch(&build_chain(func, 64), &Launch::new(1, 1)).expect("launch");
-    let hi = gpu.launch(&build_chain(func, 320), &Launch::new(1, 1)).expect("launch");
+    let lo = gpu
+        .launch(&build_chain(func, 64), &Launch::new(1, 1))
+        .expect("launch");
+    let hi = gpu
+        .launch(&build_chain(func, 320), &Launch::new(1, 1))
+        .expect("launch");
     (hi.metrics.cycles - lo.metrics.cycles) as f64 / (256.0 * 8.0)
 }
 
@@ -61,8 +63,12 @@ pub fn dpx_latency(gpu: &mut Gpu, func: DpxFunc) -> f64 {
 /// (Fig. 7's per-SM rate).
 pub fn dpx_throughput_per_sm(gpu: &mut Gpu, func: DpxFunc) -> f64 {
     let ilp = 8;
-    let lo = gpu.launch(&build_stream(func, 16, ilp), &Launch::new(1, 1024)).expect("launch");
-    let hi = gpu.launch(&build_stream(func, 80, ilp), &Launch::new(1, 1024)).expect("launch");
+    let lo = gpu
+        .launch(&build_stream(func, 16, ilp), &Launch::new(1, 1024))
+        .expect("launch");
+    let hi = gpu
+        .launch(&build_stream(func, 80, ilp), &Launch::new(1, 1024))
+        .expect("launch");
     let ops = (hi.metrics.dpx_ops - lo.metrics.dpx_ops) as f64;
     let cycles = (hi.metrics.cycles - lo.metrics.cycles) as f64;
     ops / cycles
@@ -131,7 +137,10 @@ mod tests {
         let lh = dpx_latency(&mut h, f);
         let la = dpx_latency(&mut a, f);
         let ratio = la / lh;
-        assert!(ratio > 8.0 && ratio < 16.0, "16x2 ReLU latency ratio {ratio:.1}");
+        assert!(
+            ratio > 8.0 && ratio < 16.0,
+            "16x2 ReLU latency ratio {ratio:.1}"
+        );
     }
 
     #[test]
@@ -142,7 +151,10 @@ mod tests {
         let f = DpxFunc::ViAddMaxS32;
         let lh = dpx_latency(&mut h, f);
         let la = dpx_latency(&mut a, f);
-        assert!(la / lh < 2.5, "simple op should be close: H800 {lh}, A100 {la}");
+        assert!(
+            la / lh < 2.5,
+            "simple op should be close: H800 {lh}, A100 {la}"
+        );
     }
 
     #[test]
@@ -173,8 +185,14 @@ mod tests {
         let full = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms);
         let spill = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms + 1);
         let recover = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms * 2);
-        assert!(spill < 0.6 * full, "one extra block must halve throughput: {spill} vs {full}");
-        assert!(recover > 0.9 * full, "2×SMs recovers the peak: {recover} vs {full}");
+        assert!(
+            spill < 0.6 * full,
+            "one extra block must halve throughput: {spill} vs {full}"
+        );
+        assert!(
+            recover > 0.9 * full,
+            "2×SMs recovers the peak: {recover} vs {full}"
+        );
     }
 
     #[test]
@@ -184,6 +202,9 @@ mod tests {
         let half = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms / 2);
         let full = dpx_block_sweep(&mut gpu, DpxFunc::ViMax3S32, sms);
         let ratio = full / half;
-        assert!((ratio - 2.0).abs() < 0.25, "throughput ∝ blocks below SM count: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.25,
+            "throughput ∝ blocks below SM count: {ratio}"
+        );
     }
 }

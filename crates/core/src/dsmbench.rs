@@ -55,11 +55,7 @@ pub fn dsm_latency(gpu: &mut Gpu) -> f64 {
     let launch = Launch::new(2, 1).with_cluster(2);
     let lo = gpu.launch(&k, &launch).expect("launch");
     // Differencing against a shorter chase removes fill/barrier overheads.
-    let k2 = assemble_named(
-        &k_source_with_iters(256),
-        "dsm_latency_short",
-    )
-    .expect("assembles");
+    let k2 = assemble_named(&k_source_with_iters(256), "dsm_latency_short").expect("assembles");
     let hi = gpu.launch(&k2, &launch).expect("launch");
     (lo.metrics.cycles - hi.metrics.cycles) as f64 / (iters - 256) as f64
 }
@@ -173,7 +169,12 @@ pub fn histogram_throughput(gpu: &mut Gpu, cluster: u32, block: u32, nbins: u32)
     b.imad(Reg(6), R(Reg(5)), Imm(4), R(Reg(0)));
     // Grid stride in bytes (kernel parameter %r16 via the params slot).
     // Warp's sub-histogram base.
-    b.ialu(IAluOp::Mul, Reg(7), R(Reg(4)), Imm(bins_per_block as i64 * 4));
+    b.ialu(
+        IAluOp::Mul,
+        Reg(7),
+        R(Reg(4)),
+        Imm(bins_per_block as i64 * 4),
+    );
     b.mov(Reg(8), Imm(0));
     let top = b.label_here();
     b.ld(MemSpace::Global, CacheOp::Cg, Width::B4, Reg(9), Reg(6), 0);
@@ -185,7 +186,12 @@ pub fn histogram_throughput(gpu: &mut Gpu, cluster: u32, block: u32, nbins: u32)
     b.ialu(IAluOp::Xor, Reg(9), R(Reg(9)), R(Reg(15)));
     b.ialu(IAluOp::And, Reg(10), R(Reg(9)), Imm(nbins as i64 - 1));
     b.ialu(IAluOp::Shr, Reg(11), R(Reg(10)), Imm(log2_bpb));
-    b.ialu(IAluOp::And, Reg(12), R(Reg(10)), Imm(bins_per_block as i64 - 1));
+    b.ialu(
+        IAluOp::And,
+        Reg(12),
+        R(Reg(10)),
+        Imm(bins_per_block as i64 - 1),
+    );
     b.imad(Reg(13), R(Reg(12)), Imm(4), R(Reg(7)));
     if cluster > 1 {
         b.mapa(Reg(14), R(Reg(13)), R(Reg(11)));
@@ -204,14 +210,23 @@ pub fn histogram_throughput(gpu: &mut Gpu, cluster: u32, block: u32, nbins: u32)
     // (the mechanism behind the paper's 1024→2048-bin cliff).
     let grid = (gpu.device().num_sms * 16 / cluster) * cluster;
     let stride_bytes = grid as u64 * block as u64 * 4;
-    let data = gpu.alloc(stride_bytes * elems_per_thread as u64 + 4096).expect("elems");
-    let vals: Vec<u32> = (0..(1 << 20) as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let data = gpu
+        .alloc(stride_bytes * elems_per_thread as u64 + 4096)
+        .expect("elems");
+    let vals: Vec<u32> = (0..(1 << 20) as u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
     gpu.write_u32s(data, &vals); // seed the head; the address mix covers the tail
     let mut params = vec![0u64; 17];
     params[0] = data;
     params[16] = stride_bytes;
     let stats = gpu
-        .launch(&k, &Launch::new(grid, block).with_cluster(cluster).with_params(params))
+        .launch(
+            &k,
+            &Launch::new(grid, block)
+                .with_cluster(cluster)
+                .with_params(params),
+        )
         .expect("histogram launch");
     let elements = grid as u64 * block as u64 * elems_per_thread as u64;
     elements as f64 / stats.seconds()
@@ -222,7 +237,12 @@ pub fn fig8() -> Report {
     let mut rep = Report::new("Fig 8", "SM-to-SM (DSM) network throughput");
     let mut gpu = Gpu::new(DeviceConfig::h800());
     let lat = dsm_latency(&mut gpu);
-    rep.push("SM-to-SM latency", crate::paper::dsm::LATENCY_CYCLES, lat, "clk");
+    rep.push(
+        "SM-to-SM latency",
+        crate::paper::dsm::LATENCY_CYCLES,
+        lat,
+        "clk",
+    );
     for cs in [2u32, 4] {
         for block in [128u32, 256, 512, 1024] {
             for ilp in [1u32, 4, 8] {

@@ -151,10 +151,14 @@ pub fn shared_conflict_cycles(gpu: &mut Gpu, stride_words: u32) -> f64 {
     // its own load-to-use latency instead of the conflict serialisation).
     let warps = 32u64;
     let k = assemble_named(&src, "smem_conflicts").expect("assembles");
-    let lo = gpu.launch(&k, &Launch::new(1, 32 * warps as u32)).expect("run");
+    let lo = gpu
+        .launch(&k, &Launch::new(1, 32 * warps as u32))
+        .expect("run");
     let src_hi = src.replace(&format!("%r7, {iters}"), &format!("%r7, {}", 4 * iters));
     let k_hi = assemble_named(&src_hi, "smem_conflicts_hi").expect("assembles");
-    let hi = gpu.launch(&k_hi, &Launch::new(1, 32 * warps as u32)).expect("run");
+    let hi = gpu
+        .launch(&k_hi, &Launch::new(1, 32 * warps as u32))
+        .expect("run");
     let loads = 3 * iters as u64 * 4 * warps;
     (hi.metrics.cycles - lo.metrics.cycles) as f64 / loads as f64
 }
@@ -254,7 +258,11 @@ pub fn table_iv() -> Report {
 /// Regenerate Table V for all three devices.
 pub fn table_v() -> Report {
     let mut rep = Report::new("Table V", "Throughput at different memory levels");
-    let devs = [DeviceConfig::rtx4090(), DeviceConfig::a100(), DeviceConfig::h800()];
+    let devs = [
+        DeviceConfig::rtx4090(),
+        DeviceConfig::a100(),
+        DeviceConfig::h800(),
+    ];
     for (di, dev) in devs.iter().enumerate() {
         let mut gpu = Gpu::new(dev.clone());
         for (ki, kind) in [AccessKind::Fp32, AccessKind::Fp64, AccessKind::Fp32V4]
@@ -315,7 +323,10 @@ mod tests {
 
     #[test]
     fn fp64_unit_bottleneck_on_h800_and_4090() {
-        for (dev, want) in [(DeviceConfig::h800(), 16.0), (DeviceConfig::rtx4090(), 13.3)] {
+        for (dev, want) in [
+            (DeviceConfig::h800(), 16.0),
+            (DeviceConfig::rtx4090(), 13.3),
+        ] {
             let name = dev.name;
             let mut gpu = Gpu::new(dev);
             let got = l1_throughput(&mut gpu, AccessKind::Fp64);
@@ -347,9 +358,21 @@ mod tests {
         let c8 = shared_conflict_cycles(&mut gpu, 8);
         let c32 = shared_conflict_cycles(&mut gpu, 32);
         assert!((c1 - 1.0).abs() < 0.3, "stride 1 conflict-free: {c1:.2}");
-        assert!((c2 / c1 - 2.0).abs() < 0.4, "stride 2 ≈ 2-way: {:.2}", c2 / c1);
-        assert!((c8 / c1 - 8.0).abs() < 1.5, "stride 8 ≈ 8-way: {:.2}", c8 / c1);
-        assert!((c32 / c1 - 32.0).abs() < 5.0, "stride 32 ≈ 32-way: {:.2}", c32 / c1);
+        assert!(
+            (c2 / c1 - 2.0).abs() < 0.4,
+            "stride 2 ≈ 2-way: {:.2}",
+            c2 / c1
+        );
+        assert!(
+            (c8 / c1 - 8.0).abs() < 1.5,
+            "stride 8 ≈ 8-way: {:.2}",
+            c8 / c1
+        );
+        assert!(
+            (c32 / c1 - 32.0).abs() < 5.0,
+            "stride 32 ≈ 32-way: {:.2}",
+            c32 / c1
+        );
     }
 
     #[test]
@@ -375,7 +398,10 @@ mod tests {
             let name = dev.name;
             let mut gpu = Gpu::new(dev);
             let got = global_throughput(&mut gpu);
-            assert!((got - want).abs() / want < 0.15, "{name}: {got} vs {want} GB/s");
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "{name}: {got} vs {want} GB/s"
+            );
         }
     }
 }

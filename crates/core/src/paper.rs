@@ -18,10 +18,30 @@ pub struct MemLatencyRef {
 
 /// Table IV rows.
 pub const TABLE_IV: [MemLatencyRef; 4] = [
-    MemLatencyRef { level: "L1 Cache", rtx4090: 43.4, a100: 37.9, h800: 40.7 },
-    MemLatencyRef { level: "Shared", rtx4090: 30.1, a100: 29.0, h800: 29.0 },
-    MemLatencyRef { level: "L2 Cache", rtx4090: 273.0, a100: 261.5, h800: 263.0 },
-    MemLatencyRef { level: "Global", rtx4090: 541.5, a100: 466.3, h800: 478.8 },
+    MemLatencyRef {
+        level: "L1 Cache",
+        rtx4090: 43.4,
+        a100: 37.9,
+        h800: 40.7,
+    },
+    MemLatencyRef {
+        level: "Shared",
+        rtx4090: 30.1,
+        a100: 29.0,
+        h800: 29.0,
+    },
+    MemLatencyRef {
+        level: "L2 Cache",
+        rtx4090: 273.0,
+        a100: 261.5,
+        h800: 263.0,
+    },
+    MemLatencyRef {
+        level: "Global",
+        rtx4090: 541.5,
+        a100: 466.3,
+        h800: 478.8,
+    },
 ];
 
 /// Table V — L1 throughput (bytes/clk/SM): (FP32, FP64, FP32.v4).
@@ -39,8 +59,7 @@ pub const TABLE_V_L2: [(&str, [f64; 3]); 3] = [
 ];
 
 /// Table V — shared-memory throughput (bytes/clk/SM).
-pub const TABLE_V_SHARED: [(&str, f64); 3] =
-    [("RTX4090", 127.9), ("A100", 128.0), ("H800", 127.9)];
+pub const TABLE_V_SHARED: [(&str, f64); 3] = [("RTX4090", 127.9), ("A100", 128.0), ("H800", 127.9)];
 
 /// Table V — global-memory throughput (GB/s).
 pub const TABLE_V_GLOBAL: [(&str, f64); 3] =
@@ -64,22 +83,70 @@ pub struct MmaRef {
 
 /// Table VII rows.
 pub const TABLE_VII: [MmaRef; 8] = [
-    MmaRef { ab: "f16", cd: "f16", shape: "m16n8k8",
-        a100: [17.7, 310.0, 17.3, 408.4], rtx4090: [17.7, 355.3, 17.3, 713.2], h800: [16.0, 368.6, 16.0, 493.8] },
-    MmaRef { ab: "f16", cd: "f16", shape: "m16n8k16",
-        a100: [24.6, 310.6, 24.5, 622.8], rtx4090: [24.6, 357.6, 24.5, 711.8], h800: [24.1, 494.4, 24.0, 722.8] },
-    MmaRef { ab: "f16", cd: "f32", shape: "m16n8k8",
-        a100: [17.5, 299.6, 18.0, 394.1], rtx4090: [18.8, 177.8, 18.8, 357.4], h800: [16.0, 363.7, 16.0, 488.7] },
-    MmaRef { ab: "f16", cd: "f32", shape: "m16n8k16",
-        a100: [26.0, 303.4, 24.5, 603.3], rtx4090: [33.0, 178.9, 33.0, 356.0], h800: [24.1, 490.7, 24.0, 721.8] },
-    MmaRef { ab: "tf32", cd: "f32", shape: "m16n8k4",
-        a100: [17.8, 149.5, 18.2, 196.8], rtx4090: [19.2, 89.0, 19.0, 178.0], h800: [16.5, 180.6, 16.4, 240.7] },
-    MmaRef { ab: "tf32", cd: "f32", shape: "m16n8k8",
-        a100: [26.3, 151.5, 26.7, 301.5], rtx4090: [33.4, 89.0, 33.3, 178.7], h800: [24.5, 246.4, 24.4, 363.3] },
-    MmaRef { ab: "s8", cd: "s32", shape: "m16n8k16",
-        a100: [17.6, 594.8, 18.0, 788.5], rtx4090: [17.3, 707.6, 17.3, 1412.0], h800: [16.1, 730.3, 16.1, 970.0] },
-    MmaRef { ab: "s8", cd: "s32", shape: "m16n8k32",
-        a100: [26.0, 607.6, 26.6, 1210.0], rtx4090: [24.5, 711.7, 24.6, 1423.0], h800: [24.0, 977.9, 24.2, 1435.0] },
+    MmaRef {
+        ab: "f16",
+        cd: "f16",
+        shape: "m16n8k8",
+        a100: [17.7, 310.0, 17.3, 408.4],
+        rtx4090: [17.7, 355.3, 17.3, 713.2],
+        h800: [16.0, 368.6, 16.0, 493.8],
+    },
+    MmaRef {
+        ab: "f16",
+        cd: "f16",
+        shape: "m16n8k16",
+        a100: [24.6, 310.6, 24.5, 622.8],
+        rtx4090: [24.6, 357.6, 24.5, 711.8],
+        h800: [24.1, 494.4, 24.0, 722.8],
+    },
+    MmaRef {
+        ab: "f16",
+        cd: "f32",
+        shape: "m16n8k8",
+        a100: [17.5, 299.6, 18.0, 394.1],
+        rtx4090: [18.8, 177.8, 18.8, 357.4],
+        h800: [16.0, 363.7, 16.0, 488.7],
+    },
+    MmaRef {
+        ab: "f16",
+        cd: "f32",
+        shape: "m16n8k16",
+        a100: [26.0, 303.4, 24.5, 603.3],
+        rtx4090: [33.0, 178.9, 33.0, 356.0],
+        h800: [24.1, 490.7, 24.0, 721.8],
+    },
+    MmaRef {
+        ab: "tf32",
+        cd: "f32",
+        shape: "m16n8k4",
+        a100: [17.8, 149.5, 18.2, 196.8],
+        rtx4090: [19.2, 89.0, 19.0, 178.0],
+        h800: [16.5, 180.6, 16.4, 240.7],
+    },
+    MmaRef {
+        ab: "tf32",
+        cd: "f32",
+        shape: "m16n8k8",
+        a100: [26.3, 151.5, 26.7, 301.5],
+        rtx4090: [33.4, 89.0, 33.3, 178.7],
+        h800: [24.5, 246.4, 24.4, 363.3],
+    },
+    MmaRef {
+        ab: "s8",
+        cd: "s32",
+        shape: "m16n8k16",
+        a100: [17.6, 594.8, 18.0, 788.5],
+        rtx4090: [17.3, 707.6, 17.3, 1412.0],
+        h800: [16.1, 730.3, 16.1, 970.0],
+    },
+    MmaRef {
+        ab: "s8",
+        cd: "s32",
+        shape: "m16n8k32",
+        a100: [26.0, 607.6, 26.6, 1210.0],
+        rtx4090: [24.5, 711.7, 24.6, 1423.0],
+        h800: [24.0, 977.9, 24.2, 1435.0],
+    },
 ];
 
 /// One Table VIII/IX row: dense or sparse `wgmma` on the H800.
@@ -106,46 +173,178 @@ pub struct WgmmaRef {
 
 /// Table VIII (dense wgmma, H800).
 pub const TABLE_VIII: [WgmmaRef; 6] = [
-    WgmmaRef { ab: "f16", cd: "f16", shape: "m64n256k16", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 729.3, tput_rs_zero: 729.2, tput_ss_rand: 704.5, tput_rs_rand: 703.7 },
-    WgmmaRef { ab: "f16", cd: "f32", shape: "m64n256k16", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 728.5, tput_rs_zero: 731.9, tput_ss_rand: 665.4, tput_rs_rand: 667.5 },
-    WgmmaRef { ab: "tf32", cd: "f32", shape: "m64n256k8", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 364.4, tput_rs_zero: 364.6, tput_ss_rand: 357.1, tput_rs_rand: 357.3 },
-    WgmmaRef { ab: "e4m3", cd: "f16", shape: "m64n256k32", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 1448.4, tput_rs_zero: 1448.0, tput_ss_rand: 1439.2, tput_rs_rand: 1440.3 },
-    WgmmaRef { ab: "e4m3", cd: "f32", shape: "m64n256k32", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 1447.5, tput_rs_zero: 1455.0, tput_ss_rand: 1417.2, tput_rs_rand: 1419.8 },
-    WgmmaRef { ab: "s8", cd: "s32", shape: "m64n256k32", lat_ss: 128.0, lat_rs: 128.0,
-        tput_ss_zero: 1448.7, tput_rs_zero: 1447.9, tput_ss_rand: 1442.3, tput_rs_rand: 1442.2 },
+    WgmmaRef {
+        ab: "f16",
+        cd: "f16",
+        shape: "m64n256k16",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 729.3,
+        tput_rs_zero: 729.2,
+        tput_ss_rand: 704.5,
+        tput_rs_rand: 703.7,
+    },
+    WgmmaRef {
+        ab: "f16",
+        cd: "f32",
+        shape: "m64n256k16",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 728.5,
+        tput_rs_zero: 731.9,
+        tput_ss_rand: 665.4,
+        tput_rs_rand: 667.5,
+    },
+    WgmmaRef {
+        ab: "tf32",
+        cd: "f32",
+        shape: "m64n256k8",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 364.4,
+        tput_rs_zero: 364.6,
+        tput_ss_rand: 357.1,
+        tput_rs_rand: 357.3,
+    },
+    WgmmaRef {
+        ab: "e4m3",
+        cd: "f16",
+        shape: "m64n256k32",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 1448.4,
+        tput_rs_zero: 1448.0,
+        tput_ss_rand: 1439.2,
+        tput_rs_rand: 1440.3,
+    },
+    WgmmaRef {
+        ab: "e4m3",
+        cd: "f32",
+        shape: "m64n256k32",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 1447.5,
+        tput_rs_zero: 1455.0,
+        tput_ss_rand: 1417.2,
+        tput_rs_rand: 1419.8,
+    },
+    WgmmaRef {
+        ab: "s8",
+        cd: "s32",
+        shape: "m64n256k32",
+        lat_ss: 128.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 1448.7,
+        tput_rs_zero: 1447.9,
+        tput_ss_rand: 1442.3,
+        tput_rs_rand: 1442.2,
+    },
 ];
 
 /// Table IX (sparse wgmma, H800).
 pub const TABLE_IX: [WgmmaRef; 6] = [
-    WgmmaRef { ab: "f16", cd: "f16", shape: "sp.m64n256k32", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 1308.0, tput_rs_zero: 1472.0, tput_ss_rand: 1257.8, tput_rs_rand: 1362.3 },
-    WgmmaRef { ab: "f16", cd: "f32", shape: "sp.m64n256k32", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 1312.3, tput_rs_zero: 1476.2, tput_ss_rand: 1194.3, tput_rs_rand: 1277.5 },
-    WgmmaRef { ab: "tf32", cd: "f32", shape: "sp.m64n256k16", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 656.8, tput_rs_zero: 735.4, tput_ss_rand: 644.9, tput_rs_rand: 721.7 },
-    WgmmaRef { ab: "e4m3", cd: "f16", shape: "sp.m64n256k64", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 2619.9, tput_rs_zero: 2945.0, tput_ss_rand: 2588.6, tput_rs_rand: 2782.4 },
-    WgmmaRef { ab: "e4m3", cd: "f32", shape: "sp.m64n256k64", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 2622.8, tput_rs_zero: 2931.0, tput_ss_rand: 2588.7, tput_rs_rand: 2722.3 },
-    WgmmaRef { ab: "s8", cd: "s32", shape: "sp.m64n256k64", lat_ss: 144.0, lat_rs: 128.0,
-        tput_ss_zero: 2612.4, tput_rs_zero: 2933.0, tput_ss_rand: 2593.9, tput_rs_rand: 2898.3 },
+    WgmmaRef {
+        ab: "f16",
+        cd: "f16",
+        shape: "sp.m64n256k32",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 1308.0,
+        tput_rs_zero: 1472.0,
+        tput_ss_rand: 1257.8,
+        tput_rs_rand: 1362.3,
+    },
+    WgmmaRef {
+        ab: "f16",
+        cd: "f32",
+        shape: "sp.m64n256k32",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 1312.3,
+        tput_rs_zero: 1476.2,
+        tput_ss_rand: 1194.3,
+        tput_rs_rand: 1277.5,
+    },
+    WgmmaRef {
+        ab: "tf32",
+        cd: "f32",
+        shape: "sp.m64n256k16",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 656.8,
+        tput_rs_zero: 735.4,
+        tput_ss_rand: 644.9,
+        tput_rs_rand: 721.7,
+    },
+    WgmmaRef {
+        ab: "e4m3",
+        cd: "f16",
+        shape: "sp.m64n256k64",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 2619.9,
+        tput_rs_zero: 2945.0,
+        tput_ss_rand: 2588.6,
+        tput_rs_rand: 2782.4,
+    },
+    WgmmaRef {
+        ab: "e4m3",
+        cd: "f32",
+        shape: "sp.m64n256k64",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 2622.8,
+        tput_rs_zero: 2931.0,
+        tput_ss_rand: 2588.7,
+        tput_rs_rand: 2722.3,
+    },
+    WgmmaRef {
+        ab: "s8",
+        cd: "s32",
+        shape: "sp.m64n256k64",
+        lat_ss: 144.0,
+        lat_rs: 128.0,
+        tput_ss_zero: 2612.4,
+        tput_rs_zero: 2933.0,
+        tput_ss_rand: 2593.9,
+        tput_rs_rand: 2898.3,
+    },
 ];
 
 /// Table X — wgmma f32.f16.f16 with varying N on the H800:
 /// (N, dense [lat_ss, tput_ss, lat_rs, tput_rs, rand_ss, rand_rs],
 ///     sparse [same 6]).
 pub const TABLE_X: [(u32, [f64; 6], [f64; 6]); 6] = [
-    (256, [128.0, 728.5, 128.0, 731.9, 665.4, 667.5], [144.0, 1312.3, 128.0, 1476.2, 1194.3, 1277.5]),
-    (128, [64.0, 728.5, 64.0, 725.4, 659.8, 661.7], [80.0, 1176.4, 64.0, 1463.3, 1109.6, 1270.5]),
-    (64, [32.0, 719.6, 32.0, 719.7, 648.3, 649.9], [48.0, 977.4, 32.0, 1450.1, 969.9, 1263.4]),
-    (32, [24.0, 477.3, 16.0, 710.3, 471.5, 634.4], [32.0, 727.1, 18.0, 1272.4, 723.4, 1135.7]),
-    (16, [20.0, 287.0, 13.0, 434.2, 283.5, 426.2], [24.0, 482.3, 18.0, 638.6, 479.8, 636.3]),
-    (8, [18.0, 158.2, 13.0, 216.7, 157.6, 215.2], [20.0, 289.0, 16.0, 359.4, 286.1, 356.7]),
+    (
+        256,
+        [128.0, 728.5, 128.0, 731.9, 665.4, 667.5],
+        [144.0, 1312.3, 128.0, 1476.2, 1194.3, 1277.5],
+    ),
+    (
+        128,
+        [64.0, 728.5, 64.0, 725.4, 659.8, 661.7],
+        [80.0, 1176.4, 64.0, 1463.3, 1109.6, 1270.5],
+    ),
+    (
+        64,
+        [32.0, 719.6, 32.0, 719.7, 648.3, 649.9],
+        [48.0, 977.4, 32.0, 1450.1, 969.9, 1263.4],
+    ),
+    (
+        32,
+        [24.0, 477.3, 16.0, 710.3, 471.5, 634.4],
+        [32.0, 727.1, 18.0, 1272.4, 723.4, 1135.7],
+    ),
+    (
+        16,
+        [20.0, 287.0, 13.0, 434.2, 283.5, 426.2],
+        [24.0, 482.3, 18.0, 638.6, 479.8, 636.3],
+    ),
+    (
+        8,
+        [18.0, 158.2, 13.0, 216.7, 157.6, 215.2],
+        [20.0, 289.0, 16.0, 359.4, 286.1, 356.7],
+    ),
 ];
 
 /// Table XI — mma power (W) and efficiency (TFLOPS/W): per row
@@ -155,7 +354,12 @@ pub const TABLE_XI: [(&str, &str, bool, [f64; 6]); 8] = [
     ("f16", "f16", true, [198.8, 3.13, 187.2, 3.86, 214.0, 3.33]),
     ("f16", "f32", false, [188.5, 1.61, 196.7, 2.49, 154.1, 1.16]),
     ("f16", "f32", true, [216.1, 2.79, 194.9, 3.70, 165.9, 2.15]),
-    ("tf32", "f32", false, [214.7, 0.71, 254.9, 0.97, 174.3, 0.51]),
+    (
+        "tf32",
+        "f32",
+        false,
+        [214.7, 0.71, 254.9, 0.97, 174.3, 0.51],
+    ),
     ("tf32", "f32", true, [235.7, 1.28, 232.5, 1.56, 187.9, 0.95]),
     ("s8", "s32", false, [178.4, 3.41, 165.3, 5.92, 201.4, 3.53]),
     ("s8", "s32", true, [193.9, 6.24, 163.3, 8.79, 219.8, 6.47]),
@@ -176,34 +380,46 @@ pub struct AsyncCopyRef {
 
 /// Table XIII (H800).
 pub const TABLE_XIII: [AsyncCopyRef; 3] = [
-    AsyncCopyRef { block_edge: 8,
+    AsyncCopyRef {
+        block_edge: 8,
         async_pipe: [516.69, 998.45, 1808.5, 2931.29, 3315.38, 3615.99],
         sync_share: [327.86, 646.58, 1191.48, 2117.56, 2736.06, 2861.75],
-        perf_gain_pct: 39.5 },
-    AsyncCopyRef { block_edge: 16,
+        perf_gain_pct: 39.5,
+    },
+    AsyncCopyRef {
+        block_edge: 16,
         async_pipe: [2650.06, 4531.02, 5038.26, 5510.76, 5728.71, 5929.61],
         sync_share: [2372.41, 3821.71, 4713.84, 5147.53, 5309.23, 5512.41],
-        perf_gain_pct: 9.7 },
-    AsyncCopyRef { block_edge: 32,
+        perf_gain_pct: 9.7,
+    },
+    AsyncCopyRef {
+        block_edge: 32,
         async_pipe: [5570.17, 6112.92, 6372.73, 6496.21, 6592.66, 6592.87],
         sync_share: [5782.03, 6280.8, 6465.53, 6600.58, 6649.46, 6631.11],
-        perf_gain_pct: -1.8 },
+        perf_gain_pct: -1.8,
+    },
 ];
 
 /// Table XIV (A100).
 pub const TABLE_XIV: [AsyncCopyRef; 3] = [
-    AsyncCopyRef { block_edge: 8,
+    AsyncCopyRef {
+        block_edge: 8,
         async_pipe: [379.03, 798.5, 1544.15, 2429.93, 2825.64, 2888.84],
         sync_share: [379.03, 742.93, 1325.88, 1982.38, 2112.6, 2256.17],
-        perf_gain_pct: 19.6 },
-    AsyncCopyRef { block_edge: 16,
+        perf_gain_pct: 19.6,
+    },
+    AsyncCopyRef {
+        block_edge: 16,
         async_pipe: [2198.21, 2566.83, 3821.09, 4205.72, 4413.69, 4527.82],
         sync_share: [1754.73, 2974.9, 3724.42, 4015.96, 4207.57, 4316.63],
-        perf_gain_pct: 4.9 },
-    AsyncCopyRef { block_edge: 32,
+        perf_gain_pct: 4.9,
+    },
+    AsyncCopyRef {
+        block_edge: 32,
         async_pipe: [4453.52, 4863.73, 5020.21, 5106.74, 5150.78, 5129.68],
         sync_share: [4428.55, 4917.25, 5024.77, 5025.45, 4996.66, 5028.47],
-        perf_gain_pct: 1.7 },
+        perf_gain_pct: 1.7,
+    },
 ];
 
 /// §IV-E headline numbers for distributed shared memory.
@@ -235,14 +451,62 @@ pub struct LlmRef {
 
 /// Table XII rows.
 pub const TABLE_XII: [LlmRef; 8] = [
-    LlmRef { gpu: "RTX4090", model: "llama-3B", fp32: Some(414.08), bf16: Some(425.19), fp8: Some(429.31) },
-    LlmRef { gpu: "RTX4090", model: "llama-2-7B", fp32: None, bf16: Some(350.69), fp8: None },
-    LlmRef { gpu: "A100", model: "llama-3B", fp32: Some(674.50), bf16: Some(670.87), fp8: None },
-    LlmRef { gpu: "A100", model: "llama-2-7B", fp32: Some(400.88), bf16: Some(548.57), fp8: None },
-    LlmRef { gpu: "A100", model: "llama-2-13B", fp32: None, bf16: Some(420.81), fp8: None },
-    LlmRef { gpu: "H800", model: "llama-3B", fp32: Some(679.45), bf16: Some(624.10), fp8: Some(537.92) },
-    LlmRef { gpu: "H800", model: "llama-2-7B", fp32: Some(568.91), bf16: Some(502.65), fp8: Some(474.42) },
-    LlmRef { gpu: "H800", model: "llama-2-13B", fp32: Some(357.57), bf16: Some(399.38), fp8: Some(356.11) },
+    LlmRef {
+        gpu: "RTX4090",
+        model: "llama-3B",
+        fp32: Some(414.08),
+        bf16: Some(425.19),
+        fp8: Some(429.31),
+    },
+    LlmRef {
+        gpu: "RTX4090",
+        model: "llama-2-7B",
+        fp32: None,
+        bf16: Some(350.69),
+        fp8: None,
+    },
+    LlmRef {
+        gpu: "A100",
+        model: "llama-3B",
+        fp32: Some(674.50),
+        bf16: Some(670.87),
+        fp8: None,
+    },
+    LlmRef {
+        gpu: "A100",
+        model: "llama-2-7B",
+        fp32: Some(400.88),
+        bf16: Some(548.57),
+        fp8: None,
+    },
+    LlmRef {
+        gpu: "A100",
+        model: "llama-2-13B",
+        fp32: None,
+        bf16: Some(420.81),
+        fp8: None,
+    },
+    LlmRef {
+        gpu: "H800",
+        model: "llama-3B",
+        fp32: Some(679.45),
+        bf16: Some(624.10),
+        fp8: Some(537.92),
+    },
+    LlmRef {
+        gpu: "H800",
+        model: "llama-2-7B",
+        fp32: Some(568.91),
+        bf16: Some(502.65),
+        fp8: Some(474.42),
+    },
+    LlmRef {
+        gpu: "H800",
+        model: "llama-2-13B",
+        fp32: Some(357.57),
+        bf16: Some(399.38),
+        fp8: Some(356.11),
+    },
 ];
 
 #[cfg(test)]

@@ -236,8 +236,14 @@ mod tests {
         let mut gpu = Gpu::new(DeviceConfig::h800());
         let inside = ring_latency(&mut gpu, "ca", 64 * 1024, 128);
         let outside = ring_latency(&mut gpu, "ca", 1 << 20, 128);
-        assert!((inside - gpu.device().l1_latency as f64).abs() < 4.0, "inside {inside}");
-        assert!(outside > gpu.device().l2_latency as f64 - 10.0, "outside {outside}");
+        assert!(
+            (inside - gpu.device().l1_latency as f64).abs() < 4.0,
+            "inside {inside}"
+        );
+        assert!(
+            outside > gpu.device().l2_latency as f64 - 10.0,
+            "outside {outside}"
+        );
     }
 
     #[test]
@@ -248,6 +254,9 @@ mod tests {
         let l2 = latency(&mut gpu, MemLevel::L2);
         assert!((l2 - gpu.device().l2_latency as f64).abs() < 4.0, "L2 {l2}");
         let g = latency(&mut gpu, MemLevel::Global);
-        assert!((g - gpu.device().dram_latency as f64).abs() < 12.0, "global {g}");
+        assert!(
+            (g - gpu.device().dram_latency as f64).abs() < 12.0,
+            "global {g}"
+        );
     }
 }

@@ -24,7 +24,12 @@ pub struct Cell {
 impl Cell {
     /// Construct a full cell.
     pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
-        Cell { label: label.into(), paper: Some(paper), measured: Some(measured), unit }
+        Cell {
+            label: label.into(),
+            paper: Some(paper),
+            measured: Some(measured),
+            unit,
+        }
     }
 
     /// measured/paper, when both exist.
@@ -57,17 +62,33 @@ pub struct Report {
 impl Report {
     /// Start a report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Report { id: id.into(), title: title.into(), cells: Vec::new(), notes: Vec::new() }
+        Report {
+            id: id.into(),
+            title: title.into(),
+            cells: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Add a fully-populated cell.
-    pub fn push(&mut self, label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: &'static str,
+    ) {
         self.cells.push(Cell::new(label, paper, measured, unit));
     }
 
     /// Add a measured-only cell (no paper reference).
     pub fn push_measured(&mut self, label: impl Into<String>, measured: f64, unit: &'static str) {
-        self.cells.push(Cell { label: label.into(), paper: None, measured: Some(measured), unit });
+        self.cells.push(Cell {
+            label: label.into(),
+            paper: None,
+            measured: Some(measured),
+            unit,
+        });
     }
 
     /// Add a note.
@@ -77,8 +98,7 @@ impl Report {
 
     /// Fraction of comparable cells within `tol` relative error.
     pub fn pass_rate(&self, tol: f64) -> f64 {
-        let comparable: Vec<bool> =
-            self.cells.iter().filter_map(|c| c.within(tol)).collect();
+        let comparable: Vec<bool> = self.cells.iter().filter_map(|c| c.within(tol)).collect();
         if comparable.is_empty() {
             return 1.0;
         }
@@ -98,7 +118,13 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        let width = self.cells.iter().map(|c| c.label.len()).max().unwrap_or(8).max(8);
+        let width = self
+            .cells
+            .iter()
+            .map(|c| c.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
         let _ = writeln!(
             out,
             "{:width$}  {:>12}  {:>12}  {:>7}  unit",
@@ -108,7 +134,11 @@ impl Report {
             let paper = c.paper.map_or("—".to_string(), |v| format!("{v:.1}"));
             let meas = c.measured.map_or("—".to_string(), |v| format!("{v:.1}"));
             let ratio = c.ratio().map_or("—".to_string(), |r| format!("{r:.2}×"));
-            let _ = writeln!(out, "{:width$}  {paper:>12}  {meas:>12}  {ratio:>7}  {}", c.label, c.unit);
+            let _ = writeln!(
+                out,
+                "{:width$}  {paper:>12}  {meas:>12}  {ratio:>7}  {}",
+                c.label, c.unit
+            );
         }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
@@ -131,7 +161,11 @@ impl Report {
             let paper = c.paper.map_or("—".to_string(), |v| format!("{v:.1}"));
             let meas = c.measured.map_or("—".to_string(), |v| format!("{v:.1}"));
             let ratio = c.ratio().map_or("—".to_string(), |r| format!("{r:.2}×"));
-            let _ = writeln!(out, "| {} | {paper} | {meas} | {ratio} | {} |", c.label, c.unit);
+            let _ = writeln!(
+                out,
+                "| {} | {paper} | {meas} | {ratio} | {} |",
+                c.label, c.unit
+            );
         }
         for n in &self.notes {
             let _ = writeln!(out, "\n*Note: {n}*");
@@ -151,7 +185,12 @@ mod tests {
         assert_eq!(c.ratio(), Some(1.04));
         assert_eq!(c.within(0.05), Some(true));
         assert_eq!(c.within(0.03), Some(false));
-        let blank = Cell { label: "y".into(), paper: None, measured: Some(1.0), unit: "" };
+        let blank = Cell {
+            label: "y".into(),
+            paper: None,
+            measured: Some(1.0),
+            unit: "",
+        };
         assert_eq!(blank.ratio(), None);
         assert_eq!(blank.within(0.1), None);
     }

@@ -87,7 +87,8 @@ fn launch(gpu: &mut Gpu, k: &hopper_isa::Kernel, block: u32) -> RunStats {
     // Whole-device grid: one wave, every SM working — so the power model
     // sees board-level draw (needed for the Rand-throttling columns).
     let grid = gpu.device().num_sms;
-    gpu.launch(k, &Launch::new(grid, block)).expect("tc kernel launch")
+    gpu.launch(k, &Launch::new(grid, block))
+        .expect("tc kernel launch")
 }
 
 /// `mma` completion latency (cycles): single-warp dependent chain.
@@ -127,9 +128,27 @@ pub fn mma_power(gpu: &mut Gpu, desc: &MmaDesc, init: Init) -> f64 {
 pub fn wgmma_latency(gpu: &mut Gpu, desc: &MmaDesc) -> f64 {
     let build = |with_op: bool| {
         let mut b = KernelBuilder::new("wgmma_lat");
-        b.fill_tile(TileId(0), desc.ab, desc.m as u16, desc.k as u16, TilePattern::Zero);
-        b.fill_tile(TileId(1), desc.ab, desc.k as u16, desc.n as u16, TilePattern::Zero);
-        b.fill_tile(TileId(2), desc.cd, desc.m as u16, desc.n as u16, TilePattern::Zero);
+        b.fill_tile(
+            TileId(0),
+            desc.ab,
+            desc.m as u16,
+            desc.k as u16,
+            TilePattern::Zero,
+        );
+        b.fill_tile(
+            TileId(1),
+            desc.ab,
+            desc.k as u16,
+            desc.n as u16,
+            TilePattern::Zero,
+        );
+        b.fill_tile(
+            TileId(2),
+            desc.cd,
+            desc.m as u16,
+            desc.n as u16,
+            TilePattern::Zero,
+        );
         b.wgmma_fence();
         if with_op {
             b.wgmma(*desc, TileId(2), TileId(0), TileId(1));
@@ -157,10 +176,11 @@ pub fn wgmma_throughput(gpu: &mut Gpu, desc: &MmaDesc, init: Init) -> f64 {
 
 /// Regenerate Table VI: the PTX→SASS lowering matrix for Hopper.
 pub fn table_vi_text() -> String {
-    let mut out = String::from(
-        "== Table VI — SASS for Hopper tensor-core PTX instructions ==\n",
-    );
-    out.push_str(&format!("{:6} {:6} {:22} {}\n", "A/B", "C/D", "mma", "wgmma"));
+    let mut out = String::from("== Table VI — SASS for Hopper tensor-core PTX instructions ==\n");
+    out.push_str(&format!(
+        "{:6} {:6} {:22} {}\n",
+        "A/B", "C/D", "mma", "wgmma"
+    ));
     for (ab, cd, mma, wgmma) in lower::table_vi_rows() {
         out.push_str(&format!(
             "{:6} {:6} {:22} {}\n",
@@ -213,14 +233,24 @@ pub fn table_vii() -> Report {
                 let sparse = MmaDesc::mma(16, 8, 2 * k, ab, cd, true).expect("valid sparse desc");
                 let base = format!("{} {}.{} {}", name, row.ab, row.cd, row.shape);
                 vec![
-                    (format!("{base} dense LAT"), vals[0], mma_latency(&mut gpu, &dense), "clk"),
+                    (
+                        format!("{base} dense LAT"),
+                        vals[0],
+                        mma_latency(&mut gpu, &dense),
+                        "clk",
+                    ),
                     (
                         format!("{base} dense TPUT"),
                         vals[1],
                         mma_throughput(&mut gpu, &dense, Init::Zero),
                         "TFLOPS",
                     ),
-                    (format!("{base} sparse LAT"), vals[2], mma_latency(&mut gpu, &sparse), "clk"),
+                    (
+                        format!("{base} sparse LAT"),
+                        vals[2],
+                        mma_latency(&mut gpu, &sparse),
+                        "clk",
+                    ),
                     (
                         format!("{base} sparse TPUT"),
                         vals[3],
@@ -260,8 +290,16 @@ fn wgmma_rows(rows: &[paper::WgmmaRef], sparse: bool, rep: &mut Report) {
             let rs = wgmma_desc(row.ab, row.cd, sparse, OperandSource::RegShared, 256);
             let base = format!("{} {}.{}", row.shape, row.ab, row.cd);
             vec![
-                (format!("{base} LAT SS"), row.lat_ss, wgmma_latency(&mut gpu, &ss)),
-                (format!("{base} LAT RS"), row.lat_rs, wgmma_latency(&mut gpu, &rs)),
+                (
+                    format!("{base} LAT SS"),
+                    row.lat_ss,
+                    wgmma_latency(&mut gpu, &ss),
+                ),
+                (
+                    format!("{base} LAT RS"),
+                    row.lat_rs,
+                    wgmma_latency(&mut gpu, &rs),
+                ),
                 (
                     format!("{base} TPUT SS zero"),
                     row.tput_ss_zero,
@@ -287,7 +325,11 @@ fn wgmma_rows(rows: &[paper::WgmmaRef], sparse: bool, rep: &mut Report) {
         .collect();
     for group in groups {
         for (label, paper_v, got) in group {
-            let unit = if label_is_latency(&label) { "clk" } else { "TFLOPS" };
+            let unit = if label_is_latency(&label) {
+                "clk"
+            } else {
+                "TFLOPS"
+            };
             rep.push(label, paper_v, got, unit);
         }
     }
@@ -326,14 +368,24 @@ pub fn table_x() -> Report {
                 .expect("valid");
             let rs = MmaDesc::wgmma(n, DType::F16, DType::F32, sp, OperandSource::RegShared)
                 .expect("valid");
-            rep.push(format!("N={n} {tag} LAT SS"), vals[0], wgmma_latency(&mut gpu, &ss), "clk");
+            rep.push(
+                format!("N={n} {tag} LAT SS"),
+                vals[0],
+                wgmma_latency(&mut gpu, &ss),
+                "clk",
+            );
             rep.push(
                 format!("N={n} {tag} TPUT SS zero"),
                 vals[1],
                 wgmma_throughput(&mut gpu, &ss, Init::Zero),
                 "TFLOPS",
             );
-            rep.push(format!("N={n} {tag} LAT RS"), vals[2], wgmma_latency(&mut gpu, &rs), "clk");
+            rep.push(
+                format!("N={n} {tag} LAT RS"),
+                vals[2],
+                wgmma_latency(&mut gpu, &rs),
+                "clk",
+            );
             rep.push(
                 format!("N={n} {tag} TPUT RS zero"),
                 vals[3],
@@ -382,7 +434,12 @@ pub fn table_xi() -> Report {
             let eff = tput / power;
             let tag = if sparse { "sparse" } else { "dense" };
             rep.push(format!("{name} {ab}.{cd} {tag} P"), vals[pi], power, "W");
-            rep.push(format!("{name} {ab}.{cd} {tag} E"), vals[pi + 1], eff, "TFLOPS/W");
+            rep.push(
+                format!("{name} {ab}.{cd} {tag} E"),
+                vals[pi + 1],
+                eff,
+                "TFLOPS/W",
+            );
         }
     }
     rep
@@ -431,21 +488,33 @@ mod tests {
         let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
         let s = MmaDesc::mma(16, 8, 32, DType::F16, DType::F16, true).unwrap();
         let mut ada = Gpu::new(DeviceConfig::rtx4090());
-        let ratio_ada = mma_throughput(&mut ada, &s, Init::Zero)
-            / mma_throughput(&mut ada, &d, Init::Zero);
-        assert!((ratio_ada - 2.0).abs() < 0.25, "4090 sparse ratio {ratio_ada}");
+        let ratio_ada =
+            mma_throughput(&mut ada, &s, Init::Zero) / mma_throughput(&mut ada, &d, Init::Zero);
+        assert!(
+            (ratio_ada - 2.0).abs() < 0.25,
+            "4090 sparse ratio {ratio_ada}"
+        );
         let mut h = h800();
         let ratio_h =
             mma_throughput(&mut h, &s, Init::Zero) / mma_throughput(&mut h, &d, Init::Zero);
-        assert!(ratio_h < 1.65, "H800 sparse ratio {ratio_h} should be ≈1.46");
+        assert!(
+            ratio_h < 1.65,
+            "H800 sparse ratio {ratio_h} should be ≈1.46"
+        );
         assert!(ratio_h > 1.25);
     }
 
     #[test]
     fn wgmma_latency_and_throughput_n256() {
         let mut gpu = h800();
-        let ss = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared)
-            .unwrap();
+        let ss = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         let lat = wgmma_latency(&mut gpu, &ss);
         assert!((lat - 128.0).abs() <= 4.0, "paper 128.0, got {lat}");
         let t = wgmma_throughput(&mut gpu, &ss, Init::Zero);
@@ -455,8 +524,14 @@ mod tests {
     #[test]
     fn wgmma_rand_throttles_fp16_f32() {
         let mut gpu = h800();
-        let ss = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared)
-            .unwrap();
+        let ss = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         let zero = wgmma_throughput(&mut gpu, &ss, Init::Zero);
         let rand = wgmma_throughput(&mut gpu, &ss, Init::Rand);
         let ratio = rand / zero;
@@ -470,8 +545,14 @@ mod tests {
     #[test]
     fn sparse_wgmma_ss_loses_to_rs() {
         let mut gpu = h800();
-        let ss =
-            MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        let ss = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            true,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         let rs =
             MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::RegShared).unwrap();
         let t_ss = wgmma_throughput(&mut gpu, &ss, Init::Zero);

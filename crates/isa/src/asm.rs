@@ -42,7 +42,10 @@ impl core::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Assemble PTX-flavoured `source` into a [`Kernel`] named `asm`.
@@ -68,7 +71,8 @@ pub fn assemble_named(source: &str, name: &str) -> Result<Kernel, AsmError> {
         let mut rest = text;
         while let Some(colon) = rest.find(':') {
             let head = &rest[..colon];
-            if head.chars().all(|c| c.is_alphanumeric() || c == '_') && !head.is_empty()
+            if head.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && !head.is_empty()
                 && !head.starts_with('%')
             {
                 labels.insert(head.to_string(), instrs.len());
@@ -86,12 +90,10 @@ pub fn assemble_named(source: &str, name: &str) -> Result<Kernel, AsmError> {
                 continue;
             }
             if let Some(sz) = stmt.strip_prefix(".shared ") {
-                smem_bytes = smem_bytes.max(
-                    sz.trim().parse::<u32>().map_err(|e| AsmError {
-                        line,
-                        msg: format!("bad .shared size: {e}"),
-                    })?,
-                );
+                smem_bytes = smem_bytes.max(sz.trim().parse::<u32>().map_err(|e| AsmError {
+                    line,
+                    msg: format!("bad .shared size: {e}"),
+                })?);
                 continue;
             }
             let instr = parse_stmt(stmt, line, &mut fixups, instrs.len())?;
@@ -101,9 +103,10 @@ pub fn assemble_named(source: &str, name: &str) -> Result<Kernel, AsmError> {
     }
 
     for (idx, label, line) in fixups {
-        let target = *labels
-            .get(&label)
-            .ok_or_else(|| AsmError { line, msg: format!("undefined label `{label}`") })?;
+        let target = *labels.get(&label).ok_or_else(|| AsmError {
+            line,
+            msg: format!("undefined label `{label}`"),
+        })?;
         if let Instr::Bra { target: t, .. } = &mut instrs[idx] {
             *t = target;
         }
@@ -217,9 +220,10 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
             return Ok(Operand::Imm(v));
         }
     }
-    t.parse::<i64>()
-        .map(Operand::Imm)
-        .map_err(|_| AsmError { line, msg: format!("expected operand, got `{t}`") })
+    t.parse::<i64>().map(Operand::Imm).map_err(|_| AsmError {
+        line,
+        msg: format!("expected operand, got `{t}`"),
+    })
 }
 
 /// Parse `[%rN+off]` / `[%rN]`.
@@ -228,15 +232,27 @@ fn parse_addr(tok: &str, line: usize) -> Result<AddrExpr, AsmError> {
     let inner = t
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| AsmError { line, msg: format!("expected [addr], got `{t}`") })?;
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected [addr], got `{t}`"),
+        })?;
     let (base, off) = match inner.find(['+', '-']) {
         Some(pos) if pos > 0 => {
             let (b, o) = inner.split_at(pos);
-            (b, o.parse::<i64>().map_err(|e| AsmError { line, msg: format!("bad offset: {e}") })?)
+            (
+                b,
+                o.parse::<i64>().map_err(|e| AsmError {
+                    line,
+                    msg: format!("bad offset: {e}"),
+                })?,
+            )
         }
         _ => (inner, 0),
     };
-    Ok(AddrExpr { base: parse_reg(base, line)?, offset: off })
+    Ok(AddrExpr {
+        base: parse_reg(base, line)?,
+        offset: off,
+    })
 }
 
 fn parse_width(tok: &str, line: usize) -> Result<Width, AsmError> {
@@ -278,12 +294,19 @@ fn parse_stmt(
             line,
             msg: "malformed guarded instruction".into(),
         })?;
-        let (neg, ptok) = if let Some(p) = guard.strip_prefix('!') { (true, p) } else { (false, guard) };
+        let (neg, ptok) = if let Some(p) = guard.strip_prefix('!') {
+            (true, p)
+        } else {
+            (false, guard)
+        };
         let pred = parse_pred(ptok, line)?;
         let rest = rest.trim();
         if let Some(label) = rest.strip_prefix("bra ") {
             fixups.push((idx, label.trim().to_string(), line));
-            return Ok(Instr::Bra { target: usize::MAX, guard: Some((pred, !neg)) });
+            return Ok(Instr::Bra {
+                target: usize::MAX,
+                guard: Some((pred, !neg)),
+            });
         }
         return err(line, "only `bra` may be guarded in this assembler");
     }
@@ -304,9 +327,15 @@ fn parse_stmt(
         ["bar", "sync"] => Ok(Instr::BarSync),
         ["barrier", "cluster"] => Ok(Instr::ClusterSync),
         ["bra"] => {
-            let label = args.first().ok_or_else(|| AsmError { line, msg: "bra needs a label".into() })?;
+            let label = args.first().ok_or_else(|| AsmError {
+                line,
+                msg: "bra needs a label".into(),
+            })?;
             fixups.push((idx, label.to_string(), line));
-            Ok(Instr::Bra { target: usize::MAX, guard: None })
+            Ok(Instr::Bra {
+                target: usize::MAX,
+                guard: None,
+            })
         }
         ["mov", ..] => {
             let dst = parse_reg(args.first().copied().unwrap_or(""), line)?;
@@ -314,10 +343,14 @@ fn parse_stmt(
             if let Some(sr) = parse_special(srctok) {
                 Ok(Instr::ReadSpecial { dst, sr })
             } else {
-                Ok(Instr::Mov { dst, src: parse_operand(srctok, line)? })
+                Ok(Instr::Mov {
+                    dst,
+                    src: parse_operand(srctok, line)?,
+                })
             }
         }
-        [alu @ ("add" | "sub" | "mul" | "min" | "max" | "and" | "or" | "xor" | "shl" | "shr"), ty] => {
+        [alu @ ("add" | "sub" | "mul" | "min" | "max" | "and" | "or" | "xor" | "shl" | "shr"), ty] =>
+        {
             let dst = parse_reg(args.first().copied().unwrap_or(""), line)?;
             let a = parse_operand(args.get(1).copied().unwrap_or(""), line)?;
             let b = parse_operand(args.get(2).copied().unwrap_or(""), line)?;
@@ -330,8 +363,18 @@ fn parse_stmt(
                         "max" => FAluOp::Max,
                         other => return err(line, format!("no float op `{other}`")),
                     };
-                    let prec = if *ty == "f32" { FloatPrec::F32 } else { FloatPrec::F64 };
-                    Ok(Instr::FAlu { op: fop, prec, dst, a, b })
+                    let prec = if *ty == "f32" {
+                        FloatPrec::F32
+                    } else {
+                        FloatPrec::F64
+                    };
+                    Ok(Instr::FAlu {
+                        op: fop,
+                        prec,
+                        dst,
+                        a,
+                        b,
+                    })
                 }
                 _ => {
                     let iop = match *alu {
@@ -358,7 +401,11 @@ fn parse_stmt(
             c: parse_operand(args.get(3).copied().unwrap_or(""), line)?,
         }),
         ["fma", ty] => Ok(Instr::FFma {
-            prec: if *ty == "f64" { FloatPrec::F64 } else { FloatPrec::F32 },
+            prec: if *ty == "f64" {
+                FloatPrec::F64
+            } else {
+                FloatPrec::F32
+            },
             dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
             a: parse_operand(args.get(1).copied().unwrap_or(""), line)?,
             b: parse_operand(args.get(2).copied().unwrap_or(""), line)?,
@@ -416,7 +463,11 @@ fn parse_stmt(
         }),
         ["atom", space, "add", _w] => {
             // Forms: `atom.shared.add.b32 %rd, [a], v` or `atom... [a], v`.
-            let (dst, ai, vi) = if args.len() == 3 { (Some(parse_reg(args[0], line)?), 1, 2) } else { (None, 0, 1) };
+            let (dst, ai, vi) = if args.len() == 3 {
+                (Some(parse_reg(args[0], line)?), 1, 2)
+            } else {
+                (None, 0, 1)
+            };
             Ok(Instr::AtomAdd {
                 space: parse_space(space, line)?,
                 dst,
@@ -429,13 +480,19 @@ fn parse_stmt(
             groups: args
                 .first()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| AsmError { line, msg: "cp.async.wait_group needs N".into() })?,
+                .ok_or_else(|| AsmError {
+                    line,
+                    msg: "cp.async.wait_group needs N".into(),
+                })?,
         }),
         ["cp", "async", ..] => {
             let bytes: u64 = args
                 .get(2)
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| AsmError { line, msg: "cp.async needs byte count".into() })?;
+                .ok_or_else(|| AsmError {
+                    line,
+                    msg: "cp.async needs byte count".into(),
+                })?;
             let width = match bytes {
                 4 => Width::B4,
                 8 => Width::B8,
@@ -464,7 +521,10 @@ fn parse_stmt(
                 .iter()
                 .copied()
                 .find(|f: &DpxFunc| f.cuda_name().trim_start_matches("__") == fname)
-                .ok_or_else(|| AsmError { line, msg: format!("unknown DPX function `{fname}`") })?;
+                .ok_or_else(|| AsmError {
+                    line,
+                    msg: format!("unknown DPX function `{fname}`"),
+                })?;
             Ok(Instr::Dpx {
                 func,
                 dst: parse_reg(args.first().copied().unwrap_or(""), line)?,
@@ -509,7 +569,10 @@ fn parse_tile(tok: &str, line: usize) -> Result<TileId, AsmError> {
         .strip_prefix('t')
         .and_then(|n| n.parse::<u8>().ok())
         .map(TileId)
-        .ok_or_else(|| AsmError { line, msg: format!("expected tile `tN`, got `{tok}`") })
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected tile `tN`, got `{tok}`"),
+        })
 }
 
 /// `mma[.sp].mMnNkK.<cd>.<ab> tD, tA, tB, tC`
@@ -522,10 +585,10 @@ fn parse_mma(op: &str, args: &[&str], line: usize) -> Result<Instr, AsmError> {
     if sparse {
         toks.remove(0);
     }
-    let shape = toks
-        .first()
-        .copied()
-        .ok_or_else(|| AsmError { line, msg: "missing shape".into() })?;
+    let shape = toks.first().copied().ok_or_else(|| AsmError {
+        line,
+        msg: "missing shape".into(),
+    })?;
     let (m, n, k) = parse_shape(shape, line)?;
     let cd = parse_dtype(toks.get(1).copied().unwrap_or(""), line)?;
     let ab = parse_dtype(toks.get(2).copied().unwrap_or(""), line)?;
@@ -538,10 +601,15 @@ fn parse_mma(op: &str, args: &[&str], line: usize) -> Result<Instr, AsmError> {
         if m != 64 {
             return err(line, format!("wgmma requires m64, got m{m}"));
         }
-        let desc = MmaDesc::wgmma(n, ab, cd, sparse, a_src)
-            .map_err(|e| AsmError { line, msg: e.to_string() })?;
+        let desc = MmaDesc::wgmma(n, ab, cd, sparse, a_src).map_err(|e| AsmError {
+            line,
+            msg: e.to_string(),
+        })?;
         if desc.k != k {
-            return err(line, format!("wgmma.{} requires k{}, got k{}", ab.ptx_name(), desc.k, k));
+            return err(
+                line,
+                format!("wgmma.{} requires k{}, got k{}", ab.ptx_name(), desc.k, k),
+            );
         }
         Ok(Instr::Wgmma {
             desc,
@@ -550,8 +618,10 @@ fn parse_mma(op: &str, args: &[&str], line: usize) -> Result<Instr, AsmError> {
             b: parse_tile(args.get(2).copied().unwrap_or(""), line)?,
         })
     } else {
-        let desc = MmaDesc::mma(m, n, k, ab, cd, sparse)
-            .map_err(|e| AsmError { line, msg: e.to_string() })?;
+        let desc = MmaDesc::mma(m, n, k, ab, cd, sparse).map_err(|e| AsmError {
+            line,
+            msg: e.to_string(),
+        })?;
         Ok(Instr::Mma {
             desc,
             d: parse_tile(args.first().copied().unwrap_or(""), line)?,
@@ -564,7 +634,10 @@ fn parse_mma(op: &str, args: &[&str], line: usize) -> Result<Instr, AsmError> {
 
 fn parse_shape(tok: &str, line: usize) -> Result<(u32, u32, u32), AsmError> {
     // mMnNkK
-    let bad = || AsmError { line, msg: format!("malformed shape `{tok}`") };
+    let bad = || AsmError {
+        line,
+        msg: format!("malformed shape `{tok}`"),
+    };
     let rest = tok.strip_prefix('m').ok_or_else(bad)?;
     let npos = rest.find('n').ok_or_else(bad)?;
     let kpos = rest.find('k').ok_or_else(bad)?;
@@ -598,9 +671,21 @@ mod tests {
         assert_eq!(k.smem_bytes, 4096);
         assert!(matches!(
             k.instrs[0],
-            Instr::Ld { space: MemSpace::Global, cop: CacheOp::Cg, width: Width::B4, addr: AddrExpr { offset: 64, .. }, .. }
+            Instr::Ld {
+                space: MemSpace::Global,
+                cop: CacheOp::Cg,
+                width: Width::B4,
+                addr: AddrExpr { offset: 64, .. },
+                ..
+            }
         ));
-        assert!(matches!(k.instrs[2], Instr::St { width: Width::B16, .. }));
+        assert!(matches!(
+            k.instrs[2],
+            Instr::St {
+                width: Width::B16,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -632,8 +717,20 @@ mod tests {
             "mov %r1, %smid;\nmov %r2, %clock;\ndpx.viaddmax_s32 %r3, %r1, %r2, 7;\nexit;",
         )
         .unwrap();
-        assert!(matches!(k.instrs[0], Instr::ReadSpecial { sr: Special::SmId, .. }));
-        assert!(matches!(k.instrs[2], Instr::Dpx { func: DpxFunc::ViAddMaxS32, .. }));
+        assert!(matches!(
+            k.instrs[0],
+            Instr::ReadSpecial {
+                sr: Special::SmId,
+                ..
+            }
+        ));
+        assert!(matches!(
+            k.instrs[2],
+            Instr::Dpx {
+                func: DpxFunc::ViAddMaxS32,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -642,9 +739,22 @@ mod tests {
             "cp.async.cg.shared.global [%r1], [%r2], 16;\ncp.async.commit_group;\ncp.async.wait_group 0;\nmapa %r3, %r1, 1;\nbarrier.cluster;\natom.shared::cluster.add.b32 [%r3], 1;\nexit;",
         )
         .unwrap();
-        assert!(matches!(k.instrs[0], Instr::CpAsync { width: Width::B16, .. }));
+        assert!(matches!(
+            k.instrs[0],
+            Instr::CpAsync {
+                width: Width::B16,
+                ..
+            }
+        ));
         assert!(matches!(k.instrs[2], Instr::CpAsyncWait { groups: 0 }));
-        assert!(matches!(k.instrs[5], Instr::AtomAdd { space: MemSpace::SharedCluster, dst: None, .. }));
+        assert!(matches!(
+            k.instrs[5],
+            Instr::AtomAdd {
+                space: MemSpace::SharedCluster,
+                dst: None,
+                ..
+            }
+        ));
     }
 
     #[test]

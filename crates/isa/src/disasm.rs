@@ -21,7 +21,12 @@ fn addr(a: &AddrExpr) -> String {
     if a.offset == 0 {
         format!("[%r{}]", a.base.0)
     } else {
-        format!("[%r{}{}{}]", a.base.0, if a.offset >= 0 { "+" } else { "" }, a.offset)
+        format!(
+            "[%r{}{}{}]",
+            a.base.0,
+            if a.offset >= 0 { "+" } else { "" },
+            a.offset
+        )
     }
 }
 
@@ -80,18 +85,32 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
         Instr::IMad { dst, a, b, c } => {
             format!("mad.s32 %r{}, {}, {}, {};", dst.0, op(a), op(b), op(c))
         }
-        Instr::FAlu { op: o, prec, dst, a, b } => {
+        Instr::FAlu {
+            op: o,
+            prec,
+            dst,
+            a,
+            b,
+        } => {
             let name = match o {
                 FAluOp::Add => "add",
                 FAluOp::Mul => "mul",
                 FAluOp::Min => "min",
                 FAluOp::Max => "max",
             };
-            let ty = if *prec == FloatPrec::F64 { "f64" } else { "f32" };
+            let ty = if *prec == FloatPrec::F64 {
+                "f64"
+            } else {
+                "f32"
+            };
             format!("{name}.{ty} %r{}, {}, {};", dst.0, op(a), op(b))
         }
         Instr::FFma { prec, dst, a, b, c } => {
-            let ty = if *prec == FloatPrec::F64 { "f64" } else { "f32" };
+            let ty = if *prec == FloatPrec::F64 {
+                "f64"
+            } else {
+                "f32"
+            };
             format!("fma.{ty} %r{}, {}, {}, {};", dst.0, op(a), op(b), op(c))
         }
         Instr::Mov { dst, src } => format!("mov.s32 %r{}, {};", dst.0, op(src)),
@@ -122,7 +141,13 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
             Some((p, true)) => format!("@%p{} bra L{target};", p.0),
             Some((p, false)) => format!("@!%p{} bra L{target};", p.0),
         },
-        Instr::Ld { space: sp, cop, width: w, dst, addr: a } => {
+        Instr::Ld {
+            space: sp,
+            cop,
+            width: w,
+            dst,
+            addr: a,
+        } => {
             let c = match cop {
                 CacheOp::Ca => "ca",
                 CacheOp::Cg => "cg",
@@ -135,15 +160,40 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
                 _ => format!("ld.{}.{} %r{}, {};", space(*sp), width(*w), dst.0, addr(a)),
             }
         }
-        Instr::St { space: sp, width: w, src, addr: a } => {
+        Instr::St {
+            space: sp,
+            width: w,
+            src,
+            addr: a,
+        } => {
             format!("st.{}.{} {}, %r{};", space(*sp), width(*w), addr(a), src.0)
         }
-        Instr::AtomAdd { space: sp, dst, addr: a, src } => match dst {
-            Some(d) => format!("atom.{}.add.b32 %r{}, {}, {};", space(*sp), d.0, addr(a), op(src)),
+        Instr::AtomAdd {
+            space: sp,
+            dst,
+            addr: a,
+            src,
+        } => match dst {
+            Some(d) => format!(
+                "atom.{}.add.b32 %r{}, {}, {};",
+                space(*sp),
+                d.0,
+                addr(a),
+                op(src)
+            ),
             None => format!("atom.{}.add.b32 {}, {};", space(*sp), addr(a), op(src)),
         },
-        Instr::CpAsync { width: w, smem, gmem } => {
-            format!("cp.async.cg.shared.global {}, {}, {};", addr(smem), addr(gmem), w.bytes())
+        Instr::CpAsync {
+            width: w,
+            smem,
+            gmem,
+        } => {
+            format!(
+                "cp.async.cg.shared.global {}, {}, {};",
+                addr(smem),
+                addr(gmem),
+                w.bytes()
+            )
         }
         Instr::CpAsyncCommit => "cp.async.commit_group;".into(),
         Instr::CpAsyncWait { groups } => format!("cp.async.wait_group {groups};"),
@@ -172,7 +222,11 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
                 desc.k,
                 desc.cd.ptx_name(),
                 desc.ab.ptx_name(),
-                if desc.a_src == OperandSource::RegShared { "rs" } else { "ss" },
+                if desc.a_src == OperandSource::RegShared {
+                    "rs"
+                } else {
+                    "ss"
+                },
                 d.0,
                 a.0,
                 b.0
@@ -188,9 +242,10 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
         Instr::ClusterSync => "barrier.cluster;".into(),
         Instr::ReadSpecial { dst, sr } => format!("mov %r{}, {};", dst.0, special(*sr)),
         Instr::Exit => "exit;".into(),
-        Instr::LdTile { .. } | Instr::StTile { .. } | Instr::FillTile { .. } | Instr::TmaCopy { .. } => {
-            return None
-        }
+        Instr::LdTile { .. }
+        | Instr::StTile { .. }
+        | Instr::FillTile { .. }
+        | Instr::TmaCopy { .. } => return None,
     })
 }
 

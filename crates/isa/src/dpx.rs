@@ -166,10 +166,14 @@ impl DpxFunc {
 
     fn eval_s32_part(&self, a: i32, b: i32, c: i32) -> i32 {
         let base = match self {
-            DpxFunc::ViAddMaxS32 | DpxFunc::ViAddMaxS32Relu | DpxFunc::ViAddMaxS16x2
+            DpxFunc::ViAddMaxS32
+            | DpxFunc::ViAddMaxS32Relu
+            | DpxFunc::ViAddMaxS16x2
             | DpxFunc::ViAddMaxS16x2Relu => a.wrapping_add(b).max(c),
             DpxFunc::ViAddMinS32 => a.wrapping_add(b).min(c),
-            DpxFunc::ViMax3S32 | DpxFunc::ViMax3S32Relu | DpxFunc::ViMax3S16x2
+            DpxFunc::ViMax3S32
+            | DpxFunc::ViMax3S32Relu
+            | DpxFunc::ViMax3S16x2
             | DpxFunc::ViMax3S16x2Relu => a.max(b).max(c),
             DpxFunc::ViMin3S32 => a.min(b).min(c),
             DpxFunc::ViBMaxS32 => a.max(b),

@@ -105,7 +105,13 @@ impl DType {
     pub fn is_float(&self) -> bool {
         matches!(
             self,
-            DType::F16 | DType::BF16 | DType::TF32 | DType::F32 | DType::F64 | DType::E4M3 | DType::E5M2
+            DType::F16
+                | DType::BF16
+                | DType::TF32
+                | DType::F32
+                | DType::F64
+                | DType::E4M3
+                | DType::E5M2
         )
     }
 

@@ -553,7 +553,10 @@ mod tests {
 
     #[test]
     fn mnemonics() {
-        let i = Instr::Mov { dst: Reg(0), src: Operand::Imm(1) };
+        let i = Instr::Mov {
+            dst: Reg(0),
+            src: Operand::Imm(1),
+        };
         assert_eq!(i.mnemonic(), "mov");
         assert_eq!(Instr::WgmmaFence.mnemonic(), "wgmma.fence");
     }

@@ -143,7 +143,13 @@ impl KernelBuilder {
         self.track(dst);
         self.track_op(a);
         self.track_op(b);
-        self.push(Instr::FAlu { op, prec: FloatPrec::F32, dst, a, b })
+        self.push(Instr::FAlu {
+            op,
+            prec: FloatPrec::F32,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// Float ALU op (f64).
@@ -151,7 +157,13 @@ impl KernelBuilder {
         self.track(dst);
         self.track_op(a);
         self.track_op(b);
-        self.push(Instr::FAlu { op, prec: FloatPrec::F64, dst, a, b })
+        self.push(Instr::FAlu {
+            op,
+            prec: FloatPrec::F64,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// Fused multiply-add (f32).
@@ -160,7 +172,13 @@ impl KernelBuilder {
         self.track_op(a);
         self.track_op(b);
         self.track_op(c);
-        self.push(Instr::FFma { prec: FloatPrec::F32, dst, a, b, c })
+        self.push(Instr::FFma {
+            prec: FloatPrec::F32,
+            dst,
+            a,
+            b,
+            c,
+        })
     }
 
     /// DPX function.
@@ -189,13 +207,19 @@ impl KernelBuilder {
     /// Unconditional branch.
     pub fn bra(&mut self, target: Label) -> &mut Self {
         self.pending.push((self.instrs.len(), target));
-        self.push(Instr::Bra { target: usize::MAX, guard: None })
+        self.push(Instr::Bra {
+            target: usize::MAX,
+            guard: None,
+        })
     }
 
     /// Guarded branch (`@p` if `when` else `@!p`).
     pub fn bra_if(&mut self, target: Label, pred: Pred, when: bool) -> &mut Self {
         self.pending.push((self.instrs.len(), target));
-        self.push(Instr::Bra { target: usize::MAX, guard: Some((pred, when)) })
+        self.push(Instr::Bra {
+            target: usize::MAX,
+            guard: Some((pred, when)),
+        })
     }
 
     /// Load.
@@ -211,7 +235,13 @@ impl KernelBuilder {
     ) -> &mut Self {
         self.track(dst);
         self.track(base);
-        self.push(Instr::Ld { space, cop, width, dst, addr: AddrExpr { base, offset } })
+        self.push(Instr::Ld {
+            space,
+            cop,
+            width,
+            dst,
+            addr: AddrExpr { base, offset },
+        })
     }
 
     /// Store.
@@ -225,7 +255,12 @@ impl KernelBuilder {
     ) -> &mut Self {
         self.track(src);
         self.track(base);
-        self.push(Instr::St { space, width, src, addr: AddrExpr { base, offset } })
+        self.push(Instr::St {
+            space,
+            width,
+            src,
+            addr: AddrExpr { base, offset },
+        })
     }
 
     /// Atomic add.
@@ -242,7 +277,12 @@ impl KernelBuilder {
         }
         self.track(base);
         self.track_op(src);
-        self.push(Instr::AtomAdd { space, dst, addr: AddrExpr { base, offset }, src })
+        self.push(Instr::AtomAdd {
+            space,
+            dst,
+            addr: AddrExpr { base, offset },
+            src,
+        })
     }
 
     /// Asynchronous global→shared copy.
@@ -251,8 +291,14 @@ impl KernelBuilder {
         self.track(gmem.0);
         self.push(Instr::CpAsync {
             width,
-            smem: AddrExpr { base: smem.0, offset: smem.1 },
-            gmem: AddrExpr { base: gmem.0, offset: gmem.1 },
+            smem: AddrExpr {
+                base: smem.0,
+                offset: smem.1,
+            },
+            gmem: AddrExpr {
+                base: gmem.0,
+                offset: gmem.1,
+            },
         })
     }
 
@@ -281,8 +327,14 @@ impl KernelBuilder {
             rows,
             row_bytes,
             gstride,
-            smem: AddrExpr { base: smem.0, offset: smem.1 },
-            gmem: AddrExpr { base: gmem.0, offset: gmem.1 },
+            smem: AddrExpr {
+                base: smem.0,
+                offset: smem.1,
+            },
+            gmem: AddrExpr {
+                base: gmem.0,
+                offset: gmem.1,
+            },
         })
     }
 
@@ -299,7 +351,14 @@ impl KernelBuilder {
         offset: i64,
     ) -> &mut Self {
         self.track(base);
-        self.push(Instr::LdTile { tile, dtype, rows, cols, space, addr: AddrExpr { base, offset } })
+        self.push(Instr::LdTile {
+            tile,
+            dtype,
+            rows,
+            cols,
+            space,
+            addr: AddrExpr { base, offset },
+        })
     }
 
     /// Store a tile to memory.
@@ -311,7 +370,11 @@ impl KernelBuilder {
         offset: i64,
     ) -> &mut Self {
         self.track(base);
-        self.push(Instr::StTile { tile, space, addr: AddrExpr { base, offset } })
+        self.push(Instr::StTile {
+            tile,
+            space,
+            addr: AddrExpr { base, offset },
+        })
     }
 
     /// Fill a tile in place (benchmark setup; no memory traffic).
@@ -323,7 +386,13 @@ impl KernelBuilder {
         cols: u16,
         pattern: crate::TilePattern,
     ) -> &mut Self {
-        self.push(Instr::FillTile { tile, dtype, rows, cols, pattern })
+        self.push(Instr::FillTile {
+            tile,
+            dtype,
+            rows,
+            cols,
+            pattern,
+        })
     }
 
     /// Warp-synchronous tensor-core `mma`.

@@ -79,8 +79,16 @@ pub fn sass_for(arch: Arch, d: &MmaDesc) -> Result<SassInstr, LowerError> {
                     )))
                 }
             };
-            let name = if d.sparse { name.replace("GMMA.", "GMMA.SP.") } else { name };
-            Ok(SassInstr { name, unit: ExecUnit::TensorCore, expansion: 1 })
+            let name = if d.sparse {
+                name.replace("GMMA.", "GMMA.SP.")
+            } else {
+                name
+            };
+            Ok(SassInstr {
+                name,
+                unit: ExecUnit::TensorCore,
+                expansion: 1,
+            })
         }
         MmaKind::Mma => {
             let shape = format!("{}{}{}", d.m, d.n, d.k);
@@ -130,7 +138,11 @@ pub fn sass_for(arch: Arch, d: &MmaDesc) -> Result<SassInstr, LowerError> {
 }
 
 fn tc(name: String) -> SassInstr {
-    SassInstr { name, unit: ExecUnit::TensorCore, expansion: 1 }
+    SassInstr {
+        name,
+        unit: ExecUnit::TensorCore,
+        expansion: 1,
+    }
 }
 
 /// SASS mnemonic(s) a single warp instruction compiles to on `arch` —
@@ -157,9 +169,11 @@ pub fn sass_for_instr(arch: Arch, i: &Instr) -> Vec<String> {
             };
             one(base)
         }
-        Instr::FFma { prec, .. } => {
-            one(if *prec == FloatPrec::F64 { "DFMA" } else { "FFMA" })
-        }
+        Instr::FFma { prec, .. } => one(if *prec == FloatPrec::F64 {
+            "DFMA"
+        } else {
+            "FFMA"
+        }),
         Instr::Mov { .. } | Instr::ReadSpecial { .. } => one("MOV"),
         Instr::Dpx { func, .. } => {
             if arch.has_dpx_hardware() {
@@ -172,10 +186,16 @@ pub fn sass_for_instr(arch: Arch, i: &Instr) -> Vec<String> {
         Instr::SetP { .. } => one("ISETP"),
         Instr::Sel { .. } => one("SEL"),
         Instr::Bra { .. } => one("BRA"),
-        Instr::Ld { space, cop, width, .. } => one(&match space {
+        Instr::Ld {
+            space, cop, width, ..
+        } => one(&match space {
             MemSpace::Global => format!(
                 "LDG.E{}{}",
-                if *cop == CacheOp::Cg { ".STRONG.GPU" } else { "" },
+                if *cop == CacheOp::Cg {
+                    ".STRONG.GPU"
+                } else {
+                    ""
+                },
                 if *width == Width::B16 { ".128" } else { "" }
             ),
             MemSpace::Shared => "LDS".to_string(),
@@ -195,12 +215,10 @@ pub fn sass_for_instr(arch: Arch, i: &Instr) -> Vec<String> {
         Instr::CpAsyncCommit => one("LDGDEPBAR"),
         Instr::CpAsyncWait { .. } => one("DEPBAR.LE"),
         Instr::TmaCopy { .. } => one("UBLKCP"),
-        Instr::Mma { desc, .. } | Instr::Wgmma { desc, .. } => {
-            match sass_for(arch, desc) {
-                Ok(s) => vec![s.name; s.expansion.min(8) as usize],
-                Err(e) => vec![format!("<uncompilable: {e}>")],
-            }
-        }
+        Instr::Mma { desc, .. } | Instr::Wgmma { desc, .. } => match sass_for(arch, desc) {
+            Ok(s) => vec![s.name; s.expansion.min(8) as usize],
+            Err(e) => vec![format!("<uncompilable: {e}>")],
+        },
         Instr::WgmmaFence => one("FENCE.VIEW.ASYNC"),
         Instr::WgmmaCommit => one("WARPGROUP.ARRIVE"),
         Instr::WgmmaWait { .. } => one("WARPGROUP.DEPBAR"),
@@ -216,7 +234,10 @@ pub fn sass_for_instr(arch: Arch, i: &Instr) -> Vec<String> {
 
 /// Disassemble a whole kernel into SASS mnemonics for `arch`.
 pub fn sass_listing(arch: Arch, k: &Kernel) -> Vec<String> {
-    k.instrs.iter().flat_map(|i| sass_for_instr(arch, i)).collect()
+    k.instrs
+        .iter()
+        .flat_map(|i| sass_for_instr(arch, i))
+        .collect()
 }
 
 /// The full Table VI as (A/B, C/D, mma SASS, wgmma SASS) rows for the
@@ -261,11 +282,36 @@ mod tests {
 
     #[test]
     fn table_vi_mma_column() {
-        assert_eq!(sass_for(Arch::Hopper, &mma(DType::F16, DType::F16, 16)).unwrap().name, "HMMA.16816.F16");
-        assert_eq!(sass_for(Arch::Hopper, &mma(DType::F16, DType::F32, 16)).unwrap().name, "HMMA.16816.F32");
-        assert_eq!(sass_for(Arch::Hopper, &mma(DType::TF32, DType::F32, 8)).unwrap().name, "HMMA.1688.F32.TF32");
-        assert_eq!(sass_for(Arch::Hopper, &mma(DType::S8, DType::S32, 32)).unwrap().name, "IMMA.16832.S8.S8");
-        assert_eq!(sass_for(Arch::Hopper, &mma(DType::B1, DType::S32, 256)).unwrap().name, "BMMA.168256.AND.POPC");
+        assert_eq!(
+            sass_for(Arch::Hopper, &mma(DType::F16, DType::F16, 16))
+                .unwrap()
+                .name,
+            "HMMA.16816.F16"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &mma(DType::F16, DType::F32, 16))
+                .unwrap()
+                .name,
+            "HMMA.16816.F32"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &mma(DType::TF32, DType::F32, 8))
+                .unwrap()
+                .name,
+            "HMMA.1688.F32.TF32"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &mma(DType::S8, DType::S32, 32))
+                .unwrap()
+                .name,
+            "IMMA.16832.S8.S8"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &mma(DType::B1, DType::S32, 256))
+                .unwrap()
+                .name,
+            "BMMA.168256.AND.POPC"
+        );
     }
 
     #[test]
@@ -284,18 +330,60 @@ mod tests {
     fn table_vi_wgmma_column() {
         let ss = OperandSource::SharedShared;
         let w = |ab, cd| MmaDesc::wgmma(256, ab, cd, false, ss).unwrap();
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::F16, DType::F16)).unwrap().name, "HGMMA.64x256x16.F16");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::F16, DType::F32)).unwrap().name, "HGMMA.64x256x16.F32");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::TF32, DType::F32)).unwrap().name, "HGMMA.64x256x8.F32.TF32");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::E5M2, DType::F16)).unwrap().name, "QGMMA.64x256x32.F16.E5M2.E5M2");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::E4M3, DType::F32)).unwrap().name, "QGMMA.64x256x32.F32.E4M3.E4M3");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::S8, DType::S32)).unwrap().name, "IGMMA.64x256x32.S8.S8");
-        assert_eq!(sass_for(Arch::Hopper, &w(DType::B1, DType::S32)).unwrap().name, "BGMMA.64x256x256.AND.POPC");
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::F16, DType::F16))
+                .unwrap()
+                .name,
+            "HGMMA.64x256x16.F16"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::F16, DType::F32))
+                .unwrap()
+                .name,
+            "HGMMA.64x256x16.F32"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::TF32, DType::F32))
+                .unwrap()
+                .name,
+            "HGMMA.64x256x8.F32.TF32"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::E5M2, DType::F16))
+                .unwrap()
+                .name,
+            "QGMMA.64x256x32.F16.E5M2.E5M2"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::E4M3, DType::F32))
+                .unwrap()
+                .name,
+            "QGMMA.64x256x32.F32.E4M3.E4M3"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::S8, DType::S32))
+                .unwrap()
+                .name,
+            "IGMMA.64x256x32.S8.S8"
+        );
+        assert_eq!(
+            sass_for(Arch::Hopper, &w(DType::B1, DType::S32))
+                .unwrap()
+                .name,
+            "BGMMA.64x256x256.AND.POPC"
+        );
     }
 
     #[test]
     fn wgmma_rejected_off_hopper() {
-        let d = MmaDesc::wgmma(64, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        let d = MmaDesc::wgmma(
+            64,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert!(sass_for(Arch::Ada, &d).is_err());
         assert!(sass_for(Arch::Ampere, &d).is_err());
     }
@@ -310,9 +398,16 @@ mod tests {
     #[test]
     fn sparse_naming() {
         let d = MmaDesc::mma(16, 8, 32, DType::F16, DType::F32, true).unwrap();
-        assert_eq!(sass_for(Arch::Hopper, &d).unwrap().name, "HMMA.SP.16832.F32");
-        let w = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::RegShared).unwrap();
-        assert_eq!(sass_for(Arch::Hopper, &w).unwrap().name, "HGMMA.SP.64x256x32.F32");
+        assert_eq!(
+            sass_for(Arch::Hopper, &d).unwrap().name,
+            "HMMA.SP.16832.F32"
+        );
+        let w =
+            MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::RegShared).unwrap();
+        assert_eq!(
+            sass_for(Arch::Hopper, &w).unwrap().name,
+            "HGMMA.SP.64x256x32.F32"
+        );
     }
 
     #[test]
@@ -325,7 +420,14 @@ mod tests {
         let hopper = sass_listing(Arch::Hopper, &k);
         assert_eq!(
             hopper,
-            ["MOV", "IADD3", "LDG.E.STRONG.GPU", "VIADDMNMX", "BAR.SYNC", "EXIT"]
+            [
+                "MOV",
+                "IADD3",
+                "LDG.E.STRONG.GPU",
+                "VIADDMNMX",
+                "BAR.SYNC",
+                "EXIT"
+            ]
         );
         // The same kernel on Ampere expands the DPX call into its
         // emulation sequence.
@@ -343,7 +445,10 @@ mod tests {
         assert_eq!(int4.2.as_deref(), Some("IMAD.MOV.U32"));
         assert!(int4.3.is_none());
         // FP8 rows: mma absent, wgmma present.
-        let fp8 = rows.iter().find(|r| r.0 == DType::E4M3 && r.1 == DType::F32).unwrap();
+        let fp8 = rows
+            .iter()
+            .find(|r| r.0 == DType::E4M3 && r.1 == DType::F32)
+            .unwrap();
         assert!(fp8.2.is_none());
         assert_eq!(fp8.3.as_deref(), Some("QGMMA.64x256x32.F32.E4M3.E4M3"));
     }

@@ -112,7 +112,9 @@ impl MmaDesc {
             return Err(MmaError(format!("mma requires m16n8, got m{m}n{n}")));
         }
         if ab.is_fp8() {
-            return Err(MmaError("no mma instructions exist for FP8 (Table VI)".into()));
+            return Err(MmaError(
+                "no mma instructions exist for FP8 (Table VI)".into(),
+            ));
         }
         let base_k = if sparse { k / 2 } else { k };
         if !Self::mma_valid_k(ab).contains(&base_k) {
@@ -127,7 +129,16 @@ impl MmaDesc {
             return Err(MmaError(format!("no sparse mma for {}", ab.ptx_name())));
         }
         Self::check_cd(ab, cd)?;
-        Ok(MmaDesc { kind: MmaKind::Mma, m, n, k, ab, cd, sparse, a_src: OperandSource::RegShared })
+        Ok(MmaDesc {
+            kind: MmaKind::Mma,
+            m,
+            n,
+            k,
+            ab,
+            cd,
+            sparse,
+            a_src: OperandSource::RegShared,
+        })
     }
 
     /// Construct a `wgmma` descriptor, validating shape/type legality.
@@ -141,17 +152,28 @@ impl MmaDesc {
         if ab == DType::S4 {
             return Err(MmaError("wgmma does not support INT4 (Table VI)".into()));
         }
-        let k = Self::wgmma_k(ab)
-            .ok_or_else(|| MmaError(format!("no wgmma for {}", ab.ptx_name())))?;
+        let k =
+            Self::wgmma_k(ab).ok_or_else(|| MmaError(format!("no wgmma for {}", ab.ptx_name())))?;
         let k = if sparse { k * 2 } else { k };
         if !(8..=256).contains(&n) || !n.is_multiple_of(8) {
-            return Err(MmaError(format!("wgmma N must be a multiple of 8 in 8..=256, got {n}")));
+            return Err(MmaError(format!(
+                "wgmma N must be a multiple of 8 in 8..=256, got {n}"
+            )));
         }
         if sparse && ab == DType::B1 {
             return Err(MmaError("no sparse wgmma for binary".into()));
         }
         Self::check_cd(ab, cd)?;
-        Ok(MmaDesc { kind: MmaKind::Wgmma, m: 64, n, k, ab, cd, sparse, a_src })
+        Ok(MmaDesc {
+            kind: MmaKind::Wgmma,
+            m: 64,
+            n,
+            k,
+            ab,
+            cd,
+            sparse,
+            a_src,
+        })
     }
 
     fn check_cd(ab: DType, cd: DType) -> Result<(), MmaError> {
@@ -204,11 +226,21 @@ impl MmaDesc {
         match self.kind {
             MmaKind::Mma => format!(
                 "mma.{}m{}n{}k{}.{}.{}",
-                sp, self.m, self.n, self.k, self.cd.ptx_name(), self.ab.ptx_name()
+                sp,
+                self.m,
+                self.n,
+                self.k,
+                self.cd.ptx_name(),
+                self.ab.ptx_name()
             ),
             MmaKind::Wgmma => format!(
                 "wgmma.{}m{}n{}k{}.{}.{}",
-                sp, self.m, self.n, self.k, self.cd.ptx_name(), self.ab.ptx_name()
+                sp,
+                self.m,
+                self.n,
+                self.k,
+                self.cd.ptx_name(),
+                self.ab.ptx_name()
             ),
         }
     }
@@ -273,26 +305,82 @@ mod tests {
     #[test]
     fn wgmma_shapes() {
         for n in (8..=256).step_by(8) {
-            assert!(MmaDesc::wgmma(n, DType::F16, DType::F32, false, OperandSource::SharedShared).is_ok());
+            assert!(MmaDesc::wgmma(
+                n,
+                DType::F16,
+                DType::F32,
+                false,
+                OperandSource::SharedShared
+            )
+            .is_ok());
         }
-        assert!(MmaDesc::wgmma(12, DType::F16, DType::F32, false, OperandSource::SharedShared).is_err());
-        assert!(MmaDesc::wgmma(512, DType::F16, DType::F32, false, OperandSource::SharedShared).is_err());
+        assert!(MmaDesc::wgmma(
+            12,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared
+        )
+        .is_err());
+        assert!(MmaDesc::wgmma(
+            512,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared
+        )
+        .is_err());
         // K is fixed per type: FP16→16, TF32→8, FP8/INT8→32, B1→256.
-        let d = MmaDesc::wgmma(256, DType::E4M3, DType::F16, false, OperandSource::RegShared).unwrap();
+        let d = MmaDesc::wgmma(
+            256,
+            DType::E4M3,
+            DType::F16,
+            false,
+            OperandSource::RegShared,
+        )
+        .unwrap();
         assert_eq!(d.k, 32);
-        let d = MmaDesc::wgmma(256, DType::TF32, DType::F32, false, OperandSource::SharedShared).unwrap();
+        let d = MmaDesc::wgmma(
+            256,
+            DType::TF32,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert_eq!(d.k, 8);
         // Sparse doubles K: sp.m64n256k32 for FP16.
-        let d = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        let d = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            true,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert_eq!(d.k, 32);
         assert_eq!(d.compressed_k(), 16);
         // No INT4 wgmma.
-        assert!(MmaDesc::wgmma(256, DType::S4, DType::S32, false, OperandSource::SharedShared).is_err());
+        assert!(MmaDesc::wgmma(
+            256,
+            DType::S4,
+            DType::S32,
+            false,
+            OperandSource::SharedShared
+        )
+        .is_err());
     }
 
     #[test]
     fn arch_support() {
-        let wg = MmaDesc::wgmma(64, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        let wg = MmaDesc::wgmma(
+            64,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert!(wg.supported_on(Arch::Hopper));
         assert!(!wg.supported_on(Arch::Ada));
         assert!(!wg.supported_on(Arch::Ampere));
@@ -302,12 +390,26 @@ mod tests {
 
     #[test]
     fn flops_and_bytes() {
-        let d = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        let d = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert_eq!(d.flops(), 2 * 64 * 256 * 16);
         assert_eq!(d.a_bytes(), 64 * 16 * 2);
         assert_eq!(d.b_bytes(), 16 * 256 * 2);
         // Sparse: compressed A is half, but SS fetches the full tile.
-        let s = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        let s = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            true,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert_eq!(s.a_bytes(), 64 * 32 * 2 / 2);
         assert_eq!(s.a_smem_bytes_ss(), 64 * 32 * 2);
     }
@@ -316,14 +418,35 @@ mod tests {
     fn ptx_names() {
         let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
         assert_eq!(d.ptx_name(), "mma.m16n8k16.f32.f16");
-        let s = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
+        let s = MmaDesc::wgmma(
+            256,
+            DType::F16,
+            DType::F32,
+            true,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         assert_eq!(s.ptx_name(), "wgmma.sp.m64n256k32.f32.f16");
     }
 
     #[test]
     fn accumulator_rules() {
         assert!(MmaDesc::mma(16, 8, 16, DType::F16, DType::S32, false).is_err());
-        assert!(MmaDesc::wgmma(64, DType::S8, DType::F32, false, OperandSource::SharedShared).is_err());
-        assert!(MmaDesc::wgmma(64, DType::E5M2, DType::F16, false, OperandSource::SharedShared).is_ok());
+        assert!(MmaDesc::wgmma(
+            64,
+            DType::S8,
+            DType::F32,
+            false,
+            OperandSource::SharedShared
+        )
+        .is_err());
+        assert!(MmaDesc::wgmma(
+            64,
+            DType::E5M2,
+            DType::F16,
+            false,
+            OperandSource::SharedShared
+        )
+        .is_ok());
     }
 }

@@ -75,11 +75,13 @@ impl DotEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{F16, SoftFloat};
+    use crate::types::{SoftFloat, F16};
 
     #[test]
     fn fp32_accumulate_is_sequential_rounding() {
-        let a: Vec<F16> = (0..8).map(|i| F16::from_f64(1.0 + i as f64 * 0.125)).collect();
+        let a: Vec<F16> = (0..8)
+            .map(|i| F16::from_f64(1.0 + i as f64 * 0.125))
+            .collect();
         let b: Vec<F16> = (0..8).map(|_| F16::from_f64(1.0)).collect();
         let eng = DotEngine::new(AccumMode::F32);
         let got = eng.dot_float(&a, &b, 0.0);

@@ -197,7 +197,11 @@ impl RoundedEncode for FloatSpec {
             }
             let kept = sig >> total_shift;
             let residue = sig & ((1u64 << total_shift) - 1);
-            let half = if total_shift == 0 { 0 } else { 1u64 << (total_shift - 1) };
+            let half = if total_shift == 0 {
+                0
+            } else {
+                1u64 << (total_shift - 1)
+            };
             let rounded = round_rtne(kept, residue, half);
             // rounded may carry into the normal range; handled below by the
             // generic carry logic using exp field 0.
@@ -232,9 +236,7 @@ impl RoundedEncode for FloatSpec {
         }
         if self.finite_only && exp == max_normal_exp {
             // Top binade exists but its all-ones mantissa is NaN; saturate.
-            let enc = sign
-                | (((exp + bias) as u64) << self.man_bits)
-                | (kept & man_mask);
+            let enc = sign | (((exp + bias) as u64) << self.man_bits) | (kept & man_mask);
             if (enc & !sign_bit) == ((exp_mask << self.man_bits) | man_mask) {
                 return sign | self.finite_only_max_bits();
             }
@@ -266,9 +268,21 @@ pub fn normal_kept_with_hidden(frac52: u64, man_bits: u32) -> u64 {
 mod tests {
     use super::*;
 
-    const FP16: FloatSpec = FloatSpec { exp_bits: 5, man_bits: 10, finite_only: false };
-    const E4M3: FloatSpec = FloatSpec { exp_bits: 4, man_bits: 3, finite_only: true };
-    const E5M2: FloatSpec = FloatSpec { exp_bits: 5, man_bits: 2, finite_only: false };
+    const FP16: FloatSpec = FloatSpec {
+        exp_bits: 5,
+        man_bits: 10,
+        finite_only: false,
+    };
+    const E4M3: FloatSpec = FloatSpec {
+        exp_bits: 4,
+        man_bits: 3,
+        finite_only: true,
+    };
+    const E5M2: FloatSpec = FloatSpec {
+        exp_bits: 5,
+        man_bits: 2,
+        finite_only: false,
+    };
 
     /// Brute-force nearest-representable reference (ties-to-even by
     /// preferring the encoding with an even mantissa LSB).

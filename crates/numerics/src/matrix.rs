@@ -21,7 +21,11 @@ pub struct Matrix<T> {
 impl<T: Copy> Matrix<T> {
     /// Matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: T) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Matrix built from a generator `f(row, col)`.
@@ -71,7 +75,9 @@ impl<T: SoftFloat> Matrix<T> {
     pub fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Self {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         Self::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 33) as f64) / (1u64 << 31) as f64; // [0,2)
             T::from_f64(u - 1.0)
         })
@@ -119,11 +125,7 @@ pub fn gemm_sparse_ref<T: SoftFloat>(
 }
 
 /// Integer reference GEMM over i32 widened products (IMMA semantics).
-pub fn gemm_int_ref(
-    a: &Matrix<i8>,
-    b: &Matrix<i8>,
-    c: &Matrix<i32>,
-) -> Matrix<i32> {
+pub fn gemm_int_ref(a: &Matrix<i8>, b: &Matrix<i8>, c: &Matrix<i32>) -> Matrix<i32> {
     assert_eq!(a.cols, b.rows);
     Matrix::from_fn(a.rows, b.cols, |i, j| {
         let mut acc = c.get(i, j);
@@ -137,7 +139,7 @@ pub fn gemm_int_ref(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{F16, SoftFloat};
+    use crate::types::{SoftFloat, F16};
 
     #[test]
     fn gemm_identity() {

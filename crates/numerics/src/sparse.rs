@@ -47,14 +47,19 @@ impl<T: SoftFloat> Sparse24<T> {
     ///
     /// Returns an error naming the first offending group otherwise.
     pub fn compress(dense: &[T]) -> Result<Self, SparsityError> {
-        assert!(dense.len().is_multiple_of(4), "K must be a multiple of 4 for 2:4 sparsity");
+        assert!(
+            dense.len().is_multiple_of(4),
+            "K must be a multiple of 4 for 2:4 sparsity"
+        );
         let mut values = Vec::with_capacity(dense.len() / 2);
         let mut meta = Vec::with_capacity(dense.len() / 2);
         for (g, group) in dense.chunks_exact(4).enumerate() {
-            let nz: Vec<usize> =
-                (0..4).filter(|&i| group[i].to_f64() != 0.0).collect();
+            let nz: Vec<usize> = (0..4).filter(|&i| group[i].to_f64() != 0.0).collect();
             if nz.len() > 2 {
-                return Err(SparsityError { group: g, nonzeros: nz.len() });
+                return Err(SparsityError {
+                    group: g,
+                    nonzeros: nz.len(),
+                });
             }
             // Keep the (up to two) non-zeros; pad with position 0/1 zeros so
             // every group contributes exactly two survivors, as the
@@ -74,7 +79,11 @@ impl<T: SoftFloat> Sparse24<T> {
                 meta.push(p as u8);
             }
         }
-        Ok(Sparse24 { values, meta, k: dense.len() })
+        Ok(Sparse24 {
+            values,
+            meta,
+            k: dense.len(),
+        })
     }
 
     /// Prune a dense row *into* 2:4 form by keeping the two largest-
@@ -126,7 +135,7 @@ impl<T: SoftFloat> Sparse24<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{F16, SoftFloat};
+    use crate::types::{SoftFloat, F16};
 
     fn row(vals: &[f64]) -> Vec<F16> {
         vals.iter().map(|&v| F16::from_f64(v)).collect()

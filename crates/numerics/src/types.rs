@@ -169,9 +169,9 @@ mod tests {
 
     #[test]
     fn bf16_truncates_like_f32_high_half() {
-        // bf16(x) should be close to f32 with 7 mantissa bits; 3.14159 ->
+        // bf16(x) should be close to f32 with 7 mantissa bits; pi ->
         // 3.140625 exactly.
-        let x = Bf16::from_f32(3.14159);
+        let x = Bf16::from_f32(std::f32::consts::PI);
         assert_eq!(x.to_f64(), 3.140625);
         // Exponent range matches f32: 1e38 survives.
         assert!(Bf16::from_f32(1.0e38).to_f64().is_finite());

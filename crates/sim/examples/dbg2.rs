@@ -1,9 +1,10 @@
 fn main() {
-    use hopper_sim::*;
     use hopper_isa::asm::assemble;
+    use hopper_sim::*;
     let mut gpu = Gpu::new(DeviceConfig::h800());
     // 1 warp: 4 b64 loads + 4 dependent f64 adds per iter
-    let k = assemble(r#"
+    let k = assemble(
+        r#"
         mov %r2, %tid.x;
         mul.s32 %r5, %r2, 32;
         add.s32 %r6, %r5, %r0;
@@ -21,11 +22,19 @@ fn main() {
         setp.lt.s32 %p0, %r7, 64;
         @%p0 bra LOOP;
         exit;
-    "#).unwrap();
-    let buf = gpu.alloc(1<<20).unwrap();
+    "#,
+    )
+    .unwrap();
+    let buf = gpu.alloc(1 << 20).unwrap();
     let l = Launch::new(1, 1024).with_params(vec![buf]);
     gpu.launch(&k, &l).unwrap();
     let s = gpu.launch(&k, &l).unwrap();
-    println!("cycles={} l1_bytes={} instr={} -> {} B/clk", s.metrics.cycles, s.metrics.l1_bytes, s.metrics.instructions, s.metrics.l1_bytes as f64 / s.metrics.cycles as f64);
+    println!(
+        "cycles={} l1_bytes={} instr={} -> {} B/clk",
+        s.metrics.cycles,
+        s.metrics.l1_bytes,
+        s.metrics.instructions,
+        s.metrics.l1_bytes as f64 / s.metrics.cycles as f64
+    );
     // expected: 32 warps*64 iters*4 adds*16cyc = 131072 cycles, bytes = 32*64*4*256=2MB -> 16 B/clk
 }

@@ -1,8 +1,15 @@
 fn main() {
-    use hopper_sim::*;
-    use hopper_isa::*;
     use hopper_isa::mma::OperandSource;
-    let desc = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    use hopper_isa::*;
+    use hopper_sim::*;
+    let desc = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let mut b = KernelBuilder::new("one");
     b.fill_tile(TileId(0), DType::F16, 64, 16, TilePattern::Zero);
     b.fill_tile(TileId(1), DType::F16, 16, 256, TilePattern::Zero);
@@ -15,5 +22,8 @@ fn main() {
     let k = b.build();
     let mut gpu = Gpu::new(DeviceConfig::h800());
     let s = gpu.launch(&k, &Launch::new(1, 128)).unwrap();
-    println!("one-wgmma cycles = {} (expect ~ lat 128 + ~6 setup)", s.metrics.cycles);
+    println!(
+        "one-wgmma cycles = {} (expect ~ lat 128 + ~6 setup)",
+        s.metrics.cycles
+    );
 }

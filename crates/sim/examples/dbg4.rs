@@ -1,7 +1,7 @@
 fn main() {
-    use hopper_sim::*;
-    use hopper_isa::*;
     use hopper_isa::dpx::DpxFunc;
+    use hopper_isa::*;
+    use hopper_sim::*;
     for dev in [DeviceConfig::h800(), DeviceConfig::a100()] {
         let mut gpu = Gpu::new(dev);
         for iters in [64i64, 320] {
@@ -11,14 +11,30 @@ fn main() {
             b.mov(Reg(3), Operand::Imm(1000));
             b.mov(Reg(4), Operand::Imm(0));
             let top = b.label_here();
-            b.dpx(DpxFunc::ViMax3S16x2Relu, Reg(1), Operand::Reg(Reg(1)), Operand::Reg(Reg(2)), Operand::Reg(Reg(3)));
+            b.dpx(
+                DpxFunc::ViMax3S16x2Relu,
+                Reg(1),
+                Operand::Reg(Reg(1)),
+                Operand::Reg(Reg(2)),
+                Operand::Reg(Reg(3)),
+            );
             b.ialu(IAluOp::Add, Reg(4), Operand::Reg(Reg(4)), Operand::Imm(1));
-            b.setp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(4)), Operand::Imm(iters));
+            b.setp(
+                Pred(0),
+                CmpOp::Lt,
+                Operand::Reg(Reg(4)),
+                Operand::Imm(iters),
+            );
             b.bra_if(top, Pred(0), true);
             b.exit();
             let k = b.build();
-            let s = gpu.launch(&k, &Launch::new(1,1)).unwrap();
-            println!("{} iters={} cycles={}", gpu.device().name, iters, s.metrics.cycles);
+            let s = gpu.launch(&k, &Launch::new(1, 1)).unwrap();
+            println!(
+                "{} iters={} cycles={}",
+                gpu.device().name,
+                iters,
+                s.metrics.cycles
+            );
         }
     }
 }

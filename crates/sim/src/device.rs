@@ -33,7 +33,11 @@ impl LevelBw {
 
     /// Uniform bandwidth across widths.
     pub fn uniform(b: f64) -> Self {
-        LevelBw { b4: b, b8: b, b16: b }
+        LevelBw {
+            b4: b,
+            b8: b,
+            b16: b,
+        }
     }
 }
 
@@ -63,6 +67,9 @@ pub struct SimOptions {
     pub block_stagger: bool,
     /// Per-instruction `mma` issue gap (Hopper's warp-level-mma tax).
     pub mma_issue_gap: bool,
+    /// Event-category enables for attached trace sinks (ignored when no
+    /// sink is attached; see [`crate::Gpu::launch_traced`]).
+    pub trace: hopper_trace::TraceConfig,
 }
 
 impl Default for SimOptions {
@@ -73,6 +80,7 @@ impl Default for SimOptions {
             sparse_ss_penalty: true,
             block_stagger: true,
             mma_issue_gap: true,
+            trace: hopper_trace::TraceConfig::all(),
         }
     }
 }
@@ -205,16 +213,24 @@ impl DeviceConfig {
             smem_per_sm: 164 * 1024,
             smem_per_block: 163 * 1024,
             regs_per_sm: 65536,
-            l1_latency: 38,   // Table IV: 37.9
-            smem_latency: 29, // Table IV: 29.0
-            l2_latency: 261,  // Table IV: 261.5
+            l1_latency: 38,    // Table IV: 37.9
+            smem_latency: 29,  // Table IV: 29.0
+            l2_latency: 261,   // Table IV: 261.5
             dram_latency: 466, // Table IV: 466.3
             dsm_latency: 0,
             tlb_miss_latency: 280,
             tlb_entries: 512,
-            l1_bw: LevelBw { b4: 99.5, b8: 120.0, b16: 106.8 }, // Table V
-            smem_bw: 128.0,                                     // Table V
-            l2_bw: LevelBw { b4: 1853.7, b8: 1990.4, b16: 2007.9 }, // Table V
+            l1_bw: LevelBw {
+                b4: 99.5,
+                b8: 120.0,
+                b16: 106.8,
+            }, // Table V
+            smem_bw: 128.0, // Table V
+            l2_bw: LevelBw {
+                b4: 1853.7,
+                b8: 1990.4,
+                b16: 2007.9,
+            }, // Table V
             dsm_bw_per_sm: 0.0,
             dsm_contention_per_cs: 0.0,
             l1_bytes: 192 * 1024,
@@ -226,7 +242,7 @@ impl DeviceConfig {
             dpx_per_clk: 0,
             dpx_latency: 0,
             tc_per_sm: 4,
-            mma_issue_gap: 0.05, // mma reaches >95 % of peak (Table VII)
+            mma_issue_gap: 0.05,  // mma reaches >95 % of peak (Table VII)
             wgmma_issue_gap: 0.0, // no wgmma on Ampere
         }
     }
@@ -252,17 +268,25 @@ impl DeviceConfig {
             smem_per_sm: 100 * 1024,
             smem_per_block: 99 * 1024,
             regs_per_sm: 65536,
-            l1_latency: 43,   // Table IV: 43.4
-            smem_latency: 30, // Table IV: 30.1
-            l2_latency: 273,  // Table IV: 273.0
+            l1_latency: 43,    // Table IV: 43.4
+            smem_latency: 30,  // Table IV: 30.1
+            l2_latency: 273,   // Table IV: 273.0
             dram_latency: 541, // Table IV: 541.5
             dsm_latency: 0,
             tlb_miss_latency: 300,
             tlb_entries: 512,
-            l1_bw: LevelBw { b4: 63.7, b8: 121.2, b16: 121.2 }, // Table V; the FP64
+            l1_bw: LevelBw {
+                b4: 63.7,
+                b8: 121.2,
+                b16: 121.2,
+            }, // Table V; the FP64
             // cell (13.3 B/clk) is reproduced by the fp64 pipe, not the L1 path
             smem_bw: 128.0,
-            l2_bw: LevelBw { b4: 1622.2, b8: 1500.8, b16: 1708.0 }, // Table V
+            l2_bw: LevelBw {
+                b4: 1622.2,
+                b8: 1500.8,
+                b16: 1708.0,
+            }, // Table V
             dsm_bw_per_sm: 0.0,
             dsm_contention_per_cs: 0.0,
             l1_bytes: 128 * 1024,
@@ -290,24 +314,32 @@ impl DeviceConfig {
             mem_bytes: 80 * (1 << 30),
             dram_bw: 1861.5e9,             // Table V measured
             dram_bw_theoretical: 2039.0e9, // Table III
-            tdp_w: 350.0, // paper §IV-C: "the 350W power limit of the H800-PCIe"
+            tdp_w: 350.0,                  // paper §IV-C: "the 350W power limit of the H800-PCIe"
             idle_w: 70.0,
             max_threads_per_sm: 2048,
             max_blocks_per_sm: 32,
             smem_per_sm: 228 * 1024,
             smem_per_block: 227 * 1024,
             regs_per_sm: 65536,
-            l1_latency: 41,   // Table IV: 40.7
-            smem_latency: 29, // Table IV: 29.0
-            l2_latency: 263,  // Table IV: 263.0
+            l1_latency: 41,    // Table IV: 40.7
+            smem_latency: 29,  // Table IV: 29.0
+            l2_latency: 263,   // Table IV: 263.0
             dram_latency: 479, // Table IV: 478.8
-            dsm_latency: 180, // §IV-E: "SM-to-SM network latency is 180 cycles"
+            dsm_latency: 180,  // §IV-E: "SM-to-SM network latency is 180 cycles"
             tlb_miss_latency: 280,
             tlb_entries: 768,
-            l1_bw: LevelBw { b4: 125.8, b8: 124.1, b16: 124.1 }, // Table V; FP64 cell
+            l1_bw: LevelBw {
+                b4: 125.8,
+                b8: 124.1,
+                b16: 124.1,
+            }, // Table V; FP64 cell
             // (16 B/clk) is reproduced by the 2-wide fp64 pipe
             smem_bw: 128.0,
-            l2_bw: LevelBw { b4: 4472.3, b8: 1817.3, b16: 3942.4 }, // Table V
+            l2_bw: LevelBw {
+                b4: 4472.3,
+                b8: 1817.3,
+                b16: 3942.4,
+            }, // Table V
             // Ring-based copy peak ≈3.27 TB/s over 57 clusters of 2
             // (114 SMs): 3.27e12 / 114 SMs / 1.755 GHz ≈ 16.3 B/clk/SM.
             dsm_bw_per_sm: 16.3,
@@ -321,7 +353,7 @@ impl DeviceConfig {
             fp64_per_clk: 2, // export-limited: paper measures 16 B/clk FP64 add
             alu_latency: 4,
             dpx_per_clk: 32, // hardware DPX; calibrated to Fig 7's per-SM rates
-            dpx_latency: 4, // dependent-issue latency of VIMNMX/VIADDMNMX
+            dpx_latency: 4,  // dependent-issue latency of VIMNMX/VIADDMNMX
             tc_per_sm: 4,
             // mma only averages 62.9 % of peak on Hopper (Table VII):
             // fixed issue gap per warp-level mma.
@@ -352,7 +384,10 @@ impl DeviceConfig {
             Arch::Ada => 1024.0,
             Arch::Hopper => 3781.0,
         };
-        let scale = |f: f64| TcRate { dense: fp16_dense * f, sparse: fp16_dense * f * 2.0 };
+        let scale = |f: f64| TcRate {
+            dense: fp16_dense * f,
+            sparse: fp16_dense * f * 2.0,
+        };
         let r = match ab {
             DType::F16 | DType::BF16 => scale(1.0),
             DType::TF32 => {
@@ -472,7 +507,11 @@ mod tests {
         // Paper: L2/global throughput = 4.67 / 2.01 / 4.23 ×.
         for (d, want) in DeviceConfig::all().iter().zip([2.01, 4.67, 4.23]) {
             let got = d.l2_bw.b16.max(d.l2_bw.b4) / (d.dram_bw / d.clock_hz);
-            assert!((got - want).abs() / want < 0.12, "{}: {got} vs {want}", d.name);
+            assert!(
+                (got - want).abs() / want < 0.12,
+                "{}: {got} vs {want}",
+                d.name
+            );
         }
     }
 }

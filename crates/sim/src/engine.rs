@@ -17,8 +17,12 @@ use crate::power;
 use crate::tc_timing;
 use crate::tiles::{execute_mma, Tile};
 use hopper_isa::{
-    AddrExpr, CacheOp, DType, FAluOp, FloatPrec, IAluOp, Instr, Kernel, MemSpace, MmaKind,
-    Operand, Reg, Special, TileId, Width,
+    AddrExpr, CacheOp, DType, FAluOp, FloatPrec, IAluOp, Instr, Kernel, MemSpace, MmaKind, Operand,
+    Reg, Special, TileId, Width,
+};
+use hopper_trace::{
+    CacheEvent, CacheLevel, CacheTotals, IssueEvent, SlotTotals, StallReason, StallSpan,
+    TraceConfig, TraceSink, UnitBusy, UnitSpan, N_SLOT_REASONS,
 };
 use std::collections::HashMap;
 
@@ -115,6 +119,11 @@ struct WarpState {
     cp_pending: f64,
     /// Committed cp.async groups (completion times, FIFO).
     cp_groups: Vec<f64>,
+    /// Last observed stall reason (trace attribution; only maintained
+    /// while a sink is attached).
+    stall_reason: StallReason,
+    /// First cycle of the current stall span (`u64::MAX` = not stalled).
+    stalled_since: u64,
 }
 
 struct BlockState {
@@ -193,6 +202,12 @@ pub struct Engine<'a> {
     metrics: Metrics,
     l1_stats0: (u64, u64),
     l2_stats0: (u64, u64),
+    /// Attached trace sink (`None` = untraced hot path).
+    sink: Option<&'a mut dyn TraceSink>,
+    /// Event-category enables (only consulted while `sink` is attached).
+    trace: TraceConfig,
+    /// Device cycle at which this wave starts (multi-wave launches).
+    base_cycle: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -207,7 +222,9 @@ impl<'a> Engine<'a> {
         assert!(!cfg.blocks.is_empty(), "engine needs at least one block");
         assert!(cfg.threads_per_block >= 1 && cfg.threads_per_block <= 1024);
         let num_sms = cfg.blocks.iter().map(|b| b.sm).max().unwrap() + 1;
-        let nregs = (kernel.regs_per_thread as usize).max(cfg.params.len() + 1).min(256);
+        let nregs = (kernel.regs_per_thread as usize)
+            .max(cfg.params.len() + 1)
+            .min(256);
         let _ = &nregs;
         let warps_per_block = cfg.threads_per_block.div_ceil(32) as usize;
 
@@ -250,6 +267,8 @@ impl<'a> Engine<'a> {
                     retry_at: 0,
                     cp_pending: 0.0,
                     cp_groups: Vec::new(),
+                    stall_reason: StallReason::Dispatch,
+                    stalled_since: u64::MAX,
                 };
                 for (i, &p) in cfg.params.iter().enumerate() {
                     for lane in 0..32 {
@@ -284,15 +303,25 @@ impl<'a> Engine<'a> {
                 fp32_pipe: Limiter::new(),
                 fp64_pipe: Limiter::new(),
                 dpx_pipe: Limiter::new(),
-                tc_quadrant: [Limiter::new(), Limiter::new(), Limiter::new(), Limiter::new()],
+                tc_quadrant: [
+                    Limiter::new(),
+                    Limiter::new(),
+                    Limiter::new(),
+                    Limiter::new(),
+                ],
                 tc_whole: Limiter::new(),
                 dsm_port: Limiter::new(),
                 last_sched: [0; 4],
             })
             .collect();
 
-        let l1_stats0 = caches.l1.iter().map(|t| t.stats()).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        let l1_stats0 = caches
+            .l1
+            .iter()
+            .map(|t| t.stats())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         let l2_stats0 = caches.l2.stats();
+        let trace = cfg.opts.trace;
         Engine {
             dev,
             kernel,
@@ -309,18 +338,45 @@ impl<'a> Engine<'a> {
             metrics: Metrics::default(),
             l1_stats0,
             l2_stats0,
+            sink: None,
+            trace,
+            base_cycle: 0,
         }
+    }
+
+    /// Attach a trace sink. Event timestamps stay wave-local; the sink is
+    /// told `base_cycle` (the device cycle this wave starts at) so
+    /// multi-wave timelines can be assembled. A [`hopper_trace::NullSink`]
+    /// is dropped here, keeping the untraced hot path branch-free.
+    pub fn with_sink(mut self, sink: &'a mut dyn TraceSink, base_cycle: u64) -> Self {
+        if !sink.is_null() {
+            self.sink = Some(sink);
+            self.base_cycle = base_cycle;
+        }
+        self
     }
 
     /// Run to completion; returns the wave's metrics.
     pub fn run(mut self) -> Metrics {
         // Static warp→(sm, scheduler) rosters (built once; warp placement
         // never changes during a launch).
-        let mut roster: Vec<Vec<Vec<usize>>> =
-            vec![vec![Vec::new(); 4]; self.sms.len()];
+        let mut roster: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); 4]; self.sms.len()];
         for (w, ws) in self.warps.iter().enumerate() {
             roster[self.blocks[ws.block].spec.sm][ws.scheduler].push(w);
         }
+        let tracing = self.sink.is_some();
+        if let Some(s) = self.sink.as_mut() {
+            s.begin_wave(self.base_cycle, self.sms.len() as u32, 4);
+        }
+        // Per-slot outcome of the current iteration (trace accounting):
+        // 0 = issued, 1 + bucket = stalled for that reason, OUT_IDLE = no
+        // runnable warp. Weighted by the cycle advance each iteration, the
+        // accumulated buckets satisfy issued + stalled + idle == cycles
+        // per slot by construction.
+        const OUT_IDLE: u8 = u8::MAX;
+        let nslots = self.sms.len() * 4;
+        let mut outcomes = vec![OUT_IDLE; nslots];
+        let mut slot_acc = vec![SlotAcc::default(); if tracing { nslots } else { 0 }];
         let mut live = self.warps.len();
         loop {
             if live == 0 {
@@ -343,41 +399,85 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     let start = self.sms[sm].last_sched[sched] % candidates.len();
+                    // Binding stall for the slot: the reason of the
+                    // minimum-wakeup warp among those examined.
+                    let mut slot_issued = false;
+                    let mut slot_stall: Option<(u64, StallReason)> = None;
                     for i in 0..candidates.len() {
                         let w = candidates[(start + i) % candidates.len()];
                         if self.warps[w].status == WarpStatus::Done {
                             continue;
                         }
                         if self.warps[w].retry_at > self.cycle {
-                            earliest_wakeup =
-                                earliest_wakeup.min(self.warps[w].retry_at);
+                            earliest_wakeup = earliest_wakeup.min(self.warps[w].retry_at);
+                            if tracing {
+                                let wk = self.warps[w].retry_at;
+                                let r = self.warps[w].stall_reason;
+                                if slot_stall.is_none_or(|(b, _)| wk < b) {
+                                    slot_stall = Some((wk, r));
+                                }
+                            }
                             continue;
                         }
+                        let pc_before = self.warps[w].pc;
                         match self.try_issue(w) {
                             IssueResult::Issued => {
                                 self.sms[sm].last_sched[sched] = (start + i) % candidates.len();
                                 issued_any = true;
+                                slot_issued = true;
                                 if self.warps[w].status == WarpStatus::Done {
                                     live -= 1;
                                 }
+                                if tracing {
+                                    self.note_issue(sm, sched, w, pc_before);
+                                }
                                 break;
                             }
-                            IssueResult::Stalled(until) => {
+                            IssueResult::Stalled(until, reason) => {
                                 if until != u64::MAX {
                                     self.warps[w].retry_at = until.max(self.cycle + 1);
                                 }
                                 earliest_wakeup = earliest_wakeup.min(until.max(self.cycle + 1));
+                                if tracing {
+                                    self.note_stall(sm, sched, w, reason);
+                                    let wk = until.max(self.cycle + 1);
+                                    if slot_stall.is_none_or(|(b, _)| wk < b) {
+                                        slot_stall = Some((wk, reason));
+                                    }
+                                }
                             }
                         }
+                    }
+                    if tracing {
+                        outcomes[sm * 4 + sched] = if slot_issued {
+                            0
+                        } else if let Some((_, r)) = slot_stall {
+                            1 + r.bucket() as u8
+                        } else {
+                            OUT_IDLE
+                        };
                     }
                 }
             }
             self.release_barriers();
+            let prev_cycle = self.cycle;
             if issued_any || earliest_wakeup == u64::MAX {
                 self.cycle += 1;
             } else {
                 // Fast-forward across a global stall.
                 self.cycle = earliest_wakeup.max(self.cycle + 1);
+            }
+            if tracing {
+                // Each fast-forwarded cycle repeats this iteration's
+                // outcome, so weight the buckets by the advance.
+                let advance = self.cycle - prev_cycle;
+                for (acc, &code) in slot_acc.iter_mut().zip(outcomes.iter()) {
+                    match code {
+                        0 => acc.issued += advance,
+                        OUT_IDLE => acc.idle += advance,
+                        r => acc.stalled[(r - 1) as usize] += advance,
+                    }
+                }
             }
         }
         self.metrics.cycles = self.cycle;
@@ -392,7 +492,171 @@ impl<'a> Engine<'a> {
             .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.l1_hits = l1.0 - self.l1_stats0.0;
         self.metrics.l1_misses = l1.1 - self.l1_stats0.1;
+        if tracing {
+            self.emit_wave_summary(&slot_acc);
+        }
         self.metrics
+    }
+
+    /// End-of-wave aggregate emission: per-slot totals, functional-unit
+    /// occupancy, cache totals.
+    fn emit_wave_summary(&mut self, slot_acc: &[SlotAcc]) {
+        let total = self.cycle;
+        let cache = CacheTotals {
+            l1_hits: self.metrics.l1_hits,
+            l1_misses: self.metrics.l1_misses,
+            l2_hits: self.metrics.l2_hits,
+            l2_misses: self.metrics.l2_misses,
+            tlb_misses: self.metrics.tlb_misses,
+        };
+        let Some(s) = self.sink.as_mut() else { return };
+        for (slot, acc) in slot_acc.iter().enumerate() {
+            s.slot_totals(&SlotTotals {
+                sm: (slot / 4) as u32,
+                sched: (slot % 4) as u32,
+                issued: acc.issued,
+                idle: acc.idle,
+                stalled: acc.stalled,
+                total,
+            });
+        }
+        for (sm, st) in self.sms.iter().enumerate() {
+            let sm = sm as u32;
+            let units: [(&'static str, f64); 8] = [
+                ("int", st.int_pipe.busy_cycles()),
+                ("fp32", st.fp32_pipe.busy_cycles()),
+                ("fp64", st.fp64_pipe.busy_cycles()),
+                ("dpx", st.dpx_pipe.busy_cycles()),
+                ("tensor.wg", st.tc_whole.busy_cycles()),
+                ("l1_port", st.l1_port.busy_cycles()),
+                ("smem_port", st.smem_port.busy_cycles()),
+                ("dsm_port", st.dsm_port.busy_cycles()),
+            ];
+            for (unit, busy) in units {
+                s.unit_busy(&UnitBusy {
+                    sm,
+                    unit,
+                    busy,
+                    total,
+                });
+            }
+            // One record per quadrant; the profile merges them so the
+            // reported "tensor" occupancy is the mean over quadrants.
+            for q in &st.tc_quadrant {
+                s.unit_busy(&UnitBusy {
+                    sm,
+                    unit: "tensor",
+                    busy: q.busy_cycles(),
+                    total,
+                });
+            }
+        }
+        s.unit_busy(&UnitBusy {
+            sm: u32::MAX,
+            unit: "l2_port",
+            busy: self.l2_port.busy_cycles(),
+            total,
+        });
+        s.unit_busy(&UnitBusy {
+            sm: u32::MAX,
+            unit: "dram",
+            busy: self.dram_port.busy_cycles(),
+            total,
+        });
+        s.cache_totals(&cache);
+        s.end_wave(total);
+    }
+
+    /// Close the warp's open stall span (if any) and emit the issue event.
+    fn note_issue(&mut self, sm: usize, sched: usize, w: usize, pc: usize) {
+        let now = self.cycle;
+        let ws = &mut self.warps[w];
+        let since = ws.stalled_since;
+        let reason = ws.stall_reason;
+        ws.stalled_since = u64::MAX;
+        let Some(s) = self.sink.as_mut() else { return };
+        if self.trace.stall_events && since != u64::MAX && now > since {
+            s.stall(&StallSpan {
+                sm: sm as u32,
+                sched: sched as u32,
+                warp: w as u32,
+                start: since,
+                end: now,
+                reason,
+            });
+        }
+        if self.trace.issue_events {
+            s.issue(&IssueEvent {
+                cycle: now,
+                sm: sm as u32,
+                sched: sched as u32,
+                warp: w as u32,
+                op: op_name(&self.kernel.instrs[pc]),
+            });
+        }
+    }
+
+    /// Record a stall observation: start a span, or split it when the
+    /// binding reason changes (e.g. a barrier wait turning into the
+    /// post-release dispatch hold).
+    fn note_stall(&mut self, sm: usize, sched: usize, w: usize, reason: StallReason) {
+        let now = self.cycle;
+        let ws = &mut self.warps[w];
+        if ws.stalled_since == u64::MAX {
+            ws.stalled_since = now;
+            ws.stall_reason = reason;
+        } else if ws.stall_reason != reason {
+            let span = StallSpan {
+                sm: sm as u32,
+                sched: sched as u32,
+                warp: w as u32,
+                start: ws.stalled_since,
+                end: now.max(ws.stalled_since + 1),
+                reason: ws.stall_reason,
+            };
+            ws.stalled_since = now;
+            ws.stall_reason = reason;
+            if self.trace.stall_events {
+                if let Some(s) = self.sink.as_mut() {
+                    s.stall(&span);
+                }
+            }
+        }
+    }
+
+    /// Emit a functional-unit busy span (no-op without a sink).
+    fn trace_unit(&mut self, sm: u32, unit: &'static str, w: usize, start: f64, cost: f64) {
+        if self.sink.is_none() || !self.trace.unit_events {
+            return;
+        }
+        let s0 = start.floor() as u64;
+        let end = ((start + cost).ceil() as u64).max(s0 + 1);
+        if let Some(s) = self.sink.as_mut() {
+            s.unit(&UnitSpan {
+                sm,
+                unit,
+                warp: w as u32,
+                start: s0,
+                end,
+            });
+        }
+    }
+
+    /// Emit a cache hit/miss event (no-op without a sink).
+    fn trace_cache(&mut self, sm: u32, level: CacheLevel, hit: bool, sectors: u32) {
+        if self.sink.is_none() || !self.trace.cache_events {
+            return;
+        }
+        let cycle = self.cycle;
+        if let Some(s) = self.sink.as_mut() {
+            s.cache(&CacheEvent {
+                cycle,
+                sm,
+                level,
+                hit,
+                sectors,
+            });
+        }
     }
 
     fn release_barriers(&mut self) {
@@ -420,7 +684,10 @@ impl<'a> Engine<'a> {
                 .filter(|(_, b)| b.spec.cluster_id == cid)
                 .map(|(i, _)| i)
                 .collect();
-            let total_warps: usize = member_blocks.iter().map(|&b| self.blocks[b].warps.len()).sum();
+            let total_warps: usize = member_blocks
+                .iter()
+                .map(|&b| self.blocks[b].warps.len())
+                .sum();
             if count == total_warps {
                 released.push(cid);
                 let release = self.cycle + CLUSTER_BAR_RELEASE;
@@ -447,14 +714,14 @@ impl<'a> Engine<'a> {
         {
             let ws = &self.warps[w];
             match ws.status {
-                WarpStatus::Done => return IssueResult::Stalled(u64::MAX),
+                WarpStatus::Done => return IssueResult::Stalled(u64::MAX, StallReason::Barrier),
                 WarpStatus::Barrier | WarpStatus::ClusterBarrier => {
-                    return IssueResult::Stalled(u64::MAX)
+                    return IssueResult::Stalled(u64::MAX, StallReason::Barrier)
                 }
                 WarpStatus::Ready => {}
             }
             if ws.next_ready > now {
-                return IssueResult::Stalled(ws.next_ready);
+                return IssueResult::Stalled(ws.next_ready, StallReason::Dispatch);
             }
         }
         // Copy the shared kernel reference out of `self` so the borrow of
@@ -465,7 +732,7 @@ impl<'a> Engine<'a> {
         // Data-dependency check.
         if let Some(ready_at) = self.deps_ready_at(w, instr) {
             if ready_at > now {
-                return IssueResult::Stalled(ready_at);
+                return IssueResult::Stalled(ready_at, StallReason::Scoreboard);
             }
         }
 
@@ -477,7 +744,7 @@ impl<'a> Engine<'a> {
                 let ws = &mut self.warps[w];
                 ws.next_ready = ws.next_ready.max(now + 1);
             }
-            IssueResult::Stalled(_) => {}
+            IssueResult::Stalled(..) => {}
         }
         res
     }
@@ -535,11 +802,16 @@ impl<'a> Engine<'a> {
                 t = t.max(ws.pred_ready[pred.0 as usize]);
                 any = true;
             }
-            Instr::Bra { guard: Some((p, _)), .. } => {
+            Instr::Bra {
+                guard: Some((p, _)),
+                ..
+            } => {
                 t = t.max(ws.pred_ready[p.0 as usize]);
                 any = true;
             }
-            Instr::Ld { dst, addr, width, .. } => {
+            Instr::Ld {
+                dst, addr, width, ..
+            } => {
                 reg(dst, &mut t, &mut any);
                 if *width == Width::B16 {
                     reg(&Reg(dst.0 + 1), &mut t, &mut any);
@@ -591,9 +863,13 @@ impl<'a> Engine<'a> {
                 let cost = 32.0 / self.dev.int_per_clk as f64;
                 let sm = self.sm_of(w);
                 if self.sms[sm].int_pipe.free_at() > now {
-                    return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64);
+                    return IssueResult::Stalled(
+                        self.sms[sm].int_pipe.free_at() as u64,
+                        StallReason::MathPipeBusy,
+                    );
                 }
-                self.sms[sm].int_pipe.acquire(now, cost);
+                let ustart = self.sms[sm].int_pipe.acquire(now, cost);
+                self.trace_unit(sm as u32, "int", w, ustart, cost);
                 // The integer datapath is 64-bit (addresses need it); PTX
                 // .s32 ops run at full width, observationally equivalent
                 // for kernels that keep 32-bit quantities in range.
@@ -618,9 +894,13 @@ impl<'a> Engine<'a> {
                 let cost = 32.0 / self.dev.int_per_clk as f64;
                 let sm = self.sm_of(w);
                 if self.sms[sm].int_pipe.free_at() > now {
-                    return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64);
+                    return IssueResult::Stalled(
+                        self.sms[sm].int_pipe.free_at() as u64,
+                        StallReason::MathPipeBusy,
+                    );
                 }
-                self.sms[sm].int_pipe.acquire(now, cost);
+                let ustart = self.sms[sm].int_pipe.acquire(now, cost);
+                self.trace_unit(sm as u32, "int", w, ustart, cost);
                 self.lane_op3(w, *dst, *a, *b, *c, |x, y, z| {
                     x.wrapping_mul(y).wrapping_add(z)
                 });
@@ -629,7 +909,13 @@ impl<'a> Engine<'a> {
                 self.advance(w);
                 IssueResult::Issued
             }
-            Instr::FAlu { op, prec, dst, a, b } => self.fp_op(w, *prec, *dst, &[*a, *b], {
+            Instr::FAlu {
+                op,
+                prec,
+                dst,
+                a,
+                b,
+            } => self.fp_op(w, *prec, *dst, &[*a, *b], {
                 let op = *op;
                 move |v: &[f64]| match op {
                     FAluOp::Add => v[0] + v[1],
@@ -639,12 +925,15 @@ impl<'a> Engine<'a> {
                 }
             }),
             Instr::FFma { prec, dst, a, b, c } => {
-                self.fp_op(w, *prec, *dst, &[*a, *b, *c], |v: &[f64]| v[0] * v[1] + v[2])
+                self.fp_op(w, *prec, *dst, &[*a, *b, *c], |v: &[f64]| {
+                    v[0] * v[1] + v[2]
+                })
             }
             Instr::Mov { dst, src } => {
                 let sm = self.sm_of(w);
                 let cost = 32.0 / self.dev.int_per_clk as f64;
-                self.sms[sm].int_pipe.acquire(now, cost);
+                let ustart = self.sms[sm].int_pipe.acquire(now, cost);
+                self.trace_unit(sm as u32, "int", w, ustart, cost);
                 for lane in 0..32 {
                     let v = self.read_op(w, *src, lane);
                     self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
@@ -658,18 +947,26 @@ impl<'a> Engine<'a> {
                 if self.dev.arch.has_dpx_hardware() {
                     let cost = 32.0 / self.dev.dpx_per_clk as f64;
                     if self.sms[sm].dpx_pipe.free_at() > now + 4.0 {
-                        return IssueResult::Stalled(self.sms[sm].dpx_pipe.free_at() as u64 - 4);
+                        return IssueResult::Stalled(
+                            self.sms[sm].dpx_pipe.free_at() as u64 - 4,
+                            StallReason::MathPipeBusy,
+                        );
                     }
-                    self.sms[sm].dpx_pipe.acquire(now, cost);
+                    let ustart = self.sms[sm].dpx_pipe.acquire(now, cost);
+                    self.trace_unit(sm as u32, "dpx", w, ustart, cost);
                     self.finish_reg(w, *dst, nowc + self.dev.dpx_latency as u64);
                 } else {
                     // Software emulation: a dependent chain of ALU ops.
                     let ops = func.emulation_ops(self.dev.arch);
                     let cost = ops as f64 * 32.0 / self.dev.int_per_clk as f64;
                     if self.sms[sm].int_pipe.free_at() > now + 4.0 {
-                        return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64 - 4);
+                        return IssueResult::Stalled(
+                            self.sms[sm].int_pipe.free_at() as u64 - 4,
+                            StallReason::MathPipeBusy,
+                        );
                     }
-                    self.sms[sm].int_pipe.acquire(now, cost);
+                    let ustart = self.sms[sm].int_pipe.acquire(now, cost);
+                    self.trace_unit(sm as u32, "int", w, ustart, cost);
                     self.metrics.instructions += ops as u64 - 1;
                     self.finish_reg(w, *dst, nowc + (ops * self.dev.alu_latency) as u64);
                 }
@@ -738,9 +1035,25 @@ impl<'a> Engine<'a> {
                 }
                 IssueResult::Issued
             }
-            Instr::Ld { space, cop, width, dst, addr } => self.do_load(w, *space, *cop, *width, *dst, *addr),
-            Instr::St { space, width, src, addr } => self.do_store(w, *space, *width, *src, *addr),
-            Instr::AtomAdd { space, dst, addr, src } => self.do_atom(w, *space, *dst, *addr, *src),
+            Instr::Ld {
+                space,
+                cop,
+                width,
+                dst,
+                addr,
+            } => self.do_load(w, *space, *cop, *width, *dst, *addr),
+            Instr::St {
+                space,
+                width,
+                src,
+                addr,
+            } => self.do_store(w, *space, *width, *src, *addr),
+            Instr::AtomAdd {
+                space,
+                dst,
+                addr,
+                src,
+            } => self.do_atom(w, *space, *dst, *addr, *src),
             Instr::CpAsync { width, smem, gmem } => self.do_cp_async(w, *width, *smem, *gmem),
             Instr::CpAsyncCommit => {
                 let ws = &mut self.warps[w];
@@ -757,14 +1070,21 @@ impl<'a> Engine<'a> {
                 }
                 if ws.cp_groups.len() > *groups as usize {
                     let idx = ws.cp_groups.len() - *groups as usize - 1;
-                    return IssueResult::Stalled(ws.cp_groups[idx].ceil() as u64);
+                    return IssueResult::Stalled(
+                        ws.cp_groups[idx].ceil() as u64,
+                        StallReason::TmaInFlight,
+                    );
                 }
                 self.advance(w);
                 IssueResult::Issued
             }
-            Instr::TmaCopy { rows, row_bytes, gstride, smem, gmem } => {
-                self.do_tma(w, *rows, *row_bytes, *gstride, *smem, *gmem)
-            }
+            Instr::TmaCopy {
+                rows,
+                row_bytes,
+                gstride,
+                smem,
+                gmem,
+            } => self.do_tma(w, *rows, *row_bytes, *gstride, *smem, *gmem),
             Instr::Mma { desc, d, a, b, c } => self.do_mma(w, desc, *d, *a, *b, *c),
             Instr::WgmmaFence => {
                 self.advance(w);
@@ -774,7 +1094,10 @@ impl<'a> Engine<'a> {
             Instr::WgmmaCommit => {
                 let key = self.wg_key(w);
                 let bi = self.warps[w].block;
-                let e = self.blocks[bi].wgmma.entry(key).or_insert((0.0, Vec::new()));
+                let e = self.blocks[bi]
+                    .wgmma
+                    .entry(key)
+                    .or_insert((0.0, Vec::new()));
                 let c = e.0;
                 e.0 = 0.0;
                 e.1.push(c);
@@ -784,22 +1107,47 @@ impl<'a> Engine<'a> {
             Instr::WgmmaWait { groups } => {
                 let key = self.wg_key(w);
                 let bi = self.warps[w].block;
-                let e = self.blocks[bi].wgmma.entry(key).or_insert((0.0, Vec::new()));
+                let e = self.blocks[bi]
+                    .wgmma
+                    .entry(key)
+                    .or_insert((0.0, Vec::new()));
                 while !e.1.is_empty() && e.1[0] <= now {
                     e.1.remove(0);
                 }
                 if e.1.len() > *groups as usize {
                     let idx = e.1.len() - *groups as usize - 1;
-                    return IssueResult::Stalled(e.1[idx].ceil() as u64);
+                    return IssueResult::Stalled(
+                        e.1[idx].ceil() as u64,
+                        StallReason::TensorPipeBusy,
+                    );
                 }
                 self.advance(w);
                 IssueResult::Issued
             }
-            Instr::LdTile { tile, dtype, rows, cols, space, addr } => {
-                self.do_ld_tile(w, *tile, *dtype, *rows as usize, *cols as usize, *space, *addr)
-            }
+            Instr::LdTile {
+                tile,
+                dtype,
+                rows,
+                cols,
+                space,
+                addr,
+            } => self.do_ld_tile(
+                w,
+                *tile,
+                *dtype,
+                *rows as usize,
+                *cols as usize,
+                *space,
+                *addr,
+            ),
             Instr::StTile { tile, space, addr } => self.do_st_tile(w, *tile, *space, *addr),
-            Instr::FillTile { tile, dtype, rows, cols, pattern } => {
+            Instr::FillTile {
+                tile,
+                dtype,
+                rows,
+                cols,
+                pattern,
+            } => {
                 let key = self.tile_owner(w);
                 let t = Tile::from_pattern(*dtype, *rows as usize, *cols as usize, *pattern);
                 let bi = self.warps[w].block;
@@ -888,7 +1236,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn lane_op2(&mut self, w: usize, dst: Reg, a: Operand, b: Operand, f: impl Fn(u64, u64) -> u64) {
+    fn lane_op2(
+        &mut self,
+        w: usize,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        f: impl Fn(u64, u64) -> u64,
+    ) {
         for lane in 0..32 {
             let x = self.read_op(w, a, lane);
             let y = self.read_op(w, b, lane);
@@ -936,12 +1291,13 @@ impl<'a> Engine<'a> {
             ),
         };
         if pipe_free > now + 2.0 {
-            return IssueResult::Stalled(pipe_free as u64 - 2);
+            return IssueResult::Stalled(pipe_free as u64 - 2, StallReason::MathPipeBusy);
         }
-        match prec {
-            FloatPrec::F32 => self.sms[sm].fp32_pipe.acquire(now, cost),
-            FloatPrec::F64 => self.sms[sm].fp64_pipe.acquire(now, cost),
+        let (ustart, unit) = match prec {
+            FloatPrec::F32 => (self.sms[sm].fp32_pipe.acquire(now, cost), "fp32"),
+            FloatPrec::F64 => (self.sms[sm].fp64_pipe.acquire(now, cost), "fp64"),
         };
+        self.trace_unit(sm as u32, unit, w, ustart, cost);
         for lane in 0..32 {
             let vals: Vec<f64> = srcs
                 .iter()
@@ -990,7 +1346,10 @@ impl<'a> Engine<'a> {
                 .iter()
                 .position(|b| b.spec.cluster_id == cid && b.spec.cluster_rank == rank)
                 .unwrap_or_else(|| {
-                    panic!("mapa rank {rank} not resident in cluster {cid} (kernel `{}`)", self.kernel.name)
+                    panic!(
+                        "mapa rank {rank} not resident in cluster {cid} (kernel `{}`)",
+                        self.kernel.name
+                    )
                 });
             (target, off)
         } else {
@@ -1020,9 +1379,13 @@ impl<'a> Engine<'a> {
                     let eff_bw = self.dsm_bw_eff();
                     let cost = (lanes.len() as u64 * bytes) as f64 / eff_bw;
                     if self.sms[sm].dsm_port.free_at() > now + MEM_QUEUE_DEPTH {
-                        return IssueResult::Stalled(self.sms[sm].dsm_port.free_at() as u64);
+                        return IssueResult::Stalled(
+                            self.sms[sm].dsm_port.free_at() as u64,
+                            StallReason::MioQueueFull,
+                        );
                     }
                     let start = self.sms[sm].dsm_port.acquire(now, cost);
+                    self.trace_unit(sm as u32, "dsm_port", w, start, cost);
                     let done = (start + cost) as u64 + self.dev.dsm_latency as u64;
                     self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
@@ -1033,9 +1396,13 @@ impl<'a> Engine<'a> {
                     let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
                     let cost = degree.max(lanes.len() as f64 * bytes as f64 / self.dev.smem_bw);
                     if self.sms[sm].smem_port.free_at() > now + MEM_QUEUE_DEPTH {
-                        return IssueResult::Stalled(self.sms[sm].smem_port.free_at() as u64);
+                        return IssueResult::Stalled(
+                            self.sms[sm].smem_port.free_at() as u64,
+                            StallReason::MioQueueFull,
+                        );
                     }
                     let start = self.sms[sm].smem_port.acquire(now, cost);
+                    self.trace_unit(sm as u32, "smem_port", w, start, cost);
                     let done = (start + cost) as u64 + self.dev.smem_latency as u64 - 1;
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
@@ -1049,10 +1416,13 @@ impl<'a> Engine<'a> {
             MemSpace::Global => {
                 let sm = self.sm_of(w);
                 if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
-                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                    return IssueResult::Stalled(
+                        self.sms[sm].l1_port.free_at() as u64,
+                        StallReason::MioQueueFull,
+                    );
                 }
                 if let Some(until) = self.mem_backpressure(now) {
-                    return IssueResult::Stalled(until);
+                    return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
                 // Functional read.
                 for &(lane, a) in &lanes {
@@ -1063,7 +1433,7 @@ impl<'a> Engine<'a> {
                         self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
                     }
                 }
-                let done = self.global_access_time(sm, &lanes, bytes, cop, now);
+                let done = self.global_access_time(w, sm, &lanes, bytes, cop, now);
                 self.finish_load_regs(w, dst, width, done);
                 self.advance(w);
                 IssueResult::Issued
@@ -1107,8 +1477,10 @@ impl<'a> Engine<'a> {
 
     /// Timing of a coalesced global access through L1 → L2 → DRAM.
     /// Returns the completion cycle.
+    #[allow(clippy::too_many_arguments)]
     fn global_access_time(
         &mut self,
+        w: usize,
         sm: usize,
         lanes: &[(usize, u64)],
         bytes: u64,
@@ -1118,10 +1490,12 @@ impl<'a> Engine<'a> {
         let sectors = coalesce_sectors(lanes.iter().map(|&(_, a)| a), bytes);
         let total_bytes = (sectors.len() * 32) as u64;
         self.metrics.l1_bytes += total_bytes;
+        let tracing_cache = self.sink.is_some() && self.trace.cache_events;
 
         // L1 port occupancy regardless of hit/miss.
         let l1_cost = total_bytes as f64 / self.dev.l1_bw.for_width(bytes);
         let start = self.sms[sm].l1_port.acquire(now, l1_cost);
+        self.trace_unit(sm as u32, "l1_port", w, start, l1_cost);
 
         // Classify lines.
         let mut lines: Vec<u64> = sectors.iter().map(|&s| s / 128).collect();
@@ -1136,21 +1510,36 @@ impl<'a> Engine<'a> {
             if !self.caches.tlb.access(page << 21) {
                 tlb_penalty = self.dev.tlb_miss_latency as f64;
                 self.metrics.tlb_misses += 1;
+                if tracing_cache {
+                    self.trace_cache(sm as u32, CacheLevel::Tlb, false, 0);
+                }
             }
         }
         let mut worst_done = start + l1_cost + self.dev.l1_latency as f64 - 1.0;
         let mut miss_bytes = 0u64;
         for &line in &lines {
+            let nsec = if tracing_cache {
+                sectors.iter().filter(|&&s| s / 128 == line).count() as u32
+            } else {
+                0
+            };
             let l1_hit = cop == CacheOp::Ca && self.caches.l1[sm].access(line * 128);
+            if tracing_cache && cop == CacheOp::Ca {
+                self.trace_cache(sm as u32, CacheLevel::L1, l1_hit, nsec);
+            }
             if l1_hit {
                 continue;
             }
             miss_bytes += 128;
             let l2_hit = self.caches.l2.access(line * 128);
+            if tracing_cache {
+                self.trace_cache(sm as u32, CacheLevel::L2, l2_hit, nsec);
+            }
             if !l2_hit {
                 let dram_cost =
                     128.0 / (self.dev.dram_bw / self.dev.clock_hz * self.cfg.dram_bw_scale);
                 let s2 = self.dram_port.acquire(start, dram_cost);
+                self.trace_unit(u32::MAX, "dram", w, s2, dram_cost);
                 self.metrics.dram_bytes += 128;
                 self.metrics.energy_j += 128.0 * power::DRAM_ENERGY_PER_BYTE_J;
                 worst_done = worst_done.max(s2 + dram_cost + self.dev.dram_latency as f64);
@@ -1162,6 +1551,7 @@ impl<'a> Engine<'a> {
             let l2_cost =
                 miss_bytes as f64 / (self.dev.l2_bw.for_width(bytes) * self.cfg.l2_bw_scale);
             let s = self.l2_port.acquire(start, l2_cost);
+            self.trace_unit(u32::MAX, "l2_port", w, s, l2_cost);
             self.metrics.l2_bytes += miss_bytes;
             self.metrics.energy_j += miss_bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
             worst_done = worst_done.max(s + l2_cost + self.dev.l2_latency as f64 - 1.0);
@@ -1191,17 +1581,25 @@ impl<'a> Engine<'a> {
                     let eff_bw = self.dsm_bw_eff();
                     let cost = (lanes.len() as u64 * bytes) as f64 / eff_bw;
                     if self.sms[sm].dsm_port.free_at() > now + MEM_QUEUE_DEPTH {
-                        return IssueResult::Stalled(self.sms[sm].dsm_port.free_at() as u64);
+                        return IssueResult::Stalled(
+                            self.sms[sm].dsm_port.free_at() as u64,
+                            StallReason::MioQueueFull,
+                        );
                     }
-                    self.sms[sm].dsm_port.acquire(now, cost);
+                    let ustart = self.sms[sm].dsm_port.acquire(now, cost);
+                    self.trace_unit(sm as u32, "dsm_port", w, ustart, cost);
                     self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
                 } else {
                     let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
                     let cost = degree.max(lanes.len() as f64 * bytes as f64 / self.dev.smem_bw);
                     if self.sms[sm].smem_port.free_at() > now + MEM_QUEUE_DEPTH {
-                        return IssueResult::Stalled(self.sms[sm].smem_port.free_at() as u64);
+                        return IssueResult::Stalled(
+                            self.sms[sm].smem_port.free_at() as u64,
+                            StallReason::MioQueueFull,
+                        );
                     }
-                    self.sms[sm].smem_port.acquire(now, cost);
+                    let ustart = self.sms[sm].smem_port.acquire(now, cost);
+                    self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                 }
                 for &(lane, a) in &lanes {
@@ -1223,10 +1621,13 @@ impl<'a> Engine<'a> {
             MemSpace::Global => {
                 let sm = self.sm_of(w);
                 if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
-                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                    return IssueResult::Stalled(
+                        self.sms[sm].l1_port.free_at() as u64,
+                        StallReason::MioQueueFull,
+                    );
                 }
                 if let Some(until) = self.mem_backpressure(now) {
-                    return IssueResult::Stalled(until);
+                    return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
                 for &(lane, a) in &lanes {
                     let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
@@ -1237,7 +1638,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 // Stores are fire-and-forget; they still consume bandwidth.
-                self.global_access_time(sm, &lanes, bytes, CacheOp::Cg, now);
+                self.global_access_time(w, sm, &lanes, bytes, CacheOp::Cg, now);
                 self.advance(w);
                 IssueResult::Issued
             }
@@ -1269,15 +1670,24 @@ impl<'a> Engine<'a> {
                     self.conflict_degree(lanes.iter().map(|&(_, a)| a & !DSM_TAG & 0xffff_ffff), 4);
                 let (lat, port_cost) = if remote {
                     let eff_bw = self.dsm_bw_eff();
-                    ((self.dev.dsm_latency as f64), (lanes.len() as f64 * 4.0 / eff_bw).max(serial))
+                    (
+                        (self.dev.dsm_latency as f64),
+                        (lanes.len() as f64 * 4.0 / eff_bw).max(serial),
+                    )
                 } else {
                     ((self.dev.smem_latency as f64), degree.max(serial))
                 };
-                let port = if remote { &mut self.sms[sm].dsm_port } else { &mut self.sms[sm].smem_port };
+                let port = if remote {
+                    &mut self.sms[sm].dsm_port
+                } else {
+                    &mut self.sms[sm].smem_port
+                };
                 if port.free_at() > now + MEM_QUEUE_DEPTH {
-                    return IssueResult::Stalled(port.free_at() as u64);
+                    return IssueResult::Stalled(port.free_at() as u64, StallReason::MioQueueFull);
                 }
                 let start = port.acquire(now, port_cost);
+                let unit = if remote { "dsm_port" } else { "smem_port" };
+                self.trace_unit(sm as u32, unit, w, start, port_cost);
                 if remote {
                     self.metrics.dsm_bytes += lanes.len() as u64 * 4;
                 } else {
@@ -1287,7 +1697,9 @@ impl<'a> Engine<'a> {
                 for &(lane, a) in &lanes {
                     let (bi, off) = self.resolve_shared(w, a);
                     let old = u32::from_le_bytes(
-                        self.blocks[bi].smem[off as usize..off as usize + 4].try_into().unwrap(),
+                        self.blocks[bi].smem[off as usize..off as usize + 4]
+                            .try_into()
+                            .unwrap(),
                     );
                     let add = self.read_op(w, src, lane) as u32;
                     let newv = old.wrapping_add(add);
@@ -1306,10 +1718,14 @@ impl<'a> Engine<'a> {
             MemSpace::Global => {
                 // Atomics resolve at L2.
                 if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
-                    return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+                    return IssueResult::Stalled(
+                        self.sms[sm].l1_port.free_at() as u64,
+                        StallReason::MioQueueFull,
+                    );
                 }
                 let cost = (lanes.len() * 4) as f64 / (self.dev.l2_bw.b4 * self.cfg.l2_bw_scale);
                 let start = self.l2_port.acquire(now, cost);
+                self.trace_unit(u32::MAX, "l2_port", w, start, cost);
                 self.metrics.l2_bytes += lanes.len() as u64 * 4;
                 for &(lane, a) in &lanes {
                     let old = self.global.read_scalar(a, 4) as u32;
@@ -1359,14 +1775,23 @@ impl<'a> Engine<'a> {
         self.dev.dsm_bw_per_sm / (1.0 + self.dev.dsm_contention_per_cs * (cs - 2.0))
     }
 
-    fn do_cp_async(&mut self, w: usize, width: Width, smem: AddrExpr, gmem: AddrExpr) -> IssueResult {
+    fn do_cp_async(
+        &mut self,
+        w: usize,
+        width: Width,
+        smem: AddrExpr,
+        gmem: AddrExpr,
+    ) -> IssueResult {
         let now = self.cycle as f64;
         let sm = self.sm_of(w);
         if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
-            return IssueResult::Stalled(self.sms[sm].l1_port.free_at() as u64);
+            return IssueResult::Stalled(
+                self.sms[sm].l1_port.free_at() as u64,
+                StallReason::MioQueueFull,
+            );
         }
         if let Some(until) = self.mem_backpressure(now) {
-            return IssueResult::Stalled(until);
+            return IssueResult::Stalled(until, StallReason::MioQueueFull);
         }
         let bytes = width.bytes();
         let g = self.lane_addrs(w, gmem);
@@ -1384,9 +1809,10 @@ impl<'a> Engine<'a> {
         // The shared-memory port cost is charged at issue (reserving it at
         // the far-future completion time would falsely serialise every
         // later shared access behind this copy).
-        let done = self.global_access_time(sm, &g, bytes, CacheOp::Cg, now);
+        let done = self.global_access_time(w, sm, &g, bytes, CacheOp::Cg, now);
         let smem_cost = (g.len() as u64 * bytes) as f64 / self.dev.smem_bw;
-        self.sms[sm].smem_port.acquire(now, smem_cost);
+        let ustart = self.sms[sm].smem_port.acquire(now, smem_cost);
+        self.trace_unit(sm as u32, "smem_port", w, ustart, smem_cost);
         self.metrics.smem_bytes += g.len() as u64 * bytes;
         // The asynchronous path (L2 → shared, bypassing the register file)
         // completes through a deeper pipe than an ordinary load; the extra
@@ -1420,7 +1846,7 @@ impl<'a> Engine<'a> {
         let now = self.cycle as f64;
         let sm = self.sm_of(w);
         if let Some(until) = self.mem_backpressure(now) {
-            return IssueResult::Stalled(until);
+            return IssueResult::Stalled(until, StallReason::MioQueueFull);
         }
         let bytes = rows as u64 * row_bytes as u64;
         // Addresses come from lane 0 (the TMA descriptor is uniform).
@@ -1442,9 +1868,10 @@ impl<'a> Engine<'a> {
                     .map(move |i| (0usize, gbase + r * gstride as u64 + i))
             })
             .collect();
-        let done = self.global_access_time(sm, &lanes, 16, CacheOp::Cg, now);
+        let done = self.global_access_time(w, sm, &lanes, 16, CacheOp::Cg, now);
         let smem_cost = bytes as f64 / self.dev.smem_bw;
-        self.sms[sm].smem_port.acquire(now, smem_cost);
+        let ustart = self.sms[sm].smem_port.acquire(now, smem_cost);
+        self.trace_unit(sm as u32, "smem_port", w, ustart, smem_cost);
         self.metrics.smem_bytes += bytes;
         let done = done as f64 + CP_ASYNC_EXTRA_LATENCY + smem_cost;
         let ws = &mut self.warps[w];
@@ -1467,12 +1894,16 @@ impl<'a> Engine<'a> {
     }
 
     fn get_tile(&self, bi: usize, key: u32, id: TileId, what: &str) -> Tile {
-        self.blocks[bi].tiles.get(&(key, id.0)).cloned().unwrap_or_else(|| {
-            panic!(
-                "kernel `{}`: {what} tile t{} not initialised (FillTile/LdTile first)",
-                self.kernel.name, id.0
-            )
-        })
+        self.blocks[bi]
+            .tiles
+            .get(&(key, id.0))
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "kernel `{}`: {what} tile t{} not initialised (FillTile/LdTile first)",
+                    self.kernel.name, id.0
+                )
+            })
     }
 
     fn do_mma(
@@ -1505,18 +1936,22 @@ impl<'a> Engine<'a> {
             .max()
             .unwrap_or(0);
         if dep > nowc {
-            return IssueResult::Stalled(dep);
+            return IssueResult::Stalled(dep, StallReason::Scoreboard);
         }
 
         // Hopper INT4 falls back to IMAD on the integer pipe (Table VI).
-        let lowered = hopper_isa::lower::sass_for(self.dev.arch, desc)
-            .expect("descriptor validated above");
+        let lowered =
+            hopper_isa::lower::sass_for(self.dev.arch, desc).expect("descriptor validated above");
         if lowered.unit == hopper_isa::lower::ExecUnit::CudaCore {
             let cost = lowered.expansion as f64 * 32.0 / self.dev.int_per_clk as f64;
             if self.sms[sm].int_pipe.free_at() > now + 4.0 {
-                return IssueResult::Stalled(self.sms[sm].int_pipe.free_at() as u64 - 4);
+                return IssueResult::Stalled(
+                    self.sms[sm].int_pipe.free_at() as u64 - 4,
+                    StallReason::MathPipeBusy,
+                );
             }
-            self.sms[sm].int_pipe.acquire(now, cost);
+            let ustart = self.sms[sm].int_pipe.acquire(now, cost);
+            self.trace_unit(sm as u32, "int", w, ustart, cost);
             self.metrics.instructions += lowered.expansion as u64 - 1;
             self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
             self.metrics.tc_ops += desc.flops();
@@ -1532,16 +1967,22 @@ impl<'a> Engine<'a> {
         // Fractional intervals: issue as soon as the quadrant frees within
         // this cycle (acquire() still serialises at the exact II).
         if self.sms[sm].tc_quadrant[quadrant].free_at() >= now + 1.0 {
-            return IssueResult::Stalled(self.sms[sm].tc_quadrant[quadrant].free_at() as u64);
+            return IssueResult::Stalled(
+                self.sms[sm].tc_quadrant[quadrant].free_at() as u64,
+                StallReason::TensorPipeBusy,
+            );
         }
         let start = self.sms[sm].tc_quadrant[quadrant].acquire(now, ii);
+        self.trace_unit(sm as u32, "tensor", w, start, ii);
         let lat = tc_timing::mma_latency(self.dev, desc);
         let act = self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
         self.metrics.tc_ops += desc.flops();
         self.metrics.energy_j += desc.flops() as f64
             * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Mma)
             * act;
-        self.blocks[bi].tile_ready.insert((key, d.0), (start + lat).ceil() as u64);
+        self.blocks[bi]
+            .tile_ready
+            .insert((key, d.0), (start + lat).ceil() as u64);
         self.advance(w);
         IssueResult::Issued
     }
@@ -1569,9 +2010,13 @@ impl<'a> Engine<'a> {
         let sm = self.sm_of(w);
         let ii = tc_timing::wgmma_interval_opts(self.dev, desc, self.cfg.opts.sparse_ss_penalty);
         if self.sms[sm].tc_whole.free_at() >= now + 1.0 {
-            return IssueResult::Stalled(self.sms[sm].tc_whole.free_at() as u64);
+            return IssueResult::Stalled(
+                self.sms[sm].tc_whole.free_at() as u64,
+                StallReason::TensorPipeBusy,
+            );
         }
         let start = self.sms[sm].tc_whole.acquire(now, ii);
+        self.trace_unit(sm as u32, "tensor.wg", w, start, ii);
         let lat = tc_timing::wgmma_latency(self.dev, desc);
         // Results become accessible at the completion latency even though
         // the pipeline stays occupied for the full initiation interval
@@ -1619,11 +2064,14 @@ impl<'a> Engine<'a> {
         let tb = self.get_tile(bi, key, b, "B");
         // 2:4-sparse A stores half its elements as structural zeros; the
         // *compressed* data the hardware toggles is the non-zero half.
-        let act_a = if desc.sparse { (ta.activity() * 2.0).min(1.0) } else { ta.activity() };
+        let act_a = if desc.sparse {
+            (ta.activity() * 2.0).min(1.0)
+        } else {
+            ta.activity()
+        };
         let tc = match c {
             Some(ct) => self.get_tile(bi, key, ct, "C"),
-            None => self
-                .blocks[bi]
+            None => self.blocks[bi]
                 .tiles
                 .get(&(key, d.0))
                 .cloned()
@@ -1631,7 +2079,10 @@ impl<'a> Engine<'a> {
         };
         let act = (act_a + tb.activity()) / 2.0;
         let out = execute_mma(desc, &ta, &tb, &tc).unwrap_or_else(|e| {
-            panic!("kernel `{}`: functional {desc} failed: {e}", self.kernel.name)
+            panic!(
+                "kernel `{}`: functional {desc} failed: {e}",
+                self.kernel.name
+            )
         });
         self.blocks[bi].tiles.insert((key, d.0), out);
         power::ACT_FLOOR + (1.0 - power::ACT_FLOOR) * act.min(1.0)
@@ -1662,7 +2113,8 @@ impl<'a> Engine<'a> {
                     data.push(decode_elem(dtype, raw));
                 }
                 let cost = total as f64 / self.dev.smem_bw;
-                self.sms[sm].smem_port.acquire(now, cost);
+                let ustart = self.sms[sm].smem_port.acquire(now, cost);
+                self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
                 self.metrics.smem_bytes += total;
                 self.warps[w].next_ready = (now + cost) as u64 + 1;
             }
@@ -1671,20 +2123,35 @@ impl<'a> Engine<'a> {
                     let raw = self.global.read_scalar(base + i * ebits / 8, ebits / 8);
                     data.push(decode_elem(dtype, raw));
                 }
-                let lanes: Vec<(usize, u64)> =
-                    (0..total.div_ceil(128)).map(|i| (0usize, base + i * 128)).collect();
-                let done = self.global_access_time(sm, &lanes, 16, CacheOp::Ca, now);
+                let lanes: Vec<(usize, u64)> = (0..total.div_ceil(128))
+                    .map(|i| (0usize, base + i * 128))
+                    .collect();
+                let done = self.global_access_time(w, sm, &lanes, 16, CacheOp::Ca, now);
                 self.warps[w].next_ready = done;
             }
         }
         let key = self.tile_owner(w);
         let bi = self.warps[w].block;
-        self.blocks[bi].tiles.insert((key, tile.0), Tile { dtype, rows, cols, data });
+        self.blocks[bi].tiles.insert(
+            (key, tile.0),
+            Tile {
+                dtype,
+                rows,
+                cols,
+                data,
+            },
+        );
         self.advance(w);
         IssueResult::Issued
     }
 
-    fn do_st_tile(&mut self, w: usize, tile: TileId, space: MemSpace, addr: AddrExpr) -> IssueResult {
+    fn do_st_tile(
+        &mut self,
+        w: usize,
+        tile: TileId,
+        space: MemSpace,
+        addr: AddrExpr,
+    ) -> IssueResult {
         let now = self.cycle as f64;
         let sm = self.sm_of(w);
         let key = self.tile_owner(w);
@@ -1698,20 +2165,28 @@ impl<'a> Engine<'a> {
                 let (tbi, off) = self.resolve_shared(w, base);
                 for (i, &v) in t.data.iter().enumerate() {
                     let raw = encode_elem(t.dtype, v);
-                    write_elem_to(&mut self.blocks[tbi].smem, off + i as u64 * ebits / 8, ebits, raw);
+                    write_elem_to(
+                        &mut self.blocks[tbi].smem,
+                        off + i as u64 * ebits / 8,
+                        ebits,
+                        raw,
+                    );
                 }
                 let cost = total as f64 / self.dev.smem_bw;
-                self.sms[sm].smem_port.acquire(now, cost);
+                let ustart = self.sms[sm].smem_port.acquire(now, cost);
+                self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
                 self.metrics.smem_bytes += total;
             }
             MemSpace::Global => {
                 for (i, &v) in t.data.iter().enumerate() {
                     let raw = encode_elem(t.dtype, v);
-                    self.global.write_scalar(base + i as u64 * ebits / 8, ebits / 8, raw);
+                    self.global
+                        .write_scalar(base + i as u64 * ebits / 8, ebits / 8, raw);
                 }
-                let lanes: Vec<(usize, u64)> =
-                    (0..total.div_ceil(128)).map(|i| (0usize, base + i * 128)).collect();
-                self.global_access_time(sm, &lanes, 16, CacheOp::Cg, now);
+                let lanes: Vec<(usize, u64)> = (0..total.div_ceil(128))
+                    .map(|i| (0usize, base + i * 128))
+                    .collect();
+                self.global_access_time(w, sm, &lanes, 16, CacheOp::Cg, now);
             }
         }
         self.advance(w);
@@ -1776,10 +2251,54 @@ pub fn encode_elem(dtype: DType, v: f64) -> u64 {
     }
 }
 
+/// Advance-weighted per-scheduler-slot cycle accounting (trace path).
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotAcc {
+    issued: u64,
+    idle: u64,
+    stalled: [u64; N_SLOT_REASONS],
+}
+
 /// Result of an issue attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum IssueResult {
     Issued,
-    /// Could not issue; earliest cycle worth retrying at.
-    Stalled(u64),
+    /// Could not issue; earliest cycle worth retrying at, plus the
+    /// micro-architectural reason (trace attribution).
+    Stalled(u64, StallReason),
+}
+
+/// Mnemonic for an instruction (trace issue events).
+fn op_name(instr: &Instr) -> &'static str {
+    match instr {
+        Instr::IAlu { .. } => "ialu",
+        Instr::IMad { .. } => "imad",
+        Instr::FAlu { .. } => "falu",
+        Instr::FFma { .. } => "ffma",
+        Instr::Mov { .. } => "mov",
+        Instr::Dpx { .. } => "dpx",
+        Instr::SetP { .. } => "setp",
+        Instr::Sel { .. } => "sel",
+        Instr::Bra { .. } => "bra",
+        Instr::Ld { .. } => "ld",
+        Instr::St { .. } => "st",
+        Instr::AtomAdd { .. } => "atom.add",
+        Instr::CpAsync { .. } => "cp.async",
+        Instr::CpAsyncCommit => "cp.async.commit",
+        Instr::CpAsyncWait { .. } => "cp.async.wait",
+        Instr::TmaCopy { .. } => "tma.copy",
+        Instr::Mma { .. } => "mma",
+        Instr::WgmmaFence => "wgmma.fence",
+        Instr::Wgmma { .. } => "wgmma",
+        Instr::WgmmaCommit => "wgmma.commit",
+        Instr::WgmmaWait { .. } => "wgmma.wait",
+        Instr::LdTile { .. } => "ld.tile",
+        Instr::StTile { .. } => "st.tile",
+        Instr::FillTile { .. } => "fill.tile",
+        Instr::Mapa { .. } => "mapa",
+        Instr::BarSync => "bar.sync",
+        Instr::ClusterSync => "cluster.sync",
+        Instr::ReadSpecial { .. } => "read.special",
+        Instr::Exit => "exit",
+    }
 }

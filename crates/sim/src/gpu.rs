@@ -14,6 +14,7 @@ use crate::mem::GlobalMem;
 use crate::metrics::{Metrics, RunStats};
 use crate::power::resolve_dvfs;
 use hopper_isa::Kernel;
+use hopper_trace::{StallProfile, TraceSink};
 
 /// Waves at or below this many blocks are co-simulated in full (one block
 /// per SM) instead of using the representative-SM fast path, so small
@@ -36,7 +37,12 @@ pub struct Launch {
 impl Launch {
     /// Simple grid×block launch.
     pub fn new(grid: u32, block: u32) -> Self {
-        Launch { grid, block, cluster: 1, params: Vec::new() }
+        Launch {
+            grid,
+            block,
+            cluster: 1,
+            params: Vec::new(),
+        }
     }
 
     /// Attach parameters.
@@ -73,8 +79,14 @@ impl core::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             LaunchError::ResourceExceeded(s) => write!(f, "resource limit exceeded: {s}"),
-            LaunchError::OutOfMemory { requested, capacity } => {
-                write!(f, "out of memory: {requested} B requested, {capacity} B capacity")
+            LaunchError::OutOfMemory {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "out of memory: {requested} B requested, {capacity} B capacity"
+                )
             }
             LaunchError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
@@ -98,7 +110,12 @@ impl Gpu {
 
     /// Bring up a device with mechanism toggles (ablation studies).
     pub fn with_options(dev: DeviceConfig, opts: SimOptions) -> Self {
-        Gpu { mem: GlobalMem::new(), caches: CacheState::new(&dev), dev, opts }
+        Gpu {
+            mem: GlobalMem::new(),
+            caches: CacheState::new(&dev),
+            dev,
+            opts,
+        }
     }
 
     /// Drop all cache tag state (cold-start the memory hierarchy).
@@ -142,7 +159,9 @@ impl Gpu {
 
     /// Read a slice of little-endian u32s.
     pub fn read_u32s(&self, addr: u64, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.mem.read_scalar(addr + 4 * i as u64, 4) as u32).collect()
+        (0..n)
+            .map(|i| self.mem.read_scalar(addr + 4 * i as u64, 4) as u32)
+            .collect()
     }
 
     /// Direct access to backing memory (test setup).
@@ -167,11 +186,19 @@ impl Gpu {
             )));
         }
         let by_threads = d.max_threads_per_sm / block_threads;
-        let by_smem =
-            d.smem_per_sm.checked_div(kernel.smem_bytes).unwrap_or(u32::MAX);
+        let by_smem = d
+            .smem_per_sm
+            .checked_div(kernel.smem_bytes)
+            .unwrap_or(u32::MAX);
         let regs_per_block = kernel.regs_per_thread * block_threads;
-        let by_regs = d.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
-        let occ = by_threads.min(by_smem).min(by_regs).min(d.max_blocks_per_sm);
+        let by_regs = d
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
+        let occ = by_threads
+            .min(by_smem)
+            .min(by_regs)
+            .min(d.max_blocks_per_sm);
         if occ == 0 {
             return Err(LaunchError::ResourceExceeded(format!(
                 "kernel `{}` cannot fit even one block per SM \
@@ -184,6 +211,40 @@ impl Gpu {
 
     /// Launch and simulate a kernel; returns aggregate statistics.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, LaunchError> {
+        self.launch_with_sink(kernel, launch, None)
+    }
+
+    /// Launch with an attached [`TraceSink`] receiving cycle-level events
+    /// (see `hopper-trace`). Event categories are filtered by
+    /// [`SimOptions::trace`]. A `NullSink` is detected and costs nothing.
+    pub fn launch_traced(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunStats, LaunchError> {
+        self.launch_with_sink(kernel, launch, Some(sink))
+    }
+
+    /// Launch under a [`StallProfile`] aggregator and return it alongside
+    /// the run statistics ([`RunStats::stalls`] is filled in).
+    pub fn profile(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+    ) -> Result<(RunStats, StallProfile), LaunchError> {
+        let mut prof = StallProfile::default();
+        let mut stats = self.launch_with_sink(kernel, launch, Some(&mut prof))?;
+        stats.stalls = Some(prof.summary());
+        Ok((stats, prof))
+    }
+
+    fn launch_with_sink(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Result<RunStats, LaunchError> {
         if launch.cluster > 1 && !self.dev.arch.has_clusters() {
             return Err(LaunchError::Unsupported(format!(
                 "cluster launches require Hopper; {} is {}",
@@ -198,19 +259,38 @@ impl Gpu {
         }
         let occ = self.occupancy(kernel, launch.block)?;
 
+        if sink.as_ref().is_some_and(|s| s.is_null()) {
+            sink = None;
+        }
         let metrics = if launch.cluster > 1 {
-            self.run_clustered(kernel, launch, occ)?
+            self.run_clustered(kernel, launch, occ, &mut sink)?
         } else {
-            self.run_waves(kernel, launch, occ)?
+            self.run_waves(kernel, launch, occ, &mut sink)?
         };
 
-        let energy = if self.opts.model_dvfs { metrics.energy_j } else { 0.0 };
+        let energy = if self.opts.model_dvfs {
+            metrics.energy_j
+        } else {
+            0.0
+        };
         let dvfs = resolve_dvfs(&self.dev, metrics.cycles, energy);
+        if let Some(s) = sink {
+            // Cycles the run effectively "lost" to DVFS: extra nominal-clock
+            // cycles the same wall time would have held without throttling.
+            let throttle = dvfs.achieved_hz / self.dev.clock_hz;
+            let lost = if throttle < 1.0 {
+                (metrics.cycles as f64 * (1.0 / throttle - 1.0)).round() as u64
+            } else {
+                0
+            };
+            s.dvfs_throttle(lost);
+        }
         Ok(RunStats {
             metrics,
             nominal_clock_hz: self.dev.clock_hz,
             achieved_clock_hz: dvfs.achieved_hz,
             avg_power_w: dvfs.power_w,
+            stalls: None,
         })
     }
 
@@ -226,6 +306,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
         occ: u32,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) -> Result<Metrics, LaunchError> {
         let sms = self.dev.num_sms;
         let per_wave_capacity = sms as u64 * occ as u64;
@@ -257,7 +338,12 @@ impl Gpu {
                     dram_bw_scale: 1.0,
                     opts: self.opts,
                 };
-                Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches).run()
+                let mut engine =
+                    Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
+                if let Some(s) = sink.as_deref_mut() {
+                    engine = engine.with_sink(s, total.cycles);
+                }
+                engine.run()
             } else {
                 // Large homogeneous wave: simulate the most-loaded SM with
                 // its bandwidth share and scale the counters.  Functional
@@ -284,8 +370,12 @@ impl Gpu {
                     dram_bw_scale: 1.0 / active_sms as f64,
                     opts: self.opts,
                 };
-                let mut w =
-                    Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches).run();
+                let mut engine =
+                    Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
+                if let Some(s) = sink.as_deref_mut() {
+                    engine = engine.with_sink(s, total.cycles);
+                }
+                let mut w = engine.run();
                 scale_counters(&mut w, wave_blocks as f64 / blocks_on_rep as f64);
                 w
             };
@@ -305,6 +395,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
         occ: u32,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) -> Result<Metrics, LaunchError> {
         let cs = launch.cluster;
         if !launch.grid.is_multiple_of(cs) {
@@ -343,7 +434,10 @@ impl Gpu {
                 dram_bw_scale: cs as f64 / active_sms as f64,
                 opts: self.opts,
             };
-            let engine = Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
+            let mut engine = Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
+            if let Some(s) = sink.as_deref_mut() {
+                engine = engine.with_sink(s, total.cycles);
+            }
             let mut wave = engine.run();
             scale_counters(&mut wave, wave_clusters as f64);
             total.merge_sequential(&wave);

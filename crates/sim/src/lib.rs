@@ -57,3 +57,9 @@ pub use gpu::{Gpu, Launch, LaunchError};
 pub use mem::GlobalMem;
 pub use metrics::{Metrics, RunStats};
 pub use tiles::Tile;
+
+/// Re-export of the `hopper-trace` event/profiling crate.
+pub use hopper_trace as trace;
+pub use hopper_trace::{
+    ChromeTrace, NullSink, StallProfile, StallReason, StallSummary, TraceConfig, TraceSink,
+};

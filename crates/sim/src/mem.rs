@@ -28,7 +28,11 @@ impl GlobalMem {
 
     /// New empty memory.
     pub fn new() -> Self {
-        GlobalMem { pages: HashMap::new(), next: Self::BASE, allocated: 0 }
+        GlobalMem {
+            pages: HashMap::new(),
+            next: Self::BASE,
+            allocated: 0,
+        }
     }
 
     /// Allocate `bytes` (256-byte aligned, like `cudaMalloc`).
@@ -45,7 +49,9 @@ impl GlobalMem {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Read one byte.
@@ -98,24 +104,34 @@ impl GlobalMem {
 #[derive(Debug, Clone, Default)]
 pub struct Limiter {
     free: f64,
+    busy: f64,
 }
 
 impl Limiter {
     /// New idle limiter.
     pub fn new() -> Self {
-        Limiter { free: 0.0 }
+        Limiter {
+            free: 0.0,
+            busy: 0.0,
+        }
     }
 
     /// Reserve `cost` cycles of service starting no earlier than `now`.
     pub fn acquire(&mut self, now: f64, cost: f64) -> f64 {
         let start = now.max(self.free);
         self.free = start + cost;
+        self.busy += cost;
         start
     }
 
     /// When the pipe next becomes free.
     pub fn free_at(&self) -> f64 {
         self.free
+    }
+
+    /// Cumulative cycles of service reserved so far (occupancy numerator).
+    pub fn busy_cycles(&self) -> f64 {
+        self.busy
     }
 
     /// Backlog relative to `now` (how far ahead the queue extends).
@@ -142,7 +158,14 @@ impl TagArray {
     pub fn new(capacity: u64, line: u64, ways: usize) -> Self {
         let lines = (capacity / line).max(1) as usize;
         let sets = (lines / ways).max(1);
-        TagArray { line, sets, ways, tags: vec![Vec::new(); sets], hits: 0, misses: 0 }
+        TagArray {
+            line,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Probe-and-fill: returns `true` on hit.

@@ -1,9 +1,10 @@
 //! Run metrics captured by the engine.
 
-use serde::Serialize;
+use hopper_trace::StallSummary;
 
 /// Counters and derived quantities from a simulated launch.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Metrics {
     /// Total simulated cycles (critical path over all SMs/waves).
     pub cycles: u64,
@@ -74,7 +75,8 @@ impl Metrics {
 }
 
 /// Result of a full launch, including the power/DVFS outcome.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RunStats {
     /// Aggregated counters.
     pub metrics: Metrics,
@@ -84,6 +86,9 @@ pub struct RunStats {
     pub achieved_clock_hz: f64,
     /// Average board power over the run, W (post-throttle).
     pub avg_power_w: f64,
+    /// Launch-wide stall attribution (populated by [`crate::Gpu::profile`]
+    /// and trace-sink launches; `None` for untraced launches).
+    pub stalls: Option<StallSummary>,
 }
 
 impl RunStats {
@@ -119,12 +124,24 @@ mod tests {
 
     #[test]
     fn merge_semantics() {
-        let mut a = Metrics { cycles: 100, instructions: 10, ..Default::default() };
-        let b = Metrics { cycles: 150, instructions: 20, ..Default::default() };
+        let mut a = Metrics {
+            cycles: 100,
+            instructions: 10,
+            ..Default::default()
+        };
+        let b = Metrics {
+            cycles: 150,
+            instructions: 20,
+            ..Default::default()
+        };
         a.merge_parallel(&b);
         assert_eq!(a.cycles, 150);
         assert_eq!(a.instructions, 30);
-        a.merge_sequential(&Metrics { cycles: 50, instructions: 1, ..Default::default() });
+        a.merge_sequential(&Metrics {
+            cycles: 50,
+            instructions: 1,
+            ..Default::default()
+        });
         assert_eq!(a.cycles, 200);
         assert_eq!(a.instructions, 31);
     }
@@ -132,10 +149,15 @@ mod tests {
     #[test]
     fn stats_derivations() {
         let s = RunStats {
-            metrics: Metrics { cycles: 1_000_000, tc_ops: 2_000_000_000, ..Default::default() },
+            metrics: Metrics {
+                cycles: 1_000_000,
+                tc_ops: 2_000_000_000,
+                ..Default::default()
+            },
             nominal_clock_hz: 1.0e9,
             achieved_clock_hz: 0.5e9,
             avg_power_w: 300.0,
+            stalls: None,
         };
         assert_eq!(s.seconds(), 2.0e-3);
         assert_eq!(s.seconds_nominal(), 1.0e-3);

@@ -27,7 +27,13 @@ pub const ACT_FLOOR: f64 = 0.15;
 /// Calibrated from the paper:  each `wgmma` "Rand" cell of Tables VIII/IX
 /// pins board power at 350 W, so `e = (350 − idle) / rand_rate`;  `mma`
 /// energies come from Table XI wattages at the measured `mma` throughput.
-pub fn tc_energy_per_flop(dev: &DeviceConfig, ab: DType, cd: DType, sparse: bool, kind: MmaKind) -> f64 {
+pub fn tc_energy_per_flop(
+    dev: &DeviceConfig,
+    ab: DType,
+    cd: DType,
+    sparse: bool,
+    kind: MmaKind,
+) -> f64 {
     let pj = match (dev.arch, kind) {
         (Arch::Hopper, MmaKind::Wgmma) => {
             let dense = match (ab, cd) {
@@ -126,15 +132,24 @@ pub struct DvfsResult {
 pub fn resolve_dvfs(dev: &DeviceConfig, cycles: u64, energy_j: f64) -> DvfsResult {
     let f_nom = dev.clock_hz;
     if cycles == 0 || energy_j <= 0.0 {
-        return DvfsResult { achieved_hz: f_nom, power_w: dev.idle_w };
+        return DvfsResult {
+            achieved_hz: f_nom,
+            power_w: dev.idle_w,
+        };
     }
     let e_per_cycle = energy_j / cycles as f64;
     let p_nom = dev.idle_w + e_per_cycle * f_nom;
     if p_nom <= dev.tdp_w {
-        return DvfsResult { achieved_hz: f_nom, power_w: p_nom };
+        return DvfsResult {
+            achieved_hz: f_nom,
+            power_w: p_nom,
+        };
     }
     let f = (dev.tdp_w - dev.idle_w) / e_per_cycle;
-    DvfsResult { achieved_hz: f.min(f_nom), power_w: dev.tdp_w }
+    DvfsResult {
+        achieved_hz: f.min(f_nom),
+        power_w: dev.tdp_w,
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +189,10 @@ mod tests {
         let energy = flops_per_s * secs * e; // activity 1.0
         let r = resolve_dvfs(&dev, cycles, energy);
         let ratio = r.achieved_hz / dev.clock_hz;
-        assert!((ratio - 665.4 / 728.5).abs() < 0.02, "throttle ratio {ratio}");
+        assert!(
+            (ratio - 665.4 / 728.5).abs() < 0.02,
+            "throttle ratio {ratio}"
+        );
     }
 
     #[test]

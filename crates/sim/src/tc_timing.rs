@@ -89,9 +89,7 @@ pub fn mma_interval(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
 /// GeForce Ada halves FP16/BF16 tensor throughput when accumulating in
 /// FP32 (Table VII: 178.9 vs 357.6 TFLOPS).
 fn half_rate_on_ada(arch: Arch, d: &MmaDesc) -> bool {
-    arch == Arch::Ada
-        && matches!(d.ab, DType::F16 | DType::BF16)
-        && d.cd == DType::F32
+    arch == Arch::Ada && matches!(d.ab, DType::F16 | DType::BF16) && d.cd == DType::F32
 }
 
 /// Cycles to stream a `wgmma` instruction's shared-memory operands through
@@ -116,9 +114,7 @@ pub fn wgmma_latency(dev: &DeviceConfig, d: &MmaDesc) -> f64 {
     let compute = d.n as f64 / 2.0;
     match (d.sparse, d.a_src) {
         (false, OperandSource::RegShared) => compute.max(13.0),
-        (false, OperandSource::SharedShared) => {
-            compute.max(wgmma_fetch_cycles(dev, d)).max(13.0)
-        }
+        (false, OperandSource::SharedShared) => compute.max(wgmma_fetch_cycles(dev, d)).max(13.0),
         (true, OperandSource::RegShared) => compute.max(16.0),
         (true, OperandSource::SharedShared) => {
             // The extra uncompressed-A pass cannot overlap the MMA pipeline:
@@ -151,8 +147,7 @@ pub fn wgmma_interval_opts(dev: &DeviceConfig, d: &MmaDesc, ss_penalty: bool) ->
                 // Unoverlapped *extra* half of the uncompressed-A fetch
                 // (the compressed half streams like the RS operand; see
                 // module docs).
-                compute.max(WGMMA_MIN_ISSUE)
-                    + d.a_smem_bytes_ss() as f64 / dev.smem_bw / 2.0
+                compute.max(WGMMA_MIN_ISSUE) + d.a_smem_bytes_ss() as f64 / dev.smem_bw / 2.0
             } else {
                 // Ablation: pretend SS sourcing is free, i.e. RS timing.
                 compute.max(WGMMA_MIN_ISSUE)
@@ -181,12 +176,30 @@ mod tests {
     fn mma_latency_matches_table_vii() {
         let dev = h800();
         let cases = [
-            (MmaDesc::mma(16, 8, 8, DType::F16, DType::F16, false).unwrap(), 16.0),
-            (MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap(), 24.1),
-            (MmaDesc::mma(16, 8, 4, DType::TF32, DType::F32, false).unwrap(), 16.5),
-            (MmaDesc::mma(16, 8, 8, DType::TF32, DType::F32, false).unwrap(), 24.5),
-            (MmaDesc::mma(16, 8, 16, DType::S8, DType::S32, false).unwrap(), 16.1),
-            (MmaDesc::mma(16, 8, 32, DType::S8, DType::S32, false).unwrap(), 24.0),
+            (
+                MmaDesc::mma(16, 8, 8, DType::F16, DType::F16, false).unwrap(),
+                16.0,
+            ),
+            (
+                MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap(),
+                24.1,
+            ),
+            (
+                MmaDesc::mma(16, 8, 4, DType::TF32, DType::F32, false).unwrap(),
+                16.5,
+            ),
+            (
+                MmaDesc::mma(16, 8, 8, DType::TF32, DType::F32, false).unwrap(),
+                24.5,
+            ),
+            (
+                MmaDesc::mma(16, 8, 16, DType::S8, DType::S32, false).unwrap(),
+                16.1,
+            ),
+            (
+                MmaDesc::mma(16, 8, 32, DType::S8, DType::S32, false).unwrap(),
+                24.0,
+            ),
         ];
         for (d, paper) in cases {
             let got = mma_latency(&dev, &d);
@@ -226,24 +239,48 @@ mod tests {
         let dev = DeviceConfig::a100();
         let d = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
         let t = tput_tflops(&dev, &d, mma_interval(&dev, &d)) * 4.0;
-        assert!(t > 0.95 * 312.0, "A100 should sustain ≥95 % of peak, got {t}");
+        assert!(
+            t > 0.95 * 312.0,
+            "A100 should sustain ≥95 % of peak, got {t}"
+        );
     }
 
     #[test]
     fn wgmma_latency_table_x() {
         let dev = h800();
         // Dense f16, SS: paper 18/20/24/32/64/128 for N=8..256.
-        for (n, paper) in [(8, 18.0), (16, 20.0), (32, 24.0), (64, 32.0), (128, 64.0), (256, 128.0)] {
+        for (n, paper) in [
+            (8, 18.0),
+            (16, 20.0),
+            (32, 24.0),
+            (64, 32.0),
+            (128, 64.0),
+            (256, 128.0),
+        ] {
             let d = MmaDesc::wgmma(n, DType::F16, DType::F32, false, SS).unwrap();
             assert_eq!(wgmma_latency(&dev, &d), paper, "dense SS N={n}");
         }
         // Dense RS: 13/13/16/32/64/128.
-        for (n, paper) in [(8, 13.0), (16, 13.0), (32, 16.0), (64, 32.0), (128, 64.0), (256, 128.0)] {
+        for (n, paper) in [
+            (8, 13.0),
+            (16, 13.0),
+            (32, 16.0),
+            (64, 32.0),
+            (128, 64.0),
+            (256, 128.0),
+        ] {
             let d = MmaDesc::wgmma(n, DType::F16, DType::F32, false, RS).unwrap();
             assert_eq!(wgmma_latency(&dev, &d), paper, "dense RS N={n}");
         }
         // Sparse SS: N/2 + 16 → 20/24/32/48/80/144.
-        for (n, paper) in [(8, 20.0), (16, 24.0), (32, 32.0), (64, 48.0), (128, 80.0), (256, 144.0)] {
+        for (n, paper) in [
+            (8, 20.0),
+            (16, 24.0),
+            (32, 32.0),
+            (64, 48.0),
+            (128, 80.0),
+            (256, 144.0),
+        ] {
             let d = MmaDesc::wgmma(n, DType::F16, DType::F32, true, SS).unwrap();
             assert_eq!(wgmma_latency(&dev, &d), paper, "sparse SS N={n}");
         }
@@ -261,7 +298,10 @@ mod tests {
         ] {
             let d = MmaDesc::wgmma(256, ab, cd, false, SS).unwrap();
             let t = tput_tflops(&dev, &d, wgmma_interval(&dev, &d));
-            assert!((t - paper).abs() / paper < 0.04, "{d}: got {t}, paper {paper}");
+            assert!(
+                (t - paper).abs() / paper < 0.04,
+                "{d}: got {t}, paper {paper}"
+            );
         }
     }
 
@@ -286,7 +326,10 @@ mod tests {
         assert!(t64 > 0.9 * 728.5, "N=64 should be ≥90 % of peak, got {t64}");
         let small = MmaDesc::wgmma(8, DType::F16, DType::F32, false, SS).unwrap();
         let t8 = tput_tflops(&dev, &small, wgmma_interval(&dev, &small));
-        assert!((t8 - 158.2).abs() / 158.2 < 0.15, "N=8 paper 158.2, got {t8}");
+        assert!(
+            (t8 - 158.2).abs() / 158.2 < 0.15,
+            "N=8 paper 158.2, got {t8}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `hopper-numerics`.
 
 use hopper_isa::{DType, MmaDesc, TilePattern};
-use hopper_numerics::{AccumMode, Bf16, Fp8E4M3, Fp8E5M2, Sparse24, SoftFloat, Tf32, F16};
+use hopper_numerics::{AccumMode, Bf16, Fp8E4M3, Fp8E5M2, SoftFloat, Sparse24, Tf32, F16};
 
 /// A matrix fragment: `rows × cols` elements of `dtype`.
 ///
@@ -54,7 +54,12 @@ pub fn round_to(dtype: DType, x: f64) -> f64 {
 impl Tile {
     /// Zero tile.
     pub fn zeros(dtype: DType, rows: usize, cols: usize) -> Self {
-        Tile { dtype, rows, cols, data: vec![0.0; rows * cols] }
+        Tile {
+            dtype,
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a fill pattern.
@@ -70,9 +75,18 @@ impl Tile {
             TilePattern::Random { seed } => {
                 let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
                 for v in &mut t.data {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let u = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
-                    *v = round_to(dtype, if dtype.is_float() { u } else { (u * 8.0).round() });
+                    *v = round_to(
+                        dtype,
+                        if dtype.is_float() {
+                            u
+                        } else {
+                            (u * 8.0).round()
+                        },
+                    );
                 }
             }
             TilePattern::Sparse24Random { seed } => {
@@ -80,9 +94,18 @@ impl Tile {
                 for (i, v) in t.data.iter_mut().enumerate() {
                     // Two non-zeros per group of four along the row.
                     if i % 4 < 2 {
-                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        s = s
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let u = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
-                        *v = round_to(dtype, if dtype.is_float() { u } else { (u * 8.0).round() });
+                        *v = round_to(
+                            dtype,
+                            if dtype.is_float() {
+                                u
+                            } else {
+                                (u * 8.0).round()
+                            },
+                        );
                     }
                 }
             }
@@ -177,8 +200,8 @@ pub fn execute_mma(desc: &MmaDesc, a: &Tile, b: &Tile, c: &Tile) -> Result<Tile,
                     acc = acc.wrapping_add(pop);
                 } else {
                     for kk in 0..k {
-                        let p = (a.get(i, kk) as i64 as i32)
-                            .wrapping_mul(b.get(kk, j) as i64 as i32);
+                        let p =
+                            (a.get(i, kk) as i64 as i32).wrapping_mul(b.get(kk, j) as i64 as i32);
                         if desc.sparse && !sparse_position_kept(a, i, kk) {
                             continue;
                         }
@@ -193,13 +216,14 @@ pub fn execute_mma(desc: &MmaDesc, a: &Tile, b: &Tile, c: &Tile) -> Result<Tile,
 
     for i in 0..m {
         let arow: Vec<f64> = (0..k).map(|kk| a.get(i, kk)).collect();
-        let sp = if desc.sparse {
-            Some(compress_row(desc.ab, &arow).map_err(|e| {
-                TcError(format!("{desc}: A row {i} violates 2:4 sparsity: {e}"))
-            })?)
-        } else {
-            None
-        };
+        let sp =
+            if desc.sparse {
+                Some(compress_row(desc.ab, &arow).map_err(|e| {
+                    TcError(format!("{desc}: A row {i} violates 2:4 sparsity: {e}"))
+                })?)
+            } else {
+                None
+            };
         for j in 0..n {
             let acc = match &sp {
                 None => {
@@ -292,11 +316,29 @@ mod tests {
     #[test]
     fn fp16_accumulator_is_lossier_than_fp32() {
         // C = 2048, A·B adds 16 ones: FP16 accumulate swallows them.
-        let a = Tile { dtype: DType::F16, rows: 16, cols: 16, data: vec![1.0; 256] };
-        let b = Tile { dtype: DType::F16, rows: 16, cols: 8, data: vec![1.0 / 16.0; 128] };
-        let c = Tile { dtype: DType::F16, rows: 16, cols: 8, data: vec![2048.0; 128] };
+        let a = Tile {
+            dtype: DType::F16,
+            rows: 16,
+            cols: 16,
+            data: vec![1.0; 256],
+        };
+        let b = Tile {
+            dtype: DType::F16,
+            rows: 16,
+            cols: 8,
+            data: vec![1.0 / 16.0; 128],
+        };
+        let c = Tile {
+            dtype: DType::F16,
+            rows: 16,
+            cols: 8,
+            data: vec![2048.0; 128],
+        };
         let d16 = execute_mma(&desc_f16(DType::F16), &a, &b, &c).unwrap();
-        let c32 = Tile { dtype: DType::F32, ..c.clone() };
+        let c32 = Tile {
+            dtype: DType::F32,
+            ..c.clone()
+        };
         let d32 = execute_mma(&desc_f16(DType::F32), &a, &b, &c32).unwrap();
         assert_eq!(d16.get(0, 0), 2048.0);
         assert_eq!(d32.get(0, 0), 2049.0);
@@ -305,8 +347,18 @@ mod tests {
     #[test]
     fn integer_mma_wraps() {
         let desc = MmaDesc::mma(16, 8, 16, DType::S8, DType::S32, false).unwrap();
-        let a = Tile { dtype: DType::S8, rows: 16, cols: 16, data: vec![127.0; 256] };
-        let b = Tile { dtype: DType::S8, rows: 16, cols: 8, data: vec![127.0; 128] };
+        let a = Tile {
+            dtype: DType::S8,
+            rows: 16,
+            cols: 16,
+            data: vec![127.0; 256],
+        };
+        let b = Tile {
+            dtype: DType::S8,
+            rows: 16,
+            cols: 8,
+            data: vec![127.0; 128],
+        };
         let c = Tile {
             dtype: DType::S32,
             rows: 16,
@@ -321,8 +373,18 @@ mod tests {
     #[test]
     fn binary_and_popc() {
         let desc = MmaDesc::mma(16, 8, 256, DType::B1, DType::S32, false).unwrap();
-        let a = Tile { dtype: DType::B1, rows: 16, cols: 256, data: vec![1.0; 16 * 256] };
-        let b = Tile { dtype: DType::B1, rows: 256, cols: 8, data: vec![1.0; 256 * 8] };
+        let a = Tile {
+            dtype: DType::B1,
+            rows: 16,
+            cols: 256,
+            data: vec![1.0; 16 * 256],
+        };
+        let b = Tile {
+            dtype: DType::B1,
+            rows: 256,
+            cols: 8,
+            data: vec![1.0; 256 * 8],
+        };
         let c = Tile::zeros(DType::S32, 16, 8);
         let d = execute_mma(&desc, &a, &b, &c).unwrap();
         assert_eq!(d.get(3, 3), 256.0);
@@ -348,8 +410,14 @@ mod tests {
 
     #[test]
     fn wgmma_descriptor_executes() {
-        let wg =
-            MmaDesc::wgmma(8, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+        let wg = MmaDesc::wgmma(
+            8,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .unwrap();
         let a = Tile::from_pattern(DType::F16, 64, 16, TilePattern::Random { seed: 1 });
         let b = Tile::from_pattern(DType::F16, 16, 8, TilePattern::Random { seed: 2 });
         let c = Tile::zeros(DType::F32, 64, 8);

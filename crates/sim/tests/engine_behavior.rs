@@ -3,8 +3,8 @@
 
 use hopper_isa::asm::assemble;
 use hopper_isa::{
-    CmpOp, DType, IAluOp, KernelBuilder, MemSpace, MmaDesc, Operand::Imm, Operand::Reg as R,
-    Pred, Reg, TileId, TilePattern, Width,
+    CmpOp, DType, IAluOp, KernelBuilder, MemSpace, MmaDesc, Operand::Imm, Operand::Reg as R, Pred,
+    Reg, TileId, TilePattern,
 };
 use hopper_sim::{DeviceConfig, Gpu, Launch};
 
@@ -28,7 +28,8 @@ fn scalar_arithmetic_and_stores() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![buf])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![buf]))
+        .unwrap();
     let vals = gpu.read_u32s(buf, 32);
     for (i, v) in vals.iter().enumerate() {
         assert_eq!(*v, (i * 3 + 7) as u32);
@@ -64,8 +65,11 @@ fn pchase_latency_matches_l1_config() {
     ))
     .unwrap();
     // Warm-up pass fills the L1, then measure.
-    gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf])).unwrap();
-    let stats = gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf]))
+        .unwrap();
+    let stats = gpu
+        .launch(&k, &Launch::new(1, 1).with_params(vec![buf]))
+        .unwrap();
     let per_iter = stats.metrics.cycles as f64 / iters as f64;
     let want = DeviceConfig::h800().l1_latency as f64;
     assert!(
@@ -80,7 +84,8 @@ fn l2_latency_visible_with_cg_loads() {
     let n = 256u64;
     let buf = gpu.alloc(n * 8).unwrap();
     for i in 0..n {
-        gpu.mem_mut().write_scalar(buf + i * 8, 8, buf + ((i + 1) % n) * 8);
+        gpu.mem_mut()
+            .write_scalar(buf + i * 8, 8, buf + ((i + 1) % n) * 8);
     }
     let iters = 512;
     let k = assemble(&format!(
@@ -96,8 +101,11 @@ fn l2_latency_visible_with_cg_loads() {
     "#
     ))
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf])).unwrap();
-    let stats = gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 1).with_params(vec![buf]))
+        .unwrap();
+    let stats = gpu
+        .launch(&k, &Launch::new(1, 1).with_params(vec![buf]))
+        .unwrap();
     let per_iter = stats.metrics.cycles as f64 / iters as f64;
     let want = DeviceConfig::h800().l2_latency as f64;
     assert!(
@@ -164,10 +172,11 @@ fn block_barrier_orders_shared_writes() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 256).with_params(vec![out])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 256).with_params(vec![out]))
+        .unwrap();
     let vals = gpu.read_u32s(out, 256);
-    for i in 0..256 {
-        assert_eq!(vals[i], (((i + 1) % 256) * 10) as u32, "slot {i}");
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(*v, (((i + 1) % 256) * 10) as u32, "slot {i}");
     }
 }
 
@@ -194,7 +203,8 @@ fn shared_atomics_accumulate_across_warps() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 256).with_params(vec![out])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 256).with_params(vec![out]))
+        .unwrap();
     assert_eq!(gpu.read_u32s(out, 1)[0], 256);
 }
 
@@ -218,16 +228,23 @@ fn dpx_functional_and_faster_on_hopper() {
     let k = assemble(src).unwrap();
     let mut h = h800();
     let out_h = h.alloc(4).unwrap();
-    let sh = h.launch(&k, &Launch::new(1, 1).with_params(vec![out_h])).unwrap();
+    let sh = h
+        .launch(&k, &Launch::new(1, 1).with_params(vec![out_h]))
+        .unwrap();
     let mut a = Gpu::new(DeviceConfig::a100());
     let out_a = a.alloc(4).unwrap();
-    let sa = a.launch(&k, &Launch::new(1, 1).with_params(vec![out_a])).unwrap();
+    let sa = a
+        .launch(&k, &Launch::new(1, 1).with_params(vec![out_a]))
+        .unwrap();
     // Same functional result.
     assert_eq!(h.read_u32s(out_h, 1), a.read_u32s(out_a, 1));
     // The dependent 16x2 ReLU chain is much faster on DPX hardware
     // (paper: "up to 13 times").
     let ratio = sa.metrics.cycles as f64 / sh.metrics.cycles as f64;
-    assert!(ratio > 5.0, "expected large Hopper DPX speedup, got {ratio:.1}×");
+    assert!(
+        ratio > 5.0,
+        "expected large Hopper DPX speedup, got {ratio:.1}×"
+    );
 }
 
 #[test]
@@ -237,14 +254,21 @@ fn mma_pipeline_computes_gemm() {
     let desc = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
     let mut b = KernelBuilder::new("mma_gemm");
     b.fill_tile(TileId(0), DType::F16, 16, 16, TilePattern::Identity);
-    b.fill_tile(TileId(1), DType::F16, 16, 8, TilePattern::Random { seed: 9 });
+    b.fill_tile(
+        TileId(1),
+        DType::F16,
+        16,
+        8,
+        TilePattern::Random { seed: 9 },
+    );
     b.fill_tile(TileId(2), DType::F32, 16, 8, TilePattern::Zero);
     b.mma(desc, TileId(3), TileId(0), TileId(1), TileId(2));
     b.mov(Reg(1), R(Reg(0)));
     b.st_tile(TileId(3), MemSpace::Global, Reg(1), 0);
     b.exit();
     let k = b.build();
-    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![out])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![out]))
+        .unwrap();
     // I·B = B: the stored D must equal tile 1's data (rounded f16→f32).
     let expect = hopper_sim::Tile::from_pattern(DType::F16, 16, 8, TilePattern::Random { seed: 9 });
     let bytes = gpu.read(out, 16 * 8 * 4);
@@ -308,7 +332,13 @@ fn wgmma_wait_group_enforces_completion() {
     .unwrap();
     let mut b = KernelBuilder::new("wgmma_once");
     b.fill_tile(TileId(0), DType::F16, 64, 16, TilePattern::Identity);
-    b.fill_tile(TileId(1), DType::F16, 16, 64, TilePattern::Random { seed: 4 });
+    b.fill_tile(
+        TileId(1),
+        DType::F16,
+        16,
+        64,
+        TilePattern::Random { seed: 4 },
+    );
     b.fill_tile(TileId(2), DType::F32, 64, 64, TilePattern::Zero);
     b.wgmma_fence();
     b.wgmma(desc, TileId(2), TileId(0), TileId(1));
@@ -383,20 +413,28 @@ fn cluster_dsm_store_and_load() {
     )
     .unwrap();
     let stats = gpu
-        .launch(&k, &Launch::new(2, 8).with_cluster(2).with_params(vec![out]))
+        .launch(
+            &k,
+            &Launch::new(2, 8).with_cluster(2).with_params(vec![out]),
+        )
         .unwrap();
     let vals = gpu.read_u32s(out, 8);
     for (i, v) in vals.iter().enumerate() {
         assert_eq!(*v, (i * 7) as u32, "lane {i}");
     }
-    assert!(stats.metrics.dsm_bytes > 0, "traffic must cross the SM-to-SM network");
+    assert!(
+        stats.metrics.dsm_bytes > 0,
+        "traffic must cross the SM-to-SM network"
+    );
 }
 
 #[test]
 fn cluster_launch_rejected_off_hopper() {
     let k = assemble("exit;").unwrap();
     let mut gpu = Gpu::new(DeviceConfig::rtx4090());
-    let err = gpu.launch(&k, &Launch::new(2, 32).with_cluster(2)).unwrap_err();
+    let err = gpu
+        .launch(&k, &Launch::new(2, 32).with_cluster(2))
+        .unwrap_err();
     assert!(matches!(err, hopper_sim::LaunchError::Unsupported(_)));
 }
 
@@ -441,7 +479,10 @@ fn wave_quantisation_sawtooth() {
     let full = gpu.launch(&k, &Launch::new(sms, 1024)).unwrap();
     let spill = gpu.launch(&k, &Launch::new(sms + 1, 1024)).unwrap();
     let ratio = spill.metrics.cycles as f64 / full.metrics.cycles as f64;
-    assert!(ratio > 1.8, "one extra block must cost a whole wave, got {ratio:.2}×");
+    assert!(
+        ratio > 1.8,
+        "one extra block must cost a whole wave, got {ratio:.2}×"
+    );
 }
 
 #[test]
@@ -459,7 +500,8 @@ fn partial_warps_mask_inactive_lanes() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 48).with_params(vec![out])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 48).with_params(vec![out]))
+        .unwrap();
     let vals = gpu.read_u32s(out, 64);
     for (i, v) in vals.iter().enumerate() {
         if i < 48 {
@@ -490,7 +532,8 @@ fn atomics_return_old_values() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![out])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 32).with_params(vec![out]))
+        .unwrap();
     let vals = gpu.read_u32s(out, 32);
     for (i, v) in vals.iter().enumerate() {
         assert_eq!(*v, i as u32, "lane {i} fetched");
@@ -520,7 +563,8 @@ fn b16_vector_loads_roundtrip() {
     let mut params = vec![0u64; 10];
     params[0] = src_buf;
     params[9] = dst_buf;
-    gpu.launch(&k, &Launch::new(1, 32).with_params(params)).unwrap();
+    gpu.launch(&k, &Launch::new(1, 32).with_params(params))
+        .unwrap();
     assert_eq!(gpu.read_u32s(dst_buf, 128), data);
 }
 
@@ -584,7 +628,11 @@ fn cluster_of_sixteen_runs() {
     "#,
     )
     .unwrap();
-    gpu.launch(&k, &Launch::new(16, 32).with_cluster(16).with_params(vec![out])).unwrap();
+    gpu.launch(
+        &k,
+        &Launch::new(16, 32).with_cluster(16).with_params(vec![out]),
+    )
+    .unwrap();
     let vals = gpu.read_u32s(out, 16);
     assert_eq!(vals, (0..16).collect::<Vec<u32>>());
 }
@@ -613,14 +661,32 @@ fn tma_copy_is_functional_and_bulk() {
     b.bar_sync();
     // Copy shared → global, one u32 per thread.
     b.special(R(3), hopper_isa::Special::TidX);
-    b.ialu(hopper_isa::IAluOp::Shl, R(4), hopper_isa::Operand::Reg(R(3)), hopper_isa::Operand::Imm(2));
-    b.ld(MemSpace::Shared, hopper_isa::CacheOp::Ca, Width::B4, R(5), R(4), 0);
-    b.imad(R(6), hopper_isa::Operand::Reg(R(3)), hopper_isa::Operand::Imm(4), hopper_isa::Operand::Reg(R(1)));
+    b.ialu(
+        hopper_isa::IAluOp::Shl,
+        R(4),
+        hopper_isa::Operand::Reg(R(3)),
+        hopper_isa::Operand::Imm(2),
+    );
+    b.ld(
+        MemSpace::Shared,
+        hopper_isa::CacheOp::Ca,
+        Width::B4,
+        R(5),
+        R(4),
+        0,
+    );
+    b.imad(
+        R(6),
+        hopper_isa::Operand::Reg(R(3)),
+        hopper_isa::Operand::Imm(4),
+        hopper_isa::Operand::Reg(R(1)),
+    );
     b.st(MemSpace::Global, Width::B4, R(5), R(6), 0);
     b.exit();
     b.shared_mem(1024);
     let k = b.build();
-    gpu.launch(&k, &Launch::new(1, 128).with_params(vec![src, dst])).unwrap();
+    gpu.launch(&k, &Launch::new(1, 128).with_params(vec![src, dst]))
+        .unwrap();
     let out = gpu.read_u32s(dst, 128);
     for r in 0..8u32 {
         for i in 0..16u32 {
@@ -652,8 +718,15 @@ fn representative_sm_path_matches_cosimulation() {
     let mut gpu = h800();
     let sms = gpu.device().num_sms;
     let cosim = gpu.launch(&k, &Launch::new(8, 256)).unwrap().metrics.cycles;
-    let rep = gpu.launch(&k, &Launch::new(sms, 256)).unwrap().metrics.cycles;
-    assert_eq!(cosim, rep, "representative path must agree with co-simulation");
+    let rep = gpu
+        .launch(&k, &Launch::new(sms, 256))
+        .unwrap()
+        .metrics
+        .cycles;
+    assert_eq!(
+        cosim, rep,
+        "representative path must agree with co-simulation"
+    );
 }
 
 #[test]
@@ -690,8 +763,7 @@ fn tlb_cold_misses_inflate_global_latency() {
     let warm = gpu.launch(&k, &launch).unwrap();
     assert_eq!(warm.metrics.tlb_misses, 0, "warm TLB has no walks");
     let dev = DeviceConfig::h800();
-    let delta =
-        (cold.metrics.cycles - warm.metrics.cycles) as f64 / pages as f64;
+    let delta = (cold.metrics.cycles - warm.metrics.cycles) as f64 / pages as f64;
     // Warm pass hits L2 (lines cached), so the latency gap is the page
     // walk plus the L2→DRAM difference.
     let expected = dev.tlb_miss_latency as f64 + (dev.dram_latency - dev.l2_latency) as f64;

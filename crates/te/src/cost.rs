@@ -57,7 +57,10 @@ pub struct CostModel {
 impl CostModel {
     /// Build for a device.
     pub fn new(dev: DeviceConfig) -> Self {
-        CostModel { dev, launch_overhead_s: 6.0e-6 }
+        CostModel {
+            dev,
+            launch_overhead_s: 6.0e-6,
+        }
     }
 
     /// The modelled device.
@@ -96,8 +99,8 @@ impl CostModel {
         let waves = (tiles / sms).ceil();
         let wave_eff = tiles / (waves * sms);
         // Partial tiles at the edges.
-        let edge_eff = (m as f64 / ((m as f64 / tm).ceil() * tm))
-            * (n as f64 / ((n as f64 / tn).ceil() * tn));
+        let edge_eff =
+            (m as f64 / ((m as f64 / tm).ceil() * tm)) * (n as f64 / ((n as f64 / tn).ceil() * tn));
         // K-drain: ~2 µs worth of pipeline fill amortised over the K loop.
         let k_eff = k as f64 / (k as f64 + 512.0);
         (wave_eff * edge_eff * k_eff).clamp(0.05, 1.0)
@@ -173,7 +176,10 @@ mod tests {
         let t = m.gemm_s(n, n, n, Precision::Fp16);
         let flops = 2.0 * (n as f64).powi(3);
         let achieved = flops / t;
-        assert!(achieved > 0.75 * m.matmul_peak(Precision::Fp16), "{achieved:.3e}");
+        assert!(
+            achieved > 0.75 * m.matmul_peak(Precision::Fp16),
+            "{achieved:.3e}"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl LayerConfig {
             8192 => (22016, 64),
             other => panic!("hidden size {other} is not a Table II configuration"),
         };
-        LayerConfig { hidden, ffn_hidden, heads }
+        LayerConfig {
+            hidden,
+            ffn_hidden,
+            heads,
+        }
     }
 
     /// All Table II configurations.
@@ -54,7 +58,11 @@ pub struct TransformerLayer {
 impl TransformerLayer {
     /// The paper's fixed input shape `(4, 512, hidden)`.
     pub fn paper_shape(cfg: LayerConfig) -> Self {
-        TransformerLayer { cfg, batch: 4, seq: 512 }
+        TransformerLayer {
+            cfg,
+            batch: 4,
+            seq: 512,
+        }
     }
 
     /// Encoding latency of a single layer pass, seconds.
@@ -74,7 +82,11 @@ impl TransformerLayer {
 
         // Flash attention: 2·(QKᵀ) + 2·(PV) ≈ 4·b·heads·s²·dh flops in FP16.
         let attn_flops = 4.0 * self.batch as f64 * self.seq as f64 * self.seq as f64 * h as f64;
-        let attn_prec = if p == Precision::Fp32 { Precision::Fp32 } else { Precision::Fp16 };
+        let attn_prec = if p == Precision::Fp32 {
+            Precision::Fp32
+        } else {
+            Precision::Fp16
+        };
         let attn = attn_flops / (cm.matmul_peak(attn_prec) * 0.55) + 2.0 * cm.launch_overhead_s;
 
         // Two RMSNorms + residual adds, memory-bound at 16-bit width.
@@ -150,7 +162,10 @@ mod tests {
         let th = big.forward_ms(&h800(), Precision::Fp16);
         let ta = big.forward_ms(&CostModel::new(DeviceConfig::a100()), Precision::Fp16);
         let tr = big.forward_ms(&CostModel::new(DeviceConfig::rtx4090()), Precision::Fp16);
-        assert!(th < ta && th < tr, "H800 {th:.2} vs A100 {ta:.2} / 4090 {tr:.2}");
+        assert!(
+            th < ta && th < tr,
+            "H800 {th:.2} vs A100 {ta:.2} / 4090 {tr:.2}"
+        );
     }
 
     #[test]

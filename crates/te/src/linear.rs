@@ -54,7 +54,11 @@ impl Linear {
     pub fn forward(&self, cm: &CostModel, p: Precision) -> LinearBreakdown {
         match p {
             Precision::Fp8 => {
-                assert!(cm.supports_fp8(), "{} has no FP8 tensor cores", cm.device().name);
+                assert!(
+                    cm.supports_fp8(),
+                    "{} has no FP8 tensor cores",
+                    cm.device().name
+                );
                 let inp_elems = self.m * self.k;
                 let w_elems = self.k * self.n;
                 let out_elems = self.m * self.n;
@@ -100,8 +104,16 @@ mod tests {
         let cm = h800();
         let small = Linear::square(1024).forward(&cm, Precision::Fp8);
         let large = Linear::square(16384).forward(&cm, Precision::Fp8);
-        assert!(small.overhead_fraction() > 0.5, "small-N overhead {:.2}", small.overhead_fraction());
-        assert!(large.overhead_fraction() < 0.25, "large-N overhead {:.2}", large.overhead_fraction());
+        assert!(
+            small.overhead_fraction() > 0.5,
+            "small-N overhead {:.2}",
+            small.overhead_fraction()
+        );
+        assert!(
+            large.overhead_fraction() < 0.25,
+            "large-N overhead {:.2}",
+            large.overhead_fraction()
+        );
     }
 
     #[test]

@@ -34,15 +34,33 @@ pub struct LlmModel {
 impl LlmModel {
     /// OpenLLaMA-3B.
     pub fn llama_3b() -> Self {
-        LlmModel { name: "llama-3B", params: 3_430_000_000, hidden: 3200, layers: 26, ffn_hidden: 8640 }
+        LlmModel {
+            name: "llama-3B",
+            params: 3_430_000_000,
+            hidden: 3200,
+            layers: 26,
+            ffn_hidden: 8640,
+        }
     }
     /// Llama-2-7B.
     pub fn llama2_7b() -> Self {
-        LlmModel { name: "llama-2-7B", params: 6_740_000_000, hidden: 4096, layers: 32, ffn_hidden: 11008 }
+        LlmModel {
+            name: "llama-2-7B",
+            params: 6_740_000_000,
+            hidden: 4096,
+            layers: 32,
+            ffn_hidden: 11008,
+        }
     }
     /// Llama-2-13B.
     pub fn llama2_13b() -> Self {
-        LlmModel { name: "llama-2-13B", params: 13_020_000_000, hidden: 5120, layers: 40, ffn_hidden: 13824 }
+        LlmModel {
+            name: "llama-2-13B",
+            params: 13_020_000_000,
+            hidden: 5120,
+            layers: 40,
+            ffn_hidden: 13824,
+        }
     }
     /// The paper's three models.
     pub fn all() -> [LlmModel; 3] {
@@ -128,7 +146,11 @@ pub struct LlmRunner {
 impl LlmRunner {
     /// New runner with the paper's batch size.
     pub fn new(dev: DeviceConfig) -> Self {
-        LlmRunner { dev, batch: 8, framework_reserve: 2_500_000_000 }
+        LlmRunner {
+            dev,
+            batch: 8,
+            framework_reserve: 2_500_000_000,
+        }
     }
 
     /// Run generation with fixed 128-in/128-out requests (the paper's
@@ -137,7 +159,13 @@ impl LlmRunner {
         self.generate_requests(
             model,
             p,
-            &vec![Request { input_len: 128, output_len: 128 }; self.batch as usize],
+            &vec![
+                Request {
+                    input_len: 128,
+                    output_len: 128
+                };
+                self.batch as usize
+            ],
         )
     }
 
@@ -175,7 +203,11 @@ impl LlmRunner {
         // Prefill: compute-bound pass over the prompts.
         let prefill_tokens = reqs.iter().map(|r| r.input_len as u64).sum::<u64>();
         let prefill_flops = 2.0 * model.params as f64 * prefill_tokens as f64;
-        let prefill_prec = if p == Precision::Fp32 { Precision::Fp32 } else { Precision::Fp16 };
+        let prefill_prec = if p == Precision::Fp32 {
+            Precision::Fp32
+        } else {
+            Precision::Fp16
+        };
         let prefill = prefill_flops / (cm.matmul_peak(prefill_prec) * 0.6)
             + model.layers as f64 * layer_overhead_s(self.dev.arch, p);
 
@@ -199,7 +231,10 @@ impl LlmRunner {
 
         let seconds = prefill + decode;
         let tokens = batch as f64 * (max_in + max_out) as f64;
-        GenerationReport::Ok { tokens_per_s: tokens / seconds, seconds }
+        GenerationReport::Ok {
+            tokens_per_s: tokens / seconds,
+            seconds,
+        }
     }
 }
 
@@ -225,7 +260,9 @@ mod tests {
             (LlmModel::llama2_13b(), Precision::Fp8, 356.11),
         ];
         for (m, p, want) in cases {
-            let got = run(DeviceConfig::h800(), m, p).tokens_per_s().expect("fits on 80 GB");
+            let got = run(DeviceConfig::h800(), m, p)
+                .tokens_per_s()
+                .expect("fits on 80 GB");
             assert!(
                 (got - want).abs() / want < 0.15,
                 "{} {}: got {got:.0}, paper {want}",
@@ -267,26 +304,67 @@ mod tests {
         // 4090 (24 GB): 7B FP32 and FP8 OOM; BF16 fits.
         let d = DeviceConfig::rtx4090();
         let m7 = LlmModel::llama2_7b();
-        assert_eq!(run(d.clone(), m7, Precision::Fp32), GenerationReport::OutOfMemory);
-        assert_eq!(run(d.clone(), m7, Precision::Fp8), GenerationReport::OutOfMemory);
+        assert_eq!(
+            run(d.clone(), m7, Precision::Fp32),
+            GenerationReport::OutOfMemory
+        );
+        assert_eq!(
+            run(d.clone(), m7, Precision::Fp8),
+            GenerationReport::OutOfMemory
+        );
         assert!(run(d.clone(), m7, Precision::Bf16).tokens_per_s().is_some());
         // A100 (40 GB): 13B FP32 OOMs, BF16 fits; FP8 unsupported.
         let a = DeviceConfig::a100();
         let m13 = LlmModel::llama2_13b();
-        assert_eq!(run(a.clone(), m13, Precision::Fp32), GenerationReport::OutOfMemory);
-        assert!(run(a.clone(), m13, Precision::Bf16).tokens_per_s().is_some());
+        assert_eq!(
+            run(a.clone(), m13, Precision::Fp32),
+            GenerationReport::OutOfMemory
+        );
+        assert!(run(a.clone(), m13, Precision::Bf16)
+            .tokens_per_s()
+            .is_some());
         assert_eq!(run(a, m13, Precision::Fp8), GenerationReport::Unsupported);
     }
 
     #[test]
     fn a100_and_4090_land_near_paper() {
         let cases = [
-            (DeviceConfig::a100(), LlmModel::llama_3b(), Precision::Fp32, 674.50),
-            (DeviceConfig::a100(), LlmModel::llama2_7b(), Precision::Bf16, 548.57),
-            (DeviceConfig::a100(), LlmModel::llama2_13b(), Precision::Bf16, 420.81),
-            (DeviceConfig::rtx4090(), LlmModel::llama_3b(), Precision::Fp32, 414.08),
-            (DeviceConfig::rtx4090(), LlmModel::llama_3b(), Precision::Fp8, 429.31),
-            (DeviceConfig::rtx4090(), LlmModel::llama2_7b(), Precision::Bf16, 350.69),
+            (
+                DeviceConfig::a100(),
+                LlmModel::llama_3b(),
+                Precision::Fp32,
+                674.50,
+            ),
+            (
+                DeviceConfig::a100(),
+                LlmModel::llama2_7b(),
+                Precision::Bf16,
+                548.57,
+            ),
+            (
+                DeviceConfig::a100(),
+                LlmModel::llama2_13b(),
+                Precision::Bf16,
+                420.81,
+            ),
+            (
+                DeviceConfig::rtx4090(),
+                LlmModel::llama_3b(),
+                Precision::Fp32,
+                414.08,
+            ),
+            (
+                DeviceConfig::rtx4090(),
+                LlmModel::llama_3b(),
+                Precision::Fp8,
+                429.31,
+            ),
+            (
+                DeviceConfig::rtx4090(),
+                LlmModel::llama2_7b(),
+                Precision::Bf16,
+                350.69,
+            ),
         ];
         for (d, m, p, want) in cases {
             let name = d.name;
@@ -324,7 +402,10 @@ mod tests {
         let secs = |out: u32| match runner.generate_requests(
             &m,
             Precision::Bf16,
-            &[Request { input_len: 128, output_len: out }; 8],
+            &[Request {
+                input_len: 128,
+                output_len: out,
+            }; 8],
         ) {
             GenerationReport::Ok { seconds, .. } => seconds,
             other => panic!("{other:?}"),
@@ -333,8 +414,14 @@ mod tests {
         let s128 = secs(128);
         let per_step = (s128 - s32) / 96.0;
         let early = s32 / 32.0; // includes prefill, so slightly larger
-        assert!(per_step < early, "steady per-step {per_step:.4} vs early {early:.4}");
-        assert!(per_step > 0.5 * early, "steps can't be free: {per_step:.4} vs {early:.4}");
+        assert!(
+            per_step < early,
+            "steady per-step {per_step:.4} vs early {early:.4}"
+        );
+        assert!(
+            per_step > 0.5 * early,
+            "steps can't be free: {per_step:.4} vs {early:.4}"
+        );
     }
 
     #[test]

@@ -20,14 +20,24 @@ pub struct QuantizedFp8 {
 /// Zero tensors quantise with scale 1.
 pub fn quantize_fp8(x: &[f32]) -> QuantizedFp8 {
     let amax = x.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
-    let scale = if amax == 0.0 { 1.0 } else { amax as f64 / Fp8E4M3::max_finite() };
-    let data = x.iter().map(|&v| Fp8E4M3::from_f64(v as f64 / scale)).collect();
+    let scale = if amax == 0.0 {
+        1.0
+    } else {
+        amax as f64 / Fp8E4M3::max_finite()
+    };
+    let data = x
+        .iter()
+        .map(|&v| Fp8E4M3::from_f64(v as f64 / scale))
+        .collect();
     QuantizedFp8 { data, scale }
 }
 
 /// Dequantise back to f32.
 pub fn dequantize_fp8(q: &QuantizedFp8) -> Vec<f32> {
-    q.data.iter().map(|v| (v.to_f64() * q.scale) as f32).collect()
+    q.data
+        .iter()
+        .map(|v| (v.to_f64() * q.scale) as f32)
+        .collect()
 }
 
 /// FP8 GEMM with FP32 accumulation: `C[m×n] = A[m×k] · B[k×n]`, operands
@@ -104,7 +114,9 @@ mod tests {
         let mut s = seed | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect()

@@ -28,11 +28,18 @@ pub struct ShareGptSynth {
 impl ShareGptSynth {
     /// New generator with the paper's caps.
     pub fn new(seed: u64) -> Self {
-        ShareGptSynth { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, max_input: 128, max_output: 128 }
+        ShareGptSynth {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            max_input: 128,
+            max_output: 128,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.state
     }
 
@@ -94,8 +101,7 @@ mod tests {
         // A real long-tail hits the cap often AND has many short prompts.
         assert!(capped > 100, "cap hits: {capped}");
         assert!(short > 300, "short prompts: {short}");
-        let mean: f64 =
-            reqs.iter().map(|r| r.input_len as f64).sum::<f64>() / reqs.len() as f64;
+        let mean: f64 = reqs.iter().map(|r| r.input_len as f64).sum::<f64>() / reqs.len() as f64;
         assert!(mean > 40.0 && mean < 90.0, "mean input {mean}");
     }
 

@@ -1,0 +1,439 @@
+//! Cycle-level event tracing and stall attribution for the Hopper
+//! simulator.
+//!
+//! The simulation engine in `hopper-sim` issues one instruction per warp
+//! scheduler per cycle when it can; when it cannot, the reason is one of a
+//! small set of micro-architectural conditions (scoreboard dependency,
+//! barrier wait, memory-queue backpressure, busy tensor pipe, ...). This
+//! crate defines a zero-cost-when-disabled [`TraceSink`] interface the
+//! engine feeds with typed events, plus ready-made sinks:
+//!
+//! * [`StallProfile`] — aggregates per-warp-scheduler stall-reason
+//!   histograms, a per-functional-unit occupancy table, and cache totals.
+//!   Its accounting satisfies the conservation invariant
+//!   `issued + stalled + idle == total cycles` for every scheduler slot.
+//! * [`ChromeTrace`] — records per-SM / per-warp timelines and serialises
+//!   them to the Chrome `chrome://tracing` / Perfetto JSON event format.
+//! * [`NullSink`] — compiles to no-ops; the engine skips all event
+//!   construction when it is attached (or when no sink is attached).
+//!
+//! The crate is dependency-free; the optional `serde` feature derives
+//! `Serialize` for the report types.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod profile;
+
+pub use chrome::ChromeTrace;
+pub use profile::{SlotProfile, StallProfile, StallSummary, UnitOccupancy};
+
+/// Why a warp-scheduler slot could not issue an instruction this cycle.
+///
+/// Reasons mirror the dissection in the Hopper benchmarking paper: latency
+/// chains show up as [`StallReason::Scoreboard`], `bar.sync`/cluster
+/// arrival as [`StallReason::Barrier`], LSU queue saturation as
+/// [`StallReason::MioQueueFull`], busy tensor-core quadrants (or a
+/// warpgroup-wide `wgmma` in flight) as [`StallReason::TensorPipeBusy`],
+/// and asynchronous copies (`cp.async` / TMA) being drained as
+/// [`StallReason::TmaInFlight`]. [`StallReason::DvfsThrottle`] is a
+/// device-level accounting entry (cycles lost to clock throttling); it is
+/// reported separately and never appears in per-slot histograms so that
+/// the per-slot conservation invariant stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum StallReason {
+    /// Register or predicate operand not yet written back (data dependency).
+    Scoreboard,
+    /// Warp parked at a block barrier or cluster barrier.
+    Barrier,
+    /// Load/store (MIO) queue at capacity, or memory-pipe backpressure.
+    MioQueueFull,
+    /// Tensor-core quadrant/warpgroup pipe busy, or waiting on `wgmma` groups.
+    TensorPipeBusy,
+    /// Scalar math pipe (INT / FP32 / FP64 / DPX) busy.
+    MathPipeBusy,
+    /// Outstanding asynchronous copy (`cp.async` / TMA) not yet landed.
+    TmaInFlight,
+    /// Issue-port hold: fixed issue gap after the previous instruction.
+    Dispatch,
+    /// Device-level: cycles lost to DVFS clock throttling (reported
+    /// separately; never a per-slot stall bucket).
+    DvfsThrottle,
+}
+
+/// Number of [`StallReason`] variants that can appear in per-slot
+/// histograms (everything except [`StallReason::DvfsThrottle`]).
+pub const N_SLOT_REASONS: usize = 7;
+
+impl StallReason {
+    /// The per-slot reasons, in histogram-bucket order.
+    pub const SLOT_REASONS: [StallReason; N_SLOT_REASONS] = [
+        StallReason::Scoreboard,
+        StallReason::Barrier,
+        StallReason::MioQueueFull,
+        StallReason::TensorPipeBusy,
+        StallReason::MathPipeBusy,
+        StallReason::TmaInFlight,
+        StallReason::Dispatch,
+    ];
+
+    /// Histogram bucket index (only valid for the per-slot reasons).
+    pub fn bucket(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable name used in reports and Chrome traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::Barrier => "barrier",
+            StallReason::MioQueueFull => "mio_queue_full",
+            StallReason::TensorPipeBusy => "tensor_pipe_busy",
+            StallReason::MathPipeBusy => "math_pipe_busy",
+            StallReason::TmaInFlight => "tma_in_flight",
+            StallReason::Dispatch => "dispatch",
+            StallReason::DvfsThrottle => "dvfs_throttle",
+        }
+    }
+}
+
+/// Which cache level a [`CacheEvent`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum CacheLevel {
+    /// Per-SM L1 data cache.
+    L1,
+    /// Device-wide L2.
+    L2,
+    /// Address-translation (TLB) lookups; only misses are emitted.
+    Tlb,
+}
+
+impl CacheLevel {
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "l1",
+            CacheLevel::L2 => "l2",
+            CacheLevel::Tlb => "tlb",
+        }
+    }
+}
+
+/// Per-event-category enables, threaded through `SimOptions`.
+///
+/// Only consulted when a real sink is attached; with no sink (or a
+/// [`NullSink`]) the engine skips event construction entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Emit [`TraceSink::issue`] events (one per issued instruction).
+    pub issue_events: bool,
+    /// Emit [`TraceSink::stall`] spans (per-warp stall intervals).
+    pub stall_events: bool,
+    /// Emit [`TraceSink::cache`] events (per-line hit/miss).
+    pub cache_events: bool,
+    /// Emit [`TraceSink::unit`] spans (functional-unit busy intervals).
+    pub unit_events: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            issue_events: true,
+            stall_events: true,
+            cache_events: true,
+            unit_events: true,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Everything on (same as `default()`).
+    pub fn all() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Aggregate-only tracing: per-slot/unit/cache totals still flow to
+    /// the sink, but no per-event records are constructed.
+    pub fn aggregates_only() -> Self {
+        TraceConfig {
+            issue_events: false,
+            stall_events: false,
+            cache_events: false,
+            unit_events: false,
+        }
+    }
+}
+
+/// One issued instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// Wave-local cycle of issue.
+    pub cycle: u64,
+    /// SM index.
+    pub sm: u32,
+    /// Warp-scheduler slot within the SM (0..4 on Hopper).
+    pub sched: u32,
+    /// Engine warp index (unique across the wave).
+    pub warp: u32,
+    /// Instruction mnemonic.
+    pub op: &'static str,
+}
+
+/// A contiguous interval during which one warp was stalled for one reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpan {
+    /// SM index.
+    pub sm: u32,
+    /// Warp-scheduler slot within the SM.
+    pub sched: u32,
+    /// Engine warp index.
+    pub warp: u32,
+    /// First stalled cycle (wave-local).
+    pub start: u64,
+    /// One past the last stalled cycle (wave-local).
+    pub end: u64,
+    /// Binding stall reason over the interval.
+    pub reason: StallReason,
+}
+
+/// One cache lookup outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Wave-local cycle of the lookup.
+    pub cycle: u64,
+    /// SM performing the access (for L2/TLB: the requesting SM).
+    pub sm: u32,
+    /// Which cache level.
+    pub level: CacheLevel,
+    /// Hit or miss.
+    pub hit: bool,
+    /// Number of 32-byte sectors moved by this line access.
+    pub sectors: u32,
+}
+
+/// A functional unit busy interval attributed to one warp's instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitSpan {
+    /// SM index (`u32::MAX` for device-wide units such as L2/DRAM ports).
+    pub sm: u32,
+    /// Unit name (`"int"`, `"fp32"`, `"tensor"`, `"l1_port"`, ...).
+    pub unit: &'static str,
+    /// Engine warp index occupying the unit.
+    pub warp: u32,
+    /// Busy-interval start (wave-local cycle).
+    pub start: u64,
+    /// Busy-interval end (wave-local cycle, exclusive).
+    pub end: u64,
+}
+
+/// End-of-wave per-scheduler-slot cycle accounting.
+///
+/// By construction `issued + idle + stalled.iter().sum() == total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotTotals {
+    /// SM index.
+    pub sm: u32,
+    /// Warp-scheduler slot within the SM.
+    pub sched: u32,
+    /// Cycles in which this slot issued an instruction.
+    pub issued: u64,
+    /// Cycles with no runnable (non-retired) warp on this slot.
+    pub idle: u64,
+    /// Stalled cycles, bucketed by [`StallReason::SLOT_REASONS`].
+    pub stalled: [u64; N_SLOT_REASONS],
+    /// Total simulated cycles in the wave.
+    pub total: u64,
+}
+
+/// End-of-wave cumulative busy time for one functional unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBusy {
+    /// SM index (`u32::MAX` for device-wide units).
+    pub sm: u32,
+    /// Unit name.
+    pub unit: &'static str,
+    /// Cycles (fractional) the unit spent busy.
+    pub busy: f64,
+    /// Total simulated cycles in the wave.
+    pub total: u64,
+}
+
+/// End-of-wave cache hit/miss totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct CacheTotals {
+    /// L1 line hits.
+    pub l1_hits: u64,
+    /// L1 line misses.
+    pub l1_misses: u64,
+    /// L2 line hits.
+    pub l2_hits: u64,
+    /// L2 line misses.
+    pub l2_misses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+}
+
+/// Receiver for engine trace events.
+///
+/// All methods default to no-ops so sinks implement only what they need.
+/// The engine consults [`TraceSink::is_null`] once per launch and treats a
+/// `true` answer like "no sink attached", keeping the hot path free of
+/// event construction.
+pub trait TraceSink {
+    /// A wave of blocks starts simulating. `base_cycle` is the device
+    /// cycle at which this wave begins (waves run back-to-back);
+    /// subsequent event timestamps are wave-local and should be offset by
+    /// it when building a device timeline.
+    fn begin_wave(&mut self, base_cycle: u64, sms: u32, slots_per_sm: u32) {
+        let _ = (base_cycle, sms, slots_per_sm);
+    }
+
+    /// The wave finished after `cycles` simulated cycles.
+    fn end_wave(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// An instruction issued.
+    fn issue(&mut self, ev: &IssueEvent) {
+        let _ = ev;
+    }
+
+    /// A warp stall interval closed.
+    fn stall(&mut self, span: &StallSpan) {
+        let _ = span;
+    }
+
+    /// A cache lookup completed.
+    fn cache(&mut self, ev: &CacheEvent) {
+        let _ = ev;
+    }
+
+    /// A functional unit busy interval was reserved.
+    fn unit(&mut self, span: &UnitSpan) {
+        let _ = span;
+    }
+
+    /// End-of-wave scheduler-slot accounting.
+    fn slot_totals(&mut self, totals: &SlotTotals) {
+        let _ = totals;
+    }
+
+    /// End-of-wave functional-unit busy accounting.
+    fn unit_busy(&mut self, busy: &UnitBusy) {
+        let _ = busy;
+    }
+
+    /// End-of-wave cache totals.
+    fn cache_totals(&mut self, totals: &CacheTotals) {
+        let _ = totals;
+    }
+
+    /// Device-level cycles lost to DVFS throttling (emitted once per
+    /// launch, after all waves).
+    fn dvfs_throttle(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// `true` if this sink ignores every event; lets the engine skip
+    /// event construction entirely.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that drops everything; the engine short-circuits on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Forwards every event to two sinks (e.g. a [`StallProfile`] and a
+/// [`ChromeTrace`] in the same run).
+pub struct TeeSink<'a> {
+    a: &'a mut dyn TraceSink,
+    b: &'a mut dyn TraceSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combine two sinks.
+    pub fn new(a: &'a mut dyn TraceSink, b: &'a mut dyn TraceSink) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn begin_wave(&mut self, base_cycle: u64, sms: u32, slots_per_sm: u32) {
+        self.a.begin_wave(base_cycle, sms, slots_per_sm);
+        self.b.begin_wave(base_cycle, sms, slots_per_sm);
+    }
+    fn end_wave(&mut self, cycles: u64) {
+        self.a.end_wave(cycles);
+        self.b.end_wave(cycles);
+    }
+    fn issue(&mut self, ev: &IssueEvent) {
+        self.a.issue(ev);
+        self.b.issue(ev);
+    }
+    fn stall(&mut self, span: &StallSpan) {
+        self.a.stall(span);
+        self.b.stall(span);
+    }
+    fn cache(&mut self, ev: &CacheEvent) {
+        self.a.cache(ev);
+        self.b.cache(ev);
+    }
+    fn unit(&mut self, span: &UnitSpan) {
+        self.a.unit(span);
+        self.b.unit(span);
+    }
+    fn slot_totals(&mut self, totals: &SlotTotals) {
+        self.a.slot_totals(totals);
+        self.b.slot_totals(totals);
+    }
+    fn unit_busy(&mut self, busy: &UnitBusy) {
+        self.a.unit_busy(busy);
+        self.b.unit_busy(busy);
+    }
+    fn cache_totals(&mut self, totals: &CacheTotals) {
+        self.a.cache_totals(totals);
+        self.b.cache_totals(totals);
+    }
+    fn dvfs_throttle(&mut self, cycles: u64) {
+        self.a.dvfs_throttle(cycles);
+        self.b.dvfs_throttle(cycles);
+    }
+    fn is_null(&self) -> bool {
+        self.a.is_null() && self.b.is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_reason_buckets_are_dense_and_ordered() {
+        for (i, r) in StallReason::SLOT_REASONS.iter().enumerate() {
+            assert_eq!(r.bucket(), i);
+        }
+        assert_eq!(StallReason::DvfsThrottle.bucket(), N_SLOT_REASONS);
+    }
+
+    #[test]
+    fn null_sink_reports_null() {
+        assert!(NullSink.is_null());
+        let mut a = NullSink;
+        let mut b = NullSink;
+        assert!(TeeSink::new(&mut a, &mut b).is_null());
+        let mut p = StallProfile::default();
+        let mut n = NullSink;
+        assert!(!TeeSink::new(&mut p, &mut n).is_null());
+    }
+}

@@ -36,11 +36,21 @@ fn build_kernel() -> hopper_isa::Kernel {
     b.ld(MemSpace::Global, CacheOp::Cg, Width::B4, Reg(7), Reg(5), 0);
     b.ialu(IAluOp::And, Reg(8), R(Reg(7)), Imm(NBINS as i64 - 1)); // bin
     b.ialu(IAluOp::Shr, Reg(9), R(Reg(8)), Imm(log2_bpb)); // owner rank
-    b.ialu(IAluOp::And, Reg(10), R(Reg(8)), Imm(bins_per_block as i64 - 1));
+    b.ialu(
+        IAluOp::And,
+        Reg(10),
+        R(Reg(8)),
+        Imm(bins_per_block as i64 - 1),
+    );
     b.ialu(IAluOp::Mul, Reg(10), R(Reg(10)), Imm(4));
     b.mapa(Reg(11), R(Reg(10)), R(Reg(9)));
     b.atom_add(MemSpace::SharedCluster, None, Reg(11), 0, Imm(1));
-    b.ialu(IAluOp::Add, Reg(5), R(Reg(5)), Imm((CLUSTER * BLOCK * 4) as i64));
+    b.ialu(
+        IAluOp::Add,
+        Reg(5),
+        R(Reg(5)),
+        Imm((CLUSTER * BLOCK * 4) as i64),
+    );
     b.ialu(IAluOp::Add, Reg(6), R(Reg(6)), Imm(1));
     b.setp(Pred(0), CmpOp::Lt, R(Reg(6)), Imm(ELEMS_PER_THREAD));
     b.bra_if(top, Pred(0), true);
@@ -57,7 +67,14 @@ fn build_kernel() -> hopper_isa::Kernel {
         // divergence: bins_per_block is a multiple of 32).
         b.imad(Reg(13), R(Reg(2)), Imm(4), R(Reg(30))); // tid·4 (+r30≡0)
         b.ialu(IAluOp::Add, Reg(13), R(Reg(13)), Imm(off * 4));
-        b.ld(MemSpace::Shared, CacheOp::Ca, Width::B4, Reg(14), Reg(13), 0);
+        b.ld(
+            MemSpace::Shared,
+            CacheOp::Ca,
+            Width::B4,
+            Reg(14),
+            Reg(13),
+            0,
+        );
         // global index = (rank·bins_per_block + tid + off)·4 + out_base
         b.imad(Reg(15), R(Reg(1)), Imm(bins_per_block as i64), R(Reg(2)));
         b.ialu(IAluOp::Add, Reg(15), R(Reg(15)), Imm(off));
@@ -76,7 +93,9 @@ fn main() {
     let n_elems = total_threads * ELEMS_PER_THREAD as usize;
 
     // Deterministic pseudo-random elements.
-    let elems: Vec<u32> = (0..n_elems as u32).map(|i| i.wrapping_mul(2654435761) >> 5).collect();
+    let elems: Vec<u32> = (0..n_elems as u32)
+        .map(|i| i.wrapping_mul(2654435761) >> 5)
+        .collect();
     let elem_buf = gpu.alloc((n_elems * 4) as u64).expect("elems");
     let out_buf = gpu.alloc((NBINS * 4) as u64).expect("bins");
     gpu.write_u32s(elem_buf, &elems);
@@ -95,7 +114,9 @@ fn main() {
     let stats = gpu
         .launch(
             &kernel,
-            &Launch::new(CLUSTER, BLOCK).with_cluster(CLUSTER).with_params(params),
+            &Launch::new(CLUSTER, BLOCK)
+                .with_cluster(CLUSTER)
+                .with_params(params),
         )
         .expect("launch");
 

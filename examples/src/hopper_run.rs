@@ -54,10 +54,12 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut next = |flag: &str| it.next().unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
-            usage()
-        });
+        let mut next = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
         match a.as_str() {
             "--device" => {
                 args.device = match next("--device").to_lowercase().as_str() {
@@ -73,7 +75,9 @@ fn parse_args() -> Args {
             "--grid" => args.grid = next("--grid").parse().unwrap_or_else(|_| usage()),
             "--block" => args.block = next("--block").parse().unwrap_or_else(|_| usage()),
             "--cluster" => args.cluster = next("--cluster").parse().unwrap_or_else(|_| usage()),
-            "--alloc" => args.allocs.push(next("--alloc").parse().unwrap_or_else(|_| usage())),
+            "--alloc" => args
+                .allocs
+                .push(next("--alloc").parse().unwrap_or_else(|_| usage())),
             "--param" => args.params.push(next("--param")),
             "--fill" => {
                 let v = next("--fill");
@@ -137,7 +141,10 @@ fn main() {
         .collect();
     for (idx, vals) in &args.fills {
         let addr = *buffers.get(*idx).unwrap_or_else(|| {
-            eprintln!("--fill references buffer {idx}, but only {} allocated", buffers.len());
+            eprintln!(
+                "--fill references buffer {idx}, but only {} allocated",
+                buffers.len()
+            );
             std::process::exit(1)
         });
         gpu.write_u32s(addr, vals);
@@ -167,7 +174,10 @@ fn main() {
     });
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats serialise")
+        );
         for (idx, n) in &args.dumps {
             let addr = buffers[*idx];
             println!(
@@ -179,7 +189,10 @@ fn main() {
     }
     println!(
         "{}: {} blocks × {} threads on {}",
-        args.file, args.grid, args.block, gpu.device().name
+        args.file,
+        args.grid,
+        args.block,
+        gpu.device().name
     );
     let m = &stats.metrics;
     println!(

@@ -24,25 +24,54 @@ fn main() {
 
     // 1. mma vs wgmma throughput.
     let mma = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
-    let wgmma =
-        MmaDesc::wgmma(256, DType::F16, DType::F16, false, OperandSource::SharedShared).unwrap();
+    let wgmma = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F16,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let t_mma = tcbench::mma_throughput(&mut gpu, &mma, Init::Zero);
     let t_wg = tcbench::wgmma_throughput(&mut gpu, &wgmma, Init::Zero);
-    println!("mma.m16n8k16   : {t_mma:7.1} TFLOPS ({:4.1} % of peak)", t_mma / peak * 100.0);
-    println!("wgmma.m64n256k16: {t_wg:7.1} TFLOPS ({:4.1} % of peak)", t_wg / peak * 100.0);
+    println!(
+        "mma.m16n8k16   : {t_mma:7.1} TFLOPS ({:4.1} % of peak)",
+        t_mma / peak * 100.0
+    );
+    println!(
+        "wgmma.m64n256k16: {t_wg:7.1} TFLOPS ({:4.1} % of peak)",
+        t_wg / peak * 100.0
+    );
     println!("→ \"the complete potential of Hopper TCs can only be realized through wgmma\"\n");
 
     // 2. Zero vs Rand: the power wall.
-    let wg32 =
-        MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared).unwrap();
+    let wg32 = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let zero = tcbench::wgmma_throughput(&mut gpu, &wg32, Init::Zero);
     let rand = tcbench::wgmma_throughput(&mut gpu, &wg32, Init::Rand);
     println!("wgmma f32.f16, zero operands: {zero:7.1} TFLOPS");
-    println!("wgmma f32.f16, rand operands: {rand:7.1} TFLOPS (−{:.1} %, DVFS at 350 W)\n", (1.0 - rand / zero) * 100.0);
+    println!(
+        "wgmma f32.f16, rand operands: {rand:7.1} TFLOPS (−{:.1} %, DVFS at 350 W)\n",
+        (1.0 - rand / zero) * 100.0
+    );
 
     // 3. Sparse SS vs RS.
-    let sp_ss = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::SharedShared).unwrap();
-    let sp_rs = MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::RegShared).unwrap();
+    let sp_ss = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        true,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
+    let sp_rs =
+        MmaDesc::wgmma(256, DType::F16, DType::F32, true, OperandSource::RegShared).unwrap();
     let t_ss = tcbench::wgmma_throughput(&mut gpu, &sp_ss, Init::Zero);
     let t_rs = tcbench::wgmma_throughput(&mut gpu, &sp_rs, Init::Zero);
     println!("sparse wgmma, A from shared (SS):   {t_ss:7.1} TFLOPS");
@@ -53,14 +82,27 @@ fn main() {
     let out = gpu.alloc(16 * 8 * 4).expect("alloc");
     let mut kb = hopper_isa::KernelBuilder::new("gemm_check");
     let desc = MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).unwrap();
-    kb.fill_tile(TileId(0), DType::F16, 16, 16, TilePattern::Random { seed: 41 });
-    kb.fill_tile(TileId(1), DType::F16, 16, 8, TilePattern::Random { seed: 42 });
+    kb.fill_tile(
+        TileId(0),
+        DType::F16,
+        16,
+        16,
+        TilePattern::Random { seed: 41 },
+    );
+    kb.fill_tile(
+        TileId(1),
+        DType::F16,
+        16,
+        8,
+        TilePattern::Random { seed: 42 },
+    );
     kb.fill_tile(TileId(2), DType::F32, 16, 8, TilePattern::Zero);
     kb.mma(desc, TileId(3), TileId(0), TileId(1), TileId(2));
     kb.mov(Reg(1), hopper_isa::Operand::Reg(Reg(0)));
     kb.st_tile(TileId(3), MemSpace::Global, Reg(1), 0);
     kb.exit();
-    gpu.launch(&kb.build(), &Launch::new(1, 32).with_params(vec![out])).expect("launch");
+    gpu.launch(&kb.build(), &Launch::new(1, 32).with_params(vec![out]))
+        .expect("launch");
 
     // Host reference over the same deterministic tiles.
     let a = hopper_sim::Tile::from_pattern(DType::F16, 16, 16, TilePattern::Random { seed: 41 });

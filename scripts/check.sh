@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, the tier-1 build/test pair, and the
+# no-default-features build of the simulator (serde stays optional).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q --workspace
+
+echo "== feature gate: hopper-sim without serde"
+cargo build -p hopper-sim --no-default-features
+
+echo "all checks passed"

@@ -48,16 +48,31 @@ fn straightline_instr() -> impl Strategy<Value = Instr> {
             operand()
         )
             .prop_map(|(op, dst, a, b)| Instr::IAlu { op, dst, a, b }),
-        (reg(), operand(), operand(), operand())
-            .prop_map(|(dst, a, b, c)| Instr::IMad { dst, a, b, c }),
+        (reg(), operand(), operand(), operand()).prop_map(|(dst, a, b, c)| Instr::IMad {
+            dst,
+            a,
+            b,
+            c
+        }),
         (
-            prop_oneof![Just(FAluOp::Add), Just(FAluOp::Mul), Just(FAluOp::Min), Just(FAluOp::Max)],
+            prop_oneof![
+                Just(FAluOp::Add),
+                Just(FAluOp::Mul),
+                Just(FAluOp::Min),
+                Just(FAluOp::Max)
+            ],
             prop_oneof![Just(FloatPrec::F32), Just(FloatPrec::F64)],
             reg(),
             operand(),
             operand()
         )
-            .prop_map(|(op, prec, dst, a, b)| Instr::FAlu { op, prec, dst, a, b }),
+            .prop_map(|(op, prec, dst, a, b)| Instr::FAlu {
+                op,
+                prec,
+                dst,
+                a,
+                b
+            }),
         (reg(), operand()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
         (
             (0u8..4).prop_map(Pred),
@@ -79,7 +94,10 @@ fn straightline_instr() -> impl Strategy<Value = Instr> {
             // The cache operator only exists in text for global loads;
             // shared loads parse to `.ca` unconditionally.
             prop_oneof![
-                (Just(MemSpace::Global), prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)]),
+                (
+                    Just(MemSpace::Global),
+                    prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)]
+                ),
                 (Just(MemSpace::Shared), Just(CacheOp::Ca)),
             ],
             width(),
@@ -99,7 +117,12 @@ fn straightline_instr() -> impl Strategy<Value = Instr> {
             reg(),
             addr()
         )
-            .prop_map(|(space, width, src, addr)| Instr::St { space, width, src, addr }),
+            .prop_map(|(space, width, src, addr)| Instr::St {
+                space,
+                width,
+                src,
+                addr
+            }),
         (
             prop_oneof![
                 Just(MemSpace::Global),
@@ -109,7 +132,12 @@ fn straightline_instr() -> impl Strategy<Value = Instr> {
             addr(),
             operand()
         )
-            .prop_map(|(space, addr, src)| Instr::AtomAdd { space, dst: None, addr, src }),
+            .prop_map(|(space, addr, src)| Instr::AtomAdd {
+                space,
+                dst: None,
+                addr,
+                src
+            }),
         (reg(), operand(), operand()).prop_map(|(dst, addr, rank)| Instr::Mapa { dst, addr, rank }),
         (
             reg(),
@@ -134,8 +162,11 @@ fn straightline_instr() -> impl Strategy<Value = Instr> {
 }
 
 fn arb_kernel() -> impl Strategy<Value = Kernel> {
-    (proptest::collection::vec(straightline_instr(), 1..40), 0u32..8192).prop_map(
-        |(mut instrs, smem)| {
+    (
+        proptest::collection::vec(straightline_instr(), 1..40),
+        0u32..8192,
+    )
+        .prop_map(|(mut instrs, smem)| {
             instrs.push(Instr::Exit);
             let max_reg = 32u32; // generous; the assembler recomputes it
             Kernel {
@@ -144,8 +175,7 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
                 smem_bytes: smem / 8 * 8,
                 name: "arb".into(),
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -3,8 +3,8 @@
 //! three device models (timing differs; semantics must not).
 
 use hopper_isa::{
-    AddrExpr, CacheOp, CmpOp, FAluOp, IAluOp, Instr, Kernel, MemSpace, Operand, Pred, Reg,
-    Special, Width,
+    AddrExpr, CacheOp, CmpOp, FAluOp, IAluOp, Instr, Kernel, MemSpace, Operand, Pred, Reg, Special,
+    Width,
 };
 use hopper_sim::{DeviceConfig, Gpu, Launch};
 use proptest::prelude::*;
@@ -41,11 +41,20 @@ fn fuzz_instr() -> impl Strategy<Value = Instr> {
             operand()
         )
             .prop_map(|(op, dst, a, b)| Instr::IAlu { op, dst, a, b }),
-        (reg(), operand(), operand(), operand())
-            .prop_map(|(dst, a, b, c)| Instr::IMad { dst, a, b, c }),
+        (reg(), operand(), operand(), operand()).prop_map(|(dst, a, b, c)| Instr::IMad {
+            dst,
+            a,
+            b,
+            c
+        }),
         (reg(), operand()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
         (
-            prop_oneof![Just(FAluOp::Add), Just(FAluOp::Mul), Just(FAluOp::Min), Just(FAluOp::Max)],
+            prop_oneof![
+                Just(FAluOp::Add),
+                Just(FAluOp::Mul),
+                Just(FAluOp::Min),
+                Just(FAluOp::Max)
+            ],
             reg(),
             operand(),
             operand()
@@ -68,23 +77,37 @@ fn fuzz_instr() -> impl Strategy<Value = Instr> {
             .prop_map(|(dst, pred, a, b)| Instr::Sel { dst, pred, a, b }),
         (
             reg(),
-            prop_oneof![Just(Special::TidX), Just(Special::CtaIdX), Just(Special::LaneId)]
+            prop_oneof![
+                Just(Special::TidX),
+                Just(Special::CtaIdX),
+                Just(Special::LaneId)
+            ]
         )
             .prop_map(|(dst, sr)| Instr::ReadSpecial { dst, sr }),
         // Memory ops use register 30 as base (wrapped each time below).
-        (prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)], reg(), (0i64..1024))
+        (
+            prop_oneof![Just(CacheOp::Ca), Just(CacheOp::Cg)],
+            reg(),
+            (0i64..1024)
+        )
             .prop_map(|(cop, dst, offset)| Instr::Ld {
                 space: MemSpace::Global,
                 cop,
                 width: Width::B4,
                 dst,
-                addr: AddrExpr { base: Reg(30), offset },
+                addr: AddrExpr {
+                    base: Reg(30),
+                    offset
+                },
             }),
         (reg(), (0i64..1024)).prop_map(|(src, offset)| Instr::St {
             space: MemSpace::Global,
             width: Width::B4,
             src,
-            addr: AddrExpr { base: Reg(30), offset },
+            addr: AddrExpr {
+                base: Reg(30),
+                offset
+            },
         }),
         Just(Instr::BarSync),
     ]
@@ -114,7 +137,12 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
             instrs.push(instr);
         }
         instrs.push(Instr::Exit);
-        Kernel { instrs, regs_per_thread: 32, smem_bytes: 0, name: "fuzz".into() }
+        Kernel {
+            instrs,
+            regs_per_thread: 32,
+            smem_bytes: 0,
+            name: "fuzz".into(),
+        }
     })
 }
 

@@ -2,7 +2,7 @@
 //! with the simulator's functional datapath.
 
 use hopper_isa::{DType, MmaDesc, TilePattern};
-use hopper_numerics::{Bf16, Fp8E4M3, Fp8E5M2, Sparse24, SoftFloat, Tf32, F16};
+use hopper_numerics::{Bf16, Fp8E4M3, Fp8E5M2, SoftFloat, Sparse24, Tf32, F16};
 use hopper_sim::engine::{decode_elem, encode_elem};
 use hopper_sim::tiles::{execute_mma, Tile};
 use proptest::prelude::*;
@@ -109,9 +109,13 @@ proptest! {
 /// per-tensor scaling cancels exactly through the scale factors.
 #[test]
 fn te_quantization_scale_invariance() {
-    use hopper_te::ops::{linear_forward_fp8, linear_forward_f32};
-    let a: Vec<f32> = (0..64).map(|i| ((i * 37) % 23) as f32 / 11.0 - 1.0).collect();
-    let b: Vec<f32> = (0..64).map(|i| ((i * 53) % 19) as f32 / 9.0 - 1.0).collect();
+    use hopper_te::ops::{linear_forward_f32, linear_forward_fp8};
+    let a: Vec<f32> = (0..64)
+        .map(|i| ((i * 37) % 23) as f32 / 11.0 - 1.0)
+        .collect();
+    let b: Vec<f32> = (0..64)
+        .map(|i| ((i * 53) % 19) as f32 / 9.0 - 1.0)
+        .collect();
     let base = linear_forward_fp8(&a, &b, 8, 8, 8);
     let a4: Vec<f32> = a.iter().map(|v| v * 4.0).collect();
     let scaled = linear_forward_fp8(&a4, &b, 8, 8, 8);

@@ -14,12 +14,24 @@ fn headline_wgmma_unlocks_hopper() {
     let mut gpu = Gpu::new(DeviceConfig::h800());
     let peak = gpu.device().peak_tflops(DType::F16).unwrap();
     let mma = MmaDesc::mma(16, 8, 16, DType::F16, DType::F16, false).unwrap();
-    let wg = MmaDesc::wgmma(256, DType::F16, DType::F16, false, OperandSource::SharedShared)
-        .unwrap();
+    let wg = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F16,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let t_mma = tcbench::mma_throughput(&mut gpu, &mma, Init::Zero);
     let t_wg = tcbench::wgmma_throughput(&mut gpu, &wg, Init::Zero);
-    assert!(t_mma < 0.72 * peak, "mma should sit well below peak: {t_mma:.0} of {peak:.0}");
-    assert!(t_wg > 0.93 * peak, "wgmma should approach peak: {t_wg:.0} of {peak:.0}");
+    assert!(
+        t_mma < 0.72 * peak,
+        "mma should sit well below peak: {t_mma:.0} of {peak:.0}"
+    );
+    assert!(
+        t_wg > 0.93 * peak,
+        "wgmma should approach peak: {t_wg:.0} of {peak:.0}"
+    );
 }
 
 /// §IV-C: random operands push the H800 into its 350 W limit and the
@@ -27,18 +39,36 @@ fn headline_wgmma_unlocks_hopper() {
 #[test]
 fn headline_power_throttling() {
     let mut gpu = Gpu::new(DeviceConfig::h800());
-    let f16 = MmaDesc::wgmma(256, DType::F16, DType::F32, false, OperandSource::SharedShared)
-        .unwrap();
-    let fp8 = MmaDesc::wgmma(256, DType::E4M3, DType::F16, false, OperandSource::SharedShared)
-        .unwrap();
+    let f16 = MmaDesc::wgmma(
+        256,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
+    let fp8 = MmaDesc::wgmma(
+        256,
+        DType::E4M3,
+        DType::F16,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     let f16_loss = 1.0
         - tcbench::wgmma_throughput(&mut gpu, &f16, Init::Rand)
             / tcbench::wgmma_throughput(&mut gpu, &f16, Init::Zero);
     let fp8_loss = 1.0
         - tcbench::wgmma_throughput(&mut gpu, &fp8, Init::Rand)
             / tcbench::wgmma_throughput(&mut gpu, &fp8, Init::Zero);
-    assert!(f16_loss > 0.05 && f16_loss < 0.13, "FP16/FP32 rand loss {f16_loss:.3}");
-    assert!(fp8_loss < 0.03, "FP8 rand loss should be tiny: {fp8_loss:.3}");
+    assert!(
+        f16_loss > 0.05 && f16_loss < 0.13,
+        "FP16/FP32 rand loss {f16_loss:.3}"
+    );
+    assert!(
+        fp8_loss < 0.03,
+        "FP8 rand loss should be tiny: {fp8_loss:.3}"
+    );
 }
 
 /// §IV-E: SM-to-SM loads land ≈180 cycles — a ~32 % cut vs the L2 path —
@@ -95,7 +125,10 @@ fn headline_fp8_is_conditional() {
         .generate(&LlmModel::llama2_7b(), Precision::Fp8)
         .tokens_per_s()
         .unwrap();
-    assert!(f8 < bf, "FP8 must lose the short-decode serve: {f8:.0} vs {bf:.0}");
+    assert!(
+        f8 < bf,
+        "FP8 must lose the short-decode serve: {f8:.0} vs {bf:.0}"
+    );
 }
 
 /// The cross-architecture feature matrix: things that must *fail* off
@@ -113,8 +146,14 @@ fn headline_feature_gating() {
         ));
     }
     // wgmma descriptors refuse to lower off Hopper.
-    let wg = MmaDesc::wgmma(64, DType::F16, DType::F32, false, OperandSource::SharedShared)
-        .unwrap();
+    let wg = MmaDesc::wgmma(
+        64,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .unwrap();
     assert!(hopper_isa::lower::sass_for(Arch::Ada, &wg).is_err());
     // FP8 tensor rates exist only on Ada/Hopper.
     assert!(DeviceConfig::a100().tc_rate(DType::E4M3).is_none());

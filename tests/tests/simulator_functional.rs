@@ -64,7 +64,8 @@ fn block_reduction_sums_exactly() {
         let name = dev.name;
         let mut gpu = Gpu::new(dev);
         let out = gpu.alloc(64).unwrap();
-        gpu.launch(&k, &Launch::new(4, 256).with_params(vec![out])).unwrap();
+        gpu.launch(&k, &Launch::new(4, 256).with_params(vec![out]))
+            .unwrap();
         let got = gpu.read_u32s(out, 4);
         for (b, v) in got.iter().enumerate() {
             let want: u32 = (0..256).map(|t| 3 * (b as u32 * 256 + t)).sum();
@@ -107,7 +108,9 @@ fn saxpy_fp32_bit_exact() {
         let mut gpu = Gpu::new(dev);
         let x_buf = gpu.alloc((n * 4) as u64).unwrap();
         let y_buf = gpu.alloc((n * 4) as u64).unwrap();
-        let xs: Vec<u32> = (0..n).map(|i| (i as f32 * 0.25 - 100.0).to_bits()).collect();
+        let xs: Vec<u32> = (0..n)
+            .map(|i| (i as f32 * 0.25 - 100.0).to_bits())
+            .collect();
         let ys: Vec<u32> = (0..n).map(|i| (i as f32 * -0.5 + 7.0).to_bits()).collect();
         gpu.write_u32s(x_buf, &xs);
         gpu.write_u32s(y_buf, &ys);
@@ -115,7 +118,8 @@ fn saxpy_fp32_bit_exact() {
         params[0] = x_buf;
         params[8] = a.to_bits() as u64;
         params[9] = y_buf;
-        gpu.launch(&k, &Launch::new(4, 256).with_params(params)).unwrap();
+        gpu.launch(&k, &Launch::new(4, 256).with_params(params))
+            .unwrap();
         let got = gpu.read_u32s(y_buf, n);
         for i in 0..n {
             let want = a * f32::from_bits(xs[i]) + f32::from_bits(ys[i]);
@@ -136,7 +140,8 @@ fn global_atomics_count_exactly() {
         let name = dev.name;
         let mut gpu = Gpu::new(dev);
         let ctr = gpu.alloc(4).unwrap();
-        gpu.launch(&k, &Launch::new(20, 96).with_params(vec![ctr])).unwrap();
+        gpu.launch(&k, &Launch::new(20, 96).with_params(vec![ctr]))
+            .unwrap();
         assert_eq!(gpu.read_u32s(ctr, 1)[0], 20 * 96, "{name}");
     }
 }
@@ -162,7 +167,9 @@ fn simulation_is_deterministic() {
     let run = || {
         let mut gpu = Gpu::new(DeviceConfig::h800());
         let out = gpu.alloc(2048).unwrap();
-        let stats = gpu.launch(&k, &Launch::new(2, 512).with_params(vec![out])).unwrap();
+        let stats = gpu
+            .launch(&k, &Launch::new(2, 512).with_params(vec![out]))
+            .unwrap();
         (stats.metrics.cycles, gpu.read_u32s(out, 512))
     };
     let (c1, v1) = run();
@@ -195,7 +202,9 @@ fn devices_agree_functionally_but_not_in_time() {
     for dev in devices() {
         let mut gpu = Gpu::new(dev);
         let out = gpu.alloc(128).unwrap();
-        let stats = gpu.launch(&k, &Launch::new(1, 32).with_params(vec![out])).unwrap();
+        let stats = gpu
+            .launch(&k, &Launch::new(1, 32).with_params(vec![out]))
+            .unwrap();
         outputs.push(gpu.read_u32s(out, 32));
         cycles.push(stats.metrics.cycles);
     }

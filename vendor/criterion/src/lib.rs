@@ -1,0 +1,83 @@
+//! Offline stand-in for `criterion`'s bench API subset. Times each
+//! `bench_function` with a short fixed wall-clock budget and prints
+//! mean ns/iter — enough to compare hot paths locally without the real
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock measurement budget per benchmark. Kept short so bench
+/// binaries stay fast when driven by `cargo test`.
+const BUDGET: Duration = Duration::from_millis(120);
+
+/// Bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!("{id:<40} {per:>12.1} ns/iter ({} iters)", b.iters);
+        } else {
+            println!("{id:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure repeated calls of `f` within the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call outside the timed window.
+        black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(f());
+            n += 1;
+            if start.elapsed() >= BUDGET || n >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

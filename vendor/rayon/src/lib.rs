@@ -1,0 +1,43 @@
+//! Offline sequential shim for the subset of `rayon` this workspace
+//! uses. `par_iter`/`into_par_iter` hand back ordinary sequential
+//! iterators, so all downstream adaptors (`map`, `flat_map`,
+//! `enumerate`, `collect`) are the std ones and results are
+//! deterministic and identical to the parallel versions.
+
+/// By-value conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// The iterator type handed back.
+    type Iter: Iterator;
+    /// Consume `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// By-reference conversion (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type handed back.
+    type Iter: Iterator;
+    /// Iterate over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: ?Sized + 'data> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Self::Iter {
+        IntoParallelIterator::into_par_iter(self)
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}

@@ -1,0 +1,152 @@
+//! `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Hand-rolled token walking (no syn/quote — the build environment is
+//! offline). Supports exactly what this workspace derives on:
+//! non-generic structs with named fields, and enums whose variants are
+//! all unit variants. Anything else is a compile error with a clear
+//! message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde stub derive: only non-generic brace-bodied types are supported \
+             (deriving on `{name}`)"
+        ),
+    };
+
+    let out = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        other => panic!("serde stub derive: cannot derive Serialize for `{other}`"),
+    };
+    out.parse()
+        .expect("serde stub derive: generated code parses")
+}
+
+/// Split a brace-group token stream on top-level commas (angle-bracket
+/// depth aware, so `Option<Vec<T>>` doesn't split a field).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// First identifier in a field/variant chunk after attributes and
+/// visibility.
+fn leading_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0usize;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(body) {
+        let field = leading_ident(&chunk).unwrap_or_else(|| {
+            panic!("serde stub derive: tuple structs are not supported (`{name}`)")
+        });
+        fields.push(field);
+    }
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let mut arms = String::new();
+    for chunk in split_top_level(body) {
+        let variant = leading_ident(&chunk)
+            .unwrap_or_else(|| panic!("serde stub derive: malformed enum body in `{name}`"));
+        // Reject data-carrying variants: anything beyond the ident besides
+        // a `= discriminant` tail.
+        let after: Vec<&TokenTree> = chunk
+            .iter()
+            .skip_while(|t| !matches!(t, TokenTree::Ident(id) if id.to_string() == variant))
+            .skip(1)
+            .collect();
+        if let Some(TokenTree::Group(_)) = after.first() {
+            panic!(
+                "serde stub derive: only unit enum variants are supported \
+                 (`{name}::{variant}` carries data)"
+            );
+        }
+        arms.push_str(&format!("{name}::{variant} => \"{variant}\","));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))\n\
+             }}\n\
+         }}"
+    )
+}
