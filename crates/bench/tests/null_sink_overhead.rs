@@ -13,23 +13,11 @@ fn workload() -> hopper_isa::Kernel {
     .unwrap()
 }
 
-/// Seconds for `reps` launches (minimum over `samples` trials, which
-/// discards scheduler noise the way criterion's minimum estimator does).
-fn time_min<F: FnMut()>(samples: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best
-}
-
 #[test]
-fn null_sink_overhead_under_two_percent() {
+fn null_sink_overhead_under_1p5_percent() {
     let k = workload();
     let launch = Launch::new(1, 1024);
-    let reps = 40;
+    let reps = 10;
 
     let run_plain = || {
         let mut acc = 0u64;
@@ -53,21 +41,29 @@ fn null_sink_overhead_under_two_percent() {
         acc
     };
 
-    // Warm up both paths, then interleave measurements.
+    // Warm up both paths, then take alternating samples so slow drift
+    // (background load, frequency scaling) hits both sides equally; the
+    // per-side minimum discards scheduler noise the way criterion's
+    // minimum estimator does. Many short windows beat few long ones:
+    // the minimum only needs ONE interference-free window per side.
     std::hint::black_box(run_plain());
     std::hint::black_box(run_null());
-    let samples = 7;
-    let t_plain = time_min(samples, || {
+    let samples = 31;
+    let mut t_plain = f64::INFINITY;
+    let mut t_null = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
         std::hint::black_box(run_plain());
-    });
-    let t_null = time_min(samples, || {
+        t_plain = t_plain.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
         std::hint::black_box(run_null());
-    });
+        t_null = t_null.min(t.elapsed().as_secs_f64());
+    }
 
     let overhead = t_null / t_plain - 1.0;
     assert!(
-        overhead < 0.02,
-        "NullSink overhead {:.2}% exceeds 2% (plain {:.3} ms, null {:.3} ms)",
+        overhead < 0.015,
+        "NullSink overhead {:.2}% exceeds 1.5% (plain {:.3} ms, null {:.3} ms)",
         overhead * 100.0,
         t_plain * 1e3,
         t_null * 1e3

@@ -123,12 +123,22 @@ impl<T: SoftFloat> Sparse24<T> {
     pub fn dot_dense(&self, b: &[T]) -> f64 {
         assert_eq!(b.len(), self.k, "B column length must equal K");
         let mut acc = 0.0f32;
-        for (i, (&m, v)) in self.meta.iter().zip(&self.values).enumerate() {
-            let group = i / 2;
-            let p = v.to_f64() * b[group * 4 + m as usize].to_f64();
-            acc = ((acc as f64) + p) as f32;
+        for (pos, v) in self.survivors() {
+            acc = ((acc as f64) + v * b[pos].to_f64()) as f32;
         }
         acc as f64
+    }
+
+    /// The surviving elements as `(dense position, value)` pairs, in the
+    /// order [`Self::dot_dense`] consumes them. Lets a caller that reuses
+    /// one compressed row against many B columns hoist the per-element
+    /// carrier→f64 conversion out of its inner loop.
+    pub fn survivors(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.meta
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .map(|(i, (&m, v))| ((i / 2) * 4 + m as usize, v.to_f64()))
     }
 }
 

@@ -52,6 +52,22 @@ pub struct TcRate {
     pub sparse: f64,
 }
 
+/// Warp-scheduler implementation selector.  Both produce bit-identical
+/// `Metrics`, stall attribution, and Chrome traces (enforced by the
+/// `sched_equivalence` test suite); `LegacyScan` exists as the reference
+/// for those tests and for perf A/B measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Per-slot ready sets with sleep lists and min-wakeup tracking: the
+    /// issue loop touches only runnable warps, and wholly-asleep slots
+    /// cost O(1) per iteration.
+    #[default]
+    ReadySet,
+    /// The original full roster rescan every iteration (O(resident
+    /// warps) even when everything sleeps on a DRAM latency).
+    LegacyScan,
+}
+
 /// Feature toggles for ablation studies: each switch disables one
 /// modelled mechanism so its contribution to a paper result can be
 /// isolated (see the `ablations` bench target).
@@ -67,6 +83,9 @@ pub struct SimOptions {
     pub block_stagger: bool,
     /// Per-instruction `mma` issue gap (Hopper's warp-level-mma tax).
     pub mma_issue_gap: bool,
+    /// Warp-scheduler implementation (equivalent results; see
+    /// [`Scheduler`]).
+    pub scheduler: Scheduler,
     /// Event-category enables for attached trace sinks (ignored when no
     /// sink is attached; see [`crate::Gpu::launch_traced`]).
     pub trace: hopper_trace::TraceConfig,
@@ -80,6 +99,7 @@ impl Default for SimOptions {
             sparse_ss_penalty: true,
             block_stagger: true,
             mma_issue_gap: true,
+            scheduler: Scheduler::default(),
             trace: hopper_trace::TraceConfig::all(),
         }
     }

@@ -10,8 +10,8 @@
 //! P-chase! — works), while destination registers become *ready* at the
 //! modelled completion time.
 
-use crate::device::{DeviceConfig, SimOptions};
-use crate::mem::{bank_conflict_degree, coalesce_sectors, GlobalMem, Limiter, TagArray};
+use crate::device::{DeviceConfig, Scheduler, SimOptions};
+use crate::mem::{bank_conflict_degree, coalesce_sectors_into, GlobalMem, Limiter, TagArray};
 use crate::metrics::Metrics;
 use crate::power;
 use crate::tc_timing;
@@ -24,7 +24,8 @@ use hopper_trace::{
     CacheEvent, CacheLevel, CacheTotals, IssueEvent, SlotTotals, StallReason, StallSpan,
     TraceConfig, TraceSink, UnitBusy, UnitSpan, N_SLOT_REASONS,
 };
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Tag marking a register value as a cluster-DSM address produced by
 /// `mapa` (bit 62 set; rank in bits 32..48; offset in the low 32).
@@ -54,6 +55,46 @@ const BLOCK_DISPATCH_STAGGER: u64 = 1500;
 /// Extra completion depth of `cp.async` relative to a register load,
 /// cycles (see `do_cp_async`).
 const CP_ASYNC_EXTRA_LATENCY: f64 = 260.0;
+
+/// Per-slot outcome code of one engine iteration (trace accounting):
+/// `0` = issued, `1 + bucket` = stalled for that reason, [`OUT_IDLE`] = no
+/// runnable warp.  Weighted by the cycle advance each iteration, the
+/// accumulated buckets satisfy issued + stalled + idle == cycles per slot
+/// by construction.
+const OUT_IDLE: u8 = u8::MAX;
+
+/// Per-scheduler-slot state of the ready-set scheduler.  `ready` and
+/// `sleep` are disjoint bitmasks over roster *positions* (a slot holds at
+/// most [`MAX_SLOT_WARPS`] warps — checked at dispatch) and together cover
+/// exactly the slot's non-`Done` warps: `ready` holds every warp with
+/// `retry_at <= cycle` (including barrier waiters, whose wakeup is not a
+/// known time), `sleep` holds warps parked until a known wakeup.  Parked
+/// warps' wakeup cycles and stall reasons live on the warps themselves
+/// (`retry_at` / `stall_reason`); only the minimum is cached here so a
+/// wholly-asleep slot is skippable without touching any warp.
+struct SlotState {
+    /// Bitmask of roster positions eligible for an issue attempt.
+    ready: u64,
+    /// Bitmask of parked roster positions.
+    sleep: u64,
+    /// Minimum `retry_at` over `sleep` (`u64::MAX` when empty).
+    sleep_min: u64,
+    /// Cached traced outcome is stale (membership changed or the slot
+    /// issued last iteration).
+    dirty: bool,
+}
+
+/// A scheduler slot's roster must fit the position bitmasks of
+/// [`SlotState`].  Every modelled device stays well below this (2048
+/// threads/SM ÷ 32 lanes ÷ 4 schedulers = 16); launches that somehow
+/// exceed it fall back to the legacy scan.
+const MAX_SLOT_WARPS: usize = 64;
+
+/// A wholly-asleep slot is only parked in the wake heap when its nearest
+/// wakeup is at least this many cycles out; shorter sleeps (scoreboard
+/// holds) stay on the active list, where the wake drain re-admits them
+/// without paying a heap push + pop + sorted re-insert per stall.
+const DEACTIVATE_MIN_SLEEP: u64 = 32;
 
 /// Placement of one block for this engine run.
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +240,12 @@ pub struct Engine<'a> {
     dram_port: Limiter,
     cycle: u64,
     cluster_barriers: HashMap<u32, usize>,
+    /// Per cluster id: member block indices and total member warps
+    /// (precomputed so barrier release never rescans `blocks`).
+    cluster_members: Vec<(u32, Vec<usize>, usize)>,
+    /// Warps currently arrived at some block barrier (early-out for
+    /// [`Self::release_barriers`]).
+    barrier_arrivals: usize,
     metrics: Metrics,
     l1_stats0: (u64, u64),
     l2_stats0: (u64, u64),
@@ -208,6 +255,20 @@ pub struct Engine<'a> {
     trace: TraceConfig,
     /// Device cycle at which this wave starts (multi-wave launches).
     base_cycle: u64,
+    /// Reusable buffers for [`Self::global_access_time`]: cleared per
+    /// access, never freed, so the per-instruction hot path allocates
+    /// nothing once warm.
+    scratch: AccessScratch,
+}
+
+/// Scratch space for one coalesced global access (sectors → cache lines →
+/// TLB pages). Lives on the engine so the buffers amortise across the
+/// whole run.
+#[derive(Default)]
+struct AccessScratch {
+    sectors: Vec<u64>,
+    lines: Vec<u64>,
+    pages: Vec<u64>,
 }
 
 impl<'a> Engine<'a> {
@@ -322,6 +383,17 @@ impl<'a> Engine<'a> {
             .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         let l2_stats0 = caches.l2.stats();
         let trace = cfg.opts.trace;
+        let mut cluster_members: Vec<(u32, Vec<usize>, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            let cid = b.spec.cluster_id;
+            match cluster_members.iter_mut().find(|(c, ..)| *c == cid) {
+                Some((_, members, warps)) => {
+                    members.push(bi);
+                    *warps += b.warps.len();
+                }
+                None => cluster_members.push((cid, vec![bi], b.warps.len())),
+            }
+        }
         Engine {
             dev,
             kernel,
@@ -335,12 +407,15 @@ impl<'a> Engine<'a> {
             dram_port: Limiter::new(),
             cycle: 0,
             cluster_barriers: HashMap::new(),
+            cluster_members,
+            barrier_arrivals: 0,
             metrics: Metrics::default(),
             l1_stats0,
             l2_stats0,
             sink: None,
             trace,
             base_cycle: 0,
+            scratch: AccessScratch::default(),
         }
     }
 
@@ -368,15 +443,425 @@ impl<'a> Engine<'a> {
         if let Some(s) = self.sink.as_mut() {
             s.begin_wave(self.base_cycle, self.sms.len() as u32, 4);
         }
-        // Per-slot outcome of the current iteration (trace accounting):
-        // 0 = issued, 1 + bucket = stalled for that reason, OUT_IDLE = no
-        // runnable warp. Weighted by the cycle advance each iteration, the
-        // accumulated buckets satisfy issued + stalled + idle == cycles
-        // per slot by construction.
-        const OUT_IDLE: u8 = u8::MAX;
+        let nslots = self.sms.len() * 4;
+        let mut slot_acc = vec![SlotAcc::default(); if tracing { nslots } else { 0 }];
+        // A slot wider than the 64-bit masks falls back to the legacy
+        // scan (real devices top out at 16 warps per scheduler slot, and
+        // the cosim roster at 8, so this never triggers in practice).
+        let fits = roster.iter().flatten().all(|c| c.len() <= MAX_SLOT_WARPS);
+        match self.cfg.opts.scheduler {
+            Scheduler::ReadySet if fits => self.run_ready_set(&roster, tracing, &mut slot_acc),
+            _ => self.run_legacy(&roster, tracing, &mut slot_acc),
+        }
+        self.metrics.cycles = self.cycle;
+        let (h, m) = self.caches.l2.stats();
+        self.metrics.l2_hits = h - self.l2_stats0.0;
+        self.metrics.l2_misses = m - self.l2_stats0.1;
+        let l1 = self
+            .caches
+            .l1
+            .iter()
+            .map(|t| t.stats())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        self.metrics.l1_hits = l1.0 - self.l1_stats0.0;
+        self.metrics.l1_misses = l1.1 - self.l1_stats0.1;
+        if tracing {
+            self.emit_wave_summary(&slot_acc);
+        }
+        self.metrics
+    }
+
+    /// Ready-set issue loop: each slot partitions its warps into a ready
+    /// list (scanned for issue) and a sleep list keyed by known wakeup
+    /// (skipped entirely), so a slot whose warps all wait on memory costs
+    /// O(1) per iteration.  Produces bit-identical results to
+    /// [`Self::run_legacy`] — see DESIGN.md §4d for the argument.
+    fn run_ready_set(
+        &mut self,
+        roster: &[Vec<Vec<usize>>],
+        tracing: bool,
+        slot_acc: &mut [SlotAcc],
+    ) {
         let nslots = self.sms.len() * 4;
         let mut outcomes = vec![OUT_IDLE; nslots];
-        let mut slot_acc = vec![SlotAcc::default(); if tracing { nslots } else { 0 }];
+        let mut slots: Vec<SlotState> = Vec::with_capacity(nslots);
+        for sm_roster in roster {
+            for candidates in sm_roster {
+                let len = candidates.len();
+                let ready = if len == 0 {
+                    0
+                } else if len >= MAX_SLOT_WARPS {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
+                slots.push(SlotState {
+                    ready,
+                    sleep: 0,
+                    sleep_min: u64::MAX,
+                    dirty: true,
+                });
+            }
+        }
+        let mut live = self.warps.len();
+        // Hierarchical fast-forward bookkeeping: a slot is *active* while
+        // its ready mask is non-empty (or a traced outcome needs a
+        // recompute); inactive slots park their wakeup minimum in a
+        // global min-heap and cost nothing per iteration. Heap entries
+        // are lazily invalidated: an entry counts only if its slot is
+        // still inactive and still has that exact `sleep_min`.
+        let mut is_active: Vec<bool> = Vec::with_capacity(nslots);
+        let mut active: Vec<u32> = Vec::new();
+        for (slot, st) in slots.iter().enumerate() {
+            let has_warps = st.ready != 0;
+            is_active.push(has_warps);
+            if has_warps {
+                active.push(slot as u32);
+            }
+        }
+        let mut wake_heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        #[cfg(debug_assertions)]
+        let mut check_countdown: u32 = 1;
+        loop {
+            if live == 0 {
+                break;
+            }
+            assert!(
+                self.cycle < MAX_CYCLES,
+                "kernel `{}` exceeded {MAX_CYCLES} cycles — runaway loop?",
+                self.kernel.name
+            );
+            let mut issued_any = false;
+            let mut earliest_wakeup = u64::MAX;
+            // Wake phase: re-activate every parked slot whose wakeup has
+            // arrived. Insertion keeps `active` sorted by slot index so
+            // the scan below touches shared limiter state in exactly the
+            // legacy sm-major, scheduler-minor order.
+            while let Some(&Reverse((wk, s))) = wake_heap.peek() {
+                if wk > self.cycle {
+                    break;
+                }
+                wake_heap.pop();
+                let si = s as usize;
+                if is_active[si] || slots[si].sleep_min != wk {
+                    continue; // stale entry
+                }
+                is_active[si] = true;
+                let at = active.partition_point(|&x| x < s);
+                active.insert(at, s);
+            }
+            let mut deactivated = false;
+            for &active_slot in &active {
+                let slot = active_slot as usize;
+                let (sm, sched) = (slot / 4, slot % 4);
+                let candidates = &roster[sm][sched];
+                let st = &slots[slot];
+                let (mut ready, mut sleep, mut sleep_min, mut dirty) =
+                    (st.ready, st.sleep, st.sleep_min, st.dirty);
+                // Re-admit warps whose wakeup has arrived.
+                if sleep_min <= self.cycle {
+                    let mut min = u64::MAX;
+                    let mut m = sleep;
+                    while m != 0 {
+                        let pos = m.trailing_zeros() as usize;
+                        let bit = 1u64 << pos;
+                        m &= m - 1;
+                        let wk = self.warps[candidates[pos]].retry_at;
+                        if wk <= self.cycle {
+                            sleep &= !bit;
+                            ready |= bit;
+                        } else {
+                            min = min.min(wk);
+                        }
+                    }
+                    sleep_min = min;
+                    dirty = true;
+                }
+                let len = candidates.len();
+                let start = self.sms[sm].last_sched[sched] % len;
+                let mut slot_issued = false;
+                let mut slot_stall: Option<(u64, StallReason)> = None;
+                // Two mask halves walk the roster in circular order from
+                // `start`: positions ≥ start ascending, then the wrap.
+                // Stall transitions move a bit from `ready` to `sleep`
+                // without changing their union, so the second half's
+                // snapshot (taken after the first half ran) still sees
+                // every not-yet-visited warp exactly once.
+                let low_mask = (1u64 << start) - 1;
+                'scan: for half in [!low_mask, low_mask] {
+                    if tracing {
+                        // Merge ready and parked warps in circular roster
+                        // order: parked warps cannot issue, but the legacy
+                        // scan examined them for stall attribution, so
+                        // the binding-stall min and its first-in-scan-order
+                        // tie-break must see them at the same positions.
+                        let mut m = (ready | sleep) & half;
+                        while m != 0 {
+                            let pos = m.trailing_zeros() as usize;
+                            let bit = 1u64 << pos;
+                            m &= m - 1;
+                            let w = candidates[pos];
+                            if sleep & bit != 0 {
+                                let wk = self.warps[w].retry_at;
+                                earliest_wakeup = earliest_wakeup.min(wk);
+                                if slot_stall.is_none_or(|(b, _)| wk < b) {
+                                    slot_stall = Some((wk, self.warps[w].stall_reason));
+                                }
+                                continue;
+                            }
+                            let pc_before = self.warps[w].pc;
+                            match self.try_issue(w) {
+                                IssueResult::Issued => {
+                                    self.sms[sm].last_sched[sched] = pos;
+                                    issued_any = true;
+                                    slot_issued = true;
+                                    if self.warps[w].status == WarpStatus::Done {
+                                        live -= 1;
+                                        ready &= !bit;
+                                    }
+                                    self.note_issue(sm, sched, w, pc_before);
+                                    break 'scan;
+                                }
+                                IssueResult::Stalled(until, reason) => {
+                                    let wk = until.max(self.cycle + 1);
+                                    if until != u64::MAX {
+                                        self.warps[w].retry_at = wk;
+                                        ready &= !bit;
+                                        sleep |= bit;
+                                        sleep_min = sleep_min.min(wk);
+                                    }
+                                    earliest_wakeup = earliest_wakeup.min(wk);
+                                    self.note_stall(sm, sched, w, reason);
+                                    if slot_stall.is_none_or(|(b, _)| wk < b) {
+                                        slot_stall = Some((wk, reason));
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        let mut m = ready & half;
+                        while m != 0 {
+                            let pos = m.trailing_zeros() as usize;
+                            let bit = 1u64 << pos;
+                            m &= m - 1;
+                            let w = candidates[pos];
+                            match self.try_issue(w) {
+                                IssueResult::Issued => {
+                                    self.sms[sm].last_sched[sched] = pos;
+                                    issued_any = true;
+                                    slot_issued = true;
+                                    if self.warps[w].status == WarpStatus::Done {
+                                        live -= 1;
+                                        ready &= !bit;
+                                    }
+                                    break 'scan;
+                                }
+                                IssueResult::Stalled(until, _) => {
+                                    if until != u64::MAX {
+                                        let wk = until.max(self.cycle + 1);
+                                        self.warps[w].retry_at = wk;
+                                        ready &= !bit;
+                                        sleep |= bit;
+                                        sleep_min = sleep_min.min(wk);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Parked wakeups (old and freshly parked) drive the
+                // slot's share of the global fast-forward target.
+                // Contributing the full minimum is exact: the target
+                // is only consumed when no slot issues, and then the
+                // legacy scan examined every parked warp too.
+                earliest_wakeup = earliest_wakeup.min(sleep_min);
+                if tracing {
+                    outcomes[slot] = if slot_issued {
+                        0
+                    } else if let Some((_, r)) = slot_stall {
+                        1 + r.bucket() as u8
+                    } else {
+                        OUT_IDLE
+                    };
+                    // A non-issuing scan leaves a sleep-only outcome
+                    // that stays valid until membership changes.
+                    dirty = slot_issued;
+                }
+                let st = &mut slots[slot];
+                st.ready = ready;
+                st.sleep = sleep;
+                st.sleep_min = sleep_min;
+                st.dirty = dirty;
+                // Wholly-asleep (or finished) slot: park its wakeup
+                // minimum in the heap and stop visiting it. A traced
+                // slot that issued on the cycle that emptied its ready
+                // mask stays active one more iteration so the sleep-only
+                // outcome gets recomputed and cached first. Short sleeps
+                // (scoreboard holds, a few cycles) stay active — the
+                // wake drain re-admits them without a heap round-trip,
+                // and an active-but-asleep slot costs only a visit.
+                // Deactivation is pure bookkeeping either way: visiting
+                // a wholly-asleep slot issues nothing and recomputes the
+                // same outcome, so the threshold cannot change results.
+                if ready == 0
+                    && !(tracing && dirty)
+                    && sleep_min >= self.cycle + DEACTIVATE_MIN_SLEEP
+                {
+                    is_active[slot] = false;
+                    deactivated = true;
+                    if sleep_min != u64::MAX {
+                        wake_heap.push(Reverse((sleep_min, slot as u32)));
+                    }
+                }
+            }
+            if deactivated {
+                active.retain(|&s| is_active[s as usize]);
+            }
+            // Inactive slots' minima live in the heap; fold the smallest
+            // still-valid entry into the fast-forward target (stale
+            // entries are discarded as they surface).
+            while let Some(&Reverse((wk, s))) = wake_heap.peek() {
+                let si = s as usize;
+                if is_active[si] || slots[si].sleep_min != wk {
+                    wake_heap.pop();
+                    continue;
+                }
+                earliest_wakeup = earliest_wakeup.min(wk);
+                break;
+            }
+            self.release_barriers();
+            let prev_cycle = self.cycle;
+            if issued_any || earliest_wakeup == u64::MAX {
+                self.cycle += 1;
+            } else {
+                // Fast-forward across a global stall.
+                self.cycle = earliest_wakeup.max(self.cycle + 1);
+            }
+            if tracing {
+                let advance = self.cycle - prev_cycle;
+                for (acc, &code) in slot_acc.iter_mut().zip(outcomes.iter()) {
+                    match code {
+                        0 => acc.issued += advance,
+                        OUT_IDLE => acc.idle += advance,
+                        r => acc.stalled[(r - 1) as usize] += advance,
+                    }
+                }
+            }
+            // Amortised so debug/test builds keep realistic timing: the
+            // invariant is structural, so checking every 64th iteration
+            // (and the first few) still catches any drift immediately
+            // after the admission/removal that caused it.
+            #[cfg(debug_assertions)]
+            {
+                check_countdown = check_countdown.saturating_sub(1);
+                if check_countdown == 0 {
+                    self.check_ready_set(
+                        roster, &slots, live, tracing, &is_active, &active, &wake_heap,
+                    );
+                    check_countdown = 64;
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.check_ready_set(
+            roster, &slots, live, tracing, &is_active, &active, &wake_heap,
+        );
+    }
+
+    /// Debug-only consistency check: `ready`/`sleep` exactly partition
+    /// each slot's non-`Done` warps, cached wakeup minima are true minima,
+    /// `live` matches the roster, and the active list / wake heap cover
+    /// exactly the slots the scan must (re)visit.
+    #[cfg(debug_assertions)]
+    #[allow(clippy::too_many_arguments)]
+    fn check_ready_set(
+        &self,
+        roster: &[Vec<Vec<usize>>],
+        slots: &[SlotState],
+        live: usize,
+        tracing: bool,
+        is_active: &[bool],
+        active: &[u32],
+        wake_heap: &BinaryHeap<Reverse<(u64, u32)>>,
+    ) {
+        for pair in active.windows(2) {
+            assert!(pair[0] < pair[1], "active list must stay sorted/unique");
+        }
+        for (slot, &act) in is_active.iter().enumerate() {
+            assert_eq!(
+                act,
+                active.binary_search(&(slot as u32)).is_ok(),
+                "slot {slot}: is_active flag out of sync with active list"
+            );
+            let st = &slots[slot];
+            if !act {
+                // Inactive slots must be wholly asleep (clean outcome
+                // cache when tracing) and reachable again via the heap.
+                // Slots with no resident warps are never visited at all,
+                // so their initial dirty flag is irrelevant.
+                assert_eq!(st.ready, 0, "inactive slot {slot} has ready warps");
+                if tracing && !roster[slot / 4][slot % 4].is_empty() {
+                    assert!(!st.dirty, "inactive slot {slot} has a dirty outcome");
+                }
+                if st.sleep != 0 {
+                    assert!(
+                        wake_heap
+                            .iter()
+                            .any(|&Reverse((wk, s))| s as usize == slot && wk == st.sleep_min),
+                        "inactive slot {slot} missing its wake-heap entry"
+                    );
+                }
+            }
+        }
+        let mut non_done = 0usize;
+        for sm in 0..self.sms.len() {
+            for sched in 0..4 {
+                let candidates = &roster[sm][sched];
+                let st = &slots[sm * 4 + sched];
+                let alive = candidates
+                    .iter()
+                    .filter(|&&w| self.warps[w].status != WarpStatus::Done)
+                    .count();
+                non_done += alive;
+                assert_eq!(
+                    st.ready & st.sleep,
+                    0,
+                    "slot ({sm},{sched}): ready and sleep masks overlap"
+                );
+                assert_eq!(
+                    (st.ready | st.sleep).count_ones() as usize,
+                    alive,
+                    "slot ({sm},{sched}): ready|sleep must partition live warps"
+                );
+                let mut m = st.ready;
+                while m != 0 {
+                    let pos = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    assert!(pos < candidates.len(), "ready bit beyond roster");
+                    assert_ne!(self.warps[candidates[pos]].status, WarpStatus::Done);
+                }
+                let mut min = u64::MAX;
+                let mut m = st.sleep;
+                while m != 0 {
+                    let pos = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    assert!(pos < candidates.len(), "sleep bit beyond roster");
+                    let w = candidates[pos];
+                    assert_eq!(self.warps[w].status, WarpStatus::Ready);
+                    min = min.min(self.warps[w].retry_at);
+                }
+                assert_eq!(min, st.sleep_min, "slot ({sm},{sched}): stale sleep_min");
+            }
+        }
+        assert_eq!(non_done, live, "live warp count out of sync");
+    }
+
+    /// The original issue loop: full roster rescan every iteration.  Kept
+    /// verbatim as the reference implementation for the scheduler
+    /// equivalence tests and perf A/B runs.
+    fn run_legacy(&mut self, roster: &[Vec<Vec<usize>>], tracing: bool, slot_acc: &mut [SlotAcc]) {
+        let nslots = self.sms.len() * 4;
+        let mut outcomes = vec![OUT_IDLE; nslots];
         let mut live = self.warps.len();
         loop {
             if live == 0 {
@@ -480,22 +965,6 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.metrics.cycles = self.cycle;
-        let (h, m) = self.caches.l2.stats();
-        self.metrics.l2_hits = h - self.l2_stats0.0;
-        self.metrics.l2_misses = m - self.l2_stats0.1;
-        let l1 = self
-            .caches
-            .l1
-            .iter()
-            .map(|t| t.stats())
-            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-        self.metrics.l1_hits = l1.0 - self.l1_stats0.0;
-        self.metrics.l1_misses = l1.1 - self.l1_stats0.1;
-        if tracing {
-            self.emit_wave_summary(&slot_acc);
-        }
-        self.metrics
     }
 
     /// End-of-wave aggregate emission: per-slot totals, functional-unit
@@ -660,40 +1129,18 @@ impl<'a> Engine<'a> {
     }
 
     fn release_barriers(&mut self) {
-        // Block barriers.
-        for bi in 0..self.blocks.len() {
-            if self.blocks[bi].barrier_count == self.blocks[bi].warps.len() {
-                self.blocks[bi].barrier_count = 0;
-                let release = self.cycle + BAR_RELEASE;
-                for &w in self.blocks[bi].warps.clone().iter() {
-                    if self.warps[w].status == WarpStatus::Barrier {
-                        self.warps[w].status = WarpStatus::Ready;
-                        self.warps[w].next_ready = self.warps[w].next_ready.max(release);
-                        self.warps[w].retry_at = 0;
-                    }
-                }
-            }
-        }
-        // Cluster barriers.
-        let mut released: Vec<u32> = Vec::new();
-        for (&cid, &count) in &self.cluster_barriers {
-            let member_blocks: Vec<usize> = self
-                .blocks
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.spec.cluster_id == cid)
-                .map(|(i, _)| i)
-                .collect();
-            let total_warps: usize = member_blocks
-                .iter()
-                .map(|&b| self.blocks[b].warps.len())
-                .sum();
-            if count == total_warps {
-                released.push(cid);
-                let release = self.cycle + CLUSTER_BAR_RELEASE;
-                for &b in &member_blocks {
-                    for &w in self.blocks[b].warps.clone().iter() {
-                        if self.warps[w].status == WarpStatus::ClusterBarrier {
+        // Block barriers.  `barrier_arrivals` makes the no-barriers-pending
+        // case (every iteration of barrier-free kernels) O(1), and the
+        // index loops avoid the per-release clone of the warp list.
+        if self.barrier_arrivals > 0 {
+            for bi in 0..self.blocks.len() {
+                if self.blocks[bi].barrier_count == self.blocks[bi].warps.len() {
+                    self.blocks[bi].barrier_count = 0;
+                    self.barrier_arrivals -= self.blocks[bi].warps.len();
+                    let release = self.cycle + BAR_RELEASE;
+                    for wi in 0..self.blocks[bi].warps.len() {
+                        let w = self.blocks[bi].warps[wi];
+                        if self.warps[w].status == WarpStatus::Barrier {
                             self.warps[w].status = WarpStatus::Ready;
                             self.warps[w].next_ready = self.warps[w].next_ready.max(release);
                             self.warps[w].retry_at = 0;
@@ -702,8 +1149,28 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        for cid in released {
+        // Cluster barriers (membership precomputed in `new`).
+        if self.cluster_barriers.is_empty() {
+            return;
+        }
+        for ci in 0..self.cluster_members.len() {
+            let (cid, total_warps) = (self.cluster_members[ci].0, self.cluster_members[ci].2);
+            if self.cluster_barriers.get(&cid).copied() != Some(total_warps) {
+                continue;
+            }
             self.cluster_barriers.remove(&cid);
+            let release = self.cycle + CLUSTER_BAR_RELEASE;
+            for mi in 0..self.cluster_members[ci].1.len() {
+                let b = self.cluster_members[ci].1[mi];
+                for wi in 0..self.blocks[b].warps.len() {
+                    let w = self.blocks[b].warps[wi];
+                    if self.warps[w].status == WarpStatus::ClusterBarrier {
+                        self.warps[w].status = WarpStatus::Ready;
+                        self.warps[w].next_ready = self.warps[w].next_ready.max(release);
+                        self.warps[w].retry_at = 0;
+                    }
+                }
+            }
         }
     }
 
@@ -1168,6 +1635,7 @@ impl<'a> Engine<'a> {
             Instr::BarSync => {
                 let bi = self.warps[w].block;
                 self.blocks[bi].barrier_count += 1;
+                self.barrier_arrivals += 1;
                 self.metrics.barrier_waits += 1;
                 self.warps[w].status = WarpStatus::Barrier;
                 self.advance(w);
@@ -1299,17 +1767,15 @@ impl<'a> Engine<'a> {
         };
         self.trace_unit(sm as u32, unit, w, ustart, cost);
         for lane in 0..32 {
-            let vals: Vec<f64> = srcs
-                .iter()
-                .map(|&o| {
-                    let bits = self.read_op(w, o, lane);
-                    match prec {
-                        FloatPrec::F32 => f32::from_bits(bits as u32) as f64,
-                        FloatPrec::F64 => f64::from_bits(bits),
-                    }
-                })
-                .collect();
-            let r = f(&vals);
+            let mut vals = [0.0f64; 3];
+            for (k, &o) in srcs.iter().enumerate() {
+                let bits = self.read_op(w, o, lane);
+                vals[k] = match prec {
+                    FloatPrec::F32 => f32::from_bits(bits as u32) as f64,
+                    FloatPrec::F64 => f64::from_bits(bits),
+                };
+            }
+            let r = f(&vals[..srcs.len()]);
             let bits = match prec {
                 FloatPrec::F32 => (r as f32).to_bits() as u64,
                 FloatPrec::F64 => r.to_bits(),
@@ -1322,15 +1788,25 @@ impl<'a> Engine<'a> {
         IssueResult::Issued
     }
 
-    fn lane_addrs(&self, w: usize, addr: AddrExpr) -> Vec<(usize, u64)> {
+    /// Active-lane addresses, written into a caller-provided stack buffer
+    /// (memory instructions are the hot path; no per-instruction
+    /// allocation).
+    fn lane_addrs<'b>(
+        &self,
+        w: usize,
+        addr: AddrExpr,
+        buf: &'b mut [(usize, u64); 32],
+    ) -> &'b [(usize, u64)] {
         let ws = &self.warps[w];
-        (0..32)
-            .filter(|lane| ws.active & (1 << lane) != 0)
-            .map(|lane| {
+        let mut n = 0;
+        for lane in 0..32 {
+            if ws.active & (1 << lane) != 0 {
                 let base = ws.regs[addr.base.0 as usize * 32 + lane];
-                (lane, base.wrapping_add(addr.offset as u64))
-            })
-            .collect()
+                buf[n] = (lane, base.wrapping_add(addr.offset as u64));
+                n += 1;
+            }
+        }
+        &buf[..n]
     }
 
     /// Decode a possibly-`mapa`-tagged shared address into (block index,
@@ -1368,7 +1844,8 @@ impl<'a> Engine<'a> {
         addr: AddrExpr,
     ) -> IssueResult {
         let now = self.cycle as f64;
-        let lanes = self.lane_addrs(w, addr);
+        let mut abuf = [(0usize, 0u64); 32];
+        let lanes = self.lane_addrs(w, addr, &mut abuf);
         let bytes = width.bytes();
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
@@ -1390,7 +1867,7 @@ impl<'a> Engine<'a> {
                     self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
-                    self.read_shared_lanes(w, &lanes, bytes, dst);
+                    self.read_shared_lanes(w, lanes, bytes, dst);
                     self.finish_load_regs(w, dst, width, done);
                 } else {
                     let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
@@ -1407,7 +1884,7 @@ impl<'a> Engine<'a> {
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::SMEM_ENERGY_PER_BYTE_J;
-                    self.read_shared_lanes(w, &lanes, bytes, dst);
+                    self.read_shared_lanes(w, lanes, bytes, dst);
                     self.finish_load_regs(w, dst, width, done);
                 }
                 self.advance(w);
@@ -1425,7 +1902,7 @@ impl<'a> Engine<'a> {
                     return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
                 // Functional read.
-                for &(lane, a) in &lanes {
+                for &(lane, a) in lanes {
                     let lo = self.global.read_scalar(a, bytes.min(8));
                     self.warps[w].regs[dst.0 as usize * 32 + lane] = lo;
                     if width == Width::B16 {
@@ -1433,7 +1910,7 @@ impl<'a> Engine<'a> {
                         self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
                     }
                 }
-                let done = self.global_access_time(w, sm, &lanes, bytes, cop, now);
+                let done = self.global_access_time(w, sm, lanes, bytes, cop, now);
                 self.finish_load_regs(w, dst, width, done);
                 self.advance(w);
                 IssueResult::Issued
@@ -1487,7 +1964,12 @@ impl<'a> Engine<'a> {
         cop: CacheOp,
         now: f64,
     ) -> u64 {
-        let sectors = coalesce_sectors(lanes.iter().map(|&(_, a)| a), bytes);
+        // The scratch buffers move out of `self` for the duration of the
+        // access (they are only touched here), so the borrow checker lets
+        // the cache/limiter state mutate while they are live.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        coalesce_sectors_into(lanes.iter().map(|&(_, a)| a), bytes, &mut scratch.sectors);
+        let sectors = &scratch.sectors;
         let total_bytes = (sectors.len() * 32) as u64;
         self.metrics.l1_bytes += total_bytes;
         let tracing_cache = self.sink.is_some() && self.trace.cache_events;
@@ -1498,15 +1980,17 @@ impl<'a> Engine<'a> {
         self.trace_unit(sm as u32, "l1_port", w, start, l1_cost);
 
         // Classify lines.
-        let mut lines: Vec<u64> = sectors.iter().map(|&s| s / 128).collect();
-        lines.dedup();
+        scratch.lines.clear();
+        scratch.lines.extend(sectors.iter().map(|&s| s / 128));
+        scratch.lines.dedup();
         // Address translation: a TLB miss on any touched 2 MiB page adds a
         // page walk to the access.
         let mut tlb_penalty = 0.0;
-        let mut pages: Vec<u64> = sectors.iter().map(|&s| s >> 21).collect();
-        pages.sort_unstable();
-        pages.dedup();
-        for page in pages {
+        scratch.pages.clear();
+        scratch.pages.extend(sectors.iter().map(|&s| s >> 21));
+        scratch.pages.sort_unstable();
+        scratch.pages.dedup();
+        for &page in &scratch.pages {
             if !self.caches.tlb.access(page << 21) {
                 tlb_penalty = self.dev.tlb_miss_latency as f64;
                 self.metrics.tlb_misses += 1;
@@ -1517,7 +2001,7 @@ impl<'a> Engine<'a> {
         }
         let mut worst_done = start + l1_cost + self.dev.l1_latency as f64 - 1.0;
         let mut miss_bytes = 0u64;
-        for &line in &lines {
+        for &line in &scratch.lines {
             let nsec = if tracing_cache {
                 sectors.iter().filter(|&&s| s / 128 == line).count() as u32
             } else {
@@ -1556,6 +2040,7 @@ impl<'a> Engine<'a> {
             self.metrics.energy_j += miss_bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
             worst_done = worst_done.max(s + l2_cost + self.dev.l2_latency as f64 - 1.0);
         }
+        self.scratch = scratch;
         // The page walk precedes the data access, delaying whatever level
         // ultimately serves it.
         (worst_done + tlb_penalty).ceil() as u64
@@ -1570,7 +2055,8 @@ impl<'a> Engine<'a> {
         addr: AddrExpr,
     ) -> IssueResult {
         let now = self.cycle as f64;
-        let lanes = self.lane_addrs(w, addr);
+        let mut abuf = [(0usize, 0u64); 32];
+        let lanes = self.lane_addrs(w, addr, &mut abuf);
         let bytes = width.bytes();
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
@@ -1602,7 +2088,7 @@ impl<'a> Engine<'a> {
                     self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                 }
-                for &(lane, a) in &lanes {
+                for &(lane, a) in lanes {
                     let (bi, off) = self.resolve_shared(w, a);
                     let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
                     for i in 0..bytes.min(8) {
@@ -1629,7 +2115,7 @@ impl<'a> Engine<'a> {
                 if let Some(until) = self.mem_backpressure(now) {
                     return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
-                for &(lane, a) in &lanes {
+                for &(lane, a) in lanes {
                     let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
                     self.global.write_scalar(a, bytes.min(8), lo);
                     if width == Width::B16 {
@@ -1638,7 +2124,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 // Stores are fire-and-forget; they still consume bandwidth.
-                self.global_access_time(w, sm, &lanes, bytes, CacheOp::Cg, now);
+                self.global_access_time(w, sm, lanes, bytes, CacheOp::Cg, now);
                 self.advance(w);
                 IssueResult::Issued
             }
@@ -1654,18 +2140,33 @@ impl<'a> Engine<'a> {
         src: Operand,
     ) -> IssueResult {
         let now = self.cycle as f64;
-        let lanes = self.lane_addrs(w, addr);
+        let mut abuf = [(0usize, 0u64); 32];
+        let lanes = self.lane_addrs(w, addr, &mut abuf);
         let sm = self.sm_of(w);
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
                 let remote = space == MemSpace::SharedCluster
                     || lanes.iter().any(|&(_, a)| a & DSM_TAG != 0);
-                // Same-address collisions serialise.
-                let mut counts: HashMap<u64, u32> = HashMap::new();
-                for &(_, a) in &lanes {
-                    *counts.entry(a).or_insert(0) += 1;
+                // Same-address collisions serialise (longest run over the
+                // sorted lane addresses; stack buffer, no per-instruction
+                // map).
+                let mut sorted = [0u64; 32];
+                for (k, &(_, a)) in lanes.iter().enumerate() {
+                    sorted[k] = a;
                 }
-                let serial = counts.values().copied().max().unwrap_or(1) as f64;
+                let sorted = &mut sorted[..lanes.len()];
+                sorted.sort_unstable();
+                let mut serial = 1u32;
+                let mut run = 1u32;
+                for k in 1..sorted.len() {
+                    if sorted[k] == sorted[k - 1] {
+                        run += 1;
+                        serial = serial.max(run);
+                    } else {
+                        run = 1;
+                    }
+                }
+                let serial = serial as f64;
                 let degree =
                     self.conflict_degree(lanes.iter().map(|&(_, a)| a & !DSM_TAG & 0xffff_ffff), 4);
                 let (lat, port_cost) = if remote {
@@ -1694,7 +2195,7 @@ impl<'a> Engine<'a> {
                     self.metrics.smem_bytes += lanes.len() as u64 * 4;
                 }
                 // Functional: sequential lane order.
-                for &(lane, a) in &lanes {
+                for &(lane, a) in lanes {
                     let (bi, off) = self.resolve_shared(w, a);
                     let old = u32::from_le_bytes(
                         self.blocks[bi].smem[off as usize..off as usize + 4]
@@ -1727,7 +2228,7 @@ impl<'a> Engine<'a> {
                 let start = self.l2_port.acquire(now, cost);
                 self.trace_unit(u32::MAX, "l2_port", w, start, cost);
                 self.metrics.l2_bytes += lanes.len() as u64 * 4;
-                for &(lane, a) in &lanes {
+                for &(lane, a) in lanes {
                     let old = self.global.read_scalar(a, 4) as u32;
                     let add = self.read_op(w, src, lane) as u32;
                     self.global.write_scalar(a, 4, old.wrapping_add(add) as u64);
@@ -1794,22 +2295,29 @@ impl<'a> Engine<'a> {
             return IssueResult::Stalled(until, StallReason::MioQueueFull);
         }
         let bytes = width.bytes();
-        let g = self.lane_addrs(w, gmem);
-        let s = self.lane_addrs(w, smem);
-        // Functional copy now.
-        for (&(_, ga), &(lane, sa)) in g.iter().zip(s.iter()) {
-            let _ = lane;
+        let mut gbuf = [(0usize, 0u64); 32];
+        let mut sbuf = [(0usize, 0u64); 32];
+        let g = self.lane_addrs(w, gmem, &mut gbuf);
+        let s = self.lane_addrs(w, smem, &mut sbuf);
+        // Functional copy now (8-byte chunks: one page probe per chunk
+        // instead of one per byte).
+        for (&(_, ga), &(_, sa)) in g.iter().zip(s.iter()) {
             let (bi, off) = self.resolve_shared(w, sa);
-            for i in 0..bytes {
-                let b = self.global.read_u8(ga + i);
-                self.blocks[bi].smem[(off + i) as usize] = b;
+            let mut i = 0;
+            while i < bytes {
+                let n = (bytes - i).min(8);
+                let v = self.global.read_scalar(ga + i, n);
+                for j in 0..n {
+                    self.blocks[bi].smem[(off + i + j) as usize] = (v >> (8 * j)) as u8;
+                }
+                i += n;
             }
         }
         // Timing: global fetch (L2 path, bypasses RF) + shared write.
         // The shared-memory port cost is charged at issue (reserving it at
         // the far-future completion time would falsely serialise every
         // later shared access behind this copy).
-        let done = self.global_access_time(w, sm, &g, bytes, CacheOp::Cg, now);
+        let done = self.global_access_time(w, sm, g, bytes, CacheOp::Cg, now);
         let smem_cost = (g.len() as u64 * bytes) as f64 / self.dev.smem_bw;
         let ustart = self.sms[sm].smem_port.acquire(now, smem_cost);
         self.trace_unit(sm as u32, "smem_port", w, ustart, smem_cost);
@@ -1854,9 +2362,16 @@ impl<'a> Engine<'a> {
         let sbase = self.warps[w].regs[smem.base.0 as usize * 32].wrapping_add(smem.offset as u64);
         let (bi, soff) = self.resolve_shared(w, sbase);
         for r in 0..rows as u64 {
-            for i in 0..row_bytes as u64 {
-                let b = self.global.read_u8(gbase + r * gstride as u64 + i);
-                self.blocks[bi].smem[(soff + r * row_bytes as u64 + i) as usize] = b;
+            let gsrc = gbase + r * gstride as u64;
+            let sdst = soff + r * row_bytes as u64;
+            let mut i = 0u64;
+            while i < row_bytes as u64 {
+                let n = (row_bytes as u64 - i).min(8);
+                let v = self.global.read_scalar(gsrc + i, n);
+                for j in 0..n {
+                    self.blocks[bi].smem[(sdst + i + j) as usize] = (v >> (8 * j)) as u8;
+                }
+                i += n;
             }
         }
         // Timing: one bulk request through L2 (rows touch whole lines) plus
@@ -2060,8 +2575,18 @@ impl<'a> Engine<'a> {
         b: TileId,
         c: Option<TileId>,
     ) -> f64 {
-        let ta = self.get_tile(bi, key, a, "A");
-        let tb = self.get_tile(bi, key, b, "B");
+        // Operands by reference: cloning A/B/C (hundreds of KB for a
+        // full-size wgmma) per instruction would dwarf the datapath cost.
+        // The shared borrows all end before the result is inserted.
+        let tiles = &self.blocks[bi].tiles;
+        let missing = |what: &str, id: TileId| -> ! {
+            panic!(
+                "kernel `{}`: {what} tile t{} not initialised (FillTile/LdTile first)",
+                self.kernel.name, id.0
+            )
+        };
+        let ta = tiles.get(&(key, a.0)).unwrap_or_else(|| missing("A", a));
+        let tb = tiles.get(&(key, b.0)).unwrap_or_else(|| missing("B", b));
         // 2:4-sparse A stores half its elements as structural zeros; the
         // *compressed* data the hardware toggles is the non-zero half.
         let act_a = if desc.sparse {
@@ -2069,16 +2594,19 @@ impl<'a> Engine<'a> {
         } else {
             ta.activity()
         };
+        let zeros;
         let tc = match c {
-            Some(ct) => self.get_tile(bi, key, ct, "C"),
-            None => self.blocks[bi]
-                .tiles
-                .get(&(key, d.0))
-                .cloned()
-                .unwrap_or_else(|| Tile::zeros(desc.cd, desc.m as usize, desc.n as usize)),
+            Some(ct) => tiles.get(&(key, ct.0)).unwrap_or_else(|| missing("C", ct)),
+            None => match tiles.get(&(key, d.0)) {
+                Some(t) => t,
+                None => {
+                    zeros = Tile::zeros(desc.cd, desc.m as usize, desc.n as usize);
+                    &zeros
+                }
+            },
         };
         let act = (act_a + tb.activity()) / 2.0;
-        let out = execute_mma(desc, &ta, &tb, &tc).unwrap_or_else(|e| {
+        let out = execute_mma(desc, ta, tb, tc).unwrap_or_else(|e| {
             panic!(
                 "kernel `{}`: functional {desc} failed: {e}",
                 self.kernel.name

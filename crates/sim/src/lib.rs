@@ -51,7 +51,7 @@ pub mod power;
 pub mod tc_timing;
 pub mod tiles;
 
-pub use device::{DeviceConfig, LevelBw, SimOptions, TcRate};
+pub use device::{DeviceConfig, LevelBw, Scheduler, SimOptions, TcRate};
 pub use engine::{BlockSpec, Engine, EngineConfig};
 pub use gpu::{Gpu, Launch, LaunchError};
 pub use mem::GlobalMem;

@@ -6,9 +6,33 @@
 //! simulated GPU has a single coherent view per launch.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Multiplicative hasher for page numbers. The page map sits on the
+/// load/store hot path (every functional access resolves a page), and
+/// SipHash costs more than the lookup itself; a Fibonacci-style multiply
+/// is plenty for keys that are already well-spread page indices.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
 
 /// Sparse byte-addressed global memory.
 ///
@@ -16,7 +40,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// "40 GB" device costs host memory only for what kernels actually use).
 #[derive(Debug, Default)]
 pub struct GlobalMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
     next: u64,
     allocated: u64,
 }
@@ -29,7 +53,7 @@ impl GlobalMem {
     /// New empty memory.
     pub fn new() -> Self {
         GlobalMem {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
             next: Self::BASE,
             allocated: 0,
         }
@@ -67,18 +91,43 @@ impl GlobalMem {
     }
 
     /// Read `n ≤ 8` bytes little-endian.
+    ///
+    /// One page lookup when the access stays inside a page (the common
+    /// case for naturally aligned loads); the per-byte fallback handles
+    /// page-crossing accesses.
     pub fn read_scalar(&self, addr: u64, n: u64) -> u64 {
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n as usize <= PAGE_SIZE {
+            let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) else {
+                return 0;
+            };
+            let mut v = 0u64;
+            for i in 0..n as usize {
+                v |= (p[off + i] as u64) << (8 * i);
+            }
+            v
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
-    /// Write `n ≤ 8` bytes little-endian.
+    /// Write `n ≤ 8` bytes little-endian (page-crossing handled like
+    /// [`Self::read_scalar`]).
     pub fn write_scalar(&mut self, addr: u64, n: u64, v: u64) {
-        for i in 0..n {
-            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n as usize <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            for i in 0..n as usize {
+                p[off + i] = (v >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i, (v >> (8 * i)) as u8);
+            }
         }
     }
 
@@ -201,39 +250,57 @@ impl TagArray {
 }
 
 /// Coalesce a warp's per-lane addresses into distinct 32-byte sectors,
-/// returning the sector base addresses (deduplicated, order-preserving).
-pub fn coalesce_sectors(addrs: impl Iterator<Item = u64>, width: u64) -> Vec<u64> {
-    let mut sectors: Vec<u64> = Vec::with_capacity(32);
+/// filling `out` with the sector base addresses (deduplicated,
+/// order-preserving). Taking the buffer lets the per-instruction hot path
+/// reuse one allocation across every access of a run.
+pub fn coalesce_sectors_into(addrs: impl Iterator<Item = u64>, width: u64, out: &mut Vec<u64>) {
+    out.clear();
     for a in addrs {
         // An access may straddle sector boundaries (16B at offset 24).
         let first = a / 32;
         let last = (a + width - 1) / 32;
         for s in first..=last {
-            if !sectors.contains(&(s * 32)) {
-                sectors.push(s * 32);
+            if !out.contains(&(s * 32)) {
+                out.push(s * 32);
             }
         }
     }
+}
+
+/// Allocating convenience wrapper around [`coalesce_sectors_into`].
+pub fn coalesce_sectors(addrs: impl Iterator<Item = u64>, width: u64) -> Vec<u64> {
+    let mut sectors: Vec<u64> = Vec::with_capacity(32);
+    coalesce_sectors_into(addrs, width, &mut sectors);
     sectors
 }
 
 /// Shared-memory bank-conflict degree: the maximum number of *distinct*
 /// 4-byte words in the same bank across the active lanes (32 banks × 4 B).
+///
+/// A word maps to exactly one bank, so the per-bank distinct-word counts
+/// can be kept in stack buffers: ≤32 lanes × ≤4 words (a `b128` access)
+/// bounds the distinct set at 128 — no allocation on the shared-memory
+/// hot path.
 pub fn bank_conflict_degree(addrs: impl Iterator<Item = u64>, width: u64) -> u32 {
-    let mut per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut seen = [0u64; 128];
+    let mut n = 0usize;
+    let mut per_bank = [0u32; 32];
+    // Wide accesses occupy multiple words.
+    let words = (width / 4).max(1);
     for a in addrs {
-        // Wide accesses occupy multiple words.
-        let words = (width / 4).max(1);
         for w in 0..words {
             let word = a / 4 + w;
-            let bank = word % 32;
-            let v = per_bank.entry(bank).or_default();
-            if !v.contains(&word) {
-                v.push(word);
+            if !seen[..n].contains(&word) {
+                debug_assert!(n < seen.len(), "conflict probe wider than a warp");
+                if n < seen.len() {
+                    seen[n] = word;
+                    n += 1;
+                }
+                per_bank[(word % 32) as usize] += 1;
             }
         }
     }
-    per_bank.values().map(|v| v.len() as u32).max().unwrap_or(1)
+    per_bank.iter().copied().max().unwrap_or(1).max(1)
 }
 
 #[cfg(test)]

@@ -214,43 +214,69 @@ pub fn execute_mma(desc: &MmaDesc, a: &Tile, b: &Tile, c: &Tile) -> Result<Tile,
         return Ok(d);
     }
 
+    // B is consumed column-wise; hoist it into one column-major copy per
+    // call (and, for sparse descriptors, do the F16 carrier conversion
+    // once) instead of re-reading with stride `n` — or, worse,
+    // re-converting a fresh `Vec` — per output element. Purely a layout
+    // change: every product sees the same values in the same order.
+    let mut bt = vec![0.0f64; n * k];
+    for kk in 0..k {
+        for j in 0..n {
+            bt[j * k + kk] = b.get(kk, j);
+        }
+    }
+    // Sparse path: the F16 carriers round-trip through f64 once up front
+    // (`F16::from_f64(v).to_f64()` is pure, so converting early yields the
+    // exact values `dot_dense` would see element by element).
+    let btf: Vec<f64> = if desc.sparse {
+        bt.iter().map(|&v| F16::from_f64(v).to_f64()).collect()
+    } else {
+        Vec::new()
+    };
+
     for i in 0..m {
         let arow: Vec<f64> = (0..k).map(|kk| a.get(i, kk)).collect();
-        let sp =
-            if desc.sparse {
-                Some(compress_row(desc.ab, &arow).map_err(|e| {
-                    TcError(format!("{desc}: A row {i} violates 2:4 sparsity: {e}"))
-                })?)
-            } else {
-                None
-            };
+        let sp: Option<Vec<(usize, f64)>> = if desc.sparse {
+            let row = compress_row(desc.ab, &arow)
+                .map_err(|e| TcError(format!("{desc}: A row {i} violates 2:4 sparsity: {e}")))?;
+            Some(row.survivors().collect())
+        } else {
+            None
+        };
         for j in 0..n {
             let acc = match &sp {
                 None => {
+                    let bcol = &bt[j * k..(j + 1) * k];
                     // Dense: products formed exactly, running sum rounded
                     // per the accumulator precision each step.
                     match mode {
                         AccumMode::F32 => {
                             let mut a32 = c.get(i, j) as f32;
                             for (kk, &av) in arow.iter().enumerate() {
-                                a32 = ((a32 as f64) + av * b.get(kk, j)) as f32;
+                                a32 = ((a32 as f64) + av * bcol[kk]) as f32;
                             }
                             a32 as f64
                         }
                         AccumMode::F16 => {
                             let mut a16 = F16::from_f64(c.get(i, j));
                             for (kk, &av) in arow.iter().enumerate() {
-                                a16 = F16::from_f64(a16.to_f64() + av * b.get(kk, j));
+                                a16 = F16::from_f64(a16.to_f64() + av * bcol[kk]);
                             }
                             a16.to_f64()
                         }
                         AccumMode::I32 => unreachable!(),
                     }
                 }
-                Some(s) => {
-                    let bcol: Vec<F16> = (0..k).map(|kk| F16::from_f64(b.get(kk, j))).collect();
-                    // dot_dense accumulates in f32; fold C in per mode.
-                    let dot = s.dot_dense(&bcol);
+                Some(surv) => {
+                    // `dot_dense` inlined over the pre-converted survivors
+                    // (same products, same f32 accumulation chain); fold C
+                    // in per mode.
+                    let bcol = &btf[j * k..(j + 1) * k];
+                    let mut acc32 = 0.0f32;
+                    for &(pos, v) in surv {
+                        acc32 = ((acc32 as f64) + v * bcol[pos]) as f32;
+                    }
+                    let dot = acc32 as f64;
                     match mode {
                         AccumMode::F16 => F16::from_f64(c.get(i, j) + dot).to_f64(),
                         _ => ((c.get(i, j) as f32 as f64) + dot) as f32 as f64,

@@ -1,0 +1,309 @@
+//! Golden equivalence between the legacy full-roster scan scheduler and
+//! the ready-set scheduler: for every workload class the paper exercises
+//! (pointer chase, wgmma Zero/Rand, cluster DSM, barrier-heavy blocks,
+//! multi-wave grids) both schedulers must produce identical `Metrics`,
+//! identical `RunStats::stalls`, and byte-identical Chrome traces.
+
+use hopper_isa::asm::assemble_named;
+use hopper_isa::mma::OperandSource;
+use hopper_isa::{
+    CmpOp, DType, IAluOp, Kernel, KernelBuilder, MmaDesc, Operand::Imm, Operand::Reg as R, Pred,
+    Reg, TileId, TilePattern,
+};
+use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, Launch, Scheduler, SimOptions};
+
+fn gpu_with(dev: DeviceConfig, sched: Scheduler) -> Gpu {
+    let opts = SimOptions {
+        scheduler: sched,
+        ..Default::default()
+    };
+    Gpu::with_options(dev, opts)
+}
+
+/// Run `setup` under both schedulers three ways (untraced, profiled,
+/// Chrome-traced) and assert every observable output matches exactly.
+fn assert_equivalent(name: &str, dev: DeviceConfig, setup: impl Fn(&mut Gpu) -> (Kernel, Launch)) {
+    // Untraced: Metrics must be bitwise identical (including the f64
+    // energy accumulator — same issue order implies same summation order).
+    let plain = |sched| {
+        let mut gpu = gpu_with(dev.clone(), sched);
+        let (k, l) = setup(&mut gpu);
+        gpu.launch(&k, &l).expect("launch")
+    };
+    let a = plain(Scheduler::LegacyScan);
+    let b = plain(Scheduler::ReadySet);
+    assert_eq!(a.metrics, b.metrics, "{name}: untraced Metrics differ");
+    assert_eq!(
+        a.achieved_clock_hz, b.achieved_clock_hz,
+        "{name}: DVFS outcome differs"
+    );
+
+    // Profiled: stall attribution and per-slot aggregates must match.
+    let prof = |sched| {
+        let mut gpu = gpu_with(dev.clone(), sched);
+        let (k, l) = setup(&mut gpu);
+        gpu.profile(&k, &l).expect("launch")
+    };
+    let (sa, pa) = prof(Scheduler::LegacyScan);
+    let (sb, pb) = prof(Scheduler::ReadySet);
+    assert_eq!(sa.metrics, sb.metrics, "{name}: profiled Metrics differ");
+    assert_eq!(sa.stalls, sb.stalls, "{name}: RunStats::stalls differ");
+    assert_eq!(pa, pb, "{name}: StallProfile aggregates differ");
+    assert!(
+        pb.conservation_ok(),
+        "{name}: ready-set breaks conservation"
+    );
+
+    // Chrome-traced: the serialized timeline must be byte-identical.
+    let chrome = |sched| {
+        let mut gpu = gpu_with(dev.clone(), sched);
+        let (k, l) = setup(&mut gpu);
+        let mut trace = ChromeTrace::new();
+        gpu.launch_traced(&k, &l, &mut trace).expect("launch");
+        trace.to_json()
+    };
+    let ja = chrome(Scheduler::LegacyScan);
+    let jb = chrome(Scheduler::ReadySet);
+    assert_eq!(
+        ja.as_bytes(),
+        jb.as_bytes(),
+        "{name}: Chrome traces not byte-identical"
+    );
+}
+
+/// L1-resident pointer chase: one warp sleeping on load latency — the
+/// workload the ready-set fast-forward is built for.
+fn pchase_setup(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let (ring_bytes, stride) = (16 * 1024u64, 128u64);
+    let n = ring_bytes / stride;
+    let buf = gpu.alloc(ring_bytes).expect("alloc");
+    for i in 0..n {
+        let next = buf + ((i + 1) % n) * stride;
+        gpu.mem_mut().write_scalar(buf + i * stride, 8, next);
+    }
+    let k = assemble_named(
+        r#"
+        mov.s64 %r3, %r0;
+        mov.s32 %r4, 0;
+    LOOP:
+        ld.global.ca.b64 %r3, [%r3];
+        add.s32 %r4, %r4, 1;
+        setp.lt.s32 %p0, %r4, 512;
+        @%p0 bra LOOP;
+        exit;
+    "#,
+        "pchase_l1",
+    )
+    .expect("assembles");
+    (k, Launch::new(1, 1).with_params(vec![buf]))
+}
+
+/// Many-warp DRAM pointer chase: 32 warps per SM all asleep on `cg`
+/// (L1-bypassing) loads, several blocks — exercises wake-ordering across
+/// scheduler slots.
+fn pchase_many_setup(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let n = 4096u64;
+    let buf = gpu.alloc(n * 8).expect("alloc");
+    for i in 0..n {
+        // Large-stride ring so consecutive warps land on distinct lines.
+        let next = buf + ((i + 67) % n) * 8;
+        gpu.mem_mut().write_scalar(buf + i * 8, 8, next);
+    }
+    let k = assemble_named(
+        r#"
+        mov %r1, %tid.x;
+        shl.s32 %r2, %r1, 3;
+        add.s32 %r3, %r2, %r0;
+        mov.s32 %r4, 0;
+    LOOP:
+        ld.global.cg.b64 %r3, [%r3];
+        add.s32 %r4, %r4, 1;
+        setp.lt.s32 %p0, %r4, 64;
+        @%p0 bra LOOP;
+        exit;
+    "#,
+        "pchase_dram_32w",
+    )
+    .expect("assembles");
+    (k, Launch::new(4, 1024).with_params(vec![buf]))
+}
+
+/// Dependent `wgmma` chain with a chosen operand-tile pattern (the
+/// paper's Zero-vs-Rand initialisation experiment).
+fn wgmma_setup(pat: TilePattern) -> (Kernel, Launch) {
+    let desc = MmaDesc::wgmma(
+        128,
+        DType::F16,
+        DType::F32,
+        false,
+        OperandSource::SharedShared,
+    )
+    .expect("valid shape");
+    let (m, n, k) = (desc.m as u16, desc.n as u16, desc.k as u16);
+    let mut b = KernelBuilder::new("wgmma_chain");
+    b.fill_tile(TileId(0), desc.ab, m, k, pat);
+    b.fill_tile(TileId(1), desc.ab, k, n, pat);
+    b.fill_tile(TileId(2), desc.cd, m, n, TilePattern::Zero);
+    b.mov(Reg(1), Imm(0));
+    b.wgmma_fence();
+    let top = b.label_here();
+    b.wgmma(desc, TileId(2), TileId(0), TileId(1));
+    b.wgmma_commit();
+    b.wgmma_wait(0);
+    b.ialu(IAluOp::Add, Reg(1), R(Reg(1)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(1)), Imm(64));
+    b.bra_if(top, Pred(0), true);
+    b.exit();
+    (b.build(), Launch::new(4, 128))
+}
+
+/// Two-block cluster: rank 0 chases a pointer ring through rank 1's
+/// shared memory (DSM), with cluster barriers on both sides.
+fn dsm_setup(_gpu: &mut Gpu) -> (Kernel, Launch) {
+    let k = assemble_named(
+        r#"
+        .shared 4096;
+        mov %r1, %cluster_ctarank;
+        setp.ne.s32 %p0, %r1, 1;
+        @%p0 bra SYNC;
+        mov.s32 %r3, 0;
+    FILL:
+        add.s32 %r4, %r3, 16;
+        and.s32 %r4, %r4, 4095;
+        mapa %r5, %r4, 1;
+        st.shared.b64 [%r3], %r5;
+        add.s32 %r3, %r3, 16;
+        setp.lt.s32 %p1, %r3, 4096;
+        @%p1 bra FILL;
+    SYNC:
+        barrier.cluster;
+        setp.ne.s32 %p2, %r1, 0;
+        @%p2 bra DONE;
+        mapa %r6, 0, 1;
+        mov.s32 %r7, 0;
+    CHASE:
+        ld.shared::cluster.b64 %r6, [%r6];
+        add.s32 %r7, %r7, 1;
+        setp.lt.s32 %p3, %r7, 256;
+        @%p3 bra CHASE;
+    DONE:
+        barrier.cluster;
+        exit;
+    "#,
+        "dsm_chase",
+    )
+    .expect("assembles");
+    (k, Launch::new(2, 1).with_cluster(2))
+}
+
+/// Barrier-heavy block: 8 warps ping-ponging through shared memory with
+/// a `bar.sync` each round — exercises the `u64::MAX` (barrier) stall
+/// path, where warps must stay in the ready set rather than sleep.
+fn barrier_setup(_gpu: &mut Gpu) -> (Kernel, Launch) {
+    let k = assemble_named(
+        r#"
+        .shared 2048;
+        mov %r1, %tid.x;
+        shl.s32 %r2, %r1, 3;
+        add.s32 %r3, %r2, 8;
+        and.s32 %r3, %r3, 2047;
+        st.shared.b64 [%r2], %r3;
+        bar.sync;
+        mov.s64 %r4, 0;
+        mov.s32 %r5, 0;
+    LOOP:
+        ld.shared.b64 %r4, [%r4];
+        bar.sync;
+        add.s32 %r5, %r5, 1;
+        setp.lt.s32 %p0, %r5, 64;
+        @%p0 bra LOOP;
+        exit;
+    "#,
+        "barrier_pingpong",
+    )
+    .expect("assembles");
+    (k, Launch::new(2, 256))
+}
+
+/// Multi-wave grid with mixed compute and global traffic: more blocks
+/// than one wave holds, so begin_wave/end_wave state (and the ready-set
+/// rebuild between waves) is exercised.
+fn multiwave_setup(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let sms = gpu.device().num_sms;
+    let buf = gpu.alloc(1 << 20).expect("alloc");
+    let k = assemble_named(
+        r#"
+        mov %r1, %tid.x;
+        mov %r2, %ctaid.x;
+        mad.s32 %r3, %r2, 1024, %r1;
+        shl.s32 %r4, %r3, 2;
+        and.s32 %r4, %r4, 1048575;
+        add.s32 %r4, %r4, %r0;
+        mov.s32 %r5, 0;
+    LOOP:
+        ld.global.cg.b32 %r6, [%r4];
+        add.s32 %r6, %r6, 1;
+        st.global.b32 [%r4], %r6;
+        add.s32 %r5, %r5, 1;
+        setp.lt.s32 %p0, %r5, 8;
+        @%p0 bra LOOP;
+        exit;
+    "#,
+        "multiwave_rmw",
+    )
+    .expect("assembles");
+    // 2 blocks/SM of 1024 threads fill a wave; +1 forces a second wave.
+    (k, Launch::new(2 * sms + 1, 1024).with_params(vec![buf]))
+}
+
+#[test]
+fn equivalent_pchase_single_warp() {
+    assert_equivalent("pchase_l1", DeviceConfig::h800(), pchase_setup);
+}
+
+#[test]
+fn equivalent_pchase_many_warps_dram() {
+    assert_equivalent("pchase_dram_32w", DeviceConfig::h800(), pchase_many_setup);
+}
+
+#[test]
+fn equivalent_wgmma_zero_and_rand() {
+    // The paper's Zero vs Rand matrix initialisation: both data patterns
+    // must be scheduler-invariant (timing may legitimately differ
+    // *between* patterns; each pattern must agree *across* schedulers).
+    assert_equivalent("wgmma_zero", DeviceConfig::h800(), |_| {
+        wgmma_setup(TilePattern::Zero)
+    });
+    assert_equivalent("wgmma_rand", DeviceConfig::h800(), |_| {
+        wgmma_setup(TilePattern::Random { seed: 7 })
+    });
+}
+
+#[test]
+fn equivalent_cluster_dsm() {
+    assert_equivalent("dsm_chase", DeviceConfig::h800(), dsm_setup);
+}
+
+#[test]
+fn equivalent_barrier_pingpong() {
+    assert_equivalent("barrier_pingpong", DeviceConfig::h800(), barrier_setup);
+}
+
+#[test]
+fn equivalent_multiwave() {
+    assert_equivalent("multiwave_rmw", DeviceConfig::h800(), multiwave_setup);
+}
+
+#[test]
+fn equivalent_across_devices() {
+    // Small config grid: the equivalence must hold on every modelled GPU,
+    // not just the Hopper part (different SM counts, latencies, clocks).
+    for dev in [
+        DeviceConfig::h800(),
+        DeviceConfig::a100(),
+        DeviceConfig::rtx4090(),
+    ] {
+        assert_equivalent("pchase_l1_grid", dev.clone(), pchase_setup);
+        assert_equivalent("barrier_grid", dev, barrier_setup);
+    }
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Simulator-performance trajectory: run the host-side perf benches and
+# append an entry to BENCH_sim.json so every PR has a before/after
+# baseline to compare against.
+#
+#   scripts/bench.sh                 # 3 runs per bench (default)
+#   RUNS=5 scripts/bench.sh          # more runs -> tighter medians
+#   SWEEP=1 scripts/bench.sh         # also time the full gen-experiments sweep
+#   LABEL=pr2 scripts/bench.sh       # tag the entry
+#
+# sim_hotpath is a criterion-style bench (median ns/iter per bench id);
+# cachesweep and te_sweep are report-style harnesses, recorded as
+# wall-clock milliseconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+SWEEP="${SWEEP:-0}"
+LABEL="${LABEL:-}"
+OUT="BENCH_sim.json"
+
+echo "== building bench profile"
+cargo bench -p hopper-bench --bench sim_hotpath --no-run >/dev/null 2>&1
+cargo bench -p hopper-bench --bench cachesweep --no-run >/dev/null 2>&1
+cargo bench -p hopper-bench --bench te_sweep --no-run >/dev/null 2>&1
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for run in $(seq 1 "$RUNS"); do
+    echo "== run $run/$RUNS: sim_hotpath"
+    cargo bench -p hopper-bench --bench sim_hotpath 2>/dev/null \
+        | awk '/ns\/iter/ { print $1, $2 }' >> "$tmp/hotpath.txt"
+    for wall in cachesweep te_sweep; do
+        echo "== run $run/$RUNS: $wall"
+        t0=$(date +%s%N)
+        cargo bench -p hopper-bench --bench "$wall" >/dev/null 2>&1
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/$wall.txt"
+    done
+done
+
+if [ "$SWEEP" = "1" ]; then
+    echo "== full gen-experiments sweep (single timed run)"
+    cargo build --release -p hopper-bench --bin gen-experiments >/dev/null 2>&1
+    t0=$(date +%s%N)
+    cargo run --release -q -p hopper-bench --bin gen-experiments >/dev/null 2>&1
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 )) > "$tmp/sweep.txt"
+fi
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)$(git diff --quiet HEAD 2>/dev/null || echo +dirty)" \
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+RUNS="$RUNS" LABEL="$LABEL" TMP="$tmp" OUT="$OUT" python3 - <<'PY'
+import json, os, statistics, collections
+
+tmp, out = os.environ["TMP"], os.environ["OUT"]
+benches = collections.defaultdict(list)
+with open(os.path.join(tmp, "hotpath.txt")) as f:
+    for line in f:
+        name, ns = line.split()
+        benches[name].append(float(ns))
+entry = {
+    "label": os.environ["LABEL"] or None,
+    "git_rev": os.environ["GIT_REV"],
+    "date": os.environ["DATE"],
+    "runs": int(os.environ["RUNS"]),
+    "sim_hotpath_ns_per_iter": {
+        name: statistics.median(vals) for name, vals in sorted(benches.items())
+    },
+    "wall_clock_ms": {},
+}
+for wall in ("cachesweep", "te_sweep"):
+    with open(os.path.join(tmp, f"{wall}.txt")) as f:
+        vals = [int(x) for x in f.read().split()]
+    entry["wall_clock_ms"][wall] = statistics.median(vals)
+sweep = os.path.join(tmp, "sweep.txt")
+if os.path.exists(sweep):
+    entry["wall_clock_ms"]["gen_experiments"] = int(open(sweep).read().strip())
+
+doc = {"entries": []}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+doc["entries"].append(entry)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended entry to {out} ({len(doc['entries'])} total)")
+PY
+
+cat "$OUT"

@@ -16,6 +16,15 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q --workspace
 
+echo "== scheduler equivalence (ready-set vs legacy scan)"
+cargo test -q -p hopper-sim --test sched_equivalence
+
+echo "== hopper-sim under the threaded rayon shim"
+RAYON_NUM_THREADS=4 cargo test -q -p hopper-sim
+
+echo "== vendored rayon shim unit tests"
+cargo test -q --manifest-path vendor/rayon/Cargo.toml
+
 echo "== feature gate: hopper-sim without serde"
 cargo build -p hopper-sim --no-default-features
 

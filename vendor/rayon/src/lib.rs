@@ -1,28 +1,361 @@
-//! Offline sequential shim for the subset of `rayon` this workspace
-//! uses. `par_iter`/`into_par_iter` hand back ordinary sequential
-//! iterators, so all downstream adaptors (`map`, `flat_map`,
-//! `enumerate`, `collect`) are the std ones and results are
-//! deterministic and identical to the parallel versions.
+//! Offline threaded shim for the subset of `rayon` this workspace uses.
+//!
+//! Unlike upstream rayon's work-stealing deque, this implementation is a
+//! simple `std::thread::scope` fan-out: the driving thread materialises
+//! the input, worker threads pull `(index, item)` pairs from a shared
+//! queue, and results are re-sorted by index before being handed to the
+//! caller. That makes every adaptor **deterministic**: `collect` returns
+//! items in exactly the order a sequential iterator would produce, no
+//! matter how the OS schedules the workers — which is what lets the
+//! simulator fan independent `Engine::run` calls across cores while
+//! keeping byte-identical reports.
+//!
+//! Nested parallelism (e.g. `flat_map(|x| inner.into_par_iter().map(..))`)
+//! runs the inner stage sequentially on the worker that owns the outer
+//! item, so the thread count stays bounded by the pool size.
+//!
+//! Thread count: `ThreadPoolBuilder::new().num_threads(n).build_global()`
+//! wins, then the `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
 
-/// By-value conversion into a (sequential) "parallel" iterator.
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel stage will use.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(v) = s.parse::<usize>() {
+            if v > 0 {
+                return v;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`] (this shim
+/// never actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mimic of `rayon::ThreadPoolBuilder` for configuring the global pool
+/// size (`--jobs N` in the experiment drivers goes through this).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request an explicit number of worker threads; `0` keeps the
+    /// auto-detected count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configured size as the global pool size.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        POOL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Apply `f` to every item, fanning out over the global pool, and return
+/// the results in input order. Sequential when the pool is size 1, the
+/// input is trivial, or we are already inside a worker (nested stage).
+fn par_apply<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 || IN_POOL.with(|c| c.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    // Take ONE item per lock hold; results are pushed in
+                    // completion order and re-sorted by index below.
+                    let next = queue.lock().unwrap().next();
+                    let Some((i, x)) = next else { break };
+                    let r = f(x);
+                    done.lock().unwrap().push((i, r));
+                }
+            });
+        }
+    });
+    let mut out = done.into_inner().unwrap();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A deterministic, eagerly-driven parallel iterator.
+///
+/// `run` executes the whole pipeline and returns the items in the order
+/// the equivalent sequential iterator would yield them.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Execute the pipeline; items come back in sequential order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map each item to a nested parallel iterator and flatten, keeping
+    /// sequential order.
+    fn flat_map<F, PI>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> PI + Sync + Send,
+        PI: IntoParallelIterator,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Pair each item with its sequential index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Keep only items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Run the pipeline and invoke `f` on every item (in order).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.run().into_iter().for_each(|x| f(x));
+    }
+
+    /// Run the pipeline and count the items.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Run the pipeline and collect into `C` in sequential order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Base parallel iterator over an eagerly materialised list.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` adaptor.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), self.f)
+    }
+}
+
+/// Parallel `flat_map` adaptor.
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, PI> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> PI + Sync + Send,
+    PI: IntoParallelIterator,
+{
+    type Item = PI::Item;
+    fn run(self) -> Vec<PI::Item> {
+        let f = &self.f;
+        // The inner pipelines run on the worker that owns the outer item
+        // (IN_POOL makes them sequential there), so order is preserved
+        // group-by-group.
+        let groups = par_apply(self.base.run(), |x| f(x).into_par_iter().run());
+        groups.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel `enumerate` adaptor.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn run(self) -> Vec<(usize, B::Item)> {
+        self.base.run().into_iter().enumerate().collect()
+    }
+}
+
+/// Parallel `filter` adaptor.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+    fn run(self) -> Vec<B::Item> {
+        let f = &self.f;
+        self.base.run().into_iter().filter(|x| f(x)).collect()
+    }
+}
+
+/// By-value conversion into a parallel iterator.
 pub trait IntoParallelIterator {
-    /// The iterator type handed back.
-    type Iter: Iterator;
-    /// Consume `self` into an iterator.
+    /// The parallel iterator type handed back.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type of that iterator.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+// Every parallel iterator trivially converts into itself (this is what
+// lets `flat_map` closures return an adaptor chain directly).
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IterBridge<T>;
+    type Item = T;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Iter = IterBridge<T>;
+    type Item = T;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = IterBridge<&'a T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> IterBridge<&'a T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = IterBridge<&'a T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> IterBridge<&'a T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Iter = IterBridge<&'a T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> IterBridge<&'a T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = IterBridge<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> IterBridge<usize> {
+        IterBridge {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Iter = IterBridge<u32>;
+    type Item = u32;
+    fn into_par_iter(self) -> IterBridge<u32> {
+        IterBridge {
+            items: self.collect(),
+        }
     }
 }
 
 /// By-reference conversion (`slice.par_iter()`).
 pub trait IntoParallelRefIterator<'data> {
-    /// The iterator type handed back.
-    type Iter: Iterator;
+    /// The parallel iterator type handed back.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type of that iterator (a shared reference).
+    type Item: Send + 'data;
     /// Iterate over `&self`.
     fn par_iter(&'data self) -> Self::Iter;
 }
@@ -32,12 +365,112 @@ where
     &'data I: IntoParallelIterator,
 {
     type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
     fn par_iter(&'data self) -> Self::Iter {
-        IntoParallelIterator::into_par_iter(self)
+        self.into_par_iter()
     }
 }
 
 /// Common imports, mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i as i64 * 3)
+            .collect();
+        let want: Vec<i64> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data: Vec<u32> = (0..257).collect();
+        let v: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, (1..258).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn flat_map_nested_keeps_group_order() {
+        let rows = [10u32, 20, 30];
+        let v: Vec<(usize, u32)> = rows
+            .par_iter()
+            .flat_map(|&row| {
+                [1u32, 2, 4]
+                    .into_par_iter()
+                    .enumerate()
+                    .map(move |(i, b)| (i, row + b))
+            })
+            .collect();
+        assert_eq!(
+            v,
+            vec![
+                (0, 11),
+                (1, 12),
+                (2, 14),
+                (0, 21),
+                (1, 22),
+                (2, 24),
+                (0, 31),
+                (1, 32),
+                (2, 34)
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = (0..100usize).into_par_iter().filter(|x| x % 3 == 0).count();
+        assert_eq!(n, 34);
+    }
+
+    // Single test for everything touching the global pool size: the
+    // test harness runs tests concurrently, and POOL_THREADS is global.
+    #[test]
+    fn global_pool_config_and_determinism() {
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 8);
+        let runs: Vec<Vec<usize>> = (0..5)
+            .map(|_| {
+                (0..500usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        // Uneven per-item cost to shake up completion order.
+                        let mut acc = i;
+                        for _ in 0..(i % 17) * 100 {
+                            acc = acc.wrapping_mul(31).wrapping_add(7);
+                        }
+                        std::hint::black_box(acc);
+                        i * 2
+                    })
+                    .collect()
+            })
+            .collect();
+        // Reset to auto-detected so other tests are unaffected.
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+        for r in &runs {
+            assert_eq!(r, &runs[0]);
+        }
+        assert_eq!(runs[0][499], 998);
+    }
 }
