@@ -1,0 +1,69 @@
+//! `bench-gate` — regression gate over `BENCH_sim.json`.
+//!
+//! Compares the newest recorded entry against a labelled baseline and
+//! exits non-zero when any hot-path or wall-clock metric is more than the
+//! threshold slower.  Normally invoked as `scripts/bench.sh gate`.
+//!
+//! ```text
+//! bench-gate [--file BENCH_sim.json] [--baseline LABEL] [--threshold PCT]
+//! ```
+
+use hopper_bench::gate::gate_file;
+
+fn main() {
+    let mut file = "BENCH_sim.json".to_string();
+    let mut baseline = "pr2-ready-set".to_string();
+    let mut threshold = 10.0f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--file" => {
+                file = need(i);
+                i += 1;
+            }
+            "--baseline" => {
+                baseline = need(i);
+                i += 1;
+            }
+            "--threshold" => {
+                threshold = need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold needs a number (percent)");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench-gate [--file BENCH_sim.json] [--baseline LABEL] \
+                     [--threshold PCT]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    match gate_file(std::path::Path::new(&file), &baseline, threshold) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Bench regression gate: compare the newest `BENCH_sim.json` entry
+//! against a labelled baseline entry and flag metrics that regressed by
+//! more than a threshold.
+//!
+//! Driven by the `bench-gate` binary (and `scripts/bench.sh gate`), which
+//! exits non-zero when any regression is found — the CI guard that keeps
+//! the simulator hot path from silently slowing down between PRs.
+
+use serde_json::Value;
+
+/// One metric compared between baseline and candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Metric group (`"sim_hotpath_ns_per_iter"` or `"wall_clock_ms"`).
+    pub group: &'static str,
+    /// Metric name within the group.
+    pub name: String,
+    /// Baseline value (lower is better for every gated metric).
+    pub baseline: f64,
+    /// Candidate (newest entry) value.
+    pub current: f64,
+    /// `current / baseline - 1`, as a percentage (positive = slower).
+    pub delta_pct: f64,
+    /// Whether `delta_pct` exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Result of gating a candidate entry against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Label of the baseline entry.
+    pub baseline_label: String,
+    /// Label of the candidate entry (`git_rev` when unlabelled).
+    pub current_label: String,
+    /// Allowed slowdown, percent.
+    pub threshold_pct: f64,
+    /// Per-metric comparisons (metrics present in both entries).
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// `true` when no gated metric regressed beyond the threshold.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Rows that regressed beyond the threshold.
+    pub fn regressions(&self) -> Vec<&GateRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Aligned terminal-text rendering of the comparison.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = format!(
+            "bench gate: `{}` vs baseline `{}` (threshold {:.0}%)\n",
+            self.current_label, self.baseline_label, self.threshold_pct
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                o,
+                "  {} {:<28} {:>12.1} -> {:>12.1}  {:>+7.1}%  {}",
+                if r.regressed { "FAIL" } else { " ok " },
+                format!("{}/{}", group_short(r.group), r.name),
+                r.baseline,
+                r.current,
+                r.delta_pct,
+                if r.regressed { "REGRESSION" } else { "" }
+            );
+        }
+        let n = self.regressions().len();
+        let _ = writeln!(
+            o,
+            "{}",
+            if n == 0 {
+                "gate PASSED".to_string()
+            } else {
+                format!("gate FAILED: {n} regression(s)")
+            }
+        );
+        o
+    }
+}
+
+fn group_short(group: &str) -> &'static str {
+    if group == "sim_hotpath_ns_per_iter" {
+        "hotpath"
+    } else {
+        "wall"
+    }
+}
+
+/// Errors from loading or comparing `BENCH_sim.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The file failed to parse as the expected `{"entries": [...]}` doc.
+    BadFormat(String),
+    /// No entry carries the requested baseline label.
+    NoBaseline(String),
+    /// Fewer than two entries (nothing to compare).
+    TooFewEntries,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::BadFormat(m) => write!(f, "malformed BENCH_sim.json: {m}"),
+            GateError::NoBaseline(l) => write!(f, "no entry labelled `{l}` in BENCH_sim.json"),
+            GateError::TooFewEntries => write!(f, "need at least two entries to gate"),
+        }
+    }
+}
+
+/// Metric groups gated (both are lower-is-better).
+const GROUPS: [&str; 2] = ["sim_hotpath_ns_per_iter", "wall_clock_ms"];
+
+fn entry_label(e: &Value) -> String {
+    match e.get("label") {
+        Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+        _ => e
+            .get("git_rev")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unlabelled")
+            .to_string(),
+    }
+}
+
+/// Gate the newest entry of a parsed `BENCH_sim.json` document against the
+/// entry labelled `baseline`, allowing `threshold_pct` percent slowdown.
+///
+/// Metrics are compared only when present in both entries (new benches
+/// don't fail the gate; removed ones stop being gated).  A baseline value
+/// of 0 never regresses — there is no meaningful ratio to gate on.
+pub fn gate(doc: &Value, baseline: &str, threshold_pct: f64) -> Result<GateReport, GateError> {
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| GateError::BadFormat("missing `entries` array".into()))?;
+    if entries.len() < 2 {
+        return Err(GateError::TooFewEntries);
+    }
+    let base = entries
+        .iter()
+        .rev()
+        .find(|e| matches!(e.get("label"), Some(Value::Str(s)) if s == baseline))
+        .ok_or_else(|| GateError::NoBaseline(baseline.to_string()))?;
+    let cur = entries.last().expect("len checked above");
+    // When the newest entry *is* the baseline (fresh checkout, no
+    // candidate recorded yet) the gate passes trivially: every metric is
+    // compared against itself.
+    let mut rows = Vec::new();
+    for group in GROUPS {
+        let (Some(b), Some(c)) = (
+            base.get(group).and_then(|v| v.as_object()),
+            cur.get(group).and_then(|v| v.as_object()),
+        ) else {
+            continue;
+        };
+        for (name, bv) in b {
+            let (Some(bv), Some(cv)) = (
+                bv.as_f64(),
+                c.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_f64()),
+            ) else {
+                continue;
+            };
+            let delta_pct = if bv == 0.0 {
+                0.0
+            } else {
+                (cv / bv - 1.0) * 100.0
+            };
+            rows.push(GateRow {
+                group,
+                name: name.clone(),
+                baseline: bv,
+                current: cv,
+                delta_pct,
+                regressed: delta_pct > threshold_pct,
+            });
+        }
+    }
+    Ok(GateReport {
+        baseline_label: baseline.to_string(),
+        current_label: entry_label(cur),
+        threshold_pct,
+        rows,
+    })
+}
+
+/// Load `path` and gate its newest entry against `baseline`.
+pub fn gate_file(
+    path: &std::path::Path,
+    baseline: &str,
+    threshold_pct: f64,
+) -> Result<GateReport, GateError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GateError::BadFormat(format!("{}: {e}", path.display())))?;
+    let doc = serde_json::from_str(&text)
+        .map_err(|e| GateError::BadFormat(format!("{}: {e:?}", path.display())))?;
+    gate(&doc, baseline, threshold_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(base_hot: f64, cur_hot: f64, base_wall: f64, cur_wall: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"entries": [
+                {{"label": "base", "git_rev": "aaa",
+                  "sim_hotpath_ns_per_iter": {{"k1": {base_hot}, "only_base": 1.0}},
+                  "wall_clock_ms": {{"w1": {base_wall}}}}},
+                {{"label": null, "git_rev": "bbb",
+                  "sim_hotpath_ns_per_iter": {{"k1": {cur_hot}, "only_cur": 9.0}},
+                  "wall_clock_ms": {{"w1": {cur_wall}}}}}
+            ]}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn passes_within_threshold() {
+        let rep = gate(&doc(100.0, 105.0, 200.0, 190.0), "base", 10.0).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.rows.len(), 2); // only shared metrics gated
+        assert_eq!(rep.current_label, "bbb");
+        assert!(rep.render().contains("gate PASSED"));
+    }
+
+    #[test]
+    fn fails_beyond_threshold() {
+        let rep = gate(&doc(100.0, 111.0, 200.0, 200.0), "base", 10.0).unwrap();
+        assert!(!rep.passed());
+        let regs = rep.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "k1");
+        assert!((regs[0].delta_pct - 11.0).abs() < 1e-9);
+        assert!(rep.render().contains("gate FAILED"));
+    }
+
+    #[test]
+    fn wall_clock_regressions_gate_too() {
+        let rep = gate(&doc(100.0, 100.0, 200.0, 231.0), "base", 10.0).unwrap();
+        assert_eq!(rep.regressions().len(), 1);
+        assert_eq!(rep.regressions()[0].group, "wall_clock_ms");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let empty = serde_json::from_str(r#"{"entries": []}"#).unwrap();
+        assert_eq!(gate(&empty, "base", 10.0), Err(GateError::TooFewEntries));
+        let nolabel = doc(1.0, 1.0, 1.0, 1.0);
+        assert!(matches!(
+            gate(&nolabel, "missing", 10.0),
+            Err(GateError::NoBaseline(_))
+        ));
+        let bad = serde_json::from_str(r#"{"nope": 1}"#).unwrap();
+        assert!(matches!(
+            gate(&bad, "base", 10.0),
+            Err(GateError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn baseline_as_newest_entry_passes_trivially() {
+        // Fresh checkout: the labelled baseline is also the newest entry —
+        // the gate compares it with itself and passes.
+        let d: Value = serde_json::from_str(
+            r#"{"entries": [
+                {"label": null, "git_rev": "aaa", "sim_hotpath_ns_per_iter": {"k": 1.0}},
+                {"label": "base", "git_rev": "bbb", "sim_hotpath_ns_per_iter": {"k": 1.0}}
+            ]}"#,
+        )
+        .unwrap();
+        let rep = gate(&d, "base", 10.0).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.current_label, "base");
+    }
+}

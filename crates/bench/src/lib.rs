@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use hopper_micro::paper;
 use hopper_micro::report::Report;
 use hopper_sim::DeviceConfig;

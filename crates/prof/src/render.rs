@@ -1,0 +1,200 @@
+//! Aligned terminal-text rendering of a [`KernelReport`].
+
+use crate::{KernelReport, PcRow};
+use hopper_trace::{wait_bucket_label, StallReason, N_WAIT_BUCKETS};
+use std::fmt::Write as _;
+
+/// Fixed-width utilisation bar (`#` = achieved fraction of peak).
+fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+impl KernelReport {
+    /// Render the full sectioned report as aligned terminal text.
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(
+            o,
+            "== {} — `{}` <<<{},{}>>> ==",
+            self.device, self.kernel, self.grid, self.block
+        );
+        let _ = writeln!(
+            o,
+            "   {} cycles, {:.1} µs @ {:.0} MHz (nominal {:.0} MHz), ipc {:.3}",
+            self.cycles, self.time_us, self.achieved_clock_mhz, self.nominal_clock_mhz, self.ipc
+        );
+
+        let _ = writeln!(o, "\n-- Speed of Light --");
+        for e in &self.sol {
+            let _ = writeln!(
+                o,
+                "  {:<12} {:>10.2} / {:<10.2} {:<11} {:>6.1}%  |{}|",
+                e.name,
+                e.achieved,
+                e.peak,
+                e.unit,
+                e.pct,
+                bar(e.pct, 25)
+            );
+        }
+
+        let oc = &self.occupancy;
+        let _ = writeln!(o, "\n-- Occupancy --");
+        let _ = writeln!(
+            o,
+            "  theoretical {:>5.1}%  ({} warps / {} max, {} block(s)/SM, limited by {})",
+            oc.theoretical_pct,
+            oc.theoretical_warps,
+            oc.max_warps_per_sm,
+            oc.blocks_per_sm,
+            oc.limiter
+        );
+        let _ = writeln!(
+            o,
+            "  achieved    {:>5.1}%  (slot-active cycles)",
+            oc.achieved_pct
+        );
+        for (name, blocks) in &oc.limits {
+            let cap = if *blocks == u32::MAX {
+                "   -".to_string()
+            } else {
+                format!("{blocks:>4}")
+            };
+            let _ = writeln!(o, "    limit[{name:<13}] {cap} blocks/SM");
+        }
+
+        let m = &self.memory;
+        let _ = writeln!(o, "\n-- Memory Workload --");
+        let _ = writeln!(
+            o,
+            "  l1   {:>12} B   hit {:>5.1}%   sector-eff {:>5.1}%",
+            m.l1_bytes, m.l1_hit_rate_pct, m.l1_sector_efficiency_pct
+        );
+        let _ = writeln!(
+            o,
+            "  l2   {:>12} B   hit {:>5.1}%   sector-eff {:>5.1}%",
+            m.l2_bytes, m.l2_hit_rate_pct, m.l2_sector_efficiency_pct
+        );
+        let _ = writeln!(
+            o,
+            "  dram {:>12} B   {:.2} B/instr   tlb-miss {}",
+            m.dram_bytes, m.dram_bytes_per_instr, m.tlb_misses
+        );
+        let _ = writeln!(o, "  smem {:>12} B   dsm {} B", m.smem_bytes, m.dsm_bytes);
+
+        let r = &self.roofline;
+        let _ = writeln!(
+            o,
+            "\n-- Roofline (DRAM roof {:.0} GB/s) --",
+            r.dram_peak_gbps
+        );
+        let _ = writeln!(
+            o,
+            "  operating point: AI {:.2} FLOP/B, achieved {:.2} TFLOPS",
+            r.ai_flop_per_byte, r.achieved_tflops
+        );
+        for p in &r.points {
+            let _ = writeln!(
+                o,
+                "  {:<5} peak {:>8.1}  throttled {:>8.1}  attainable {:>8.1} TFLOPS  (ridge {:>6.1} FLOP/B)",
+                p.dtype, p.peak_tflops, p.throttled_tflops, p.attainable_tflops, p.ridge_ai
+            );
+        }
+
+        let _ = writeln!(o, "\n-- Source / PC --");
+        let _ = writeln!(
+            o,
+            "  {:>4} {:>10} {:>12} {:>12}  {:<18} asm",
+            "pc", "issues", "stall-cyc", "mean-wait", "top-stall"
+        );
+        for row in &self.pcs {
+            let (top, cyc) = row
+                .top_stall()
+                .map(|(r, c)| (r.name(), c))
+                .unwrap_or(("-", 0));
+            let share = if row.stall_cycles() == 0 {
+                0.0
+            } else {
+                cyc as f64 / row.stall_cycles() as f64 * 100.0
+            };
+            let top = if cyc == 0 {
+                "-".to_string()
+            } else {
+                format!("{top} {share:.0}%")
+            };
+            let _ = writeln!(
+                o,
+                "  {:>4} {:>10} {:>12} {:>12.1}  {:<18} {}",
+                row.pc,
+                row.issues,
+                row.stall_cycles(),
+                row.mean_wait(),
+                top,
+                row.asm
+            );
+        }
+        if let Some(hot) = self.pcs.iter().max_by_key(|r| r.stall_cycles()) {
+            if hot.stall_cycles() > 0 {
+                let _ = writeln!(o, "{}", render_hist(hot));
+            }
+        }
+
+        let s = &self.stalls;
+        let _ = writeln!(o, "\n-- Stall Summary --");
+        let _ = writeln!(
+            o,
+            "  slot-cycles {}   issued {} ({:.1}%)   idle {}",
+            s.slot_cycles,
+            s.issued,
+            s.issue_rate() * 100.0,
+            s.idle
+        );
+        for reason in StallReason::SLOT_REASONS {
+            let v = s.stalled[reason.bucket()];
+            if v > 0 {
+                let _ = writeln!(o, "    {:<14} {v}", reason.name());
+            }
+        }
+        if s.dvfs_throttle_cycles > 0 {
+            let _ = writeln!(o, "    {:<14} {}", "dvfs_throttle", s.dvfs_throttle_cycles);
+        }
+        o
+    }
+}
+
+/// Issue-wait histogram of the hottest PC, as `bucket: count` lines.
+fn render_hist(row: &PcRow) -> String {
+    let max = row.wait_hist.iter().copied().max().unwrap_or(0).max(1);
+    let mut o = format!("  wait histogram of hottest pc {} ({}):", row.pc, row.asm);
+    for b in 0..N_WAIT_BUCKETS {
+        let n = row.wait_hist[b];
+        if n == 0 {
+            continue;
+        }
+        let w = (n as f64 / max as f64 * 30.0).ceil() as usize;
+        let _ = write!(
+            o,
+            "\n    {:>7} clk |{:<30}| {n}",
+            wait_bucket_label(b),
+            "#".repeat(w)
+        );
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps_and_scales() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(50.0, 10), "#####.....");
+        assert_eq!(bar(250.0, 10), "##########");
+    }
+}

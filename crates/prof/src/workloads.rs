@@ -1,0 +1,226 @@
+//! Built-in workloads the profiler can run on any device: the paper's
+//! characteristic microbenchmark shapes (pointer chase, streaming copy,
+//! tensor-core chain, DPX stream) packaged as `(Kernel, Launch)` builders.
+
+use hopper_isa::asm::assemble_named;
+use hopper_isa::dpx::DpxFunc;
+use hopper_isa::mma::OperandSource;
+use hopper_isa::{
+    CmpOp, DType, IAluOp, Kernel, KernelBuilder, MmaDesc, Operand::Imm, Operand::Reg as R, Pred,
+    Reg, TileId, TilePattern,
+};
+use hopper_sim::{Gpu, Launch};
+
+/// A built-in profiling workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Single-warp pointer chase over an L1-resident ring: latency-bound,
+    /// nearly all binding stalls on the scoreboard.
+    Pchase,
+    /// Streaming copy at full occupancy: bandwidth-bound, stalls split
+    /// between the scoreboard and the MIO queues.
+    Stream,
+    /// Dependent tensor-core chain (`wgmma` on Hopper, `mma` elsewhere):
+    /// the tensor pipe is the bottleneck.
+    Tensor,
+    /// Independent-stream DPX `__vimax3_s32` loop (hardware units on
+    /// Hopper, ALU emulation elsewhere): math-pipe bound.
+    Dpx,
+}
+
+impl Workload {
+    /// Every built-in workload, in display order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Pchase,
+        Workload::Stream,
+        Workload::Tensor,
+        Workload::Dpx,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Pchase => "pchase",
+            Workload::Stream => "stream",
+            Workload::Tensor => "tensor",
+            Workload::Dpx => "dpx",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`Workload::name`]).
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// Build the kernel and launch for this workload on `gpu` (allocating
+    /// and initialising any buffers it needs).
+    pub fn build(self, gpu: &mut Gpu) -> (Kernel, Launch) {
+        match self {
+            Workload::Pchase => pchase(gpu),
+            Workload::Stream => stream(gpu),
+            Workload::Tensor => tensor(gpu),
+            Workload::Dpx => dpx(gpu),
+        }
+    }
+}
+
+/// Pointer-chase over a 16 KiB L1-resident ring, stride 128 B, one warp.
+fn pchase(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let (ring_bytes, stride, iters) = (16 * 1024u64, 128u64, 2048u32);
+    let n = ring_bytes / stride;
+    let buf = gpu.alloc(ring_bytes).expect("ring allocation");
+    for i in 0..n {
+        let next = buf + ((i + 1) % n) * stride;
+        gpu.mem_mut().write_scalar(buf + i * stride, 8, next);
+    }
+    let k = assemble_named(
+        &format!(
+            r#"
+            mov.s64 %r3, %r0;
+            mov.s32 %r4, 0;
+        LOOP:
+            ld.global.ca.b64 %r3, [%r3];
+            add.s32 %r4, %r4, 1;
+            setp.lt.s32 %p0, %r4, {iters};
+            @%p0 bra LOOP;
+            exit;
+        "#
+        ),
+        "pchase_l1",
+    )
+    .expect("static kernel assembles");
+    (k, Launch::new(1, 1).with_params(vec![buf]))
+}
+
+/// Grid-strided streaming copy, one block of 256 threads per SM.
+fn stream(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let block = 256u32;
+    let grid = gpu.device().num_sms;
+    let elems = (grid * block) as u64 * 8;
+    let src = gpu.alloc(elems * 4).expect("src allocation");
+    let dst = gpu.alloc(elems * 4).expect("dst allocation");
+    let k = assemble_named(
+        &format!(
+            r#"
+            mov %r2, %tid.x;
+            mov %r3, %ctaid.x;
+            mad.s32 %r4, %r3, {block}, %r2;   // gid
+            mov.s32 %r5, 0;
+        LOOP:
+            mad.s32 %r6, %r5, {stride}, %r4;  // gid + i*grid*block
+            shl.s32 %r7, %r6, 2;
+            mad.s64 %r8, %r7, 1, %r0;         // &src[idx]
+            mad.s64 %r9, %r7, 1, %r1;         // &dst[idx]
+            ld.global.cg.b32 %r10, [%r8];
+            st.global.b32 [%r9], %r10;
+            add.s32 %r5, %r5, 1;
+            setp.lt.s32 %p0, %r5, 8;
+            @%p0 bra LOOP;
+            exit;
+        "#,
+            stride = grid * block,
+        ),
+        "stream_copy",
+    )
+    .expect("static kernel assembles");
+    (k, Launch::new(grid, block).with_params(vec![src, dst]))
+}
+
+/// Dependent tensor-core chain: `wgmma` (SS, f16→f32) where the device
+/// supports it, the largest `mma` otherwise.
+fn tensor(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let iters = 256i64;
+    let hopper = gpu.device().arch.has_wgmma();
+    let mut b = KernelBuilder::new(if hopper { "wgmma_chain" } else { "mma_chain" });
+    let desc = if hopper {
+        MmaDesc::wgmma(
+            128,
+            DType::F16,
+            DType::F32,
+            false,
+            OperandSource::SharedShared,
+        )
+        .expect("valid wgmma shape")
+    } else {
+        MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).expect("valid mma shape")
+    };
+    let (m, n, k) = (desc.m as u16, desc.n as u16, desc.k as u16);
+    b.fill_tile(TileId(0), desc.ab, m, k, TilePattern::Zero);
+    b.fill_tile(TileId(1), desc.ab, k, n, TilePattern::Zero);
+    b.fill_tile(TileId(2), desc.cd, m, n, TilePattern::Zero);
+    b.mov(Reg(1), Imm(0));
+    if hopper {
+        b.wgmma_fence();
+    }
+    let top = b.label_here();
+    if hopper {
+        b.wgmma(desc, TileId(2), TileId(0), TileId(1));
+        b.wgmma_commit();
+        b.wgmma_wait(0);
+    } else {
+        b.mma(desc, TileId(2), TileId(0), TileId(1), TileId(2));
+    }
+    b.ialu(IAluOp::Add, Reg(1), R(Reg(1)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(1)), Imm(iters));
+    b.bra_if(top, Pred(0), true);
+    b.exit();
+    let block = if hopper { 128 } else { 32 };
+    (b.build(), Launch::new(gpu.device().num_sms, block))
+}
+
+/// Independent-stream `__vimax3_s32` loop (ILP 8), one 256-thread block
+/// per SM — saturates the DPX units on Hopper, the ALU elsewhere.
+fn dpx(gpu: &mut Gpu) -> (Kernel, Launch) {
+    let (iters, ilp) = (512i64, 8usize);
+    let mut b = KernelBuilder::new("dpx_vimax3_stream");
+    b.mov(Reg(1), Imm(5));
+    b.mov(Reg(2), Imm(-3));
+    b.mov(Reg(3), Imm(1000));
+    b.mov(Reg(4), Imm(0));
+    let top = b.label_here();
+    for i in 0..ilp {
+        // Independent results; sources never written → no dependencies.
+        b.dpx(
+            DpxFunc::ViMax3S32,
+            Reg(10 + i as u16),
+            R(Reg(1)),
+            R(Reg(2)),
+            R(Reg(3)),
+        );
+    }
+    b.ialu(IAluOp::Add, Reg(4), R(Reg(4)), Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, R(Reg(4)), Imm(iters));
+    b.bra_if(top, Pred(0), true);
+    b.exit();
+    (b.build(), Launch::new(gpu.device().num_sms, 256))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::DeviceConfig;
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+        assert_eq!(Workload::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_workload_builds_and_runs_everywhere() {
+        for dev in [
+            DeviceConfig::a100(),
+            DeviceConfig::rtx4090(),
+            DeviceConfig::h800(),
+        ] {
+            for w in Workload::ALL {
+                let mut gpu = Gpu::new(dev.clone());
+                let (k, launch) = w.build(&mut gpu);
+                let stats = gpu.launch(&k, &launch).expect("workload launches");
+                assert!(stats.metrics.cycles > 0, "{}/{}", dev.name, w.name());
+            }
+        }
+    }
+}

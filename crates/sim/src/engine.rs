@@ -21,8 +21,9 @@ use hopper_isa::{
     Reg, Special, TileId, Width,
 };
 use hopper_trace::{
-    CacheEvent, CacheLevel, CacheTotals, IssueEvent, SlotTotals, StallReason, StallSpan,
-    TraceConfig, TraceSink, UnitBusy, UnitSpan, N_SLOT_REASONS,
+    wait_bucket, CacheEvent, CacheLevel, CacheTotals, IssueEvent, PcTotals, SlotTotals,
+    StallReason, StallSpan, TraceConfig, TraceSink, UnitBusy, UnitSpan, N_SLOT_REASONS,
+    N_WAIT_BUCKETS,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -259,6 +260,10 @@ pub struct Engine<'a> {
     /// access, never freed, so the per-instruction hot path allocates
     /// nothing once warm.
     scratch: AccessScratch,
+    /// Per-PC sampling accumulators, one per kernel instruction; empty
+    /// unless a sink is attached and [`TraceConfig::pc_sampling`] is on,
+    /// so the untraced hot path never touches it.
+    pc_acc: Vec<PcAcc>,
 }
 
 /// Scratch space for one coalesced global access (sectors → cache lines →
@@ -416,6 +421,7 @@ impl<'a> Engine<'a> {
             trace,
             base_cycle: 0,
             scratch: AccessScratch::default(),
+            pc_acc: Vec::new(),
         }
     }
 
@@ -445,6 +451,9 @@ impl<'a> Engine<'a> {
         }
         let nslots = self.sms.len() * 4;
         let mut slot_acc = vec![SlotAcc::default(); if tracing { nslots } else { 0 }];
+        if tracing && self.trace.pc_sampling {
+            self.pc_acc = vec![PcAcc::default(); self.kernel.instrs.len()];
+        }
         // A slot wider than the 64-bit masks falls back to the legacy
         // scan (real devices top out at 16 warps per scheduler slot, and
         // the cosim roster at 8, so this never triggers in practice).
@@ -484,6 +493,10 @@ impl<'a> Engine<'a> {
     ) {
         let nslots = self.sms.len() * 4;
         let mut outcomes = vec![OUT_IDLE; nslots];
+        // Binding PC behind each cached stalled outcome (parked warps keep
+        // their PC, so the cache stays valid exactly as long as `outcomes`).
+        let mut outcome_pc = vec![0u32; nslots];
+        let pc_sampling = tracing && !self.pc_acc.is_empty();
         let mut slots: Vec<SlotState> = Vec::with_capacity(nslots);
         for sm_roster in roster {
             for candidates in sm_roster {
@@ -580,7 +593,7 @@ impl<'a> Engine<'a> {
                 let len = candidates.len();
                 let start = self.sms[sm].last_sched[sched] % len;
                 let mut slot_issued = false;
-                let mut slot_stall: Option<(u64, StallReason)> = None;
+                let mut slot_stall: Option<(u64, StallReason, u32)> = None;
                 // Two mask halves walk the roster in circular order from
                 // `start`: positions ≥ start ascending, then the wrap.
                 // Stall transitions move a bit from `ready` to `sleep`
@@ -604,8 +617,12 @@ impl<'a> Engine<'a> {
                             if sleep & bit != 0 {
                                 let wk = self.warps[w].retry_at;
                                 earliest_wakeup = earliest_wakeup.min(wk);
-                                if slot_stall.is_none_or(|(b, _)| wk < b) {
-                                    slot_stall = Some((wk, self.warps[w].stall_reason));
+                                if slot_stall.is_none_or(|(b, ..)| wk < b) {
+                                    slot_stall = Some((
+                                        wk,
+                                        self.warps[w].stall_reason,
+                                        self.warps[w].pc as u32,
+                                    ));
                                 }
                                 continue;
                             }
@@ -632,8 +649,8 @@ impl<'a> Engine<'a> {
                                     }
                                     earliest_wakeup = earliest_wakeup.min(wk);
                                     self.note_stall(sm, sched, w, reason);
-                                    if slot_stall.is_none_or(|(b, _)| wk < b) {
-                                        slot_stall = Some((wk, reason));
+                                    if slot_stall.is_none_or(|(b, ..)| wk < b) {
+                                        slot_stall = Some((wk, reason, pc_before as u32));
                                     }
                                 }
                             }
@@ -678,7 +695,8 @@ impl<'a> Engine<'a> {
                 if tracing {
                     outcomes[slot] = if slot_issued {
                         0
-                    } else if let Some((_, r)) = slot_stall {
+                    } else if let Some((_, r, pc)) = slot_stall {
+                        outcome_pc[slot] = pc;
                         1 + r.bucket() as u8
                     } else {
                         OUT_IDLE
@@ -739,11 +757,21 @@ impl<'a> Engine<'a> {
             }
             if tracing {
                 let advance = self.cycle - prev_cycle;
-                for (acc, &code) in slot_acc.iter_mut().zip(outcomes.iter()) {
+                for ((acc, &code), &opc) in slot_acc
+                    .iter_mut()
+                    .zip(outcomes.iter())
+                    .zip(outcome_pc.iter())
+                {
                     match code {
                         0 => acc.issued += advance,
                         OUT_IDLE => acc.idle += advance,
-                        r => acc.stalled[(r - 1) as usize] += advance,
+                        r => {
+                            let b = (r - 1) as usize;
+                            acc.stalled[b] += advance;
+                            if pc_sampling {
+                                self.pc_acc[opc as usize].stalled[b] += advance;
+                            }
+                        }
                     }
                 }
             }
@@ -862,6 +890,8 @@ impl<'a> Engine<'a> {
     fn run_legacy(&mut self, roster: &[Vec<Vec<usize>>], tracing: bool, slot_acc: &mut [SlotAcc]) {
         let nslots = self.sms.len() * 4;
         let mut outcomes = vec![OUT_IDLE; nslots];
+        let mut outcome_pc = vec![0u32; nslots];
+        let pc_sampling = tracing && !self.pc_acc.is_empty();
         let mut live = self.warps.len();
         loop {
             if live == 0 {
@@ -887,7 +917,7 @@ impl<'a> Engine<'a> {
                     // Binding stall for the slot: the reason of the
                     // minimum-wakeup warp among those examined.
                     let mut slot_issued = false;
-                    let mut slot_stall: Option<(u64, StallReason)> = None;
+                    let mut slot_stall: Option<(u64, StallReason, u32)> = None;
                     for i in 0..candidates.len() {
                         let w = candidates[(start + i) % candidates.len()];
                         if self.warps[w].status == WarpStatus::Done {
@@ -898,8 +928,8 @@ impl<'a> Engine<'a> {
                             if tracing {
                                 let wk = self.warps[w].retry_at;
                                 let r = self.warps[w].stall_reason;
-                                if slot_stall.is_none_or(|(b, _)| wk < b) {
-                                    slot_stall = Some((wk, r));
+                                if slot_stall.is_none_or(|(b, ..)| wk < b) {
+                                    slot_stall = Some((wk, r, self.warps[w].pc as u32));
                                 }
                             }
                             continue;
@@ -926,8 +956,8 @@ impl<'a> Engine<'a> {
                                 if tracing {
                                     self.note_stall(sm, sched, w, reason);
                                     let wk = until.max(self.cycle + 1);
-                                    if slot_stall.is_none_or(|(b, _)| wk < b) {
-                                        slot_stall = Some((wk, reason));
+                                    if slot_stall.is_none_or(|(b, ..)| wk < b) {
+                                        slot_stall = Some((wk, reason, pc_before as u32));
                                     }
                                 }
                             }
@@ -936,7 +966,8 @@ impl<'a> Engine<'a> {
                     if tracing {
                         outcomes[sm * 4 + sched] = if slot_issued {
                             0
-                        } else if let Some((_, r)) = slot_stall {
+                        } else if let Some((_, r, pc)) = slot_stall {
+                            outcome_pc[sm * 4 + sched] = pc;
                             1 + r.bucket() as u8
                         } else {
                             OUT_IDLE
@@ -956,11 +987,21 @@ impl<'a> Engine<'a> {
                 // Each fast-forwarded cycle repeats this iteration's
                 // outcome, so weight the buckets by the advance.
                 let advance = self.cycle - prev_cycle;
-                for (acc, &code) in slot_acc.iter_mut().zip(outcomes.iter()) {
+                for ((acc, &code), &opc) in slot_acc
+                    .iter_mut()
+                    .zip(outcomes.iter())
+                    .zip(outcome_pc.iter())
+                {
                     match code {
                         0 => acc.issued += advance,
                         OUT_IDLE => acc.idle += advance,
-                        r => acc.stalled[(r - 1) as usize] += advance,
+                        r => {
+                            let b = (r - 1) as usize;
+                            acc.stalled[b] += advance;
+                            if pc_sampling {
+                                self.pc_acc[opc as usize].stalled[b] += advance;
+                            }
+                        }
                     }
                 }
             }
@@ -987,6 +1028,18 @@ impl<'a> Engine<'a> {
                 idle: acc.idle,
                 stalled: acc.stalled,
                 total,
+            });
+        }
+        for (pc, a) in self.pc_acc.iter().enumerate() {
+            if a.issues == 0 && a.stalled.iter().all(|&x| x == 0) {
+                continue;
+            }
+            s.pc_totals(&PcTotals {
+                pc: pc as u32,
+                op: op_name(&self.kernel.instrs[pc]),
+                issues: a.issues,
+                stalled: a.stalled,
+                wait_hist: a.wait_hist,
             });
         }
         for (sm, st) in self.sms.iter().enumerate() {
@@ -1036,13 +1089,23 @@ impl<'a> Engine<'a> {
         s.end_wave(total);
     }
 
-    /// Close the warp's open stall span (if any) and emit the issue event.
+    /// Close the warp's open stall span (if any), bump the PC sampling
+    /// accumulators, and emit the issue event.
     fn note_issue(&mut self, sm: usize, sched: usize, w: usize, pc: usize) {
         let now = self.cycle;
         let ws = &mut self.warps[w];
         let since = ws.stalled_since;
         let reason = ws.stall_reason;
         ws.stalled_since = u64::MAX;
+        if !self.pc_acc.is_empty() {
+            // Issue cycles always advance the clock by exactly 1, so a
+            // plain count matches the slot accounting's issued weight.
+            let a = &mut self.pc_acc[pc];
+            a.issues += 1;
+            if since != u64::MAX && now > since {
+                a.wait_hist[wait_bucket(now - since)] += 1;
+            }
+        }
         let Some(s) = self.sink.as_mut() else { return };
         if self.trace.stall_events && since != u64::MAX && now > since {
             s.stall(&StallSpan {
@@ -2785,6 +2848,16 @@ struct SlotAcc {
     issued: u64,
     idle: u64,
     stalled: [u64; N_SLOT_REASONS],
+}
+
+/// Per-PC sampling accumulator (trace path, `pc_sampling`).  Stall cycles
+/// are charged via the same advance-weighted slot outcomes as [`SlotAcc`],
+/// so per-PC sums reproduce the slot totals exactly.
+#[derive(Debug, Clone, Copy, Default)]
+struct PcAcc {
+    issues: u64,
+    stalled: [u64; N_SLOT_REASONS],
+    wait_hist: [u64; N_WAIT_BUCKETS],
 }
 
 /// Result of an issue attempt.

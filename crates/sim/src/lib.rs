@@ -61,5 +61,6 @@ pub use tiles::Tile;
 /// Re-export of the `hopper-trace` event/profiling crate.
 pub use hopper_trace as trace;
 pub use hopper_trace::{
-    ChromeTrace, NullSink, StallProfile, StallReason, StallSummary, TraceConfig, TraceSink,
+    ChromeTrace, NullSink, PcSampleSink, PcStat, StallProfile, StallReason, StallSummary, TeeSink,
+    TraceConfig, TraceSink,
 };

@@ -42,6 +42,26 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Warp-instructions issued per cycle over the whole device
+    /// (0 when no cycles were simulated).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 line hit rate in [0, 1] (0 when L1 saw no lookups).
+    pub fn l1_hit_rate(&self) -> f64 {
+        hit_rate(self.l1_hits, self.l1_misses)
+    }
+
+    /// L2 line hit rate in [0, 1] (0 when L2 saw no lookups).
+    pub fn l2_hit_rate(&self) -> f64 {
+        hit_rate(self.l2_hits, self.l2_misses)
+    }
+
     /// Merge another SM's / wave's counters; cycles take the max (parallel
     /// hardware), everything else sums.
     pub fn merge_parallel(&mut self, other: &Metrics) {
@@ -116,6 +136,27 @@ impl RunStats {
     pub fn throttle(&self) -> f64 {
         self.achieved_clock_hz / self.nominal_clock_hz
     }
+
+    /// Achieved occupancy in [0, 1]: the fraction of scheduler-slot
+    /// cycles that had at least one resident (non-retired) warp, i.e.
+    /// `1 - idle / slot_cycles` over the launch's stall attribution.
+    /// `None` for untraced launches (no [`StallSummary`] recorded).
+    pub fn achieved_occupancy(&self) -> Option<f64> {
+        let s = self.stalls.as_ref()?;
+        if s.slot_cycles == 0 {
+            return Some(0.0);
+        }
+        Some(1.0 - s.idle as f64 / s.slot_cycles as f64)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +204,40 @@ mod tests {
         assert_eq!(s.seconds_nominal(), 1.0e-3);
         assert_eq!(s.throttle(), 0.5);
         assert!((s.tc_tflops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_metric_helpers() {
+        let empty = Metrics::default();
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.l1_hit_rate(), 0.0);
+        assert_eq!(empty.l2_hit_rate(), 0.0);
+        let m = Metrics {
+            cycles: 200,
+            instructions: 100,
+            l1_hits: 3,
+            l1_misses: 1,
+            l2_hits: 9,
+            l2_misses: 1,
+            ..Default::default()
+        };
+        assert!((m.ipc() - 0.5).abs() < 1e-12);
+        assert!((m.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((m.l2_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_occupancy_from_stall_summary() {
+        let mut s = RunStats::default();
+        assert_eq!(s.achieved_occupancy(), None);
+        s.stalls = Some(StallSummary {
+            slot_cycles: 400,
+            issued: 100,
+            idle: 100,
+            ..Default::default()
+        });
+        assert!((s.achieved_occupancy().unwrap() - 0.75).abs() < 1e-12);
+        s.stalls = Some(StallSummary::default());
+        assert_eq!(s.achieved_occupancy(), Some(0.0));
     }
 }

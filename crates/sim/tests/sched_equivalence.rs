@@ -10,7 +10,7 @@ use hopper_isa::{
     CmpOp, DType, IAluOp, Kernel, KernelBuilder, MmaDesc, Operand::Imm, Operand::Reg as R, Pred,
     Reg, TileId, TilePattern,
 };
-use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, Launch, Scheduler, SimOptions};
+use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, Scheduler, SimOptions};
 
 fn gpu_with(dev: DeviceConfig, sched: Scheduler) -> Gpu {
     let opts = SimOptions {
@@ -52,6 +52,22 @@ fn assert_equivalent(name: &str, dev: DeviceConfig, setup: impl Fn(&mut Gpu) -> 
     assert!(
         pb.conservation_ok(),
         "{name}: ready-set breaks conservation"
+    );
+
+    // PC-sampled: per-instruction issue counts, binding-stall buckets and
+    // wait histograms must match (the cached binding-PC argument extends
+    // the cached-outcome one, so this guards it directly).
+    let pcsample = |sched| {
+        let mut gpu = gpu_with(dev.clone(), sched);
+        let (k, l) = setup(&mut gpu);
+        let mut pcs = PcSampleSink::default();
+        gpu.launch_traced(&k, &l, &mut pcs).expect("launch");
+        pcs
+    };
+    assert_eq!(
+        pcsample(Scheduler::LegacyScan),
+        pcsample(Scheduler::ReadySet),
+        "{name}: per-PC samples differ"
     );
 
     // Chrome-traced: the serialized timeline must be byte-identical.

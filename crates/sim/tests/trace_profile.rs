@@ -286,3 +286,81 @@ fn aggregates_only_config_still_conserves() {
         .expect("launch");
     assert!(chrome.is_empty(), "event categories disabled → no events");
 }
+
+#[test]
+fn fast_forward_conservation_with_idle_schedulers() {
+    // A single resident warp leaves 3 of the 4 schedulers per SM
+    // permanently idle, so the ready-set scheduler's hierarchical
+    // fast-forward skips most cycles outright.  The skipped cycles must
+    // still be accounted: issued + stalled + idle == slot_cycles exactly,
+    // on every device.
+    for dev in [
+        DeviceConfig::a100(),
+        DeviceConfig::rtx4090(),
+        DeviceConfig::h800(),
+    ] {
+        let name = dev.name;
+        let mut gpu = Gpu::new(dev);
+        let (k, launch) = pchase_setup(&mut gpu);
+        let (stats, prof) = gpu.profile(&k, &launch).expect("launch");
+        assert!(prof.conservation_ok(), "{name}: per-slot conservation");
+        let s = stats.stalls.expect("profiled run fills stalls");
+        assert_eq!(
+            s.issued + s.idle + s.stalled.iter().sum::<u64>(),
+            s.slot_cycles,
+            "{name}: summary conservation under fast-forward"
+        );
+        assert_eq!(
+            s.slot_cycles,
+            stats.metrics.cycles * 4,
+            "{name}: every fast-forwarded cycle accounted on all 4 slots"
+        );
+        // The 3 warp-less schedulers are idle for the whole run.
+        assert!(
+            s.idle >= stats.metrics.cycles * 3,
+            "{name}: idle schedulers under-counted ({} < {})",
+            s.idle,
+            stats.metrics.cycles * 3
+        );
+    }
+}
+
+#[test]
+fn pc_sampling_sums_match_stall_summary() {
+    // Per-PC binding-stall cycles ride the same advance-weighted slot
+    // outcomes as the launch-wide summary, so their per-bucket sums must
+    // reproduce `StallSummary::stalled` exactly — and total issues must
+    // equal issued slot-cycles.
+    for dev in [
+        DeviceConfig::a100(),
+        DeviceConfig::rtx4090(),
+        DeviceConfig::h800(),
+    ] {
+        let name = dev.name;
+        let mut gpu = Gpu::new(dev);
+        let (k, launch) = pchase_setup(&mut gpu);
+        let mut prof = StallProfile::default();
+        let mut pcs = hopper_sim::PcSampleSink::default();
+        let mut tee = TeeSink::new(&mut prof, &mut pcs);
+        gpu.launch_traced(&k, &launch, &mut tee).expect("launch");
+        let s = prof.summary();
+        assert_eq!(
+            pcs.stalled_by_reason(),
+            s.stalled,
+            "{name}: per-PC stall buckets don't sum to the summary"
+        );
+        assert_eq!(
+            pcs.total_issues(),
+            s.issued,
+            "{name}: per-PC issues don't sum to issued slot-cycles"
+        );
+        // The dependent load is the hotspot, and its stalls are
+        // scoreboard stalls.
+        let hot = pcs.hotspots(1)[0];
+        assert_eq!(hot.pc, 2, "{name}: hotspot should be the chased load");
+        assert!(
+            hot.stalled[StallReason::Scoreboard.bucket()] > 0,
+            "{name}: load hotspot must attribute to the scoreboard"
+        );
+    }
+}

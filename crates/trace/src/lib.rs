@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod pc;
 mod profile;
 
 pub use chrome::ChromeTrace;
+pub use pc::{wait_bucket, wait_bucket_label, PcSampleSink, PcStat, PcTotals, N_WAIT_BUCKETS};
 pub use profile::{SlotProfile, StallProfile, StallSummary, UnitOccupancy};
 
 /// Why a warp-scheduler slot could not issue an instruction this cycle.
@@ -135,6 +137,10 @@ pub struct TraceConfig {
     pub cache_events: bool,
     /// Emit [`TraceSink::unit`] spans (functional-unit busy intervals).
     pub unit_events: bool,
+    /// Keep per-PC accumulators in the engine and emit
+    /// [`TraceSink::pc_totals`] once per instruction per wave (the data
+    /// behind [`PcSampleSink`] and the profiler's Source/PC view).
+    pub pc_sampling: bool,
 }
 
 impl Default for TraceConfig {
@@ -144,6 +150,7 @@ impl Default for TraceConfig {
             stall_events: true,
             cache_events: true,
             unit_events: true,
+            pc_sampling: true,
         }
     }
 }
@@ -154,14 +161,15 @@ impl TraceConfig {
         TraceConfig::default()
     }
 
-    /// Aggregate-only tracing: per-slot/unit/cache totals still flow to
-    /// the sink, but no per-event records are constructed.
+    /// Aggregate-only tracing: per-slot/unit/cache/PC totals still flow
+    /// to the sink, but no per-event records are constructed.
     pub fn aggregates_only() -> Self {
         TraceConfig {
             issue_events: false,
             stall_events: false,
             cache_events: false,
             unit_events: false,
+            pc_sampling: true,
         }
     }
 }
@@ -331,6 +339,13 @@ pub trait TraceSink {
         let _ = totals;
     }
 
+    /// End-of-wave per-PC sampling totals (one call per kernel
+    /// instruction that issued or bound a stall during the wave; only
+    /// emitted when [`TraceConfig::pc_sampling`] is on).
+    fn pc_totals(&mut self, totals: &PcTotals) {
+        let _ = totals;
+    }
+
     /// Device-level cycles lost to DVFS throttling (emitted once per
     /// launch, after all waves).
     fn dvfs_throttle(&mut self, cycles: u64) {
@@ -404,6 +419,10 @@ impl TraceSink for TeeSink<'_> {
     fn cache_totals(&mut self, totals: &CacheTotals) {
         self.a.cache_totals(totals);
         self.b.cache_totals(totals);
+    }
+    fn pc_totals(&mut self, totals: &PcTotals) {
+        self.a.pc_totals(totals);
+        self.b.pc_totals(totals);
     }
     fn dvfs_throttle(&mut self, cycles: u64) {
         self.a.dvfs_throttle(cycles);

@@ -207,12 +207,21 @@ fn main() {
         }
     );
     println!(
-        "  {} instructions, {} TC ops, {} DPX ops",
-        m.instructions, m.tc_ops, m.dpx_ops
+        "  {} instructions (ipc {:.3}), {} TC ops, {} DPX ops",
+        m.instructions,
+        m.ipc(),
+        m.tc_ops,
+        m.dpx_ops
     );
     println!(
-        "  traffic: L1 {} B, L2 {} B, DRAM {} B, SMEM {} B, DSM {} B",
-        m.l1_bytes, m.l2_bytes, m.dram_bytes, m.smem_bytes, m.dsm_bytes
+        "  traffic: L1 {} B ({:.1}% hit), L2 {} B ({:.1}% hit), DRAM {} B, SMEM {} B, DSM {} B",
+        m.l1_bytes,
+        m.l1_hit_rate() * 100.0,
+        m.l2_bytes,
+        m.l2_hit_rate() * 100.0,
+        m.dram_bytes,
+        m.smem_bytes,
+        m.dsm_bytes
     );
     println!("  avg power {:.1} W", stats.avg_power_w);
     for (idx, n) in &args.dumps {

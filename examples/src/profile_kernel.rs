@@ -1,129 +1,22 @@
 //! Profile a kernel: where do the cycles go?
 //!
-//! Runs a chosen microbenchmark under the `hopper-trace` stall profiler and
+//! Runs a built-in workload (shared with the `hprof` CLI via
+//! `hopper_prof::workloads`) under the `hopper-trace` stall profiler and
 //! prints the per-scheduler stall-reason histogram, functional-unit
 //! occupancy, and cache behaviour.  Optionally also records a Chrome-trace
 //! timeline (open in `chrome://tracing` or Perfetto).
 //!
+//! For the full Nsight-style sectioned report (Speed-of-Light, occupancy,
+//! roofline, per-PC hotspots) use `hprof` from `hopper-bench` instead.
+//!
 //! ```text
 //! cargo run --release -p hopper-examples --bin profile_kernel -- \
-//!     [h800|a100|rtx4090|all] [pchase|stream|tensor] [--chrome-trace out.json]
+//!     [h800|a100|rtx4090|all] [pchase|stream|tensor|dpx] [--chrome-trace out.json]
 //! ```
 
-use hopper_isa::asm::assemble_named;
-use hopper_isa::mma::OperandSource;
-use hopper_isa::{
-    CmpOp, DType, IAluOp, KernelBuilder, MmaDesc, Operand::Imm, Operand::Reg as R, Pred, Reg,
-    TileId, TilePattern,
-};
+use hopper_prof::workloads::Workload;
 use hopper_sim::trace::TeeSink;
-use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, Launch, StallProfile};
-
-/// A pointer-chase over an L1-resident ring: latency-bound, so nearly all
-/// slot cycles attribute to the scoreboard (waiting on the dependent load).
-fn pchase_workload(gpu: &mut Gpu) -> (hopper_isa::Kernel, Launch) {
-    let (ring_bytes, stride, iters) = (16 * 1024u64, 128u64, 2048u32);
-    let n = ring_bytes / stride;
-    let buf = gpu.alloc(ring_bytes).expect("ring allocation");
-    for i in 0..n {
-        let next = buf + ((i + 1) % n) * stride;
-        gpu.mem_mut().write_scalar(buf + i * stride, 8, next);
-    }
-    let k = assemble_named(
-        &format!(
-            r#"
-            mov.s64 %r3, %r0;
-            mov.s32 %r4, 0;
-        LOOP:
-            ld.global.ca.b64 %r3, [%r3];
-            add.s32 %r4, %r4, 1;
-            setp.lt.s32 %p0, %r4, {iters};
-            @%p0 bra LOOP;
-            exit;
-        "#
-        ),
-        "pchase_l1",
-    )
-    .expect("static kernel assembles");
-    (k, Launch::new(1, 1).with_params(vec![buf]))
-}
-
-/// Streaming copy at full occupancy: bandwidth-bound, so stalls split
-/// between the scoreboard (loads in flight) and the MIO queues.
-fn stream_workload(gpu: &mut Gpu) -> (hopper_isa::Kernel, Launch) {
-    let block = 256u32;
-    let grid = gpu.device().num_sms;
-    let elems = (grid * block) as u64 * 8;
-    let src = gpu.alloc(elems * 4).expect("src allocation");
-    let dst = gpu.alloc(elems * 4).expect("dst allocation");
-    let k = assemble_named(
-        &format!(
-            r#"
-            mov %r2, %tid.x;
-            mov %r3, %ctaid.x;
-            mad.s32 %r4, %r3, {block}, %r2;   // gid
-            mov.s32 %r5, 0;
-        LOOP:
-            mad.s32 %r6, %r5, {stride}, %r4;  // gid + i*grid*block
-            shl.s32 %r7, %r6, 2;
-            mad.s64 %r8, %r7, 1, %r0;         // &src[idx]
-            mad.s64 %r9, %r7, 1, %r1;         // &dst[idx]
-            ld.global.cg.b32 %r10, [%r8];
-            st.global.b32 [%r9], %r10;
-            add.s32 %r5, %r5, 1;
-            setp.lt.s32 %p0, %r5, 8;
-            @%p0 bra LOOP;
-            exit;
-        "#,
-            stride = grid * block,
-        ),
-        "stream_copy",
-    )
-    .expect("static kernel assembles");
-    (k, Launch::new(grid, block).with_params(vec![src, dst]))
-}
-
-/// A dependent tensor-core chain: the pipe itself is the bottleneck, so
-/// stalls attribute to the tensor pipe (`wgmma` on Hopper, `mma` elsewhere).
-fn tensor_workload(gpu: &mut Gpu) -> (hopper_isa::Kernel, Launch) {
-    let iters = 256i64;
-    let hopper = gpu.device().arch.has_wgmma();
-    let mut b = KernelBuilder::new(if hopper { "wgmma_chain" } else { "mma_chain" });
-    let desc = if hopper {
-        MmaDesc::wgmma(
-            128,
-            DType::F16,
-            DType::F32,
-            false,
-            OperandSource::SharedShared,
-        )
-        .expect("valid wgmma shape")
-    } else {
-        MmaDesc::mma(16, 8, 16, DType::F16, DType::F32, false).expect("valid mma shape")
-    };
-    let (m, n, k) = (desc.m as u16, desc.n as u16, desc.k as u16);
-    b.fill_tile(TileId(0), desc.ab, m, k, TilePattern::Zero);
-    b.fill_tile(TileId(1), desc.ab, k, n, TilePattern::Zero);
-    b.fill_tile(TileId(2), desc.cd, m, n, TilePattern::Zero);
-    b.mov(Reg(1), Imm(0));
-    if hopper {
-        b.wgmma_fence();
-    }
-    let top = b.label_here();
-    if hopper {
-        b.wgmma(desc, TileId(2), TileId(0), TileId(1));
-        b.wgmma_commit();
-        b.wgmma_wait(0);
-    } else {
-        b.mma(desc, TileId(2), TileId(0), TileId(1), TileId(2));
-    }
-    b.ialu(IAluOp::Add, Reg(1), R(Reg(1)), Imm(1));
-    b.setp(Pred(0), CmpOp::Lt, R(Reg(1)), Imm(iters));
-    b.bra_if(top, Pred(0), true);
-    b.exit();
-    let block = if hopper { 128 } else { 32 };
-    (b.build(), Launch::new(gpu.device().num_sms, block))
-}
+use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, StallProfile};
 
 fn device_by_name(name: &str) -> Option<DeviceConfig> {
     match name {
@@ -134,23 +27,16 @@ fn device_by_name(name: &str) -> Option<DeviceConfig> {
     }
 }
 
-fn profile_one(dev: DeviceConfig, kernel_name: &str, chrome_path: Option<&str>) {
+fn profile_one(dev: DeviceConfig, workload: Workload, chrome_path: Option<&str>) {
     let mut gpu = Gpu::new(dev);
     println!(
-        "== {} ({} SMs @ {:.0} MHz) — `{kernel_name}` ==",
+        "== {} ({} SMs @ {:.0} MHz) — `{}` ==",
         gpu.device().name,
         gpu.device().num_sms,
-        gpu.device().clock_hz / 1e6
+        gpu.device().clock_hz / 1e6,
+        workload.name()
     );
-    let (k, launch) = match kernel_name {
-        "pchase" => pchase_workload(&mut gpu),
-        "stream" => stream_workload(&mut gpu),
-        "tensor" => tensor_workload(&mut gpu),
-        other => {
-            eprintln!("unknown kernel `{other}` (expected pchase|stream|tensor)");
-            std::process::exit(2);
-        }
-    };
+    let (k, launch) = workload.build(&mut gpu);
 
     let (stats, prof) = if let Some(path) = chrome_path {
         // Tee the event stream: aggregate stalls *and* record a timeline.
@@ -201,7 +87,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: profile_kernel [h800|a100|rtx4090|all] \
-                     [pchase|stream|tensor] [--chrome-trace out.json]"
+                     [pchase|stream|tensor|dpx] [--chrome-trace out.json]"
                 );
                 return;
             }
@@ -220,6 +106,11 @@ fn main() {
         i += 1;
     }
 
+    let Some(workload) = Workload::parse(&kernel) else {
+        eprintln!("unknown kernel `{kernel}` (expected pchase|stream|tensor|dpx)");
+        std::process::exit(2);
+    };
+
     if device == "all" {
         for name in ["h800", "a100", "rtx4090"] {
             // One trace file per device, so later runs don't overwrite
@@ -228,11 +119,11 @@ fn main() {
                 Some((stem, ext)) => format!("{stem}-{name}.{ext}"),
                 None => format!("{p}-{name}"),
             });
-            profile_one(device_by_name(name).unwrap(), &kernel, per_dev.as_deref());
+            profile_one(device_by_name(name).unwrap(), workload, per_dev.as_deref());
         }
     } else {
         match device_by_name(&device) {
-            Some(dev) => profile_one(dev, &kernel, chrome.as_deref()),
+            Some(dev) => profile_one(dev, workload, chrome.as_deref()),
             None => {
                 eprintln!("unknown device `{device}` (expected h800|a100|rtx4090|all)");
                 std::process::exit(2);

@@ -44,9 +44,10 @@ fn main() {
     println!("first results: {vals:?}");
     assert_eq!(vals[7], 49);
     println!(
-        "kernel: {} cycles, {} instructions, {:.1} µs at {:.0} MHz",
+        "kernel: {} cycles, {} instructions (ipc {:.3}), {:.1} µs at {:.0} MHz",
         stats.metrics.cycles,
         stats.metrics.instructions,
+        stats.metrics.ipc(),
         stats.seconds() * 1e6,
         stats.achieved_clock_hz / 1e6
     );

@@ -7,12 +7,20 @@
 #   RUNS=5 scripts/bench.sh          # more runs -> tighter medians
 #   SWEEP=1 scripts/bench.sh         # also time the full gen-experiments sweep
 #   LABEL=pr2 scripts/bench.sh       # tag the entry
+#   scripts/bench.sh gate [args]     # regression-gate the newest entry
+#                                    # (args forwarded to bench-gate)
 #
 # sim_hotpath is a criterion-style bench (median ns/iter per bench id);
 # cachesweep and te_sweep are report-style harnesses, recorded as
 # wall-clock milliseconds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "gate" ]; then
+    shift
+    cargo build --release -q -p hopper-bench --bin bench-gate
+    exec target/release/bench-gate "$@"
+fi
 
 RUNS="${RUNS:-3}"
 SWEEP="${SWEEP:-0}"
@@ -49,7 +57,10 @@ if [ "$SWEEP" = "1" ]; then
     echo $(( (t1 - t0) / 1000000 )) > "$tmp/sweep.txt"
 fi
 
-GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)$(git diff --quiet HEAD 2>/dev/null || echo +dirty)" \
+# Stamp the actual HEAD revision; mark +dirty only when the worktree truly
+# differs from HEAD.  BENCH_sim.json itself is excluded: this script is the
+# thing that modifies it, so a previous run must not taint the next stamp.
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)$(git diff --quiet HEAD -- . ":(exclude)$OUT" 2>/dev/null || echo +dirty)" \
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 RUNS="$RUNS" LABEL="$LABEL" TMP="$tmp" OUT="$OUT" python3 - <<'PY'
 import json, os, statistics, collections

@@ -28,4 +28,18 @@ cargo test -q --manifest-path vendor/rayon/Cargo.toml
 echo "== feature gate: hopper-sim without serde"
 cargo build -p hopper-sim --no-default-features
 
+echo "== hprof smoke: one kernel per device, JSON schema vs golden"
+cargo build --release -q -p hopper-bench --bin hprof
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+for dev in h800 a100 rtx4090; do
+    target/release/hprof "$dev" pchase --json --out "$smoke" >/dev/null
+    python3 scripts/validate_hprof.py \
+        "$smoke/hprof_${dev}_pchase.json" \
+        "crates/prof/golden/hprof_${dev}_pchase.json"
+done
+
+echo "== bench regression gate vs pr2-ready-set (10%)"
+scripts/bench.sh gate --baseline pr2-ready-set --threshold 10
+
 echo "all checks passed"

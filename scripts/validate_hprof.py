@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Schema-validate an `hprof --json` report against a golden report.
+
+Compares recursive *structure* — the set of key paths and the JSON type at
+each path — not values, so simulator recalibrations don't churn goldens
+while missing sections, renamed keys, or type changes still fail loudly.
+
+Usage: validate_hprof.py CANDIDATE.json GOLDEN.json
+"""
+import json
+import sys
+
+
+def schema(node, path=""):
+    """Flatten a JSON tree into {key_path: type_name}.
+
+    Array elements share the path (`pcs[]`): every element must carry the
+    same structure, but element *count* is workload-dependent and free.
+    """
+    out = {}
+    if isinstance(node, dict):
+        out[path or "."] = "object"
+        for k, v in node.items():
+            out.update(schema(v, f"{path}.{k}" if path else k))
+    elif isinstance(node, list):
+        out[path or "."] = "array"
+        for v in node:
+            out.update(schema(v, f"{path}[]"))
+    elif isinstance(node, bool):
+        out[path] = "bool"
+    elif isinstance(node, (int, float)):
+        out[path] = "number"
+    elif node is None:
+        # null is interchangeable with number in optional slots
+        # (e.g. an unconstrained occupancy limit).
+        out[path] = "number"
+    else:
+        out[path] = "string"
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    cand_path, gold_path = sys.argv[1], sys.argv[2]
+    with open(cand_path) as f:
+        cand = schema(json.load(f))
+    with open(gold_path) as f:
+        gold = schema(json.load(f))
+
+    errors = []
+    for path, t in sorted(gold.items()):
+        if path not in cand:
+            errors.append(f"missing key path: {path} ({t})")
+        elif cand[path] != t:
+            errors.append(f"type changed at {path}: golden {t}, got {cand[path]}")
+    for path in sorted(set(cand) - set(gold)):
+        errors.append(f"unexpected key path: {path} ({cand[path]})")
+
+    if errors:
+        print(f"hprof schema mismatch vs {gold_path}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{cand_path}: schema matches {gold_path}")
+
+
+if __name__ == "__main__":
+    main()
