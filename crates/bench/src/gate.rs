@@ -30,8 +30,12 @@ pub struct GateRow {
 pub struct GateReport {
     /// Label of the baseline entry.
     pub baseline_label: String,
+    /// `git_rev` recorded in the baseline entry (`unknown` if absent).
+    pub baseline_rev: String,
     /// Label of the candidate entry (`git_rev` when unlabelled).
     pub current_label: String,
+    /// `git_rev` recorded in the candidate entry (`unknown` if absent).
+    pub current_rev: String,
     /// Allowed slowdown, percent.
     pub threshold_pct: f64,
     /// Per-metric comparisons (metrics present in both entries).
@@ -68,14 +72,21 @@ impl GateReport {
                 if r.regressed { "REGRESSION" } else { "" }
             );
         }
+        // The verdict line repeats both compared identities so a bare
+        // tail of CI output still says exactly what was measured against
+        // what, on pass and fail alike.
+        let identities = format!(
+            "`{}` (rev {}) vs baseline `{}` (rev {})",
+            self.current_label, self.current_rev, self.baseline_label, self.baseline_rev
+        );
         let n = self.regressions().len();
         let _ = writeln!(
             o,
             "{}",
             if n == 0 {
-                "gate PASSED".to_string()
+                format!("gate PASSED: {identities}")
             } else {
-                format!("gate FAILED: {n} regression(s)")
+                format!("gate FAILED: {n} regression(s), {identities}")
             }
         );
         o
@@ -113,6 +124,14 @@ impl std::fmt::Display for GateError {
 
 /// Metric groups gated (both are lower-is-better).
 const GROUPS: [&str; 2] = ["sim_hotpath_ns_per_iter", "wall_clock_ms"];
+
+fn entry_rev(e: &Value) -> String {
+    e.get("git_rev")
+        .and_then(|v| v.as_str())
+        .filter(|s| !s.is_empty())
+        .unwrap_or("unknown")
+        .to_string()
+}
 
 fn entry_label(e: &Value) -> String {
     match e.get("label") {
@@ -182,7 +201,9 @@ pub fn gate(doc: &Value, baseline: &str, threshold_pct: f64) -> Result<GateRepor
     }
     Ok(GateReport {
         baseline_label: baseline.to_string(),
+        baseline_rev: entry_rev(base),
         current_label: entry_label(cur),
+        current_rev: entry_rev(cur),
         threshold_pct,
         rows,
     })
@@ -225,7 +246,11 @@ mod tests {
         assert!(rep.passed());
         assert_eq!(rep.rows.len(), 2); // only shared metrics gated
         assert_eq!(rep.current_label, "bbb");
-        assert!(rep.render().contains("gate PASSED"));
+        let text = rep.render();
+        assert!(
+            text.contains("gate PASSED: `bbb` (rev bbb) vs baseline `base` (rev aaa)"),
+            "verdict line must name both compared entries: {text}"
+        );
     }
 
     #[test]
@@ -236,7 +261,13 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].name, "k1");
         assert!((regs[0].delta_pct - 11.0).abs() < 1e-9);
-        assert!(rep.render().contains("gate FAILED"));
+        let text = rep.render();
+        assert!(
+            text.contains(
+                "gate FAILED: 1 regression(s), `bbb` (rev bbb) vs baseline `base` (rev aaa)"
+            ),
+            "verdict line must name both compared entries: {text}"
+        );
     }
 
     #[test]

@@ -30,6 +30,40 @@ impl Kernel {
     pub fn count_matching(&self, pred: impl Fn(&Instr) -> bool) -> usize {
         self.instrs.iter().filter(|i| pred(i)).count()
     }
+
+    /// Stable content digest: order-sensitive FNV-1a 64 over the
+    /// instruction stream (with resolved branch targets), the
+    /// launch-relevant resource fields and the kernel name.
+    ///
+    /// Two kernels digest equal iff they would execute and occupy
+    /// identically, so the digest is safe as a result-cache key
+    /// (`hopper-serve`) and as a provenance stamp in profiler reports.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        // The derived Debug form is a canonical, field-complete rendering
+        // of each instruction (no hidden state in `Instr`), separated by
+        // `;` so instruction boundaries can't alias.
+        for i in &self.instrs {
+            feed(format!("{i:?};").as_bytes());
+        }
+        feed(&self.regs_per_thread.to_le_bytes());
+        feed(&self.smem_bytes.to_le_bytes());
+        feed(self.name.as_bytes());
+        h
+    }
+
+    /// [`Self::digest`] as a fixed-width 16-char lowercase hex string.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
 }
 
 /// Fluent kernel builder with label patching.
@@ -563,5 +597,42 @@ mod tests {
         b.bra(l);
         b.exit();
         b.build();
+    }
+
+    fn two_instr_kernel(name: &str, imm: i64) -> Kernel {
+        let mut b = KernelBuilder::new(name);
+        b.mov(Reg(1), Operand::Imm(imm));
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let k = two_instr_kernel("k", 7);
+        // Stable across clones and calls.
+        assert_eq!(k.digest(), k.clone().digest());
+        assert_eq!(k.digest_hex().len(), 16);
+        assert_eq!(k.digest_hex(), format!("{:016x}", k.digest()));
+        // Any content change moves the digest: operand, name, smem.
+        assert_ne!(k.digest(), two_instr_kernel("k", 8).digest());
+        assert_ne!(k.digest(), two_instr_kernel("k2", 7).digest());
+        let mut b = KernelBuilder::new("k");
+        b.shared_mem(256);
+        b.mov(Reg(1), Operand::Imm(7));
+        b.exit();
+        assert_ne!(k.digest(), b.build().digest());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut b1 = KernelBuilder::new("ord");
+        b1.mov(Reg(1), Operand::Imm(1));
+        b1.mov(Reg(2), Operand::Imm(2));
+        b1.exit();
+        let mut b2 = KernelBuilder::new("ord");
+        b2.mov(Reg(2), Operand::Imm(2));
+        b2.mov(Reg(1), Operand::Imm(1));
+        b2.exit();
+        assert_ne!(b1.build().digest(), b2.build().digest());
     }
 }

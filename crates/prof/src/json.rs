@@ -164,6 +164,7 @@ impl KernelReport {
             ("grid", u(self.grid as u64)),
             ("ipc", f(self.ipc)),
             ("kernel", s(&self.kernel)),
+            ("kernel_digest", s(&self.kernel_digest)),
             ("memory", memory),
             ("nominal_clock_mhz", f(self.nominal_clock_mhz)),
             ("occupancy", occupancy),

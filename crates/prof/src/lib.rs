@@ -33,8 +33,8 @@ pub mod workloads;
 
 use hopper_isa::{disasm, DType, Kernel};
 use hopper_sim::{
-    DeviceConfig, Gpu, Launch, LaunchError, PcSampleSink, RunStats, StallProfile, StallReason,
-    StallSummary, TeeSink,
+    DeviceConfig, Gpu, Launch, LaunchError, PcSampleSink, RunBudget, RunStats, StallProfile,
+    StallReason, StallSummary, TeeSink,
 };
 use hopper_trace::{N_SLOT_REASONS, N_WAIT_BUCKETS};
 
@@ -194,6 +194,11 @@ pub struct KernelReport {
     pub device: String,
     /// Kernel name.
     pub kernel: String,
+    /// Stable content digest of the profiled kernel
+    /// ([`Kernel::digest_hex`]) — provenance stamp shared with the serve
+    /// result cache, so cached and fresh reports are attributable to the
+    /// exact kernel text while staying byte-identical in payload.
+    pub kernel_digest: String,
     /// Launch geometry: blocks in the grid.
     pub grid: u32,
     /// Launch geometry: threads per block.
@@ -251,10 +256,22 @@ pub fn profile_kernel(
     kernel: &Kernel,
     launch: &Launch,
 ) -> Result<KernelReport, LaunchError> {
+    profile_kernel_bounded(gpu, kernel, launch, &RunBudget::default())
+}
+
+/// [`profile_kernel`] under a [`RunBudget`]: the serve daemon's deadline
+/// path.  A tripped budget or cancel flag surfaces as
+/// [`LaunchError::DeadlineExceeded`] / [`LaunchError::Cancelled`].
+pub fn profile_kernel_bounded(
+    gpu: &mut Gpu,
+    kernel: &Kernel,
+    launch: &Launch,
+    budget: &RunBudget,
+) -> Result<KernelReport, LaunchError> {
     let mut prof = StallProfile::default();
     let mut pcs = PcSampleSink::default();
     let mut tee = TeeSink::new(&mut prof, &mut pcs);
-    let mut stats = gpu.launch_traced(kernel, launch, &mut tee)?;
+    let mut stats = gpu.launch_traced_bounded(kernel, launch, &mut tee, budget)?;
     stats.stalls = Some(prof.summary());
     let blocks_per_sm = gpu.occupancy(kernel, launch.block)?;
     debug_assert!(prof.conservation_ok());
@@ -283,6 +300,7 @@ fn build_report(
     KernelReport {
         device: dev.name.to_string(),
         kernel: kernel.name.clone(),
+        kernel_digest: kernel.digest_hex(),
         grid: launch.grid,
         block: launch.block,
         cycles: m.cycles,
@@ -542,6 +560,7 @@ mod tests {
         let mut r = KernelReport {
             device: "x".into(),
             kernel: "k".into(),
+            kernel_digest: "0000000000000000".into(),
             grid: 1,
             block: 32,
             cycles: 100,

@@ -28,6 +28,7 @@ impl KernelReport {
             "   {} cycles, {:.1} µs @ {:.0} MHz (nominal {:.0} MHz), ipc {:.3}",
             self.cycles, self.time_us, self.achieved_clock_mhz, self.nominal_clock_mhz, self.ipc
         );
+        let _ = writeln!(o, "   kernel digest {}", self.kernel_digest);
 
         let _ = writeln!(o, "\n-- Speed of Light --");
         for e in &self.sol {

@@ -1,0 +1,182 @@
+//! `hsim-client` — command-line client for the `hsimd` daemon.
+//!
+//! Exit codes: 0 = daemon answered `status:"ok"`, 1 = daemon answered
+//! `status:"error"`, 2 = usage or transport failure.
+
+use hopper_serve::protocol::ReportKind;
+use hopper_serve::{Client, RunSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hsim-client -- client for the hsimd simulation daemon
+
+USAGE:
+    hsim-client [--addr HOST:PORT] <COMMAND>
+
+COMMANDS:
+    ping                       liveness probe
+    stats                      daemon statistics snapshot
+    shutdown                   graceful shutdown (drains queued jobs)
+    run FILE [RUN OPTIONS]     assemble FILE (or stdin when FILE is `-`)
+                               and simulate it on the daemon
+
+RUN OPTIONS:
+    --device NAME      h800 | a100 | rtx4090 (default h800)
+    --grid N           blocks in the grid (default 1)
+    --block N          threads per block (default 128)
+    --cluster N        cluster size (default 1)
+    --param N          kernel parameter, repeatable (loaded into %r0..)
+    --report KIND      stats | profile (default stats)
+    --name NAME        kernel name stamped into reports
+    --id ID            correlation id echoed in the response
+    --max-cycles N     simulated-cycle budget for this run
+    --deadline-ms MS   wall-clock deadline for this run
+    --no-cache         bypass the daemon's result cache
+    --pretty           pretty-print the response JSON
+
+GLOBAL OPTIONS:
+    --addr HOST:PORT   daemon address (default 127.0.0.1:7077)
+    -h, --help         print this help
+";
+
+struct Cli {
+    addr: String,
+    pretty: bool,
+    command: Command,
+}
+
+enum Command {
+    Ping,
+    Stats,
+    Shutdown,
+    Run(Box<RunSpec>),
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut pretty = false;
+    let mut command: Option<Command> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => addr = value(&mut i)?,
+            "--pretty" => pretty = true,
+            "ping" | "stats" | "shutdown" if command.is_none() => {
+                command = Some(match a {
+                    "ping" => Command::Ping,
+                    "stats" => Command::Stats,
+                    _ => Command::Shutdown,
+                });
+            }
+            "run" if command.is_none() => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "run needs a kernel FILE (or `-` for stdin)".to_string())?;
+                let kernel = if file == "-" {
+                    let mut text = String::new();
+                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                        .map_err(|e| format!("reading stdin: {e}"))?;
+                    text
+                } else {
+                    std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?
+                };
+                command = Some(Command::Run(Box::new(RunSpec::new(kernel, "h800", 1, 128))));
+            }
+            flag => {
+                let Some(Command::Run(spec)) = command.as_mut() else {
+                    return Err(format!("unknown argument `{flag}`"));
+                };
+                let parse_n = |val: &str| -> Result<u64, String> {
+                    val.parse::<u64>()
+                        .map_err(|_| format!("{flag}: `{val}` is not a non-negative integer"))
+                };
+                match flag {
+                    "--no-cache" => spec.no_cache = true,
+                    "--device" => spec.device = value(&mut i)?,
+                    "--name" => spec.name = Some(value(&mut i)?),
+                    "--id" => spec.id = Some(value(&mut i)?),
+                    "--grid" => spec.grid = parse_n(&value(&mut i)?)? as u32,
+                    "--block" => spec.block = parse_n(&value(&mut i)?)? as u32,
+                    "--cluster" => spec.cluster = parse_n(&value(&mut i)?)? as u32,
+                    "--param" => spec.params.push(parse_n(&value(&mut i)?)?),
+                    "--max-cycles" => spec.max_cycles = Some(parse_n(&value(&mut i)?)?),
+                    "--deadline-ms" => spec.deadline_ms = Some(parse_n(&value(&mut i)?)?),
+                    "--report" => {
+                        let v = value(&mut i)?;
+                        spec.report = ReportKind::parse(&v)
+                            .ok_or_else(|| format!("--report: `{v}` is not stats|profile"))?;
+                    }
+                    other => return Err(format!("unknown run option `{other}`")),
+                }
+            }
+        }
+        i += 1;
+    }
+    let command = command.ok_or_else(|| "missing command (ping|stats|shutdown|run)".to_string())?;
+    Ok(Some(Cli {
+        addr,
+        pretty,
+        command,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(cli)) => cli,
+        Err(e) => {
+            eprintln!("hsim-client: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let client = Client::new(cli.addr.clone());
+    let sent = match &cli.command {
+        Command::Ping => client.ping(),
+        Command::Stats => client.send_line(r#"{"op":"stats"}"#),
+        Command::Shutdown => client.shutdown(),
+        Command::Run(spec) => client.run(spec),
+    };
+    let line = match sent {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("hsim-client: {}: {e}", cli.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let parsed = serde_json::from_str(&line);
+    if cli.pretty {
+        match parsed
+            .as_ref()
+            .ok()
+            .and_then(|v| serde_json::to_string_pretty(v).ok())
+        {
+            Some(s) => println!("{s}"),
+            None => println!("{line}"),
+        }
+    } else {
+        println!("{line}");
+    }
+    let ok = parsed
+        .ok()
+        .and_then(|v| v.get("status").and_then(|s| s.as_str().map(String::from)))
+        .is_some_and(|s| s == "ok");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

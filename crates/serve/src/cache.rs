@@ -1,0 +1,196 @@
+//! Content-addressed LRU result cache.
+//!
+//! Keyed by everything that determines a response payload: the kernel
+//! content digest, the device, the launch geometry/parameters and the
+//! report kind.  Values are the deterministic `result` JSON trees, so a
+//! hit reproduces the cold response byte-for-byte (the envelope is
+//! rebuilt per request around the cached payload).
+
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything that determines a `run` result payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`hopper_isa::Kernel::digest`] of the assembled kernel.
+    pub digest: u64,
+    /// Device name.
+    pub device: String,
+    /// Blocks in the grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Cluster size.
+    pub cluster: u32,
+    /// Kernel parameters.
+    pub params: Vec<u64>,
+    /// Report kind wire name.
+    pub report: &'static str,
+}
+
+/// Bounded LRU map from [`CacheKey`] to result payloads, with hit/miss
+/// accounting for the stats endpoint.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<CacheKey, (u64, Value)>,
+    /// LRU order: access sequence number → key (BTreeMap gives O(log n)
+    /// eviction of the stalest entry without an external deque).
+    order: BTreeMap<u64, CacheKey>,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache counters for the stats endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Live entries.
+    pub entries: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` results (`cap` 0 disables
+    /// caching: every lookup misses and inserts are dropped).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            seq: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a result, refreshing its LRU position on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Value> {
+        match self.map.get_mut(key) {
+            Some((seq, payload)) => {
+                self.hits += 1;
+                self.order.remove(seq);
+                self.seq += 1;
+                *seq = self.seq;
+                self.order.insert(self.seq, key.clone());
+                Some(payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the least-recently-used entry if full.
+    pub fn put(&mut self, key: CacheKey, payload: Value) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some((seq, _)) = self.map.remove(&key) {
+            // Re-insert of an existing key refreshes both value and age.
+            self.order.remove(&seq);
+        } else if self.map.len() >= self.cap {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.seq += 1;
+        self.map.insert(key.clone(), (self.seq, payload));
+        self.order.insert(self.seq, key);
+    }
+
+    /// Counters for the stats endpoint.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            entries: self.map.len(),
+            capacity: self.cap,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey {
+            digest,
+            device: "h800".into(),
+            grid: 1,
+            block: 32,
+            cluster: 1,
+            params: vec![],
+            report: "stats",
+        }
+    }
+
+    #[test]
+    fn hit_returns_identical_payload() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(&key(1)), None);
+        c.put(key(1), Value::UInt(42));
+        assert_eq!(c.get(&key(1)), Some(Value::UInt(42)));
+        let ctr = c.counters();
+        assert_eq!((ctr.hits, ctr.misses, ctr.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_launch_configs_are_distinct_keys() {
+        let mut c = ResultCache::new(4);
+        c.put(key(1), Value::UInt(1));
+        let mut k2 = key(1);
+        k2.params = vec![9];
+        assert_eq!(c.get(&k2), None);
+        let mut k3 = key(1);
+        k3.report = "profile";
+        assert_eq!(c.get(&k3), None);
+    }
+
+    #[test]
+    fn lru_evicts_stalest_entry() {
+        let mut c = ResultCache::new(2);
+        c.put(key(1), Value::UInt(1));
+        c.put(key(2), Value::UInt(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.put(key(3), Value::UInt(3));
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.put(key(1), Value::UInt(1));
+        assert_eq!(c.get(&key(1)), None);
+        assert_eq!(c.counters().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value() {
+        let mut c = ResultCache::new(2);
+        c.put(key(1), Value::UInt(1));
+        c.put(key(1), Value::UInt(9));
+        assert_eq!(c.get(&key(1)), Some(Value::UInt(9)));
+        assert_eq!(c.counters().entries, 1);
+        assert_eq!(c.counters().evictions, 0);
+    }
+}

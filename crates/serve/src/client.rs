@@ -1,0 +1,69 @@
+//! Minimal blocking client for the hsimd wire protocol.
+//!
+//! One TCP connection per request keeps the client trivially correct
+//! under concurrency (no multiplexing); the daemon's accept loop is
+//! cheap and the simulations dominate anyway.
+
+use crate::protocol::RunSpec;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7077`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    /// The configured daemon address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Send one raw request line and return the raw response line
+    /// (newline stripped).
+    pub fn send_line(&self, line: &str) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp)?;
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        Ok(resp)
+    }
+
+    /// Submit a `run` request; returns the raw response line.
+    pub fn run(&self, spec: &RunSpec) -> std::io::Result<String> {
+        self.send_line(&spec.to_request_line())
+    }
+
+    /// Liveness probe; returns the raw response line.
+    pub fn ping(&self) -> std::io::Result<String> {
+        self.send_line(r#"{"op":"ping"}"#)
+    }
+
+    /// Fetch and parse the daemon statistics snapshot envelope.
+    pub fn stats(&self) -> std::io::Result<Value> {
+        let line = self.send_line(r#"{"op":"stats"}"#)?;
+        serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad stats response: {e}"),
+            )
+        })
+    }
+
+    /// Request graceful shutdown; returns the raw response line.
+    pub fn shutdown(&self) -> std::io::Result<String> {
+        self.send_line(r#"{"op":"shutdown"}"#)
+    }
+}

@@ -1,0 +1,483 @@
+//! Wire protocol of the simulation service: newline-delimited JSON.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line.  Responses are *deterministic*: object keys
+//! are sorted at every level and no timestamps or other
+//! environment-dependent fields appear, so two identical submissions
+//! produce byte-identical response lines regardless of whether the
+//! second was served from the result cache.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```text
+//! {"op":"run","kernel":"mov %r1, 0;\nexit;","device":"h800",
+//!  "grid":4,"block":128,"report":"stats"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry a `status` of `"ok"` or `"error"`:
+//!
+//! ```text
+//! {"digest":"<16-hex kernel digest>","id":null,"result":{...},"status":"ok"}
+//! {"error":{"kind":"queue_full","message":"..."},"id":null,"status":"error"}
+//! ```
+
+use hopper_sim::RunStats;
+use serde_json::Value;
+
+/// Known error kinds returned in `error.kind` (stable API surface,
+/// asserted by the integration tests).
+pub const ERROR_KINDS: &[&str] = &[
+    "bad_request",
+    "asm_error",
+    "unknown_device",
+    "queue_full",
+    "deadline_exceeded",
+    "launch_error",
+    "shutting_down",
+    "internal",
+];
+
+/// Which result payload a `run` request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportKind {
+    /// Aggregate [`RunStats`] counters (fast path, untraced launch).
+    Stats,
+    /// Full sectioned `hopper-prof` report (traced launch).
+    Profile,
+}
+
+impl ReportKind {
+    /// Wire name (also the cache-key component).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::Stats => "stats",
+            ReportKind::Profile => "profile",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stats" => Some(ReportKind::Stats),
+            "profile" => Some(ReportKind::Profile),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-validated `run` request.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<String>,
+    /// PTX-flavoured kernel text (assembled by the daemon).
+    pub kernel: String,
+    /// Kernel name for reports (default `"kernel"`).
+    pub name: Option<String>,
+    /// Device name: `h800`, `a100` or `rtx4090`.
+    pub device: String,
+    /// Blocks in the grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Cluster size (1 = no clusters).
+    pub cluster: u32,
+    /// Kernel parameters (`%r0..`).
+    pub params: Vec<u64>,
+    /// Result payload kind.
+    pub report: ReportKind,
+    /// Simulated-cycle budget for the launch.
+    pub max_cycles: Option<u64>,
+    /// Wall-clock deadline for the simulation, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Bypass the result cache (read *and* write) for this request.
+    pub no_cache: bool,
+}
+
+impl RunSpec {
+    /// A minimal spec; customise the public fields as needed.
+    pub fn new(
+        kernel: impl Into<String>,
+        device: impl Into<String>,
+        grid: u32,
+        block: u32,
+    ) -> Self {
+        RunSpec {
+            id: None,
+            kernel: kernel.into(),
+            name: None,
+            device: device.into(),
+            grid,
+            block,
+            cluster: 1,
+            params: Vec::new(),
+            report: ReportKind::Stats,
+            max_cycles: None,
+            deadline_ms: None,
+            no_cache: false,
+        }
+    }
+
+    /// Serialise as a single request line (no trailing newline).
+    pub fn to_request_line(&self) -> String {
+        let mut fields = vec![
+            ("block", Value::UInt(self.block as u64)),
+            ("cluster", Value::UInt(self.cluster as u64)),
+            ("device", Value::Str(self.device.clone())),
+            ("grid", Value::UInt(self.grid as u64)),
+            ("kernel", Value::Str(self.kernel.clone())),
+            ("op", Value::Str("run".into())),
+            (
+                "params",
+                Value::Array(self.params.iter().map(|&p| Value::UInt(p)).collect()),
+            ),
+            ("report", Value::Str(self.report.name().into())),
+        ];
+        if let Some(id) = &self.id {
+            fields.push(("id", Value::Str(id.clone())));
+        }
+        if let Some(name) = &self.name {
+            fields.push(("name", Value::Str(name.clone())));
+        }
+        if let Some(mc) = self.max_cycles {
+            fields.push(("max_cycles", Value::UInt(mc)));
+        }
+        if let Some(dl) = self.deadline_ms {
+            fields.push(("deadline_ms", Value::UInt(dl)));
+        }
+        if self.no_cache {
+            fields.push(("no_cache", Value::Bool(true)));
+        }
+        obj(fields).to_string()
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Assemble + simulate a kernel.
+    Run(Box<RunSpec>),
+    /// Daemon statistics snapshot.
+    Stats {
+        /// Correlation id.
+        id: Option<String>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: Option<String>,
+    },
+    /// Graceful shutdown: stop accepting, drain the queue, exit.
+    Shutdown {
+        /// Correlation id.
+        id: Option<String>,
+    },
+}
+
+/// A protocol-level error: `kind` is one of [`ERROR_KINDS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable kind.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Construct (kind must be a member of [`ERROR_KINDS`]).
+    pub fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        debug_assert!(ERROR_KINDS.contains(&kind), "unknown error kind {kind}");
+        ProtoError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+impl std::error::Error for ProtoError {}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError::new("bad_request", message)
+}
+
+fn get_str(o: &Value, key: &str) -> Result<Option<String>, ProtoError> {
+    match o.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn get_u64(o: &Value, key: &str) -> Result<Option<u64>, ProtoError> {
+    match o.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn get_u32(o: &Value, key: &str) -> Result<Option<u32>, ProtoError> {
+    match get_u64(o, key)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| bad(format!("field `{key}` out of range (max {})", u32::MAX))),
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = serde_json::from_str(line.trim()).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if v.as_object().is_none() {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = get_str(&v, "id")?;
+    let op = get_str(&v, "op")?.ok_or_else(|| bad("missing field `op`"))?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "run" => {
+            let kernel = get_str(&v, "kernel")?.ok_or_else(|| bad("missing field `kernel`"))?;
+            let device = get_str(&v, "device")?.ok_or_else(|| bad("missing field `device`"))?;
+            let grid = get_u32(&v, "grid")?.ok_or_else(|| bad("missing field `grid`"))?;
+            let block = get_u32(&v, "block")?.ok_or_else(|| bad("missing field `block`"))?;
+            let cluster = get_u32(&v, "cluster")?.unwrap_or(1);
+            let params = match v.get("params") {
+                None => Vec::new(),
+                Some(p) => p
+                    .as_array()
+                    .ok_or_else(|| bad("field `params` must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_u64()
+                            .ok_or_else(|| bad("`params` entries must be non-negative integers"))
+                    })
+                    .collect::<Result<Vec<u64>, ProtoError>>()?,
+            };
+            let report = match get_str(&v, "report")? {
+                None => ReportKind::Stats,
+                Some(s) => ReportKind::parse(&s)
+                    .ok_or_else(|| bad(format!("unknown report kind `{s}` (stats|profile)")))?,
+            };
+            let no_cache = match v.get("no_cache") {
+                None => false,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| bad("field `no_cache` must be a boolean"))?,
+            };
+            Ok(Request::Run(Box::new(RunSpec {
+                id,
+                kernel,
+                name: get_str(&v, "name")?,
+                device,
+                grid,
+                block,
+                cluster,
+                params,
+                report,
+                max_cycles: get_u64(&v, "max_cycles")?,
+                deadline_ms: get_u64(&v, "deadline_ms")?,
+                no_cache,
+            })))
+        }
+        other => Err(bad(format!(
+            "unknown op `{other}` (run|stats|ping|shutdown)"
+        ))),
+    }
+}
+
+/// Build an object with sorted keys (the determinism contract shared with
+/// `hopper-prof`'s JSON renderer).
+pub fn obj(mut fields: Vec<(&str, Value)>) -> Value {
+    fields.sort_by(|a, b| a.0.cmp(b.0));
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn id_value(id: &Option<String>) -> Value {
+    match id {
+        Some(s) => Value::Str(s.clone()),
+        None => Value::Null,
+    }
+}
+
+/// Success envelope, one line: `digest` (present for `run` responses),
+/// `id` (echoed), `result`, `status`.
+pub fn ok_response(id: &Option<String>, digest: Option<&str>, result: Value) -> String {
+    let mut fields = vec![
+        ("id", id_value(id)),
+        ("result", result),
+        ("status", Value::Str("ok".into())),
+    ];
+    if let Some(d) = digest {
+        fields.push(("digest", Value::Str(d.to_string())));
+    }
+    obj(fields).to_string()
+}
+
+/// Error envelope, one line: `error{kind,message}`, `id`, `status`.
+pub fn error_response(id: &Option<String>, err: &ProtoError) -> String {
+    obj(vec![
+        (
+            "error",
+            obj(vec![
+                ("kind", Value::Str(err.kind.to_string())),
+                ("message", Value::Str(err.message.clone())),
+            ]),
+        ),
+        ("id", id_value(id)),
+        ("status", Value::Str("error".into())),
+    ])
+    .to_string()
+}
+
+/// Deterministic JSON for a [`RunStats`] payload (sorted keys, derived
+/// rates included so clients need no local arithmetic).
+pub fn run_stats_to_json(stats: &RunStats) -> Value {
+    let m = &stats.metrics;
+    obj(vec![
+        (
+            "achieved_clock_mhz",
+            Value::Float(stats.achieved_clock_hz / 1e6),
+        ),
+        ("avg_power_w", Value::Float(stats.avg_power_w)),
+        ("barrier_waits", Value::UInt(m.barrier_waits)),
+        ("cycles", Value::UInt(m.cycles)),
+        ("dpx_ops", Value::UInt(m.dpx_ops)),
+        ("dram_bytes", Value::UInt(m.dram_bytes)),
+        ("dsm_bytes", Value::UInt(m.dsm_bytes)),
+        ("energy_j", Value::Float(m.energy_j)),
+        ("instructions", Value::UInt(m.instructions)),
+        ("ipc", Value::Float(m.ipc())),
+        ("l1_bytes", Value::UInt(m.l1_bytes)),
+        ("l1_hit_rate_pct", Value::Float(m.l1_hit_rate() * 100.0)),
+        ("l2_bytes", Value::UInt(m.l2_bytes)),
+        ("l2_hit_rate_pct", Value::Float(m.l2_hit_rate() * 100.0)),
+        (
+            "nominal_clock_mhz",
+            Value::Float(stats.nominal_clock_hz / 1e6),
+        ),
+        ("smem_bytes", Value::UInt(m.smem_bytes)),
+        ("tc_ops", Value::UInt(m.tc_ops)),
+        ("time_us", Value::Float(stats.seconds() * 1e6)),
+        ("tlb_misses", Value::UInt(m.tlb_misses)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_roundtrips() {
+        let mut spec = RunSpec::new("exit;", "h800", 4, 128);
+        spec.id = Some("req-1".into());
+        spec.params = vec![0x1000, 7];
+        spec.report = ReportKind::Profile;
+        spec.max_cycles = Some(500_000);
+        spec.deadline_ms = Some(2_000);
+        spec.no_cache = true;
+        let line = spec.to_request_line();
+        match parse_request(&line).unwrap() {
+            Request::Run(back) => {
+                assert_eq!(back.id.as_deref(), Some("req-1"));
+                assert_eq!(back.kernel, "exit;");
+                assert_eq!(back.device, "h800");
+                assert_eq!((back.grid, back.block, back.cluster), (4, 128, 1));
+                assert_eq!(back.params, vec![0x1000, 7]);
+                assert_eq!(back.report, ReportKind::Profile);
+                assert_eq!(back.max_cycles, Some(500_000));
+                assert_eq!(back.deadline_ms, Some(2_000));
+                assert!(back.no_cache);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping { id: None }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","id":"s1"}"#).unwrap(),
+            Request::Stats { id: Some(_) }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: None }
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request() {
+        for line in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"op":"run"}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"run","kernel":"exit;","device":"h800","grid":0.5,"block":128}"#,
+            r#"{"op":"run","kernel":"exit;","device":"h800","grid":4,"block":128,"params":[-1]}"#,
+            r#"{"op":"run","kernel":"exit;","device":"h800","grid":4,"block":128,"report":"x"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, "bad_request", "line: {line}");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_single_sorted_lines() {
+        let ok = ok_response(
+            &Some("a".into()),
+            Some("00d1gest000000ff"),
+            obj(vec![("cycles", Value::UInt(9))]),
+        );
+        assert_eq!(
+            ok,
+            r#"{"digest":"00d1gest000000ff","id":"a","result":{"cycles":9},"status":"ok"}"#
+        );
+        assert!(!ok.contains('\n'));
+        let err = error_response(&None, &ProtoError::new("queue_full", "depth 8 = cap"));
+        assert_eq!(
+            err,
+            r#"{"error":{"kind":"queue_full","message":"depth 8 = cap"},"id":null,"status":"error"}"#
+        );
+    }
+
+    #[test]
+    fn run_stats_json_has_sorted_keys() {
+        let v = run_stats_to_json(&RunStats {
+            nominal_clock_hz: 1e9,
+            achieved_clock_hz: 1e9,
+            ..Default::default()
+        });
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

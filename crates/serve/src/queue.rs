@@ -1,0 +1,170 @@
+//! Bounded job queue with explicit backpressure and drain-on-close.
+//!
+//! `push` never blocks: a full queue is an immediate, structured
+//! rejection (the daemon turns it into a `queue_full` error response)
+//! rather than unbounded growth or a hung client.  `pop` blocks workers
+//! until work arrives; after [`JobQueue::close`] the remaining items are
+//! still handed out — that is the graceful-drain guarantee — and only
+//! then do poppers see `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Rejection returned by [`JobQueue::push`] when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Depth observed at rejection (== capacity).
+    pub depth: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// Rejection returned by [`JobQueue::push`] after [`JobQueue::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueClosed;
+
+/// Push failure: full or closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity — back off and retry later.
+    Full(QueueFull),
+    /// Shutting down — no new work accepted.
+    Closed(QueueClosed),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvar; the
+/// contention here is a handful of sim workers, not a hot loop).
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for stats and backpressure tests).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Enqueue without blocking.  Full and closed queues reject with a
+    /// structured error the caller must report to the client.
+    pub fn push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(QueueClosed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(QueueFull {
+                depth: inner.items.len(),
+                capacity: self.capacity,
+            }));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cond.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, blocking until an item is available.  Returns `None`
+    /// only once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: concurrent and future `push`es fail, poppers
+    /// drain the backlog and then exit.  Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_is_structured() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        match q.push(3) {
+            Err(PushError::Full(f)) => {
+                assert_eq!(f.depth, 2);
+                assert_eq!(f.capacity, 2);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed(QueueClosed)));
+        // Backlog still drains in FIFO order...
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // ...and only then do consumers see the end.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

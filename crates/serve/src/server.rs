@@ -1,0 +1,554 @@
+//! The daemon: TCP accept loop, connection handlers, worker pool,
+//! deadline reaper and graceful shutdown.
+//!
+//! Life of a `run` request:
+//!
+//! 1. A connection thread parses the line, resolves the device, and
+//!    assembles the kernel — cheap work done inline so malformed
+//!    requests never occupy a queue slot.
+//! 2. The result cache is probed.  A hit is answered immediately
+//!    (byte-identical to the cold response; see [`crate::cache`]).
+//! 3. Otherwise the job is pushed onto the bounded queue.  A full queue
+//!    is an immediate structured `queue_full` rejection — backpressure
+//!    is explicit, never a silent hang.
+//! 4. A worker pops the job, builds a *fresh* [`Gpu`] (device state
+//!    never leaks between jobs, which is what keeps responses
+//!    deterministic), runs under a [`RunBudget`] assembled from the
+//!    request's cycle budget and wall deadline, and sends the payload
+//!    back over the job's reply channel.
+//! 5. The reaper thread trips cancel tokens of jobs whose wall deadline
+//!    passed; the engine polls the token and aborts mid-grid.
+//!
+//! Shutdown (the `shutdown` op or [`Server::shutdown`]) closes the
+//! queue — queued jobs still drain to their waiting clients — stops the
+//! accept loop, and joins every thread.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{
+    error_response, ok_response, parse_request, run_stats_to_json, ProtoError, ReportKind, Request,
+    RunSpec,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::ServeStats;
+use hopper_isa::{asm, Kernel};
+use hopper_sim::{DeviceConfig, Gpu, Launch, LaunchError, RunBudget};
+use serde_json::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often idle connection reads wake up to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 binds an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Simulation worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity; pushes beyond it are rejected.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_cap: usize,
+    /// Default simulated-cycle budget applied when a request sets none.
+    pub default_max_cycles: Option<u64>,
+    /// Default wall-clock deadline applied when a request sets none.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 64,
+            default_max_cycles: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Resolve a wire device name to its calibrated configuration.
+pub fn device_config(name: &str) -> Option<DeviceConfig> {
+    match name {
+        "h800" => Some(DeviceConfig::h800()),
+        "a100" => Some(DeviceConfig::a100()),
+        "rtx4090" => Some(DeviceConfig::rtx4090()),
+        _ => None,
+    }
+}
+
+/// A validated, assembled job waiting for a worker.
+struct Job {
+    spec: RunSpec,
+    kernel: Kernel,
+    device: DeviceConfig,
+    /// `None` when the request opted out of caching.
+    cache_key: Option<CacheKey>,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<Value, ProtoError>>,
+}
+
+/// A wall-clock deadline ordered soonest-first in the reaper's heap.
+struct Deadline {
+    at: Instant,
+    token: Arc<AtomicBool>,
+}
+
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Deadline {}
+impl PartialOrd for Deadline {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deadline {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at)
+    }
+}
+
+struct ReaperState {
+    heap: BinaryHeap<Reverse<Deadline>>,
+    stop: bool,
+}
+
+/// One thread watching a min-heap of deadlines; when a deadline passes
+/// it sets the job's cancel token, which the engine polls.  Tokens of
+/// jobs that finished in time are set harmlessly (nothing polls them
+/// any more).
+struct Reaper {
+    state: Arc<(Mutex<ReaperState>, Condvar)>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Reaper {
+    fn spawn() -> Self {
+        let state = Arc::new((
+            Mutex::new(ReaperState {
+                heap: BinaryHeap::new(),
+                stop: false,
+            }),
+            Condvar::new(),
+        ));
+        let state2 = state.clone();
+        let handle = std::thread::spawn(move || {
+            let (lock, cond) = &*state2;
+            let mut st = lock.lock().unwrap();
+            loop {
+                if st.stop {
+                    break;
+                }
+                let now = Instant::now();
+                while st.heap.peek().is_some_and(|r| r.0.at <= now) {
+                    let Reverse(d) = st.heap.pop().unwrap();
+                    d.token.store(true, Ordering::Relaxed);
+                }
+                st = match st.heap.peek() {
+                    None => cond.wait(st).unwrap(),
+                    Some(r) => {
+                        let dur = r.0.at.saturating_duration_since(now);
+                        cond.wait_timeout(st, dur).unwrap().0
+                    }
+                };
+            }
+        });
+        Reaper {
+            state,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    fn register(&self, at: Instant, token: Arc<AtomicBool>) {
+        let (lock, cond) = &*self.state;
+        lock.lock()
+            .unwrap()
+            .heap
+            .push(Reverse(Deadline { at, token }));
+        cond.notify_one();
+    }
+
+    fn stop(&self) {
+        let (lock, cond) = &*self.state;
+        lock.lock().unwrap().stop = true;
+        cond.notify_all();
+        if let Some(h) = self.handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    cfg: ServerConfig,
+    queue: JobQueue<Job>,
+    cache: Mutex<ResultCache>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    reaper: Reaper,
+    local_addr: SocketAddr,
+}
+
+/// A running daemon.  Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send the `shutdown` op) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, and return.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let cfg = ServerConfig {
+            workers: cfg.workers.max(1),
+            ..cfg
+        };
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_cap),
+            cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            stats: ServeStats::new(),
+            shutdown: AtomicBool::new(false),
+            reaper: Reaper::spawn(),
+            local_addr,
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let sh = shared.clone();
+        let accept = std::thread::spawn(move || accept_loop(&sh, listener));
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when configured with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Initiate graceful shutdown: stop accepting work, drain the
+    /// queue.  Idempotent; returns without waiting (use [`Server::join`]).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Wait until every thread has exited (accept loop, connection
+    /// handlers, workers, reaper).  Only returns after a shutdown was
+    /// initiated by [`Server::shutdown`] or a client's `shutdown` op.
+    pub fn join(mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.reaper.stop();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.queue.close();
+    // Wake the blocked accept() so the loop observes the flag.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let sh = shared.clone();
+                conns.push(std::thread::spawn(move || handle_conn(&sh, s)));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshake).
+                continue;
+            }
+        }
+    }
+    drop(listener);
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = stream;
+    // The line buffer persists across timed-out reads: a partial line
+    // accumulated before a timeout is completed by later reads.
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let at_eof = !buf.ends_with('\n');
+                if !buf.trim().is_empty() {
+                    let (resp, shutdown) = handle_line(shared, buf.trim());
+                    if writeln!(out, "{resp}").and_then(|_| out.flush()).is_err() {
+                        break;
+                    }
+                    if shutdown {
+                        initiate_shutdown(shared);
+                        break;
+                    }
+                }
+                buf.clear();
+                if at_eof {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handle one request line; returns the response line and whether the
+/// caller should initiate shutdown after writing it.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(e) => (error_response(&None, &e), false),
+        Ok(Request::Ping { id }) => (ok_response(&id, None, Value::Str("pong".into())), false),
+        Ok(Request::Stats { id }) => {
+            let cache = shared.cache.lock().unwrap().counters();
+            let snap = shared.stats.snapshot(
+                cache,
+                shared.queue.depth(),
+                shared.queue.capacity(),
+                shared.cfg.workers,
+            );
+            (ok_response(&id, None, snap), false)
+        }
+        Ok(Request::Shutdown { id }) => {
+            (ok_response(&id, None, Value::Str("draining".into())), true)
+        }
+        Ok(Request::Run(spec)) => (handle_run(shared, *spec), false),
+    }
+}
+
+fn handle_run(shared: &Arc<Shared>, spec: RunSpec) -> String {
+    let id = spec.id.clone();
+    shared.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let line = match process_run(shared, spec, t0) {
+        Ok((digest, payload)) => {
+            shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
+            ok_response(&id, Some(&digest), payload)
+        }
+        Err(e) => {
+            shared.stats.requests_error.fetch_add(1, Ordering::Relaxed);
+            error_response(&id, &e)
+        }
+    };
+    shared
+        .stats
+        .lat_total
+        .record_us(t0.elapsed().as_micros() as u64);
+    line
+}
+
+/// Validate, assemble, probe the cache, queue, and wait for the result.
+fn process_run(
+    shared: &Arc<Shared>,
+    spec: RunSpec,
+    t0: Instant,
+) -> Result<(String, Value), ProtoError> {
+    let device = device_config(&spec.device).ok_or_else(|| {
+        ProtoError::new(
+            "unknown_device",
+            format!("unknown device `{}` (h800|a100|rtx4090)", spec.device),
+        )
+    })?;
+    let asm_start = Instant::now();
+    let name = spec.name.clone().unwrap_or_else(|| "kernel".to_string());
+    let kernel = asm::assemble_named(&spec.kernel, &name)
+        .map_err(|e| ProtoError::new("asm_error", e.to_string()))?;
+    shared
+        .stats
+        .lat_assemble
+        .record_us(asm_start.elapsed().as_micros() as u64);
+    let digest_hex = kernel.digest_hex();
+    let key = CacheKey {
+        digest: kernel.digest(),
+        device: spec.device.clone(),
+        grid: spec.grid,
+        block: spec.block,
+        cluster: spec.cluster,
+        params: spec.params.clone(),
+        report: spec.report.name(),
+    };
+    if !spec.no_cache {
+        if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+            shared
+                .stats
+                .lat_cache_hit
+                .record_us(t0.elapsed().as_micros() as u64);
+            return Ok((digest_hex, hit));
+        }
+    }
+    let cache_key = if spec.no_cache { None } else { Some(key) };
+    let (reply, result) = mpsc::channel();
+    let pushed = shared.queue.push(Job {
+        spec,
+        kernel,
+        device,
+        cache_key,
+        enqueued_at: Instant::now(),
+        reply,
+    });
+    match pushed {
+        Ok(_) => {}
+        Err(PushError::Full(f)) => {
+            shared.stats.queue_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ProtoError::new(
+                "queue_full",
+                format!(
+                    "job queue full ({}/{} jobs); retry later",
+                    f.depth, f.capacity
+                ),
+            ));
+        }
+        Err(PushError::Closed(_)) => {
+            return Err(ProtoError::new(
+                "shutting_down",
+                "daemon is draining; no new jobs accepted",
+            ));
+        }
+    }
+    let payload = result
+        .recv()
+        .map_err(|_| ProtoError::new("internal", "worker dropped the job reply channel"))??;
+    Ok((digest_hex, payload))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared
+            .stats
+            .lat_queue_wait
+            .record_us(job.enqueued_at.elapsed().as_micros() as u64);
+        let busy = Instant::now();
+        let reply = job.reply.clone();
+        let cache_key = job.cache_key.clone();
+        let outcome = run_job(shared, job);
+        shared
+            .stats
+            .worker_busy_us
+            .fetch_add(busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+        if let (Ok(payload), Some(key)) = (&outcome, cache_key) {
+            shared.cache.lock().unwrap().put(key, payload.clone());
+        }
+        // A send error just means the client hung up; drop the result.
+        let _ = reply.send(outcome);
+    }
+}
+
+/// Simulate one job on a fresh [`Gpu`] under its [`RunBudget`].
+fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
+    let spec = &job.spec;
+    let max_cycles = spec.max_cycles.or(shared.cfg.default_max_cycles);
+    let deadline_ms = spec.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let mut budget = RunBudget {
+        max_cycles,
+        cancel: None,
+    };
+    if let Some(ms) = deadline_ms {
+        let token = Arc::new(AtomicBool::new(false));
+        shared
+            .reaper
+            .register(Instant::now() + Duration::from_millis(ms), token.clone());
+        budget.cancel = Some(token);
+    }
+    let launch = Launch {
+        grid: spec.grid,
+        block: spec.block,
+        cluster: spec.cluster,
+        params: spec.params.clone(),
+    };
+    let mut gpu = Gpu::new(job.device.clone());
+    let sim_start = Instant::now();
+    let out = match spec.report {
+        ReportKind::Stats => gpu
+            .launch_bounded(&job.kernel, &launch, &budget)
+            .map(|s| run_stats_to_json(&s)),
+        ReportKind::Profile => {
+            hopper_prof::profile_kernel_bounded(&mut gpu, &job.kernel, &launch, &budget)
+                .map(|r| r.to_json())
+        }
+    };
+    shared
+        .stats
+        .lat_sim
+        .record_us(sim_start.elapsed().as_micros() as u64);
+    out.map_err(|e| match e {
+        LaunchError::DeadlineExceeded {
+            budget_cycles,
+            cycles_run,
+        } => {
+            shared
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            ProtoError::new(
+                "deadline_exceeded",
+                format!(
+                    "cycle budget {budget_cycles} exhausted after {cycles_run} simulated cycles"
+                ),
+            )
+        }
+        LaunchError::Cancelled { cycles_run } => {
+            shared
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            ProtoError::new(
+                "deadline_exceeded",
+                format!(
+                    "wall deadline of {} ms exceeded after {cycles_run} simulated cycles",
+                    deadline_ms.unwrap_or(0)
+                ),
+            )
+        }
+        other => ProtoError::new("launch_error", other.to_string()),
+    })
+}

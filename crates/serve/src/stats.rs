@@ -1,0 +1,253 @@
+//! Daemon observability: request counters, per-stage latency histograms
+//! and worker utilization, rendered as sorted-key JSON by the `stats`
+//! endpoint (the same metrics idiom as `hopper-trace`'s log2 wait
+//! buckets, applied to wall-clock microseconds).
+
+use crate::cache::CacheCounters;
+use crate::protocol::obj;
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// log2 microsecond buckets: bucket `b` holds latencies in
+/// `[2^(b-1), 2^b)` µs (bucket 0 = sub-microsecond), topping out above
+/// half a minute.
+pub const N_LATENCY_BUCKETS: usize = 26;
+
+/// A lock-free log2 latency histogram.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(N_LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Record one observation, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Non-empty buckets as `{count, le_us}` objects in ascending order
+    /// (`le_us` is the bucket's exclusive upper bound in µs).
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            (0..N_LATENCY_BUCKETS)
+                .filter_map(|b| {
+                    let count = self.buckets[b].load(Ordering::Relaxed);
+                    if count == 0 {
+                        return None;
+                    }
+                    Some(obj(vec![
+                        ("count", Value::UInt(count)),
+                        ("le_us", Value::UInt(1u64 << b)),
+                    ]))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// All daemon counters (shared across connection and worker threads).
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    /// `run` requests received (any outcome).
+    pub requests_total: AtomicU64,
+    /// `run` requests answered `status:"ok"`.
+    pub requests_ok: AtomicU64,
+    /// `run` requests answered `status:"error"`.
+    pub requests_error: AtomicU64,
+    /// Rejections due to a full queue (subset of `requests_error`).
+    pub queue_rejected: AtomicU64,
+    /// Deadline/budget aborts (subset of `requests_error`).
+    pub deadline_exceeded: AtomicU64,
+    /// Cumulative worker busy time, µs.
+    pub worker_busy_us: AtomicU64,
+    /// Kernel-text assembly latency.
+    pub lat_assemble: LatencyHistogram,
+    /// Enqueue → dequeue wait.
+    pub lat_queue_wait: LatencyHistogram,
+    /// Simulation (launch → result payload) latency.
+    pub lat_sim: LatencyHistogram,
+    /// End-to-end latency of cache-hit responses.
+    pub lat_cache_hit: LatencyHistogram,
+    /// End-to-end latency of every `run` response.
+    pub lat_total: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Fresh counters; `started` anchors worker-utilization uptime.
+    pub fn new() -> Self {
+        ServeStats {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_error: AtomicU64::new(0),
+            queue_rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            worker_busy_us: AtomicU64::new(0),
+            lat_assemble: LatencyHistogram::default(),
+            lat_queue_wait: LatencyHistogram::default(),
+            lat_sim: LatencyHistogram::default(),
+            lat_cache_hit: LatencyHistogram::default(),
+            lat_total: LatencyHistogram::default(),
+        }
+    }
+
+    /// Stats-endpoint snapshot (sorted keys; counter values are
+    /// inherently racy but each is a consistent atomic read).
+    pub fn snapshot(
+        &self,
+        cache: CacheCounters,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> Value {
+        let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        let uptime_us = self.started.elapsed().as_micros() as u64;
+        let busy_us = self.worker_busy_us.load(Ordering::Relaxed);
+        let util_pct = if uptime_us == 0 || workers == 0 {
+            0.0
+        } else {
+            busy_us as f64 / (uptime_us as f64 * workers as f64) * 100.0
+        };
+        let hit_rate_pct = if cache.hits + cache.misses == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / (cache.hits + cache.misses) as f64 * 100.0
+        };
+        obj(vec![
+            (
+                "cache",
+                obj(vec![
+                    ("capacity", Value::UInt(cache.capacity as u64)),
+                    ("entries", Value::UInt(cache.entries as u64)),
+                    ("evictions", Value::UInt(cache.evictions)),
+                    ("hit_rate_pct", Value::Float(hit_rate_pct)),
+                    ("hits", Value::UInt(cache.hits)),
+                    ("misses", Value::UInt(cache.misses)),
+                ]),
+            ),
+            (
+                "latency_us",
+                obj(vec![
+                    ("assemble", self.lat_assemble.to_json()),
+                    ("cache_hit", self.lat_cache_hit.to_json()),
+                    ("queue_wait", self.lat_queue_wait.to_json()),
+                    ("sim", self.lat_sim.to_json()),
+                    ("total", self.lat_total.to_json()),
+                ]),
+            ),
+            (
+                "queue",
+                obj(vec![
+                    ("capacity", Value::UInt(queue_capacity as u64)),
+                    ("depth", Value::UInt(queue_depth as u64)),
+                    ("rejected", load(&self.queue_rejected)),
+                ]),
+            ),
+            (
+                "requests",
+                obj(vec![
+                    ("deadline_exceeded", load(&self.deadline_exceeded)),
+                    ("error", load(&self.requests_error)),
+                    ("ok", load(&self.requests_ok)),
+                    ("total", load(&self.requests_total)),
+                ]),
+            ),
+            (
+                "workers",
+                obj(vec![
+                    ("busy_us", Value::UInt(busy_us)),
+                    ("count", Value::UInt(workers as u64)),
+                    ("uptime_us", Value::UInt(uptime_us)),
+                    ("utilization_pct", Value::Float(util_pct)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_microseconds() {
+        let h = LatencyHistogram::default();
+        h.record_us(0); // bucket 0: < 1 µs
+        h.record_us(1); // bucket 1: [1, 2)
+        h.record_us(3); // bucket 2: [2, 4)
+        h.record_us(3);
+        h.record_us(u64::MAX); // clamped to the last bucket
+        assert_eq!(h.count(), 5);
+        let arr = h.to_json();
+        let buckets = arr.as_array().unwrap();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].get("le_us").unwrap().as_u64(), Some(1));
+        assert_eq!(buckets[2].get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(buckets[2].get("le_us").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let s = ServeStats::new();
+        s.requests_total.store(3, Ordering::Relaxed);
+        s.lat_total.record_us(10);
+        let v = s.snapshot(
+            CacheCounters {
+                entries: 1,
+                capacity: 8,
+                hits: 2,
+                misses: 2,
+                evictions: 0,
+            },
+            1,
+            16,
+            2,
+        );
+        for key in ["cache", "latency_us", "queue", "requests", "workers"] {
+            assert!(v.get(key).is_some(), "missing section {key}");
+        }
+        assert_eq!(
+            v.get("cache")
+                .unwrap()
+                .get("hit_rate_pct")
+                .unwrap()
+                .as_f64(),
+            Some(50.0)
+        );
+        assert_eq!(
+            v.get("requests").unwrap().get("total").unwrap().as_u64(),
+            Some(3)
+        );
+        // Keys sorted at the top level.
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -27,6 +27,8 @@ use hopper_trace::{
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Tag marking a register value as a cluster-DSM address produced by
 /// `mapa` (bit 62 set; rank in bits 32..48; offset in the low 32).
@@ -112,6 +114,47 @@ pub struct BlockSpec {
     pub smid: u32,
 }
 
+/// A bound on a single engine run: a simulated-cycle budget and/or an
+/// external cancel flag.
+///
+/// The budget is compared against the wave-local cycle counter every
+/// iteration (one u64 compare — unmeasurable next to the issue loop);
+/// the cancel flag, being an atomic load, is polled only every
+/// [`CANCEL_CHECK_PERIOD`] iterations.  With the default
+/// ([`RunLimit::none`]) neither bound can trigger, so bit-exactness of
+/// unbounded runs is untouched.
+#[derive(Debug, Clone)]
+pub struct RunLimit {
+    /// Stop once the wave-local cycle counter reaches this bound
+    /// (`u64::MAX` = unlimited).  Fast-forward may overshoot by one
+    /// jump; the overshoot is deterministic.
+    pub max_cycles: u64,
+    /// Cooperative cancellation: set to `true` from another thread to
+    /// abort the run at the next poll.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunLimit {
+    /// No bound (the default): identical behaviour to pre-limit engines.
+    pub fn none() -> Self {
+        RunLimit {
+            max_cycles: u64::MAX,
+            cancel: None,
+        }
+    }
+}
+
+impl Default for RunLimit {
+    fn default() -> Self {
+        RunLimit::none()
+    }
+}
+
+/// How often (in issue-loop iterations) the cancel flag is polled.
+/// Sub-millisecond reaction time at typical simulation rates, while
+/// keeping the atomic load off the per-cycle path.
+const CANCEL_CHECK_PERIOD: u32 = 4096;
+
 /// Engine launch description.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -131,6 +174,8 @@ pub struct EngineConfig {
     pub dram_bw_scale: f64,
     /// Mechanism toggles (ablations).
     pub opts: SimOptions,
+    /// Cycle budget / cancellation bound for this run.
+    pub limit: RunLimit,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,6 +309,9 @@ pub struct Engine<'a> {
     /// unless a sink is attached and [`TraceConfig::pc_sampling`] is on,
     /// so the untraced hot path never touches it.
     pc_acc: Vec<PcAcc>,
+    /// Set when an issue loop broke on its [`RunLimit`] rather than on
+    /// warp completion.
+    hit_limit: bool,
 }
 
 /// Scratch space for one coalesced global access (sectors → cache lines →
@@ -422,6 +470,7 @@ impl<'a> Engine<'a> {
             base_cycle: 0,
             scratch: AccessScratch::default(),
             pc_acc: Vec::new(),
+            hit_limit: false,
         }
     }
 
@@ -438,7 +487,18 @@ impl<'a> Engine<'a> {
     }
 
     /// Run to completion; returns the wave's metrics.
-    pub fn run(mut self) -> Metrics {
+    ///
+    /// Any [`RunLimit`] in the config still applies — use
+    /// [`Self::run_to_limit`] when the caller needs to know whether the
+    /// run finished or was cut short.
+    pub fn run(self) -> Metrics {
+        self.run_to_limit().0
+    }
+
+    /// Run until all warps retire or the configured [`RunLimit`] trips.
+    /// Returns the metrics accumulated so far and `true` iff the limit
+    /// (budget or cancel) stopped the run before completion.
+    pub fn run_to_limit(mut self) -> (Metrics, bool) {
         // Static warp→(sm, scheduler) rosters (built once; warp placement
         // never changes during a launch).
         let mut roster: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); 4]; self.sms.len()];
@@ -477,7 +537,7 @@ impl<'a> Engine<'a> {
         if tracing {
             self.emit_wave_summary(&slot_acc);
         }
-        self.metrics
+        (self.metrics, self.hit_limit)
     }
 
     /// Ready-set issue loop: each slot partitions its warps into a ready
@@ -533,6 +593,9 @@ impl<'a> Engine<'a> {
             }
         }
         let mut wake_heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let limit_cycles = self.cfg.limit.max_cycles;
+        let cancel = self.cfg.limit.cancel.clone();
+        let mut cancel_countdown = CANCEL_CHECK_PERIOD;
         #[cfg(debug_assertions)]
         let mut check_countdown: u32 = 1;
         loop {
@@ -544,6 +607,20 @@ impl<'a> Engine<'a> {
                 "kernel `{}` exceeded {MAX_CYCLES} cycles — runaway loop?",
                 self.kernel.name
             );
+            if self.cycle >= limit_cycles {
+                self.hit_limit = true;
+                break;
+            }
+            if let Some(c) = &cancel {
+                cancel_countdown -= 1;
+                if cancel_countdown == 0 {
+                    cancel_countdown = CANCEL_CHECK_PERIOD;
+                    if c.load(Ordering::Relaxed) {
+                        self.hit_limit = true;
+                        break;
+                    }
+                }
+            }
             let mut issued_any = false;
             let mut earliest_wakeup = u64::MAX;
             // Wake phase: re-activate every parked slot whose wakeup has
@@ -893,6 +970,9 @@ impl<'a> Engine<'a> {
         let mut outcome_pc = vec![0u32; nslots];
         let pc_sampling = tracing && !self.pc_acc.is_empty();
         let mut live = self.warps.len();
+        let limit_cycles = self.cfg.limit.max_cycles;
+        let cancel = self.cfg.limit.cancel.clone();
+        let mut cancel_countdown = CANCEL_CHECK_PERIOD;
         loop {
             if live == 0 {
                 break;
@@ -902,6 +982,20 @@ impl<'a> Engine<'a> {
                 "kernel `{}` exceeded {MAX_CYCLES} cycles — runaway loop?",
                 self.kernel.name
             );
+            if self.cycle >= limit_cycles {
+                self.hit_limit = true;
+                break;
+            }
+            if let Some(c) = &cancel {
+                cancel_countdown -= 1;
+                if cancel_countdown == 0 {
+                    cancel_countdown = CANCEL_CHECK_PERIOD;
+                    if c.load(Ordering::Relaxed) {
+                        self.hit_limit = true;
+                        break;
+                    }
+                }
+            }
             let mut issued_any = false;
             let mut earliest_wakeup = u64::MAX;
             #[allow(clippy::needless_range_loop)] // sm/sched also index self.sms

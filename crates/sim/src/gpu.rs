@@ -9,12 +9,14 @@
 //! co-simulate whole clusters so SM-to-SM traffic is real.
 
 use crate::device::{DeviceConfig, SimOptions};
-use crate::engine::{BlockSpec, CacheState, Engine, EngineConfig};
+use crate::engine::{BlockSpec, CacheState, Engine, EngineConfig, RunLimit};
 use crate::mem::GlobalMem;
 use crate::metrics::{Metrics, RunStats};
 use crate::power::resolve_dvfs;
 use hopper_isa::Kernel;
 use hopper_trace::{StallProfile, TraceSink};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Waves at or below this many blocks are co-simulated in full (one block
 /// per SM) instead of using the representative-SM fast path, so small
@@ -58,6 +60,61 @@ impl Launch {
     }
 }
 
+/// A bound on a launch: a total simulated-cycle budget (across all waves)
+/// and/or a cooperative cancel flag.  Both are optional; the default is
+/// unbounded, which takes the exact same engine path as [`Gpu::launch`].
+///
+/// When a bound trips, the launch aborts cleanly mid-grid and returns
+/// [`LaunchError::DeadlineExceeded`] or [`LaunchError::Cancelled`];
+/// functional side effects of already-simulated waves remain in device
+/// memory (callers that need pristine state should use a fresh [`Gpu`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Abort once this many simulated cycles have accumulated.
+    pub max_cycles: Option<u64>,
+    /// Abort (at the next engine poll) once this flag is set.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunBudget {
+    /// Budget of `max_cycles` simulated cycles, no cancel flag.
+    pub fn cycles(max_cycles: u64) -> Self {
+        RunBudget {
+            max_cycles: Some(max_cycles),
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancel flag (shared with the thread that may set it).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn limit_for_wave(&self, cycles_so_far: u64) -> RunLimit {
+        RunLimit {
+            max_cycles: self
+                .max_cycles
+                .map_or(u64::MAX, |m| m.saturating_sub(cycles_so_far)),
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Classify a tripped limit: a set cancel flag wins over the cycle
+    /// budget (the canceller acted first).
+    fn abort_error(&self, cycles_run: u64) -> LaunchError {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return LaunchError::Cancelled { cycles_run };
+            }
+        }
+        LaunchError::DeadlineExceeded {
+            budget_cycles: self.max_cycles.unwrap_or(u64::MAX),
+            cycles_run,
+        }
+    }
+}
+
 /// Launch-time errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LaunchError {
@@ -73,6 +130,18 @@ pub enum LaunchError {
     /// Feature not available on this architecture (e.g. clusters off
     /// Hopper).
     Unsupported(String),
+    /// A [`RunBudget`] cycle budget tripped before the grid finished.
+    DeadlineExceeded {
+        /// The budget that was exceeded, simulated cycles.
+        budget_cycles: u64,
+        /// Cycles actually simulated before the abort.
+        cycles_run: u64,
+    },
+    /// A [`RunBudget`] cancel flag was set before the grid finished.
+    Cancelled {
+        /// Cycles actually simulated before the abort.
+        cycles_run: u64,
+    },
 }
 
 impl core::fmt::Display for LaunchError {
@@ -89,6 +158,16 @@ impl core::fmt::Display for LaunchError {
                 )
             }
             LaunchError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            LaunchError::DeadlineExceeded {
+                budget_cycles,
+                cycles_run,
+            } => write!(
+                f,
+                "deadline exceeded: cycle budget {budget_cycles} hit after {cycles_run} cycles"
+            ),
+            LaunchError::Cancelled { cycles_run } => {
+                write!(f, "cancelled after {cycles_run} simulated cycles")
+            }
         }
     }
 }
@@ -211,7 +290,19 @@ impl Gpu {
 
     /// Launch and simulate a kernel; returns aggregate statistics.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, None)
+        self.launch_with_sink(kernel, launch, None, &RunBudget::default())
+    }
+
+    /// Launch under a [`RunBudget`]: abort with a structured error if the
+    /// simulated-cycle budget or the cancel flag trips (the serve daemon's
+    /// per-request deadline path).
+    pub fn launch_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        budget: &RunBudget,
+    ) -> Result<RunStats, LaunchError> {
+        self.launch_with_sink(kernel, launch, None, budget)
     }
 
     /// Launch with an attached [`TraceSink`] receiving cycle-level events
@@ -223,7 +314,18 @@ impl Gpu {
         launch: &Launch,
         sink: &mut dyn TraceSink,
     ) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, Some(sink))
+        self.launch_with_sink(kernel, launch, Some(sink), &RunBudget::default())
+    }
+
+    /// [`Self::launch_traced`] under a [`RunBudget`].
+    pub fn launch_traced_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        sink: &mut dyn TraceSink,
+        budget: &RunBudget,
+    ) -> Result<RunStats, LaunchError> {
+        self.launch_with_sink(kernel, launch, Some(sink), budget)
     }
 
     /// Launch under a [`StallProfile`] aggregator and return it alongside
@@ -233,8 +335,18 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
     ) -> Result<(RunStats, StallProfile), LaunchError> {
+        self.profile_bounded(kernel, launch, &RunBudget::default())
+    }
+
+    /// [`Self::profile`] under a [`RunBudget`].
+    pub fn profile_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        budget: &RunBudget,
+    ) -> Result<(RunStats, StallProfile), LaunchError> {
         let mut prof = StallProfile::default();
-        let mut stats = self.launch_with_sink(kernel, launch, Some(&mut prof))?;
+        let mut stats = self.launch_with_sink(kernel, launch, Some(&mut prof), budget)?;
         stats.stalls = Some(prof.summary());
         Ok((stats, prof))
     }
@@ -244,6 +356,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
         mut sink: Option<&mut dyn TraceSink>,
+        budget: &RunBudget,
     ) -> Result<RunStats, LaunchError> {
         if launch.cluster > 1 && !self.dev.arch.has_clusters() {
             return Err(LaunchError::Unsupported(format!(
@@ -263,9 +376,9 @@ impl Gpu {
             sink = None;
         }
         let metrics = if launch.cluster > 1 {
-            self.run_clustered(kernel, launch, occ, &mut sink)?
+            self.run_clustered(kernel, launch, occ, &mut sink, budget)?
         } else {
-            self.run_waves(kernel, launch, occ, &mut sink)?
+            self.run_waves(kernel, launch, occ, &mut sink, budget)?
         };
 
         let energy = if self.opts.model_dvfs {
@@ -307,6 +420,7 @@ impl Gpu {
         launch: &Launch,
         occ: u32,
         sink: &mut Option<&mut dyn TraceSink>,
+        budget: &RunBudget,
     ) -> Result<Metrics, LaunchError> {
         let sms = self.dev.num_sms;
         let per_wave_capacity = sms as u64 * occ as u64;
@@ -316,7 +430,7 @@ impl Gpu {
         while remaining > 0 {
             let wave_blocks = remaining.min(per_wave_capacity);
             let active_sms = wave_blocks.min(sms as u64) as u32;
-            let mut wave = if wave_blocks <= COSIM_MAX_BLOCKS {
+            let wave = if wave_blocks <= COSIM_MAX_BLOCKS {
                 // Small wave: co-simulate every block on its own SM —
                 // exact timing *and* complete functional side effects.
                 let specs: Vec<BlockSpec> = (0..wave_blocks as u32)
@@ -337,13 +451,14 @@ impl Gpu {
                     l2_bw_scale: 1.0,
                     dram_bw_scale: 1.0,
                     opts: self.opts,
+                    limit: budget.limit_for_wave(total.cycles),
                 };
                 let mut engine =
                     Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
                 if let Some(s) = sink.as_deref_mut() {
                     engine = engine.with_sink(s, total.cycles);
                 }
-                engine.run()
+                engine.run_to_limit()
             } else {
                 // Large homogeneous wave: simulate the most-loaded SM with
                 // its bandwidth share and scale the counters.  Functional
@@ -369,18 +484,22 @@ impl Gpu {
                     l2_bw_scale: 1.0 / active_sms as f64,
                     dram_bw_scale: 1.0 / active_sms as f64,
                     opts: self.opts,
+                    limit: budget.limit_for_wave(total.cycles),
                 };
                 let mut engine =
                     Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
                 if let Some(s) = sink.as_deref_mut() {
                     engine = engine.with_sink(s, total.cycles);
                 }
-                let mut w = engine.run();
+                let (mut w, hit) = engine.run_to_limit();
                 scale_counters(&mut w, wave_blocks as f64 / blocks_on_rep as f64);
-                w
+                (w, hit)
             };
-            let _ = &mut wave;
+            let (wave, hit_limit) = wave;
             total.merge_sequential(&wave);
+            if hit_limit {
+                return Err(budget.abort_error(total.cycles));
+            }
             remaining -= wave_blocks;
             ctaid = ctaid.wrapping_add(wave_blocks as u32);
         }
@@ -396,6 +515,7 @@ impl Gpu {
         launch: &Launch,
         occ: u32,
         sink: &mut Option<&mut dyn TraceSink>,
+        budget: &RunBudget,
     ) -> Result<Metrics, LaunchError> {
         let cs = launch.cluster;
         if !launch.grid.is_multiple_of(cs) {
@@ -433,14 +553,18 @@ impl Gpu {
                 l2_bw_scale: cs as f64 / active_sms as f64,
                 dram_bw_scale: cs as f64 / active_sms as f64,
                 opts: self.opts,
+                limit: budget.limit_for_wave(total.cycles),
             };
             let mut engine = Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
             if let Some(s) = sink.as_deref_mut() {
                 engine = engine.with_sink(s, total.cycles);
             }
-            let mut wave = engine.run();
+            let (mut wave, hit_limit) = engine.run_to_limit();
             scale_counters(&mut wave, wave_clusters as f64);
             total.merge_sequential(&wave);
+            if hit_limit {
+                return Err(budget.abort_error(total.cycles));
+            }
             remaining -= wave_clusters;
             first_cta = first_cta.wrapping_add(wave_clusters * cs);
         }

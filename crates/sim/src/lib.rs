@@ -52,8 +52,8 @@ pub mod tc_timing;
 pub mod tiles;
 
 pub use device::{DeviceConfig, LevelBw, Scheduler, SimOptions, TcRate};
-pub use engine::{BlockSpec, Engine, EngineConfig};
-pub use gpu::{Gpu, Launch, LaunchError};
+pub use engine::{BlockSpec, Engine, EngineConfig, RunLimit};
+pub use gpu::{Gpu, Launch, LaunchError, RunBudget};
 pub use mem::GlobalMem;
 pub use metrics::{Metrics, RunStats};
 pub use tiles::Tile;

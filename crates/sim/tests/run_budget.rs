@@ -1,0 +1,162 @@
+//! Budgeted / cancellable launches: the serve daemon's deadline path.
+//!
+//! Contract: an unbounded `RunBudget` is bit-identical to a plain launch;
+//! a tripped budget or cancel flag aborts with a structured error carrying
+//! the cycles simulated so far.
+
+use hopper_isa::asm::assemble;
+use hopper_sim::{DeviceConfig, Gpu, Launch, LaunchError, RunBudget};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A kernel that spins long enough to make partial-progress aborts
+/// observable (~6 cycles/iteration × 50k iterations).
+fn long_kernel() -> hopper_isa::Kernel {
+    assemble(
+        r#"
+        mov %r1, 0;
+    L:
+        add.s32 %r1, %r1, 1;
+        setp.lt.s32 %p0, %r1, 50000;
+        @%p0 bra L;
+        exit;
+    "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn unbounded_budget_matches_plain_launch() {
+    let k = long_kernel();
+    let launch = Launch::new(4, 128);
+    let plain = Gpu::new(DeviceConfig::h800()).launch(&k, &launch).unwrap();
+    let bounded = Gpu::new(DeviceConfig::h800())
+        .launch_bounded(&k, &launch, &RunBudget::default())
+        .unwrap();
+    assert_eq!(plain.metrics, bounded.metrics);
+}
+
+#[test]
+fn generous_budget_completes_identically() {
+    let k = long_kernel();
+    let launch = Launch::new(4, 128);
+    let plain = Gpu::new(DeviceConfig::h800()).launch(&k, &launch).unwrap();
+    let bounded = Gpu::new(DeviceConfig::h800())
+        .launch_bounded(&k, &launch, &RunBudget::cycles(plain.metrics.cycles * 2))
+        .unwrap();
+    assert_eq!(plain.metrics, bounded.metrics);
+}
+
+#[test]
+fn tight_budget_aborts_with_deadline_error() {
+    let k = long_kernel();
+    let launch = Launch::new(4, 128);
+    let full = Gpu::new(DeviceConfig::h800()).launch(&k, &launch).unwrap();
+    let budget = full.metrics.cycles / 4;
+    let err = Gpu::new(DeviceConfig::h800())
+        .launch_bounded(&k, &launch, &RunBudget::cycles(budget))
+        .unwrap_err();
+    match err {
+        LaunchError::DeadlineExceeded {
+            budget_cycles,
+            cycles_run,
+        } => {
+            assert_eq!(budget_cycles, budget);
+            assert!(
+                cycles_run >= budget,
+                "abort reported before the budget was reached: {cycles_run} < {budget}"
+            );
+            assert!(
+                cycles_run < full.metrics.cycles,
+                "abort reported only after full completion"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_applies_across_waves() {
+    let k = long_kernel();
+    // Enough blocks for several waves on a 114-SM H800 (one block per
+    // SM per wave at this occupancy floor would still need > 1 wave).
+    let launch = Launch::new(1024, 128);
+    let full = Gpu::new(DeviceConfig::h800()).launch(&k, &launch).unwrap();
+    // Cut the run mid-grid: the budget spans waves, so the error's
+    // cycle count must exceed a single wave but stay below the total.
+    let budget = full.metrics.cycles / 2;
+    let err = Gpu::new(DeviceConfig::h800())
+        .launch_bounded(&k, &launch, &RunBudget::cycles(budget))
+        .unwrap_err();
+    match err {
+        LaunchError::DeadlineExceeded { cycles_run, .. } => {
+            assert!(cycles_run >= budget);
+            assert!(cycles_run < full.metrics.cycles);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn preset_cancel_flag_aborts_immediately() {
+    let k = long_kernel();
+    let cancel = Arc::new(AtomicBool::new(true));
+    let err = Gpu::new(DeviceConfig::h800())
+        .launch_bounded(
+            &k,
+            &Launch::new(4, 128),
+            &RunBudget::default().with_cancel(cancel),
+        )
+        .unwrap_err();
+    match err {
+        LaunchError::Cancelled { cycles_run } => {
+            // The flag is polled every few thousand iterations; the run
+            // must stop far short of the ~300k-cycle full execution.
+            assert!(
+                cycles_run < 100_000,
+                "cancel reacted too slowly: {cycles_run}"
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancel_from_another_thread_aborts() {
+    let k = long_kernel();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let flag = cancel.clone();
+    // Large grid so the simulation comfortably outlives the canceller.
+    let launch = Launch::new(8192, 256);
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        flag.store(true, Ordering::Relaxed);
+    });
+    let res = Gpu::new(DeviceConfig::h800()).launch_bounded(
+        &k,
+        &launch,
+        &RunBudget::default().with_cancel(cancel),
+    );
+    canceller.join().unwrap();
+    match res {
+        Err(LaunchError::Cancelled { .. }) => {}
+        // On a very fast machine the run may finish before the flag is
+        // set; that's a legal race, not a test failure.
+        Ok(_) => {}
+        Err(other) => panic!("expected Cancelled or completion, got {other}"),
+    }
+}
+
+#[test]
+fn deadline_error_renders() {
+    let e = LaunchError::DeadlineExceeded {
+        budget_cycles: 1000,
+        cycles_run: 1234,
+    };
+    assert_eq!(
+        e.to_string(),
+        "deadline exceeded: cycle budget 1000 hit after 1234 cycles"
+    );
+    let c = LaunchError::Cancelled { cycles_run: 77 };
+    assert_eq!(c.to_string(), "cancelled after 77 simulated cycles");
+}

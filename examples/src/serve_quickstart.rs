@@ -1,0 +1,43 @@
+//! Embedded simulation service: start a `Server` in-process, submit a
+//! kernel twice, and show the byte-identical cached response plus the
+//! stats that prove the second run came from the cache.
+//!
+//! ```bash
+//! cargo run --release -p hopper-examples --bin serve-quickstart
+//! ```
+
+use hopper_serve::{Client, ReportKind, RunSpec, Server, ServerConfig};
+
+fn main() {
+    // Port 0 = ephemeral: the OS picks a free port, local_addr() reports it.
+    let server = Server::start(ServerConfig::default()).expect("bind");
+    println!("serving on {}", server.local_addr());
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut spec = RunSpec::new(
+        "mov %r1, %tid.x;\nadd.s32 %r2, %r1, 7;\nexit;",
+        "h800",
+        4,
+        128,
+    );
+    spec.name = Some("quickstart".into());
+    spec.report = ReportKind::Stats;
+
+    let cold = client.run(&spec).expect("first run");
+    let warm = client.run(&spec).expect("second run");
+    println!("cold: {cold}");
+    assert_eq!(cold, warm, "identical requests answer byte-identically");
+    println!("warm response is byte-identical (served from the result cache)");
+
+    let stats = client.stats().expect("stats");
+    let cache = &stats.get("result").unwrap().get("cache").unwrap();
+    println!(
+        "cache: {} hit(s), {} miss(es)",
+        cache.get("hits").and_then(|v| v.as_u64()).unwrap(),
+        cache.get("misses").and_then(|v| v.as_u64()).unwrap(),
+    );
+
+    server.shutdown();
+    server.join();
+    println!("drained and stopped");
+}

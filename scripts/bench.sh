@@ -6,13 +6,17 @@
 #   scripts/bench.sh                 # 3 runs per bench (default)
 #   RUNS=5 scripts/bench.sh          # more runs -> tighter medians
 #   SWEEP=1 scripts/bench.sh         # also time the full gen-experiments sweep
+#   SERVE=1 scripts/bench.sh         # also bench hsimd round-trip latency
 #   LABEL=pr2 scripts/bench.sh       # tag the entry
 #   scripts/bench.sh gate [args]     # regression-gate the newest entry
 #                                    # (args forwarded to bench-gate)
 #
 # sim_hotpath is a criterion-style bench (median ns/iter per bench id);
 # cachesweep and te_sweep are report-style harnesses, recorded as
-# wall-clock milliseconds.
+# wall-clock milliseconds.  SERVE=1 adds serve_cold_latency and
+# serve_hit_latency to the gated wall_clock_ms group (lower is better)
+# and a non-gated serve_throughput object (higher is better, so it must
+# stay out of the gate's lower-is-better groups).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +28,7 @@ fi
 
 RUNS="${RUNS:-3}"
 SWEEP="${SWEEP:-0}"
+SERVE="${SERVE:-0}"
 LABEL="${LABEL:-}"
 OUT="BENCH_sim.json"
 
@@ -57,6 +62,52 @@ if [ "$SWEEP" = "1" ]; then
     echo $(( (t1 - t0) / 1000000 )) > "$tmp/sweep.txt"
 fi
 
+if [ "$SERVE" = "1" ]; then
+    echo "== serve: hsimd round-trip latency + throughput"
+    cargo build --release -q -p hopper-serve
+    cat > "$tmp/serve_kernel.asm" <<'EOF'
+    mov %r1, 0;
+L:
+    add.s32 %r1, %r1, 1;
+    setp.lt.s32 %p0, %r1, 50000;
+    @%p0 bra L;
+    exit;
+EOF
+    target/release/hsimd --addr 127.0.0.1:0 --workers 2 >"$tmp/hsimd.log" 2>&1 &
+    hsimd_pid=$!
+    trap 'kill "$hsimd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^hsimd listening on //p' "$tmp/hsimd.log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "hsimd did not start"; cat "$tmp/hsimd.log"; exit 1; }
+    serve_run() { target/release/hsim-client --addr "$addr" run \
+        "$tmp/serve_kernel.asm" --device h800 --grid 32 --block 128 "$@" >/dev/null; }
+    for run in $(seq 1 "$RUNS"); do
+        t0=$(date +%s%N)
+        serve_run --no-cache
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/serve_cold.txt"
+    done
+    serve_run    # prime the result cache
+    for run in $(seq 1 "$RUNS"); do
+        t0=$(date +%s%N)
+        serve_run
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/serve_hit.txt"
+    done
+    reqs=50
+    t0=$(date +%s%N)
+    for _ in $(seq 1 "$reqs"); do serve_run; done
+    t1=$(date +%s%N)
+    echo "$reqs $(( (t1 - t0) / 1000000 ))" > "$tmp/serve_rps.txt"
+    target/release/hsim-client --addr "$addr" shutdown >/dev/null
+    wait "$hsimd_pid"
+    trap 'rm -rf "$tmp"' EXIT
+fi
+
 # Stamp the actual HEAD revision; mark +dirty only when the worktree truly
 # differs from HEAD.  BENCH_sim.json itself is excluded: this script is the
 # thing that modifies it, so a previous run must not taint the next stamp.
@@ -88,6 +139,21 @@ for wall in ("cachesweep", "te_sweep"):
 sweep = os.path.join(tmp, "sweep.txt")
 if os.path.exists(sweep):
     entry["wall_clock_ms"]["gen_experiments"] = int(open(sweep).read().strip())
+
+# Serve latencies gate as wall-clock-ms (lower is better); throughput is
+# higher-is-better and therefore lives outside the gated groups.
+if os.path.exists(os.path.join(tmp, "serve_cold.txt")):
+    for name, fname in (("serve_cold_latency", "serve_cold.txt"),
+                        ("serve_hit_latency", "serve_hit.txt")):
+        with open(os.path.join(tmp, fname)) as f:
+            vals = [int(x) for x in f.read().split()]
+        entry["wall_clock_ms"][name] = statistics.median(vals)
+    with open(os.path.join(tmp, "serve_rps.txt")) as f:
+        reqs, ms = (int(x) for x in f.read().split())
+    entry["serve_throughput"] = {
+        "requests_per_sec": round(reqs * 1000.0 / ms, 1) if ms else None,
+        "requests": reqs,
+    }
 
 doc = {"entries": []}
 if os.path.exists(out):

@@ -39,6 +39,45 @@ for dev in h800 a100 rtx4090; do
         "crates/prof/golden/hprof_${dev}_pchase.json"
 done
 
+echo "== hsimd smoke: daemon round-trip + schema on every device"
+cargo build --release -q -p hopper-serve
+target/release/hsimd --addr 127.0.0.1:0 --workers 2 >"$smoke/hsimd.log" 2>&1 &
+hsimd_pid=$!
+trap 'kill "$hsimd_pid" 2>/dev/null || true; rm -rf "$smoke"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^hsimd listening on //p' "$smoke/hsimd.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "hsimd did not start"; cat "$smoke/hsimd.log"; exit 1; }
+cat > "$smoke/pchase.asm" <<'EOF'
+// Pointer-chase smoke: dependent b64 loads over a self-looping ring
+// (unmapped memory reads as 0, so the chain revisits address 0).
+    mov.s64 %r3, %r0;
+    mov %r4, 0;
+LOOP:
+    ld.global.ca.b64 %r3, [%r3];
+    add.s32 %r4, %r4, 1;
+    setp.lt.s32 %p0, %r4, 256;
+    @%p0 bra LOOP;
+    exit;
+EOF
+for dev in h800 a100 rtx4090; do
+    target/release/hsim-client --addr "$addr" run "$smoke/pchase.asm" \
+        --device "$dev" --grid 1 --block 32 --id "smoke-$dev" \
+        > "$smoke/hserve_${dev}.json"
+    python3 scripts/validate_hserve.py "$smoke/hserve_${dev}.json"
+done
+target/release/hsim-client --addr "$addr" run "$smoke/pchase.asm" \
+    --device h800 --grid 1 --block 32 --report profile \
+    > "$smoke/hserve_profile.json"
+python3 scripts/validate_hserve.py --report profile "$smoke/hserve_profile.json"
+target/release/hsim-client --addr "$addr" shutdown >/dev/null
+wait "$hsimd_pid"
+trap 'rm -rf "$smoke"' EXIT
+echo "hsimd smoke passed (addr $addr, clean shutdown)"
+
 echo "== bench regression gate vs pr2-ready-set (10%)"
 scripts/bench.sh gate --baseline pr2-ready-set --threshold 10
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate an hsim-client `run` response against the wire schema.
+
+Checks the envelope (exactly the sorted keys `digest`/`id`/`result`/
+`status`, status `"ok"`, a 16-hex-digit digest) and the result payload:
+for `stats` reports every aggregate counter key must be present and
+numeric; for `profile` reports the sectioned hopper-prof keys must be
+present and `result.kernel_digest` must equal the envelope digest.
+
+Usage: validate_hserve.py RESPONSE.json [--report stats|profile]
+"""
+import json
+import re
+import sys
+
+ENVELOPE_KEYS = ["digest", "id", "result", "status"]
+
+STATS_KEYS = [
+    "achieved_clock_mhz", "avg_power_w", "barrier_waits", "cycles",
+    "dpx_ops", "dram_bytes", "dsm_bytes", "energy_j", "instructions",
+    "ipc", "l1_bytes", "l1_hit_rate_pct", "l2_bytes", "l2_hit_rate_pct",
+    "nominal_clock_mhz", "smem_bytes", "tc_ops", "time_us", "tlb_misses",
+]
+
+PROFILE_KEYS = [
+    "achieved_clock_mhz", "block", "cycles", "device", "grid", "ipc",
+    "kernel", "kernel_digest", "memory", "nominal_clock_mhz",
+    "occupancy", "pcs", "roofline", "sol", "stalls", "time_us",
+]
+
+
+def fail(msg):
+    print(f"hserve response invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    args = sys.argv[1:]
+    report = "stats"
+    if "--report" in args:
+        i = args.index("--report")
+        report = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1 or report not in ("stats", "profile"):
+        sys.exit(__doc__)
+
+    with open(args[0]) as f:
+        text = f.read().strip()
+    if "\n" in text:
+        fail("response must be a single line")
+    resp = json.loads(text)
+
+    if not isinstance(resp, dict):
+        fail("envelope must be a JSON object")
+    if list(resp) != ENVELOPE_KEYS:
+        fail(f"envelope keys must be exactly {ENVELOPE_KEYS} in sorted "
+             f"order, got {list(resp)}")
+    if resp["status"] != "ok":
+        fail(f"status is {resp['status']!r}: {resp.get('error')}")
+    if not re.fullmatch(r"[0-9a-f]{16}", resp["digest"]):
+        fail(f"digest {resp['digest']!r} is not 16 lowercase hex digits")
+
+    result = resp["result"]
+    if not isinstance(result, dict):
+        fail("result must be a JSON object")
+    expected = STATS_KEYS if report == "stats" else PROFILE_KEYS
+    missing = [k for k in expected if k not in result]
+    if missing:
+        fail(f"{report} payload missing keys: {missing}")
+    if report == "stats":
+        bad = [k for k in STATS_KEYS
+               if not isinstance(result[k], (int, float))
+               or isinstance(result[k], bool)]
+        if bad:
+            fail(f"non-numeric stats values: {bad}")
+        unexpected = sorted(set(result) - set(STATS_KEYS))
+        if unexpected:
+            fail(f"unexpected stats keys: {unexpected}")
+    else:
+        if result["kernel_digest"] != resp["digest"]:
+            fail(f"result.kernel_digest {result['kernel_digest']!r} != "
+                 f"envelope digest {resp['digest']!r}")
+
+    print(f"{args[0]}: valid {report} response (digest {resp['digest']})")
+
+
+if __name__ == "__main__":
+    main()
