@@ -1,0 +1,22 @@
+//! hopper-audit: kernel-fuzz differential oracles for the simulator.
+//!
+//! The simulator has two schedulers that must agree cycle-for-cycle, a
+//! tracing path that must not perturb results, a text assembler that must
+//! round-trip the builder IR, and a serve daemon whose cache must be
+//! invisible. This crate generates random-but-valid kernels
+//! ([`gen::KernelPlan`]) from a seed and cross-checks all of those
+//! implementations against each other ([`oracle`]), shrinking failures to
+//! minimal segment lists ([`shrink`]). The `hfuzz` binary drives the whole
+//! battery; every failure message prints the seed that reproduces it.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{Geometry, KernelPlan, Seg};
+pub use oracle::{check_plan, ServeOracle};
+pub use rng::{kernel_seed, seed_from_str, SplitMix64};
+pub use shrink::minimize;

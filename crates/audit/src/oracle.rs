@@ -1,0 +1,277 @@
+//! Differential oracles: run one generated kernel through every redundant
+//! implementation pair in the workspace and demand exact agreement.
+//!
+//! Checked per kernel and device:
+//!
+//! 1. **Scheduler equivalence** — legacy full-roster scan vs ready-set
+//!    must produce bitwise-identical `Metrics`, DVFS outcome, stall
+//!    attribution, PC samples and Chrome-trace bytes (generalises the
+//!    golden `sched_equivalence` suite to random programs).
+//! 2. **Trace transparency** — profiled/traced runs must report the same
+//!    `Metrics` as untraced runs: observation must not perturb timing.
+//! 3. **Determinism** — running the same launch twice on fresh GPUs gives
+//!    identical results.
+//! 4. **Sanity invariants** — stall conservation, occupancy ∈ [0, 1],
+//!    finite non-negative energy, idle ≤ power ≤ TDP, achieved ≤ nominal
+//!    clock.
+//! 5. **Assembler round-trip** (textual kernels) — disassemble → assemble
+//!    reproduces the exact instruction list, twice (digest fixpoint).
+//! 6. **Serve cache** (textual kernels, when a [`ServeOracle`] is
+//!    provided) — a cold daemon response and the cached replay must be
+//!    byte-identical.
+
+use crate::gen::{KernelPlan, GBUF_BYTES};
+use crate::rng::SplitMix64;
+use hopper_isa::{asm, disassemble};
+use hopper_serve::{Client, ReportKind, RunSpec, Server, ServerConfig};
+use hopper_sim::{
+    ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, RunStats, Scheduler, SimOptions,
+};
+
+/// Fail the oracle with a formatted reason.
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(format!($($arg)*));
+        }
+    };
+}
+
+fn gpu_with(dev: &DeviceConfig, sched: Scheduler) -> Gpu {
+    Gpu::with_options(
+        dev.clone(),
+        SimOptions {
+            scheduler: sched,
+            ..Default::default()
+        },
+    )
+}
+
+/// Allocate and deterministically fill the kernel's scratch buffer.
+/// Uses the bulk `write_bytes` path on purpose: the fuzzer then also
+/// exercises the page-chunked copy against the engine's scalar reads.
+fn setup(gpu: &mut Gpu, plan: &KernelPlan) -> Result<(u64, Launch), String> {
+    let buf = gpu
+        .alloc(GBUF_BYTES)
+        .map_err(|e| format!("alloc failed: {e:?}"))?;
+    let mut g = SplitMix64::new(plan.seed ^ 0xF1F1_F1F1);
+    let data: Vec<u8> = (0..GBUF_BYTES).map(|_| g.next_u64() as u8).collect();
+    gpu.mem_mut().write_bytes(buf, &data);
+    Ok((buf, plan.launch(buf)))
+}
+
+fn sanity(plan: &KernelPlan, dev: &DeviceConfig, tag: &str, s: &RunStats) -> Result<(), String> {
+    ensure!(
+        s.achieved_clock_hz > 0.0 && s.achieved_clock_hz <= s.nominal_clock_hz + 1e-6,
+        "{tag}: achieved clock {} outside (0, nominal {}]",
+        s.achieved_clock_hz,
+        s.nominal_clock_hz
+    );
+    ensure!(
+        s.avg_power_w.is_finite()
+            && s.avg_power_w >= dev.idle_w - 1e-6
+            && s.avg_power_w <= dev.tdp_w + 1e-6,
+        "{tag}: avg power {} W outside [idle {}, TDP {}]",
+        s.avg_power_w,
+        dev.idle_w,
+        dev.tdp_w
+    );
+    if let Some(occ) = s.achieved_occupancy() {
+        ensure!(
+            (0.0..=1.0 + 1e-9).contains(&occ),
+            "{tag}: achieved occupancy {occ} outside [0, 1]"
+        );
+    }
+    let _ = plan;
+    Ok(())
+}
+
+/// Run the full oracle battery for one plan on one device. On failure the
+/// returned string names the oracle that tripped; callers prepend the seed.
+pub fn check_plan(
+    plan: &KernelPlan,
+    dev: &DeviceConfig,
+    serve: Option<&ServeOracle>,
+) -> Result<(), String> {
+    let k = plan.kernel();
+
+    // 1+3: untraced, both schedulers, ready-set twice (determinism).
+    let run = |sched| -> Result<RunStats, String> {
+        let mut gpu = gpu_with(dev, sched);
+        let (_, l) = setup(&mut gpu, plan)?;
+        gpu.launch(&k, &l)
+            .map_err(|e| format!("launch ({sched:?}) failed: {e:?}"))
+    };
+    let rs = run(Scheduler::ReadySet)?;
+    let legacy = run(Scheduler::LegacyScan)?;
+    let rs2 = run(Scheduler::ReadySet)?;
+    ensure!(
+        rs.metrics == legacy.metrics,
+        "scheduler oracle: untraced Metrics diverge\n  ready-set: {:?}\n  legacy:    {:?}",
+        rs.metrics,
+        legacy.metrics
+    );
+    ensure!(
+        rs.achieved_clock_hz == legacy.achieved_clock_hz,
+        "scheduler oracle: DVFS outcome diverges ({} vs {})",
+        rs.achieved_clock_hz,
+        legacy.achieved_clock_hz
+    );
+    ensure!(
+        rs.metrics == rs2.metrics && rs.achieved_clock_hz == rs2.achieved_clock_hz,
+        "determinism oracle: two identical ready-set runs disagree"
+    );
+    sanity(plan, dev, "ready-set", &rs)?;
+    sanity(plan, dev, "legacy", &legacy)?;
+
+    // 2: profiled runs — stall attribution equal across schedulers and
+    // metrics equal to the untraced run (trace transparency).
+    let prof = |sched| -> Result<_, String> {
+        let mut gpu = gpu_with(dev, sched);
+        let (_, l) = setup(&mut gpu, plan)?;
+        gpu.profile(&k, &l)
+            .map_err(|e| format!("profile ({sched:?}) failed: {e:?}"))
+    };
+    let (sa, pa) = prof(Scheduler::ReadySet)?;
+    let (sb, pb) = prof(Scheduler::LegacyScan)?;
+    ensure!(
+        sa.metrics == rs.metrics,
+        "trace-transparency oracle: profiling changed Metrics\n  profiled: {:?}\n  plain:    {:?}",
+        sa.metrics,
+        rs.metrics
+    );
+    ensure!(
+        sa.metrics == sb.metrics && sa.stalls == sb.stalls,
+        "scheduler oracle: profiled stats diverge"
+    );
+    if let Some(d) = pa.first_divergence(&pb) {
+        return Err(format!("scheduler oracle: StallProfile diverges: {d}"));
+    }
+    ensure!(
+        pa.conservation_ok(),
+        "invariant oracle: stall profile breaks cycle conservation"
+    );
+
+    // 1 again, through the trace sinks: byte-identical Chrome JSON and
+    // equal PC samples across schedulers.
+    let chrome = |sched| -> Result<String, String> {
+        let mut gpu = gpu_with(dev, sched);
+        let (_, l) = setup(&mut gpu, plan)?;
+        let mut t = ChromeTrace::new();
+        gpu.launch_traced(&k, &l, &mut t)
+            .map_err(|e| format!("traced launch ({sched:?}) failed: {e:?}"))?;
+        Ok(t.to_json())
+    };
+    ensure!(
+        chrome(Scheduler::ReadySet)? == chrome(Scheduler::LegacyScan)?,
+        "scheduler oracle: Chrome traces not byte-identical"
+    );
+    let pcs = |sched| -> Result<PcSampleSink, String> {
+        let mut gpu = gpu_with(dev, sched);
+        let (_, l) = setup(&mut gpu, plan)?;
+        let mut s = PcSampleSink::default();
+        gpu.launch_traced(&k, &l, &mut s)
+            .map_err(|e| format!("pc-sampled launch ({sched:?}) failed: {e:?}"))?;
+        Ok(s)
+    };
+    ensure!(
+        pcs(Scheduler::ReadySet)? == pcs(Scheduler::LegacyScan)?,
+        "scheduler oracle: per-PC samples diverge"
+    );
+
+    // 5: assembler round-trip fixpoint (textual kernels only).
+    if plan.is_textual() {
+        let text =
+            disassemble(&k).ok_or_else(|| "textual plan failed to disassemble".to_string())?;
+        let k2 = asm::assemble_named(&text, &k.name).map_err(|e| {
+            format!(
+                "round-trip oracle: reassembly failed at line {}: {}",
+                e.line, e.msg
+            )
+        })?;
+        ensure!(
+            k.instrs == k2.instrs && k.smem_bytes == k2.smem_bytes,
+            "round-trip oracle: disasm→asm changed the program"
+        );
+        let text2 = disassemble(&k2).ok_or_else(|| "second disassembly failed".to_string())?;
+        let k3 = asm::assemble_named(&text2, &k.name)
+            .map_err(|e| format!("round-trip oracle: second reassembly failed: {}", e.msg))?;
+        ensure!(
+            k2.digest() == k3.digest(),
+            "round-trip oracle: digest not a fixpoint ({:x} vs {:x})",
+            k2.digest(),
+            k3.digest()
+        );
+
+        // 6: serve-path cold vs cached.
+        if let Some(srv) = serve {
+            srv.check(plan, &text, dev)?;
+        }
+    }
+
+    Ok(())
+}
+
+/// In-process `hsimd` used to cross-check the serve path: submits each
+/// textual kernel twice and demands the cached replay be byte-identical
+/// to the cold run.
+pub struct ServeOracle {
+    server: Server,
+    addr: String,
+}
+
+impl ServeOracle {
+    /// Start a private daemon on a loopback port.
+    pub fn start() -> std::io::Result<ServeOracle> {
+        let server = Server::start(ServerConfig::default())?;
+        let addr = server.local_addr().to_string();
+        Ok(ServeOracle { server, addr })
+    }
+
+    /// Wire device name for a config (the daemon resolves names itself).
+    pub fn wire_name(dev: &DeviceConfig) -> &'static str {
+        if dev.name == DeviceConfig::a100().name {
+            "a100"
+        } else if dev.name == DeviceConfig::rtx4090().name {
+            "rtx4090"
+        } else {
+            "h800"
+        }
+    }
+
+    /// Submit `text` twice; the second run hits the result cache and must
+    /// match the first byte-for-byte.
+    pub fn check(&self, plan: &KernelPlan, text: &str, dev: &DeviceConfig) -> Result<(), String> {
+        let mut spec = RunSpec::new(text, Self::wire_name(dev), plan.geom.grid, plan.geom.block);
+        spec.name = Some(format!("fuzz_{:016x}", plan.seed));
+        spec.cluster = plan.geom.cluster;
+        // The daemon builds a fresh GPU per job; sparse memory reads zeros,
+        // so a raw base address is a valid deterministic parameter.
+        spec.params = vec![hopper_sim::GlobalMem::BASE];
+        if plan.seed & 1 == 0 {
+            spec.report = ReportKind::Profile;
+        }
+        let client = Client::new(self.addr.clone());
+        let cold = client
+            .run(&spec)
+            .map_err(|e| format!("serve oracle: cold request failed: {e}"))?;
+        ensure!(
+            cold.contains("\"status\":\"ok\""),
+            "serve oracle: daemon rejected kernel: {cold}"
+        );
+        let cached = client
+            .run(&spec)
+            .map_err(|e| format!("serve oracle: cached request failed: {e}"))?;
+        ensure!(
+            cold == cached,
+            "serve oracle: cached response differs from cold run\n  cold:   {cold}\n  cached: {cached}"
+        );
+        Ok(())
+    }
+
+    /// Shut the daemon down.
+    pub fn stop(self) {
+        self.server.shutdown();
+        self.server.join();
+    }
+}

@@ -1,0 +1,130 @@
+//! Greedy failure minimisation by segment deletion.
+//!
+//! Because kernels are generated as segment lists (see [`crate::gen`]),
+//! removing a segment — or splicing a loop body inline — always yields
+//! another valid kernel, so the shrinker only ever re-runs the failing
+//! predicate, never re-validates. Greedy passes repeat to a fixpoint with
+//! a bounded predicate budget.
+
+use crate::gen::{KernelPlan, Seg};
+
+/// Shrink `plan` to a (locally) minimal plan that still makes `fails`
+/// return true. `fails` must be true for the input plan; the result is
+/// guaranteed to still fail.
+pub fn minimize(plan: &KernelPlan, fails: impl Fn(&KernelPlan) -> bool) -> KernelPlan {
+    debug_assert!(fails(plan), "minimize() called with a passing plan");
+    let mut best = plan.clone();
+    let mut budget = 300usize;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop whole top-level segments, largest index first so
+        // removals don't reshuffle yet-untried indices.
+        let mut i = best.segs.len();
+        while i > 0 && budget > 0 {
+            i -= 1;
+            let mut segs = best.segs.clone();
+            segs.remove(i);
+            if segs.is_empty() {
+                continue;
+            }
+            let cand = best.with_segments(segs);
+            budget -= 1;
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+            }
+        }
+
+        // Pass 2: unwrap loops (splice the body inline — fewer dynamic
+        // instructions, simpler control flow), then shrink loop bodies.
+        let mut i = best.segs.len();
+        while i > 0 && budget > 0 {
+            i -= 1;
+            if let Seg::Loop { trips, body } = &best.segs[i] {
+                let mut segs = best.segs.clone();
+                segs.splice(i..=i, body.clone());
+                let cand = best.with_segments(segs);
+                budget -= 1;
+                if fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    continue;
+                }
+                // Body-element deletion inside the loop.
+                for j in (0..body.len()).rev() {
+                    if body.len() <= 1 || budget == 0 {
+                        break;
+                    }
+                    let mut nb = body.clone();
+                    nb.remove(j);
+                    let mut segs = best.segs.clone();
+                    segs[i] = Seg::Loop {
+                        trips: *trips,
+                        body: nb,
+                    };
+                    let cand = best.with_segments(segs);
+                    budget -= 1;
+                    if fails(&cand) {
+                        best = cand;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::KernelPlan;
+    use hopper_isa::Instr;
+
+    #[test]
+    fn shrinks_to_the_guilty_segment() {
+        // Find a seed whose plan contains a barrier plus other segments,
+        // then shrink against "contains a bar.sync" as the failure.
+        let plan = (0..500u64)
+            .map(|s| KernelPlan::generate(s, true))
+            .find(|p| {
+                p.segs.len() >= 4
+                    && p.kernel()
+                        .instrs
+                        .iter()
+                        .any(|i| matches!(i, Instr::BarSync))
+            })
+            .expect("some plan has a barrier");
+        let fails = |p: &KernelPlan| {
+            p.kernel()
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::BarSync))
+        };
+        let small = minimize(&plan, fails);
+        assert!(fails(&small), "shrinker lost the failure");
+        assert!(
+            small.seg_count() < plan.seg_count(),
+            "shrinker made no progress ({} -> {})",
+            plan.seg_count(),
+            small.seg_count()
+        );
+        // Minimal: removing any remaining top-level segment passes.
+        for i in 0..small.segs.len() {
+            if small.segs.len() == 1 {
+                break;
+            }
+            let mut segs = small.segs.clone();
+            segs.remove(i);
+            assert!(
+                !fails(&small.with_segments(segs)),
+                "segment {i} was deletable but kept"
+            );
+        }
+    }
+}

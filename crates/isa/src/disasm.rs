@@ -249,6 +249,21 @@ pub fn instr_to_asm(i: &Instr) -> Option<String> {
     })
 }
 
+/// Whether every instruction has an asm form, i.e. [`disassemble`] would
+/// succeed. Cheaper than rendering: used by the audit fuzzer to decide
+/// which oracles (round-trip, serve) apply to a generated kernel.
+pub fn is_textual(k: &Kernel) -> bool {
+    !k.instrs.iter().any(|i| {
+        matches!(
+            i,
+            Instr::LdTile { .. }
+                | Instr::StTile { .. }
+                | Instr::FillTile { .. }
+                | Instr::TmaCopy { .. }
+        )
+    })
+}
+
 /// Render a whole kernel, emitting `LN:` labels at branch targets.
 ///
 /// Returns `None` if the kernel uses builder-only instructions.
@@ -319,6 +334,15 @@ mod tests {
         let mut b = KernelBuilder::new("tiles");
         b.fill_tile(TileId(0), DType::F16, 16, 16, TilePattern::Zero);
         b.exit();
-        assert!(disassemble(&b.build()).is_none());
+        let k = b.build();
+        assert!(!is_textual(&k));
+        assert!(disassemble(&k).is_none());
+    }
+
+    #[test]
+    fn is_textual_matches_disassemble() {
+        let k = assemble("mov %r1, %tid.x;\nst.global.b32 [%r1], %r1;\nexit;").unwrap();
+        assert!(is_textual(&k));
+        assert!(disassemble(&k).is_some());
     }
 }

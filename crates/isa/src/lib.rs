@@ -49,6 +49,7 @@ pub mod kernel;
 pub mod lower;
 pub mod mma;
 
+pub use disasm::{disassemble, is_textual};
 pub use dpx::DpxFunc;
 pub use dtype::{Arch, DType};
 pub use instr::{

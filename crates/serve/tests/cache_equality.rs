@@ -1,0 +1,68 @@
+//! Serve-path differential check over *generated* kernels: for a batch of
+//! fuzz kernels (hopper-audit's generator), the daemon's cached replay and
+//! a `no_cache` bypass must both be byte-identical to the cold response,
+//! for both report kinds. `service.rs` pins this for two hand-written
+//! kernels; this test extends the guarantee to randomly structured
+//! programs (loops, atomics, cp.async, clusters…).
+
+use hopper_audit::gen::KernelPlan;
+use hopper_audit::rng::kernel_seed;
+use hopper_isa::disassemble;
+use hopper_serve::protocol::ReportKind;
+use hopper_serve::{Client, RunSpec, Server, ServerConfig};
+use hopper_sim::GlobalMem;
+
+#[test]
+fn generated_kernels_cache_byte_identical() {
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let client = Client::new(server.local_addr().to_string());
+
+    // Collect textual plans: Hopper-featured ones run on h800, plain ones
+    // on the other two devices round-robin.
+    let mut checked = 0u32;
+    let mut i = 0u64;
+    while checked < 6 {
+        let seed = kernel_seed(0xcac4e, i);
+        i += 1;
+        let hopper = checked.is_multiple_of(2);
+        let plan = KernelPlan::generate(seed, hopper);
+        if !plan.is_textual() {
+            continue;
+        }
+        let text = disassemble(&plan.kernel()).expect("textual plan disassembles");
+        let device = if hopper {
+            "h800"
+        } else if checked % 4 == 1 {
+            "a100"
+        } else {
+            "rtx4090"
+        };
+        for report in [ReportKind::Stats, ReportKind::Profile] {
+            let mut spec = RunSpec::new(&text, device, plan.geom.grid, plan.geom.block);
+            spec.name = Some(format!("fuzz_{seed:016x}"));
+            spec.cluster = plan.geom.cluster;
+            spec.params = vec![GlobalMem::BASE];
+            spec.report = report;
+            let cold = client.run(&spec).expect("cold request");
+            assert!(
+                cold.contains("\"status\":\"ok\""),
+                "seed {seed:#018x} on {device}: daemon rejected kernel: {cold}"
+            );
+            let cached = client.run(&spec).expect("cached request");
+            assert_eq!(
+                cached, cold,
+                "seed {seed:#018x} on {device}: cached response differs"
+            );
+            spec.no_cache = true;
+            let bypass = client.run(&spec).expect("no_cache request");
+            assert_eq!(
+                bypass, cold,
+                "seed {seed:#018x} on {device}: no_cache rerun differs"
+            );
+        }
+        checked += 1;
+    }
+
+    server.shutdown();
+    server.join();
+}

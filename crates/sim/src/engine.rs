@@ -312,6 +312,13 @@ pub struct Engine<'a> {
     /// Set when an issue loop broke on its [`RunLimit`] rather than on
     /// warp completion.
     hit_limit: bool,
+    /// Debug-only shadow counters of L1/L2 tag-array lookups issued by
+    /// this engine, cross-checked against the `Metrics` hit/miss deltas
+    /// at end of wave (`check_wave_invariants`).
+    #[cfg(debug_assertions)]
+    dbg_l1_lookups: u64,
+    #[cfg(debug_assertions)]
+    dbg_l2_lookups: u64,
 }
 
 /// Scratch space for one coalesced global access (sectors → cache lines →
@@ -471,6 +478,10 @@ impl<'a> Engine<'a> {
             scratch: AccessScratch::default(),
             pc_acc: Vec::new(),
             hit_limit: false,
+            #[cfg(debug_assertions)]
+            dbg_l1_lookups: 0,
+            #[cfg(debug_assertions)]
+            dbg_l2_lookups: 0,
         }
     }
 
@@ -534,6 +545,8 @@ impl<'a> Engine<'a> {
             .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.l1_hits = l1.0 - self.l1_stats0.0;
         self.metrics.l1_misses = l1.1 - self.l1_stats0.1;
+        #[cfg(debug_assertions)]
+        self.check_wave_invariants();
         if tracing {
             self.emit_wave_summary(&slot_acc);
         }
@@ -1102,6 +1115,65 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Debug-build engine invariants, checked at end of every wave (so
+    /// the whole test suite and the fuzzer's smoke slice exercise them):
+    /// cache accounting must agree with the tag arrays, energy must be a
+    /// sane accumulator, and no limiter may have booked work beyond the
+    /// backpressure window its queue depth allows.
+    #[cfg(debug_assertions)]
+    fn check_wave_invariants(&self) {
+        assert_eq!(
+            self.metrics.l1_hits + self.metrics.l1_misses,
+            self.dbg_l1_lookups,
+            "L1 hits+misses diverged from tag lookups"
+        );
+        assert_eq!(
+            self.metrics.l2_hits + self.metrics.l2_misses,
+            self.dbg_l2_lookups,
+            "L2 hits+misses diverged from tag lookups"
+        );
+        assert!(
+            self.metrics.energy_j >= 0.0 && self.metrics.energy_j.is_finite(),
+            "energy accumulator corrupt: {}",
+            self.metrics.energy_j
+        );
+        // Every port is backpressured (acquire refuses when free_at runs
+        // more than its queue depth ahead), so no backlog may extend past
+        // the elapsed cycles plus the deepest window — unless the run was
+        // cut short mid-issue by a RunLimit.
+        let horizon = self.cycle as f64 + DRAM_QUEUE_DEPTH + 256.0;
+        let audit = |unit: &str, l: &Limiter| {
+            let busy = l.busy_cycles();
+            assert!(
+                busy >= 0.0 && busy.is_finite() && busy <= l.free_at() + 1e-6,
+                "{unit}: busy_cycles {busy} inconsistent with free_at {}",
+                l.free_at()
+            );
+            if !self.hit_limit {
+                assert!(
+                    busy <= horizon,
+                    "{unit}: busy {busy} cycles exceeds elapsed {} + bounded backlog",
+                    self.cycle
+                );
+            }
+        };
+        for (i, sm) in self.sms.iter().enumerate() {
+            audit(&format!("sm{i}.int"), &sm.int_pipe);
+            audit(&format!("sm{i}.fp32"), &sm.fp32_pipe);
+            audit(&format!("sm{i}.fp64"), &sm.fp64_pipe);
+            audit(&format!("sm{i}.dpx"), &sm.dpx_pipe);
+            audit(&format!("sm{i}.tensor.wg"), &sm.tc_whole);
+            audit(&format!("sm{i}.l1_port"), &sm.l1_port);
+            audit(&format!("sm{i}.smem_port"), &sm.smem_port);
+            audit(&format!("sm{i}.dsm_port"), &sm.dsm_port);
+            for (q, l) in sm.tc_quadrant.iter().enumerate() {
+                audit(&format!("sm{i}.tc{q}"), l);
+            }
+        }
+        audit("l2_port", &self.l2_port);
+        audit("dram", &self.dram_port);
+    }
+
     /// End-of-wave aggregate emission: per-slot totals, functional-unit
     /// occupancy, cache totals.
     fn emit_wave_summary(&mut self, slot_acc: &[SlotAcc]) {
@@ -1115,6 +1187,11 @@ impl<'a> Engine<'a> {
         };
         let Some(s) = self.sink.as_mut() else { return };
         for (slot, acc) in slot_acc.iter().enumerate() {
+            debug_assert_eq!(
+                acc.issued + acc.idle + acc.stalled.iter().sum::<u64>(),
+                total,
+                "slot {slot}: issued+idle+stalled must equal wave cycles"
+            );
             s.slot_totals(&SlotTotals {
                 sm: (slot / 4) as u32,
                 sched: (slot % 4) as u32,
@@ -2165,6 +2242,10 @@ impl<'a> Engine<'a> {
                 0
             };
             let l1_hit = cop == CacheOp::Ca && self.caches.l1[sm].access(line * 128);
+            #[cfg(debug_assertions)]
+            if cop == CacheOp::Ca {
+                self.dbg_l1_lookups += 1;
+            }
             if tracing_cache && cop == CacheOp::Ca {
                 self.trace_cache(sm as u32, CacheLevel::L1, l1_hit, nsec);
             }
@@ -2173,6 +2254,10 @@ impl<'a> Engine<'a> {
             }
             miss_bytes += 128;
             let l2_hit = self.caches.l2.access(line * 128);
+            #[cfg(debug_assertions)]
+            {
+                self.dbg_l2_lookups += 1;
+            }
             if tracing_cache {
                 self.trace_cache(sm as u32, CacheLevel::L2, l2_hit, nsec);
             }

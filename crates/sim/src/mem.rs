@@ -60,10 +60,16 @@ impl GlobalMem {
     }
 
     /// Allocate `bytes` (256-byte aligned, like `cudaMalloc`).
+    ///
+    /// Zero-size allocations still consume one alignment granule so the
+    /// returned address never aliases the next allocation (CUDA returns a
+    /// unique pointer for `cudaMalloc(0)` too).
     pub fn alloc(&mut self, bytes: u64) -> u64 {
         let addr = self.next;
-        self.next = (self.next + bytes + 255) & !255;
+        self.next = (self.next + bytes.max(1) + 255) & !255;
         self.allocated += bytes;
+        debug_assert_eq!(addr % 256, 0, "allocator returned unaligned pointer");
+        debug_assert!(self.next > addr, "allocation must advance the arena");
         addr
     }
 
@@ -131,16 +137,34 @@ impl GlobalMem {
         }
     }
 
-    /// Bulk write.
+    /// Bulk write: one page lookup and one slice copy per touched page.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
-        for (i, &b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(data.len());
+            self.page_mut(addr)[off..off + n].copy_from_slice(&data[..n]);
+            addr += n as u64;
+            data = &data[n..];
         }
     }
 
-    /// Bulk read.
+    /// Bulk read: page-at-a-time like [`Self::write_bytes`]; untouched
+    /// pages read as zeros without materialising.
     pub fn read_bytes(&self, addr: u64, n: usize) -> Vec<u8> {
-        (0..n as u64).map(|i| self.read_u8(addr + i)).collect()
+        let mut out = vec![0u8; n];
+        let mut filled = 0usize;
+        while filled < n {
+            let a = addr + filled as u64;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - off).min(n - filled);
+            if let Some(p) = self.pages.get(&(a >> PAGE_SHIFT)) {
+                out[filled..filled + chunk].copy_from_slice(&p[off..off + chunk]);
+            }
+            filled += chunk;
+        }
+        out
     }
 }
 
@@ -167,6 +191,10 @@ impl Limiter {
 
     /// Reserve `cost` cycles of service starting no earlier than `now`.
     pub fn acquire(&mut self, now: f64, cost: f64) -> f64 {
+        debug_assert!(
+            cost >= 0.0 && cost.is_finite() && now.is_finite(),
+            "limiter acquire with bad cost {cost} at {now}"
+        );
         let start = now.max(self.free);
         self.free = start + cost;
         self.busy += cost;
@@ -204,8 +232,13 @@ pub struct TagArray {
 
 impl TagArray {
     /// Build from capacity / line / associativity.
+    ///
+    /// Associativity is clamped to the number of available lines: a tiny
+    /// cache with `capacity/line < ways` would otherwise keep `ways` lines
+    /// resident in its single set and model more capacity than configured.
     pub fn new(capacity: u64, line: u64, ways: usize) -> Self {
         let lines = (capacity / line).max(1) as usize;
+        let ways = ways.clamp(1, lines);
         let sets = (lines / ways).max(1);
         TagArray {
             line,
@@ -255,6 +288,9 @@ impl TagArray {
 /// reuse one allocation across every access of a run.
 pub fn coalesce_sectors_into(addrs: impl Iterator<Item = u64>, width: u64, out: &mut Vec<u64>) {
     out.clear();
+    // A zero-width access still touches its base sector; without the clamp
+    // `a + width - 1` wraps below and panics in debug builds.
+    let width = width.max(1);
     for a in addrs {
         // An access may straddle sector boundaries (16B at offset 24).
         let first = a / 32;
@@ -285,8 +321,9 @@ pub fn bank_conflict_degree(addrs: impl Iterator<Item = u64>, width: u64) -> u32
     let mut seen = [0u64; 128];
     let mut n = 0usize;
     let mut per_bank = [0u32; 32];
-    // Wide accesses occupy multiple words.
-    let words = (width / 4).max(1);
+    // Wide accesses occupy multiple words; a zero-width access degrades to
+    // a single-word probe (mirrors the clamp in `coalesce_sectors_into`).
+    let words = (width.max(1) / 4).max(1);
     for a in addrs {
         for w in 0..words {
             let word = a / 4 + w;
@@ -333,6 +370,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_size_allocs_are_distinct_and_aligned() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc(0);
+        let b = g.alloc(0);
+        let c = g.alloc(8);
+        assert_ne!(a, b, "alloc(0) must not alias the next allocation");
+        assert_ne!(b, c);
+        for p in [a, b, c] {
+            assert_eq!(p % 256, 0, "pointer {p:#x} not 256-byte aligned");
+        }
+        // Accounting still reflects requested bytes, not padding.
+        assert_eq!(g.allocated(), 8);
+    }
+
+    #[test]
+    fn bulk_rw_crosses_pages() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc(3 * PAGE_SIZE as u64);
+        // Start mid-page so the copy spans three pages.
+        let base = a + PAGE_SIZE as u64 - 100;
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 50).map(|i| (i * 7 + 3) as u8).collect();
+        g.write_bytes(base, &data);
+        assert_eq!(g.read_bytes(base, data.len()), data);
+        // Interior slice, offset so chunk boundaries differ from the write.
+        assert_eq!(g.read_bytes(base + 37, 4096), data[37..37 + 4096]);
+        // Reads from never-touched pages come back zeroed.
+        let hole = g.alloc(2 * PAGE_SIZE as u64);
+        assert!(g
+            .read_bytes(hole + 10, PAGE_SIZE + 20)
+            .iter()
+            .all(|&b| b == 0));
+        // Scalar and bulk paths agree.
+        assert_eq!(
+            g.read_scalar(base, 8),
+            u64::from_le_bytes(data[..8].try_into().unwrap())
+        );
+    }
+
+    #[test]
     fn limiter_serialises() {
         let mut l = Limiter::new();
         assert_eq!(l.acquire(10.0, 5.0), 10.0);
@@ -352,6 +428,26 @@ mod tests {
         assert!(!t.access(512)); // evicts LRU (128)
         assert!(!t.access(128));
         assert_eq!(t.stats().0, 1);
+    }
+
+    #[test]
+    fn tiny_cache_clamps_ways_to_lines() {
+        // One line of capacity but nominally 8-way: without the clamp the
+        // single set would keep 8 resident lines (8x the configured size).
+        let mut t = TagArray::new(128, 128, 8);
+        assert!(!t.access(0));
+        assert!(!t.access(128)); // must evict line 0
+        assert!(!t.access(0), "line 0 survived in a 1-line cache");
+        // Non-divisible geometry: 3 lines, 2 ways -> at most 2 resident.
+        let mut t = TagArray::new(3 * 128, 128, 2);
+        assert!(!t.access(0));
+        assert!(!t.access(128));
+        assert!(t.access(0));
+        // A degenerate capacity below one line still behaves (1 line).
+        let mut t = TagArray::new(64, 128, 4);
+        assert!(!t.access(0));
+        assert!(!t.access(128));
+        assert!(!t.access(0));
     }
 
     #[test]
@@ -379,5 +475,15 @@ mod tests {
         assert_eq!(bank_conflict_degree((0..32u64).map(|_| 0), 4), 1);
         // Stride 8B: 2-way conflict.
         assert_eq!(bank_conflict_degree((0..32u64).map(|l| l * 8), 4), 2);
+    }
+
+    #[test]
+    fn zero_width_access_is_safe() {
+        // Formerly `a + width - 1` wrapped in debug builds; a malformed
+        // width now degrades to a single-byte probe.
+        assert_eq!(coalesce_sectors([0u64].into_iter(), 0).len(), 1);
+        assert_eq!(coalesce_sectors((0..32u64).map(|l| l * 32), 0).len(), 32);
+        assert_eq!(bank_conflict_degree([0u64].into_iter(), 0), 1);
+        assert_eq!(bank_conflict_degree((0..32u64).map(|l| l * 128), 0), 32);
     }
 }

@@ -131,25 +131,33 @@ pub struct DvfsResult {
 /// `P(f) ≤ TDP`.
 pub fn resolve_dvfs(dev: &DeviceConfig, cycles: u64, energy_j: f64) -> DvfsResult {
     let f_nom = dev.clock_hz;
-    if cycles == 0 || energy_j <= 0.0 {
-        return DvfsResult {
+    let r = if cycles == 0 || energy_j <= 0.0 {
+        DvfsResult {
             achieved_hz: f_nom,
             power_w: dev.idle_w,
-        };
-    }
-    let e_per_cycle = energy_j / cycles as f64;
-    let p_nom = dev.idle_w + e_per_cycle * f_nom;
-    if p_nom <= dev.tdp_w {
-        return DvfsResult {
-            achieved_hz: f_nom,
-            power_w: p_nom,
-        };
-    }
-    let f = (dev.tdp_w - dev.idle_w) / e_per_cycle;
-    DvfsResult {
-        achieved_hz: f.min(f_nom),
-        power_w: dev.tdp_w,
-    }
+        }
+    } else {
+        let e_per_cycle = energy_j / cycles as f64;
+        let p_nom = dev.idle_w + e_per_cycle * f_nom;
+        if p_nom <= dev.tdp_w {
+            DvfsResult {
+                achieved_hz: f_nom,
+                power_w: p_nom,
+            }
+        } else {
+            let f = (dev.tdp_w - dev.idle_w) / e_per_cycle;
+            DvfsResult {
+                achieved_hz: f.min(f_nom),
+                power_w: dev.tdp_w,
+            }
+        }
+    };
+    // Governor invariants (audit harness): never overclock, never exceed
+    // the power envelope, and zero-activity runs always stay at nominal.
+    debug_assert!(r.achieved_hz > 0.0 && r.achieved_hz <= f_nom);
+    debug_assert!(r.power_w >= dev.idle_w - 1e-9 && r.power_w <= dev.tdp_w + 1e-9);
+    debug_assert!(energy_j > 0.0 || r.achieved_hz == f_nom);
+    r
 }
 
 #[cfg(test)]

@@ -102,6 +102,59 @@ impl StallProfile {
         })
     }
 
+    /// First observable divergence between two profiles as a short
+    /// human-readable description, `None` when equal. Differential
+    /// oracles (`hopper-audit`) use this to say *where* two runs
+    /// disagreed instead of dumping both profiles wholesale.
+    pub fn first_divergence(&self, other: &StallProfile) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        if self.waves != other.waves {
+            return Some(format!("waves: {} vs {}", self.waves, other.waves));
+        }
+        if self.total_cycles != other.total_cycles {
+            return Some(format!(
+                "total_cycles: {} vs {}",
+                self.total_cycles, other.total_cycles
+            ));
+        }
+        if self.slots.len() != other.slots.len() {
+            return Some(format!(
+                "slot count: {} vs {}",
+                self.slots.len(),
+                other.slots.len()
+            ));
+        }
+        for (a, b) in self.slots.iter().zip(other.slots.iter()) {
+            if a != b {
+                return Some(format!("slot sm{} sched{}: {a:?} vs {b:?}", a.sm, a.sched));
+            }
+        }
+        if self.units.len() != other.units.len() {
+            return Some(format!(
+                "unit count: {} vs {}",
+                self.units.len(),
+                other.units.len()
+            ));
+        }
+        for (a, b) in self.units.iter().zip(other.units.iter()) {
+            if a != b {
+                return Some(format!("unit {} on sm{}: {a:?} vs {b:?}", a.unit, a.sm));
+            }
+        }
+        if self.cache != other.cache {
+            return Some(format!(
+                "cache totals: {:?} vs {:?}",
+                self.cache, other.cache
+            ));
+        }
+        Some(format!(
+            "dvfs_throttle_cycles: {} vs {}",
+            self.dvfs_throttle_cycles, other.dvfs_throttle_cycles
+        ))
+    }
+
     /// Collapse the per-slot histograms into one launch-wide summary.
     pub fn summary(&self) -> StallSummary {
         let mut sum = StallSummary {
@@ -345,6 +398,22 @@ mod tests {
         assert_eq!(sum.slot_cycles, 300);
         assert_eq!(sum.top_stall(), Some((StallReason::Scoreboard, 90)));
         assert!(sum.issue_rate() > 0.49 && sum.issue_rate() < 0.51);
+    }
+
+    #[test]
+    fn first_divergence_pinpoints_slot() {
+        let mut p = StallProfile::default();
+        p.begin_wave(0, 1, 4);
+        p.slot_totals(&totals(0, 0));
+        p.end_wave(100);
+        let mut q = p.clone();
+        assert_eq!(p.first_divergence(&q), None);
+        q.slots[0].issued += 1;
+        let d = p.first_divergence(&q).expect("profiles differ");
+        assert!(d.contains("slot sm0 sched0"), "{d}");
+        let mut r = p.clone();
+        r.end_wave(5);
+        assert!(p.first_divergence(&r).unwrap().contains("total_cycles"));
     }
 
     #[test]

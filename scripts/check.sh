@@ -78,6 +78,10 @@ wait "$hsimd_pid"
 trap 'rm -rf "$smoke"' EXIT
 echo "hsimd smoke passed (addr $addr, clean shutdown)"
 
+echo "== hfuzz: 200 random kernels through the differential oracles"
+cargo build --release -q -p hopper-audit
+target/release/hfuzz --seed 0xh0pper --iters 200 --out "$smoke"
+
 echo "== bench regression gate vs pr2-ready-set (10%)"
 scripts/bench.sh gate --baseline pr2-ready-set --threshold 10
 
