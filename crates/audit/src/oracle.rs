@@ -19,13 +19,21 @@
 //! 6. **Serve cache** (textual kernels, when a [`ServeOracle`] is
 //!    provided) — a cold daemon response and the cached replay must be
 //!    byte-identical.
+//! 7. **Replay round-trip** — capturing a trace must not perturb the run
+//!    (capture transparency), and replaying the captured streams through
+//!    the timing model must reproduce the functional run's `Metrics`,
+//!    stall buckets, DVFS outcome and full stall profile bitwise; for
+//!    textual kernels the trace must additionally survive the text and
+//!    binary file formats unchanged.
 
 use crate::gen::{KernelPlan, GBUF_BYTES};
 use crate::rng::SplitMix64;
 use hopper_isa::{asm, disassemble};
+use hopper_replay::Trace;
 use hopper_serve::{Client, ReportKind, RunSpec, Server, ServerConfig};
 use hopper_sim::{
-    ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, RunStats, Scheduler, SimOptions,
+    ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, ReplayConfig, RunBudget, RunStats,
+    Scheduler, SimOptions,
 };
 
 /// Fail the oracle with a formatted reason.
@@ -179,6 +187,62 @@ pub fn check_plan(
         "scheduler oracle: per-PC samples diverge"
     );
 
+    // 7: replay round-trip.  Capture is transparent (the captured run's
+    // stats equal the plain run's bitwise), and a replayed trace
+    // reproduces Metrics, stalls, DVFS and the full stall profile.
+    let (cap, source) = {
+        let mut gpu = gpu_with(dev, Scheduler::ReadySet);
+        let (_, l) = setup(&mut gpu, plan)?;
+        gpu.launch_captured(&k, &l)
+            .map_err(|e| format!("replay oracle: capture failed: {e:?}"))?
+    };
+    ensure!(
+        cap.metrics == rs.metrics
+            && cap.stalls == rs.stalls
+            && cap.achieved_clock_hz == rs.achieved_clock_hz,
+        "replay oracle: capture perturbed the run\n  captured: {:?}\n  plain:    {:?}",
+        cap.metrics,
+        rs.metrics
+    );
+    source
+        .validate(&k)
+        .map_err(|e| format!("replay oracle: captured streams invalid: {e}"))?;
+    let rep = {
+        let mut gpu = gpu_with(dev, Scheduler::ReadySet);
+        let (_, l) = setup(&mut gpu, plan)?;
+        gpu.launch_replayed(&k, &l, &source)
+            .map_err(|e| format!("replay oracle: replay failed: {e:?}"))?
+    };
+    ensure!(
+        rep.metrics == rs.metrics
+            && rep.stalls == rs.stalls
+            && rep.achieved_clock_hz == rs.achieved_clock_hz,
+        "replay oracle: replayed run diverges from functional run\n  replayed:   {:?}\n  functional: {:?}",
+        rep.metrics,
+        rs.metrics
+    );
+    let (rp_s, rp_p) = {
+        let mut gpu = gpu_with(dev, Scheduler::ReadySet);
+        let (_, l) = setup(&mut gpu, plan)?;
+        gpu.profile_replayed_bounded(
+            &k,
+            &l,
+            &source,
+            &ReplayConfig::default(),
+            &RunBudget::default(),
+        )
+        .map_err(|e| format!("replay oracle: profiled replay failed: {e:?}"))?
+    };
+    ensure!(
+        rp_s.metrics == sa.metrics && rp_s.stalls == sa.stalls,
+        "replay oracle: profiled replay stats diverge"
+    );
+    if let Some(d) = rp_p.first_divergence(&pa) {
+        return Err(format!(
+            "replay oracle: replayed StallProfile diverges: {d}"
+        ));
+    }
+
     // 5: assembler round-trip fixpoint (textual kernels only).
     if plan.is_textual() {
         let text =
@@ -202,6 +266,29 @@ pub fn check_plan(
             k2.digest(),
             k3.digest()
         );
+
+        // 7 (file formats): the captured trace survives both on-disk
+        // encodings unchanged and still validates after reparse.
+        let trace = {
+            let mut gpu = gpu_with(dev, Scheduler::ReadySet);
+            let (_, l) = setup(&mut gpu, plan)?;
+            let (_, trace) = Trace::capture_kernel(&mut gpu, ServeOracle::wire_name(dev), &k, &l)
+                .map_err(|e| format!("replay oracle: trace capture failed: {e}"))?;
+            trace
+        };
+        for (fmt, bytes) in [
+            ("text", trace.to_text().into_bytes()),
+            ("binary", trace.to_binary()),
+        ] {
+            let back = Trace::parse(&bytes)
+                .map_err(|e| format!("replay oracle: {fmt} reparse failed: {e}"))?;
+            ensure!(
+                back == trace,
+                "replay oracle: {fmt} round-trip changed the trace"
+            );
+            back.validate()
+                .map_err(|e| format!("replay oracle: reparsed {fmt} trace invalid: {e}"))?;
+        }
 
         // 6: serve-path cold vs cached.
         if let Some(srv) = serve {

@@ -485,7 +485,57 @@ pub enum Instr {
     Exit,
 }
 
+/// What operand payload a replay-trace record carries for an instruction
+/// — the record↔instruction mapping shared by the capture engine
+/// (`hopper-sim`), the trace format (`hopper-replay`), and its parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePayload {
+    /// No payload (ALU, control flow, barriers, fences, ...).
+    None,
+    /// One resolved byte address per active lane, lane-ascending, with
+    /// any cluster-DSM tag bits preserved (`ld`/`st`/`atom`).
+    LaneAddrs,
+    /// One resolved *global-side* byte address per active lane
+    /// (`cp.async`; the shared side is derivable and purely functional).
+    GlobalLaneAddrs,
+    /// A single base byte address (TMA box source, tile load/store base).
+    Base,
+    /// At most one element: the tensor-core activity factor's `f64` bits
+    /// (`mma`, and `wgmma` on the issuing warp-group leader; empty for
+    /// non-leader `wgmma` warps).
+    Activity,
+}
+
+impl TracePayload {
+    /// Is `len` a valid payload length for this class, given the
+    /// record's active-lane mask?
+    pub fn len_ok(self, len: usize, active: u32) -> bool {
+        match self {
+            TracePayload::None => len == 0,
+            TracePayload::LaneAddrs | TracePayload::GlobalLaneAddrs => {
+                len == active.count_ones() as usize
+            }
+            TracePayload::Base => len == 1,
+            TracePayload::Activity => len <= 1,
+        }
+    }
+}
+
 impl Instr {
+    /// The replay-trace payload class of this instruction (see
+    /// [`TracePayload`]).
+    pub fn trace_payload(&self) -> TracePayload {
+        match self {
+            Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. } => TracePayload::LaneAddrs,
+            Instr::CpAsync { .. } => TracePayload::GlobalLaneAddrs,
+            Instr::TmaCopy { .. } | Instr::LdTile { .. } | Instr::StTile { .. } => {
+                TracePayload::Base
+            }
+            Instr::Mma { .. } | Instr::Wgmma { .. } => TracePayload::Activity,
+            _ => TracePayload::None,
+        }
+    }
+
     /// Short mnemonic for traces and error messages.
     pub fn mnemonic(&self) -> &'static str {
         match self {

@@ -54,7 +54,7 @@ pub use dpx::DpxFunc;
 pub use dtype::{Arch, DType};
 pub use instr::{
     AddrExpr, CacheOp, CmpOp, FAluOp, FloatPrec, IAluOp, Instr, MemSpace, Operand, Pred, Reg,
-    Special, TileId, TilePattern, Width,
+    Special, TileId, TilePattern, TracePayload, Width,
 };
 pub use kernel::{Kernel, KernelBuilder, Label};
 pub use mma::{MmaDesc, MmaKind, OperandSource};

@@ -3,6 +3,7 @@
 //! of the same workload produce byte-identical output.
 
 use crate::KernelReport;
+use hopper_sim::RunStats;
 use hopper_trace::{wait_bucket_label, StallReason, N_WAIT_BUCKETS};
 use serde_json::Value;
 
@@ -180,6 +181,43 @@ impl KernelReport {
     pub fn to_json_string(&self) -> String {
         serde_json::to_string_pretty(&self.to_json()).expect("Value serialisation is infallible")
     }
+}
+
+/// Deterministic JSON for a [`RunStats`] payload (sorted keys, derived
+/// rates included so clients need no local arithmetic).
+///
+/// This is the *single* rendering of aggregate stats — the serve daemon's
+/// `report=stats` payloads and `htrace`'s capture/replay summaries both
+/// call it, so the two tools agree byte-for-byte on identical runs.
+pub fn run_stats_to_json(stats: &RunStats) -> Value {
+    let m = &stats.metrics;
+    obj(vec![
+        (
+            "achieved_clock_mhz",
+            Value::Float(stats.achieved_clock_hz / 1e6),
+        ),
+        ("avg_power_w", Value::Float(stats.avg_power_w)),
+        ("barrier_waits", Value::UInt(m.barrier_waits)),
+        ("cycles", Value::UInt(m.cycles)),
+        ("dpx_ops", Value::UInt(m.dpx_ops)),
+        ("dram_bytes", Value::UInt(m.dram_bytes)),
+        ("dsm_bytes", Value::UInt(m.dsm_bytes)),
+        ("energy_j", Value::Float(m.energy_j)),
+        ("instructions", Value::UInt(m.instructions)),
+        ("ipc", Value::Float(m.ipc())),
+        ("l1_bytes", Value::UInt(m.l1_bytes)),
+        ("l1_hit_rate_pct", Value::Float(m.l1_hit_rate() * 100.0)),
+        ("l2_bytes", Value::UInt(m.l2_bytes)),
+        ("l2_hit_rate_pct", Value::Float(m.l2_hit_rate() * 100.0)),
+        (
+            "nominal_clock_mhz",
+            Value::Float(stats.nominal_clock_hz / 1e6),
+        ),
+        ("smem_bytes", Value::UInt(m.smem_bytes)),
+        ("tc_ops", Value::UInt(m.tc_ops)),
+        ("time_us", Value::Float(stats.seconds() * 1e6)),
+        ("tlb_misses", Value::UInt(m.tlb_misses)),
+    ])
 }
 
 #[cfg(test)]

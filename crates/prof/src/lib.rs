@@ -31,10 +31,12 @@ mod json;
 mod render;
 pub mod workloads;
 
+pub use json::run_stats_to_json;
+
 use hopper_isa::{disasm, DType, Kernel};
 use hopper_sim::{
-    DeviceConfig, Gpu, Launch, LaunchError, PcSampleSink, RunBudget, RunStats, StallProfile,
-    StallReason, StallSummary, TeeSink,
+    DeviceConfig, Gpu, Launch, LaunchError, PcSampleSink, ReplayConfig, ReplaySource, RunBudget,
+    RunStats, StallProfile, StallReason, StallSummary, TeeSink,
 };
 use hopper_trace::{N_SLOT_REASONS, N_WAIT_BUCKETS};
 
@@ -272,6 +274,37 @@ pub fn profile_kernel_bounded(
     let mut pcs = PcSampleSink::default();
     let mut tee = TeeSink::new(&mut prof, &mut pcs);
     let mut stats = gpu.launch_traced_bounded(kernel, launch, &mut tee, budget)?;
+    stats.stalls = Some(prof.summary());
+    let blocks_per_sm = gpu.occupancy(kernel, launch.block)?;
+    debug_assert!(prof.conservation_ok());
+    Ok(build_report(
+        gpu.device(),
+        kernel,
+        launch,
+        &stats,
+        &prof,
+        &pcs,
+        blocks_per_sm,
+    ))
+}
+
+/// [`profile_kernel_bounded`] for a *replayed* launch: operands come from
+/// a captured [`ReplaySource`], the report pipeline is otherwise
+/// unchanged — so a replayed profile of a captured run is byte-identical
+/// to the functional run's profile.
+pub fn profile_replayed_bounded(
+    gpu: &mut Gpu,
+    kernel: &Kernel,
+    launch: &Launch,
+    source: &ReplaySource,
+    cfg: &ReplayConfig,
+    budget: &RunBudget,
+) -> Result<KernelReport, LaunchError> {
+    let mut prof = StallProfile::default();
+    let mut pcs = PcSampleSink::default();
+    let mut tee = TeeSink::new(&mut prof, &mut pcs);
+    let mut stats =
+        gpu.launch_replayed_traced_bounded(kernel, launch, source, cfg, &mut tee, budget)?;
     stats.stalls = Some(prof.summary());
     let blocks_per_sm = gpu.occupancy(kernel, launch.block)?;
     debug_assert!(prof.conservation_ok());

@@ -1,0 +1,325 @@
+//! The compact binary trace format (`HTRB` magic, little-endian).
+//!
+//! Layout:
+//!
+//! ```text
+//! "HTRB"                      magic
+//! u32  version
+//! str  device                 (u32 length + UTF-8 bytes)
+//! str  kernel name
+//! str  digest (16 hex chars)
+//! u32  grid, block, cluster
+//! u32  param count, then u64 params
+//! str  asm text
+//! u32  warp count
+//! per warp:
+//!   u32 ctaid, u32 warp_in_block, u32 record count
+//!   u64 blob length in bytes
+//!   blob: per record  u32 pc, u32 active, u32 payload len, u64 payload…
+//! ```
+//!
+//! Record blobs are length-prefixed so the reader indexes every warp in
+//! one serial skip-scan and then decodes the blobs in parallel on the
+//! rayon pool — the same chunked shape as the text reader.  All reads are
+//! bounds-checked; malformed input yields [`TraceError::Binary`] with the
+//! offending byte offset, never a panic.
+
+use crate::{Trace, TraceError, TraceHeader, TRACE_VERSION};
+use hopper_sim::{ReplayRec, ReplaySource};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+pub(crate) const MAGIC: &[u8] = b"HTRB";
+
+/// Hard cap on a single record's payload (a warp has 32 lanes); also the
+/// allocation guard against hostile length fields.
+const MAX_PAYLOAD: usize = 32;
+
+pub(crate) fn serialize(trace: &Trace) -> Vec<u8> {
+    let h = &trace.header;
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&h.version.to_le_bytes());
+    put_str(&mut out, &h.device);
+    put_str(&mut out, &h.kernel_name);
+    put_str(&mut out, &h.digest_hex);
+    out.extend_from_slice(&h.grid.to_le_bytes());
+    out.extend_from_slice(&h.block.to_le_bytes());
+    out.extend_from_slice(&h.cluster.to_le_bytes());
+    out.extend_from_slice(&(h.params.len() as u32).to_le_bytes());
+    for p in &h.params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    put_str(&mut out, &trace.asm);
+    out.extend_from_slice(&(trace.source.streams.len() as u32).to_le_bytes());
+    for (&(ctaid, wib), stream) in &trace.source.streams {
+        out.extend_from_slice(&ctaid.to_le_bytes());
+        out.extend_from_slice(&wib.to_le_bytes());
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        let mut blob = Vec::new();
+        for rec in stream {
+            blob.extend_from_slice(&rec.pc.to_le_bytes());
+            blob.extend_from_slice(&rec.active.to_le_bytes());
+            blob.extend_from_slice(&(rec.payload.len() as u32).to_le_bytes());
+            for v in &rec.payload {
+                blob.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&blob);
+    }
+    out
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> TraceError {
+        TraceError::Binary {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(self.err(format!(
+                "truncated: need {n} bytes for {what}, {} remain",
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, TraceError> {
+        let len = self.u32(what)? as usize;
+        let at = self.pos;
+        let raw = self.take(len, what)?;
+        std::str::from_utf8(raw)
+            .map(|s| s.to_string())
+            .map_err(|e| TraceError::Binary {
+                offset: at,
+                msg: format!("{what} is not valid UTF-8: {e}"),
+            })
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// One warp's undecoded record blob.
+struct WarpBlob<'a> {
+    ctaid: u32,
+    wib: u32,
+    n_records: usize,
+    blob_offset: usize,
+    blob: &'a [u8],
+}
+
+fn decode_blob(w: &WarpBlob<'_>) -> Result<Vec<ReplayRec>, TraceError> {
+    let mut c = Cursor {
+        bytes: w.blob,
+        pos: 0,
+    };
+    let at = |c: &Cursor<'_>| w.blob_offset + c.pos;
+    let mut recs = Vec::with_capacity(w.n_records.min(c.remaining() / 12 + 1));
+    for i in 0..w.n_records {
+        let pc = c.u32("record pc").map_err(|e| reoffset(e, w.blob_offset))?;
+        let active = c
+            .u32("record active mask")
+            .map_err(|e| reoffset(e, w.blob_offset))?;
+        let n_payload = c
+            .u32("record payload length")
+            .map_err(|e| reoffset(e, w.blob_offset))? as usize;
+        if n_payload > MAX_PAYLOAD {
+            return Err(TraceError::Binary {
+                offset: at(&c),
+                msg: format!(
+                    "record {i} of ctaid {} warp {} claims {n_payload} payload entries \
+                     (a warp has at most {MAX_PAYLOAD} lanes)",
+                    w.ctaid, w.wib
+                ),
+            });
+        }
+        let mut payload = Vec::with_capacity(n_payload);
+        for _ in 0..n_payload {
+            payload.push(
+                c.u64("record payload entry")
+                    .map_err(|e| reoffset(e, w.blob_offset))?,
+            );
+        }
+        recs.push(ReplayRec {
+            pc,
+            active,
+            payload,
+        });
+    }
+    if c.remaining() != 0 {
+        return Err(TraceError::Binary {
+            offset: at(&c),
+            msg: format!(
+                "warp blob of ctaid {} warp {} has {} trailing bytes after its {} records",
+                w.ctaid,
+                w.wib,
+                c.remaining(),
+                w.n_records
+            ),
+        });
+    }
+    Ok(recs)
+}
+
+/// Re-base a blob-relative error offset to the whole-file offset.
+fn reoffset(e: TraceError, base: usize) -> TraceError {
+    match e {
+        TraceError::Binary { offset, msg } => TraceError::Binary {
+            offset: base + offset,
+            msg,
+        },
+        other => other,
+    }
+}
+
+pub(crate) fn parse(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let magic = c.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(TraceError::Binary {
+            offset: 0,
+            msg: format!("bad magic {magic:02x?} (expected \"HTRB\")"),
+        });
+    }
+    let version = c.u32("version")?;
+    if version > TRACE_VERSION {
+        return Err(TraceError::Version {
+            found: version,
+            supported: TRACE_VERSION,
+        });
+    }
+    let device = c.str("device name")?;
+    let kernel_name = c.str("kernel name")?;
+    let digest_hex = c.str("digest")?;
+    if digest_hex.len() != 16 || !digest_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(c.err(format!("digest must be 16 hex chars, got `{digest_hex}`")));
+    }
+    let grid = c.u32("grid")?;
+    let block = c.u32("block")?;
+    let cluster = c.u32("cluster")?;
+    let n_params = c.u32("param count")? as usize;
+    if n_params > c.remaining() / 8 {
+        return Err(c.err(format!(
+            "param count {n_params} exceeds the {} bytes remaining",
+            c.remaining()
+        )));
+    }
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(c.u64("param")?);
+    }
+    let asm = c.str("asm text")?;
+    let n_warps = c.u32("warp count")? as usize;
+    if n_warps > c.remaining() / 20 + 1 {
+        return Err(c.err(format!(
+            "warp count {n_warps} exceeds the {} bytes remaining",
+            c.remaining()
+        )));
+    }
+
+    // Serial skip-scan over the length-prefixed blobs…
+    let mut seen = BTreeMap::new();
+    let mut blobs: Vec<WarpBlob<'_>> = Vec::with_capacity(n_warps);
+    for _ in 0..n_warps {
+        let warp_at = c.pos;
+        let ctaid = c.u32("warp ctaid")?;
+        let wib = c.u32("warp index")?;
+        if wib >= block.div_ceil(32).max(1) {
+            return Err(TraceError::Binary {
+                offset: warp_at,
+                msg: format!(
+                    "warp {wib} out of range for block of {block} threads ({} warps)",
+                    block.div_ceil(32).max(1)
+                ),
+            });
+        }
+        if ctaid >= grid {
+            return Err(TraceError::Binary {
+                offset: warp_at,
+                msg: format!("ctaid {ctaid} out of range for grid of {grid} blocks"),
+            });
+        }
+        if seen.insert((ctaid, wib), warp_at).is_some() {
+            return Err(TraceError::Binary {
+                offset: warp_at,
+                msg: format!("duplicate stream for ctaid {ctaid} warp {wib}"),
+            });
+        }
+        let n_records = c.u32("warp record count")? as usize;
+        let blob_len = c.u64("warp blob length")? as usize;
+        let blob_offset = c.pos;
+        let blob = c.take(blob_len, "warp record blob")?;
+        if n_records > blob_len / 12 {
+            return Err(TraceError::Binary {
+                offset: warp_at,
+                msg: format!(
+                    "warp of ctaid {ctaid} claims {n_records} records in a {blob_len}-byte blob"
+                ),
+            });
+        }
+        blobs.push(WarpBlob {
+            ctaid,
+            wib,
+            n_records,
+            blob_offset,
+            blob,
+        });
+    }
+    if c.remaining() != 0 {
+        return Err(c.err(format!(
+            "{} trailing bytes after the last warp",
+            c.remaining()
+        )));
+    }
+
+    // …then parallel blob decode.
+    let decoded: Result<Vec<Vec<ReplayRec>>, TraceError> =
+        blobs.par_iter().map(decode_blob).collect();
+    let decoded = decoded?;
+    let mut streams = BTreeMap::new();
+    for (b, recs) in blobs.iter().zip(decoded) {
+        streams.insert((b.ctaid, b.wib), recs);
+    }
+    Ok(Trace {
+        header: TraceHeader {
+            version,
+            device,
+            kernel_name,
+            digest_hex,
+            grid,
+            block,
+            cluster,
+            params,
+        },
+        asm,
+        source: ReplaySource { streams },
+    })
+}

@@ -1,0 +1,316 @@
+//! Trace-driven frontend for the Hopper-dissection simulator.
+//!
+//! A *trace* is a captured launch: the kernel text, the launch geometry,
+//! and one instruction stream per warp — PC, active mask and the resolved
+//! operand payload (memory addresses, tensor-core activity factors) of
+//! every issued instruction.  Replaying a trace re-runs the full timing
+//! model (schedulers, L1/L2/DRAM, shared-memory banks, DVFS) with
+//! operands sourced from the capture instead of functional execution, and
+//! reproduces the original run's statistics and stall attribution
+//! **bitwise** (`hopper-audit`'s `replay_roundtrip` oracle enforces this
+//! for every fuzz-generated kernel).
+//!
+//! Two on-disk encodings carry the same [`Trace`]:
+//!
+//! * a line-oriented **text** format (`HTRACE v1` magic) that diffs and
+//!   greps well — see [`Trace::to_text`];
+//! * a compact little-endian **binary** format (`HTRB` magic) whose
+//!   per-warp record blobs are length-prefixed so the reader can index
+//!   all warps serially and decode their records in parallel — see
+//!   [`Trace::to_binary`].
+//!
+//! [`Trace::parse`] sniffs the magic and dispatches; both parsers are
+//! forgiving in diagnostics (typed [`TraceError`]s carrying a line number
+//! or byte offset) and hard against malformed input (they never panic —
+//! property-tested on arbitrary bytes).
+//!
+//! The capture/replay workflow:
+//!
+//! ```
+//! use hopper_replay::Trace;
+//! use hopper_sim::{DeviceConfig, Gpu, Launch};
+//!
+//! let mut gpu = Gpu::new(DeviceConfig::h800());
+//! let (stats, trace) = Trace::capture(
+//!     &mut gpu,
+//!     "h800",
+//!     "mov %r1, %tid.x;\nshl.s32 %r2, %r1, 2;\nst.global.b32 [%r2], %r1;\nexit;",
+//!     "scatter",
+//!     &Launch::new(1, 32),
+//! )
+//! .unwrap();
+//!
+//! let text = trace.to_text();
+//! let back = Trace::parse(text.as_bytes()).unwrap();
+//! let kernel = back.validate().unwrap();
+//!
+//! let mut gpu = Gpu::new(DeviceConfig::h800());
+//! let replayed = gpu
+//!     .launch_replayed(&kernel, &back.launch(), &back.source)
+//!     .unwrap();
+//! assert_eq!(stats.metrics.cycles, replayed.metrics.cycles);
+//! ```
+
+#![warn(missing_docs)]
+
+mod binary;
+mod text;
+
+use hopper_isa::{asm, Kernel};
+use hopper_sim::{Gpu, Launch, LaunchError, ReplaySource, RunStats};
+
+/// The trace format version this crate reads and writes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Trace-file header: everything needed to rebuild the launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version ([`TRACE_VERSION`] when written by this crate).
+    pub version: u32,
+    /// Wire device name (`h800`, `a100`, `rtx4090`).
+    pub device: String,
+    /// Kernel name.
+    pub kernel_name: String,
+    /// [`Kernel::digest_hex`] of the captured kernel — the same 16-hex
+    /// digest `hopper-prof` stamps into reports and `hsimd` uses as its
+    /// cache key, so a trace is attributable to the exact kernel text.
+    pub digest_hex: String,
+    /// Blocks in the grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Cluster size (1 = no clusters).
+    pub cluster: u32,
+    /// Kernel parameters (`%r0..`).
+    pub params: Vec<u64>,
+}
+
+/// A complete captured launch: header, embedded kernel text, and the
+/// per-warp instruction streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Launch header.
+    pub header: TraceHeader,
+    /// The captured kernel's assembly text (assembles to the kernel whose
+    /// digest is [`TraceHeader::digest_hex`]).
+    pub asm: String,
+    /// Per-warp instruction streams.
+    pub source: ReplaySource,
+}
+
+/// Typed trace errors.  Parse-level variants carry a position (1-based
+/// line for text traces, byte offset for binary traces) so malformed
+/// files diagnose precisely; semantic variants carry warp/record context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Malformed text trace.
+    Text {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Malformed binary trace.
+    Binary {
+        /// Byte offset the parser was reading at.
+        offset: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The file's version is not supported by this reader.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this crate reads.
+        supported: u32,
+    },
+    /// The embedded kernel text does not assemble.
+    Asm(String),
+    /// The assembled kernel's digest does not match the header —
+    /// the trace was captured from a different kernel than it embeds.
+    DigestMismatch {
+        /// Digest claimed by the header.
+        header: String,
+        /// Digest of the kernel the embedded text assembles to.
+        computed: String,
+    },
+    /// The streams are inconsistent with the kernel (PC out of range,
+    /// payload arity ≠ active-mask popcount, missing `exit`, ...).
+    Stream(String),
+    /// The kernel has no text form (builder-only instructions), so it
+    /// cannot be captured to a file.
+    NotTextual,
+    /// The capture launch itself failed.
+    Launch(LaunchError),
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Text { line, msg } => write!(f, "trace text, line {line}: {msg}"),
+            TraceError::Binary { offset, msg } => {
+                write!(f, "trace binary, offset {offset}: {msg}")
+            }
+            TraceError::Version { found, supported } => write!(
+                f,
+                "unsupported trace version {found} (this reader supports up to {supported})"
+            ),
+            TraceError::Asm(e) => write!(f, "embedded kernel does not assemble: {e}"),
+            TraceError::DigestMismatch { header, computed } => write!(
+                f,
+                "kernel digest mismatch: header says {header}, embedded text assembles to {computed}"
+            ),
+            TraceError::Stream(e) => write!(f, "inconsistent warp streams: {e}"),
+            TraceError::NotTextual => {
+                write!(f, "kernel has no text form; cannot capture it to a trace file")
+            }
+            TraceError::Launch(e) => write!(f, "capture launch failed: {e}"),
+        }
+    }
+}
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Capture a functional run into a trace file representation.
+    ///
+    /// Assembles `asm_text`, runs it with instruction-event capture
+    /// enabled (all other trace categories off, so the returned
+    /// [`RunStats`] equal an uncaptured run's bitwise), and packages the
+    /// streams with the launch header.
+    pub fn capture(
+        gpu: &mut Gpu,
+        device: &str,
+        asm_text: &str,
+        name: &str,
+        launch: &Launch,
+    ) -> Result<(RunStats, Trace), TraceError> {
+        let kernel =
+            asm::assemble_named(asm_text, name).map_err(|e| TraceError::Asm(e.to_string()))?;
+        let (stats, trace) = Trace::capture_kernel(gpu, device, &kernel, launch)?;
+        Ok((stats, trace))
+    }
+
+    /// [`Trace::capture`] for an already-assembled kernel.  The kernel
+    /// must be textual (every instruction has an assembly form) so the
+    /// trace can embed it; builder-only kernels return
+    /// [`TraceError::NotTextual`].
+    pub fn capture_kernel(
+        gpu: &mut Gpu,
+        device: &str,
+        kernel: &Kernel,
+        launch: &Launch,
+    ) -> Result<(RunStats, Trace), TraceError> {
+        let asm_text = hopper_isa::disassemble(kernel).ok_or(TraceError::NotTextual)?;
+        let (stats, source) = gpu
+            .launch_captured(kernel, launch)
+            .map_err(TraceError::Launch)?;
+        let trace = Trace {
+            header: TraceHeader {
+                version: TRACE_VERSION,
+                device: device.to_string(),
+                kernel_name: kernel.name.clone(),
+                digest_hex: kernel.digest_hex(),
+                grid: launch.grid,
+                block: launch.block,
+                cluster: launch.cluster,
+                params: launch.params.clone(),
+            },
+            asm: asm_text,
+            source,
+        };
+        Ok((stats, trace))
+    }
+
+    /// Parse a trace from bytes, dispatching on the magic: `HTRACE` for
+    /// the text format, `HTRB` for binary.  Never panics; malformed input
+    /// yields a positioned [`TraceError`].
+    pub fn parse(bytes: &[u8]) -> Result<Trace, TraceError> {
+        if bytes.starts_with(binary::MAGIC) {
+            binary::parse(bytes)
+        } else {
+            // Text (including an empty or unrecognised file, which the
+            // text parser diagnoses on line 1).
+            text::parse(bytes)
+        }
+    }
+
+    /// Serialise as the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        text::serialize(self)
+    }
+
+    /// Serialise as the compact binary format.
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::serialize(self)
+    }
+
+    /// Assemble the embedded kernel text and verify its digest against
+    /// the header ([`TraceError::DigestMismatch`] on disagreement).
+    pub fn kernel(&self) -> Result<Kernel, TraceError> {
+        let kernel = asm::assemble_named(&self.asm, &self.header.kernel_name)
+            .map_err(|e| TraceError::Asm(e.to_string()))?;
+        let computed = kernel.digest_hex();
+        if computed != self.header.digest_hex {
+            return Err(TraceError::DigestMismatch {
+                header: self.header.digest_hex.clone(),
+                computed,
+            });
+        }
+        Ok(kernel)
+    }
+
+    /// Full validation: assemble + digest-check the kernel, then check
+    /// every warp stream against it (PC bounds and successors, payload
+    /// arity vs the instruction's class and active mask, terminating
+    /// `exit`).  Returns the kernel ready to replay.
+    pub fn validate(&self) -> Result<Kernel, TraceError> {
+        let kernel = self.kernel()?;
+        self.source.validate(&kernel).map_err(TraceError::Stream)?;
+        Ok(kernel)
+    }
+
+    /// The launch geometry recorded in the header.
+    pub fn launch(&self) -> Launch {
+        Launch {
+            grid: self.header.grid,
+            block: self.header.block,
+            cluster: self.header.cluster,
+            params: self.header.params.clone(),
+        }
+    }
+
+    /// Warp-stream count.
+    pub fn warp_count(&self) -> usize {
+        self.source.streams.len()
+    }
+
+    /// Total records across all warp streams.
+    pub fn total_records(&self) -> u64 {
+        self.source.total_records()
+    }
+}
+
+/// FNV-1a 64 digest over raw bytes — the serve daemon's `trace_digest`
+/// cache-key component (same hash family as [`Kernel::digest`], applied
+/// to the trace payload text so doctored traces can never alias a
+/// functional run or each other in the result cache).
+pub fn bytes_digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_digest_is_fnv1a() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(bytes_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(bytes_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,392 @@
+//! The line-oriented text trace format (`HTRACE v1`).
+//!
+//! ```text
+//! HTRACE v1
+//! device h800
+//! kernel pchase_l1
+//! digest 633cd95f9cf1d19a
+//! grid 1
+//! block 1
+//! cluster 1
+//! params 0x10000000
+//! asm_begin
+//! mov.s64 %r3, %r0;
+//! ...
+//! exit;
+//! asm_end
+//! warp 0 0 2051
+//! 0 mov 00000001
+//! 2 ld.global 00000001 10000000
+//! ...
+//! end
+//! ```
+//!
+//! One `warp <ctaid> <warp_in_block> <n>` section per warp, then `n`
+//! record lines: `<pc> <mnemonic> <active-mask-hex> [payload-hex ...]`.
+//! The mnemonic is a human-readable annotation only — the PC is
+//! authoritative (the embedded kernel's digest pins the instruction
+//! stream), so the parser checks the token's presence, not its spelling.
+//! Blank lines and `#` comments are allowed everywhere outside the asm
+//! block.  Record decoding fans warp sections across the rayon pool.
+
+use crate::{Trace, TraceError, TraceHeader, TRACE_VERSION};
+use hopper_sim::{ReplayRec, ReplaySource};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+pub(crate) fn serialize(trace: &Trace) -> String {
+    let h = &trace.header;
+    let mut out = String::new();
+    out.push_str(&format!("HTRACE v{}\n", h.version));
+    out.push_str(&format!("device {}\n", h.device));
+    out.push_str(&format!("kernel {}\n", h.kernel_name));
+    out.push_str(&format!("digest {}\n", h.digest_hex));
+    out.push_str(&format!("grid {}\n", h.grid));
+    out.push_str(&format!("block {}\n", h.block));
+    out.push_str(&format!("cluster {}\n", h.cluster));
+    out.push_str("params");
+    for p in &h.params {
+        out.push_str(&format!(" {p:#x}"));
+    }
+    out.push('\n');
+    out.push_str("asm_begin\n");
+    out.push_str(trace.asm.trim_end_matches('\n'));
+    out.push_str("\nasm_end\n");
+    // Mnemonics are decoration; fall back to `?` if the embedded text
+    // does not assemble (a hand-doctored trace still serialises).
+    let mnemonics: Vec<&'static str> = trace
+        .kernel()
+        .map(|k| k.instrs.iter().map(|i| i.mnemonic()).collect())
+        .unwrap_or_default();
+    for (&(ctaid, wib), stream) in &trace.source.streams {
+        out.push_str(&format!("warp {ctaid} {wib} {}\n", stream.len()));
+        for rec in stream {
+            let op = mnemonics.get(rec.pc as usize).copied().unwrap_or("?");
+            out.push_str(&format!("{} {} {:08x}", rec.pc, op, rec.active));
+            for v in &rec.payload {
+                out.push_str(&format!(" {v:x}"));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn err(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError::Text {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_u32(line: usize, field: &str, tok: &str) -> Result<u32, TraceError> {
+    tok.parse::<u32>()
+        .map_err(|_| err(line, format!("`{field}` must be a u32, got `{tok}`")))
+}
+
+fn parse_u64_auto(line: usize, field: &str, tok: &str) -> Result<u64, TraceError> {
+    let r = match tok.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => tok.parse::<u64>(),
+    };
+    r.map_err(|_| err(line, format!("`{field}` must be a number, got `{tok}`")))
+}
+
+fn parse_hex(line: usize, field: &str, tok: &str) -> Result<u64, TraceError> {
+    u64::from_str_radix(tok.trim_start_matches("0x"), 16)
+        .map_err(|_| err(line, format!("`{field}` must be hex, got `{tok}`")))
+}
+
+/// A warp section awaiting record decode: header position/identity plus
+/// the record lines (1-based line number, text).
+struct WarpChunk<'a> {
+    header_line: usize,
+    ctaid: u32,
+    wib: u32,
+    lines: Vec<(usize, &'a str)>,
+}
+
+fn decode_chunk(chunk: &WarpChunk<'_>) -> Result<Vec<ReplayRec>, TraceError> {
+    let mut recs = Vec::with_capacity(chunk.lines.len());
+    for &(ln, line) in &chunk.lines {
+        let mut toks = line.split_ascii_whitespace();
+        let pc_tok = toks.next().ok_or_else(|| err(ln, "empty record line"))?;
+        let pc = parse_u32(ln, "pc", pc_tok)?;
+        let _mnemonic = toks
+            .next()
+            .ok_or_else(|| err(ln, "record missing mnemonic"))?;
+        let active_tok = toks
+            .next()
+            .ok_or_else(|| err(ln, "record missing active mask"))?;
+        let active = parse_hex(ln, "active", active_tok)?;
+        let active = u32::try_from(active)
+            .map_err(|_| err(ln, format!("active mask {active:#x} exceeds 32 bits")))?;
+        let payload = toks
+            .map(|t| parse_hex(ln, "payload", t))
+            .collect::<Result<Vec<u64>, TraceError>>()?;
+        if payload.len() > 32 {
+            return Err(err(
+                ln,
+                format!(
+                    "payload has {} entries; a warp has at most 32 lanes",
+                    payload.len()
+                ),
+            ));
+        }
+        recs.push(ReplayRec {
+            pc,
+            active,
+            payload,
+        });
+    }
+    let _ = chunk.header_line;
+    Ok(recs)
+}
+
+pub(crate) fn parse(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| err(1, format!("trace is not valid UTF-8: {e}")))?;
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+    // Significant lines only (outside the asm block): skip blanks and
+    // `#` comments.
+    let mut next_sig = move || loop {
+        match lines.next() {
+            None => return None,
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+            Some((n, l)) => return Some((n, l)),
+        }
+    };
+
+    // Magic.
+    let (ln, magic) = next_sig().ok_or_else(|| err(1, "empty trace (expected `HTRACE v1`)"))?;
+    let version = match magic.trim().strip_prefix("HTRACE v") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| err(ln, format!("bad version in magic line `{magic}`")))?,
+        None => {
+            return Err(err(
+                ln,
+                format!("expected `HTRACE v1` magic, got `{magic}`"),
+            ))
+        }
+    };
+    if version > TRACE_VERSION {
+        return Err(TraceError::Version {
+            found: version,
+            supported: TRACE_VERSION,
+        });
+    }
+
+    // Header fields until `asm_begin`.
+    let (mut device, mut kernel_name, mut digest_hex) = (None, None, None);
+    let (mut grid, mut block, mut cluster) = (None, None, None);
+    let mut params: Option<Vec<u64>> = None;
+    let asm_begin_ln = loop {
+        let (ln, line) = next_sig().ok_or_else(|| err(1, "trace ends before `asm_begin`"))?;
+        let line = line.trim();
+        if line == "asm_begin" {
+            break ln;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let rest = rest.trim();
+        let dup = |have: bool| {
+            if have {
+                Err(err(ln, format!("duplicate header field `{key}`")))
+            } else {
+                Ok(())
+            }
+        };
+        match key {
+            "device" => {
+                dup(device.is_some())?;
+                device = Some(rest.to_string());
+            }
+            "kernel" => {
+                dup(kernel_name.is_some())?;
+                kernel_name = Some(rest.to_string());
+            }
+            "digest" => {
+                dup(digest_hex.is_some())?;
+                if rest.len() != 16 || !rest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(err(
+                        ln,
+                        format!("`digest` must be 16 hex chars, got `{rest}`"),
+                    ));
+                }
+                digest_hex = Some(rest.to_string());
+            }
+            "grid" => {
+                dup(grid.is_some())?;
+                grid = Some(parse_u32(ln, "grid", rest)?);
+            }
+            "block" => {
+                dup(block.is_some())?;
+                block = Some(parse_u32(ln, "block", rest)?);
+            }
+            "cluster" => {
+                dup(cluster.is_some())?;
+                cluster = Some(parse_u32(ln, "cluster", rest)?);
+            }
+            "params" => {
+                dup(params.is_some())?;
+                params = Some(
+                    rest.split_ascii_whitespace()
+                        .map(|t| parse_u64_auto(ln, "params", t))
+                        .collect::<Result<Vec<u64>, TraceError>>()?,
+                );
+            }
+            other => {
+                return Err(err(
+                    ln,
+                    format!(
+                        "unknown header field `{other}` \
+                         (device|kernel|digest|grid|block|cluster|params)"
+                    ),
+                ))
+            }
+        }
+    };
+    let missing = |f: &str| err(asm_begin_ln, format!("missing header field `{f}`"));
+    let header = TraceHeader {
+        version,
+        device: device.ok_or_else(|| missing("device"))?,
+        kernel_name: kernel_name.ok_or_else(|| missing("kernel"))?,
+        digest_hex: digest_hex.ok_or_else(|| missing("digest"))?,
+        grid: grid.ok_or_else(|| missing("grid"))?,
+        block: block.ok_or_else(|| missing("block"))?,
+        cluster: cluster.unwrap_or(1),
+        params: params.unwrap_or_default(),
+    };
+
+    // Asm block: verbatim lines until `asm_end` (no comment stripping —
+    // the kernel text is opaque here).
+    let mut asm = String::new();
+    let mut raw = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    // Re-sync the raw iterator past the asm_begin line.
+    for _ in 0..asm_begin_ln {
+        raw.next();
+    }
+    let mut after_asm = asm_begin_ln;
+    let asm_closed = loop {
+        match raw.next() {
+            None => break false,
+            Some((ln, l)) => {
+                after_asm = ln;
+                if l.trim() == "asm_end" {
+                    break true;
+                }
+                asm.push_str(l);
+                asm.push('\n');
+            }
+        }
+    };
+    if !asm_closed {
+        return Err(err(
+            after_asm,
+            "trace ends inside the asm block (missing `asm_end`)",
+        ));
+    }
+
+    // Warp sections.  First a serial scan groups record lines per warp
+    // (cheap: line splitting only), then the rayon pool decodes chunks in
+    // parallel.
+    let mut chunks: Vec<WarpChunk<'_>> = Vec::new();
+    let mut seen = BTreeMap::new();
+    let mut sig = raw.filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let end_ln = loop {
+        let (ln, line) = sig
+            .next()
+            .ok_or_else(|| err(after_asm, "trace ends before `end`"))?;
+        let line = line.trim();
+        if line == "end" {
+            break ln;
+        }
+        let mut toks = line.split_ascii_whitespace();
+        if toks.next() != Some("warp") {
+            return Err(err(
+                ln,
+                format!("expected `warp <ctaid> <wib> <n>` or `end`, got `{line}`"),
+            ));
+        }
+        let ctaid = parse_u32(ln, "ctaid", toks.next().unwrap_or(""))?;
+        let wib = parse_u32(ln, "warp_in_block", toks.next().unwrap_or(""))?;
+        let n = parse_u32(ln, "record count", toks.next().unwrap_or(""))? as usize;
+        if wib >= header.block.div_ceil(32).max(1) {
+            return Err(err(
+                ln,
+                format!(
+                    "warp {wib} out of range for block of {} threads ({} warps)",
+                    header.block,
+                    header.block.div_ceil(32).max(1)
+                ),
+            ));
+        }
+        if ctaid >= header.grid {
+            return Err(err(
+                ln,
+                format!(
+                    "ctaid {ctaid} out of range for grid of {} blocks",
+                    header.grid
+                ),
+            ));
+        }
+        if seen.insert((ctaid, wib), ln).is_some() {
+            return Err(err(
+                ln,
+                format!("duplicate stream for ctaid {ctaid} warp {wib}"),
+            ));
+        }
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (rln, rline) = sig.next().ok_or_else(|| {
+                err(
+                    ln,
+                    format!("warp section promises {n} records but the trace ends early"),
+                )
+            })?;
+            let t = rline.trim();
+            if t == "end" || t.starts_with("warp ") {
+                return Err(err(
+                    rln,
+                    format!(
+                        "warp section at line {ln} promises {n} records but only {} appear",
+                        lines.len()
+                    ),
+                ));
+            }
+            lines.push((rln, t));
+        }
+        chunks.push(WarpChunk {
+            header_line: ln,
+            ctaid,
+            wib,
+            lines,
+        });
+    };
+    if let Some((ln, extra)) = sig.next() {
+        return Err(err(
+            ln,
+            format!(
+                "unexpected content after `end` (line {end_ln}): `{}`",
+                extra.trim()
+            ),
+        ));
+    }
+
+    // Parallel per-warp record decode (deterministic order: the shim
+    // re-sorts results by input index).
+    let decoded: Result<Vec<Vec<ReplayRec>>, TraceError> =
+        chunks.par_iter().map(decode_chunk).collect();
+    let decoded = decoded?;
+    let mut streams = BTreeMap::new();
+    for (chunk, recs) in chunks.iter().zip(decoded) {
+        streams.insert((chunk.ctaid, chunk.wib), recs);
+    }
+    Ok(Trace {
+        header,
+        asm,
+        source: ReplaySource { streams },
+    })
+}

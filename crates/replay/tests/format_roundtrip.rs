@@ -1,0 +1,100 @@
+//! Round-trip and byte-stability checks for the two trace encodings.
+
+use hopper_replay::Trace;
+use hopper_sim::{DeviceConfig, Gpu, Launch, RunStats};
+
+const KERNEL: &str = "\
+mov %r1, %tid.x;
+mov %r2, %ctaid.x;
+shl.s32 %r2, %r2, 8;
+add.s32 %r1, %r1, %r2;
+shl.s32 %r2, %r1, 2;
+ld.global.b32 %r3, [%r2];
+add.s32 %r3, %r3, %r1;
+st.global.b32 [%r2], %r3;
+bar.sync 0;
+exit;
+";
+
+fn captured() -> (RunStats, Trace) {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let launch = Launch {
+        grid: 2,
+        block: 64,
+        cluster: 1,
+        params: vec![0x1000, 42],
+    };
+    Trace::capture(&mut gpu, "h800", KERNEL, "rt", &launch).expect("capture")
+}
+
+/// `{:?}` round-trips floats exactly, so Debug-string equality is bitwise
+/// equality of the stats.
+fn dbg(stats: &RunStats) -> String {
+    format!("{stats:?}")
+}
+
+#[test]
+fn text_roundtrip_and_stability() {
+    let (_, trace) = captured();
+    let text = trace.to_text();
+    let back = Trace::parse(text.as_bytes()).expect("parse text");
+    assert_eq!(back, trace);
+    // Serialising the parsed trace reproduces the bytes exactly.
+    assert_eq!(back.to_text(), text);
+}
+
+#[test]
+fn binary_roundtrip_and_stability() {
+    let (_, trace) = captured();
+    let bin = trace.to_binary();
+    let back = Trace::parse(&bin).expect("parse binary");
+    assert_eq!(back, trace);
+    assert_eq!(back.to_binary(), bin);
+}
+
+#[test]
+fn text_and_binary_agree() {
+    let (_, trace) = captured();
+    let from_text = Trace::parse(trace.to_text().as_bytes()).unwrap();
+    let from_bin = Trace::parse(&trace.to_binary()).unwrap();
+    assert_eq!(from_text, from_bin);
+}
+
+#[test]
+fn parsed_trace_replays_bitwise() {
+    let (stats, trace) = captured();
+    let back = Trace::parse(&trace.to_binary()).unwrap();
+    let kernel = back.validate().expect("validate");
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let replayed = gpu
+        .launch_replayed(&kernel, &back.launch(), &back.source)
+        .expect("replay");
+    assert_eq!(dbg(&replayed), dbg(&stats));
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let (_, trace) = captured();
+    let text = trace.to_text();
+    // Decorate every section boundary with noise the parser must skip.
+    let noisy = text
+        .replacen("device", "# a comment\n\ndevice", 1)
+        .replacen("warp ", "# streams follow\n\nwarp ", 1)
+        .replacen("\nend\n", "\n\n# done\nend\n", 1);
+    let back = Trace::parse(noisy.as_bytes()).expect("parse noisy text");
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn header_survives_both_encodings() {
+    let (_, trace) = captured();
+    for bytes in [trace.to_text().into_bytes(), trace.to_binary()] {
+        let h = Trace::parse(&bytes).unwrap().header;
+        assert_eq!(h.version, hopper_replay::TRACE_VERSION);
+        assert_eq!(h.device, "h800");
+        assert_eq!(h.kernel_name, "rt");
+        assert_eq!((h.grid, h.block, h.cluster), (2, 64, 1));
+        assert_eq!(h.params, vec![0x1000, 42]);
+        assert_eq!(h.digest_hex.len(), 16);
+    }
+}

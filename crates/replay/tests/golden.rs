@@ -1,0 +1,36 @@
+//! The checked-in golden trace must keep parsing, validating, replaying
+//! and reserialising byte-identically — the format-drift tripwire.
+
+use hopper_replay::Trace;
+use hopper_sim::{DeviceConfig, Gpu};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/histogram.htrace");
+
+#[test]
+fn golden_trace_parses_validates_and_replays() {
+    let bytes = std::fs::read(GOLDEN).expect("golden trace present");
+    let trace = Trace::parse(&bytes).expect("golden trace parses");
+    assert_eq!(trace.header.version, hopper_replay::TRACE_VERSION);
+    assert_eq!(trace.header.device, "h800");
+    assert_eq!(trace.header.kernel_name, "histogram");
+    assert_eq!((trace.header.grid, trace.header.block), (2, 128));
+    assert_eq!(trace.warp_count(), 8);
+
+    let kernel = trace.validate().expect("golden trace validates");
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let stats = gpu
+        .launch_replayed(&kernel, &trace.launch(), &trace.source)
+        .expect("golden trace replays");
+    assert!(stats.metrics.cycles > 0);
+    assert_eq!(stats.metrics.instructions, trace.total_records());
+}
+
+#[test]
+fn golden_trace_reserialises_byte_identically() {
+    let bytes = std::fs::read(GOLDEN).expect("golden trace present");
+    let trace = Trace::parse(&bytes).expect("golden trace parses");
+    assert_eq!(trace.to_text().into_bytes(), bytes);
+    // And the binary encoding round-trips through itself.
+    let bin = trace.to_binary();
+    assert_eq!(Trace::parse(&bin).expect("binary reparses"), trace);
+}

@@ -1,0 +1,231 @@
+//! Malformed-input hardening: truncations, version skew, out-of-range
+//! warp ids, payload-arity mismatches — all must surface as typed
+//! [`TraceError`]s with a position, never a panic.  The proptest section
+//! throws arbitrary and mutated bytes at both parsers, mirroring the
+//! `asm::assemble` arbitrary-input suite.
+
+use hopper_replay::{Trace, TraceError};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+use proptest::prelude::*;
+
+const KERNEL: &str = "\
+mov %r1, %tid.x;
+shl.s32 %r2, %r1, 2;
+ld.global.b32 %r3, [%r2];
+st.global.b32 [%r2], %r3;
+exit;
+";
+
+fn captured() -> Trace {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let launch = Launch {
+        grid: 2,
+        block: 64,
+        cluster: 1,
+        params: vec![],
+    };
+    Trace::capture(&mut gpu, "h800", KERNEL, "mal", &launch)
+        .expect("capture")
+        .1
+}
+
+#[test]
+fn empty_and_garbage_inputs_diagnose_line_one() {
+    for bytes in [&b""[..], b"not a trace", b"\xff\xfe\x00"] {
+        match Trace::parse(bytes) {
+            Err(TraceError::Text { line: 1, .. }) => {}
+            other => panic!("expected line-1 text error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn future_text_version_is_rejected() {
+    let err = Trace::parse(b"HTRACE v99\ndevice h800\n").unwrap_err();
+    assert_eq!(
+        err,
+        TraceError::Version {
+            found: 99,
+            supported: hopper_replay::TRACE_VERSION
+        }
+    );
+}
+
+#[test]
+fn future_binary_version_is_rejected() {
+    let mut bin = captured().to_binary();
+    bin[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let err = Trace::parse(&bin).unwrap_err();
+    assert_eq!(
+        err,
+        TraceError::Version {
+            found: 99,
+            supported: hopper_replay::TRACE_VERSION
+        }
+    );
+}
+
+#[test]
+fn binary_truncations_error_with_offset() {
+    let bin = captured().to_binary();
+    // Every strict prefix must fail (the header pins counts, so a short
+    // file can never silently parse) — and fail with a typed error.
+    for len in 0..bin.len() {
+        match Trace::parse(&bin[..len]) {
+            Err(TraceError::Binary { offset, .. }) => assert!(offset <= len),
+            Err(TraceError::Version { .. }) => {}
+            // A prefix shorter than the magic falls through to the text
+            // parser, which diagnoses line 1.
+            Err(TraceError::Text { .. }) => assert!(len < 4),
+            Ok(_) => panic!("strict prefix of length {len} parsed successfully"),
+            Err(other) => panic!("unexpected error for prefix {len}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn text_truncations_never_panic() {
+    let text = captured().to_text();
+    for len in 0..text.len() {
+        // Any outcome but a panic is acceptable for prefixes that end on
+        // a line boundary (`end` minus its newline still parses); deeper
+        // truncations must error.
+        if let Ok(t) = Trace::parse(&text.as_bytes()[..len]) {
+            assert_eq!(t.to_text().trim_end(), text[..len].trim_end());
+        }
+    }
+}
+
+#[test]
+fn out_of_range_warp_ids_are_rejected_in_text() {
+    let text = captured().to_text();
+    // grid is 2: ctaid 9 is out of range.
+    let bad_cta = text.replacen("warp 0 0 ", "warp 9 0 ", 1);
+    match Trace::parse(bad_cta.as_bytes()) {
+        Err(TraceError::Text { msg, .. }) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected out-of-range ctaid error, got {other:?}"),
+    }
+    // block is 64 (2 warps): warp 7 is out of range.
+    let bad_wib = text.replacen("warp 0 0 ", "warp 0 7 ", 1);
+    match Trace::parse(bad_wib.as_bytes()) {
+        Err(TraceError::Text { msg, .. }) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected out-of-range warp error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_warp_ids_are_rejected_in_binary() {
+    // serialize() does not validate, so a doctored in-memory trace is an
+    // easy way to exercise the binary reader's range checks.
+    let mut trace = captured();
+    let stream = trace.source.streams.remove(&(0, 0)).unwrap();
+    trace.source.streams.insert((99, 0), stream);
+    match Trace::parse(&trace.to_binary()) {
+        Err(TraceError::Binary { msg, .. }) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected out-of-range ctaid error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_streams_are_rejected() {
+    let text = captured().to_text();
+    // Duplicate the first warp section header; its records then belong to
+    // a section claiming the same identity.
+    let dup = text.replacen("warp 0 1 ", "warp 0 0 ", 1);
+    match Trace::parse(dup.as_bytes()) {
+        Err(TraceError::Text { msg, .. }) => assert!(msg.contains("duplicate"), "{msg}"),
+        other => panic!("expected duplicate-stream error, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_arity_mismatch_fails_validation() {
+    // Address count != active-mask popcount is a semantic error: the
+    // parser accepts the file (it has no kernel context per-record), and
+    // `validate()` rejects it with stream coordinates.
+    let mut trace = captured();
+    let stream = trace.source.streams.get_mut(&(0, 0)).unwrap();
+    let rec = stream
+        .iter_mut()
+        .find(|r| !r.payload.is_empty())
+        .expect("ld/st record");
+    rec.payload.pop();
+    let reparsed = Trace::parse(trace.to_text().as_bytes()).expect("arity is not a parse error");
+    match reparsed.validate() {
+        Err(TraceError::Stream(msg)) => assert!(msg.contains("payload"), "{msg}"),
+        other => panic!("expected stream-validation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn doctored_kernel_text_is_a_digest_mismatch() {
+    let mut trace = captured();
+    trace.asm = trace
+        .asm
+        .replacen("shl.s32 %r2, %r1, 2;", "shl.s32 %r2, %r1, 3;", 1);
+    match Trace::parse(trace.to_text().as_bytes()).unwrap().kernel() {
+        Err(TraceError::DigestMismatch { header, computed }) => assert_ne!(header, computed),
+        other => panic!("expected digest mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_stream_fails_validation() {
+    // Chopping the tail of a stream (losing `exit`) parses fine but must
+    // not reach the engine.
+    let mut trace = captured();
+    trace.source.streams.get_mut(&(0, 0)).unwrap().pop();
+    let reparsed = Trace::parse(&trace.to_binary()).unwrap();
+    match reparsed.validate() {
+        Err(TraceError::Stream(msg)) => assert!(msg.contains("exit"), "{msg}"),
+        other => panic!("expected stream-validation error, got {other:?}"),
+    }
+}
+
+/// Full-range byte strategy (the shim's integer ranges are half-open).
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|v| v as u8)
+}
+
+/// The reference trace, captured once, in both encodings.
+fn encodings() -> &'static (Vec<u8>, Vec<u8>) {
+    static ENC: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> = std::sync::OnceLock::new();
+    ENC.get_or_init(|| {
+        let t = captured();
+        (t.to_binary(), t.to_text().into_bytes())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic either parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(byte(), 0..512)) {
+        let _ = Trace::parse(&bytes);
+    }
+
+    /// Arbitrary bytes behind each magic drive the format-specific paths.
+    #[test]
+    fn arbitrary_bytes_behind_magic_never_panic(bytes in proptest::collection::vec(byte(), 0..512)) {
+        let mut bin = b"HTRB".to_vec();
+        bin.extend_from_slice(&bytes);
+        let _ = Trace::parse(&bin);
+        let mut text = b"HTRACE v1\n".to_vec();
+        text.extend_from_slice(&bytes);
+        let _ = Trace::parse(&text);
+    }
+
+    /// Single-byte corruption of a valid trace never panics, and anything
+    /// that still parses must also survive validation without panicking.
+    #[test]
+    fn mutated_valid_traces_never_panic(pos in 0usize..1_000_000, b in byte(), binary in (0u8..2).prop_map(|v| v == 1)) {
+        let (bin, text) = encodings();
+        let mut bytes = if binary { bin.clone() } else { text.clone() };
+        let i = pos % bytes.len();
+        bytes[i] = b;
+        if let Ok(t) = Trace::parse(&bytes) {
+            let _ = t.validate();
+        }
+    }
+}

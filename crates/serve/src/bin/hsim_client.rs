@@ -19,8 +19,13 @@ COMMANDS:
     shutdown                   graceful shutdown (drains queued jobs)
     run FILE [RUN OPTIONS]     assemble FILE (or stdin when FILE is `-`)
                                and simulate it on the daemon
+    run --trace FILE [..]      submit a captured trace (htrace text or
+                               binary); device, geometry and params are
+                               filled from the trace header, and the
+                               daemon replays it through the timing model
 
 RUN OPTIONS:
+    --trace FILE       trace file to replay instead of a kernel
     --device NAME      h800 | a100 | rtx4090 (default h800)
     --grid N           blocks in the grid (default 1)
     --block N          threads per block (default 128)
@@ -77,18 +82,26 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 });
             }
             "run" if command.is_none() => {
-                i += 1;
-                let file = args
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| "run needs a kernel FILE (or `-` for stdin)".to_string())?;
-                let kernel = if file == "-" {
-                    let mut text = String::new();
-                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
-                        .map_err(|e| format!("reading stdin: {e}"))?;
-                    text
-                } else {
-                    std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?
+                // The kernel FILE is optional when `--trace` supplies the
+                // run: leave flag-looking tokens to the option loop.
+                let file = match args.get(i + 1) {
+                    Some(f) if f == "-" || !f.starts_with('-') => {
+                        i += 1;
+                        Some(f.clone())
+                    }
+                    _ => None,
+                };
+                let kernel = match file.as_deref() {
+                    Some("-") => {
+                        let mut text = String::new();
+                        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                            .map_err(|e| format!("reading stdin: {e}"))?;
+                        text
+                    }
+                    Some(f) => {
+                        std::fs::read_to_string(f).map_err(|e| format!("reading {f}: {e}"))?
+                    }
+                    None => String::new(),
                 };
                 command = Some(Command::Run(Box::new(RunSpec::new(kernel, "h800", 1, 128))));
             }
@@ -101,6 +114,25 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         .map_err(|_| format!("{flag}: `{val}` is not a non-negative integer"))
                 };
                 match flag {
+                    "--trace" => {
+                        let path = value(&mut i)?;
+                        let bytes =
+                            std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+                        let trace = hopper_replay::Trace::parse(&bytes)
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        // The wire carries the text encoding; a binary
+                        // file is converted, a text file rides verbatim
+                        // (so its cache digest matches the bytes on disk).
+                        spec.trace = Some(match String::from_utf8(bytes) {
+                            Ok(text) if !text.starts_with("HTRB") => text,
+                            _ => trace.to_text(),
+                        });
+                        spec.device = trace.header.device.clone();
+                        spec.grid = trace.header.grid;
+                        spec.block = trace.header.block;
+                        spec.cluster = trace.header.cluster;
+                        spec.params = trace.header.params.clone();
+                    }
                     "--no-cache" => spec.no_cache = true,
                     "--device" => spec.device = value(&mut i)?,
                     "--name" => spec.name = Some(value(&mut i)?),
@@ -123,6 +155,11 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         i += 1;
     }
     let command = command.ok_or_else(|| "missing command (ping|stats|shutdown|run)".to_string())?;
+    if let Command::Run(spec) = &command {
+        if spec.trace.is_none() && spec.kernel.is_empty() {
+            return Err("run needs a kernel FILE (or `-` for stdin) or --trace FILE".to_string());
+        }
+    }
     Ok(Some(Cli {
         addr,
         pretty,

@@ -26,6 +26,11 @@ pub struct CacheKey {
     pub params: Vec<u64>,
     /// Report kind wire name.
     pub report: &'static str,
+    /// [`hopper_replay::bytes_digest`] of the submitted trace payload, or
+    /// 0 for a functional (non-trace) run.  Keeps replayed results from
+    /// aliasing functional runs of the same kernel — or runs of a
+    /// doctored trace with the same header.
+    pub trace_digest: u64,
 }
 
 /// Bounded LRU map from [`CacheKey`] to result payloads, with hit/miss
@@ -137,6 +142,7 @@ mod tests {
             cluster: 1,
             params: vec![],
             report: "stats",
+            trace_digest: 0,
         }
     }
 
@@ -160,6 +166,10 @@ mod tests {
         let mut k3 = key(1);
         k3.report = "profile";
         assert_eq!(c.get(&k3), None);
+        // A trace run never aliases the functional run of the same kernel.
+        let mut k4 = key(1);
+        k4.trace_digest = 0xdead_beef;
+        assert_eq!(c.get(&k4), None);
     }
 
     #[test]

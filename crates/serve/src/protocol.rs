@@ -32,6 +32,7 @@ use serde_json::Value;
 pub const ERROR_KINDS: &[&str] = &[
     "bad_request",
     "asm_error",
+    "trace_error",
     "unknown_device",
     "queue_full",
     "deadline_exceeded",
@@ -89,6 +90,11 @@ pub struct RunSpec {
     pub params: Vec<u64>,
     /// Result payload kind.
     pub report: ReportKind,
+    /// Captured `htrace` trace text: when present, the daemon replays the
+    /// trace (operands from the capture, full timing model) instead of
+    /// running `kernel` functionally.  The `kernel` field is ignored —
+    /// the trace embeds its own kernel text.
+    pub trace: Option<String>,
     /// Simulated-cycle budget for the launch.
     pub max_cycles: Option<u64>,
     /// Wall-clock deadline for the simulation, milliseconds.
@@ -115,6 +121,7 @@ impl RunSpec {
             cluster: 1,
             params: Vec::new(),
             report: ReportKind::Stats,
+            trace: None,
             max_cycles: None,
             deadline_ms: None,
             no_cache: false,
@@ -141,6 +148,9 @@ impl RunSpec {
         }
         if let Some(name) = &self.name {
             fields.push(("name", Value::Str(name.clone())));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", Value::Str(trace.clone())));
         }
         if let Some(mc) = self.max_cycles {
             fields.push(("max_cycles", Value::UInt(mc)));
@@ -288,6 +298,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 cluster,
                 params,
                 report,
+                trace: get_str(&v, "trace")?,
                 max_cycles: get_u64(&v, "max_cycles")?,
                 deadline_ms: get_u64(&v, "deadline_ms")?,
                 no_cache,
@@ -348,37 +359,12 @@ pub fn error_response(id: &Option<String>, err: &ProtoError) -> String {
     .to_string()
 }
 
-/// Deterministic JSON for a [`RunStats`] payload (sorted keys, derived
-/// rates included so clients need no local arithmetic).
+/// Deterministic JSON for a [`RunStats`] payload.  Delegates to
+/// [`hopper_prof::run_stats_to_json`] — the one shared rendering, so the
+/// daemon's `report=stats` payloads and `htrace`'s summaries agree
+/// byte-for-byte.
 pub fn run_stats_to_json(stats: &RunStats) -> Value {
-    let m = &stats.metrics;
-    obj(vec![
-        (
-            "achieved_clock_mhz",
-            Value::Float(stats.achieved_clock_hz / 1e6),
-        ),
-        ("avg_power_w", Value::Float(stats.avg_power_w)),
-        ("barrier_waits", Value::UInt(m.barrier_waits)),
-        ("cycles", Value::UInt(m.cycles)),
-        ("dpx_ops", Value::UInt(m.dpx_ops)),
-        ("dram_bytes", Value::UInt(m.dram_bytes)),
-        ("dsm_bytes", Value::UInt(m.dsm_bytes)),
-        ("energy_j", Value::Float(m.energy_j)),
-        ("instructions", Value::UInt(m.instructions)),
-        ("ipc", Value::Float(m.ipc())),
-        ("l1_bytes", Value::UInt(m.l1_bytes)),
-        ("l1_hit_rate_pct", Value::Float(m.l1_hit_rate() * 100.0)),
-        ("l2_bytes", Value::UInt(m.l2_bytes)),
-        ("l2_hit_rate_pct", Value::Float(m.l2_hit_rate() * 100.0)),
-        (
-            "nominal_clock_mhz",
-            Value::Float(stats.nominal_clock_hz / 1e6),
-        ),
-        ("smem_bytes", Value::UInt(m.smem_bytes)),
-        ("tc_ops", Value::UInt(m.tc_ops)),
-        ("time_us", Value::Float(stats.seconds() * 1e6)),
-        ("tlb_misses", Value::UInt(m.tlb_misses)),
-    ])
+    hopper_prof::run_stats_to_json(stats)
 }
 
 #[cfg(test)]

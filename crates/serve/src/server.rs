@@ -31,7 +31,8 @@ use crate::protocol::{
 use crate::queue::{JobQueue, PushError};
 use crate::stats::ServeStats;
 use hopper_isa::{asm, Kernel};
-use hopper_sim::{DeviceConfig, Gpu, Launch, LaunchError, RunBudget};
+use hopper_replay::Trace;
+use hopper_sim::{DeviceConfig, Gpu, Launch, LaunchError, ReplayConfig, ReplaySource, RunBudget};
 use serde_json::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -91,6 +92,9 @@ struct Job {
     spec: RunSpec,
     kernel: Kernel,
     device: DeviceConfig,
+    /// Pre-validated warp streams for a trace request; `None` runs the
+    /// kernel functionally.
+    replay: Option<ReplaySource>,
     /// `None` when the request opted out of caching.
     cache_key: Option<CacheKey>,
     enqueued_at: Instant,
@@ -401,8 +405,52 @@ fn process_run(
     })?;
     let asm_start = Instant::now();
     let name = spec.name.clone().unwrap_or_else(|| "kernel".to_string());
-    let kernel = asm::assemble_named(&spec.kernel, &name)
-        .map_err(|e| ProtoError::new("asm_error", e.to_string()))?;
+    let (kernel, replay, trace_digest) = match &spec.trace {
+        None => {
+            let kernel = asm::assemble_named(&spec.kernel, &name)
+                .map_err(|e| ProtoError::new("asm_error", e.to_string()))?;
+            (kernel, None, 0)
+        }
+        Some(text) => {
+            // A trace embeds its own kernel (digest-pinned) and launch
+            // geometry; the request's `kernel` field is ignored, and its
+            // geometry must agree with the header so the cache key and
+            // the reply describe the run that actually happens.
+            let trace = Trace::parse(text.as_bytes())
+                .map_err(|e| ProtoError::new("trace_error", e.to_string()))?;
+            let kernel = trace
+                .validate()
+                .map_err(|e| ProtoError::new("trace_error", e.to_string()))?;
+            let h = &trace.header;
+            if h.device != spec.device
+                || h.grid != spec.grid
+                || h.block != spec.block
+                || h.cluster != spec.cluster
+                || h.params != spec.params
+            {
+                return Err(ProtoError::new(
+                    "trace_error",
+                    format!(
+                        "request disagrees with the trace header: request is \
+                         {} grid {} block {} cluster {} params {:?}, trace is \
+                         {} grid {} block {} cluster {} params {:?}",
+                        spec.device,
+                        spec.grid,
+                        spec.block,
+                        spec.cluster,
+                        spec.params,
+                        h.device,
+                        h.grid,
+                        h.block,
+                        h.cluster,
+                        h.params
+                    ),
+                ));
+            }
+            let digest = hopper_replay::bytes_digest(text.as_bytes());
+            (kernel, Some(trace.source), digest)
+        }
+    };
     shared
         .stats
         .lat_assemble
@@ -416,6 +464,7 @@ fn process_run(
         cluster: spec.cluster,
         params: spec.params.clone(),
         report: spec.report.name(),
+        trace_digest,
     };
     if !spec.no_cache {
         if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
@@ -432,6 +481,7 @@ fn process_run(
         spec,
         kernel,
         device,
+        replay,
         cache_key,
         enqueued_at: Instant::now(),
         reply,
@@ -507,14 +557,29 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
     };
     let mut gpu = Gpu::new(job.device.clone());
     let sim_start = Instant::now();
-    let out = match spec.report {
-        ReportKind::Stats => gpu
+    // Trace streams were validated against the kernel at request time, so
+    // the engine can skip its prevalidation pass.
+    let replay_cfg = ReplayConfig { prevalidate: false };
+    let out = match (spec.report, &job.replay) {
+        (ReportKind::Stats, None) => gpu
             .launch_bounded(&job.kernel, &launch, &budget)
             .map(|s| run_stats_to_json(&s)),
-        ReportKind::Profile => {
+        (ReportKind::Stats, Some(src)) => gpu
+            .launch_replayed_bounded(&job.kernel, &launch, src, &replay_cfg, &budget)
+            .map(|s| run_stats_to_json(&s)),
+        (ReportKind::Profile, None) => {
             hopper_prof::profile_kernel_bounded(&mut gpu, &job.kernel, &launch, &budget)
                 .map(|r| r.to_json())
         }
+        (ReportKind::Profile, Some(src)) => hopper_prof::profile_replayed_bounded(
+            &mut gpu,
+            &job.kernel,
+            &launch,
+            src,
+            &replay_cfg,
+            &budget,
+        )
+        .map(|r| r.to_json()),
     };
     shared
         .stats
@@ -548,6 +613,9 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
                     deadline_ms.unwrap_or(0)
                 ),
             )
+        }
+        LaunchError::Replay(s) => {
+            ProtoError::new("trace_error", format!("replay trace mismatch: {s}"))
         }
         other => ProtoError::new("launch_error", other.to_string()),
     })

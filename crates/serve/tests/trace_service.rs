@@ -1,0 +1,147 @@
+//! Trace submissions through the daemon: cold and cached responses must
+//! be byte-identical for both report kinds, replayed results must match
+//! the functional run of the same kernel, the trace digest must keep
+//! trace and functional results apart in the cache, and malformed or
+//! mismatched traces must come back as structured `trace_error`s.
+
+use hopper_replay::Trace;
+use hopper_serve::protocol::ReportKind;
+use hopper_serve::{Client, RunSpec, Server, ServerConfig};
+use hopper_sim::{DeviceConfig, Gpu, Launch};
+
+const KERNEL: &str = "\
+mov %r1, %tid.x;
+mov %r2, %ctaid.x;
+mad.s32 %r1, %r2, 64, %r1;
+shl.s32 %r2, %r1, 2;
+add.s32 %r2, %r2, %r0;
+ld.global.b32 %r3, [%r2];
+add.s32 %r3, %r3, %r1;
+st.global.b32 [%r2], %r3;
+exit;
+";
+
+fn captured() -> Trace {
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    let launch = Launch {
+        grid: 2,
+        block: 64,
+        cluster: 1,
+        params: vec![hopper_sim::GlobalMem::BASE],
+    };
+    Trace::capture(&mut gpu, "h800", KERNEL, "svc", &launch)
+        .expect("capture")
+        .1
+}
+
+fn trace_spec(trace: &Trace, report: ReportKind) -> RunSpec {
+    let mut spec = RunSpec::new(
+        "",
+        &trace.header.device,
+        trace.header.grid,
+        trace.header.block,
+    );
+    spec.cluster = trace.header.cluster;
+    spec.params = trace.header.params.clone();
+    spec.trace = Some(trace.to_text());
+    spec.report = report;
+    spec
+}
+
+#[test]
+fn trace_runs_cache_byte_identical_and_match_functional() {
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let client = Client::new(server.local_addr().to_string());
+    let trace = captured();
+
+    for report in [ReportKind::Stats, ReportKind::Profile] {
+        let spec = trace_spec(&trace, report);
+        let cold = client.run(&spec).expect("cold trace request");
+        assert!(
+            cold.contains("\"status\":\"ok\""),
+            "daemon rejected trace: {cold}"
+        );
+        let cached = client.run(&spec).expect("cached trace request");
+        assert_eq!(cached, cold, "cached trace response differs from cold");
+
+        // The replayed payload equals a functional run of the same
+        // kernel — same digest, same stats — even though the cache keys
+        // are distinct.
+        let mut func = RunSpec::new(KERNEL, "h800", trace.header.grid, trace.header.block);
+        func.name = Some(trace.header.kernel_name.clone());
+        func.params = trace.header.params.clone();
+        func.report = report;
+        let functional = client.run(&func).expect("functional request");
+        assert_eq!(
+            payload_of(&functional),
+            payload_of(&cold),
+            "replayed result differs from functional run"
+        );
+    }
+
+    // Four cold submissions (trace/functional × stats/profile) must have
+    // produced four distinct cache entries: the trace digest is part of
+    // the key.
+    let stats = client.send_line(r#"{"op":"stats"}"#).expect("stats");
+    assert!(
+        stats.contains("\"entries\":4"),
+        "expected 4 distinct cache entries, got: {stats}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Extract the `"result":{...}` subtree of a response line (envelope
+/// fields like latency can legitimately differ between runs).
+fn payload_of(line: &str) -> String {
+    let start = line.find("\"result\":").expect("response has a result");
+    line[start..line.len() - 1].to_string()
+}
+
+#[test]
+fn mismatched_and_malformed_traces_are_trace_errors() {
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let client = Client::new(server.local_addr().to_string());
+    let trace = captured();
+
+    // Geometry disagreeing with the header is refused before queueing.
+    let mut spec = trace_spec(&trace, ReportKind::Stats);
+    spec.grid += 1;
+    let resp = client.run(&spec).expect("request");
+    assert!(
+        resp.contains("\"kind\":\"trace_error\"") && resp.contains("disagrees"),
+        "expected geometry trace_error, got: {resp}"
+    );
+
+    // Wrong device, same geometry.
+    let mut spec = trace_spec(&trace, ReportKind::Stats);
+    spec.device = "a100".into();
+    let resp = client.run(&spec).expect("request");
+    assert!(
+        resp.contains("\"kind\":\"trace_error\""),
+        "expected device trace_error, got: {resp}"
+    );
+
+    // Garbage bytes.
+    let mut spec = trace_spec(&trace, ReportKind::Stats);
+    spec.trace = Some("not a trace at all".into());
+    let resp = client.run(&spec).expect("request");
+    assert!(
+        resp.contains("\"kind\":\"trace_error\""),
+        "expected parse trace_error, got: {resp}"
+    );
+
+    // A doctored stream (truncated warp, no `exit`) fails validation.
+    let mut doctored = trace.clone();
+    doctored.source.streams.iter_mut().next().unwrap().1.pop();
+    let spec = trace_spec(&doctored, ReportKind::Stats);
+    let resp = client.run(&spec).expect("request");
+    assert!(
+        resp.contains("\"kind\":\"trace_error\""),
+        "expected stream trace_error, got: {resp}"
+    );
+
+    server.shutdown();
+    server.join();
+}

@@ -14,6 +14,7 @@ use crate::device::{DeviceConfig, Scheduler, SimOptions};
 use crate::mem::{bank_conflict_degree, coalesce_sectors_into, GlobalMem, Limiter, TagArray};
 use crate::metrics::Metrics;
 use crate::power;
+use crate::replay::{ReplayRec, ReplaySource};
 use crate::tc_timing;
 use crate::tiles::{execute_mma, Tile};
 use hopper_isa::{
@@ -21,7 +22,7 @@ use hopper_isa::{
     Reg, Special, TileId, Width,
 };
 use hopper_trace::{
-    wait_bucket, CacheEvent, CacheLevel, CacheTotals, IssueEvent, PcTotals, SlotTotals,
+    wait_bucket, CacheEvent, CacheLevel, CacheTotals, InstrEvent, IssueEvent, PcTotals, SlotTotals,
     StallReason, StallSpan, TraceConfig, TraceSink, UnitBusy, UnitSpan, N_SLOT_REASONS,
     N_WAIT_BUCKETS,
 };
@@ -312,6 +313,17 @@ pub struct Engine<'a> {
     /// Set when an issue loop broke on its [`RunLimit`] rather than on
     /// warp completion.
     hit_limit: bool,
+    /// Replay mode: per-warp captured streams and issue cursors.  When
+    /// set, operands and branch directions come from the streams and the
+    /// functional datapath is skipped; every timing decision is
+    /// unchanged.
+    replay: Option<ReplayState<'a>>,
+    /// Operand payload of the instruction currently being issued
+    /// (capture mode only; cleared at every `execute`).
+    cap_payload: Vec<u64>,
+    /// Capture mode: a sink is attached and wants per-instruction
+    /// records ([`TraceConfig::instr_events`]).
+    capture: bool,
     /// Debug-only shadow counters of L1/L2 tag-array lookups issued by
     /// this engine, cross-checked against the `Metrics` hit/miss deltas
     /// at end of wave (`check_wave_invariants`).
@@ -329,6 +341,13 @@ struct AccessScratch {
     sectors: Vec<u64>,
     lines: Vec<u64>,
     pages: Vec<u64>,
+}
+
+/// Replay streams resolved to engine warp indices (one slice + cursor per
+/// resident warp, in warp order).
+struct ReplayState<'a> {
+    streams: Vec<&'a [ReplayRec]>,
+    cursors: Vec<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -478,6 +497,9 @@ impl<'a> Engine<'a> {
             scratch: AccessScratch::default(),
             pc_acc: Vec::new(),
             hit_limit: false,
+            replay: None,
+            cap_payload: Vec::new(),
+            capture: false,
             #[cfg(debug_assertions)]
             dbg_l1_lookups: 0,
             #[cfg(debug_assertions)]
@@ -493,8 +515,29 @@ impl<'a> Engine<'a> {
         if !sink.is_null() {
             self.sink = Some(sink);
             self.base_cycle = base_cycle;
+            self.capture = self.trace.instr_events;
         }
         self
+    }
+
+    /// Switch the engine to replay mode: operands come from `source`
+    /// instead of functional execution.  Fails if any resident warp has
+    /// no captured stream.
+    pub fn with_replay(mut self, source: &'a ReplaySource) -> Result<Self, String> {
+        let mut streams = Vec::with_capacity(self.warps.len());
+        for ws in &self.warps {
+            let key = (self.blocks[ws.block].spec.ctaid, ws.warp_in_block as u32);
+            let s = source
+                .streams
+                .get(&key)
+                .ok_or_else(|| format!("trace has no stream for ctaid {} warp {}", key.0, key.1))?;
+            streams.push(s.as_slice());
+        }
+        self.replay = Some(ReplayState {
+            cursors: vec![0; streams.len()],
+            streams,
+        });
+        Ok(self)
     }
 
     /// Run to completion; returns the wave's metrics.
@@ -1297,6 +1340,19 @@ impl<'a> Engine<'a> {
                 op: op_name(&self.kernel.instrs[pc]),
             });
         }
+        if self.trace.instr_events {
+            let ws = &self.warps[w];
+            s.instr(&InstrEvent {
+                cycle: now,
+                sm: sm as u32,
+                ctaid: self.blocks[ws.block].spec.ctaid,
+                warp_in_block: ws.warp_in_block as u32,
+                pc: pc as u32,
+                op: op_name(&self.kernel.instrs[pc]),
+                active: ws.active,
+                payload: &self.cap_payload,
+            });
+        }
     }
 
     /// Record a stall observation: start a span, or split it when the
@@ -1444,6 +1500,15 @@ impl<'a> Engine<'a> {
                 self.metrics.instructions += 1;
                 let ws = &mut self.warps[w];
                 ws.next_ready = ws.next_ready.max(now + 1);
+                // Replay: follow the recorded PC sequence (this is what
+                // resolves branches, whose guards are never evaluated).
+                if let Some(rp) = self.replay.as_mut() {
+                    rp.cursors[w] += 1;
+                    let next = rp.streams[w].get(rp.cursors[w]).map(|r| r.pc as usize);
+                    if let Some(pc) = next {
+                        self.warps[w].pc = pc;
+                    }
+                }
             }
             IssueResult::Stalled(..) => {}
         }
@@ -1559,6 +1624,12 @@ impl<'a> Engine<'a> {
     fn execute(&mut self, w: usize, instr: &Instr) -> IssueResult {
         let now = self.cycle as f64;
         let nowc = self.cycle;
+        if self.capture {
+            // Stalled attempts may leave pushes behind; the payload is
+            // only read after an Issued outcome, so clearing here keeps
+            // it exact.
+            self.cap_payload.clear();
+        }
         match instr {
             Instr::IAlu { op, dst, a, b } => {
                 let cost = 32.0 / self.dev.int_per_clk as f64;
@@ -1574,18 +1645,20 @@ impl<'a> Engine<'a> {
                 // The integer datapath is 64-bit (addresses need it); PTX
                 // .s32 ops run at full width, observationally equivalent
                 // for kernels that keep 32-bit quantities in range.
-                self.lane_op2(w, *dst, *a, *b, |x, y| match op {
-                    IAluOp::Add => x.wrapping_add(y),
-                    IAluOp::Sub => x.wrapping_sub(y),
-                    IAluOp::Mul => x.wrapping_mul(y),
-                    IAluOp::Min => (x as i64).min(y as i64) as u64,
-                    IAluOp::Max => (x as i64).max(y as i64) as u64,
-                    IAluOp::And => x & y,
-                    IAluOp::Or => x | y,
-                    IAluOp::Xor => x ^ y,
-                    IAluOp::Shl => x.wrapping_shl(y as u32),
-                    IAluOp::Shr => x.wrapping_shr(y as u32),
-                });
+                if !self.replaying() {
+                    self.lane_op2(w, *dst, *a, *b, |x, y| match op {
+                        IAluOp::Add => x.wrapping_add(y),
+                        IAluOp::Sub => x.wrapping_sub(y),
+                        IAluOp::Mul => x.wrapping_mul(y),
+                        IAluOp::Min => (x as i64).min(y as i64) as u64,
+                        IAluOp::Max => (x as i64).max(y as i64) as u64,
+                        IAluOp::And => x & y,
+                        IAluOp::Or => x | y,
+                        IAluOp::Xor => x ^ y,
+                        IAluOp::Shl => x.wrapping_shl(y as u32),
+                        IAluOp::Shr => x.wrapping_shr(y as u32),
+                    });
+                }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
                 self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
                 self.advance(w);
@@ -1602,9 +1675,11 @@ impl<'a> Engine<'a> {
                 }
                 let ustart = self.sms[sm].int_pipe.acquire(now, cost);
                 self.trace_unit(sm as u32, "int", w, ustart, cost);
-                self.lane_op3(w, *dst, *a, *b, *c, |x, y, z| {
-                    x.wrapping_mul(y).wrapping_add(z)
-                });
+                if !self.replaying() {
+                    self.lane_op3(w, *dst, *a, *b, *c, |x, y, z| {
+                        x.wrapping_mul(y).wrapping_add(z)
+                    });
+                }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64 + 1);
                 self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
                 self.advance(w);
@@ -1635,9 +1710,11 @@ impl<'a> Engine<'a> {
                 let cost = 32.0 / self.dev.int_per_clk as f64;
                 let ustart = self.sms[sm].int_pipe.acquire(now, cost);
                 self.trace_unit(sm as u32, "int", w, ustart, cost);
-                for lane in 0..32 {
-                    let v = self.read_op(w, *src, lane);
-                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                if !self.replaying() {
+                    for lane in 0..32 {
+                        let v = self.read_op(w, *src, lane);
+                        self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                    }
                 }
                 self.finish_reg(w, *dst, nowc + 2);
                 self.advance(w);
@@ -1671,11 +1748,13 @@ impl<'a> Engine<'a> {
                     self.metrics.instructions += ops as u64 - 1;
                     self.finish_reg(w, *dst, nowc + (ops * self.dev.alu_latency) as u64);
                 }
-                let (fa, fb, fc, fd) = (*a, *b, *c, *dst);
-                let f = *func;
-                self.lane_op3(w, fd, fa, fb, fc, move |x, y, z| {
-                    f.eval(x as u32, y as u32, z as u32) as u64
-                });
+                if !self.replaying() {
+                    let (fa, fb, fc, fd) = (*a, *b, *c, *dst);
+                    let f = *func;
+                    self.lane_op3(w, fd, fa, fb, fc, move |x, y, z| {
+                        f.eval(x as u32, y as u32, z as u32) as u64
+                    });
+                }
                 self.metrics.dpx_ops += 32;
                 self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J * 1.5;
                 self.advance(w);
@@ -1683,11 +1762,13 @@ impl<'a> Engine<'a> {
             }
             Instr::SetP { pred, cmp, a, b } => {
                 let mut mask = 0u32;
-                for lane in 0..32 {
-                    let x = self.read_op(w, *a, lane) as i64;
-                    let y = self.read_op(w, *b, lane) as i64;
-                    if cmp.eval(x, y) {
-                        mask |= 1 << lane;
+                if !self.replaying() {
+                    for lane in 0..32 {
+                        let x = self.read_op(w, *a, lane) as i64;
+                        let y = self.read_op(w, *b, lane) as i64;
+                        if cmp.eval(x, y) {
+                            mask |= 1 << lane;
+                        }
                     }
                 }
                 let ws = &mut self.warps[w];
@@ -1699,20 +1780,28 @@ impl<'a> Engine<'a> {
                 IssueResult::Issued
             }
             Instr::Sel { dst, pred, a, b } => {
-                let pmask = self.warps[w].pred[pred.0 as usize];
-                for lane in 0..32 {
-                    let v = if pmask & (1 << lane) != 0 {
-                        self.read_op(w, *a, lane)
-                    } else {
-                        self.read_op(w, *b, lane)
-                    };
-                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                if !self.replaying() {
+                    let pmask = self.warps[w].pred[pred.0 as usize];
+                    for lane in 0..32 {
+                        let v = if pmask & (1 << lane) != 0 {
+                            self.read_op(w, *a, lane)
+                        } else {
+                            self.read_op(w, *b, lane)
+                        };
+                        self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                    }
                 }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
                 self.advance(w);
                 IssueResult::Issued
             }
             Instr::Bra { target, guard } => {
+                // Replay: the direction is the next record's PC (applied
+                // by `try_issue`); the guard predicate was never computed.
+                if self.replaying() {
+                    self.advance(w);
+                    return IssueResult::Issued;
+                }
                 let taken = match guard {
                     None => true,
                     Some((p, expect)) => {
@@ -1850,17 +1939,30 @@ impl<'a> Engine<'a> {
                 pattern,
             } => {
                 let key = self.tile_owner(w);
-                let t = Tile::from_pattern(*dtype, *rows as usize, *cols as usize, *pattern);
+                // Replay keeps only the shape (the data is never read:
+                // activity factors come from the trace).
+                let t = if self.replaying() {
+                    Tile {
+                        dtype: *dtype,
+                        rows: *rows as usize,
+                        cols: *cols as usize,
+                        data: Vec::new(),
+                    }
+                } else {
+                    Tile::from_pattern(*dtype, *rows as usize, *cols as usize, *pattern)
+                };
                 let bi = self.warps[w].block;
                 self.blocks[bi].tiles.insert((key, tile.0), t);
                 self.advance(w);
                 IssueResult::Issued
             }
             Instr::Mapa { dst, addr, rank } => {
-                for lane in 0..32 {
-                    let a = self.read_op(w, *addr, lane) & 0xffff_ffff;
-                    let r = self.read_op(w, *rank, lane) & 0xffff;
-                    self.warps[w].regs[dst.0 as usize * 32 + lane] = DSM_TAG | (r << 32) | a;
+                if !self.replaying() {
+                    for lane in 0..32 {
+                        let a = self.read_op(w, *addr, lane) & 0xffff_ffff;
+                        let r = self.read_op(w, *rank, lane) & 0xffff;
+                        self.warps[w].regs[dst.0 as usize * 32 + lane] = DSM_TAG | (r << 32) | a;
+                    }
                 }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
                 self.advance(w);
@@ -1885,23 +1987,25 @@ impl<'a> Engine<'a> {
                 IssueResult::Issued
             }
             Instr::ReadSpecial { dst, sr } => {
-                let bi = self.warps[w].block;
-                let spec = self.blocks[bi].spec;
-                let wib = self.warps[w].warp_in_block;
-                for lane in 0..32 {
-                    let v = match sr {
-                        Special::TidX => (wib * 32 + lane) as u64,
-                        Special::CtaIdX => spec.ctaid as u64,
-                        Special::NTidX => self.cfg.threads_per_block as u64,
-                        Special::NCtaIdX => self.cfg.grid_dim as u64,
-                        Special::LaneId => lane as u64,
-                        Special::WarpId => wib as u64,
-                        Special::SmId => spec.smid as u64,
-                        Special::ClusterCtaRank => spec.cluster_rank as u64,
-                        Special::ClusterNCtaRank => self.cfg.cluster_size as u64,
-                        Special::Clock => nowc,
-                    };
-                    self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                if !self.replaying() {
+                    let bi = self.warps[w].block;
+                    let spec = self.blocks[bi].spec;
+                    let wib = self.warps[w].warp_in_block;
+                    for lane in 0..32 {
+                        let v = match sr {
+                            Special::TidX => (wib * 32 + lane) as u64,
+                            Special::CtaIdX => spec.ctaid as u64,
+                            Special::NTidX => self.cfg.threads_per_block as u64,
+                            Special::NCtaIdX => self.cfg.grid_dim as u64,
+                            Special::LaneId => lane as u64,
+                            Special::WarpId => wib as u64,
+                            Special::SmId => spec.smid as u64,
+                            Special::ClusterCtaRank => spec.cluster_rank as u64,
+                            Special::ClusterNCtaRank => self.cfg.cluster_size as u64,
+                            Special::Clock => nowc,
+                        };
+                        self.warps[w].regs[dst.0 as usize * 32 + lane] = v;
+                    }
                 }
                 self.finish_reg(w, *dst, nowc + 2);
                 self.advance(w);
@@ -2000,21 +2104,23 @@ impl<'a> Engine<'a> {
             FloatPrec::F64 => (self.sms[sm].fp64_pipe.acquire(now, cost), "fp64"),
         };
         self.trace_unit(sm as u32, unit, w, ustart, cost);
-        for lane in 0..32 {
-            let mut vals = [0.0f64; 3];
-            for (k, &o) in srcs.iter().enumerate() {
-                let bits = self.read_op(w, o, lane);
-                vals[k] = match prec {
-                    FloatPrec::F32 => f32::from_bits(bits as u32) as f64,
-                    FloatPrec::F64 => f64::from_bits(bits),
+        if !self.replaying() {
+            for lane in 0..32 {
+                let mut vals = [0.0f64; 3];
+                for (k, &o) in srcs.iter().enumerate() {
+                    let bits = self.read_op(w, o, lane);
+                    vals[k] = match prec {
+                        FloatPrec::F32 => f32::from_bits(bits as u32) as f64,
+                        FloatPrec::F64 => f64::from_bits(bits),
+                    };
+                }
+                let r = f(&vals[..srcs.len()]);
+                let bits = match prec {
+                    FloatPrec::F32 => (r as f32).to_bits() as u64,
+                    FloatPrec::F64 => r.to_bits(),
                 };
+                self.warps[w].regs[dst.0 as usize * 32 + lane] = bits;
             }
-            let r = f(&vals[..srcs.len()]);
-            let bits = match prec {
-                FloatPrec::F32 => (r as f32).to_bits() as u64,
-                FloatPrec::F64 => r.to_bits(),
-            };
-            self.warps[w].regs[dst.0 as usize * 32 + lane] = bits;
         }
         self.finish_reg(w, dst, self.cycle + lat);
         self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
@@ -2041,6 +2147,34 @@ impl<'a> Engine<'a> {
             }
         }
         &buf[..n]
+    }
+
+    /// Current replay record for warp `w` (`None` in functional mode).
+    /// Only valid during `execute` of a non-`Done` warp: stream
+    /// validation guarantees `exit` terminates every stream, so the
+    /// cursor is in bounds whenever an instruction can still issue.
+    fn replay_rec(&self, w: usize) -> Option<&'a ReplayRec> {
+        let rp = self.replay.as_ref()?;
+        let s: &'a [ReplayRec] = rp.streams[w];
+        Some(&s[rp.cursors[w]])
+    }
+
+    fn replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Lane addresses at issue: from the replay record in replay mode,
+    /// from the register file otherwise.
+    fn issue_lanes<'b>(
+        &self,
+        w: usize,
+        addr: AddrExpr,
+        buf: &'b mut [(usize, u64); 32],
+    ) -> &'b [(usize, u64)] {
+        match self.replay_rec(w) {
+            Some(rec) => rec_lanes(rec, buf),
+            None => self.lane_addrs(w, addr, buf),
+        }
     }
 
     /// Decode a possibly-`mapa`-tagged shared address into (block index,
@@ -2079,7 +2213,10 @@ impl<'a> Engine<'a> {
     ) -> IssueResult {
         let now = self.cycle as f64;
         let mut abuf = [(0usize, 0u64); 32];
-        let lanes = self.lane_addrs(w, addr, &mut abuf);
+        let lanes = self.issue_lanes(w, addr, &mut abuf);
+        if self.capture {
+            self.cap_payload.extend(lanes.iter().map(|&(_, a)| a));
+        }
         let bytes = width.bytes();
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
@@ -2101,7 +2238,9 @@ impl<'a> Engine<'a> {
                     self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
-                    self.read_shared_lanes(w, lanes, bytes, dst);
+                    if !self.replaying() {
+                        self.read_shared_lanes(w, lanes, bytes, dst);
+                    }
                     self.finish_load_regs(w, dst, width, done);
                 } else {
                     let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
@@ -2118,7 +2257,9 @@ impl<'a> Engine<'a> {
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                     self.metrics.energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::SMEM_ENERGY_PER_BYTE_J;
-                    self.read_shared_lanes(w, lanes, bytes, dst);
+                    if !self.replaying() {
+                        self.read_shared_lanes(w, lanes, bytes, dst);
+                    }
                     self.finish_load_regs(w, dst, width, done);
                 }
                 self.advance(w);
@@ -2136,12 +2277,14 @@ impl<'a> Engine<'a> {
                     return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
                 // Functional read.
-                for &(lane, a) in lanes {
-                    let lo = self.global.read_scalar(a, bytes.min(8));
-                    self.warps[w].regs[dst.0 as usize * 32 + lane] = lo;
-                    if width == Width::B16 {
-                        let hi = self.global.read_scalar(a + 8, 8);
-                        self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
+                if !self.replaying() {
+                    for &(lane, a) in lanes {
+                        let lo = self.global.read_scalar(a, bytes.min(8));
+                        self.warps[w].regs[dst.0 as usize * 32 + lane] = lo;
+                        if width == Width::B16 {
+                            let hi = self.global.read_scalar(a + 8, 8);
+                            self.warps[w].regs[(dst.0 + 1) as usize * 32 + lane] = hi;
+                        }
                     }
                 }
                 let done = self.global_access_time(w, sm, lanes, bytes, cop, now);
@@ -2298,7 +2441,10 @@ impl<'a> Engine<'a> {
     ) -> IssueResult {
         let now = self.cycle as f64;
         let mut abuf = [(0usize, 0u64); 32];
-        let lanes = self.lane_addrs(w, addr, &mut abuf);
+        let lanes = self.issue_lanes(w, addr, &mut abuf);
+        if self.capture {
+            self.cap_payload.extend(lanes.iter().map(|&(_, a)| a));
+        }
         let bytes = width.bytes();
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
@@ -2330,16 +2476,19 @@ impl<'a> Engine<'a> {
                     self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
                     self.metrics.smem_bytes += lanes.len() as u64 * bytes;
                 }
-                for &(lane, a) in lanes {
-                    let (bi, off) = self.resolve_shared(w, a);
-                    let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
-                    for i in 0..bytes.min(8) {
-                        self.blocks[bi].smem[(off + i) as usize] = (lo >> (8 * i)) as u8;
-                    }
-                    if bytes == 16 {
-                        let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
-                        for i in 0..8 {
-                            self.blocks[bi].smem[(off + 8 + i) as usize] = (hi >> (8 * i)) as u8;
+                if !self.replaying() {
+                    for &(lane, a) in lanes {
+                        let (bi, off) = self.resolve_shared(w, a);
+                        let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
+                        for i in 0..bytes.min(8) {
+                            self.blocks[bi].smem[(off + i) as usize] = (lo >> (8 * i)) as u8;
+                        }
+                        if bytes == 16 {
+                            let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
+                            for i in 0..8 {
+                                self.blocks[bi].smem[(off + 8 + i) as usize] =
+                                    (hi >> (8 * i)) as u8;
+                            }
                         }
                     }
                 }
@@ -2357,12 +2506,14 @@ impl<'a> Engine<'a> {
                 if let Some(until) = self.mem_backpressure(now) {
                     return IssueResult::Stalled(until, StallReason::MioQueueFull);
                 }
-                for &(lane, a) in lanes {
-                    let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
-                    self.global.write_scalar(a, bytes.min(8), lo);
-                    if width == Width::B16 {
-                        let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
-                        self.global.write_scalar(a + 8, 8, hi);
+                if !self.replaying() {
+                    for &(lane, a) in lanes {
+                        let lo = self.warps[w].regs[src.0 as usize * 32 + lane];
+                        self.global.write_scalar(a, bytes.min(8), lo);
+                        if width == Width::B16 {
+                            let hi = self.warps[w].regs[(src.0 + 1) as usize * 32 + lane];
+                            self.global.write_scalar(a + 8, 8, hi);
+                        }
                     }
                 }
                 // Stores are fire-and-forget; they still consume bandwidth.
@@ -2383,7 +2534,10 @@ impl<'a> Engine<'a> {
     ) -> IssueResult {
         let now = self.cycle as f64;
         let mut abuf = [(0usize, 0u64); 32];
-        let lanes = self.lane_addrs(w, addr, &mut abuf);
+        let lanes = self.issue_lanes(w, addr, &mut abuf);
+        if self.capture {
+            self.cap_payload.extend(lanes.iter().map(|&(_, a)| a));
+        }
         let sm = self.sm_of(w);
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
@@ -2437,19 +2591,21 @@ impl<'a> Engine<'a> {
                     self.metrics.smem_bytes += lanes.len() as u64 * 4;
                 }
                 // Functional: sequential lane order.
-                for &(lane, a) in lanes {
-                    let (bi, off) = self.resolve_shared(w, a);
-                    let old = u32::from_le_bytes(
+                if !self.replaying() {
+                    for &(lane, a) in lanes {
+                        let (bi, off) = self.resolve_shared(w, a);
+                        let old = u32::from_le_bytes(
+                            self.blocks[bi].smem[off as usize..off as usize + 4]
+                                .try_into()
+                                .unwrap(),
+                        );
+                        let add = self.read_op(w, src, lane) as u32;
+                        let newv = old.wrapping_add(add);
                         self.blocks[bi].smem[off as usize..off as usize + 4]
-                            .try_into()
-                            .unwrap(),
-                    );
-                    let add = self.read_op(w, src, lane) as u32;
-                    let newv = old.wrapping_add(add);
-                    self.blocks[bi].smem[off as usize..off as usize + 4]
-                        .copy_from_slice(&newv.to_le_bytes());
-                    if let Some(d) = dst {
-                        self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                            .copy_from_slice(&newv.to_le_bytes());
+                        if let Some(d) = dst {
+                            self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                        }
                     }
                 }
                 if let Some(d) = dst {
@@ -2470,12 +2626,14 @@ impl<'a> Engine<'a> {
                 let start = self.l2_port.acquire(now, cost);
                 self.trace_unit(u32::MAX, "l2_port", w, start, cost);
                 self.metrics.l2_bytes += lanes.len() as u64 * 4;
-                for &(lane, a) in lanes {
-                    let old = self.global.read_scalar(a, 4) as u32;
-                    let add = self.read_op(w, src, lane) as u32;
-                    self.global.write_scalar(a, 4, old.wrapping_add(add) as u64);
-                    if let Some(d) = dst {
-                        self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                if !self.replaying() {
+                    for &(lane, a) in lanes {
+                        let old = self.global.read_scalar(a, 4) as u32;
+                        let add = self.read_op(w, src, lane) as u32;
+                        self.global.write_scalar(a, 4, old.wrapping_add(add) as u64);
+                        if let Some(d) = dst {
+                            self.warps[w].regs[d.0 as usize * 32 + lane] = old as u64;
+                        }
                     }
                 }
                 if let Some(d) = dst {
@@ -2538,21 +2696,28 @@ impl<'a> Engine<'a> {
         }
         let bytes = width.bytes();
         let mut gbuf = [(0usize, 0u64); 32];
-        let mut sbuf = [(0usize, 0u64); 32];
-        let g = self.lane_addrs(w, gmem, &mut gbuf);
-        let s = self.lane_addrs(w, smem, &mut sbuf);
-        // Functional copy now (8-byte chunks: one page probe per chunk
-        // instead of one per byte).
-        for (&(_, ga), &(_, sa)) in g.iter().zip(s.iter()) {
-            let (bi, off) = self.resolve_shared(w, sa);
-            let mut i = 0;
-            while i < bytes {
-                let n = (bytes - i).min(8);
-                let v = self.global.read_scalar(ga + i, n);
-                for j in 0..n {
-                    self.blocks[bi].smem[(off + i + j) as usize] = (v >> (8 * j)) as u8;
+        let g = self.issue_lanes(w, gmem, &mut gbuf);
+        if self.capture {
+            // Only the global addresses drive timing, so only they are
+            // recorded (the shared side is a register-file bypass).
+            self.cap_payload.extend(g.iter().map(|&(_, a)| a));
+        }
+        if !self.replaying() {
+            let mut sbuf = [(0usize, 0u64); 32];
+            let s = self.lane_addrs(w, smem, &mut sbuf);
+            // Functional copy now (8-byte chunks: one page probe per
+            // chunk instead of one per byte).
+            for (&(_, ga), &(_, sa)) in g.iter().zip(s.iter()) {
+                let (bi, off) = self.resolve_shared(w, sa);
+                let mut i = 0;
+                while i < bytes {
+                    let n = (bytes - i).min(8);
+                    let v = self.global.read_scalar(ga + i, n);
+                    for j in 0..n {
+                        self.blocks[bi].smem[(off + i + j) as usize] = (v >> (8 * j)) as u8;
+                    }
+                    i += n;
                 }
-                i += n;
             }
         }
         // Timing: global fetch (L2 path, bypasses RF) + shared write.
@@ -2600,20 +2765,29 @@ impl<'a> Engine<'a> {
         }
         let bytes = rows as u64 * row_bytes as u64;
         // Addresses come from lane 0 (the TMA descriptor is uniform).
-        let gbase = self.warps[w].regs[gmem.base.0 as usize * 32].wrapping_add(gmem.offset as u64);
-        let sbase = self.warps[w].regs[smem.base.0 as usize * 32].wrapping_add(smem.offset as u64);
-        let (bi, soff) = self.resolve_shared(w, sbase);
-        for r in 0..rows as u64 {
-            let gsrc = gbase + r * gstride as u64;
-            let sdst = soff + r * row_bytes as u64;
-            let mut i = 0u64;
-            while i < row_bytes as u64 {
-                let n = (row_bytes as u64 - i).min(8);
-                let v = self.global.read_scalar(gsrc + i, n);
-                for j in 0..n {
-                    self.blocks[bi].smem[(sdst + i + j) as usize] = (v >> (8 * j)) as u8;
+        let gbase = match self.replay_rec(w) {
+            Some(rec) => rec.payload.first().copied().unwrap_or(0),
+            None => self.warps[w].regs[gmem.base.0 as usize * 32].wrapping_add(gmem.offset as u64),
+        };
+        if self.capture {
+            self.cap_payload.push(gbase);
+        }
+        if !self.replaying() {
+            let sbase =
+                self.warps[w].regs[smem.base.0 as usize * 32].wrapping_add(smem.offset as u64);
+            let (bi, soff) = self.resolve_shared(w, sbase);
+            for r in 0..rows as u64 {
+                let gsrc = gbase + r * gstride as u64;
+                let sdst = soff + r * row_bytes as u64;
+                let mut i = 0u64;
+                while i < row_bytes as u64 {
+                    let n = (row_bytes as u64 - i).min(8);
+                    let v = self.global.read_scalar(gsrc + i, n);
+                    for j in 0..n {
+                        self.blocks[bi].smem[(sdst + i + j) as usize] = (v >> (8 * j)) as u8;
+                    }
+                    i += n;
                 }
-                i += n;
             }
         }
         // Timing: one bulk request through L2 (rows touch whole lines) plus
@@ -2710,7 +2884,10 @@ impl<'a> Engine<'a> {
             let ustart = self.sms[sm].int_pipe.acquire(now, cost);
             self.trace_unit(sm as u32, "int", w, ustart, cost);
             self.metrics.instructions += lowered.expansion as u64 - 1;
-            self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
+            let act = self.mma_act(w, bi, key, desc, d, a, b, Some(c));
+            if self.capture {
+                self.cap_payload.push(act.to_bits());
+            }
             self.metrics.tc_ops += desc.flops();
             self.advance(w);
             return IssueResult::Issued;
@@ -2732,7 +2909,10 @@ impl<'a> Engine<'a> {
         let start = self.sms[sm].tc_quadrant[quadrant].acquire(now, ii);
         self.trace_unit(sm as u32, "tensor", w, start, ii);
         let lat = tc_timing::mma_latency(self.dev, desc);
-        let act = self.exec_mma_functional(bi, key, desc, d, a, b, Some(c));
+        let act = self.mma_act(w, bi, key, desc, d, a, b, Some(c));
+        if self.capture {
+            self.cap_payload.push(act.to_bits());
+        }
         self.metrics.tc_ops += desc.flops();
         self.metrics.energy_j += desc.flops() as f64
             * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Mma)
@@ -2783,7 +2963,10 @@ impl<'a> Engine<'a> {
         let done = start + lat;
         let key = self.tile_owner(w);
         let bi = self.warps[w].block;
-        let act = self.exec_mma_functional(bi, key, desc, d, a, b, None);
+        let act = self.mma_act(w, bi, key, desc, d, a, b, None);
+        if self.capture {
+            self.cap_payload.push(act.to_bits());
+        }
         self.metrics.tc_ops += desc.flops();
         self.metrics.energy_j += desc.flops() as f64
             * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Wgmma)
@@ -2802,6 +2985,43 @@ impl<'a> Engine<'a> {
         e.0 = e.0.max(done);
         self.advance(w);
         IssueResult::Issued
+    }
+
+    /// Activity factor for an `mma`/`wgmma`: from the replay record when
+    /// replaying (the factor is tile-*value*-dependent and the values are
+    /// gone — it is the one non-address operand the trace must carry),
+    /// from functional execution otherwise.  Replay still registers the
+    /// destination tile's shape so downstream `st.tile`/`mma` find it.
+    #[allow(clippy::too_many_arguments)]
+    fn mma_act(
+        &mut self,
+        w: usize,
+        bi: usize,
+        key: u32,
+        desc: &hopper_isa::MmaDesc,
+        d: TileId,
+        a: TileId,
+        b: TileId,
+        c: Option<TileId>,
+    ) -> f64 {
+        if self.replaying() {
+            let act = self
+                .replay_rec(w)
+                .and_then(|rec| rec.payload.first().copied())
+                .map(f64::from_bits)
+                .unwrap_or(1.0);
+            self.blocks[bi].tiles.insert(
+                (key, d.0),
+                Tile {
+                    dtype: desc.cd,
+                    rows: desc.m as usize,
+                    cols: desc.n as usize,
+                    data: Vec::new(),
+                },
+            );
+            return act;
+        }
+        self.exec_mma_functional(bi, key, desc, d, a, b, c)
     }
 
     /// Run the functional datapath; returns the operand activity factor
@@ -2871,16 +3091,24 @@ impl<'a> Engine<'a> {
     ) -> IssueResult {
         let now = self.cycle as f64;
         let sm = self.sm_of(w);
-        let base = self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64);
+        let base = match self.replay_rec(w) {
+            Some(rec) => rec.payload.first().copied().unwrap_or(0),
+            None => self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64),
+        };
+        if self.capture {
+            self.cap_payload.push(base);
+        }
         let ebits = dtype.bits().max(8) as u64; // B1/S4 padded to bytes in memory
         let total = (rows * cols) as u64 * ebits / 8;
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = Vec::with_capacity(if self.replaying() { 0 } else { rows * cols });
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
-                let (bi, off) = self.resolve_shared(w, base);
-                for i in 0..(rows * cols) as u64 {
-                    let raw = read_elem_from(&self.blocks[bi].smem, off + i * ebits / 8, ebits);
-                    data.push(decode_elem(dtype, raw));
+                if !self.replaying() {
+                    let (bi, off) = self.resolve_shared(w, base);
+                    for i in 0..(rows * cols) as u64 {
+                        let raw = read_elem_from(&self.blocks[bi].smem, off + i * ebits / 8, ebits);
+                        data.push(decode_elem(dtype, raw));
+                    }
                 }
                 let cost = total as f64 / self.dev.smem_bw;
                 let ustart = self.sms[sm].smem_port.acquire(now, cost);
@@ -2889,9 +3117,11 @@ impl<'a> Engine<'a> {
                 self.warps[w].next_ready = (now + cost) as u64 + 1;
             }
             MemSpace::Global => {
-                for i in 0..(rows * cols) as u64 {
-                    let raw = self.global.read_scalar(base + i * ebits / 8, ebits / 8);
-                    data.push(decode_elem(dtype, raw));
+                if !self.replaying() {
+                    for i in 0..(rows * cols) as u64 {
+                        let raw = self.global.read_scalar(base + i * ebits / 8, ebits / 8);
+                        data.push(decode_elem(dtype, raw));
+                    }
                 }
                 let lanes: Vec<(usize, u64)> = (0..total.div_ceil(128))
                     .map(|i| (0usize, base + i * 128))
@@ -2927,20 +3157,28 @@ impl<'a> Engine<'a> {
         let key = self.tile_owner(w);
         let bi = self.warps[w].block;
         let t = self.get_tile(bi, key, tile, "store");
-        let base = self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64);
+        let base = match self.replay_rec(w) {
+            Some(rec) => rec.payload.first().copied().unwrap_or(0),
+            None => self.warps[w].regs[addr.base.0 as usize * 32].wrapping_add(addr.offset as u64),
+        };
+        if self.capture {
+            self.cap_payload.push(base);
+        }
         let ebits = t.dtype.bits().max(8) as u64;
         let total = (t.rows * t.cols) as u64 * ebits / 8;
         match space {
             MemSpace::Shared | MemSpace::SharedCluster => {
-                let (tbi, off) = self.resolve_shared(w, base);
-                for (i, &v) in t.data.iter().enumerate() {
-                    let raw = encode_elem(t.dtype, v);
-                    write_elem_to(
-                        &mut self.blocks[tbi].smem,
-                        off + i as u64 * ebits / 8,
-                        ebits,
-                        raw,
-                    );
+                if !self.replaying() {
+                    let (tbi, off) = self.resolve_shared(w, base);
+                    for (i, &v) in t.data.iter().enumerate() {
+                        let raw = encode_elem(t.dtype, v);
+                        write_elem_to(
+                            &mut self.blocks[tbi].smem,
+                            off + i as u64 * ebits / 8,
+                            ebits,
+                            raw,
+                        );
+                    }
                 }
                 let cost = total as f64 / self.dev.smem_bw;
                 let ustart = self.sms[sm].smem_port.acquire(now, cost);
@@ -2948,10 +3186,12 @@ impl<'a> Engine<'a> {
                 self.metrics.smem_bytes += total;
             }
             MemSpace::Global => {
-                for (i, &v) in t.data.iter().enumerate() {
-                    let raw = encode_elem(t.dtype, v);
-                    self.global
-                        .write_scalar(base + i as u64 * ebits / 8, ebits / 8, raw);
+                if !self.replaying() {
+                    for (i, &v) in t.data.iter().enumerate() {
+                        let raw = encode_elem(t.dtype, v);
+                        self.global
+                            .write_scalar(base + i as u64 * ebits / 8, ebits / 8, raw);
+                    }
                 }
                 let lanes: Vec<(usize, u64)> = (0..total.div_ceil(128))
                     .map(|i| (0usize, base + i * 128))
@@ -3019,6 +3259,19 @@ pub fn encode_elem(dtype: DType, v: f64) -> u64 {
         DType::B1 => (v != 0.0) as u64,
         DType::S32 => (v as i64 as i32) as u32 as u64,
     }
+}
+
+/// Expand a replay record's payload into per-lane `(lane, address)`
+/// pairs, lane-ascending over the active mask (the capture order).
+fn rec_lanes<'b>(rec: &ReplayRec, buf: &'b mut [(usize, u64); 32]) -> &'b [(usize, u64)] {
+    let mut n = 0;
+    for lane in 0..32 {
+        if rec.active & (1 << lane) != 0 {
+            buf[n] = (lane, rec.payload.get(n).copied().unwrap_or(0));
+            n += 1;
+        }
+    }
+    &buf[..n]
 }
 
 /// Advance-weighted per-scheduler-slot cycle accounting (trace path).

@@ -13,8 +13,9 @@ use crate::engine::{BlockSpec, CacheState, Engine, EngineConfig, RunLimit};
 use crate::mem::GlobalMem;
 use crate::metrics::{Metrics, RunStats};
 use crate::power::resolve_dvfs;
+use crate::replay::{CaptureSink, ReplayConfig, ReplaySource};
 use hopper_isa::Kernel;
-use hopper_trace::{StallProfile, TraceSink};
+use hopper_trace::{StallProfile, TraceConfig, TraceSink};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -142,6 +143,9 @@ pub enum LaunchError {
         /// Cycles actually simulated before the abort.
         cycles_run: u64,
     },
+    /// A replayed launch's trace does not match the kernel or launch
+    /// geometry (missing warp stream, bad PC, payload arity mismatch).
+    Replay(String),
 }
 
 impl core::fmt::Display for LaunchError {
@@ -168,6 +172,7 @@ impl core::fmt::Display for LaunchError {
             LaunchError::Cancelled { cycles_run } => {
                 write!(f, "cancelled after {cycles_run} simulated cycles")
             }
+            LaunchError::Replay(s) => write!(f, "replay trace mismatch: {s}"),
         }
     }
 }
@@ -290,7 +295,7 @@ impl Gpu {
 
     /// Launch and simulate a kernel; returns aggregate statistics.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, None, &RunBudget::default())
+        self.launch_with_sink(kernel, launch, None, &RunBudget::default(), None)
     }
 
     /// Launch under a [`RunBudget`]: abort with a structured error if the
@@ -302,7 +307,7 @@ impl Gpu {
         launch: &Launch,
         budget: &RunBudget,
     ) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, None, budget)
+        self.launch_with_sink(kernel, launch, None, budget, None)
     }
 
     /// Launch with an attached [`TraceSink`] receiving cycle-level events
@@ -314,7 +319,7 @@ impl Gpu {
         launch: &Launch,
         sink: &mut dyn TraceSink,
     ) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, Some(sink), &RunBudget::default())
+        self.launch_with_sink(kernel, launch, Some(sink), &RunBudget::default(), None)
     }
 
     /// [`Self::launch_traced`] under a [`RunBudget`].
@@ -325,7 +330,7 @@ impl Gpu {
         sink: &mut dyn TraceSink,
         budget: &RunBudget,
     ) -> Result<RunStats, LaunchError> {
-        self.launch_with_sink(kernel, launch, Some(sink), budget)
+        self.launch_with_sink(kernel, launch, Some(sink), budget, None)
     }
 
     /// Launch under a [`StallProfile`] aggregator and return it alongside
@@ -346,7 +351,100 @@ impl Gpu {
         budget: &RunBudget,
     ) -> Result<(RunStats, StallProfile), LaunchError> {
         let mut prof = StallProfile::default();
-        let mut stats = self.launch_with_sink(kernel, launch, Some(&mut prof), budget)?;
+        let mut stats = self.launch_with_sink(kernel, launch, Some(&mut prof), budget, None)?;
+        stats.stalls = Some(prof.summary());
+        Ok((stats, prof))
+    }
+
+    /// Launch a kernel while capturing every issued instruction — PC,
+    /// active mask and resolved operand payload — into a [`ReplaySource`].
+    ///
+    /// Capture rides the instruction-event trace category only; all other
+    /// categories stay off, so the returned [`RunStats`] are bitwise
+    /// identical to an uncaptured [`Self::launch`] of the same kernel.
+    pub fn launch_captured(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+    ) -> Result<(RunStats, ReplaySource), LaunchError> {
+        let saved = self.opts.trace;
+        self.opts.trace = TraceConfig::capture();
+        let mut sink = CaptureSink::default();
+        let res =
+            self.launch_with_sink(kernel, launch, Some(&mut sink), &RunBudget::default(), None);
+        self.opts.trace = saved;
+        Ok((res?, sink.into_source()))
+    }
+
+    /// Re-run a captured launch in replay mode: the full timing model
+    /// (schedulers, caches, DRAM, banks, DVFS) executes as usual, but
+    /// operands — memory addresses, branch directions, tensor-core
+    /// activity — come from `source` instead of functional execution.
+    pub fn launch_replayed(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        source: &ReplaySource,
+    ) -> Result<RunStats, LaunchError> {
+        self.launch_replayed_bounded(
+            kernel,
+            launch,
+            source,
+            &ReplayConfig::default(),
+            &RunBudget::default(),
+        )
+    }
+
+    /// [`Self::launch_replayed`] under a [`RunBudget`], with explicit
+    /// [`ReplayConfig`] (e.g. to skip prevalidation on a trusted
+    /// capture→replay round trip).
+    pub fn launch_replayed_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        source: &ReplaySource,
+        cfg: &ReplayConfig,
+        budget: &RunBudget,
+    ) -> Result<RunStats, LaunchError> {
+        if cfg.prevalidate {
+            source.validate(kernel).map_err(LaunchError::Replay)?;
+        }
+        self.launch_with_sink(kernel, launch, None, budget, Some(source))
+    }
+
+    /// [`Self::launch_replayed_bounded`] with an attached [`TraceSink`] —
+    /// the profiling path for replayed runs (hopper-prof reports work on
+    /// traces exactly as on functional runs).
+    pub fn launch_replayed_traced_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        source: &ReplaySource,
+        cfg: &ReplayConfig,
+        sink: &mut dyn TraceSink,
+        budget: &RunBudget,
+    ) -> Result<RunStats, LaunchError> {
+        if cfg.prevalidate {
+            source.validate(kernel).map_err(LaunchError::Replay)?;
+        }
+        self.launch_with_sink(kernel, launch, Some(sink), budget, Some(source))
+    }
+
+    /// [`Self::profile_bounded`] for a replayed launch.
+    pub fn profile_replayed_bounded(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        source: &ReplaySource,
+        cfg: &ReplayConfig,
+        budget: &RunBudget,
+    ) -> Result<(RunStats, StallProfile), LaunchError> {
+        if cfg.prevalidate {
+            source.validate(kernel).map_err(LaunchError::Replay)?;
+        }
+        let mut prof = StallProfile::default();
+        let mut stats =
+            self.launch_with_sink(kernel, launch, Some(&mut prof), budget, Some(source))?;
         stats.stalls = Some(prof.summary());
         Ok((stats, prof))
     }
@@ -357,6 +455,7 @@ impl Gpu {
         launch: &Launch,
         mut sink: Option<&mut dyn TraceSink>,
         budget: &RunBudget,
+        replay: Option<&ReplaySource>,
     ) -> Result<RunStats, LaunchError> {
         if launch.cluster > 1 && !self.dev.arch.has_clusters() {
             return Err(LaunchError::Unsupported(format!(
@@ -376,9 +475,9 @@ impl Gpu {
             sink = None;
         }
         let metrics = if launch.cluster > 1 {
-            self.run_clustered(kernel, launch, occ, &mut sink, budget)?
+            self.run_clustered(kernel, launch, occ, &mut sink, budget, replay)?
         } else {
-            self.run_waves(kernel, launch, occ, &mut sink, budget)?
+            self.run_waves(kernel, launch, occ, &mut sink, budget, replay)?
         };
 
         let energy = if self.opts.model_dvfs {
@@ -421,6 +520,7 @@ impl Gpu {
         occ: u32,
         sink: &mut Option<&mut dyn TraceSink>,
         budget: &RunBudget,
+        replay: Option<&ReplaySource>,
     ) -> Result<Metrics, LaunchError> {
         let sms = self.dev.num_sms;
         let per_wave_capacity = sms as u64 * occ as u64;
@@ -458,6 +558,9 @@ impl Gpu {
                 if let Some(s) = sink.as_deref_mut() {
                     engine = engine.with_sink(s, total.cycles);
                 }
+                if let Some(src) = replay {
+                    engine = engine.with_replay(src).map_err(LaunchError::Replay)?;
+                }
                 engine.run_to_limit()
             } else {
                 // Large homogeneous wave: simulate the most-loaded SM with
@@ -491,6 +594,9 @@ impl Gpu {
                 if let Some(s) = sink.as_deref_mut() {
                     engine = engine.with_sink(s, total.cycles);
                 }
+                if let Some(src) = replay {
+                    engine = engine.with_replay(src).map_err(LaunchError::Replay)?;
+                }
                 let (mut w, hit) = engine.run_to_limit();
                 scale_counters(&mut w, wave_blocks as f64 / blocks_on_rep as f64);
                 (w, hit)
@@ -516,6 +622,7 @@ impl Gpu {
         occ: u32,
         sink: &mut Option<&mut dyn TraceSink>,
         budget: &RunBudget,
+        replay: Option<&ReplaySource>,
     ) -> Result<Metrics, LaunchError> {
         let cs = launch.cluster;
         if !launch.grid.is_multiple_of(cs) {
@@ -558,6 +665,9 @@ impl Gpu {
             let mut engine = Engine::new(&self.dev, kernel, cfg, &mut self.mem, &mut self.caches);
             if let Some(s) = sink.as_deref_mut() {
                 engine = engine.with_sink(s, total.cycles);
+            }
+            if let Some(src) = replay {
+                engine = engine.with_replay(src).map_err(LaunchError::Replay)?;
             }
             let (mut wave, hit_limit) = engine.run_to_limit();
             scale_counters(&mut wave, wave_clusters as f64);

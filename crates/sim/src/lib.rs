@@ -48,6 +48,7 @@ pub mod gpu;
 pub mod mem;
 pub mod metrics;
 pub mod power;
+pub mod replay;
 pub mod tc_timing;
 pub mod tiles;
 
@@ -56,11 +57,12 @@ pub use engine::{BlockSpec, Engine, EngineConfig, RunLimit};
 pub use gpu::{Gpu, Launch, LaunchError, RunBudget};
 pub use mem::GlobalMem;
 pub use metrics::{Metrics, RunStats};
+pub use replay::{CaptureSink, ReplayConfig, ReplayRec, ReplaySource};
 pub use tiles::Tile;
 
 /// Re-export of the `hopper-trace` event/profiling crate.
 pub use hopper_trace as trace;
 pub use hopper_trace::{
-    ChromeTrace, NullSink, PcSampleSink, PcStat, StallProfile, StallReason, StallSummary, TeeSink,
-    TraceConfig, TraceSink,
+    ChromeTrace, InstrEvent, NullSink, PcSampleSink, PcStat, StallProfile, StallReason,
+    StallSummary, TeeSink, TraceConfig, TraceSink,
 };

@@ -141,6 +141,12 @@ pub struct TraceConfig {
     /// [`TraceSink::pc_totals`] once per instruction per wave (the data
     /// behind [`PcSampleSink`] and the profiler's Source/PC view).
     pub pc_sampling: bool,
+    /// Emit [`TraceSink::instr`] events: one record per issued
+    /// instruction carrying the resolved operand payload (memory
+    /// addresses, tensor activity) needed to replay the stream through
+    /// the timing model without functional execution. Off in every
+    /// stock configuration — only trace *capture* turns it on.
+    pub instr_events: bool,
 }
 
 impl Default for TraceConfig {
@@ -151,12 +157,14 @@ impl Default for TraceConfig {
             cache_events: true,
             unit_events: true,
             pc_sampling: true,
+            instr_events: false,
         }
     }
 }
 
 impl TraceConfig {
-    /// Everything on (same as `default()`).
+    /// Everything needed for profiling (same as `default()`; capture
+    /// records stay off).
     pub fn all() -> Self {
         TraceConfig::default()
     }
@@ -170,6 +178,20 @@ impl TraceConfig {
             cache_events: false,
             unit_events: false,
             pc_sampling: true,
+            instr_events: false,
+        }
+    }
+
+    /// Trace capture: only [`TraceSink::instr`] records are emitted; all
+    /// profiling categories are off so capture overhead stays minimal.
+    pub fn capture() -> Self {
+        TraceConfig {
+            issue_events: false,
+            stall_events: false,
+            cache_events: false,
+            unit_events: false,
+            pc_sampling: false,
+            instr_events: true,
         }
     }
 }
@@ -187,6 +209,36 @@ pub struct IssueEvent {
     pub warp: u32,
     /// Instruction mnemonic.
     pub op: &'static str,
+}
+
+/// One issued instruction with its resolved operand payload — the
+/// capture-side record of the replay trace format.
+///
+/// The payload is instruction-dependent (defined by the engine, stable
+/// per mnemonic): active-lane memory addresses for loads/stores/atomics
+/// (lane-ascending, any DSM tag bits preserved), the global-side lane
+/// addresses for `cp.async`, the lane-0 base address for TMA and tile
+/// loads/stores, the tensor activity factor bits for `mma`/`wgmma`, and
+/// empty for everything else. Only emitted when
+/// [`TraceConfig::instr_events`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrEvent<'a> {
+    /// Wave-local cycle of issue.
+    pub cycle: u64,
+    /// SM index.
+    pub sm: u32,
+    /// Block id (`%ctaid.x`) of the issuing warp's block.
+    pub ctaid: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Program counter (index into the kernel's instruction list).
+    pub pc: u32,
+    /// Instruction mnemonic.
+    pub op: &'static str,
+    /// Active-lane mask of the warp.
+    pub active: u32,
+    /// Resolved operand payload (see type docs).
+    pub payload: &'a [u64],
 }
 
 /// A contiguous interval during which one warp was stalled for one reason.
@@ -309,6 +361,12 @@ pub trait TraceSink {
         let _ = ev;
     }
 
+    /// An instruction issued, with its resolved operand payload (only
+    /// when [`TraceConfig::instr_events`] is on — see [`InstrEvent`]).
+    fn instr(&mut self, ev: &InstrEvent) {
+        let _ = ev;
+    }
+
     /// A warp stall interval closed.
     fn stall(&mut self, span: &StallSpan) {
         let _ = span;
@@ -395,6 +453,10 @@ impl TraceSink for TeeSink<'_> {
     fn issue(&mut self, ev: &IssueEvent) {
         self.a.issue(ev);
         self.b.issue(ev);
+    }
+    fn instr(&mut self, ev: &InstrEvent) {
+        self.a.instr(ev);
+        self.b.instr(ev);
     }
     fn stall(&mut self, span: &StallSpan) {
         self.a.stall(span);

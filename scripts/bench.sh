@@ -7,6 +7,7 @@
 #   RUNS=5 scripts/bench.sh          # more runs -> tighter medians
 #   SWEEP=1 scripts/bench.sh         # also time the full gen-experiments sweep
 #   SERVE=1 scripts/bench.sh         # also bench hsimd round-trip latency
+#   REPLAY=1 scripts/bench.sh        # also bench trace capture + replay
 #   LABEL=pr2 scripts/bench.sh       # tag the entry
 #   scripts/bench.sh gate [args]     # regression-gate the newest entry
 #                                    # (args forwarded to bench-gate)
@@ -16,7 +17,9 @@
 # wall-clock milliseconds.  SERVE=1 adds serve_cold_latency and
 # serve_hit_latency to the gated wall_clock_ms group (lower is better)
 # and a non-gated serve_throughput object (higher is better, so it must
-# stay out of the gate's lower-is-better groups).
+# stay out of the gate's lower-is-better groups).  REPLAY=1 adds
+# non-gated replay_throughput (instrs/sec, higher is better) and
+# capture_overhead (captured vs plain run wall-clock ratio) objects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,7 @@ fi
 RUNS="${RUNS:-3}"
 SWEEP="${SWEEP:-0}"
 SERVE="${SERVE:-0}"
+REPLAY="${REPLAY:-0}"
 LABEL="${LABEL:-}"
 OUT="BENCH_sim.json"
 
@@ -108,6 +112,39 @@ EOF
     trap 'rm -rf "$tmp"' EXIT
 fi
 
+if [ "$REPLAY" = "1" ]; then
+    echo "== replay: capture overhead + trace replay throughput"
+    cargo build --release -q -p hopper-replay
+    cargo build --release -q -p hopper-examples --bin hopper-run
+    cat > "$tmp/replay_kernel.asm" <<'EOF'
+    mov %r1, 0;
+L:
+    add.s32 %r1, %r1, 1;
+    setp.lt.s32 %p0, %r1, 2000;
+    @%p0 bra L;
+    exit;
+EOF
+    for run in $(seq 1 "$RUNS"); do
+        echo "== run $run/$RUNS: plain / capture / replay"
+        t0=$(date +%s%N)
+        target/release/hopper-run "$tmp/replay_kernel.asm" \
+            --device h800 --grid 32 --block 128 >/dev/null
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/replay_plain.txt"
+        t0=$(date +%s%N)
+        target/release/htrace capture --device h800 --grid 32 --block 128 \
+            --binary -o "$tmp/replay.htrb" "$tmp/replay_kernel.asm" >/dev/null 2>&1
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/replay_capture.txt"
+        t0=$(date +%s%N)
+        target/release/htrace replay "$tmp/replay.htrb" > "$tmp/replay_stats.json"
+        t1=$(date +%s%N)
+        echo $(( (t1 - t0) / 1000000 )) >> "$tmp/replay_replay.txt"
+    done
+    python3 -c 'import json,sys; print(int(json.load(open(sys.argv[1]))["instructions"]))' \
+        "$tmp/replay_stats.json" > "$tmp/replay_instrs.txt"
+fi
+
 # Stamp the actual HEAD revision; mark +dirty only when the worktree truly
 # differs from HEAD.  BENCH_sim.json itself is excluded: this script is the
 # thing that modifies it, so a previous run must not taint the next stamp.
@@ -153,6 +190,27 @@ if os.path.exists(os.path.join(tmp, "serve_cold.txt")):
     entry["serve_throughput"] = {
         "requests_per_sec": round(reqs * 1000.0 / ms, 1) if ms else None,
         "requests": reqs,
+    }
+
+# Replay numbers are non-gated: throughput is higher-is-better and the
+# overhead ratio is a quality indicator, not a latency.
+if os.path.exists(os.path.join(tmp, "replay_capture.txt")):
+    med = {}
+    for name in ("replay_plain", "replay_capture", "replay_replay"):
+        with open(os.path.join(tmp, f"{name}.txt")) as f:
+            med[name] = statistics.median([int(x) for x in f.read().split()])
+    instrs = int(open(os.path.join(tmp, "replay_instrs.txt")).read().strip())
+    entry["replay_throughput"] = {
+        "instrs_per_sec": round(instrs * 1000.0 / med["replay_replay"], 1)
+        if med["replay_replay"] else None,
+        "instructions": instrs,
+        "replay_ms": med["replay_replay"],
+    }
+    entry["capture_overhead"] = {
+        "plain_ms": med["replay_plain"],
+        "capture_ms": med["replay_capture"],
+        "ratio": round(med["replay_capture"] / med["replay_plain"], 3)
+        if med["replay_plain"] else None,
     }
 
 doc = {"entries": []}

@@ -40,7 +40,7 @@ for dev in h800 a100 rtx4090; do
 done
 
 echo "== hsimd smoke: daemon round-trip + schema on every device"
-cargo build --release -q -p hopper-serve
+cargo build --release -q -p hopper-serve -p hopper-replay
 target/release/hsimd --addr 127.0.0.1:0 --workers 2 >"$smoke/hsimd.log" 2>&1 &
 hsimd_pid=$!
 trap 'kill "$hsimd_pid" 2>/dev/null || true; rm -rf "$smoke"' EXIT
@@ -73,6 +73,17 @@ target/release/hsim-client --addr "$addr" run "$smoke/pchase.asm" \
     --device h800 --grid 1 --block 32 --report profile \
     > "$smoke/hserve_profile.json"
 python3 scripts/validate_hserve.py --report profile "$smoke/hserve_profile.json"
+
+echo "== htrace golden-trace smoke: info/replay schema + replay via hsimd"
+golden="crates/replay/golden/histogram.htrace"
+target/release/htrace info "$golden" > "$smoke/htrace_info.json"
+python3 scripts/validate_htrace.py --mode info "$smoke/htrace_info.json"
+target/release/htrace replay "$golden" > "$smoke/htrace_replay.json"
+python3 scripts/validate_htrace.py --mode stats "$smoke/htrace_replay.json"
+target/release/hsim-client --addr "$addr" run --trace "$golden" \
+    > "$smoke/hserve_trace.json"
+python3 scripts/validate_hserve.py "$smoke/hserve_trace.json"
+
 target/release/hsim-client --addr "$addr" shutdown >/dev/null
 wait "$hsimd_pid"
 trap 'rm -rf "$smoke"' EXIT
@@ -82,7 +93,7 @@ echo "== hfuzz: 200 random kernels through the differential oracles"
 cargo build --release -q -p hopper-audit
 target/release/hfuzz --seed 0xh0pper --iters 200 --out "$smoke"
 
-echo "== bench regression gate vs pr2-ready-set (10%)"
-scripts/bench.sh gate --baseline pr2-ready-set --threshold 10
+echo "== bench regression gate vs pr6-replay (10%)"
+scripts/bench.sh gate --baseline pr6-replay --threshold 10
 
 echo "all checks passed"

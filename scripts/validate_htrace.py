@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate `htrace` JSON output against its schema.
+
+Two modes mirroring the tool's subcommands:
+
+* `--mode info`  — the `htrace info` header summary: exactly the sorted
+  keys below, a 16-hex-digit kernel digest, integral geometry/counts and
+  an integer param list;
+* `--mode stats` — the `htrace replay`/`capture` stats payload: the same
+  aggregate-counter schema the serve daemon emits (every key present and
+  numeric, no extras), so traces and daemon responses stay comparable.
+
+Usage: validate_htrace.py --mode info|stats FILE.json
+"""
+import json
+import re
+import sys
+
+INFO_KEYS = [
+    "block", "cluster", "device", "grid", "kernel", "kernel_digest",
+    "params", "records", "version", "warps",
+]
+
+STATS_KEYS = [
+    "achieved_clock_mhz", "avg_power_w", "barrier_waits", "cycles",
+    "dpx_ops", "dram_bytes", "dsm_bytes", "energy_j", "instructions",
+    "ipc", "l1_bytes", "l1_hit_rate_pct", "l2_bytes", "l2_hit_rate_pct",
+    "nominal_clock_mhz", "smem_bytes", "tc_ops", "time_us", "tlb_misses",
+]
+
+
+def fail(msg):
+    print(f"htrace output invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_info(doc):
+    if list(doc) != INFO_KEYS:
+        fail(f"info keys must be exactly {INFO_KEYS} in sorted order, "
+             f"got {list(doc)}")
+    if not re.fullmatch(r"[0-9a-f]{16}", doc["kernel_digest"]):
+        fail(f"kernel_digest {doc['kernel_digest']!r} is not 16 lowercase "
+             f"hex digits")
+    for k in ("block", "cluster", "grid", "records", "version", "warps"):
+        if not isinstance(doc[k], int) or isinstance(doc[k], bool) or doc[k] < 0:
+            fail(f"{k} must be a non-negative integer, got {doc[k]!r}")
+    if doc["version"] < 1:
+        fail(f"version must be >= 1, got {doc['version']}")
+    if not isinstance(doc["params"], list) or any(
+            not isinstance(p, int) or isinstance(p, bool) for p in doc["params"]):
+        fail(f"params must be a list of integers, got {doc['params']!r}")
+    for k in ("device", "kernel"):
+        if not isinstance(doc[k], str) or not doc[k]:
+            fail(f"{k} must be a non-empty string, got {doc[k]!r}")
+
+
+def check_stats(doc):
+    missing = [k for k in STATS_KEYS if k not in doc]
+    if missing:
+        fail(f"stats payload missing keys: {missing}")
+    bad = [k for k in STATS_KEYS
+           if not isinstance(doc[k], (int, float)) or isinstance(doc[k], bool)]
+    if bad:
+        fail(f"non-numeric stats values: {bad}")
+    unexpected = sorted(set(doc) - set(STATS_KEYS))
+    if unexpected:
+        fail(f"unexpected stats keys: {unexpected}")
+
+
+def main():
+    args = sys.argv[1:]
+    mode = None
+    if "--mode" in args:
+        i = args.index("--mode")
+        mode = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1 or mode not in ("info", "stats"):
+        sys.exit(__doc__)
+
+    with open(args[0]) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail("output must be a JSON object")
+
+    if mode == "info":
+        check_info(doc)
+    else:
+        check_stats(doc)
+    print(f"{args[0]}: valid htrace {mode} output")
+
+
+if __name__ == "__main__":
+    main()
