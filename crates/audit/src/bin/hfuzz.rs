@@ -143,6 +143,10 @@ fn dump_repro(args: &Args, plan: &KernelPlan, dev: &DeviceConfig, why: &str) -> 
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The serve oracle daemon shares this process; keep its per-request
+    // chatter out of the fuzz log unless HOPPER_LOG asks for it.
+    let _ = hopper_obs::log::set_filter("warn");
+    hopper_obs::log::init_from_env();
     let serve = if args.serve_every > 0 {
         match ServeOracle::start() {
             Ok(s) => Some(s),

@@ -18,7 +18,10 @@
 //!    reproduces the exact instruction list, twice (digest fixpoint).
 //! 6. **Serve cache** (textual kernels, when a [`ServeOracle`] is
 //!    provided) — a cold daemon response and the cached replay must be
-//!    byte-identical.
+//!    byte-identical in canonical form (envelope minus the per-request
+//!    `corr_id`/`timings`), the daemon's metrics must record the cold
+//!    run as a cache miss+store and the replay as a hit, and opting
+//!    into `timings` must not change the payload.
 //! 7. **Replay round-trip** — capturing a trace must not perturb the run
 //!    (capture transparency), and replaying the captured streams through
 //!    the timing model must reproduce the functional run's `Metrics`,
@@ -29,12 +32,14 @@
 use crate::gen::{KernelPlan, GBUF_BYTES};
 use crate::rng::SplitMix64;
 use hopper_isa::{asm, disassemble};
+use hopper_obs::Registry;
 use hopper_replay::Trace;
-use hopper_serve::{Client, ReportKind, RunSpec, Server, ServerConfig};
+use hopper_serve::{canonical_response, Client, ReportKind, RunSpec, Server, ServerConfig};
 use hopper_sim::{
     ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, ReplayConfig, RunBudget, RunStats,
     Scheduler, SimOptions,
 };
+use std::sync::Arc;
 
 /// Fail the oracle with a formatted reason.
 macro_rules! ensure {
@@ -300,19 +305,39 @@ pub fn check_plan(
 }
 
 /// In-process `hsimd` used to cross-check the serve path: submits each
-/// textual kernel twice and demands the cached replay be byte-identical
-/// to the cold run.
+/// textual kernel three times (cold, cached, cached+`timings`) and
+/// demands canonically byte-identical responses plus matching cache
+/// metric increments (cold → miss+store, replays → hits).
 pub struct ServeOracle {
     server: Server,
     addr: String,
+    registry: Arc<Registry>,
 }
 
 impl ServeOracle {
-    /// Start a private daemon on a loopback port.
+    /// Start a private daemon on a loopback port with its own metric
+    /// registry, so cache-op assertions see only this daemon's traffic.
     pub fn start() -> std::io::Result<ServeOracle> {
-        let server = Server::start(ServerConfig::default())?;
+        let registry = Arc::new(Registry::new());
+        let server = Server::start(ServerConfig {
+            registry: Some(registry.clone()),
+            ..Default::default()
+        })?;
         let addr = server.local_addr().to_string();
-        Ok(ServeOracle { server, addr })
+        Ok(ServeOracle {
+            server,
+            addr,
+            registry,
+        })
+    }
+
+    /// Current value of `hsimd_cache_ops_total{result=...}` (0 before the
+    /// daemon first touches the cache).
+    fn cache_op(&self, result: &str) -> u64 {
+        hopper_obs::expo::parse(&self.registry.render())
+            .ok()
+            .and_then(|e| e.value("hsimd_cache_ops_total", &[("result", result)]))
+            .unwrap_or(0.0) as u64
     }
 
     /// Wire device name for a config (the daemon resolves names itself).
@@ -326,8 +351,11 @@ impl ServeOracle {
         }
     }
 
-    /// Submit `text` twice; the second run hits the result cache and must
-    /// match the first byte-for-byte.
+    /// Submit `text` three times: the second run must hit the result
+    /// cache and match the cold run byte-for-byte in canonical form, and
+    /// a third run with `timings` on must carry the same payload. The
+    /// daemon's own metrics must agree: exactly one miss and one store
+    /// from the cold run, one hit per replay.
     pub fn check(&self, plan: &KernelPlan, text: &str, dev: &DeviceConfig) -> Result<(), String> {
         let mut spec = RunSpec::new(text, Self::wire_name(dev), plan.geom.grid, plan.geom.block);
         spec.name = Some(format!("fuzz_{:016x}", plan.seed));
@@ -339,6 +367,12 @@ impl ServeOracle {
             spec.report = ReportKind::Profile;
         }
         let client = Client::new(self.addr.clone());
+
+        let (miss0, store0, hit0) = (
+            self.cache_op("miss"),
+            self.cache_op("store"),
+            self.cache_op("hit"),
+        );
         let cold = client
             .run(&spec)
             .map_err(|e| format!("serve oracle: cold request failed: {e}"))?;
@@ -346,12 +380,46 @@ impl ServeOracle {
             cold.contains("\"status\":\"ok\""),
             "serve oracle: daemon rejected kernel: {cold}"
         );
+        ensure!(
+            self.cache_op("miss") == miss0 + 1 && self.cache_op("store") == store0 + 1,
+            "serve oracle: cold run did not record exactly one cache miss+store \
+             (miss {miss0} -> {}, store {store0} -> {})",
+            self.cache_op("miss"),
+            self.cache_op("store")
+        );
         let cached = client
             .run(&spec)
             .map_err(|e| format!("serve oracle: cached request failed: {e}"))?;
         ensure!(
-            cold == cached,
+            canonical_response(&cold) == canonical_response(&cached),
             "serve oracle: cached response differs from cold run\n  cold:   {cold}\n  cached: {cached}"
+        );
+        ensure!(
+            self.cache_op("hit") == hit0 + 1 && self.cache_op("miss") == miss0 + 1,
+            "serve oracle: replay did not record exactly one cache hit \
+             (hit {hit0} -> {}, miss {miss0} -> {})",
+            self.cache_op("hit"),
+            self.cache_op("miss")
+        );
+
+        // Opting into per-stage timings decorates the envelope only: the
+        // payload stays byte-identical and the cache still hits.
+        spec.timings = true;
+        let timed = client
+            .run(&spec)
+            .map_err(|e| format!("serve oracle: timings request failed: {e}"))?;
+        ensure!(
+            timed.contains("\"timings\":"),
+            "serve oracle: timings flag produced no timeline: {timed}"
+        );
+        ensure!(
+            canonical_response(&timed) == canonical_response(&cold),
+            "serve oracle: timings flag changed the payload\n  cold:  {cold}\n  timed: {timed}"
+        );
+        ensure!(
+            self.cache_op("hit") == hit0 + 2,
+            "serve oracle: timings replay bypassed the cache (hit {hit0} -> {})",
+            self.cache_op("hit")
         );
         Ok(())
     }

@@ -1,0 +1,330 @@
+//! Prometheus text-exposition helpers: label rendering/escaping, the
+//! cumulative histogram layout, and a small parser used by `hsim-top`
+//! and the round-trip tests.
+
+use crate::hist::{Histogram, HistogramSnapshot, N_BUCKETS};
+use std::collections::BTreeMap;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+pub fn escape_label(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape HELP text: backslash and newline (quotes are legal there).
+pub fn escape_help(out: &mut String, help: &str) {
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a sorted label block — `{a="x",b="y"}` — or an empty string
+/// for no labels.  Sorting here is what makes series keys canonical.
+pub fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splice an extra label pair into an existing (possibly empty) label
+/// block, keeping keys sorted.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    let mut pairs: Vec<(String, String)> = parse_label_block(labels).unwrap_or_default();
+    pairs.push((key.to_string(), value.to_string()));
+    pairs.sort();
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Render one histogram series in cumulative Prometheus layout: one
+/// `_bucket` line per log2 bound (inclusive `le`, exact for this bucket
+/// scheme), the mandatory `le="+Inf"` bucket equal to `_count`, then
+/// `_sum` and `_count`.
+pub fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for b in 0..N_BUCKETS - 1 {
+        cum += snap.buckets[b];
+        let le = Histogram::bucket_bound(b).to_string();
+        out.push_str(name);
+        out.push_str("_bucket");
+        out.push_str(&with_label(labels, "le", &le));
+        out.push(' ');
+        out.push_str(&cum.to_string());
+        out.push('\n');
+    }
+    cum += snap.buckets[N_BUCKETS - 1];
+    out.push_str(name);
+    out.push_str("_bucket");
+    out.push_str(&with_label(labels, "le", "+Inf"));
+    out.push(' ');
+    out.push_str(&cum.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum");
+    out.push_str(labels);
+    out.push(' ');
+    out.push_str(&snap.sum.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count");
+    out.push_str(labels);
+    out.push(' ');
+    out.push_str(&cum.to_string());
+    out.push('\n');
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (for histograms this includes the `_bucket`/`_sum`/
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs in file order (already unescaped).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Look up a label value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → kind.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations: family name → help text.
+    pub help: BTreeMap<String, String>,
+    /// All sample lines in file order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Samples of one family/sample name.
+    pub fn samples_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of the first sample matching a name and label subset.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples_named(name)
+            .find(|s| labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+            .map(|s| s.value)
+    }
+}
+
+fn parse_label_block(block: &str) -> Option<Vec<(String, String)>> {
+    if block.is_empty() {
+        return Some(Vec::new());
+    }
+    let inner = block.strip_prefix('{')?.strip_suffix('}')?;
+    let mut pairs = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let eq = inner[i..].find('=')? + i;
+        let key = inner[i..eq].trim().to_string();
+        let mut j = eq + 1;
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        let mut val = String::new();
+        loop {
+            match bytes.get(j)? {
+                b'\\' => {
+                    match bytes.get(j + 1)? {
+                        b'\\' => val.push('\\'),
+                        b'"' => val.push('"'),
+                        b'n' => val.push('\n'),
+                        &c => val.push(c as char),
+                    }
+                    j += 2;
+                }
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => {
+                    // Multi-byte chars: copy the whole char.
+                    let c = inner[j..].chars().next()?;
+                    val.push(c);
+                    j += c.len_utf8();
+                }
+            }
+        }
+        pairs.push((key, val));
+        if bytes.get(j) == Some(&b',') {
+            j += 1;
+        }
+        i = j;
+    }
+    Some(pairs)
+}
+
+/// Parse exposition text.  Returns an error naming the first offending
+/// line.  Intentionally forgiving about value formats (`+Inf`, floats,
+/// integers) but strict about line structure.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: malformed HELP", ln + 1))?;
+            doc.help.insert(name.to_string(), help.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: malformed TYPE", ln + 1))?;
+            doc.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: missing value", ln + 1))?;
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad value `{v}`", ln + 1))?,
+        };
+        let (name, labels) = match head.find('{') {
+            None => (head.to_string(), Vec::new()),
+            Some(pos) => {
+                let labels = parse_label_block(&head[pos..])
+                    .ok_or_else(|| format!("line {}: bad label block", ln + 1))?;
+                (head[..pos].to_string(), labels)
+            }
+        };
+        doc.samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn label_blocks_sort_and_escape() {
+        assert_eq!(label_block(&[]), "");
+        assert_eq!(label_block(&[("z", "1"), ("a", "2")]), r#"{a="2",z="1"}"#);
+        assert_eq!(
+            label_block(&[("k", "a\"b\\c\nd")]),
+            "{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn histogram_layout_is_cumulative_with_inf() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(5); // bucket 3
+        h.record(1 << 30); // saturates
+        let mut out = String::new();
+        render_histogram(&mut out, "lat_us", "{stage=\"sim\"}", &h.snapshot());
+        assert!(out.contains(r#"lat_us_bucket{le="0",stage="sim"} 1"#));
+        assert!(out.contains(r#"lat_us_bucket{le="7",stage="sim"} 2"#));
+        assert!(out.contains(r#"lat_us_bucket{le="+Inf",stage="sim"} 3"#));
+        assert!(out.contains(r#"lat_us_count{stage="sim"} 3"#));
+        // Cumulative counts never decrease.
+        let doc = parse(&out).unwrap();
+        let buckets: Vec<f64> = doc
+            .samples_named("lat_us_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parse_round_trips_a_registry_render() {
+        let r = Registry::new();
+        r.counter("req_total", "Requests.", &[("op", "run")]).add(7);
+        r.gauge("depth", "Queue depth.", &[]).set(-2);
+        r.histogram("lat_us", "Latency.", &[("stage", "a\"b")])
+            .record(3);
+        let text = r.render();
+        let doc = parse(&text).unwrap();
+        assert_eq!(
+            doc.types.get("req_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(
+            doc.types.get("lat_us").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(doc.value("req_total", &[("op", "run")]), Some(7.0));
+        assert_eq!(doc.value("depth", &[]), Some(-2.0));
+        // The escaped label survives the round trip.
+        assert_eq!(doc.value("lat_us_count", &[("stage", "a\"b")]), Some(1.0));
+        assert_eq!(
+            doc.value("lat_us_bucket", &[("stage", "a\"b"), ("le", "+Inf")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("no_value_here\n").is_err());
+        assert!(parse("x{unterminated 3\n").is_err());
+        assert!(parse("x nanana\n").is_err());
+    }
+}

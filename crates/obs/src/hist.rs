@@ -1,0 +1,225 @@
+//! Lock-free log2-bucket histograms.
+//!
+//! The bucket scheme is the one `hopper-trace` uses for wait-cycle
+//! histograms and `hopper-serve` used for latency: bucket 0 holds the
+//! value 0, bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`.  With
+//! [`N_BUCKETS`] = 26 buckets the top finite bound is 2^24 − 1 (≈ 16.8 s
+//! when values are microseconds); larger values saturate into the last,
+//! unbounded bucket.
+//!
+//! Because every bucket bound is `2^b − 1` *inclusive*, the cumulative
+//! rendering is an exact Prometheus histogram: `le="0"`, `le="1"`,
+//! `le="3"`, …, `le="+Inf"`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (bucket 0 plus 25 power-of-two ranges).
+pub const N_BUCKETS: usize = 26;
+
+/// A lock-free log2 histogram: 26 bucket counters plus a running value
+/// sum, all relaxed atomics.  Recording is two `fetch_add`s; reading
+/// goes through [`Histogram::snapshot`], which sweeps the buckets once
+/// so derived totals always agree with the buckets they came from.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A one-sweep copy of a [`Histogram`]: plain integers, safe to compare,
+/// merge and quantile without racing recorders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (same scheme as the live histogram).
+    pub buckets: [u64; N_BUCKETS],
+    /// Sum of recorded values.  Read after the bucket sweep, so it may
+    /// run ahead of the buckets by concurrently-recorded observations;
+    /// it never runs behind.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Bucket index for a value (0 → 0, else `64 − leading_zeros`,
+    /// saturating into the last bucket).
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(N_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `b` (`2^b − 1`); the last bucket
+    /// is unbounded and reports `u64::MAX`.
+    pub fn bucket_bound(b: usize) -> u64 {
+        if b >= N_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// One consistent sweep of the bucket array.  The derived
+    /// [`HistogramSnapshot::count`] is computed from this sweep, so
+    /// "count" and "buckets" can never tear apart the way separate
+    /// `count()`/`to_json()` passes over the live atomics could.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations (exactly the sum of [`Self::buckets`]).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merge another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive bound of the first bucket at which the cumulative count
+    /// reaches `ceil(q · count)`.  `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::bucket_bound(b));
+            }
+        }
+        Some(Histogram::bucket_bound(N_BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        // Every power of two opens a new bucket; its predecessor closes one.
+        for b in 1..N_BUCKETS - 1 {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(Histogram::bucket_of(lo), b, "2^{}", b - 1);
+            assert_eq!(Histogram::bucket_of((1u64 << b) - 1), b);
+        }
+        // Saturation: everything at or past 2^24 lands in the last bucket.
+        assert_eq!(Histogram::bucket_of(1 << 24), N_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(1 << 25), N_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_and_cover() {
+        for b in 0..N_BUCKETS - 1 {
+            let bound = Histogram::bucket_bound(b);
+            assert_eq!(
+                Histogram::bucket_of(bound),
+                b,
+                "bound {bound} of bucket {b}"
+            );
+            assert_eq!(Histogram::bucket_of(bound + 1), b + 1);
+        }
+        assert_eq!(Histogram::bucket_bound(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_counts_and_sum() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        h.record(u64::MAX); // saturates the last bucket, sum saturation is the recorder's problem
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[N_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(2);
+        a.record(100);
+        b.record(2);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.sum, 104);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_bounds() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(5); // bucket 3, bound 7
+        }
+        h.record(1000); // bucket 10, bound 1023
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(7));
+        assert_eq!(s.quantile(0.99), Some(7));
+        assert_eq!(s.quantile(1.0), Some(1023));
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    /// The single-pass guarantee: while writers hammer the histogram, any
+    /// snapshot's derived count equals the sum of its own buckets (the
+    /// old two-pass read could observe `count() != Σ buckets`).
+    #[test]
+    fn snapshot_is_internally_consistent_under_concurrency() {
+        let h = Arc::new(Histogram::default());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        h.record(i.wrapping_mul(2654435761) >> (t * 7));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = h.snapshot();
+            assert_eq!(s.count(), s.buckets.iter().sum::<u64>());
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

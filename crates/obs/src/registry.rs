@@ -1,0 +1,281 @@
+//! The metric registry: named counter/gauge/histogram families with
+//! labelled series, rendered as deterministic Prometheus text.
+//!
+//! Registration is idempotent — asking for the same (name, labels)
+//! twice returns handles backed by the same atomics, so call sites can
+//! re-register on every use instead of threading handles around.
+//! Handles are cheap `Arc`s; recording never takes the registry lock.
+
+use crate::expo;
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically-increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// Rendered sorted label block (e.g. `{device="h800"}`, or empty) →
+    /// the series. BTreeMap keeps exposition order deterministic.
+    series: BTreeMap<String, Series>,
+}
+
+/// A metric registry.  [`Registry::global`] is the process-wide default
+/// every subsystem reports to; tests that assert on exact counter values
+/// construct private registries instead.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().enumerate().all(|(i, b)| {
+            b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit())
+        })
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn series<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        extract: impl FnOnce(&Series) -> Option<T>,
+    ) -> T {
+        assert!(valid_name(name), "invalid metric name `{name}`");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name `{k}` on `{name}`");
+        }
+        let key = expo::label_block(labels);
+        let mut families = self.families.lock().unwrap();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric `{name}` registered as both {} and {kind}",
+            fam.kind
+        );
+        let series = fam.series.entry(key).or_insert_with(make);
+        extract(series).unwrap_or_else(|| unreachable!("kind checked above"))
+    }
+
+    /// Register (or re-fetch) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.series(
+            name,
+            help,
+            "counter",
+            labels,
+            || Series::Counter(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Series::Counter(c) => Some(Counter(c.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or re-fetch) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.series(
+            name,
+            help,
+            "gauge",
+            labels,
+            || Series::Gauge(Arc::new(AtomicI64::new(0))),
+            |s| match s {
+                Series::Gauge(g) => Some(Gauge(g.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or re-fetch) a histogram series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.series(
+            name,
+            help,
+            "histogram",
+            labels,
+            || Series::Histogram(Arc::new(Histogram::default())),
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Render the whole registry as Prometheus text exposition
+    /// (version 0.0.4): families sorted by name, series sorted by label
+    /// block, every family preceded by `# HELP` and `# TYPE`.  The
+    /// *format* is deterministic — two renders of registries holding the
+    /// same families, series and values are byte-identical regardless of
+    /// registration order.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            expo::escape_help(&mut out, &fam.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(fam.kind);
+            out.push('\n');
+            for (labels, series) in fam.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(name);
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&c.load(Ordering::Relaxed).to_string());
+                        out.push('\n');
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(name);
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&g.load(Ordering::Relaxed).to_string());
+                        out.push('\n');
+                    }
+                    Series::Histogram(h) => {
+                        expo::render_histogram(&mut out, name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_on_reregistration() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "X.", &[("k", "v")]);
+        let b = r.counter("x_total", "X.", &[("k", "v")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g1 = r.gauge("g", "G.", &[]);
+        let g2 = r.gauge("g", "G.", &[]);
+        g1.set(5);
+        assert_eq!(g2.get(), 5);
+        let h1 = r.histogram("h_us", "H.", &[]);
+        let h2 = r.histogram("h_us", "H.", &[]);
+        h1.record(9);
+        assert_eq!(h2.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let r = Registry::new();
+        let hit = r.counter("ops_total", "Ops.", &[("result", "hit")]);
+        let miss = r.counter("ops_total", "Ops.", &[("result", "miss")]);
+        hit.inc();
+        assert_eq!(miss.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "M.", &[]);
+        r.gauge("m", "M.", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_panic() {
+        Registry::new().counter("3bad", "B.", &[]);
+    }
+
+    #[test]
+    fn render_is_registration_order_independent() {
+        let mk = |flip: bool| {
+            let r = Registry::new();
+            let names = if flip {
+                [("b_total", "z"), ("a_total", "y")]
+            } else {
+                [("a_total", "y"), ("b_total", "z")]
+            };
+            for (n, l) in names {
+                r.counter(n, "Help.", &[("lab", l)]).inc();
+            }
+            r.render()
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-request span timelines: named stages with start offsets and
+//! durations, all relative to one anchor instant (accept time).
+//!
+//! The serving tier attaches these to responses under the opt-in
+//! `timings` flag and folds each stage duration into the registry's
+//! stage histograms; stages therefore use wall-clock microseconds, the
+//! same unit as every latency metric in the workspace.
+
+use std::time::Instant;
+
+/// One completed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name (`parse`, `assemble`, `queue`, `simulate`, `render`…).
+    pub name: &'static str,
+    /// Offset of the stage start from the timeline anchor, µs.
+    pub start_us: u64,
+    /// Stage duration, µs.
+    pub dur_us: u64,
+}
+
+/// An append-only timeline anchored at a single instant.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    anchor: Instant,
+    stages: Vec<Stage>,
+}
+
+impl Timeline {
+    /// A timeline anchored now.
+    pub fn start() -> Timeline {
+        Timeline::anchored(Instant::now())
+    }
+
+    /// A timeline anchored at an explicit instant (the accept time of a
+    /// request, possibly taken on another thread).
+    pub fn anchored(anchor: Instant) -> Timeline {
+        Timeline {
+            anchor,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The anchor instant.
+    pub fn anchor(&self) -> Instant {
+        self.anchor
+    }
+
+    /// Record a stage that ran from `start` until now.
+    pub fn record(&mut self, name: &'static str, start: Instant) -> Stage {
+        self.record_until(name, start, Instant::now())
+    }
+
+    /// Record a stage with an explicit end instant.
+    pub fn record_until(&mut self, name: &'static str, start: Instant, end: Instant) -> Stage {
+        let stage = Stage {
+            name,
+            start_us: start.saturating_duration_since(self.anchor).as_micros() as u64,
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+        };
+        self.stages.push(stage);
+        stage
+    }
+
+    /// Append an already-built stage (merging a worker-side timeline
+    /// into the request thread's).
+    pub fn push(&mut self, stage: Stage) {
+        self.stages.push(stage);
+    }
+
+    /// Completed stages in recording order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn stages_are_anchored_and_ordered() {
+        let anchor = Instant::now();
+        let mut t = Timeline::anchored(anchor);
+        let s1 = t.record_until("parse", anchor, anchor + Duration::from_micros(50));
+        assert_eq!((s1.start_us, s1.dur_us), (0, 50));
+        let s2 = t.record_until(
+            "simulate",
+            anchor + Duration::from_micros(70),
+            anchor + Duration::from_micros(1070),
+        );
+        assert_eq!((s2.start_us, s2.dur_us), (70, 1000));
+        // A start before the anchor (clock skew across threads) clamps to 0.
+        let early = t.record_until("accept", anchor - Duration::from_micros(5), anchor);
+        assert_eq!(early.start_us, 0);
+        assert_eq!(t.stages().len(), 3);
+        assert_eq!(t.stages()[1].name, "simulate");
+    }
+}

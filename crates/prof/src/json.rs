@@ -179,7 +179,11 @@ impl KernelReport {
 
     /// Pretty-printed deterministic JSON string.
     pub fn to_json_string(&self) -> String {
-        serde_json::to_string_pretty(&self.to_json()).expect("Value serialisation is infallible")
+        let t0 = std::time::Instant::now();
+        let out = serde_json::to_string_pretty(&self.to_json())
+            .expect("Value serialisation is infallible");
+        crate::render::observe_render_us("json", t0);
+        out
     }
 }
 

@@ -14,9 +14,23 @@ fn bar(pct: f64, width: usize) -> String {
     s
 }
 
+/// Record one report-rendering duration in the process-global registry
+/// (`hprof_render_us{format=...}`), so long-running hosts like `hsimd`
+/// expose profiler render cost alongside their own stage timings.
+pub(crate) fn observe_render_us(format: &str, start: std::time::Instant) {
+    hopper_obs::Registry::global()
+        .histogram(
+            "hprof_render_us",
+            "Kernel-report rendering time by output format, microseconds.",
+            &[("format", format)],
+        )
+        .record(start.elapsed().as_micros() as u64);
+}
+
 impl KernelReport {
     /// Render the full sectioned report as aligned terminal text.
     pub fn render(&self) -> String {
+        let t0 = std::time::Instant::now();
         let mut o = String::new();
         let _ = writeln!(
             o,
@@ -164,6 +178,7 @@ impl KernelReport {
         if s.dvfs_throttle_cycles > 0 {
             let _ = writeln!(o, "    {:<14} {}", "dvfs_throttle", s.dvfs_throttle_cycles);
         }
+        observe_render_us("text", t0);
         o
     }
 }

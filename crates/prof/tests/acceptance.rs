@@ -126,3 +126,17 @@ fn json_rendering_is_deterministic() {
         );
     }
 }
+
+#[test]
+fn rendering_reports_timing_to_the_global_registry() {
+    let r = report(DeviceConfig::h800(), Workload::ALL[0]);
+    let _ = r.render();
+    let _ = r.to_json_string();
+    let doc = hopper_obs::expo::parse(&hopper_obs::Registry::global().render()).unwrap();
+    for format in ["text", "json"] {
+        let n = doc
+            .value("hprof_render_us_count", &[("format", format)])
+            .unwrap_or(0.0);
+        assert!(n >= 1.0, "no hprof_render_us sample for format={format}");
+    }
+}

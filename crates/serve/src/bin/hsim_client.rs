@@ -3,6 +3,7 @@
 //! Exit codes: 0 = daemon answered `status:"ok"`, 1 = daemon answered
 //! `status:"error"`, 2 = usage or transport failure.
 
+use hopper_obs::log::{self, Level};
 use hopper_serve::protocol::ReportKind;
 use hopper_serve::{Client, RunSpec};
 use std::process::ExitCode;
@@ -16,6 +17,8 @@ USAGE:
 COMMANDS:
     ping                       liveness probe
     stats                      daemon statistics snapshot
+    metrics                    Prometheus text exposition of the daemon's
+                               metric registry (raw text, no envelope)
     shutdown                   graceful shutdown (drains queued jobs)
     run FILE [RUN OPTIONS]     assemble FILE (or stdin when FILE is `-`)
                                and simulate it on the daemon
@@ -37,6 +40,7 @@ RUN OPTIONS:
     --max-cycles N     simulated-cycle budget for this run
     --deadline-ms MS   wall-clock deadline for this run
     --no-cache         bypass the daemon's result cache
+    --timings          ask for the per-stage timeline in the response
     --pretty           pretty-print the response JSON
 
 GLOBAL OPTIONS:
@@ -53,6 +57,7 @@ struct Cli {
 enum Command {
     Ping,
     Stats,
+    Metrics,
     Shutdown,
     Run(Box<RunSpec>),
 }
@@ -74,10 +79,11 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "-h" | "--help" => return Ok(None),
             "--addr" => addr = value(&mut i)?,
             "--pretty" => pretty = true,
-            "ping" | "stats" | "shutdown" if command.is_none() => {
+            "ping" | "stats" | "metrics" | "shutdown" if command.is_none() => {
                 command = Some(match a {
                     "ping" => Command::Ping,
                     "stats" => Command::Stats,
+                    "metrics" => Command::Metrics,
                     _ => Command::Shutdown,
                 });
             }
@@ -134,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         spec.params = trace.header.params.clone();
                     }
                     "--no-cache" => spec.no_cache = true,
+                    "--timings" => spec.timings = true,
                     "--device" => spec.device = value(&mut i)?,
                     "--name" => spec.name = Some(value(&mut i)?),
                     "--id" => spec.id = Some(value(&mut i)?),
@@ -154,7 +161,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         }
         i += 1;
     }
-    let command = command.ok_or_else(|| "missing command (ping|stats|shutdown|run)".to_string())?;
+    let command =
+        command.ok_or_else(|| "missing command (ping|stats|metrics|shutdown|run)".to_string())?;
     if let Command::Run(spec) = &command {
         if spec.trace.is_none() && spec.kernel.is_empty() {
             return Err("run needs a kernel FILE (or `-` for stdin) or --trace FILE".to_string());
@@ -168,6 +176,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
 }
 
 fn main() -> ExitCode {
+    log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(None) => {
@@ -176,21 +185,49 @@ fn main() -> ExitCode {
         }
         Ok(Some(cli)) => cli,
         Err(e) => {
-            eprintln!("hsim-client: {e}\n\n{USAGE}");
+            log::event(Level::Error, "hsim_client", "invalid arguments")
+                .str("detail", &e)
+                .emit();
+            eprint!("{USAGE}");
             return ExitCode::from(2);
         }
     };
     let client = Client::new(cli.addr.clone());
+    if let Command::Metrics = cli.command {
+        // The exposition is plain text, not JSON: print it raw.
+        return match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                log::event(Level::Error, "hsim_client", "metrics request failed")
+                    .str("addr", &cli.addr)
+                    .str("detail", &e.to_string())
+                    .emit();
+                ExitCode::from(2)
+            }
+        };
+    }
+    let request_id = match &cli.command {
+        Command::Run(spec) => spec.id.clone(),
+        _ => None,
+    };
     let sent = match &cli.command {
         Command::Ping => client.ping(),
         Command::Stats => client.send_line(r#"{"op":"stats"}"#),
+        Command::Metrics => unreachable!("handled above"),
         Command::Shutdown => client.shutdown(),
         Command::Run(spec) => client.run(spec),
     };
     let line = match sent {
         Ok(line) => line,
         Err(e) => {
-            eprintln!("hsim-client: {}: {e}", cli.addr);
+            log::event(Level::Error, "hsim_client", "transport failure")
+                .str("addr", &cli.addr)
+                .str("id", request_id.as_deref().unwrap_or(""))
+                .str("detail", &e.to_string())
+                .emit();
             return ExitCode::from(2);
         }
     };

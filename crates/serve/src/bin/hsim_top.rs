@@ -1,0 +1,306 @@
+//! `hsim-top` — a live terminal dashboard for an `hsimd` daemon.
+//!
+//! Polls the daemon's `stats` and `metrics` ops and renders throughput
+//! (QPS), per-stage p50/p99 latency, queue depth, cache hit rate,
+//! worker utilization and per-device run counts.  Works against a
+//! daemon running with `--obs off` too, falling back to the coarser
+//! `stats` histograms when the metric registry is unavailable.
+
+use hopper_obs::expo::{self, Exposition};
+use hopper_obs::log::{self, Level};
+use hopper_serve::Client;
+use serde_json::Value;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+hsim-top -- live dashboard for the hsimd simulation daemon
+
+USAGE:
+    hsim-top [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT   daemon address (default 127.0.0.1:7077)
+    --interval-ms MS   refresh interval (default 1000)
+    --frames N         exit after N frames (default: run until ^C)
+    --once             print one frame and exit (no screen clearing);
+                       shorthand for --frames 1
+    -h, --help         print this help
+
+Each frame polls the `stats` op (request counters, queue, cache,
+workers) and the `metrics` op (the Prometheus registry, for per-stage
+latency quantiles and per-device run counts).  QPS is the request-count
+delta between frames, so the first frame shows 0.
+";
+
+struct Cli {
+    addr: String,
+    interval: Duration,
+    frames: Option<u64>,
+    once: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7077".into(),
+        interval: Duration::from_millis(1000),
+        frames: None,
+        once: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => cli.addr = value(&mut i)?,
+            "--interval-ms" => {
+                let v = value(&mut i)?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--interval-ms: `{v}` is not a non-negative integer"))?;
+                cli.interval = Duration::from_millis(ms);
+            }
+            "--frames" => {
+                let v = value(&mut i)?;
+                cli.frames = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--frames: `{v}` is not a non-negative integer"))?,
+                );
+            }
+            "--once" => {
+                cli.once = true;
+                cli.frames = Some(1);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Some(cli))
+}
+
+/// A latency distribution as ascending `(inclusive_bound_us, count)`
+/// pairs with non-cumulative counts.
+struct Dist(Vec<(u64, u64)>);
+
+impl Dist {
+    /// Smallest recorded bound covering quantile `q`, or `None` when
+    /// the distribution is empty.
+    fn quantile(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.0.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for &(bound, count) in &self.0 {
+            seen += count;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        None
+    }
+
+    /// From a parsed exposition's cumulative `_bucket` samples of one
+    /// labelled histogram series.
+    fn from_expo(doc: &Exposition, family: &str, label_key: &str, label_val: &str) -> Dist {
+        let bucket = format!("{family}_bucket");
+        let mut pairs: Vec<(f64, f64)> = doc
+            .samples_named(&bucket)
+            .filter(|s| s.label(label_key) == Some(label_val))
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                if le == "+Inf" {
+                    return None; // the last finite bucket already holds the top
+                }
+                Some((le.parse::<f64>().ok()?, s.value))
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut prev = 0.0;
+        Dist(
+            pairs
+                .into_iter()
+                .map(|(le, cum)| {
+                    let count = (cum - prev).max(0.0) as u64;
+                    prev = cum;
+                    (le as u64, count)
+                })
+                .collect(),
+        )
+    }
+
+    /// From a `stats`-endpoint histogram array of `{count, le_us}`
+    /// objects (`le_us` is an exclusive bound; inclusive is one less).
+    fn from_stats(section: &Value, stage: &str) -> Dist {
+        let buckets = section
+            .get(stage)
+            .and_then(Value::as_array)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        Dist(
+            buckets
+                .iter()
+                .filter_map(|b| {
+                    let le = b.get("le_us")?.as_u64()?;
+                    let count = b.get("count")?.as_u64()?;
+                    Some((le.saturating_sub(1), count))
+                })
+                .collect(),
+        )
+    }
+}
+
+fn fmt_quantiles(d: &Dist) -> String {
+    match (d.quantile(0.50), d.quantile(0.99)) {
+        (Some(p50), Some(p99)) => format!("{p50:>9} /{p99:>10}"),
+        _ => format!("{:>9} /{:>10}", "-", "-"),
+    }
+}
+
+fn get_u64(v: &Value, section: &str, key: &str) -> u64 {
+    v.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn get_f64(v: &Value, section: &str, key: &str) -> f64 {
+    v.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Render one dashboard frame.
+fn render_frame(addr: &str, stats: &Value, metrics: Option<&Exposition>, qps: f64) -> String {
+    let mut out = String::new();
+    let uptime_s = get_u64(stats, "workers", "uptime_us") as f64 / 1e6;
+    out.push_str(&format!(
+        "hsimd {addr} — up {uptime_s:.1}s — {} workers, utilization {:.1}%\n",
+        get_u64(stats, "workers", "count"),
+        get_f64(stats, "workers", "utilization_pct"),
+    ));
+    out.push_str(&format!(
+        "requests  total {:<8} ok {:<8} error {:<6} deadline_exceeded {:<4} qps {qps:.1}\n",
+        get_u64(stats, "requests", "total"),
+        get_u64(stats, "requests", "ok"),
+        get_u64(stats, "requests", "error"),
+        get_u64(stats, "requests", "deadline_exceeded"),
+    ));
+    out.push_str(&format!(
+        "queue     depth {}/{} (rejected {})\n",
+        get_u64(stats, "queue", "depth"),
+        get_u64(stats, "queue", "capacity"),
+        get_u64(stats, "queue", "rejected"),
+    ));
+    out.push_str(&format!(
+        "cache     {}/{} entries, hit rate {:.1}% (hits {}, misses {}, evictions {})\n",
+        get_u64(stats, "cache", "entries"),
+        get_u64(stats, "cache", "capacity"),
+        get_f64(stats, "cache", "hit_rate_pct"),
+        get_u64(stats, "cache", "hits"),
+        get_u64(stats, "cache", "misses"),
+        get_u64(stats, "cache", "evictions"),
+    ));
+    out.push_str("\nstage latency (µs)        p50 /       p99\n");
+    match metrics {
+        Some(doc) => {
+            for stage in ["parse", "assemble", "cache", "queue", "simulate", "render"] {
+                let d = Dist::from_expo(doc, "hsimd_stage_duration_us", "stage", stage);
+                out.push_str(&format!("  {stage:<18}{}\n", fmt_quantiles(&d)));
+            }
+            for path in ["cached", "all"] {
+                let d = Dist::from_expo(doc, "hsimd_request_duration_us", "path", path);
+                out.push_str(&format!("  e2e:{path:<14}{}\n", fmt_quantiles(&d)));
+            }
+            let mut devices: Vec<(String, u64)> = doc
+                .samples_named("hsimd_runs_total")
+                .filter_map(|s| Some((s.label("device")?.to_string(), s.value as u64)))
+                .collect();
+            devices.sort();
+            if !devices.is_empty() {
+                out.push_str("\nruns by device   ");
+                for (dev, n) in devices {
+                    out.push_str(&format!("{dev} {n}   "));
+                }
+                out.push('\n');
+            }
+        }
+        None => {
+            // Bare daemon (--obs off): only the stats histograms exist.
+            let lat = stats.get("latency_us").cloned().unwrap_or(Value::Null);
+            for stage in ["assemble", "queue_wait", "sim", "cache_hit", "total"] {
+                let d = Dist::from_stats(&lat, stage);
+                out.push_str(&format!("  {stage:<18}{}\n", fmt_quantiles(&d)));
+            }
+            out.push_str("\n(metrics unavailable — daemon runs with --obs off)\n");
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    log::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(cli)) => cli,
+        Err(e) => {
+            log::event(Level::Error, "hsim_top", "invalid arguments")
+                .str("detail", &e)
+                .emit();
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let client = Client::new(cli.addr.clone());
+    let mut prev: Option<(Instant, u64)> = None;
+    let mut frame = 0u64;
+    loop {
+        let envelope = match client.stats() {
+            Ok(v) => v,
+            Err(e) => {
+                log::event(Level::Error, "hsim_top", "stats poll failed")
+                    .str("addr", &cli.addr)
+                    .str("detail", &e.to_string())
+                    .emit();
+                return ExitCode::from(2);
+            }
+        };
+        let stats = envelope.get("result").cloned().unwrap_or(Value::Null);
+        // A bare daemon answers `metrics` with an error; render without.
+        let metrics_doc = client
+            .metrics()
+            .ok()
+            .and_then(|text| expo::parse(&text).ok());
+        let now = Instant::now();
+        let total = get_u64(&stats, "requests", "total");
+        let qps = match prev {
+            Some((t, n)) if now > t => (total.saturating_sub(n)) as f64 / (now - t).as_secs_f64(),
+            _ => 0.0,
+        };
+        prev = Some((now, total));
+        if !cli.once {
+            print!("\x1b[2J\x1b[H"); // clear screen, home cursor
+        }
+        print!(
+            "{}",
+            render_frame(&cli.addr, &stats, metrics_doc.as_ref(), qps)
+        );
+        frame += 1;
+        if cli.frames.is_some_and(|n| frame >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(cli.interval);
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! Binds a TCP listener, prints `hsimd listening on <addr>` (parsed by
 //! scripts and tests to discover ephemeral ports), then serves until a
-//! client sends the `shutdown` op.
+//! client sends the `shutdown` op.  Structured JSON logs go to stderr;
+//! filter them with `HOPPER_LOG` (e.g. `HOPPER_LOG=debug` or
+//! `HOPPER_LOG=warn,hsimd=debug`).
 
+use hopper_obs::log::{self, Level};
 use hopper_serve::{Server, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -21,11 +24,16 @@ OPTIONS:
     --cache-cap N      result-cache entries, 0 disables caching (default 64)
     --deadline-ms MS   default wall-clock deadline per run (default: none)
     --max-cycles N     default simulated-cycle budget per run (default: none)
+    --obs on|off       observability: the metric registry, structured
+                       request logs, the `metrics` op and GET /metrics
+                       (default on; off runs the bare daemon)
     -h, --help         print this help
 
 The daemon speaks newline-delimited JSON; see hsim-client or DESIGN.md
 for the wire protocol.  It exits after a client sends {\"op\":\"shutdown\"},
-draining already-queued jobs first.
+draining already-queued jobs first.  Structured logs are JSON lines on
+stderr, filtered by the HOPPER_LOG environment variable
+(error|warn|info|debug|trace, or comma-separated target=level pairs).
 ";
 
 fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
@@ -39,7 +47,7 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
         match flag {
             "-h" | "--help" => return Ok(None),
             "--addr" | "--workers" | "--queue-cap" | "--cache-cap" | "--deadline-ms"
-            | "--max-cycles" => {
+            | "--max-cycles" | "--obs" => {
                 i += 1;
                 let val = args
                     .get(i)
@@ -56,6 +64,13 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
                     "--cache-cap" => cfg.cache_cap = parse_n()? as usize,
                     "--deadline-ms" => cfg.default_deadline_ms = Some(parse_n()?),
                     "--max-cycles" => cfg.default_max_cycles = Some(parse_n()?),
+                    "--obs" => {
+                        cfg.obs = match val {
+                            "on" => true,
+                            "off" => false,
+                            _ => return Err(format!("--obs: `{val}` is not on|off")),
+                        }
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -67,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
 }
 
 fn main() -> ExitCode {
+    log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = match parse_args(&args) {
         Ok(None) => {
@@ -75,14 +91,19 @@ fn main() -> ExitCode {
         }
         Ok(Some(cfg)) => cfg,
         Err(e) => {
-            eprintln!("hsimd: {e}\n\n{USAGE}");
+            log::event(Level::Error, "hsimd", "invalid arguments")
+                .str("detail", &e)
+                .emit();
+            eprint!("{USAGE}");
             return ExitCode::from(2);
         }
     };
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("hsimd: failed to start: {e}");
+            log::event(Level::Error, "hsimd", "failed to start")
+                .str("detail", &e.to_string())
+                .emit();
             return ExitCode::FAILURE;
         }
     };

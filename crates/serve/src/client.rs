@@ -62,6 +62,35 @@ impl Client {
         })
     }
 
+    /// Fetch the Prometheus text exposition of the daemon's metric
+    /// registry (the `metrics` op unwrapped from its envelope).
+    pub fn metrics(&self) -> std::io::Result<String> {
+        let line = self.send_line(r#"{"op":"metrics"}"#)?;
+        let v: Value = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad metrics response: {e}"),
+            )
+        })?;
+        match (
+            v.get("status").and_then(Value::as_str),
+            v.get("result").and_then(Value::as_str),
+        ) {
+            (Some("ok"), Some(text)) => Ok(text.to_string()),
+            _ => {
+                let detail = v
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("malformed metrics envelope");
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("metrics request failed: {detail}"),
+                ))
+            }
+        }
+    }
+
     /// Request graceful shutdown; returns the raw response line.
     pub fn shutdown(&self) -> std::io::Result<String> {
         self.send_line(r#"{"op":"shutdown"}"#)

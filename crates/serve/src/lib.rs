@@ -8,7 +8,16 @@
 //! `hopper-prof` report.  Production concerns are modelled explicitly:
 //! a bounded job queue with structured backpressure, a worker pool, a
 //! per-request deadline reaper, a content-addressed LRU result cache,
-//! and graceful drain on shutdown.  `hsim-client` is the matching CLI.
+//! and graceful drain on shutdown.  `hsim-client` is the matching CLI,
+//! and `hsim-top` a live terminal dashboard over the daemon's metrics.
+//!
+//! Observability is built in (`hopper-obs`): every response envelope
+//! carries a server-minted `corr_id` matching the daemon's structured
+//! log lines, the `metrics` op (and a `GET /metrics` HTTP shim on the
+//! same port) exports a deterministic Prometheus text exposition, and
+//! requests can opt into a per-stage `timings` timeline.  Since
+//! `corr_id`/`timings` vary per request, differential comparisons use
+//! [`protocol::canonical_response`], which strips exactly those fields.
 //!
 //! ```no_run
 //! use hopper_serve::{Client, RunSpec, Server, ServerConfig};
@@ -31,5 +40,5 @@ pub mod server;
 pub mod stats;
 
 pub use client::Client;
-pub use protocol::{ReportKind, RunSpec};
+pub use protocol::{canonical_response, ReportKind, RunSpec};
 pub use server::{Server, ServerConfig};

@@ -2,10 +2,14 @@
 //!
 //! Every request is one JSON object on one line; every response is one
 //! JSON object on one line.  Responses are *deterministic*: object keys
-//! are sorted at every level and no timestamps or other
-//! environment-dependent fields appear, so two identical submissions
-//! produce byte-identical response lines regardless of whether the
-//! second was served from the result cache.
+//! are sorted at every level and the cached `result` payload of a `run`
+//! never contains timestamps or other environment-dependent fields, so
+//! two identical submissions produce byte-identical payloads regardless
+//! of whether the second was served from the result cache.  Two envelope
+//! fields are intentionally per-request — `corr_id`, the server-minted
+//! correlation id that also stamps every log line about the request, and
+//! the opt-in `timings` span timeline — so whole-line comparisons go
+//! through [`canonical_response`], which strips exactly those two.
 //!
 //! Requests (`op` selects the operation):
 //!
@@ -13,6 +17,7 @@
 //! {"op":"run","kernel":"mov %r1, 0;\nexit;","device":"h800",
 //!  "grid":4,"block":128,"report":"stats"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -20,8 +25,10 @@
 //! Responses carry a `status` of `"ok"` or `"error"`:
 //!
 //! ```text
-//! {"digest":"<16-hex kernel digest>","id":null,"result":{...},"status":"ok"}
-//! {"error":{"kind":"queue_full","message":"..."},"id":null,"status":"error"}
+//! {"corr_id":"<pid>-<seq>","digest":"<16-hex kernel digest>","id":null,
+//!  "result":{...},"status":"ok"}
+//! {"corr_id":"<pid>-<seq>","error":{"kind":"queue_full","message":"..."},
+//!  "id":null,"status":"error"}
 //! ```
 
 use hopper_sim::RunStats;
@@ -101,6 +108,9 @@ pub struct RunSpec {
     pub deadline_ms: Option<u64>,
     /// Bypass the result cache (read *and* write) for this request.
     pub no_cache: bool,
+    /// Attach the per-request span timeline to the response envelope.
+    /// Envelope-only: never part of the cache key or the cached payload.
+    pub timings: bool,
 }
 
 impl RunSpec {
@@ -125,6 +135,7 @@ impl RunSpec {
             max_cycles: None,
             deadline_ms: None,
             no_cache: false,
+            timings: false,
         }
     }
 
@@ -161,6 +172,9 @@ impl RunSpec {
         if self.no_cache {
             fields.push(("no_cache", Value::Bool(true)));
         }
+        if self.timings {
+            fields.push(("timings", Value::Bool(true)));
+        }
         obj(fields).to_string()
     }
 }
@@ -175,6 +189,11 @@ pub enum Request {
         /// Correlation id.
         id: Option<String>,
     },
+    /// Prometheus text exposition of the metric registry.
+    Metrics {
+        /// Correlation id.
+        id: Option<String>,
+    },
     /// Liveness probe.
     Ping {
         /// Correlation id.
@@ -185,6 +204,19 @@ pub enum Request {
         /// Correlation id.
         id: Option<String>,
     },
+}
+
+impl Request {
+    /// Stable wire name of the operation (the `op` metric label).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Run(_) => "run",
+            Request::Stats { .. } => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::Ping { .. } => "ping",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
 }
 
 /// A protocol-level error: `kind` is one of [`ERROR_KINDS`].
@@ -258,6 +290,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op.as_str() {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "run" => {
             let kernel = get_str(&v, "kernel")?.ok_or_else(|| bad("missing field `kernel`"))?;
@@ -288,6 +321,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     .as_bool()
                     .ok_or_else(|| bad("field `no_cache` must be a boolean"))?,
             };
+            let timings = match v.get("timings") {
+                None => false,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| bad("field `timings` must be a boolean"))?,
+            };
             Ok(Request::Run(Box::new(RunSpec {
                 id,
                 kernel,
@@ -302,10 +341,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 max_cycles: get_u64(&v, "max_cycles")?,
                 deadline_ms: get_u64(&v, "deadline_ms")?,
                 no_cache,
+                timings,
             })))
         }
         other => Err(bad(format!(
-            "unknown op `{other}` (run|stats|ping|shutdown)"
+            "unknown op `{other}` (run|stats|metrics|ping|shutdown)"
         ))),
     }
 }
@@ -329,10 +369,18 @@ fn id_value(id: &Option<String>) -> Value {
     }
 }
 
-/// Success envelope, one line: `digest` (present for `run` responses),
-/// `id` (echoed), `result`, `status`.
-pub fn ok_response(id: &Option<String>, digest: Option<&str>, result: Value) -> String {
+/// Success envelope, one line: `corr_id` (server-minted), `digest`
+/// (present for `run` responses), `id` (echoed), `result`, `status`,
+/// plus `timings` when the request opted in.
+pub fn ok_response(
+    id: &Option<String>,
+    corr_id: &str,
+    digest: Option<&str>,
+    result: Value,
+    timings: Option<Value>,
+) -> String {
     let mut fields = vec![
+        ("corr_id", Value::Str(corr_id.to_string())),
         ("id", id_value(id)),
         ("result", result),
         ("status", Value::Str("ok".into())),
@@ -340,12 +388,22 @@ pub fn ok_response(id: &Option<String>, digest: Option<&str>, result: Value) -> 
     if let Some(d) = digest {
         fields.push(("digest", Value::Str(d.to_string())));
     }
+    if let Some(t) = timings {
+        fields.push(("timings", t));
+    }
     obj(fields).to_string()
 }
 
-/// Error envelope, one line: `error{kind,message}`, `id`, `status`.
-pub fn error_response(id: &Option<String>, err: &ProtoError) -> String {
-    obj(vec![
+/// Error envelope, one line: `corr_id`, `error{kind,message}`, `id`,
+/// `status`, plus `timings` when the request opted in.
+pub fn error_response(
+    id: &Option<String>,
+    corr_id: &str,
+    err: &ProtoError,
+    timings: Option<Value>,
+) -> String {
+    let mut fields = vec![
+        ("corr_id", Value::Str(corr_id.to_string())),
         (
             "error",
             obj(vec![
@@ -355,8 +413,46 @@ pub fn error_response(id: &Option<String>, err: &ProtoError) -> String {
         ),
         ("id", id_value(id)),
         ("status", Value::Str("error".into())),
-    ])
-    .to_string()
+    ];
+    if let Some(t) = timings {
+        fields.push(("timings", t));
+    }
+    obj(fields).to_string()
+}
+
+/// Render a span timeline as the envelope's `timings` value: stages in
+/// recording order, each `{dur_us,name,start_us}` (sorted keys).
+pub fn timings_to_json(stages: &[hopper_obs::Stage]) -> Value {
+    Value::Array(
+        stages
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("dur_us", Value::UInt(s.dur_us)),
+                    ("name", Value::Str(s.name.to_string())),
+                    ("start_us", Value::UInt(s.start_us)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The canonical form of a response line: the envelope with the two
+/// per-request fields (`corr_id`, `timings`) removed.  Cold, cached and
+/// `no_cache` responses to identical submissions are byte-identical in
+/// this form — the comparison every differential test and oracle uses.
+/// Non-JSON input is returned unchanged.
+pub fn canonical_response(line: &str) -> String {
+    match serde_json::from_str(line) {
+        Ok(Value::Object(fields)) => Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "corr_id" && k != "timings")
+                .collect(),
+        )
+        .to_string(),
+        _ => line.to_string(),
+    }
 }
 
 /// Deterministic JSON for a [`RunStats`] payload.  Delegates to
@@ -380,6 +476,7 @@ mod tests {
         spec.max_cycles = Some(500_000);
         spec.deadline_ms = Some(2_000);
         spec.no_cache = true;
+        spec.timings = true;
         let line = spec.to_request_line();
         match parse_request(&line).unwrap() {
             Request::Run(back) => {
@@ -392,6 +489,7 @@ mod tests {
                 assert_eq!(back.max_cycles, Some(500_000));
                 assert_eq!(back.deadline_ms, Some(2_000));
                 assert!(back.no_cache);
+                assert!(back.timings);
             }
             other => panic!("expected Run, got {other:?}"),
         }
@@ -408,9 +506,17 @@ mod tests {
             Request::Stats { id: Some(_) }
         ));
         assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics { id: None }
+        ));
+        assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown { id: None }
         ));
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap().op_name(),
+            "metrics"
+        );
     }
 
     #[test]
@@ -434,19 +540,66 @@ mod tests {
     fn envelopes_are_single_sorted_lines() {
         let ok = ok_response(
             &Some("a".into()),
+            "1f-2",
             Some("00d1gest000000ff"),
             obj(vec![("cycles", Value::UInt(9))]),
+            None,
         );
         assert_eq!(
             ok,
-            r#"{"digest":"00d1gest000000ff","id":"a","result":{"cycles":9},"status":"ok"}"#
+            r#"{"corr_id":"1f-2","digest":"00d1gest000000ff","id":"a","result":{"cycles":9},"status":"ok"}"#
         );
         assert!(!ok.contains('\n'));
-        let err = error_response(&None, &ProtoError::new("queue_full", "depth 8 = cap"));
+        let err = error_response(
+            &None,
+            "1f-3",
+            &ProtoError::new("queue_full", "depth 8 = cap"),
+            None,
+        );
         assert_eq!(
             err,
-            r#"{"error":{"kind":"queue_full","message":"depth 8 = cap"},"id":null,"status":"error"}"#
+            r#"{"corr_id":"1f-3","error":{"kind":"queue_full","message":"depth 8 = cap"},"id":null,"status":"error"}"#
         );
+    }
+
+    #[test]
+    fn canonical_response_strips_only_per_request_fields() {
+        let stages = [
+            hopper_obs::Stage {
+                name: "parse",
+                start_us: 0,
+                dur_us: 12,
+            },
+            hopper_obs::Stage {
+                name: "simulate",
+                start_us: 40,
+                dur_us: 900,
+            },
+        ];
+        let a = ok_response(
+            &Some("x".into()),
+            "1f-10",
+            Some("00d1gest000000ff"),
+            obj(vec![("cycles", Value::UInt(9))]),
+            Some(timings_to_json(&stages)),
+        );
+        let b = ok_response(
+            &Some("x".into()),
+            "1f-11",
+            Some("00d1gest000000ff"),
+            obj(vec![("cycles", Value::UInt(9))]),
+            None,
+        );
+        assert_ne!(a, b, "corr_id and timings vary per request");
+        assert_eq!(canonical_response(&a), canonical_response(&b));
+        assert_eq!(
+            canonical_response(&b),
+            r#"{"digest":"00d1gest000000ff","id":"x","result":{"cycles":9},"status":"ok"}"#
+        );
+        // Timings render sorted stage objects in recording order.
+        assert!(a.contains(r#"{"dur_us":12,"name":"parse","start_us":0}"#));
+        // Non-JSON passes through untouched.
+        assert_eq!(canonical_response("garbage"), "garbage");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //!
 //! Life of a `run` request:
 //!
-//! 1. A connection thread parses the line, resolves the device, and
-//!    assembles the kernel — cheap work done inline so malformed
-//!    requests never occupy a queue slot.
+//! 1. A connection thread reads the line, mints a correlation id, and
+//!    starts the request's stage [`Timeline`].  It parses the line,
+//!    resolves the device, and assembles the kernel — cheap work done
+//!    inline so malformed requests never occupy a queue slot.
 //! 2. The result cache is probed.  A hit is answered immediately
 //!    (byte-identical to the cold response; see [`crate::cache`]).
 //! 3. Otherwise the job is pushed onto the bounded queue.  A full queue
@@ -15,9 +16,21 @@
 //!    never leaks between jobs, which is what keeps responses
 //!    deterministic), runs under a [`RunBudget`] assembled from the
 //!    request's cycle budget and wall deadline, and sends the payload
-//!    back over the job's reply channel.
+//!    back over the job's reply channel together with the worker-side
+//!    stages (queue wait, simulate, render) of the request timeline.
 //! 5. The reaper thread trips cancel tokens of jobs whose wall deadline
 //!    passed; the engine polls the token and aborts mid-grid.
+//!
+//! Observability (on by default; [`ServerConfig::obs`]): every request
+//! is tagged with a correlation id that appears in the response
+//! envelope and in every structured log line the request produces, the
+//! [`ServeStats`] counters double as registry series, stage durations
+//! feed `hsimd_stage_duration_us`, and the registry is exported both
+//! through the NDJSON `metrics` op and a minimal `GET /metrics` HTTP
+//! shim on the same listener (a scrape target needs no second port).
+//! With observability off the daemon runs bare: detached stats, no
+//! registry traffic, no log lines — the baseline for measuring
+//! instrumentation overhead.
 //!
 //! Shutdown (the `shutdown` op or [`Server::shutdown`]) closes the
 //! queue — queued jobs still drain to their waiting clients — stops the
@@ -25,14 +38,19 @@
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{
-    error_response, ok_response, parse_request, run_stats_to_json, ProtoError, ReportKind, Request,
-    RunSpec,
+    error_response, ok_response, parse_request, run_stats_to_json, timings_to_json, ProtoError,
+    ReportKind, Request, RunSpec,
 };
 use crate::queue::{JobQueue, PushError};
-use crate::stats::ServeStats;
+use crate::stats::{ServeStats, STAGE_HELP};
 use hopper_isa::{asm, Kernel};
+use hopper_obs::log::{event, Level};
+use hopper_obs::{corr, Histogram, Registry, Stage, Timeline};
 use hopper_replay::Trace;
-use hopper_sim::{DeviceConfig, Gpu, Launch, LaunchError, ReplayConfig, ReplaySource, RunBudget};
+use hopper_sim::{
+    DeviceConfig, Gpu, Launch, LaunchError, PhaseSink, ReplayConfig, ReplaySource, RunBudget,
+    RunPhase,
+};
 use serde_json::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -45,6 +63,13 @@ use std::time::{Duration, Instant};
 
 /// How often idle connection reads wake up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Log target of daemon-lifecycle and per-request events.
+const LOG: &str = "hsimd";
+
+const CACHE_OPS_HELP: &str = "Result-cache operations by outcome.";
+const ERRORS_HELP: &str = "Error responses by protocol error kind.";
+const REQUESTS_HELP: &str = "Requests received by protocol op.";
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -62,6 +87,15 @@ pub struct ServerConfig {
     pub default_max_cycles: Option<u64>,
     /// Default wall-clock deadline applied when a request sets none.
     pub default_deadline_ms: Option<u64>,
+    /// Observability: registry-backed metrics, structured logging, the
+    /// `metrics` op and the `GET /metrics` shim.  Off runs the bare
+    /// legacy-equivalent daemon (the overhead-benchmark baseline).
+    pub obs: bool,
+    /// Metric registry to publish into; `None` uses the process-global
+    /// [`Registry::global`].  Tests that assert exact counter values
+    /// pass a private registry so concurrent servers in one process
+    /// don't share atomics.  Ignored when `obs` is off.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +107,8 @@ impl Default for ServerConfig {
             cache_cap: 64,
             default_max_cycles: None,
             default_deadline_ms: None,
+            obs: true,
+            registry: None,
         }
     }
 }
@@ -97,8 +133,13 @@ struct Job {
     replay: Option<ReplaySource>,
     /// `None` when the request opted out of caching.
     cache_key: Option<CacheKey>,
+    /// Correlation id of the originating request (log lines the worker
+    /// emits join the connection thread's under one id).
+    corr_id: String,
+    /// The request timeline's anchor: when the request line was read.
+    accepted_at: Instant,
     enqueued_at: Instant,
-    reply: mpsc::Sender<Result<Value, ProtoError>>,
+    reply: mpsc::Sender<(Result<Value, ProtoError>, Vec<Stage>)>,
 }
 
 /// A wall-clock deadline ordered soonest-first in the reaper's heap.
@@ -194,15 +235,92 @@ impl Reaper {
     }
 }
 
+/// Where this daemon publishes metrics.
+enum Obs {
+    /// The process-global registry (production default).
+    Global,
+    /// A caller-supplied registry (test isolation).
+    Private(Arc<Registry>),
+}
+
+impl Obs {
+    fn registry(&self) -> &Registry {
+        match self {
+            Obs::Global => Registry::global(),
+            Obs::Private(r) => r,
+        }
+    }
+}
+
 /// State shared by the accept loop, connection threads and workers.
 struct Shared {
     cfg: ServerConfig,
     queue: JobQueue<Job>,
     cache: Mutex<ResultCache>,
     stats: ServeStats,
+    /// `None` = bare daemon (no registry, no logging).
+    obs: Option<Obs>,
     shutdown: AtomicBool,
     reaper: Reaper,
     local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// The metric registry, when observability is on.
+    fn registry(&self) -> Option<&Registry> {
+        self.obs.as_ref().map(Obs::registry)
+    }
+
+    /// Whether structured logging is on (it rides the same switch).
+    fn logs(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Record a request stage duration into the registry histogram
+    /// family (the `assemble`/`queue`/`simulate` stages go through the
+    /// [`ServeStats`] handles instead; see [`crate::stats`]).
+    fn record_stage(&self, stage: &Stage) {
+        if let Some(reg) = self.registry() {
+            reg.histogram(
+                "hsimd_stage_duration_us",
+                STAGE_HELP,
+                &[("stage", stage.name)],
+            )
+            .record(stage.dur_us);
+        }
+    }
+
+    /// Count an error envelope by kind and log it.
+    fn note_error(&self, corr_id: &str, err: &ProtoError) {
+        if let Some(reg) = self.registry() {
+            reg.counter("hsimd_errors_total", ERRORS_HELP, &[("kind", err.kind)])
+                .inc();
+        }
+        if self.logs() {
+            event(Level::Warn, LOG, "request failed")
+                .str("corr_id", corr_id)
+                .str("kind", err.kind)
+                .str("detail", &err.message)
+                .emit();
+        }
+    }
+
+    /// Count a cache operation and log it at debug level.
+    fn note_cache(&self, corr_id: &str, result: &'static str) {
+        if let Some(reg) = self.registry() {
+            reg.counter(
+                "hsimd_cache_ops_total",
+                CACHE_OPS_HELP,
+                &[("result", result)],
+            )
+            .inc();
+        }
+        if self.logs() {
+            event(Level::Debug, "hsimd::cache", result)
+                .str("corr_id", corr_id)
+                .emit();
+        }
+    }
 }
 
 /// A running daemon.  Dropping the handle does *not* stop it; call
@@ -223,15 +341,32 @@ impl Server {
         };
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = cfg.obs.then(|| match cfg.registry.clone() {
+            Some(r) => Obs::Private(r),
+            None => Obs::Global,
+        });
+        let stats = match &obs {
+            Some(o) => ServeStats::registered(o.registry()),
+            None => ServeStats::new(),
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_cap),
             cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
-            stats: ServeStats::new(),
+            stats,
+            obs,
             shutdown: AtomicBool::new(false),
             reaper: Reaper::spawn(),
             local_addr,
             cfg,
         });
+        if shared.logs() {
+            event(Level::Info, LOG, "listening")
+                .str("addr", &local_addr.to_string())
+                .u64("workers", shared.cfg.workers as u64)
+                .u64("queue_cap", shared.cfg.queue_cap as u64)
+                .u64("cache_cap", shared.cfg.cache_cap as u64)
+                .emit();
+        }
         let workers = (0..shared.cfg.workers)
             .map(|_| {
                 let sh = shared.clone();
@@ -276,6 +411,9 @@ fn initiate_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already draining
     }
+    if shared.logs() {
+        event(Level::Info, LOG, "draining").emit();
+    }
     shared.queue.close();
     // Wake the blocked accept() so the loop observes the flag.
     let _ = TcpStream::connect(shared.local_addr);
@@ -319,8 +457,18 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(0) => break, // EOF
             Ok(_) => {
                 let at_eof = !buf.ends_with('\n');
-                if !buf.trim().is_empty() {
-                    let (resp, shutdown) = handle_line(shared, buf.trim());
+                let line = buf.trim();
+                if line.starts_with("GET ") {
+                    // The HTTP scrape shim: one request, then close.
+                    handle_http(shared, &mut reader, &mut out, line);
+                    break;
+                }
+                if !line.is_empty() {
+                    // Accept time anchors the request timeline; the
+                    // correlation id ties the envelope to the logs.
+                    let accepted = Instant::now();
+                    let corr_id = corr::mint();
+                    let (resp, shutdown) = handle_line(shared, line, &corr_id, accepted);
                     if writeln!(out, "{resp}").and_then(|_| out.flush()).is_err() {
                         break;
                     }
@@ -347,12 +495,112 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Serve one HTTP request on the NDJSON listener: `GET /metrics`
+/// answers with the Prometheus text exposition so a scraper needs no
+/// second port; everything else is a 404.  Always `Connection: close`.
+fn handle_http(
+    shared: &Arc<Shared>,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    request_line: &str,
+) {
+    // Drain the request headers up to the blank line (tolerating the
+    // poll-timeout reads the listener uses everywhere).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = match (path, render_metrics(shared)) {
+        ("/metrics", Some(text)) => ("200 OK", text),
+        ("/metrics", None) => ("404 Not Found", "observability disabled\n".to_string()),
+        _ => ("404 Not Found", "not found (try /metrics)\n".to_string()),
+    };
+    if shared.logs() {
+        event(Level::Debug, LOG, "http scrape")
+            .str("path", path)
+            .str("status", status)
+            .emit();
+    }
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = out.flush();
+}
+
+/// Render the Prometheus exposition, refreshing the scrape-time gauges
+/// first.  `None` when observability is off.  Gauges are *set* (not
+/// incremented) on every scrape, so two scrapes of an idle daemon are
+/// byte-identical.
+fn render_metrics(shared: &Shared) -> Option<String> {
+    let reg = shared.registry()?;
+    reg.gauge("hsimd_queue_depth", "Jobs currently queued.", &[])
+        .set(shared.queue.depth() as i64);
+    reg.gauge("hsimd_queue_capacity", "Job-queue capacity.", &[])
+        .set(shared.queue.capacity() as i64);
+    let cache = shared.cache.lock().unwrap().counters();
+    reg.gauge("hsimd_cache_entries", "Result-cache entries.", &[])
+        .set(cache.entries as i64);
+    reg.gauge(
+        "hsimd_cache_capacity",
+        "Result-cache capacity in entries.",
+        &[],
+    )
+    .set(cache.capacity as i64);
+    reg.gauge("hsimd_workers", "Simulation worker threads.", &[])
+        .set(shared.cfg.workers as i64);
+    Some(reg.render())
+}
+
 /// Handle one request line; returns the response line and whether the
 /// caller should initiate shutdown after writing it.
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
-    match parse_request(line) {
-        Err(e) => (error_response(&None, &e), false),
-        Ok(Request::Ping { id }) => (ok_response(&id, None, Value::Str("pong".into())), false),
+fn handle_line(
+    shared: &Arc<Shared>,
+    line: &str,
+    corr_id: &str,
+    accepted: Instant,
+) -> (String, bool) {
+    let mut tl = Timeline::anchored(accepted);
+    let parse_start = Instant::now();
+    let parsed = parse_request(line);
+    let parse_stage = tl.record("parse", parse_start);
+    // The observer doesn't perturb the observed: a `metrics` request
+    // records no stage sample and is not self-counted, so repeated
+    // idle scrapes stay byte-identical.
+    let op = parsed.as_ref().map(|r| r.op_name()).unwrap_or("invalid");
+    if op != "metrics" {
+        shared.record_stage(&parse_stage);
+        if let Some(reg) = shared.registry() {
+            reg.counter("hsimd_requests_total", REQUESTS_HELP, &[("op", op)])
+                .inc();
+        }
+    }
+    match parsed {
+        Err(e) => {
+            shared.note_error(corr_id, &e);
+            (error_response(&None, corr_id, &e, None), false)
+        }
+        Ok(Request::Ping { id }) => (
+            ok_response(&id, corr_id, None, Value::Str("pong".into()), None),
+            false,
+        ),
         Ok(Request::Stats { id }) => {
             let cache = shared.cache.lock().unwrap().counters();
             let snap = shared.stats.snapshot(
@@ -361,33 +609,61 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
                 shared.queue.capacity(),
                 shared.cfg.workers,
             );
-            (ok_response(&id, None, snap), false)
+            (ok_response(&id, corr_id, None, snap, None), false)
         }
-        Ok(Request::Shutdown { id }) => {
-            (ok_response(&id, None, Value::Str("draining".into())), true)
-        }
-        Ok(Request::Run(spec)) => (handle_run(shared, *spec), false),
+        Ok(Request::Metrics { id }) => match render_metrics(shared) {
+            Some(text) => (
+                ok_response(&id, corr_id, None, Value::Str(text), None),
+                false,
+            ),
+            None => {
+                let e = ProtoError::new(
+                    "bad_request",
+                    "observability disabled (daemon started with --obs off)",
+                );
+                shared.note_error(corr_id, &e);
+                (error_response(&id, corr_id, &e, None), false)
+            }
+        },
+        Ok(Request::Shutdown { id }) => (
+            ok_response(&id, corr_id, None, Value::Str("draining".into()), None),
+            true,
+        ),
+        Ok(Request::Run(spec)) => (handle_run(shared, *spec, corr_id, &mut tl), false),
     }
 }
 
-fn handle_run(shared: &Arc<Shared>, spec: RunSpec) -> String {
+fn handle_run(shared: &Arc<Shared>, spec: RunSpec, corr_id: &str, tl: &mut Timeline) -> String {
     let id = spec.id.clone();
-    shared.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+    let want_timings = spec.timings;
+    let device = spec.device.clone();
+    shared.stats.requests_total.inc();
     let t0 = Instant::now();
-    let line = match process_run(shared, spec, t0) {
+    let line = match process_run(shared, spec, t0, corr_id, tl) {
         Ok((digest, payload)) => {
-            shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
-            ok_response(&id, Some(&digest), payload)
+            shared.stats.requests_ok.inc();
+            if shared.logs() {
+                event(Level::Info, LOG, "run ok")
+                    .str("corr_id", corr_id)
+                    .str("device", &device)
+                    .str("digest", &digest)
+                    .u64("dur_us", t0.elapsed().as_micros() as u64)
+                    .emit();
+            }
+            let timings = want_timings.then(|| timings_to_json(tl.stages()));
+            ok_response(&id, corr_id, Some(&digest), payload, timings)
         }
         Err(e) => {
-            shared.stats.requests_error.fetch_add(1, Ordering::Relaxed);
-            error_response(&id, &e)
+            shared.stats.requests_error.inc();
+            shared.note_error(corr_id, &e);
+            let timings = want_timings.then(|| timings_to_json(tl.stages()));
+            error_response(&id, corr_id, &e, timings)
         }
     };
     shared
         .stats
         .lat_total
-        .record_us(t0.elapsed().as_micros() as u64);
+        .record(t0.elapsed().as_micros() as u64);
     line
 }
 
@@ -396,6 +672,8 @@ fn process_run(
     shared: &Arc<Shared>,
     spec: RunSpec,
     t0: Instant,
+    corr_id: &str,
+    tl: &mut Timeline,
 ) -> Result<(String, Value), ProtoError> {
     let device = device_config(&spec.device).ok_or_else(|| {
         ProtoError::new(
@@ -451,10 +729,11 @@ fn process_run(
             (kernel, Some(trace.source), digest)
         }
     };
+    tl.record("assemble", asm_start);
     shared
         .stats
         .lat_assemble
-        .record_us(asm_start.elapsed().as_micros() as u64);
+        .record(asm_start.elapsed().as_micros() as u64);
     let digest_hex = kernel.digest_hex();
     let key = CacheKey {
         digest: kernel.digest(),
@@ -466,13 +745,23 @@ fn process_run(
         report: spec.report.name(),
         trace_digest,
     };
-    if !spec.no_cache {
-        if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
-            shared
-                .stats
-                .lat_cache_hit
-                .record_us(t0.elapsed().as_micros() as u64);
-            return Ok((digest_hex, hit));
+    let cache_start = Instant::now();
+    if spec.no_cache {
+        shared.note_cache(corr_id, "bypass");
+    } else {
+        let hit = shared.cache.lock().unwrap().get(&key);
+        let cache_stage = tl.record("cache", cache_start);
+        shared.record_stage(&cache_stage);
+        match hit {
+            Some(payload) => {
+                shared.note_cache(corr_id, "hit");
+                shared
+                    .stats
+                    .lat_cache_hit
+                    .record(t0.elapsed().as_micros() as u64);
+                return Ok((digest_hex, payload));
+            }
+            None => shared.note_cache(corr_id, "miss"),
         }
     }
     let cache_key = if spec.no_cache { None } else { Some(key) };
@@ -483,13 +772,15 @@ fn process_run(
         device,
         replay,
         cache_key,
+        corr_id: corr_id.to_string(),
+        accepted_at: tl.anchor(),
         enqueued_at: Instant::now(),
         reply,
     });
     match pushed {
         Ok(_) => {}
         Err(PushError::Full(f)) => {
-            shared.stats.queue_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.stats.queue_rejected.inc();
             return Err(ProtoError::new(
                 "queue_full",
                 format!(
@@ -505,36 +796,87 @@ fn process_run(
             ));
         }
     }
-    let payload = result
+    let (payload, worker_stages) = result
         .recv()
-        .map_err(|_| ProtoError::new("internal", "worker dropped the job reply channel"))??;
-    Ok((digest_hex, payload))
+        .map_err(|_| ProtoError::new("internal", "worker dropped the job reply channel"))?;
+    for stage in worker_stages {
+        tl.push(stage);
+    }
+    Ok((digest_hex, payload?))
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        // Worker-side stages share the request's accept-time anchor, so
+        // the assembled timeline reads as one contiguous story.
+        let mut tl = Timeline::anchored(job.accepted_at);
+        tl.record("queue", job.enqueued_at);
         shared
             .stats
             .lat_queue_wait
-            .record_us(job.enqueued_at.elapsed().as_micros() as u64);
+            .record(job.enqueued_at.elapsed().as_micros() as u64);
         let busy = Instant::now();
         let reply = job.reply.clone();
         let cache_key = job.cache_key.clone();
-        let outcome = run_job(shared, job);
+        let corr_id = job.corr_id.clone();
+        let outcome = run_job(shared, job, &mut tl);
         shared
             .stats
             .worker_busy_us
-            .fetch_add(busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .add(busy.elapsed().as_micros() as u64);
         if let (Ok(payload), Some(key)) = (&outcome, cache_key) {
             shared.cache.lock().unwrap().put(key, payload.clone());
+            shared.note_cache(&corr_id, "store");
         }
         // A send error just means the client hung up; drop the result.
-        let _ = reply.send(outcome);
+        let _ = reply.send((outcome, tl.stages().to_vec()));
     }
 }
 
+/// Feeds the engine's host-side run phases into the registry.
+struct RegistryPhaseSink {
+    setup: Arc<Histogram>,
+    waves: Arc<Histogram>,
+    finalize: Arc<Histogram>,
+}
+
+impl RegistryPhaseSink {
+    fn new(reg: &Registry) -> Self {
+        let h = |phase: &str| {
+            reg.histogram(
+                "hsim_phase_duration_us",
+                "Engine run-phase duration, microseconds.",
+                &[("phase", phase)],
+            )
+        };
+        RegistryPhaseSink {
+            setup: h(RunPhase::Setup.name()),
+            waves: h(RunPhase::Waves.name()),
+            finalize: h(RunPhase::Finalize.name()),
+        }
+    }
+}
+
+impl PhaseSink for RegistryPhaseSink {
+    fn phase(&mut self, phase: RunPhase, dur: Duration) {
+        let h = match phase {
+            RunPhase::Setup => &self.setup,
+            RunPhase::Waves => &self.waves,
+            RunPhase::Finalize => &self.finalize,
+        };
+        h.record(dur.as_micros() as u64);
+    }
+}
+
+/// Raw engine output, kept unrendered so the render stage can be timed
+/// separately from the simulation itself.
+enum Rendered {
+    Stats(Box<hopper_sim::RunStats>),
+    Profile(Box<hopper_prof::KernelReport>),
+}
+
 /// Simulate one job on a fresh [`Gpu`] under its [`RunBudget`].
-fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
+fn run_job(shared: &Arc<Shared>, job: Job, tl: &mut Timeline) -> Result<Value, ProtoError> {
     let spec = &job.spec;
     let max_cycles = spec.max_cycles.or(shared.cfg.default_max_cycles);
     let deadline_ms = spec.deadline_ms.or(shared.cfg.default_deadline_ms);
@@ -556,20 +898,29 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
         params: spec.params.clone(),
     };
     let mut gpu = Gpu::new(job.device.clone());
+    if let Some(reg) = shared.registry() {
+        reg.counter(
+            "hsimd_runs_total",
+            "Simulation runs started, by device.",
+            &[("device", &spec.device)],
+        )
+        .inc();
+        gpu.set_phase_sink(Some(Box::new(RegistryPhaseSink::new(reg))));
+    }
     let sim_start = Instant::now();
     // Trace streams were validated against the kernel at request time, so
     // the engine can skip its prevalidation pass.
     let replay_cfg = ReplayConfig { prevalidate: false };
-    let out = match (spec.report, &job.replay) {
+    let raw = match (spec.report, &job.replay) {
         (ReportKind::Stats, None) => gpu
             .launch_bounded(&job.kernel, &launch, &budget)
-            .map(|s| run_stats_to_json(&s)),
+            .map(|s| Rendered::Stats(Box::new(s))),
         (ReportKind::Stats, Some(src)) => gpu
             .launch_replayed_bounded(&job.kernel, &launch, src, &replay_cfg, &budget)
-            .map(|s| run_stats_to_json(&s)),
+            .map(|s| Rendered::Stats(Box::new(s))),
         (ReportKind::Profile, None) => {
             hopper_prof::profile_kernel_bounded(&mut gpu, &job.kernel, &launch, &budget)
-                .map(|r| r.to_json())
+                .map(|r| Rendered::Profile(Box::new(r)))
         }
         (ReportKind::Profile, Some(src)) => hopper_prof::profile_replayed_bounded(
             &mut gpu,
@@ -579,21 +930,38 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
             &replay_cfg,
             &budget,
         )
-        .map(|r| r.to_json()),
+        .map(|r| Rendered::Profile(Box::new(r))),
     };
+    tl.record("simulate", sim_start);
     shared
         .stats
         .lat_sim
-        .record_us(sim_start.elapsed().as_micros() as u64);
+        .record(sim_start.elapsed().as_micros() as u64);
+    let out = raw.map(|r| {
+        let render_start = Instant::now();
+        let payload = match r {
+            Rendered::Stats(s) => run_stats_to_json(&s),
+            Rendered::Profile(p) => p.to_json(),
+        };
+        let render_stage = tl.record("render", render_start);
+        shared.record_stage(&render_stage);
+        payload
+    });
+    if shared.logs() {
+        event(Level::Debug, "hsimd::worker", "job done")
+            .str("corr_id", &job.corr_id)
+            .str("device", &spec.device)
+            .str("report", spec.report.name())
+            .bool("ok", out.is_ok())
+            .u64("sim_us", sim_start.elapsed().as_micros() as u64)
+            .emit();
+    }
     out.map_err(|e| match e {
         LaunchError::DeadlineExceeded {
             budget_cycles,
             cycles_run,
         } => {
-            shared
-                .stats
-                .deadline_exceeded
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.deadline_exceeded.inc();
             ProtoError::new(
                 "deadline_exceeded",
                 format!(
@@ -602,10 +970,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Result<Value, ProtoError> {
             )
         }
         LaunchError::Cancelled { cycles_run } => {
-            shared
-                .stats
-                .deadline_exceeded
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.deadline_exceeded.inc();
             ProtoError::new(
                 "deadline_exceeded",
                 format!(

@@ -1,6 +1,7 @@
 //! Serve-path differential check over *generated* kernels: for a batch of
 //! fuzz kernels (hopper-audit's generator), the daemon's cached replay and
-//! a `no_cache` bypass must both be byte-identical to the cold response,
+//! a `no_cache` bypass must both be byte-identical to the cold response
+//! in canonical form (the envelope minus the per-request `corr_id`),
 //! for both report kinds. `service.rs` pins this for two hand-written
 //! kernels; this test extends the guarantee to randomly structured
 //! programs (loops, atomics, cp.async, clusters…).
@@ -9,7 +10,7 @@ use hopper_audit::gen::KernelPlan;
 use hopper_audit::rng::kernel_seed;
 use hopper_isa::disassemble;
 use hopper_serve::protocol::ReportKind;
-use hopper_serve::{Client, RunSpec, Server, ServerConfig};
+use hopper_serve::{canonical_response, Client, RunSpec, Server, ServerConfig};
 use hopper_sim::GlobalMem;
 
 #[test]
@@ -48,13 +49,14 @@ fn generated_kernels_cache_byte_identical() {
                 cold.contains("\"status\":\"ok\""),
                 "seed {seed:#018x} on {device}: daemon rejected kernel: {cold}"
             );
-            let cached = client.run(&spec).expect("cached request");
+            let cold = canonical_response(&cold);
+            let cached = canonical_response(&client.run(&spec).expect("cached request"));
             assert_eq!(
                 cached, cold,
                 "seed {seed:#018x} on {device}: cached response differs"
             );
             spec.no_cache = true;
-            let bypass = client.run(&spec).expect("no_cache request");
+            let bypass = canonical_response(&client.run(&spec).expect("no_cache request"));
             assert_eq!(
                 bypass, cold,
                 "seed {seed:#018x} on {device}: no_cache rerun differs"

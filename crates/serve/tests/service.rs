@@ -1,7 +1,8 @@
 //! End-to-end and concurrency tests for the simulation service.
 //!
 //! The three ISSUE-level guarantees exercised here:
-//!   1. identical requests produce byte-identical response lines, with
+//!   1. identical requests produce byte-identical response lines in
+//!      canonical form (envelope minus the per-request `corr_id`), with
 //!      repeats served from the result cache (visible only through the
 //!      stats hit counter — never in the response itself);
 //!   2. an over-full queue rejects with a well-formed `queue_full`
@@ -9,8 +10,9 @@
 //!      `deadline_exceeded`;
 //!   3. graceful shutdown drains in-flight jobs before the daemon stops.
 
+use hopper_obs::Registry;
 use hopper_serve::protocol::ReportKind;
-use hopper_serve::{Client, RunSpec, Server, ServerConfig};
+use hopper_serve::{canonical_response, Client, RunSpec, Server, ServerConfig};
 use serde_json::Value;
 use std::sync::Arc;
 
@@ -28,7 +30,12 @@ L:
     exit;
 ";
 
-fn start(cfg: ServerConfig) -> (Server, Client) {
+fn start(mut cfg: ServerConfig) -> (Server, Client) {
+    // Each test daemon publishes into a private registry: tests in this
+    // binary run concurrently in one process, and counters registered on
+    // the global registry would share atomics across servers, breaking
+    // the exact-value stats assertions below.
+    cfg.registry = Some(Arc::new(Registry::new()));
     let server = Server::start(cfg).expect("bind ephemeral port");
     let client = Client::new(server.local_addr().to_string());
     (server, client)
@@ -80,7 +87,11 @@ fn repeat_submissions_are_byte_identical_and_cached() {
     assert_eq!(status(&parse(&cold)), "ok", "{cold}");
     for _ in 0..3 {
         let again = client.run(&spec).unwrap();
-        assert_eq!(again, cold, "cached response must be byte-identical");
+        assert_eq!(
+            canonical_response(&again),
+            canonical_response(&cold),
+            "cached response must be byte-identical in canonical form"
+        );
     }
     let stats = client.stats().unwrap();
     let cache = stats
@@ -102,8 +113,8 @@ fn no_cache_requests_bypass_but_match_bytes() {
     bypass.no_cache = true;
     let second = client.run(&bypass).unwrap();
     // Different request (no_cache) but same simulation: determinism means
-    // the payloads still match byte for byte.
-    assert_eq!(first, second);
+    // the canonical payloads still match byte for byte.
+    assert_eq!(canonical_response(&first), canonical_response(&second));
     let stats = client.stats().unwrap();
     let hits = stats
         .get("result")
@@ -293,8 +304,13 @@ fn concurrent_identical_requests_all_match() {
     }
     let lines: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     assert_eq!(status(&parse(&lines[0])), "ok", "{}", lines[0]);
+    let first = canonical_response(&lines[0]);
     for line in &lines[1..] {
-        assert_eq!(line, &lines[0], "concurrent identical requests diverged");
+        assert_eq!(
+            canonical_response(line),
+            first,
+            "concurrent identical requests diverged"
+        );
     }
     server.shutdown();
     server.join();

@@ -1,12 +1,13 @@
 //! Trace submissions through the daemon: cold and cached responses must
-//! be byte-identical for both report kinds, replayed results must match
+//! be byte-identical in canonical form (envelope minus the per-request
+//! `corr_id`) for both report kinds, replayed results must match
 //! the functional run of the same kernel, the trace digest must keep
 //! trace and functional results apart in the cache, and malformed or
 //! mismatched traces must come back as structured `trace_error`s.
 
 use hopper_replay::Trace;
 use hopper_serve::protocol::ReportKind;
-use hopper_serve::{Client, RunSpec, Server, ServerConfig};
+use hopper_serve::{canonical_response, Client, RunSpec, Server, ServerConfig};
 use hopper_sim::{DeviceConfig, Gpu, Launch};
 
 const KERNEL: &str = "\
@@ -62,7 +63,11 @@ fn trace_runs_cache_byte_identical_and_match_functional() {
             "daemon rejected trace: {cold}"
         );
         let cached = client.run(&spec).expect("cached trace request");
-        assert_eq!(cached, cold, "cached trace response differs from cold");
+        assert_eq!(
+            canonical_response(&cached),
+            canonical_response(&cold),
+            "cached trace response differs from cold"
+        );
 
         // The replayed payload equals a functional run of the same
         // kernel — same digest, same stats — even though the cache keys

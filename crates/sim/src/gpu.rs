@@ -178,12 +178,47 @@ impl core::fmt::Display for LaunchError {
 }
 impl std::error::Error for LaunchError {}
 
+/// Coarse phases of one simulated launch, reported to a [`PhaseSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Validation, occupancy and launch bookkeeping.
+    Setup,
+    /// Wave-by-wave (or clustered) engine execution.
+    Waves,
+    /// DVFS resolution and statistics assembly.
+    Finalize,
+}
+
+impl RunPhase {
+    /// Stable lower-case name (used as a metric label).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunPhase::Setup => "setup",
+            RunPhase::Waves => "waves",
+            RunPhase::Finalize => "finalize",
+        }
+    }
+}
+
+/// Receiver for per-phase wall-clock timings of a launch.
+///
+/// The simulator stays free of any metrics dependency: callers that want
+/// phase timings (the serving tier's workers, benchmarks) install an
+/// implementation with [`Gpu::set_phase_sink`] and route durations into
+/// whatever registry they use.  Phases are reported in order at the end
+/// of a successful launch; failed launches report nothing.
+pub trait PhaseSink: Send {
+    /// One completed phase and its wall-clock duration.
+    fn phase(&mut self, phase: RunPhase, dur: std::time::Duration);
+}
+
 /// A simulated GPU.
 pub struct Gpu {
     dev: DeviceConfig,
     mem: GlobalMem,
     caches: CacheState,
     opts: SimOptions,
+    phase_sink: Option<Box<dyn PhaseSink>>,
 }
 
 impl Gpu {
@@ -199,7 +234,13 @@ impl Gpu {
             caches: CacheState::new(&dev),
             dev,
             opts,
+            phase_sink: None,
         }
+    }
+
+    /// Install (or clear) the per-launch phase-timing sink.
+    pub fn set_phase_sink(&mut self, sink: Option<Box<dyn PhaseSink>>) {
+        self.phase_sink = sink;
     }
 
     /// Drop all cache tag state (cold-start the memory hierarchy).
@@ -457,6 +498,7 @@ impl Gpu {
         budget: &RunBudget,
         replay: Option<&ReplaySource>,
     ) -> Result<RunStats, LaunchError> {
+        let t_setup = std::time::Instant::now();
         if launch.cluster > 1 && !self.dev.arch.has_clusters() {
             return Err(LaunchError::Unsupported(format!(
                 "cluster launches require Hopper; {} is {}",
@@ -474,11 +516,13 @@ impl Gpu {
         if sink.as_ref().is_some_and(|s| s.is_null()) {
             sink = None;
         }
+        let t_waves = std::time::Instant::now();
         let metrics = if launch.cluster > 1 {
             self.run_clustered(kernel, launch, occ, &mut sink, budget, replay)?
         } else {
             self.run_waves(kernel, launch, occ, &mut sink, budget, replay)?
         };
+        let t_finalize = std::time::Instant::now();
 
         let energy = if self.opts.model_dvfs {
             metrics.energy_j
@@ -497,13 +541,19 @@ impl Gpu {
             };
             s.dvfs_throttle(lost);
         }
-        Ok(RunStats {
+        let stats = RunStats {
             metrics,
             nominal_clock_hz: self.dev.clock_hz,
             achieved_clock_hz: dvfs.achieved_hz,
             avg_power_w: dvfs.power_w,
             stalls: None,
-        })
+        };
+        if let Some(ps) = self.phase_sink.as_mut() {
+            ps.phase(RunPhase::Setup, t_waves.duration_since(t_setup));
+            ps.phase(RunPhase::Waves, t_finalize.duration_since(t_waves));
+            ps.phase(RunPhase::Finalize, t_finalize.elapsed());
+        }
+        Ok(stats)
     }
 
     /// Wave-by-wave execution with a representative SM per wave.

@@ -54,7 +54,7 @@ pub mod tiles;
 
 pub use device::{DeviceConfig, LevelBw, Scheduler, SimOptions, TcRate};
 pub use engine::{BlockSpec, Engine, EngineConfig, RunLimit};
-pub use gpu::{Gpu, Launch, LaunchError, RunBudget};
+pub use gpu::{Gpu, Launch, LaunchError, PhaseSink, RunBudget, RunPhase};
 pub use mem::GlobalMem;
 pub use metrics::{Metrics, RunStats};
 pub use replay::{CaptureSink, ReplayConfig, ReplayRec, ReplaySource};

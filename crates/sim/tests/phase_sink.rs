@@ -1,0 +1,89 @@
+//! Per-launch phase timing hooks: the observability seam the serving
+//! tier's workers use to fold simulator phases into stage histograms.
+//!
+//! Contract: a successful launch reports Setup, Waves, Finalize exactly
+//! once each and in that order; a failed launch reports nothing; the
+//! sink never perturbs simulation results.
+
+use hopper_isa::asm::assemble;
+use hopper_sim::{DeviceConfig, Gpu, Launch, PhaseSink, RunPhase};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Default, Clone)]
+struct Recorder(Arc<Mutex<Vec<(RunPhase, Duration)>>>);
+
+impl PhaseSink for Recorder {
+    fn phase(&mut self, phase: RunPhase, dur: Duration) {
+        self.0.lock().unwrap().push((phase, dur));
+    }
+}
+
+fn kernel() -> hopper_isa::Kernel {
+    assemble(
+        r#"
+        mov %r1, 0;
+    L:
+        add.s32 %r1, %r1, 1;
+        setp.lt.s32 %p0, %r1, 2000;
+        @%p0 bra L;
+        exit;
+    "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn successful_launch_reports_phases_in_order() {
+    let rec = Recorder::default();
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    gpu.set_phase_sink(Some(Box::new(rec.clone())));
+    gpu.launch(&kernel(), &Launch::new(4, 128)).unwrap();
+    let phases = rec.0.lock().unwrap().clone();
+    assert_eq!(
+        phases.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+        vec![RunPhase::Setup, RunPhase::Waves, RunPhase::Finalize]
+    );
+    // Waves is where the engine runs; it must account for real time.
+    assert!(phases[1].1 >= phases[0].1.min(phases[2].1));
+
+    // A second launch appends another complete triple.
+    gpu.launch(&kernel(), &Launch::new(4, 128)).unwrap();
+    assert_eq!(rec.0.lock().unwrap().len(), 6);
+}
+
+#[test]
+fn failed_launch_reports_nothing() {
+    let rec = Recorder::default();
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    gpu.set_phase_sink(Some(Box::new(rec.clone())));
+    // Empty grid is rejected during setup.
+    assert!(gpu.launch(&kernel(), &Launch::new(0, 128)).is_err());
+    assert!(rec.0.lock().unwrap().is_empty());
+}
+
+#[test]
+fn sink_does_not_perturb_results() {
+    let k = kernel();
+    let launch = Launch::new(8, 256);
+    let plain = Gpu::new(DeviceConfig::h800()).launch(&k, &launch).unwrap();
+    let rec = Recorder::default();
+    let mut gpu = Gpu::new(DeviceConfig::h800());
+    gpu.set_phase_sink(Some(Box::new(rec)));
+    let observed = gpu.launch(&k, &launch).unwrap();
+    assert_eq!(plain.metrics, observed.metrics);
+
+    // Clearing the sink stops reporting.
+    let rec2 = Recorder::default();
+    gpu.set_phase_sink(Some(Box::new(rec2.clone())));
+    gpu.set_phase_sink(None);
+    gpu.launch(&k, &launch).unwrap();
+    assert!(rec2.0.lock().unwrap().is_empty());
+}
+
+#[test]
+fn phase_names_are_stable_labels() {
+    assert_eq!(RunPhase::Setup.name(), "setup");
+    assert_eq!(RunPhase::Waves.name(), "waves");
+    assert_eq!(RunPhase::Finalize.name(), "finalize");
+}

@@ -1,12 +1,12 @@
 //! Embedded simulation service: start a `Server` in-process, submit a
-//! kernel twice, and show the byte-identical cached response plus the
+//! kernel twice, and show the byte-identical cached payload plus the
 //! stats that prove the second run came from the cache.
 //!
 //! ```bash
 //! cargo run --release -p hopper-examples --bin serve-quickstart
 //! ```
 
-use hopper_serve::{Client, ReportKind, RunSpec, Server, ServerConfig};
+use hopper_serve::{canonical_response, Client, ReportKind, RunSpec, Server, ServerConfig};
 
 fn main() {
     // Port 0 = ephemeral: the OS picks a free port, local_addr() reports it.
@@ -26,8 +26,14 @@ fn main() {
     let cold = client.run(&spec).expect("first run");
     let warm = client.run(&spec).expect("second run");
     println!("cold: {cold}");
-    assert_eq!(cold, warm, "identical requests answer byte-identically");
-    println!("warm response is byte-identical (served from the result cache)");
+    // Each response carries its own correlation id; everything else —
+    // the payload above all — must match byte-for-byte.
+    assert_eq!(
+        canonical_response(&cold),
+        canonical_response(&warm),
+        "identical requests answer byte-identically up to corr_id"
+    );
+    println!("warm payload is byte-identical (served from the result cache)");
 
     let stats = client.stats().expect("stats");
     let cache = &stats.get("result").unwrap().get("cache").unwrap();

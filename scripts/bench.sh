@@ -8,6 +8,7 @@
 #   SWEEP=1 scripts/bench.sh         # also time the full gen-experiments sweep
 #   SERVE=1 scripts/bench.sh         # also bench hsimd round-trip latency
 #   REPLAY=1 scripts/bench.sh        # also bench trace capture + replay
+#   OBS=1 scripts/bench.sh           # also bench observability overhead
 #   LABEL=pr2 scripts/bench.sh       # tag the entry
 #   scripts/bench.sh gate [args]     # regression-gate the newest entry
 #                                    # (args forwarded to bench-gate)
@@ -20,6 +21,9 @@
 # stay out of the gate's lower-is-better groups).  REPLAY=1 adds
 # non-gated replay_throughput (instrs/sec, higher is better) and
 # capture_overhead (captured vs plain run wall-clock ratio) objects.
+# OBS=1 adds a non-gated obs_overhead object (instrumented vs --obs off
+# cold-run wall-clock ratio: the metrics/logging/span machinery must
+# stay in the noise next to the simulation itself).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +37,7 @@ RUNS="${RUNS:-3}"
 SWEEP="${SWEEP:-0}"
 SERVE="${SERVE:-0}"
 REPLAY="${REPLAY:-0}"
+OBS="${OBS:-0}"
 LABEL="${LABEL:-}"
 OUT="BENCH_sim.json"
 
@@ -110,6 +115,43 @@ EOF
     target/release/hsim-client --addr "$addr" shutdown >/dev/null
     wait "$hsimd_pid"
     trap 'rm -rf "$tmp"' EXIT
+fi
+
+if [ "$OBS" = "1" ]; then
+    echo "== obs: instrumented vs bare hsimd cold-run latency"
+    cargo build --release -q -p hopper-serve
+    cat > "$tmp/obs_kernel.asm" <<'EOF'
+    mov %r1, 0;
+L:
+    add.s32 %r1, %r1, 1;
+    setp.lt.s32 %p0, %r1, 50000;
+    @%p0 bra L;
+    exit;
+EOF
+    for mode in on off; do
+        target/release/hsimd --addr 127.0.0.1:0 --workers 2 --obs "$mode" \
+            >"$tmp/hsimd_obs.log" 2>/dev/null &
+        hsimd_pid=$!
+        trap 'kill "$hsimd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+        addr=""
+        for _ in $(seq 1 50); do
+            addr="$(sed -n 's/^hsimd listening on //p' "$tmp/hsimd_obs.log")"
+            [ -n "$addr" ] && break
+            sleep 0.1
+        done
+        [ -n "$addr" ] || { echo "hsimd (--obs $mode) did not start"; exit 1; }
+        for run in $(seq 1 "$RUNS"); do
+            t0=$(date +%s%N)
+            target/release/hsim-client --addr "$addr" run "$tmp/obs_kernel.asm" \
+                --device h800 --grid 32 --block 128 --no-cache >/dev/null
+            t1=$(date +%s%N)
+            echo $(( (t1 - t0) / 1000000 )) >> "$tmp/obs_$mode.txt"
+        done
+        target/release/hsim-client --addr "$addr" shutdown >/dev/null
+        wait "$hsimd_pid"
+        : > "$tmp/hsimd_obs.log"
+        trap 'rm -rf "$tmp"' EXIT
+    done
 fi
 
 if [ "$REPLAY" = "1" ]; then
@@ -211,6 +253,19 @@ if os.path.exists(os.path.join(tmp, "replay_capture.txt")):
         "capture_ms": med["replay_capture"],
         "ratio": round(med["replay_capture"] / med["replay_plain"], 3)
         if med["replay_plain"] else None,
+    }
+
+# Observability overhead is a non-gated ratio: the instrumented daemon's
+# cold-run latency over the --obs off daemon's (target: within noise).
+if os.path.exists(os.path.join(tmp, "obs_on.txt")):
+    med = {}
+    for mode in ("on", "off"):
+        with open(os.path.join(tmp, f"obs_{mode}.txt")) as f:
+            med[mode] = statistics.median([int(x) for x in f.read().split()])
+    entry["obs_overhead"] = {
+        "instrumented_ms": med["on"],
+        "bare_ms": med["off"],
+        "ratio": round(med["on"] / med["off"], 3) if med["off"] else None,
     }
 
 doc = {"entries": []}

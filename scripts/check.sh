@@ -73,6 +73,10 @@ target/release/hsim-client --addr "$addr" run "$smoke/pchase.asm" \
     --device h800 --grid 1 --block 32 --report profile \
     > "$smoke/hserve_profile.json"
 python3 scripts/validate_hserve.py --report profile "$smoke/hserve_profile.json"
+target/release/hsim-client --addr "$addr" run "$smoke/pchase.asm" \
+    --device h800 --grid 1 --block 32 --timings \
+    > "$smoke/hserve_timings.json"
+python3 scripts/validate_hserve.py "$smoke/hserve_timings.json"
 
 echo "== htrace golden-trace smoke: info/replay schema + replay via hsimd"
 golden="crates/replay/golden/histogram.htrace"
@@ -83,6 +87,18 @@ python3 scripts/validate_htrace.py --mode stats "$smoke/htrace_replay.json"
 target/release/hsim-client --addr "$addr" run --trace "$golden" \
     > "$smoke/hserve_trace.json"
 python3 scripts/validate_hserve.py "$smoke/hserve_trace.json"
+
+echo "== hsimd metrics: exposition schema, op/HTTP parity, determinism"
+target/release/hsim-client --addr "$addr" metrics > "$smoke/metrics_op.txt"
+python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(
+    f"http://{sys.argv[1]}/metrics").read().decode())' "$addr" \
+    > "$smoke/metrics_http.txt"
+python3 scripts/validate_hmetrics.py "$smoke/metrics_op.txt" \
+    "$smoke/metrics_http.txt"
+target/release/hsim-top --addr "$addr" --once > "$smoke/hsim_top.txt"
+grep -q "queue" "$smoke/hsim_top.txt" \
+    || { echo "hsim-top frame missing queue line"; cat "$smoke/hsim_top.txt"; exit 1; }
 
 target/release/hsim-client --addr "$addr" shutdown >/dev/null
 wait "$hsimd_pid"

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate an hsimd `metrics` scrape against the Prometheus text format.
+
+Checks the exposition structure (every family announced by `# HELP` +
+`# TYPE` before its samples, families in sorted order, parseable sample
+lines with properly quoted labels), histogram integrity (cumulative
+non-decreasing buckets ending in `le="+Inf"` that agrees with `_count`),
+and the presence of the serve metric taxonomy that a warmed-up daemon
+must expose.
+
+With a second file, additionally requires the two scrapes to be
+byte-identical (the determinism contract: an idle daemon renders the
+same text no matter how often or over which transport it is scraped).
+
+Usage: validate_hmetrics.py METRICS.txt [SECOND_SCRAPE.txt]
+"""
+import re
+import sys
+
+# Families a daemon that has served at least one cold run must expose.
+REQUIRED = [
+    "hsim_phase_duration_us",
+    "hsimd_cache_capacity",
+    "hsimd_cache_entries",
+    "hsimd_cache_ops_total",
+    "hsimd_deadline_exceeded_total",
+    "hsimd_queue_capacity",
+    "hsimd_queue_depth",
+    "hsimd_queue_rejected_total",
+    "hsimd_request_duration_us",
+    "hsimd_requests_total",
+    "hsimd_run_requests_total",
+    "hsimd_run_responses_total",
+    "hsimd_runs_total",
+    "hsimd_stage_duration_us",
+    "hsimd_worker_busy_us_total",
+    "hsimd_workers",
+]
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'          # metric name
+    r'(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*='     # label name
+    r'"(?:[^"\\]|\\["\\n])*",?)*)\})?'      # quoted, escaped label value
+    r' (\S+)$')                             # value
+
+
+def fail(msg):
+    print(f"hmetrics scrape invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name):
+    """Histogram samples belong to the family minus the suffix."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) not in (1, 2):
+        sys.exit(__doc__)
+    with open(args[0]) as f:
+        text = f.read()
+
+    if len(args) == 2:
+        with open(args[1]) as f:
+            second = f.read()
+        if text != second:
+            fail(f"scrapes {args[0]} and {args[1]} are not byte-identical")
+
+    if not text.endswith("\n"):
+        fail("exposition must end with a newline")
+
+    helped, typed, samples = set(), {}, []
+    last_family = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"line {lineno}: blank line in exposition")
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                fail(f"line {lineno}: malformed TYPE line: {line}")
+            name = parts[2]
+            if name not in helped:
+                fail(f"line {lineno}: TYPE for {name} without prior HELP")
+            if last_family is not None and name <= last_family:
+                fail(f"line {lineno}: family {name} out of sorted order "
+                     f"(after {last_family})")
+            typed[name] = parts[3]
+            last_family = name
+            continue
+        if line.startswith("#"):
+            fail(f"line {lineno}: unknown comment line: {line}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: unparseable sample line: {line}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        fam = family_of(name)
+        if fam not in typed:
+            fail(f"line {lineno}: sample {name} precedes its TYPE line")
+        if fam != last_family:
+            fail(f"line {lineno}: sample {name} outside its family block")
+        if value != "+Inf":
+            try:
+                float(value)
+            except ValueError:
+                fail(f"line {lineno}: non-numeric value {value!r}")
+        samples.append((name, labels, value))
+
+    for fam in REQUIRED:
+        if fam not in typed:
+            fail(f"required family {fam} missing "
+                 f"(present: {sorted(typed)})")
+
+    # Histogram integrity: per label-set (minus `le`), buckets must be
+    # cumulative non-decreasing, end at le="+Inf", and match _count.
+    for fam, kind in typed.items():
+        if kind != "histogram":
+            continue
+        series = {}
+        for name, labels, value in samples:
+            if family_of(name) != fam:
+                continue
+            pairs = dict(re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"',
+                                    labels))
+            key = tuple(sorted((k, v) for k, v in pairs.items()
+                               if k != "le"))
+            entry = series.setdefault(key, {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                entry["buckets"].append((pairs.get("le"), float(value)))
+            elif name.endswith("_count"):
+                entry["count"] = float(value)
+        if not series:
+            fail(f"histogram {fam} has no samples")
+        for key, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets or buckets[-1][0] != "+Inf":
+                fail(f"{fam}{dict(key)}: buckets must end with le=\"+Inf\"")
+            counts = [c for _, c in buckets]
+            if counts != sorted(counts):
+                fail(f"{fam}{dict(key)}: bucket counts not cumulative")
+            if entry["count"] != counts[-1]:
+                fail(f"{fam}{dict(key)}: _count {entry['count']} != "
+                     f"+Inf bucket {counts[-1]}")
+
+    n_fam = len(typed)
+    print(f"{args[0]}: valid exposition ({n_fam} families, "
+          f"{len(samples)} samples"
+          + (", scrapes byte-identical" if len(args) == 2 else "") + ")")
+
+
+if __name__ == "__main__":
+    main()

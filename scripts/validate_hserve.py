@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Validate an hsim-client `run` response against the wire schema.
 
-Checks the envelope (exactly the sorted keys `digest`/`id`/`result`/
-`status`, status `"ok"`, a 16-hex-digit digest) and the result payload:
+Checks the envelope (exactly the sorted keys `corr_id`/`digest`/`id`/
+`result`/`status`, plus `timings` when requested, status `"ok"`, a
+16-hex-digit digest, a `pid-seq` hex correlation id) and the result payload:
 for `stats` reports every aggregate counter key must be present and
 numeric; for `profile` reports the sectioned hopper-prof keys must be
 present and `result.kernel_digest` must equal the envelope digest.
@@ -13,7 +14,8 @@ import json
 import re
 import sys
 
-ENVELOPE_KEYS = ["digest", "id", "result", "status"]
+ENVELOPE_KEYS = ["corr_id", "digest", "id", "result", "status"]
+TIMING_KEYS = ["dur_us", "name", "start_us"]
 
 STATS_KEYS = [
     "achieved_clock_mhz", "avg_power_w", "barrier_waits", "cycles",
@@ -52,13 +54,25 @@ def main():
 
     if not isinstance(resp, dict):
         fail("envelope must be a JSON object")
-    if list(resp) != ENVELOPE_KEYS:
-        fail(f"envelope keys must be exactly {ENVELOPE_KEYS} in sorted "
+    expected_envelope = ENVELOPE_KEYS + (["timings"] if "timings" in resp
+                                         else [])
+    if list(resp) != expected_envelope:
+        fail(f"envelope keys must be exactly {expected_envelope} in sorted "
              f"order, got {list(resp)}")
     if resp["status"] != "ok":
         fail(f"status is {resp['status']!r}: {resp.get('error')}")
     if not re.fullmatch(r"[0-9a-f]{16}", resp["digest"]):
         fail(f"digest {resp['digest']!r} is not 16 lowercase hex digits")
+    if not re.fullmatch(r"[0-9a-f]+-[0-9a-f]+", resp["corr_id"]):
+        fail(f"corr_id {resp['corr_id']!r} is not of the form pid-seq (hex)")
+    if "timings" in resp:
+        stages = resp["timings"]
+        if not isinstance(stages, list) or not stages:
+            fail("timings must be a non-empty array of stages")
+        for stage in stages:
+            if not isinstance(stage, dict) or list(stage) != TIMING_KEYS:
+                fail(f"timings stage keys must be exactly {TIMING_KEYS}, "
+                     f"got {stage}")
 
     result = resp["result"]
     if not isinstance(result, dict):
