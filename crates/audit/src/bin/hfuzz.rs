@@ -218,6 +218,24 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
+        // The infer oracle rides the same cadence as the serve oracle:
+        // scenario-level determinism is cheap but not free.
+        if let Some(srv) = use_serve {
+            if let Err(why) = srv.check_infer(seed, dev) {
+                eprintln!(
+                    "\nhfuzz: FAILURE at iter {i} on {} (infer seed {:#018x})\n{why}\n\
+                     hfuzz: reproduce with: hfuzz --seed {:#x} --iters 1 --devices {} --serve-every 1",
+                    ServeOracle::wire_name(dev),
+                    seed,
+                    seed,
+                    ServeOracle::wire_name(dev)
+                );
+                if let Some(s) = serve {
+                    s.stop();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
         if (i + 1) % 50 == 0 {
             println!("hfuzz: {}/{} kernels clean", i + 1, args.iters);
         }

@@ -424,6 +424,131 @@ impl ServeOracle {
         Ok(())
     }
 
+    /// Infer-report oracle: derive a small serving scenario from `seed`,
+    /// then demand (a) two in-process `hopper_infer::run` calls render
+    /// byte-identical JSON, (b) the daemon's cold response carries that
+    /// exact payload and records one cache miss+store, (c) the cached
+    /// replay is canonically byte-identical and records one hit, and
+    /// (d) successful reports satisfy the power/percentile invariants.
+    pub fn check_infer(&self, seed: u64, dev: &DeviceConfig) -> Result<(), String> {
+        let mut g = SplitMix64::new(seed ^ 0x1FE2_0A5C_11B7_D30D);
+        let workload_seed = g.next_u64();
+        let requests = 8 + (g.next_u64() % 25) as u32; // 8..=32
+        let qps = 50.0 * (1 + g.next_u64() % 8) as f64;
+        let max_seqs = 16 << (g.next_u64() % 3); // 16, 32, 64
+        let precision = match g.next_u64() % 3 {
+            0 => hopper_infer::Precision::Fp16,
+            1 => hopper_infer::Precision::Bf16,
+            _ => hopper_infer::Precision::Fp8,
+        };
+        let mode = if g.next_u64().is_multiple_of(4) {
+            hopper_infer::Mode::Disaggregated
+        } else {
+            hopper_infer::Mode::Continuous
+        };
+        let tp = if g.next_u64().is_multiple_of(4) { 2 } else { 1 };
+        let scn = hopper_infer::InferScenario {
+            seed: workload_seed,
+            requests,
+            qps,
+            max_seqs,
+            precision,
+            mode,
+            tp,
+            ..Default::default()
+        };
+
+        let budget = hopper_infer::InferBudget::default();
+        let local = hopper_infer::run(&scn, dev, &budget, None)
+            .map_err(|e| format!("infer oracle: local run failed: {e:?}"))?;
+        let local_json = local.to_json().to_string();
+        let again = hopper_infer::run(&scn, dev, &budget, None)
+            .map_err(|e| format!("infer oracle: local rerun failed: {e:?}"))?
+            .to_json()
+            .to_string();
+        ensure!(
+            local_json == again,
+            "infer oracle: two identical local runs render different bytes\n  a: {local_json}\n  b: {again}"
+        );
+        if local.outcome == "ok" {
+            ensure!(
+                local.completed == local.requests,
+                "infer oracle: ok run completed {} of {} requests",
+                local.completed,
+                local.requests
+            );
+            ensure!(
+                local.avg_power_w >= dev.idle_w - 1e-6 && local.avg_power_w <= dev.tdp_w + 1e-6,
+                "infer oracle: avg power {} W outside [idle {}, TDP {}]",
+                local.avg_power_w,
+                dev.idle_w,
+                dev.tdp_w
+            );
+            for (name, p) in [
+                ("ttft", &local.ttft_ms),
+                ("tpot", &local.tpot_ms),
+                ("e2e", &local.e2e_ms),
+            ] {
+                ensure!(
+                    p.p50 <= p.p90 && p.p90 <= p.p99,
+                    "infer oracle: {name} percentiles not monotone ({} / {} / {})",
+                    p.p50,
+                    p.p90,
+                    p.p99
+                );
+            }
+            ensure!(
+                local.iterations
+                    == local.prefill_iterations + local.decode_iterations + local.mixed_iterations,
+                "infer oracle: iteration phase counts do not sum"
+            );
+        }
+
+        let mut spec = RunSpec::new(String::new(), Self::wire_name(dev), 1, 1);
+        spec.report = ReportKind::Infer;
+        spec.infer = Some(
+            serde_json::from_str(&scn.canonical_json())
+                .map_err(|e| format!("infer oracle: canonical json invalid: {e}"))?,
+        );
+        let client = Client::new(self.addr.clone());
+        let (miss0, store0, hit0) = (
+            self.cache_op("miss"),
+            self.cache_op("store"),
+            self.cache_op("hit"),
+        );
+        let cold = client
+            .run(&spec)
+            .map_err(|e| format!("infer oracle: cold request failed: {e}"))?;
+        ensure!(
+            cold.contains("\"status\":\"ok\""),
+            "infer oracle: daemon rejected scenario: {cold}"
+        );
+        let payload = serde_json::from_str(&cold)
+            .ok()
+            .and_then(|v| v.get("result").map(|r| r.to_string()))
+            .ok_or_else(|| format!("infer oracle: response has no result: {cold}"))?;
+        ensure!(
+            payload == local_json,
+            "infer oracle: daemon payload diverges from in-process run\n  daemon: {payload}\n  local:  {local_json}"
+        );
+        ensure!(
+            self.cache_op("miss") == miss0 + 1 && self.cache_op("store") == store0 + 1,
+            "infer oracle: cold run did not record exactly one cache miss+store"
+        );
+        let cached = client
+            .run(&spec)
+            .map_err(|e| format!("infer oracle: cached request failed: {e}"))?;
+        ensure!(
+            canonical_response(&cold) == canonical_response(&cached),
+            "infer oracle: cached response differs from cold run\n  cold:   {cold}\n  cached: {cached}"
+        );
+        ensure!(
+            self.cache_op("hit") == hit0 + 1,
+            "infer oracle: replay did not record exactly one cache hit"
+        );
+        Ok(())
+    }
+
     /// Shut the daemon down.
     pub fn stop(self) {
         self.server.shutdown();

@@ -5,7 +5,7 @@
 //! debug-assertions on, so the engine invariant hooks fire too).
 
 use hopper_audit::gen::KernelPlan;
-use hopper_audit::oracle::check_plan;
+use hopper_audit::oracle::{check_plan, ServeOracle};
 use hopper_audit::rng::kernel_seed;
 use hopper_audit::shrink::minimize;
 use hopper_isa::Arch;
@@ -33,6 +33,22 @@ fn oracle_battery_other_devices() {
                 .unwrap_or_else(|e| panic!("seed {seed:#018x} on {}: {e}", dev.name));
         }
     }
+}
+
+#[test]
+fn infer_oracle_battery() {
+    // Scenario-level determinism through the daemon: a handful of
+    // seed-derived serving scenarios on both architectures.  The full
+    // cadence rides hfuzz's --serve-every in `scripts/check.sh`.
+    let srv = ServeOracle::start().expect("bind ephemeral port");
+    for (dev, n) in [(DeviceConfig::h800(), 3u64), (DeviceConfig::a100(), 1u64)] {
+        for i in 0..n {
+            let seed = kernel_seed(BASE ^ 0x1F3, i);
+            srv.check_infer(seed, &dev)
+                .unwrap_or_else(|e| panic!("infer seed {seed:#018x} on {}: {e}", dev.name));
+        }
+    }
+    srv.stop();
 }
 
 #[test]

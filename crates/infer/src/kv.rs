@@ -1,0 +1,215 @@
+//! Paged KV-cache pool with Table XII memory accounting.
+//!
+//! Capacity is discovered *through the simulated allocator*, not by
+//! arithmetic on the side: the pool charges the framework reserve, the
+//! per-GPU weight shard and the activation workspace against
+//! `Gpu::alloc` exactly like `hopper_te::LlmRunner` does, then claims
+//! page-sized blocks until the allocator refuses.  A scenario whose
+//! weights alone don't fit fails here with the same boundary as the
+//! paper's OOM cells (e.g. llama2-13B FP32 on a 40 GB A100).
+
+use hopper_sim::{DeviceConfig, Gpu, LaunchError};
+use hopper_te::{LlmModel, Precision};
+
+/// Framework + CUDA-context reservation, matching `LlmRunner`.
+pub const FRAMEWORK_RESERVE: u64 = 2_500_000_000;
+
+/// A fixed-size-page KV allocator for one engine.
+#[derive(Debug, Clone)]
+pub struct KvPool {
+    page_tokens: u32,
+    page_bytes: u64,
+    total_pages: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+/// KV bytes per token per GPU: K and V, FP16, sharded across `tp` heads.
+pub fn kv_bytes_per_token(model: &LlmModel, tp: u32) -> u64 {
+    // Matches LlmModel::kv_bytes(1, 1) = 2 · layers · hidden · 2, split
+    // across tensor-parallel ranks (each holds hidden/tp of every head).
+    model.kv_bytes(1, 1).div_ceil(tp as u64)
+}
+
+impl KvPool {
+    /// Size the pool for `model` at `precision` on `dev`, with the weight
+    /// shard for one of `tp` ranks resident.  `max_batch_tokens` sizes the
+    /// activation workspace.  Errors describe the OOM cell.
+    pub fn for_device(
+        dev: &DeviceConfig,
+        model: &LlmModel,
+        precision: Precision,
+        tp: u32,
+        page_tokens: u32,
+        max_batch_tokens: u32,
+    ) -> Result<KvPool, String> {
+        let mut gpu = Gpu::new(dev.clone());
+        let resident = [
+            ("framework reserve", FRAMEWORK_RESERVE),
+            ("weights", model.weight_bytes(precision).div_ceil(tp as u64)),
+            (
+                "activations",
+                max_batch_tokens as u64 * model.hidden * 4 + 512 * 1024 * 1024,
+            ),
+        ];
+        for (what, bytes) in resident {
+            if let Err(LaunchError::OutOfMemory { .. }) = gpu.alloc(bytes) {
+                return Err(format!(
+                    "{} ({} bytes) exceed {} memory ({} bytes, tp={tp})",
+                    what, bytes, dev.name, dev.mem_bytes
+                ));
+            }
+        }
+        let page_bytes = kv_bytes_per_token(model, tp) * page_tokens as u64;
+        let mut total_pages = 0u64;
+        while gpu.alloc(page_bytes).is_ok() {
+            total_pages += 1;
+        }
+        if total_pages == 0 {
+            return Err(format!(
+                "no room for a single {page_bytes}-byte KV page on {} (tp={tp})",
+                dev.name
+            ));
+        }
+        Ok(KvPool {
+            page_tokens,
+            page_bytes,
+            total_pages,
+            in_use: 0,
+            peak: 0,
+        })
+    }
+
+    /// Pages needed to hold `tokens` of context.
+    pub fn pages_for_tokens(&self, tokens: u32) -> u64 {
+        (tokens as u64).div_ceil(self.page_tokens as u64)
+    }
+
+    /// Claim `pages`; false (and no change) if the pool can't cover it.
+    pub fn try_alloc(&mut self, pages: u64) -> bool {
+        if self.in_use + pages > self.total_pages {
+            return false;
+        }
+        self.in_use += pages;
+        self.peak = self.peak.max(self.in_use);
+        true
+    }
+
+    /// Return `pages` to the pool.
+    pub fn free(&mut self, pages: u64) {
+        debug_assert!(pages <= self.in_use, "freeing {pages} of {}", self.in_use);
+        self.in_use = self.in_use.saturating_sub(pages);
+    }
+
+    /// Pages currently claimed.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of claimed pages.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Pool capacity in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages not currently claimed.
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages - self.in_use
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> u32 {
+        self.page_tokens
+    }
+
+    /// Bytes per page (per GPU).
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(dev: DeviceConfig, m: LlmModel, p: Precision, tp: u32) -> Result<KvPool, String> {
+        KvPool::for_device(&dev, &m, p, tp, 16, 8192)
+    }
+
+    #[test]
+    fn capacity_matches_allocator_arithmetic() {
+        let dev = DeviceConfig::h800();
+        let m = LlmModel::llama2_7b();
+        let kv = pool(dev.clone(), m, Precision::Fp16, 1).unwrap();
+        let resident = FRAMEWORK_RESERVE
+            + m.weight_bytes(Precision::Fp16)
+            + 8192 * m.hidden * 4
+            + 512 * 1024 * 1024;
+        let expect = (dev.mem_bytes - resident) / kv.page_bytes();
+        assert_eq!(kv.total_pages(), expect);
+        // 7B FP16 on 80 GB leaves tens of GB: thousands of 16-token pages.
+        assert!(kv.total_pages() > 4000, "{}", kv.total_pages());
+    }
+
+    #[test]
+    fn table_xii_oom_cells_reproduce() {
+        // A100 40 GB: 13B FP32 weights alone blow the budget.
+        let err = pool(
+            DeviceConfig::a100(),
+            LlmModel::llama2_13b(),
+            Precision::Fp32,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("weights"), "{err}");
+        // RTX 4090 24 GB: 7B FP8 (4 B/param resident) OOMs, BF16 fits.
+        assert!(pool(
+            DeviceConfig::rtx4090(),
+            LlmModel::llama2_7b(),
+            Precision::Fp8,
+            1
+        )
+        .is_err());
+        assert!(pool(
+            DeviceConfig::rtx4090(),
+            LlmModel::llama2_7b(),
+            Precision::Bf16,
+            1
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn tensor_parallel_sharding_rescues_oom_cells() {
+        // The 13B FP32 cell that OOMs on one A100 fits across two.
+        let m = LlmModel::llama2_13b();
+        assert!(pool(DeviceConfig::a100(), m, Precision::Fp32, 1).is_err());
+        assert!(pool(DeviceConfig::a100(), m, Precision::Fp32, 2).is_ok());
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut kv = pool(
+            DeviceConfig::h800(),
+            LlmModel::llama_3b(),
+            Precision::Fp16,
+            1,
+        )
+        .unwrap();
+        assert_eq!(kv.pages_for_tokens(1), 1);
+        assert_eq!(kv.pages_for_tokens(16), 1);
+        assert_eq!(kv.pages_for_tokens(17), 2);
+        let total = kv.total_pages();
+        assert!(kv.try_alloc(total));
+        assert!(!kv.try_alloc(1));
+        assert_eq!(kv.free_pages(), 0);
+        kv.free(total - 1);
+        assert_eq!(kv.in_use(), 1);
+        assert_eq!(kv.peak(), total);
+        assert!(kv.try_alloc(total - 1));
+    }
+}

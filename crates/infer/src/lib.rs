@@ -1,0 +1,60 @@
+//! Serving-level LLM inference simulation over the calibrated
+//! `hopper-te` operator costs.
+//!
+//! The paper's Transformer-Engine section (§IV-D, Table XII) stops at a
+//! fixed batch-8 decode benchmark; the interesting FP8-vs-FP16 behaviour
+//! only emerges at the *application* level, where a continuous-batching
+//! scheduler mixes compute-bound prefill chunks with memory-bound decode
+//! steps and the batch composition decides which precision wins.  This
+//! crate rebuilds that layer:
+//!
+//! * [`scenario`] — the `infer` request payload: model, precision,
+//!   tensor-parallel degree, scheduler mode, open-loop arrival rate and
+//!   capacity knobs, with a canonical sorted-key JSON form whose bytes
+//!   are the daemon's cache digest;
+//! * [`kv`] — a paged KV-cache pool whose per-device capacity falls out
+//!   of the same `Gpu::alloc` accounting that produces Table XII's OOM
+//!   cells;
+//! * [`tp`] — a ring all-reduce / point-to-point transfer cost model
+//!   riding the calibrated DSM network tables (Hopper) with an L2-proxy
+//!   fallback elsewhere;
+//! * [`sched`] — the iteration-level simulator: continuous batching with
+//!   chunked prefill and preemption, plus a disaggregated
+//!   prefill/decode mode, with energy accounting through the power+DVFS
+//!   model;
+//! * [`report`] — deterministic sorted-key JSON reports (tokens/s,
+//!   tokens/joule, TTFT/TPOT/e2e percentiles);
+//! * [`metrics`] — `hsim_infer_*` registry families surfaced by
+//!   `hsim-top`.
+
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod sched;
+pub mod tp;
+
+pub use kv::KvPool;
+pub use metrics::InferMetrics;
+pub use report::{InferReport, Percentiles};
+pub use scenario::{InferScenario, Mode};
+// Re-exported so scenario builders don't need a hopper-te dependency.
+pub use hopper_te::Precision;
+pub use sched::{run, InferBudget, InferError};
+pub use tp::TpModel;
+
+use serde_json::Value;
+
+/// Build an object with sorted keys — the same determinism contract as
+/// `hopper_serve::protocol::obj` and `hopper-prof`'s JSON renderer.
+pub(crate) fn obj(mut fields: Vec<(&str, Value)>) -> Value {
+    fields.sort_by(|a, b| a.0.cmp(b.0));
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}

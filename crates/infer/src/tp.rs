@@ -1,0 +1,128 @@
+//! Tensor-parallel communication cost model.
+//!
+//! Megatron-style tensor parallelism needs two all-reduces of the
+//! activations per transformer layer (after attention and after the
+//! MLP).  On Hopper the cost rides the paper's §IV-E distributed
+//! shared-memory network calibration — 180-cycle SM-to-SM latency,
+//! 16.3 B/clk/SM bandwidth, and the measured per-CTA contention slope —
+//! treating the GPU-to-GPU link as an aggregated DSM-class fabric.  On
+//! Ampere/Ada (no DSM network) the model falls back to an L2-latency +
+//! half-DRAM-bandwidth proxy for the PCIe-attached cards the paper
+//! measured.
+
+use hopper_isa::Arch;
+use hopper_sim::DeviceConfig;
+use hopper_te::LlmModel;
+
+/// Communication model for one `tp`-GPU engine.
+#[derive(Debug, Clone)]
+pub struct TpModel {
+    dev: DeviceConfig,
+    tp: u32,
+}
+
+impl TpModel {
+    /// Build for `tp` ranks of `dev`.
+    pub fn new(dev: DeviceConfig, tp: u32) -> Self {
+        debug_assert!(tp >= 1);
+        TpModel { dev, tp }
+    }
+
+    /// All-reduce payload per token: FP16 activations, reduced twice per
+    /// layer (post-attention, post-MLP).
+    pub fn allreduce_bytes_per_token(model: &LlmModel) -> u64 {
+        2 * model.layers * model.hidden * 2
+    }
+
+    /// Aggregate link bandwidth between two ranks, bytes/s, and the
+    /// per-hop latency, seconds.
+    fn link(&self) -> (f64, f64) {
+        match self.dev.arch {
+            Arch::Hopper => {
+                // DSM-class fabric: per-SM injection bandwidth summed over
+                // the chip, degraded by the measured per-peer contention
+                // slope as more ranks share the fabric.
+                let contention =
+                    (1.0 - self.dev.dsm_contention_per_cs * (self.tp - 1) as f64).max(0.5);
+                let bw = self.dev.dsm_bw_per_sm
+                    * self.dev.num_sms as f64
+                    * self.dev.clock_hz
+                    * contention;
+                let lat = self.dev.dsm_latency as f64 / self.dev.clock_hz;
+                (bw, lat)
+            }
+            _ => {
+                // No SM-to-SM network: PCIe-attached peers modelled as an
+                // L2-class round trip at half DRAM bandwidth.
+                let bw = self.dev.dram_bw * 0.5;
+                let lat = 2.0 * self.dev.l2_latency as f64 / self.dev.clock_hz;
+                (bw, lat)
+            }
+        }
+    }
+
+    /// Ring all-reduce of `bytes` across the engine, seconds.  2·(tp−1)
+    /// steps, each moving `bytes/tp` per rank.
+    pub fn allreduce_s(&self, bytes: u64) -> f64 {
+        if self.tp <= 1 {
+            return 0.0;
+        }
+        let (bw, lat) = self.link();
+        let steps = 2 * (self.tp - 1) as u64;
+        steps as f64 * (bytes as f64 / self.tp as f64 / bw + lat)
+    }
+
+    /// Point-to-point transfer of `bytes` (disaggregated KV handoff),
+    /// seconds.
+    pub fn transfer_s(&self, bytes: u64) -> f64 {
+        let (bw, lat) = self.link();
+        bytes as f64 / bw + lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp1_pays_nothing_for_allreduce() {
+        let m = TpModel::new(DeviceConfig::h800(), 1);
+        assert_eq!(m.allreduce_s(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_ranks_and_bytes() {
+        let d = DeviceConfig::h800();
+        let t2 = TpModel::new(d.clone(), 2).allreduce_s(1 << 20);
+        let t4 = TpModel::new(d.clone(), 4).allreduce_s(1 << 20);
+        let t4_big = TpModel::new(d, 4).allreduce_s(1 << 24);
+        assert!(t2 > 0.0);
+        assert!(t4 > t2, "{t4} !> {t2}");
+        assert!(t4_big > t4);
+    }
+
+    #[test]
+    fn hopper_fabric_beats_pcie_proxy() {
+        // The DSM-class fabric (≈ 3.7 TB/s aggregate) must move a large
+        // payload faster than the A100's half-DRAM PCIe proxy.
+        let bytes = 1 << 28;
+        let h = TpModel::new(DeviceConfig::h800(), 2).allreduce_s(bytes);
+        let a = TpModel::new(DeviceConfig::a100(), 2).allreduce_s(bytes);
+        assert!(h < a, "hopper {h} !< ampere {a}");
+    }
+
+    #[test]
+    fn latency_term_dominates_tiny_payloads() {
+        let d = DeviceConfig::h800();
+        let m = TpModel::new(d.clone(), 4);
+        let tiny = m.allreduce_s(64);
+        let floor = 2.0 * 3.0 * d.dsm_latency as f64 / d.clock_hz;
+        assert!(tiny >= floor, "{tiny} < latency floor {floor}");
+    }
+
+    #[test]
+    fn per_token_payload_matches_model_shape() {
+        let m = LlmModel::llama2_7b();
+        assert_eq!(TpModel::allreduce_bytes_per_token(&m), 2 * 32 * 4096 * 2);
+    }
+}

@@ -26,15 +26,22 @@ COMMANDS:
                                binary); device, geometry and params are
                                filled from the trace header, and the
                                daemon replays it through the timing model
+    run --report infer [..]    simulate an LLM serving scenario instead of
+                               a kernel; no FILE needed. --scenario FILE
+                               supplies the scenario JSON (defaults apply
+                               when omitted), --max-cycles bounds
+                               scheduler iterations
 
 RUN OPTIONS:
     --trace FILE       trace file to replay instead of a kernel
+    --scenario FILE    infer scenario JSON (only with --report infer;
+                       `-` reads stdin)
     --device NAME      h800 | a100 | rtx4090 (default h800)
     --grid N           blocks in the grid (default 1)
     --block N          threads per block (default 128)
     --cluster N        cluster size (default 1)
     --param N          kernel parameter, repeatable (loaded into %r0..)
-    --report KIND      stats | profile (default stats)
+    --report KIND      stats | profile | infer (default stats)
     --name NAME        kernel name stamped into reports
     --id ID            correlation id echoed in the response
     --max-cycles N     simulated-cycle budget for this run
@@ -153,7 +160,22 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     "--report" => {
                         let v = value(&mut i)?;
                         spec.report = ReportKind::parse(&v)
-                            .ok_or_else(|| format!("--report: `{v}` is not stats|profile"))?;
+                            .ok_or_else(|| format!("--report: `{v}` is not stats|profile|infer"))?;
+                    }
+                    "--scenario" => {
+                        let path = value(&mut i)?;
+                        let text = if path == "-" {
+                            let mut text = String::new();
+                            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                                .map_err(|e| format!("reading stdin: {e}"))?;
+                            text
+                        } else {
+                            std::fs::read_to_string(&path)
+                                .map_err(|e| format!("reading {path}: {e}"))?
+                        };
+                        let v: serde_json::Value = serde_json::from_str(&text)
+                            .map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+                        spec.infer = Some(v);
                     }
                     other => return Err(format!("unknown run option `{other}`")),
                 }
@@ -164,8 +186,11 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let command =
         command.ok_or_else(|| "missing command (ping|stats|metrics|shutdown|run)".to_string())?;
     if let Command::Run(spec) = &command {
-        if spec.trace.is_none() && spec.kernel.is_empty() {
+        if spec.report != ReportKind::Infer && spec.trace.is_none() && spec.kernel.is_empty() {
             return Err("run needs a kernel FILE (or `-` for stdin) or --trace FILE".to_string());
+        }
+        if spec.report != ReportKind::Infer && spec.infer.is_some() {
+            return Err("--scenario requires --report infer".to_string());
         }
     }
     Ok(Some(Cli {

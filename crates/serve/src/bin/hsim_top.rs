@@ -178,6 +178,50 @@ fn get_f64(v: &Value, section: &str, key: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Serving-simulator panel: iteration/token/preemption counters and
+/// per-phase iteration cost quantiles from the `hsim_infer_*` families.
+/// Empty string until the daemon has executed at least one infer run.
+fn render_infer_panel(doc: &Exposition) -> String {
+    let count = |family: &str, key: &str, val: &str| -> u64 {
+        doc.samples_named(family)
+            .filter(|s| s.label(key) == Some(val))
+            .map(|s| s.value as u64)
+            .sum()
+    };
+    let iters: u64 = ["prefill", "decode", "mixed"]
+        .iter()
+        .map(|p| count("hsim_infer_iterations_total", "phase", p))
+        .sum();
+    if iters == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\ninfer     iterations {} (prefill {} / decode {} / mixed {})   preemptions {}\n",
+        iters,
+        count("hsim_infer_iterations_total", "phase", "prefill"),
+        count("hsim_infer_iterations_total", "phase", "decode"),
+        count("hsim_infer_iterations_total", "phase", "mixed"),
+        doc.samples_named("hsim_infer_preemptions_total")
+            .map(|s| s.value as u64)
+            .sum::<u64>(),
+    ));
+    out.push_str(&format!(
+        "          tokens prefill {} / decode {}   kv pages in use {}\n",
+        count("hsim_infer_tokens_total", "kind", "prefill"),
+        count("hsim_infer_tokens_total", "kind", "decode"),
+        doc.samples_named("hsim_infer_kv_pages_in_use")
+            .map(|s| s.value as u64)
+            .sum::<u64>(),
+    ));
+    out.push_str("\ninfer iteration (µs)      p50 /       p99\n");
+    for phase in ["prefill", "decode", "mixed"] {
+        let d = Dist::from_expo(doc, "hsim_infer_phase_us", "phase", phase);
+        out.push_str(&format!("  {phase:<18}{}\n", fmt_quantiles(&d)));
+    }
+    out
+}
+
 /// Render one dashboard frame.
 fn render_frame(addr: &str, stats: &Value, metrics: Option<&Exposition>, qps: f64) -> String {
     let mut out = String::new();
@@ -232,6 +276,7 @@ fn render_frame(addr: &str, stats: &Value, metrics: Option<&Exposition>, qps: f6
                 }
                 out.push('\n');
             }
+            out.push_str(&render_infer_panel(doc));
         }
         None => {
             // Bare daemon (--obs off): only the stats histograms exist.

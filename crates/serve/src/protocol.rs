@@ -55,6 +55,9 @@ pub enum ReportKind {
     Stats,
     /// Full sectioned `hopper-prof` report (traced launch).
     Profile,
+    /// LLM serving simulation (`hopper-infer`): the request carries an
+    /// `infer` scenario object instead of a kernel.
+    Infer,
 }
 
 impl ReportKind {
@@ -63,6 +66,7 @@ impl ReportKind {
         match self {
             ReportKind::Stats => "stats",
             ReportKind::Profile => "profile",
+            ReportKind::Infer => "infer",
         }
     }
 
@@ -71,6 +75,7 @@ impl ReportKind {
         match s {
             "stats" => Some(ReportKind::Stats),
             "profile" => Some(ReportKind::Profile),
+            "infer" => Some(ReportKind::Infer),
             _ => None,
         }
     }
@@ -102,6 +107,11 @@ pub struct RunSpec {
     /// running `kernel` functionally.  The `kernel` field is ignored —
     /// the trace embeds its own kernel text.
     pub trace: Option<String>,
+    /// Serving scenario for `report=infer` (validated at parse time; the
+    /// daemon digests its canonical form for the result cache).  Only
+    /// legal with the `infer` report kind, which in turn ignores
+    /// `kernel`/`grid`/`block` and forbids `trace`.
+    pub infer: Option<Value>,
     /// Simulated-cycle budget for the launch.
     pub max_cycles: Option<u64>,
     /// Wall-clock deadline for the simulation, milliseconds.
@@ -132,6 +142,7 @@ impl RunSpec {
             params: Vec::new(),
             report: ReportKind::Stats,
             trace: None,
+            infer: None,
             max_cycles: None,
             deadline_ms: None,
             no_cache: false,
@@ -162,6 +173,9 @@ impl RunSpec {
         }
         if let Some(trace) = &self.trace {
             fields.push(("trace", Value::Str(trace.clone())));
+        }
+        if let Some(infer) = &self.infer {
+            fields.push(("infer", infer.clone()));
         }
         if let Some(mc) = self.max_cycles {
             fields.push(("max_cycles", Value::UInt(mc)));
@@ -293,10 +307,40 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "run" => {
-            let kernel = get_str(&v, "kernel")?.ok_or_else(|| bad("missing field `kernel`"))?;
+            // `report` first: the infer kind replaces the kernel-shaped
+            // required fields with a scenario object.
+            let report = match get_str(&v, "report")? {
+                None => ReportKind::Stats,
+                Some(s) => ReportKind::parse(&s).ok_or_else(|| {
+                    bad(format!("unknown report kind `{s}` (stats|profile|infer)"))
+                })?,
+            };
+            let infer = v.get("infer").cloned();
+            let (kernel, grid, block) = if report == ReportKind::Infer {
+                if v.get("trace").is_some() {
+                    return Err(bad("`trace` cannot be combined with report `infer`"));
+                }
+                // Kernel-shaped fields are meaningless here; defaults keep
+                // the spec uniform without inventing required boilerplate.
+                let scenario = infer.as_ref().cloned().unwrap_or(Value::Object(vec![]));
+                hopper_infer::InferScenario::parse(&scenario)
+                    .map_err(|e| bad(format!("invalid `infer` scenario: {e}")))?;
+                (
+                    get_str(&v, "kernel")?.unwrap_or_default(),
+                    get_u32(&v, "grid")?.unwrap_or(1),
+                    get_u32(&v, "block")?.unwrap_or(1),
+                )
+            } else {
+                if infer.is_some() {
+                    return Err(bad("field `infer` requires report `infer`"));
+                }
+                (
+                    get_str(&v, "kernel")?.ok_or_else(|| bad("missing field `kernel`"))?,
+                    get_u32(&v, "grid")?.ok_or_else(|| bad("missing field `grid`"))?,
+                    get_u32(&v, "block")?.ok_or_else(|| bad("missing field `block`"))?,
+                )
+            };
             let device = get_str(&v, "device")?.ok_or_else(|| bad("missing field `device`"))?;
-            let grid = get_u32(&v, "grid")?.ok_or_else(|| bad("missing field `grid`"))?;
-            let block = get_u32(&v, "block")?.ok_or_else(|| bad("missing field `block`"))?;
             let cluster = get_u32(&v, "cluster")?.unwrap_or(1);
             let params = match v.get("params") {
                 None => Vec::new(),
@@ -309,11 +353,6 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                             .ok_or_else(|| bad("`params` entries must be non-negative integers"))
                     })
                     .collect::<Result<Vec<u64>, ProtoError>>()?,
-            };
-            let report = match get_str(&v, "report")? {
-                None => ReportKind::Stats,
-                Some(s) => ReportKind::parse(&s)
-                    .ok_or_else(|| bad(format!("unknown report kind `{s}` (stats|profile)")))?,
             };
             let no_cache = match v.get("no_cache") {
                 None => false,
@@ -338,6 +377,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 params,
                 report,
                 trace: get_str(&v, "trace")?,
+                infer,
                 max_cycles: get_u64(&v, "max_cycles")?,
                 deadline_ms: get_u64(&v, "deadline_ms")?,
                 no_cache,
@@ -533,6 +573,54 @@ mod tests {
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.kind, "bad_request", "line: {line}");
+        }
+    }
+
+    #[test]
+    fn infer_run_roundtrips_without_kernel() {
+        let mut spec = RunSpec::new(String::new(), "h800", 1, 1);
+        spec.report = ReportKind::Infer;
+        spec.infer = Some(
+            serde_json::from_str(r#"{"model":"llama2-7b","qps":25.0,"requests":16}"#).unwrap(),
+        );
+        let line = spec.to_request_line();
+        match parse_request(&line).unwrap() {
+            Request::Run(back) => {
+                assert_eq!(back.report, ReportKind::Infer);
+                assert!(back.kernel.is_empty());
+                let scn = hopper_infer::InferScenario::parse(back.infer.as_ref().unwrap()).unwrap();
+                assert_eq!(scn.qps, 25.0);
+                assert_eq!(scn.requests, 16);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infer_request_validation() {
+        // Scenario field errors surface as bad_request at parse time.
+        for line in [
+            // invalid scenario contents
+            r#"{"op":"run","report":"infer","infer":{"model":"gpt-5"}}"#,
+            r#"{"op":"run","report":"infer","infer":{"tp":0}}"#,
+            r#"{"op":"run","report":"infer","infer":[1]}"#,
+            // infer payload without the infer report
+            r#"{"op":"run","kernel":"exit;","device":"h800","grid":1,"block":32,"infer":{}}"#,
+            // trace cannot combine with infer
+            r#"{"op":"run","report":"infer","trace":"HTRACE v1\n"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, "bad_request", "line: {line}");
+        }
+        // Omitted scenario means all defaults; kernel/geometry not needed.
+        let ok = parse_request(r#"{"op":"run","report":"infer","device":"h800"}"#).unwrap();
+        match ok {
+            Request::Run(spec) => {
+                assert_eq!(spec.report, ReportKind::Infer);
+                assert!(spec.infer.is_none());
+                assert_eq!(spec.device, "h800");
+            }
+            other => panic!("expected Run, got {other:?}"),
         }
     }
 

@@ -123,14 +123,24 @@ pub fn device_config(name: &str) -> Option<DeviceConfig> {
     }
 }
 
+/// What a worker actually executes for a job.
+enum Work {
+    /// Assemble-and-simulate (or trace replay) through the cycle engine.
+    Kernel {
+        kernel: Kernel,
+        /// Pre-validated warp streams for a trace request; `None` runs
+        /// the kernel functionally.
+        replay: Option<ReplaySource>,
+    },
+    /// A serving-level simulation through `hopper-infer`.
+    Infer(hopper_infer::InferScenario),
+}
+
 /// A validated, assembled job waiting for a worker.
 struct Job {
     spec: RunSpec,
-    kernel: Kernel,
     device: DeviceConfig,
-    /// Pre-validated warp streams for a trace request; `None` runs the
-    /// kernel functionally.
-    replay: Option<ReplaySource>,
+    work: Work,
     /// `None` when the request opted out of caching.
     cache_key: Option<CacheKey>,
     /// Correlation id of the originating request (log lines the worker
@@ -682,6 +692,45 @@ fn process_run(
         )
     })?;
     let asm_start = Instant::now();
+    if spec.report == ReportKind::Infer {
+        // Serving jobs carry a scenario, not a kernel: the "assemble"
+        // stage is scenario validation, and the cache digest covers the
+        // canonical scenario bytes (defaults resolved, keys sorted) so
+        // spelling variants share an entry.
+        let scenario = spec.infer.clone().unwrap_or(Value::Object(Vec::new()));
+        let scn = hopper_infer::InferScenario::parse(&scenario).map_err(|e| {
+            ProtoError::new("bad_request", format!("invalid `infer` scenario: {e}"))
+        })?;
+        let digest = hopper_replay::bytes_digest(scn.canonical_json().as_bytes());
+        tl.record("assemble", asm_start);
+        shared
+            .stats
+            .lat_assemble
+            .record(asm_start.elapsed().as_micros() as u64);
+        // Kernel-shaped key fields are zeroed: the scenario digest alone
+        // identifies the experiment on a device.
+        let key = CacheKey {
+            digest,
+            device: spec.device.clone(),
+            grid: 0,
+            block: 0,
+            cluster: 0,
+            params: Vec::new(),
+            report: spec.report.name(),
+            trace_digest: 0,
+        };
+        return finish_run(
+            shared,
+            spec,
+            device,
+            Work::Infer(scn),
+            format!("{digest:016x}"),
+            key,
+            t0,
+            corr_id,
+            tl,
+        );
+    }
     let name = spec.name.clone().unwrap_or_else(|| "kernel".to_string());
     let (kernel, replay, trace_digest) = match &spec.trace {
         None => {
@@ -745,6 +794,32 @@ fn process_run(
         report: spec.report.name(),
         trace_digest,
     };
+    finish_run(
+        shared,
+        spec,
+        device,
+        Work::Kernel { kernel, replay },
+        digest_hex,
+        key,
+        t0,
+        corr_id,
+        tl,
+    )
+}
+
+/// Shared tail of [`process_run`]: probe the cache, queue the job, wait.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    shared: &Arc<Shared>,
+    spec: RunSpec,
+    device: DeviceConfig,
+    work: Work,
+    digest_hex: String,
+    key: CacheKey,
+    t0: Instant,
+    corr_id: &str,
+    tl: &mut Timeline,
+) -> Result<(String, Value), ProtoError> {
     let cache_start = Instant::now();
     if spec.no_cache {
         shared.note_cache(corr_id, "bypass");
@@ -768,9 +843,8 @@ fn process_run(
     let (reply, result) = mpsc::channel();
     let pushed = shared.queue.push(Job {
         spec,
-        kernel,
         device,
-        replay,
+        work,
         cache_key,
         corr_id: corr_id.to_string(),
         accepted_at: tl.anchor(),
@@ -875,7 +949,8 @@ enum Rendered {
     Profile(Box<hopper_prof::KernelReport>),
 }
 
-/// Simulate one job on a fresh [`Gpu`] under its [`RunBudget`].
+/// Simulate one job on a fresh [`Gpu`] (or through the serving
+/// simulator) under its [`RunBudget`].
 fn run_job(shared: &Arc<Shared>, job: Job, tl: &mut Timeline) -> Result<Value, ProtoError> {
     let spec = &job.spec;
     let max_cycles = spec.max_cycles.or(shared.cfg.default_max_cycles);
@@ -891,6 +966,10 @@ fn run_job(shared: &Arc<Shared>, job: Job, tl: &mut Timeline) -> Result<Value, P
             .register(Instant::now() + Duration::from_millis(ms), token.clone());
         budget.cancel = Some(token);
     }
+    let (kernel, replay) = match &job.work {
+        Work::Infer(scn) => return run_infer_job(shared, &job, scn, &budget, deadline_ms, tl),
+        Work::Kernel { kernel, replay } => (kernel, replay),
+    };
     let launch = Launch {
         grid: spec.grid,
         block: spec.block,
@@ -911,26 +990,28 @@ fn run_job(shared: &Arc<Shared>, job: Job, tl: &mut Timeline) -> Result<Value, P
     // Trace streams were validated against the kernel at request time, so
     // the engine can skip its prevalidation pass.
     let replay_cfg = ReplayConfig { prevalidate: false };
-    let raw = match (spec.report, &job.replay) {
+    let raw = match (spec.report, replay) {
         (ReportKind::Stats, None) => gpu
-            .launch_bounded(&job.kernel, &launch, &budget)
+            .launch_bounded(kernel, &launch, &budget)
             .map(|s| Rendered::Stats(Box::new(s))),
         (ReportKind::Stats, Some(src)) => gpu
-            .launch_replayed_bounded(&job.kernel, &launch, src, &replay_cfg, &budget)
+            .launch_replayed_bounded(kernel, &launch, src, &replay_cfg, &budget)
             .map(|s| Rendered::Stats(Box::new(s))),
         (ReportKind::Profile, None) => {
-            hopper_prof::profile_kernel_bounded(&mut gpu, &job.kernel, &launch, &budget)
+            hopper_prof::profile_kernel_bounded(&mut gpu, kernel, &launch, &budget)
                 .map(|r| Rendered::Profile(Box::new(r)))
         }
         (ReportKind::Profile, Some(src)) => hopper_prof::profile_replayed_bounded(
             &mut gpu,
-            &job.kernel,
+            kernel,
             &launch,
             src,
             &replay_cfg,
             &budget,
         )
         .map(|r| Rendered::Profile(Box::new(r))),
+        // Infer jobs returned early above.
+        (ReportKind::Infer, _) => unreachable!("infer dispatched before kernel launch"),
     };
     tl.record("simulate", sim_start);
     shared
@@ -983,5 +1064,75 @@ fn run_job(shared: &Arc<Shared>, job: Job, tl: &mut Timeline) -> Result<Value, P
             ProtoError::new("trace_error", format!("replay trace mismatch: {s}"))
         }
         other => ProtoError::new("launch_error", other.to_string()),
+    })
+}
+
+/// Run a serving scenario through [`hopper_infer`].  Reuses the kernel
+/// path's [`RunBudget`]: `max_cycles` bounds scheduler *iterations* and
+/// `deadline_ms` cancels through the same reaper token, so both abort
+/// paths surface as `deadline_exceeded` exactly like kernel jobs.
+fn run_infer_job(
+    shared: &Arc<Shared>,
+    job: &Job,
+    scn: &hopper_infer::InferScenario,
+    budget: &RunBudget,
+    deadline_ms: Option<u64>,
+    tl: &mut Timeline,
+) -> Result<Value, ProtoError> {
+    let spec = &job.spec;
+    let infer_budget = hopper_infer::InferBudget {
+        max_iterations: budget.max_cycles,
+        cancel: budget.cancel.clone(),
+    };
+    let metrics = shared.registry().map(|reg| {
+        reg.counter(
+            "hsimd_runs_total",
+            "Simulation runs started, by device.",
+            &[("device", &spec.device)],
+        )
+        .inc();
+        hopper_infer::InferMetrics::register(reg)
+    });
+    let sim_start = Instant::now();
+    let raw = hopper_infer::run(scn, &job.device, &infer_budget, metrics.as_ref());
+    tl.record("simulate", sim_start);
+    shared
+        .stats
+        .lat_sim
+        .record(sim_start.elapsed().as_micros() as u64);
+    let out = raw.map(|report| {
+        let render_start = Instant::now();
+        let payload = report.to_json();
+        let render_stage = tl.record("render", render_start);
+        shared.record_stage(&render_stage);
+        payload
+    });
+    if shared.logs() {
+        event(Level::Debug, "hsimd::worker", "job done")
+            .str("corr_id", &job.corr_id)
+            .str("device", &spec.device)
+            .str("report", spec.report.name())
+            .bool("ok", out.is_ok())
+            .u64("sim_us", sim_start.elapsed().as_micros() as u64)
+            .emit();
+    }
+    out.map_err(|e| match e {
+        hopper_infer::InferError::IterationsExceeded { budget } => {
+            shared.stats.deadline_exceeded.inc();
+            ProtoError::new(
+                "deadline_exceeded",
+                format!("iteration budget {budget} exhausted before the workload drained"),
+            )
+        }
+        hopper_infer::InferError::Cancelled { iterations } => {
+            shared.stats.deadline_exceeded.inc();
+            ProtoError::new(
+                "deadline_exceeded",
+                format!(
+                    "wall deadline of {} ms exceeded after {iterations} scheduler iterations",
+                    deadline_ms.unwrap_or(0)
+                ),
+            )
+        }
     })
 }

@@ -1,0 +1,161 @@
+//! End-to-end tests for the `infer` report kind: serving scenarios
+//! submitted through the daemon must be deterministic (cold vs cached
+//! byte-identical in canonical form), cache on the canonical scenario
+//! digest, agree byte-for-byte with an in-process `hopper_infer::run`,
+//! and fail loudly on the protocol's error paths.
+
+use hopper_obs::Registry;
+use hopper_serve::protocol::ReportKind;
+use hopper_serve::server::device_config;
+use hopper_serve::{canonical_response, Client, RunSpec, Server, ServerConfig};
+use serde_json::Value;
+use std::sync::Arc;
+
+fn start(mut cfg: ServerConfig) -> (Server, Client) {
+    // Private registry per test daemon: see service.rs for why.
+    cfg.registry = Some(Arc::new(Registry::new()));
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let client = Client::new(server.local_addr().to_string());
+    (server, client)
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+}
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(|s| s.as_str()).expect("status")
+}
+
+fn error_kind(v: &Value) -> &str {
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+        .expect("error.kind")
+}
+
+fn infer_spec(scenario: &str) -> RunSpec {
+    let mut spec = RunSpec::new(String::new(), "h800", 1, 1);
+    spec.report = ReportKind::Infer;
+    spec.infer = Some(serde_json::from_str(scenario).expect("scenario JSON"));
+    spec
+}
+
+/// A small scenario that still exercises prefill, decode and completion.
+const SCENARIO: &str = r#"{"model":"llama2-7b","qps":200.0,"requests":24,"seed":7}"#;
+
+#[test]
+fn infer_cold_and_cached_responses_are_byte_identical() {
+    let (server, client) = start(ServerConfig::default());
+    let spec = infer_spec(SCENARIO);
+    let cold = client.run(&spec).unwrap();
+    let v = parse(&cold);
+    assert_eq!(status(&v), "ok", "{cold}");
+    // The digest is the canonical scenario digest, not a kernel digest.
+    let scn = hopper_infer::InferScenario::parse(spec.infer.as_ref().unwrap()).unwrap();
+    let expect = format!(
+        "{:016x}",
+        hopper_replay::bytes_digest(scn.canonical_json().as_bytes())
+    );
+    assert_eq!(
+        v.get("digest").and_then(|d| d.as_str()),
+        Some(expect.as_str())
+    );
+    for _ in 0..2 {
+        let again = client.run(&spec).unwrap();
+        assert_eq!(canonical_response(&again), canonical_response(&cold));
+    }
+    // Spelling variants of the same scenario hit the same cache entry.
+    let respelled =
+        infer_spec(r#"{"seed":7,"requests":24,"model":"llama2-7b","qps":200.0,"tp":1}"#);
+    let variant = client.run(&respelled).unwrap();
+    assert_eq!(canonical_response(&variant), canonical_response(&cold));
+    let stats = client.stats().unwrap();
+    let cache = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("cache");
+    assert_eq!(cache.get("hits").and_then(|h| h.as_u64()), Some(3));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn infer_payload_matches_in_process_run() {
+    let (server, client) = start(ServerConfig::default());
+    let spec = infer_spec(SCENARIO);
+    let line = client.run(&spec).unwrap();
+    let v = parse(&line);
+    assert_eq!(status(&v), "ok", "{line}");
+    let scn = hopper_infer::InferScenario::parse(spec.infer.as_ref().unwrap()).unwrap();
+    let local = hopper_infer::run(
+        &scn,
+        &device_config("h800").unwrap(),
+        &hopper_infer::InferBudget::default(),
+        None,
+    )
+    .unwrap()
+    .to_json();
+    assert_eq!(v.get("result").unwrap().to_string(), local.to_string());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn infer_reports_oom_as_ok_with_outcome() {
+    // Table XII dash: 13B FP32 does not fit a 40 GB A100.  That is a
+    // *finding*, not a daemon error — status ok, outcome "oom".
+    let (server, client) = start(ServerConfig::default());
+    let mut spec = infer_spec(r#"{"model":"llama2-13b","precision":"fp32","requests":8}"#);
+    spec.device = "a100".to_string();
+    let line = client.run(&spec).unwrap();
+    let v = parse(&line);
+    assert_eq!(status(&v), "ok", "{line}");
+    let result = v.get("result").expect("result");
+    assert_eq!(
+        result.get("outcome").and_then(|o| o.as_str()),
+        Some("oom"),
+        "{line}"
+    );
+    assert!(result
+        .get("detail")
+        .and_then(|d| d.as_str())
+        .unwrap()
+        .contains("weights"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn infer_error_paths_are_well_formed() {
+    let (server, client) = start(ServerConfig::default());
+    // Invalid scenario: rejected at parse time.
+    let bad = client
+        .send_line(r#"{"op":"run","report":"infer","device":"h800","infer":{"model":"gpt-5"}}"#)
+        .unwrap();
+    let v = parse(&bad);
+    assert_eq!(status(&v), "error");
+    assert_eq!(error_kind(&v), "bad_request");
+    // `infer` payload without the infer report kind.
+    let bad = client
+        .send_line(
+            r#"{"op":"run","kernel":"exit;","device":"h800","grid":1,"block":32,"infer":{}}"#,
+        )
+        .unwrap();
+    assert_eq!(error_kind(&parse(&bad)), "bad_request");
+    // Unknown device travels the same path as kernel runs.
+    let mut spec = infer_spec(SCENARIO);
+    spec.device = "h900".to_string();
+    let line = client.run(&spec).unwrap();
+    assert_eq!(error_kind(&parse(&line)), "unknown_device");
+    // A one-iteration budget cannot drain 24 requests: deterministic
+    // deadline_exceeded (max_cycles bounds scheduler iterations here).
+    let mut spec = infer_spec(SCENARIO);
+    spec.max_cycles = Some(1);
+    let line = client.run(&spec).unwrap();
+    let v = parse(&line);
+    assert_eq!(status(&v), "error", "{line}");
+    assert_eq!(error_kind(&v), "deadline_exceeded");
+    server.shutdown();
+    server.join();
+}

@@ -32,5 +32,5 @@ pub mod workload;
 pub use cost::{CostModel, Precision};
 pub use layer::{LayerConfig, TransformerLayer};
 pub use linear::Linear;
-pub use llm::{GenerationReport, LlmModel, LlmRunner};
-pub use workload::{Request, ShareGptSynth};
+pub use llm::{layer_overhead_s, GenerationReport, LlmModel, LlmRunner};
+pub use workload::{Request, ShareGptSynth, TimedRequest};

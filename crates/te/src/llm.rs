@@ -89,8 +89,10 @@ impl LlmModel {
 /// framework's cast traffic.  Derived by solving the paper's own Table XII
 /// against the weight-streaming term (`time/step = weights/BW + layers·c`);
 /// the solved constants are remarkably stable across model sizes —
-/// e.g. H800 BF16 gives c ≈ 0.77/0.66/0.85 ms for 7B/13B/3B.
-fn layer_overhead_s(arch: Arch, p: Precision) -> f64 {
+/// e.g. H800 BF16 gives c ≈ 0.77/0.66/0.85 ms for 7B/13B/3B.  Public so
+/// the serving-level simulator (`hopper-infer`) charges the same
+/// calibrated per-iteration framework cost.
+pub fn layer_overhead_s(arch: Arch, p: Precision) -> f64 {
     let ms = match (arch, p) {
         (Arch::Hopper, Precision::Fp32) => 0.52,
         (Arch::Hopper, Precision::Bf16 | Precision::Fp16) => 0.78,

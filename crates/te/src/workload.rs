@@ -15,10 +15,25 @@ pub struct Request {
     pub output_len: u32,
 }
 
+/// A request stamped with its open-loop arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRequest {
+    /// Arrival time, seconds since the start of the run.
+    pub at_s: f64,
+    /// The request shape.
+    pub req: Request,
+}
+
 /// Deterministic ShareGPT-shaped request stream.
+///
+/// Request *shapes* and *arrival times* draw from two independent LCG
+/// streams seeded from the same user seed, so adding arrival-time
+/// queries (or ignoring them) never perturbs the shape sequence: old
+/// seeds keep producing bit-identical [`Request`] streams.
 #[derive(Debug, Clone)]
 pub struct ShareGptSynth {
     state: u64,
+    arrival_state: u64,
     /// Cap on prompt length (paper: 128).
     pub max_input: u32,
     /// Cap on generation length (paper: 128).
@@ -30,6 +45,9 @@ impl ShareGptSynth {
     pub fn new(seed: u64) -> Self {
         ShareGptSynth {
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            // A distinct odd multiplier decorrelates the arrival stream
+            // from the shape stream even for adjacent seeds.
+            arrival_state: seed.wrapping_mul(0xD129_0049_57F5_A7A5) | 1,
             max_input: 128,
             max_output: 128,
         }
@@ -45,6 +63,15 @@ impl ShareGptSynth {
 
     fn uniform(&mut self) -> f64 {
         ((self.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from the arrival stream (never touches `state`).
+    fn arrival_uniform(&mut self) -> f64 {
+        self.arrival_state = self
+            .arrival_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.arrival_state >> 11) as f64) / (1u64 << 53) as f64
     }
 
     /// Standard normal via Box–Muller.
@@ -72,6 +99,29 @@ impl ShareGptSynth {
     /// Draw a batch.
     pub fn batch(&mut self, n: usize) -> Vec<Request> {
         (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// Next inter-arrival gap of an open-loop Poisson process at `qps`
+    /// requests/second (exponential with mean `1/qps`), seconds.
+    pub fn next_arrival_gap_s(&mut self, qps: f64) -> f64 {
+        debug_assert!(qps > 0.0, "arrival rate must be positive");
+        let u = self.arrival_uniform().max(1e-12);
+        -u.ln() / qps
+    }
+
+    /// Draw `n` requests with cumulative open-loop Poisson arrival times
+    /// at `qps` requests/second, sorted by construction (arrival times
+    /// are non-decreasing).  The shape stream advances exactly as
+    /// [`ShareGptSynth::batch`] would.
+    pub fn timed_batch(&mut self, n: usize, qps: f64) -> Vec<TimedRequest> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                let req = self.next_request();
+                t += self.next_arrival_gap_s(qps);
+                TimedRequest { at_s: t, req }
+            })
+            .collect()
     }
 }
 
@@ -110,5 +160,51 @@ mod tests {
         let a = ShareGptSynth::new(1).batch(10);
         let b = ShareGptSynth::new(2).batch(10);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrival_stream_never_perturbs_shapes() {
+        // The contract that keeps old seeds stable: drawing arrival
+        // times must leave the shape sequence bit-identical to a
+        // generator that never asked for them.
+        let plain = ShareGptSynth::new(42).batch(100);
+        let timed = ShareGptSynth::new(42).timed_batch(100, 25.0);
+        assert_eq!(plain, timed.iter().map(|t| t.req).collect::<Vec<_>>());
+        // Interleaving extra gap draws must not shift shapes either.
+        let mut g = ShareGptSynth::new(42);
+        let mut shapes = Vec::new();
+        for _ in 0..100 {
+            let _ = g.next_arrival_gap_s(10.0);
+            shapes.push(g.next_request());
+            let _ = g.next_arrival_gap_s(10.0);
+        }
+        assert_eq!(plain, shapes);
+    }
+
+    #[test]
+    fn poisson_arrivals_match_rate() {
+        let qps = 50.0;
+        let timed = ShareGptSynth::new(9).timed_batch(4000, qps);
+        // Non-decreasing and deterministic.
+        for w in timed.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s);
+        }
+        assert_eq!(timed, ShareGptSynth::new(9).timed_batch(4000, qps));
+        // Mean inter-arrival ≈ 1/qps (law of large numbers, 5% slack).
+        let mean_gap = timed.last().unwrap().at_s / timed.len() as f64;
+        assert!(
+            (mean_gap * qps - 1.0).abs() < 0.05,
+            "mean gap {mean_gap} at {qps} qps"
+        );
+        // Exponential gaps: the variance of the gap should be ~mean²
+        // (coefficient of variation ≈ 1), distinguishing a Poisson
+        // process from a uniform jitter.
+        let gaps: Vec<f64> = std::iter::once(timed[0].at_s)
+            .chain(timed.windows(2).map(|w| w[1].at_s - w[0].at_s))
+            .collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / m;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv}");
     }
 }

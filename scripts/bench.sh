@@ -9,6 +9,8 @@
 #   SERVE=1 scripts/bench.sh         # also bench hsimd round-trip latency
 #   REPLAY=1 scripts/bench.sh        # also bench trace capture + replay
 #   OBS=1 scripts/bench.sh           # also bench observability overhead
+#   INFER=1 scripts/bench.sh         # also record serving-simulator
+#                                    # FP8-vs-FP16 throughput curves
 #   LABEL=pr2 scripts/bench.sh       # tag the entry
 #   scripts/bench.sh gate [args]     # regression-gate the newest entry
 #                                    # (args forwarded to bench-gate)
@@ -23,7 +25,10 @@
 # capture_overhead (captured vs plain run wall-clock ratio) objects.
 # OBS=1 adds a non-gated obs_overhead object (instrumented vs --obs off
 # cold-run wall-clock ratio: the metrics/logging/span machinery must
-# stay in the noise next to the simulation itself).
+# stay in the noise next to the simulation itself).  INFER=1 adds a
+# non-gated infer_crossover object: tokens/s and p99 TPOT for FP16 vs
+# FP8 across a max_seqs sweep through hsimd, recording where the FP8
+# throughput crossover lands (simulated GPU metrics, not host perf).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +43,7 @@ SWEEP="${SWEEP:-0}"
 SERVE="${SERVE:-0}"
 REPLAY="${REPLAY:-0}"
 OBS="${OBS:-0}"
+INFER="${INFER:-0}"
 LABEL="${LABEL:-}"
 OUT="BENCH_sim.json"
 
@@ -154,6 +160,41 @@ EOF
     done
 fi
 
+if [ "$INFER" = "1" ]; then
+    echo "== infer: FP8 vs FP16 serving throughput across max_seqs (via hsimd)"
+    cargo build --release -q -p hopper-serve
+    target/release/hsimd --addr 127.0.0.1:0 --workers 2 >"$tmp/hsimd_infer.log" 2>&1 &
+    hsimd_pid=$!
+    trap 'kill "$hsimd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^hsimd listening on //p' "$tmp/hsimd_infer.log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "hsimd did not start"; cat "$tmp/hsimd_infer.log"; exit 1; }
+    # Saturating arrival rate: the crossover is a batch-composition
+    # effect, so the queue must never drain between iterations.
+    for precision in fp16 fp8; do
+        for max_seqs in 16 64 256 512; do
+            target/release/hload --addr "$addr" --device h800 \
+                --model llama2-7b --precision "$precision" --seed 7 \
+                --requests 1000 --max-seqs "$max_seqs" --qps 100000 \
+                > "$tmp/infer_${precision}_${max_seqs}.json"
+            python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))["points"][0]["report"]
+assert r["outcome"] == "ok", r
+print(sys.argv[2], sys.argv[3], r["tokens_per_s"], r["tpot_ms"]["p99"])' \
+                "$tmp/infer_${precision}_${max_seqs}.json" \
+                "$precision" "$max_seqs" >> "$tmp/infer_curve.txt"
+        done
+    done
+    target/release/hsim-client --addr "$addr" shutdown >/dev/null
+    wait "$hsimd_pid"
+    trap 'rm -rf "$tmp"' EXIT
+fi
+
 if [ "$REPLAY" = "1" ]; then
     echo "== replay: capture overhead + trace replay throughput"
     cargo build --release -q -p hopper-replay
@@ -253,6 +294,30 @@ if os.path.exists(os.path.join(tmp, "replay_capture.txt")):
         "capture_ms": med["replay_capture"],
         "ratio": round(med["replay_capture"] / med["replay_plain"], 3)
         if med["replay_plain"] else None,
+    }
+
+# Serving-simulator curves are non-gated: tokens/s is a *simulated* GPU
+# metric (higher is better), recorded so the FP8-vs-FP16 crossover is
+# tracked across PRs rather than host performance.
+if os.path.exists(os.path.join(tmp, "infer_curve.txt")):
+    curves = {"fp16": [], "fp8": []}
+    with open(os.path.join(tmp, "infer_curve.txt")) as f:
+        for line in f:
+            precision, ms, tps, tpot = line.split()
+            curves[precision].append({
+                "max_seqs": int(ms),
+                "tokens_per_s": float(tps),
+                "tpot_p99_ms": float(tpot),
+            })
+    crossover = None
+    for a, b in zip(curves["fp16"], curves["fp8"]):
+        if b["tokens_per_s"] > a["tokens_per_s"]:
+            crossover = a["max_seqs"]
+            break
+    entry["infer_crossover"] = {
+        "model": "llama2-7b", "device": "h800",
+        "fp16": curves["fp16"], "fp8": curves["fp8"],
+        "fp8_wins_from_max_seqs": crossover,
     }
 
 # Observability overhead is a non-gated ratio: the instrumented daemon's

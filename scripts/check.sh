@@ -88,6 +88,50 @@ target/release/hsim-client --addr "$addr" run --trace "$golden" \
     > "$smoke/hserve_trace.json"
 python3 scripts/validate_hserve.py "$smoke/hserve_trace.json"
 
+echo "== infer smoke: serving scenario through hsimd + hload, error paths"
+cat > "$smoke/infer_scn.json" <<'EOF'
+{"model":"llama2-7b","precision":"fp16","qps":200.0,"requests":24,"seed":7}
+EOF
+target/release/hsim-client --addr "$addr" run --report infer \
+    --scenario "$smoke/infer_scn.json" --device h800 \
+    > "$smoke/hserve_infer.json"
+python3 scripts/validate_hserve.py --report infer "$smoke/hserve_infer.json"
+python3 scripts/validate_hinfer.py "$smoke/hserve_infer.json"
+# Cold vs cached must agree byte-for-byte in canonical form.
+target/release/hsim-client --addr "$addr" run --report infer \
+    --scenario "$smoke/infer_scn.json" --device h800 \
+    > "$smoke/hserve_infer2.json"
+python3 - "$smoke/hserve_infer.json" "$smoke/hserve_infer2.json" <<'EOF'
+import json, sys
+strip = lambda p: {k: v for k, v in json.load(open(p)).items()
+                   if k not in ("corr_id", "timings")}
+a, b = strip(sys.argv[1]), strip(sys.argv[2])
+assert a == b, f"cold vs cached infer response diverged:\n{a}\n{b}"
+EOF
+# A one-iteration budget must surface as a deterministic deadline error.
+# Distinct seed: a cache hit would return the stored result and never
+# consult the budget (same semantics as the kernel path).
+cat > "$smoke/infer_scn_deadline.json" <<'EOF'
+{"model":"llama2-7b","precision":"fp16","qps":200.0,"requests":24,"seed":8}
+EOF
+target/release/hsim-client --addr "$addr" run --report infer \
+    --scenario "$smoke/infer_scn_deadline.json" --device h800 --max-cycles 1 \
+    > "$smoke/hserve_infer_deadline.json" || true
+python3 scripts/validate_hserve.py --expect-error deadline_exceeded \
+    "$smoke/hserve_infer_deadline.json"
+# An invalid scenario must be rejected before it reaches the queue.
+echo '{"model":"gpt-5"}' > "$smoke/infer_bad.json"
+target/release/hsim-client --addr "$addr" run --report infer \
+    --scenario "$smoke/infer_bad.json" --device h800 \
+    > "$smoke/hserve_infer_bad.json" || true
+python3 scripts/validate_hserve.py --expect-error bad_request \
+    "$smoke/hserve_infer_bad.json"
+# hload: a two-point QPS sweep against the same daemon, then validate.
+target/release/hload --addr "$addr" --device h800 \
+    --scenario "$smoke/infer_scn.json" --qps 100,200 \
+    > "$smoke/hload_sweep.json"
+python3 scripts/validate_hinfer.py --hload "$smoke/hload_sweep.json"
+
 echo "== hsimd metrics: exposition schema, op/HTTP parity, determinism"
 target/release/hsim-client --addr "$addr" metrics > "$smoke/metrics_op.txt"
 python3 -c 'import sys, urllib.request
@@ -99,6 +143,8 @@ python3 scripts/validate_hmetrics.py "$smoke/metrics_op.txt" \
 target/release/hsim-top --addr "$addr" --once > "$smoke/hsim_top.txt"
 grep -q "queue" "$smoke/hsim_top.txt" \
     || { echo "hsim-top frame missing queue line"; cat "$smoke/hsim_top.txt"; exit 1; }
+grep -q "infer" "$smoke/hsim_top.txt" \
+    || { echo "hsim-top frame missing infer panel"; cat "$smoke/hsim_top.txt"; exit 1; }
 
 target/release/hsim-client --addr "$addr" shutdown >/dev/null
 wait "$hsimd_pid"

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Deep-validate infer (LLM serving) report payloads.
+
+Accepts either an hsim-client response envelope for `--report infer`
+(default) or an hload sweep document (`--hload`).  Beyond the schema
+check in validate_hserve.py, this verifies the semantic invariants of
+every report: percentile blocks are sorted/monotone, iteration phase
+counts sum, TTFT precedes E2E, energy/throughput are positive and
+consistent, the KV-pool peak never exceeds capacity, and failed
+outcomes (`oom`/`unsupported`) carry a non-empty detail with zeroed
+serving counters.
+
+Usage: validate_hinfer.py RESPONSE.json
+       validate_hinfer.py SWEEP.json --hload
+"""
+import json
+import sys
+
+INFER_KEYS = [
+    "avg_power_w", "completed", "decode_iterations", "decode_tokens_per_s",
+    "detail", "e2e_ms", "energy_j", "gpus", "iterations", "kv_page_tokens",
+    "kv_pages", "kv_pages_peak", "min_clock_ratio", "mixed_iterations",
+    "mode", "model", "outcome", "precision", "preempted",
+    "prefill_iterations", "requests", "sim_seconds", "tokens_in",
+    "tokens_out", "tokens_per_joule", "tokens_per_s", "tp", "tpot_ms",
+    "ttft_ms",
+]
+
+PERCENTILE_KEYS = ["mean", "p50", "p90", "p99"]
+
+
+def fail(msg):
+    print(f"hinfer report invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_percentiles(tag, p):
+    if not isinstance(p, dict) or list(p) != PERCENTILE_KEYS:
+        fail(f"{tag} must have exactly the sorted keys {PERCENTILE_KEYS}, "
+             f"got {p}")
+    for k in PERCENTILE_KEYS:
+        if not isinstance(p[k], (int, float)) or isinstance(p[k], bool):
+            fail(f"{tag}.{k} must be numeric, got {p[k]!r}")
+        if p[k] < 0:
+            fail(f"{tag}.{k} is negative: {p[k]}")
+    if not (p["p50"] <= p["p90"] <= p["p99"]):
+        fail(f"{tag} percentiles not monotone: "
+             f"{p['p50']} / {p['p90']} / {p['p99']}")
+
+
+def check_report(tag, r):
+    if not isinstance(r, dict):
+        fail(f"{tag}: report must be a JSON object")
+    if list(r) != INFER_KEYS:
+        missing = [k for k in INFER_KEYS if k not in r]
+        extra = [k for k in r if k not in INFER_KEYS]
+        fail(f"{tag}: keys must be exactly the sorted infer schema "
+             f"(missing {missing}, unexpected {extra}, order "
+             f"{'ok' if sorted(r) == list(r) else 'unsorted'})")
+    outcome = r["outcome"]
+    if outcome not in ("ok", "oom", "unsupported"):
+        fail(f"{tag}: unknown outcome {outcome!r}")
+    if outcome != "ok":
+        if not r["detail"]:
+            fail(f"{tag}: {outcome} report must carry a detail message")
+        if r["completed"] != 0 or r["iterations"] != 0:
+            fail(f"{tag}: {outcome} report must not claim progress")
+        return
+    for key in ("ttft_ms", "tpot_ms", "e2e_ms"):
+        check_percentiles(f"{tag}.{key}", r[key])
+    if r["ttft_ms"]["p50"] >= r["e2e_ms"]["p50"]:
+        fail(f"{tag}: TTFT p50 {r['ttft_ms']['p50']} must precede "
+             f"E2E p50 {r['e2e_ms']['p50']}")
+    if r["completed"] != r["requests"]:
+        fail(f"{tag}: completed {r['completed']} != requests "
+             f"{r['requests']}")
+    phases = (r["prefill_iterations"] + r["decode_iterations"]
+              + r["mixed_iterations"])
+    if r["iterations"] != phases:
+        fail(f"{tag}: iterations {r['iterations']} != phase sum {phases}")
+    for key in ("sim_seconds", "energy_j", "tokens_per_s",
+                "tokens_per_joule", "avg_power_w"):
+        if not r[key] > 0:
+            fail(f"{tag}: {key} must be positive, got {r[key]}")
+    if not 0 < r["min_clock_ratio"] <= 1.0:
+        fail(f"{tag}: min_clock_ratio {r['min_clock_ratio']} outside (0, 1]")
+    if r["decode_tokens_per_s"] >= r["tokens_per_s"]:
+        fail(f"{tag}: decode tokens/s {r['decode_tokens_per_s']} must be "
+             f"below total {r['tokens_per_s']}")
+    if r["kv_pages_peak"] > r["kv_pages"]:
+        fail(f"{tag}: KV peak {r['kv_pages_peak']} exceeds pool "
+             f"{r['kv_pages']}")
+    expect_gpus = r["tp"] * (2 if r["mode"] == "disaggregated" else 1)
+    if r["gpus"] != expect_gpus:
+        fail(f"{tag}: gpus {r['gpus']} != {expect_gpus} for mode "
+             f"{r['mode']} tp {r['tp']}")
+    # Throughput identity: tokens/s * seconds covers the unique tokens.
+    produced = r["tokens_per_s"] * r["sim_seconds"]
+    total = r["tokens_in"] + r["tokens_out"]
+    if abs(produced - total) > 0.01 * total:
+        fail(f"{tag}: tokens_per_s x sim_seconds = {produced:.1f} but "
+             f"tokens_in+out = {total}")
+
+
+def main():
+    args = sys.argv[1:]
+    hload = "--hload" in args
+    if hload:
+        args.remove("--hload")
+    if len(args) != 1:
+        sys.exit(__doc__)
+    with open(args[0]) as f:
+        doc = json.loads(f.read())
+
+    if hload:
+        if not isinstance(doc, dict) or list(doc) != ["device", "points",
+                                                      "scenario"]:
+            fail(f"hload document keys must be [device, points, scenario], "
+                 f"got {list(doc) if isinstance(doc, dict) else type(doc)}")
+        if not doc["points"]:
+            fail("hload document has no points")
+        for n, point in enumerate(doc["points"]):
+            if list(point) != ["qps", "report"]:
+                fail(f"point {n} keys must be [qps, report], "
+                     f"got {list(point)}")
+            check_report(f"point {n} (qps {point['qps']})", point["report"])
+        print(f"{args[0]}: valid hload sweep ({len(doc['points'])} points)")
+    else:
+        if not isinstance(doc, dict) or doc.get("status") != "ok":
+            fail(f"expected an ok response envelope: {doc}")
+        check_report("result", doc["result"])
+        print(f"{args[0]}: valid infer response "
+              f"(outcome {doc['result']['outcome']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,15 @@ Checks the envelope (exactly the sorted keys `corr_id`/`digest`/`id`/
 16-hex-digit digest, a `pid-seq` hex correlation id) and the result payload:
 for `stats` reports every aggregate counter key must be present and
 numeric; for `profile` reports the sectioned hopper-prof keys must be
-present and `result.kernel_digest` must equal the envelope digest.
+present and `result.kernel_digest` must equal the envelope digest; for
+`infer` reports the serving-report keys must be present in sorted order
+(deep payload checks live in validate_hinfer.py).
 
-Usage: validate_hserve.py RESPONSE.json [--report stats|profile]
+With `--expect-error KIND` the response must instead be a well-formed
+error envelope whose `error.kind` equals KIND.
+
+Usage: validate_hserve.py RESPONSE.json [--report stats|profile|infer]
+       validate_hserve.py RESPONSE.json --expect-error KIND
 """
 import json
 import re
@@ -30,20 +36,55 @@ PROFILE_KEYS = [
     "occupancy", "pcs", "roofline", "sol", "stalls", "time_us",
 ]
 
+INFER_KEYS = [
+    "avg_power_w", "completed", "decode_iterations", "decode_tokens_per_s",
+    "detail", "e2e_ms", "energy_j", "gpus", "iterations", "kv_page_tokens",
+    "kv_pages", "kv_pages_peak", "min_clock_ratio", "mixed_iterations",
+    "mode", "model", "outcome", "precision", "preempted",
+    "prefill_iterations", "requests", "sim_seconds", "tokens_in",
+    "tokens_out", "tokens_per_joule", "tokens_per_s", "tp", "tpot_ms",
+    "ttft_ms",
+]
+
+ERROR_ENVELOPE_KEYS = ["corr_id", "error", "id", "status"]
+
 
 def fail(msg):
     print(f"hserve response invalid: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_error(path, resp, kind):
+    if list(resp) != ERROR_ENVELOPE_KEYS:
+        fail(f"error envelope keys must be exactly {ERROR_ENVELOPE_KEYS} in "
+             f"sorted order, got {list(resp)}")
+    if resp["status"] != "error":
+        fail(f"expected status \"error\", got {resp['status']!r}")
+    err = resp["error"]
+    if not isinstance(err, dict) or list(err) != ["kind", "message"]:
+        fail(f"error value must have exactly the keys [kind, message], "
+             f"got {err}")
+    if err["kind"] != kind:
+        fail(f"expected error kind {kind!r}, got {err['kind']!r} "
+             f"({err['message']!r})")
+    if not err["message"]:
+        fail("error message must be non-empty")
+    print(f"{path}: valid {kind} error response")
+
+
 def main():
     args = sys.argv[1:]
     report = "stats"
+    expect_error = None
+    if "--expect-error" in args:
+        i = args.index("--expect-error")
+        expect_error = args[i + 1]
+        del args[i:i + 2]
     if "--report" in args:
         i = args.index("--report")
         report = args[i + 1]
         del args[i:i + 2]
-    if len(args) != 1 or report not in ("stats", "profile"):
+    if len(args) != 1 or report not in ("stats", "profile", "infer"):
         sys.exit(__doc__)
 
     with open(args[0]) as f:
@@ -54,6 +95,9 @@ def main():
 
     if not isinstance(resp, dict):
         fail("envelope must be a JSON object")
+    if expect_error is not None:
+        check_error(args[0], resp, expect_error)
+        return
     expected_envelope = ENVELOPE_KEYS + (["timings"] if "timings" in resp
                                          else [])
     if list(resp) != expected_envelope:
@@ -77,11 +121,18 @@ def main():
     result = resp["result"]
     if not isinstance(result, dict):
         fail("result must be a JSON object")
-    expected = STATS_KEYS if report == "stats" else PROFILE_KEYS
+    expected = {"stats": STATS_KEYS, "profile": PROFILE_KEYS,
+                "infer": INFER_KEYS}[report]
     missing = [k for k in expected if k not in result]
     if missing:
         fail(f"{report} payload missing keys: {missing}")
-    if report == "stats":
+    if report == "infer":
+        if list(result) != INFER_KEYS:
+            fail(f"infer payload keys must be exactly {INFER_KEYS} in "
+                 f"sorted order, got {list(result)}")
+        if result["outcome"] not in ("ok", "oom", "unsupported"):
+            fail(f"unknown infer outcome {result['outcome']!r}")
+    elif report == "stats":
         bad = [k for k in STATS_KEYS
                if not isinstance(result[k], (int, float))
                or isinstance(result[k], bool)]
