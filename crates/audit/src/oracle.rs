@@ -28,6 +28,11 @@
 //!    stall buckets, DVFS outcome and full stall profile bitwise; for
 //!    textual kernels the trace must additionally survive the text and
 //!    binary file formats unchanged.
+//! 8. **Parallel equivalence** — sharding the per-SM issue loops across
+//!    a worker pool (`SimOptions::sim_threads` ∈ {2, 4}) must reproduce
+//!    the serial ready-set run bitwise: `Metrics` (including the f64
+//!    energy accumulator), the DVFS outcome and the final contents of
+//!    the kernel's global buffer.
 
 use crate::gen::{KernelPlan, GBUF_BYTES};
 use crate::rng::SplitMix64;
@@ -136,6 +141,51 @@ pub fn check_plan(
     );
     sanity(plan, dev, "ready-set", &rs)?;
     sanity(plan, dev, "legacy", &legacy)?;
+
+    // 8: parallel equivalence — sharding the SM loop across a worker
+    // pool must change nothing observable: Metrics, the DVFS outcome
+    // and the full functional memory image stay bitwise-identical to
+    // the serial ready-set run.
+    let par = |threads: u32| -> Result<(RunStats, Vec<u8>), String> {
+        let mut gpu = Gpu::with_options(
+            dev.clone(),
+            SimOptions {
+                scheduler: Scheduler::ReadySet,
+                sim_threads: threads,
+                ..Default::default()
+            },
+        );
+        let (buf, l) = setup(&mut gpu, plan)?;
+        let s = gpu
+            .launch(&k, &l)
+            .map_err(|e| format!("launch (sim_threads={threads}) failed: {e:?}"))?;
+        let mem = gpu.read(buf, GBUF_BYTES as usize);
+        Ok((s, mem))
+    };
+    let (p1, m1) = par(1)?;
+    ensure!(
+        p1.metrics == rs.metrics,
+        "parallel oracle: serial re-run under sim_threads=1 diverged"
+    );
+    for threads in [2u32, 4] {
+        let (pt, mt) = par(threads)?;
+        ensure!(
+            pt.metrics == p1.metrics,
+            "parallel oracle: sim_threads={threads} Metrics diverge\n  parallel: {:?}\n  serial:   {:?}",
+            pt.metrics,
+            p1.metrics
+        );
+        ensure!(
+            pt.achieved_clock_hz == p1.achieved_clock_hz,
+            "parallel oracle: sim_threads={threads} DVFS outcome diverges ({} vs {})",
+            pt.achieved_clock_hz,
+            p1.achieved_clock_hz
+        );
+        ensure!(
+            mt == m1,
+            "parallel oracle: sim_threads={threads} leaves different memory contents"
+        );
+    }
 
     // 2: profiled runs — stall attribution equal across schedulers and
     // metrics equal to the untraced run (trace transparency).

@@ -147,12 +147,51 @@ fn bench_pchase(c: &mut Criterion) {
     }
 }
 
+fn bench_pchase_parallel(c: &mut Criterion) {
+    use hopper_isa::asm::assemble;
+    use hopper_sim::{DeviceConfig, Gpu, Launch, Scheduler, SimOptions};
+    // The fulldev pointer chase again, sharded over 4 engine workers.
+    // Compare against `pchase_dram_fulldev_ready_set` for the parallel
+    // speedup (the results are bitwise identical; only wall-clock moves).
+    // On hosts narrower than 4 cores the measurement would only record
+    // contention, so it is skipped with an explicit marker instead of
+    // quietly publishing a misleading number.
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if avail < 4 {
+        println!("pchase_dram_fulldev_par4 skipped: host parallelism {avail} < 4");
+        return;
+    }
+    let opts = SimOptions {
+        scheduler: Scheduler::ReadySet,
+        sim_threads: 4,
+        ..Default::default()
+    };
+    let mut gpu = Gpu::with_options(DeviceConfig::h800(), opts);
+    let n = 4096u64;
+    let buf = gpu.alloc(n * 8).unwrap();
+    for i in 0..n {
+        let next = buf + ((i + 67) % n) * 8;
+        gpu.mem_mut().write_scalar(buf + i * 8, 8, next);
+    }
+    let k = assemble(
+        "mov %r1, %warpid;\nmov %r2, %ctaid.x;\nmad.s32 %r7, %r2, 32, %r1;\nsetp.ne.s32 %p1, %r7, 0;\n@%p1 bra CHASE;\nmov.s32 %r6, 0;\nSPIN:\nadd.s32 %r6, %r6, 1;\nsetp.lt.s32 %p2, %r6, 12000;\n@%p2 bra SPIN;\nexit;\nCHASE:\nshl.s32 %r4, %r7, 3;\nand.s32 %r4, %r4, 32767;\nadd.s32 %r5, %r4, %r0;\nmov.s32 %r6, 0;\nLOOP:\nld.global.cg.b64 %r5, [%r5];\nadd.s32 %r6, %r6, 1;\nsetp.lt.s32 %p0, %r6, 40;\n@%p0 bra LOOP;\nexit;",
+    )
+    .unwrap();
+    let launch = Launch::new(32, 1024).with_params(vec![buf]);
+    c.bench_function("pchase_dram_fulldev_par4", |b| {
+        b.iter(|| gpu.launch(black_box(&k), &launch).unwrap().metrics.cycles)
+    });
+}
+
 criterion_group!(
     benches,
     bench_fp8_encode,
     bench_mma_functional,
     bench_small_kernel,
     bench_traced_kernel,
-    bench_pchase
+    bench_pchase,
+    bench_pchase_parallel
 );
 criterion_main!(benches);

@@ -5,11 +5,16 @@
 //!
 //! ```text
 //! hprof [h800|a100|rtx4090|all] [pchase|stream|tensor|dpx|all] [--json] [--out DIR]
+//!       [--sim-threads N]
 //! ```
 //!
 //! `--json` switches to the deterministic JSON rendering (sorted keys, no
 //! timestamps: two runs are byte-identical).  `--out DIR` writes one
 //! `hprof_<device>_<workload>.{txt,json}` per report instead of stdout.
+//! `--sim-threads N` shards each launch's SM loop over `N` workers
+//! (0 = auto, clamped to the host; results are bitwise identical at any
+//! count — profiled runs themselves stay serial, the flag speeds up the
+//! untraced baseline passes).
 
 use hopper_prof::workloads::Workload;
 use hopper_prof::{profile_kernel, KernelReport};
@@ -26,7 +31,8 @@ fn device_by_name(name: &str) -> Option<DeviceConfig> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hprof [h800|a100|rtx4090|all] [pchase|stream|tensor|dpx|all] [--json] [--out DIR]"
+        "usage: hprof [h800|a100|rtx4090|all] [pchase|stream|tensor|dpx|all] [--json] [--out DIR]\n\
+         \x20            [--sim-threads N]"
     );
     std::process::exit(2);
 }
@@ -57,10 +63,16 @@ fn main() {
                 i += 1;
                 out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--sim-threads" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                let t: u32 = v.parse().unwrap_or_else(|_| usage());
+                hopper_sim::threads::set_default_sim_threads(t);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hprof [h800|a100|rtx4090|all] [pchase|stream|tensor|dpx|all] \
-                     [--json] [--out DIR]"
+                     [--json] [--out DIR] [--sim-threads N]"
                 );
                 return;
             }

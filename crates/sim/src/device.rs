@@ -89,6 +89,16 @@ pub struct SimOptions {
     /// Event-category enables for attached trace sinks (ignored when no
     /// sink is attached; see [`crate::Gpu::launch_traced`]).
     pub trace: hopper_trace::TraceConfig,
+    /// Intra-kernel worker threads: SMs of one engine run are sharded
+    /// across this many workers (`0` or `1` = serial). Results are
+    /// bitwise-identical to the serial path at any count (enforced by
+    /// `sched_equivalence` and the `parallel_equivalence` audit oracle);
+    /// runs that the parallel engine cannot shard (traces attached,
+    /// replay, multi-block clusters, finite cycle budgets, single-SM
+    /// waves) fall back to the serial path silently. See
+    /// [`crate::threads::resolve_sim_threads`] for the process-wide
+    /// jobs × threads budget the CLI layers apply before setting this.
+    pub sim_threads: u32,
 }
 
 impl Default for SimOptions {
@@ -101,6 +111,7 @@ impl Default for SimOptions {
             mma_issue_gap: true,
             scheduler: Scheduler::default(),
             trace: hopper_trace::TraceConfig::all(),
+            sim_threads: 0,
         }
     }
 }

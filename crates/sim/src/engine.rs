@@ -31,6 +31,9 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+#[path = "par.rs"]
+mod par;
+
 /// Tag marking a register value as a cluster-DSM address produced by
 /// `mapa` (bit 62 set; rank in bits 32..48; offset in the low 32).
 pub const DSM_TAG: u64 = 1 << 62;
@@ -291,9 +294,22 @@ pub struct Engine<'a> {
     /// (precomputed so barrier release never rescans `blocks`).
     cluster_members: Vec<(u32, Vec<usize>, usize)>,
     /// Warps currently arrived at some block barrier (early-out for
-    /// [`Self::release_barriers`]).
+    /// [`Self::release_barriers`]; serial paths only — the parallel path
+    /// keeps the per-SM counts below and leaves this at zero).
     barrier_arrivals: usize,
+    /// Per-SM share of `barrier_arrivals` (early-out for
+    /// [`Self::release_sm_barriers`]).
+    sm_barrier_arrivals: Vec<usize>,
+    /// Blocks resident on each SM (barrier-release working set).
+    sm_blocks: Vec<Vec<usize>>,
     metrics: Metrics,
+    /// Per-SM accumulators, folded into `metrics` SM-major after the run.
+    /// Serial and parallel paths both accumulate here so the f64 energy
+    /// sums see one addition order and stay bitwise identical.
+    sm_metrics: Vec<Metrics>,
+    /// Set while [`Self::run_parallel`] drives the warps: shared-state
+    /// shortcuts that would race across SM shards are skipped.
+    par_run: bool,
     l1_stats0: (u64, u64),
     l2_stats0: (u64, u64),
     /// Attached trace sink (`None` = untraced hot path).
@@ -473,6 +489,10 @@ impl<'a> Engine<'a> {
                 None => cluster_members.push((cid, vec![bi], b.warps.len())),
             }
         }
+        let mut sm_blocks: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+        for (bi, b) in blocks.iter().enumerate() {
+            sm_blocks[b.spec.sm].push(bi);
+        }
         Engine {
             dev,
             kernel,
@@ -488,7 +508,11 @@ impl<'a> Engine<'a> {
             cluster_barriers: HashMap::new(),
             cluster_members,
             barrier_arrivals: 0,
+            sm_barrier_arrivals: vec![0; num_sms],
+            sm_blocks,
             metrics: Metrics::default(),
+            sm_metrics: vec![Metrics::default(); num_sms],
+            par_run: false,
             l1_stats0,
             l2_stats0,
             sink: None,
@@ -572,9 +596,21 @@ impl<'a> Engine<'a> {
         // scan (real devices top out at 16 warps per scheduler slot, and
         // the cosim roster at 8, so this never triggers in practice).
         let fits = roster.iter().flatten().all(|c| c.len() <= MAX_SLOT_WARPS);
+        if !fits && matches!(self.cfg.opts.scheduler, Scheduler::ReadySet) {
+            warn_slot_overflow(&self.kernel.name, self.cfg.opts.sim_threads);
+        }
+        let workers = if fits { self.par_workers(tracing) } else { 1 };
         match self.cfg.opts.scheduler {
+            Scheduler::ReadySet if fits && workers > 1 => self.run_parallel(&roster, workers),
             Scheduler::ReadySet if fits => self.run_ready_set(&roster, tracing, &mut slot_acc),
             _ => self.run_legacy(&roster, tracing, &mut slot_acc),
+        }
+        // Fold the per-SM accumulators in SM-major order — one fixed f64
+        // addition order for energy regardless of execution path, which is
+        // what makes serial and parallel runs bitwise-identical.
+        let sm_metrics = std::mem::take(&mut self.sm_metrics);
+        for m in &sm_metrics {
+            self.metrics.merge_parallel(m);
         }
         self.metrics.cycles = self.cycle;
         let (h, m) = self.caches.l2.stats();
@@ -594,6 +630,32 @@ impl<'a> Engine<'a> {
             self.emit_wave_summary(&slot_acc);
         }
         (self.metrics, self.hit_limit)
+    }
+
+    /// Worker count for this run: the configured `sim_threads`, unless a
+    /// feature outside the parallel path's soundness argument is active —
+    /// then 1 (silent serial fallback; results are identical either way,
+    /// which is what the `parallel_equivalence` oracle enforces).
+    ///
+    /// The exclusions: tracing and replay/capture observe a global issue
+    /// order; a finite cycle budget stops all SMs at one global cycle;
+    /// clustered launches and cluster-feature kernels (`cluster.sync`,
+    /// `mapa`, `shared::cluster` DSM accesses) reach across SMs outside
+    /// the shared-class gate.
+    fn par_workers(&self, tracing: bool) -> usize {
+        let t = self.cfg.opts.sim_threads as usize;
+        if t <= 1
+            || self.sms.len() <= 1
+            || tracing
+            || self.capture
+            || self.replay.is_some()
+            || self.cfg.limit.max_cycles != u64::MAX
+            || self.cfg.cluster_size > 1
+            || self.kernel.instrs.iter().any(uses_cluster_features)
+        {
+            return 1;
+        }
+        t.min(self.sms.len())
     }
 
     /// Ready-set issue loop: each slot partitions its warps into a ready
@@ -760,7 +822,7 @@ impl<'a> Engine<'a> {
                                 continue;
                             }
                             let pc_before = self.warps[w].pc;
-                            match self.try_issue(w) {
+                            match self.try_issue(w, self.cycle, false) {
                                 IssueResult::Issued => {
                                     self.sms[sm].last_sched[sched] = pos;
                                     issued_any = true;
@@ -786,6 +848,9 @@ impl<'a> Engine<'a> {
                                         slot_stall = Some((wk, reason, pc_before as u32));
                                     }
                                 }
+                                IssueResult::NeedsShared => {
+                                    unreachable!("serial scans never issue local-only")
+                                }
                             }
                         }
                     } else {
@@ -795,7 +860,7 @@ impl<'a> Engine<'a> {
                             let bit = 1u64 << pos;
                             m &= m - 1;
                             let w = candidates[pos];
-                            match self.try_issue(w) {
+                            match self.try_issue(w, self.cycle, false) {
                                 IssueResult::Issued => {
                                     self.sms[sm].last_sched[sched] = pos;
                                     issued_any = true;
@@ -814,6 +879,9 @@ impl<'a> Engine<'a> {
                                         sleep |= bit;
                                         sleep_min = sleep_min.min(wk);
                                     }
+                                }
+                                IssueResult::NeedsShared => {
+                                    unreachable!("serial scans never issue local-only")
                                 }
                             }
                         }
@@ -1085,7 +1153,7 @@ impl<'a> Engine<'a> {
                             continue;
                         }
                         let pc_before = self.warps[w].pc;
-                        match self.try_issue(w) {
+                        match self.try_issue(w, self.cycle, false) {
                             IssueResult::Issued => {
                                 self.sms[sm].last_sched[sched] = (start + i) % candidates.len();
                                 issued_any = true;
@@ -1110,6 +1178,9 @@ impl<'a> Engine<'a> {
                                         slot_stall = Some((wk, reason, pc_before as u32));
                                     }
                                 }
+                            }
+                            IssueResult::NeedsShared => {
+                                unreachable!("serial scans never issue local-only")
                             }
                         }
                     }
@@ -1420,23 +1491,12 @@ impl<'a> Engine<'a> {
 
     fn release_barriers(&mut self) {
         // Block barriers.  `barrier_arrivals` makes the no-barriers-pending
-        // case (every iteration of barrier-free kernels) O(1), and the
-        // index loops avoid the per-release clone of the warp list.
+        // case (every iteration of barrier-free kernels) O(1); the per-SM
+        // walk reuses the parallel path's release helper.
         if self.barrier_arrivals > 0 {
-            for bi in 0..self.blocks.len() {
-                if self.blocks[bi].barrier_count == self.blocks[bi].warps.len() {
-                    self.blocks[bi].barrier_count = 0;
-                    self.barrier_arrivals -= self.blocks[bi].warps.len();
-                    let release = self.cycle + BAR_RELEASE;
-                    for wi in 0..self.blocks[bi].warps.len() {
-                        let w = self.blocks[bi].warps[wi];
-                        if self.warps[w].status == WarpStatus::Barrier {
-                            self.warps[w].status = WarpStatus::Ready;
-                            self.warps[w].next_ready = self.warps[w].next_ready.max(release);
-                            self.warps[w].retry_at = 0;
-                        }
-                    }
-                }
+            let now = self.cycle;
+            for sm in 0..self.sm_blocks.len() {
+                self.barrier_arrivals -= self.release_sm_barriers(sm, now);
             }
         }
         // Cluster barriers (membership precomputed in `new`).
@@ -1464,10 +1524,39 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Release full block barriers on one SM; returns the number of
+    /// arrivals released.  The parallel path calls this per SM with the
+    /// SM-local clock (cluster barriers are excluded by its eligibility
+    /// check); the serial path wraps it in [`Self::release_barriers`].
+    /// The index loops avoid a per-release clone of the warp list.
+    fn release_sm_barriers(&mut self, sm: usize, now: u64) -> usize {
+        if self.sm_barrier_arrivals[sm] == 0 {
+            return 0;
+        }
+        let mut released = 0usize;
+        for k in 0..self.sm_blocks[sm].len() {
+            let bi = self.sm_blocks[sm][k];
+            if self.blocks[bi].barrier_count == self.blocks[bi].warps.len() {
+                self.blocks[bi].barrier_count = 0;
+                released += self.blocks[bi].warps.len();
+                let release = now + BAR_RELEASE;
+                for wi in 0..self.blocks[bi].warps.len() {
+                    let w = self.blocks[bi].warps[wi];
+                    if self.warps[w].status == WarpStatus::Barrier {
+                        self.warps[w].status = WarpStatus::Ready;
+                        self.warps[w].next_ready = self.warps[w].next_ready.max(release);
+                        self.warps[w].retry_at = 0;
+                    }
+                }
+            }
+        }
+        self.sm_barrier_arrivals[sm] -= released;
+        released
+    }
+
     // ---------------------------------------------------------------- issue
 
-    fn try_issue(&mut self, w: usize) -> IssueResult {
-        let now = self.cycle;
+    fn try_issue(&mut self, w: usize, now: u64, local_only: bool) -> IssueResult {
         {
             let ws = &self.warps[w];
             match ws.status {
@@ -1493,11 +1582,19 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Parallel shard: an instruction that passed every SM-local gate
+        // but touches run-shared state must issue under the shared gate —
+        // hand control back before anything commits.
+        if local_only && needs_shared(instr) {
+            return IssueResult::NeedsShared;
+        }
+
         // Structural + execute.
-        let res = self.execute(w, instr);
+        let res = self.execute(w, instr, now);
         match res {
             IssueResult::Issued => {
-                self.metrics.instructions += 1;
+                let sm = self.sm_of(w);
+                self.sm_metrics[sm].instructions += 1;
                 let ws = &mut self.warps[w];
                 ws.next_ready = ws.next_ready.max(now + 1);
                 // Replay: follow the recorded PC sequence (this is what
@@ -1510,7 +1607,7 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            IssueResult::Stalled(..) => {}
+            IssueResult::Stalled(..) | IssueResult::NeedsShared => {}
         }
         res
     }
@@ -1621,9 +1718,8 @@ impl<'a> Engine<'a> {
 
     // ------------------------------------------------------------- execute
 
-    fn execute(&mut self, w: usize, instr: &Instr) -> IssueResult {
-        let now = self.cycle as f64;
-        let nowc = self.cycle;
+    fn execute(&mut self, w: usize, instr: &Instr, nowc: u64) -> IssueResult {
+        let now = nowc as f64;
         if self.capture {
             // Stalled attempts may leave pushes behind; the payload is
             // only read after an Issued outcome, so clearing here keeps
@@ -1660,7 +1756,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64);
-                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+                self.sm_metrics[sm].energy_j += 32.0 * power::ALU_ENERGY_J;
                 self.advance(w);
                 IssueResult::Issued
             }
@@ -1681,7 +1777,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 self.finish_reg(w, *dst, nowc + self.dev.alu_latency as u64 + 1);
-                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+                self.sm_metrics[sm].energy_j += 32.0 * power::ALU_ENERGY_J;
                 self.advance(w);
                 IssueResult::Issued
             }
@@ -1691,7 +1787,7 @@ impl<'a> Engine<'a> {
                 dst,
                 a,
                 b,
-            } => self.fp_op(w, *prec, *dst, &[*a, *b], {
+            } => self.fp_op(w, *prec, *dst, &[*a, *b], nowc, {
                 let op = *op;
                 move |v: &[f64]| match op {
                     FAluOp::Add => v[0] + v[1],
@@ -1701,7 +1797,7 @@ impl<'a> Engine<'a> {
                 }
             }),
             Instr::FFma { prec, dst, a, b, c } => {
-                self.fp_op(w, *prec, *dst, &[*a, *b, *c], |v: &[f64]| {
+                self.fp_op(w, *prec, *dst, &[*a, *b, *c], nowc, |v: &[f64]| {
                     v[0] * v[1] + v[2]
                 })
             }
@@ -1745,7 +1841,7 @@ impl<'a> Engine<'a> {
                     }
                     let ustart = self.sms[sm].int_pipe.acquire(now, cost);
                     self.trace_unit(sm as u32, "int", w, ustart, cost);
-                    self.metrics.instructions += ops as u64 - 1;
+                    self.sm_metrics[sm].instructions += ops as u64 - 1;
                     self.finish_reg(w, *dst, nowc + (ops * self.dev.alu_latency) as u64);
                 }
                 if !self.replaying() {
@@ -1755,8 +1851,8 @@ impl<'a> Engine<'a> {
                         f.eval(x as u32, y as u32, z as u32) as u64
                     });
                 }
-                self.metrics.dpx_ops += 32;
-                self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J * 1.5;
+                self.sm_metrics[sm].dpx_ops += 32;
+                self.sm_metrics[sm].energy_j += 32.0 * power::ALU_ENERGY_J * 1.5;
                 self.advance(w);
                 IssueResult::Issued
             }
@@ -1831,20 +1927,20 @@ impl<'a> Engine<'a> {
                 width,
                 dst,
                 addr,
-            } => self.do_load(w, *space, *cop, *width, *dst, *addr),
+            } => self.do_load(w, *space, *cop, *width, *dst, *addr, nowc),
             Instr::St {
                 space,
                 width,
                 src,
                 addr,
-            } => self.do_store(w, *space, *width, *src, *addr),
+            } => self.do_store(w, *space, *width, *src, *addr, nowc),
             Instr::AtomAdd {
                 space,
                 dst,
                 addr,
                 src,
-            } => self.do_atom(w, *space, *dst, *addr, *src),
-            Instr::CpAsync { width, smem, gmem } => self.do_cp_async(w, *width, *smem, *gmem),
+            } => self.do_atom(w, *space, *dst, *addr, *src, nowc),
+            Instr::CpAsync { width, smem, gmem } => self.do_cp_async(w, *width, *smem, *gmem, nowc),
             Instr::CpAsyncCommit => {
                 let ws = &mut self.warps[w];
                 let c = ws.cp_pending;
@@ -1874,13 +1970,13 @@ impl<'a> Engine<'a> {
                 gstride,
                 smem,
                 gmem,
-            } => self.do_tma(w, *rows, *row_bytes, *gstride, *smem, *gmem),
-            Instr::Mma { desc, d, a, b, c } => self.do_mma(w, desc, *d, *a, *b, *c),
+            } => self.do_tma(w, *rows, *row_bytes, *gstride, *smem, *gmem, nowc),
+            Instr::Mma { desc, d, a, b, c } => self.do_mma(w, desc, *d, *a, *b, *c, nowc),
             Instr::WgmmaFence => {
                 self.advance(w);
                 IssueResult::Issued
             }
-            Instr::Wgmma { desc, d, a, b } => self.do_wgmma(w, desc, *d, *a, *b),
+            Instr::Wgmma { desc, d, a, b } => self.do_wgmma(w, desc, *d, *a, *b, nowc),
             Instr::WgmmaCommit => {
                 let key = self.wg_key(w);
                 let bi = self.warps[w].block;
@@ -1929,8 +2025,9 @@ impl<'a> Engine<'a> {
                 *cols as usize,
                 *space,
                 *addr,
+                nowc,
             ),
-            Instr::StTile { tile, space, addr } => self.do_st_tile(w, *tile, *space, *addr),
+            Instr::StTile { tile, space, addr } => self.do_st_tile(w, *tile, *space, *addr, nowc),
             Instr::FillTile {
                 tile,
                 dtype,
@@ -1970,18 +2067,23 @@ impl<'a> Engine<'a> {
             }
             Instr::BarSync => {
                 let bi = self.warps[w].block;
+                let sm = self.blocks[bi].spec.sm;
                 self.blocks[bi].barrier_count += 1;
-                self.barrier_arrivals += 1;
-                self.metrics.barrier_waits += 1;
+                self.sm_barrier_arrivals[sm] += 1;
+                if !self.par_run {
+                    self.barrier_arrivals += 1;
+                }
+                self.sm_metrics[sm].barrier_waits += 1;
                 self.warps[w].status = WarpStatus::Barrier;
                 self.advance(w);
                 IssueResult::Issued
             }
             Instr::ClusterSync => {
                 let bi = self.warps[w].block;
+                let sm = self.blocks[bi].spec.sm;
                 let cid = self.blocks[bi].spec.cluster_id;
                 *self.cluster_barriers.entry(cid).or_insert(0) += 1;
-                self.metrics.barrier_waits += 1;
+                self.sm_metrics[sm].barrier_waits += 1;
                 self.warps[w].status = WarpStatus::ClusterBarrier;
                 self.advance(w);
                 IssueResult::Issued
@@ -2080,9 +2182,10 @@ impl<'a> Engine<'a> {
         prec: FloatPrec,
         dst: Reg,
         srcs: &[Operand],
+        nowc: u64,
         f: impl Fn(&[f64]) -> f64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         let (pipe_free, cost, lat) = match prec {
             FloatPrec::F32 => (
@@ -2122,8 +2225,8 @@ impl<'a> Engine<'a> {
                 self.warps[w].regs[dst.0 as usize * 32 + lane] = bits;
             }
         }
-        self.finish_reg(w, dst, self.cycle + lat);
-        self.metrics.energy_j += 32.0 * power::ALU_ENERGY_J;
+        self.finish_reg(w, dst, nowc + lat);
+        self.sm_metrics[sm].energy_j += 32.0 * power::ALU_ENERGY_J;
         self.advance(w);
         IssueResult::Issued
     }
@@ -2210,8 +2313,9 @@ impl<'a> Engine<'a> {
         width: Width,
         dst: Reg,
         addr: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let mut abuf = [(0usize, 0u64); 32];
         let lanes = self.issue_lanes(w, addr, &mut abuf);
         if self.capture {
@@ -2235,8 +2339,8 @@ impl<'a> Engine<'a> {
                     let start = self.sms[sm].dsm_port.acquire(now, cost);
                     self.trace_unit(sm as u32, "dsm_port", w, start, cost);
                     let done = (start + cost) as u64 + self.dev.dsm_latency as u64;
-                    self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
-                    self.metrics.energy_j +=
+                    self.sm_metrics[sm].dsm_bytes += lanes.len() as u64 * bytes;
+                    self.sm_metrics[sm].energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
                     if !self.replaying() {
                         self.read_shared_lanes(w, lanes, bytes, dst);
@@ -2254,8 +2358,8 @@ impl<'a> Engine<'a> {
                     let start = self.sms[sm].smem_port.acquire(now, cost);
                     self.trace_unit(sm as u32, "smem_port", w, start, cost);
                     let done = (start + cost) as u64 + self.dev.smem_latency as u64 - 1;
-                    self.metrics.smem_bytes += lanes.len() as u64 * bytes;
-                    self.metrics.energy_j +=
+                    self.sm_metrics[sm].smem_bytes += lanes.len() as u64 * bytes;
+                    self.sm_metrics[sm].energy_j +=
                         lanes.len() as f64 * bytes as f64 * power::SMEM_ENERGY_PER_BYTE_J;
                     if !self.replaying() {
                         self.read_shared_lanes(w, lanes, bytes, dst);
@@ -2348,7 +2452,7 @@ impl<'a> Engine<'a> {
         coalesce_sectors_into(lanes.iter().map(|&(_, a)| a), bytes, &mut scratch.sectors);
         let sectors = &scratch.sectors;
         let total_bytes = (sectors.len() * 32) as u64;
-        self.metrics.l1_bytes += total_bytes;
+        self.sm_metrics[sm].l1_bytes += total_bytes;
         let tracing_cache = self.sink.is_some() && self.trace.cache_events;
 
         // L1 port occupancy regardless of hit/miss.
@@ -2370,7 +2474,7 @@ impl<'a> Engine<'a> {
         for &page in &scratch.pages {
             if !self.caches.tlb.access(page << 21) {
                 tlb_penalty = self.dev.tlb_miss_latency as f64;
-                self.metrics.tlb_misses += 1;
+                self.sm_metrics[sm].tlb_misses += 1;
                 if tracing_cache {
                     self.trace_cache(sm as u32, CacheLevel::Tlb, false, 0);
                 }
@@ -2409,8 +2513,8 @@ impl<'a> Engine<'a> {
                     128.0 / (self.dev.dram_bw / self.dev.clock_hz * self.cfg.dram_bw_scale);
                 let s2 = self.dram_port.acquire(start, dram_cost);
                 self.trace_unit(u32::MAX, "dram", w, s2, dram_cost);
-                self.metrics.dram_bytes += 128;
-                self.metrics.energy_j += 128.0 * power::DRAM_ENERGY_PER_BYTE_J;
+                self.sm_metrics[sm].dram_bytes += 128;
+                self.sm_metrics[sm].energy_j += 128.0 * power::DRAM_ENERGY_PER_BYTE_J;
                 worst_done = worst_done.max(s2 + dram_cost + self.dev.dram_latency as f64);
             } else {
                 worst_done = worst_done.max(start + self.dev.l2_latency as f64);
@@ -2421,8 +2525,8 @@ impl<'a> Engine<'a> {
                 miss_bytes as f64 / (self.dev.l2_bw.for_width(bytes) * self.cfg.l2_bw_scale);
             let s = self.l2_port.acquire(start, l2_cost);
             self.trace_unit(u32::MAX, "l2_port", w, s, l2_cost);
-            self.metrics.l2_bytes += miss_bytes;
-            self.metrics.energy_j += miss_bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
+            self.sm_metrics[sm].l2_bytes += miss_bytes;
+            self.sm_metrics[sm].energy_j += miss_bytes as f64 * power::L2_ENERGY_PER_BYTE_J;
             worst_done = worst_done.max(s + l2_cost + self.dev.l2_latency as f64 - 1.0);
         }
         self.scratch = scratch;
@@ -2438,8 +2542,9 @@ impl<'a> Engine<'a> {
         width: Width,
         src: Reg,
         addr: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let mut abuf = [(0usize, 0u64); 32];
         let lanes = self.issue_lanes(w, addr, &mut abuf);
         if self.capture {
@@ -2462,7 +2567,7 @@ impl<'a> Engine<'a> {
                     }
                     let ustart = self.sms[sm].dsm_port.acquire(now, cost);
                     self.trace_unit(sm as u32, "dsm_port", w, ustart, cost);
-                    self.metrics.dsm_bytes += lanes.len() as u64 * bytes;
+                    self.sm_metrics[sm].dsm_bytes += lanes.len() as u64 * bytes;
                 } else {
                     let degree = self.conflict_degree(lanes.iter().map(|&(_, a)| a), bytes);
                     let cost = degree.max(lanes.len() as f64 * bytes as f64 / self.dev.smem_bw);
@@ -2474,7 +2579,7 @@ impl<'a> Engine<'a> {
                     }
                     let ustart = self.sms[sm].smem_port.acquire(now, cost);
                     self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
-                    self.metrics.smem_bytes += lanes.len() as u64 * bytes;
+                    self.sm_metrics[sm].smem_bytes += lanes.len() as u64 * bytes;
                 }
                 if !self.replaying() {
                     for &(lane, a) in lanes {
@@ -2531,8 +2636,9 @@ impl<'a> Engine<'a> {
         dst: Option<Reg>,
         addr: AddrExpr,
         src: Operand,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let mut abuf = [(0usize, 0u64); 32];
         let lanes = self.issue_lanes(w, addr, &mut abuf);
         if self.capture {
@@ -2586,9 +2692,9 @@ impl<'a> Engine<'a> {
                 let unit = if remote { "dsm_port" } else { "smem_port" };
                 self.trace_unit(sm as u32, unit, w, start, port_cost);
                 if remote {
-                    self.metrics.dsm_bytes += lanes.len() as u64 * 4;
+                    self.sm_metrics[sm].dsm_bytes += lanes.len() as u64 * 4;
                 } else {
-                    self.metrics.smem_bytes += lanes.len() as u64 * 4;
+                    self.sm_metrics[sm].smem_bytes += lanes.len() as u64 * 4;
                 }
                 // Functional: sequential lane order.
                 if !self.replaying() {
@@ -2625,7 +2731,7 @@ impl<'a> Engine<'a> {
                 let cost = (lanes.len() * 4) as f64 / (self.dev.l2_bw.b4 * self.cfg.l2_bw_scale);
                 let start = self.l2_port.acquire(now, cost);
                 self.trace_unit(u32::MAX, "l2_port", w, start, cost);
-                self.metrics.l2_bytes += lanes.len() as u64 * 4;
+                self.sm_metrics[sm].l2_bytes += lanes.len() as u64 * 4;
                 if !self.replaying() {
                     for &(lane, a) in lanes {
                         let old = self.global.read_scalar(a, 4) as u32;
@@ -2682,8 +2788,9 @@ impl<'a> Engine<'a> {
         width: Width,
         smem: AddrExpr,
         gmem: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         if self.sms[sm].l1_port.free_at() > now + MEM_QUEUE_DEPTH {
             return IssueResult::Stalled(
@@ -2728,7 +2835,7 @@ impl<'a> Engine<'a> {
         let smem_cost = (g.len() as u64 * bytes) as f64 / self.dev.smem_bw;
         let ustart = self.sms[sm].smem_port.acquire(now, smem_cost);
         self.trace_unit(sm as u32, "smem_port", w, ustart, smem_cost);
-        self.metrics.smem_bytes += g.len() as u64 * bytes;
+        self.sm_metrics[sm].smem_bytes += g.len() as u64 * bytes;
         // The asynchronous path (L2 → shared, bypassing the register file)
         // completes through a deeper pipe than an ordinary load; the extra
         // depth is calibrated against Table XIII's 16×16 AsyncPipe rows.
@@ -2751,6 +2858,7 @@ impl<'a> Engine<'a> {
         gstride: u32,
         smem: AddrExpr,
         gmem: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
         assert!(
             self.dev.arch.has_tma(),
@@ -2758,7 +2866,7 @@ impl<'a> Engine<'a> {
             self.dev.name,
             self.dev.arch
         );
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         if let Some(until) = self.mem_backpressure(now) {
             return IssueResult::Stalled(until, StallReason::MioQueueFull);
@@ -2803,7 +2911,7 @@ impl<'a> Engine<'a> {
         let smem_cost = bytes as f64 / self.dev.smem_bw;
         let ustart = self.sms[sm].smem_port.acquire(now, smem_cost);
         self.trace_unit(sm as u32, "smem_port", w, ustart, smem_cost);
-        self.metrics.smem_bytes += bytes;
+        self.sm_metrics[sm].smem_bytes += bytes;
         let done = done as f64 + CP_ASYNC_EXTRA_LATENCY + smem_cost;
         let ws = &mut self.warps[w];
         ws.cp_pending = ws.cp_pending.max(done);
@@ -2837,6 +2945,7 @@ impl<'a> Engine<'a> {
             })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_mma(
         &mut self,
         w: usize,
@@ -2845,6 +2954,7 @@ impl<'a> Engine<'a> {
         a: TileId,
         b: TileId,
         c: TileId,
+        nowc: u64,
     ) -> IssueResult {
         assert!(
             desc.supported_on(self.dev.arch),
@@ -2852,8 +2962,7 @@ impl<'a> Engine<'a> {
             self.dev.name,
             self.dev.arch
         );
-        let now = self.cycle as f64;
-        let nowc = self.cycle;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         let key = self.tile_owner(w);
         let bi = self.warps[w].block;
@@ -2883,12 +2992,12 @@ impl<'a> Engine<'a> {
             }
             let ustart = self.sms[sm].int_pipe.acquire(now, cost);
             self.trace_unit(sm as u32, "int", w, ustart, cost);
-            self.metrics.instructions += lowered.expansion as u64 - 1;
+            self.sm_metrics[sm].instructions += lowered.expansion as u64 - 1;
             let act = self.mma_act(w, bi, key, desc, d, a, b, Some(c));
             if self.capture {
                 self.cap_payload.push(act.to_bits());
             }
-            self.metrics.tc_ops += desc.flops();
+            self.sm_metrics[sm].tc_ops += desc.flops();
             self.advance(w);
             return IssueResult::Issued;
         }
@@ -2913,8 +3022,8 @@ impl<'a> Engine<'a> {
         if self.capture {
             self.cap_payload.push(act.to_bits());
         }
-        self.metrics.tc_ops += desc.flops();
-        self.metrics.energy_j += desc.flops() as f64
+        self.sm_metrics[sm].tc_ops += desc.flops();
+        self.sm_metrics[sm].energy_j += desc.flops() as f64
             * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Mma)
             * act;
         self.blocks[bi]
@@ -2931,6 +3040,7 @@ impl<'a> Engine<'a> {
         d: TileId,
         a: TileId,
         b: TileId,
+        nowc: u64,
     ) -> IssueResult {
         assert!(
             desc.supported_on(self.dev.arch),
@@ -2943,7 +3053,7 @@ impl<'a> Engine<'a> {
             self.advance(w);
             return IssueResult::Issued;
         }
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         let ii = tc_timing::wgmma_interval_opts(self.dev, desc, self.cfg.opts.sparse_ss_penalty);
         if self.sms[sm].tc_whole.free_at() >= now + 1.0 {
@@ -2967,18 +3077,18 @@ impl<'a> Engine<'a> {
         if self.capture {
             self.cap_payload.push(act.to_bits());
         }
-        self.metrics.tc_ops += desc.flops();
-        self.metrics.energy_j += desc.flops() as f64
+        self.sm_metrics[sm].tc_ops += desc.flops();
+        self.sm_metrics[sm].energy_j += desc.flops() as f64
             * power::tc_energy_per_flop(self.dev, desc.ab, desc.cd, desc.sparse, MmaKind::Wgmma)
             * act;
         if desc.a_src == hopper_isa::OperandSource::SharedShared {
-            self.metrics.smem_bytes += if desc.sparse {
+            self.sm_metrics[sm].smem_bytes += if desc.sparse {
                 desc.a_smem_bytes_ss()
             } else {
                 desc.a_bytes()
             } + desc.b_bytes();
         } else {
-            self.metrics.smem_bytes += desc.b_bytes();
+            self.sm_metrics[sm].smem_bytes += desc.b_bytes();
         }
         let gk = self.wg_key(w);
         let e = self.blocks[bi].wgmma.entry(gk).or_insert((0.0, Vec::new()));
@@ -3088,8 +3198,9 @@ impl<'a> Engine<'a> {
         cols: usize,
         space: MemSpace,
         addr: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         let base = match self.replay_rec(w) {
             Some(rec) => rec.payload.first().copied().unwrap_or(0),
@@ -3113,7 +3224,7 @@ impl<'a> Engine<'a> {
                 let cost = total as f64 / self.dev.smem_bw;
                 let ustart = self.sms[sm].smem_port.acquire(now, cost);
                 self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
-                self.metrics.smem_bytes += total;
+                self.sm_metrics[sm].smem_bytes += total;
                 self.warps[w].next_ready = (now + cost) as u64 + 1;
             }
             MemSpace::Global => {
@@ -3151,8 +3262,9 @@ impl<'a> Engine<'a> {
         tile: TileId,
         space: MemSpace,
         addr: AddrExpr,
+        nowc: u64,
     ) -> IssueResult {
-        let now = self.cycle as f64;
+        let now = nowc as f64;
         let sm = self.sm_of(w);
         let key = self.tile_owner(w);
         let bi = self.warps[w].block;
@@ -3183,7 +3295,7 @@ impl<'a> Engine<'a> {
                 let cost = total as f64 / self.dev.smem_bw;
                 let ustart = self.sms[sm].smem_port.acquire(now, cost);
                 self.trace_unit(sm as u32, "smem_port", w, ustart, cost);
-                self.metrics.smem_bytes += total;
+                self.sm_metrics[sm].smem_bytes += total;
             }
             MemSpace::Global => {
                 if !self.replaying() {
@@ -3299,6 +3411,62 @@ enum IssueResult {
     /// Could not issue; earliest cycle worth retrying at, plus the
     /// micro-architectural reason (trace attribution).
     Stalled(u64, StallReason),
+    /// Parallel shard only: the instruction passed every SM-local gate
+    /// but touches run-shared state, so it must issue under the shared
+    /// gate.  Nothing was committed — the attempt is replayed verbatim
+    /// once the gate grants this SM exclusive access.
+    NeedsShared,
+}
+
+/// Instructions that touch run-shared state (global memory and with it
+/// the L2/TLB/DRAM queues) and therefore must issue under the parallel
+/// run's shared gate.  Everything else is SM-local under the parallel
+/// path's eligibility rules (single-block clusters keep DSM traffic on
+/// the issuing SM's own port and smem).
+fn needs_shared(instr: &Instr) -> bool {
+    match instr {
+        Instr::Ld { space, .. }
+        | Instr::St { space, .. }
+        | Instr::AtomAdd { space, .. }
+        | Instr::LdTile { space, .. }
+        | Instr::StTile { space, .. } => *space == MemSpace::Global,
+        Instr::CpAsync { .. } | Instr::TmaCopy { .. } => true,
+        _ => false,
+    }
+}
+
+/// Cluster-feature instructions reach across SMs outside the parallel
+/// gate (cluster barriers, DSM through the SM-to-SM network), so any
+/// kernel containing one runs serially.
+fn uses_cluster_features(instr: &Instr) -> bool {
+    match instr {
+        Instr::ClusterSync | Instr::Mapa { .. } => true,
+        Instr::Ld { space, .. }
+        | Instr::St { space, .. }
+        | Instr::AtomAdd { space, .. }
+        | Instr::LdTile { space, .. }
+        | Instr::StTile { space, .. } => *space == MemSpace::SharedCluster,
+        _ => false,
+    }
+}
+
+/// One-time structured warning when a scheduler slot exceeds the 64-warp
+/// ready-mask width and the run silently falls back to the legacy serial
+/// scan (disabling both the ready-set and parallel paths for that wave).
+fn warn_slot_overflow(kernel: &str, sim_threads: u32) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if WARNED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    hopper_obs::log::event(
+        hopper_obs::log::Level::Warn,
+        "sim.engine",
+        "scheduler slot exceeds 64 warps; falling back to the legacy serial scan",
+    )
+    .str("kernel", kernel)
+    .u64("max_slot_warps", MAX_SLOT_WARPS as u64)
+    .u64("sim_threads", u64::from(sim_threads))
+    .emit();
 }
 
 /// Mnemonic for an instruction (trace issue events).

@@ -224,7 +224,11 @@ pub struct Gpu {
 impl Gpu {
     /// Bring up a device.
     pub fn new(dev: DeviceConfig) -> Self {
-        Self::with_options(dev, SimOptions::default())
+        let opts = SimOptions {
+            sim_threads: crate::threads::default_sim_threads(),
+            ..SimOptions::default()
+        };
+        Self::with_options(dev, opts)
     }
 
     /// Bring up a device with mechanism toggles (ablation studies).

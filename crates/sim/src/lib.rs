@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod power;
 pub mod replay;
 pub mod tc_timing;
+pub mod threads;
 pub mod tiles;
 
 pub use device::{DeviceConfig, LevelBw, Scheduler, SimOptions, TcRate};

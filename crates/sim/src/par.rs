@@ -1,0 +1,537 @@
+//! Parallel intra-kernel execution: shard SMs across a worker pool.
+//!
+//! Each SM advances through its own event-driven copy of the untraced
+//! ready-set loop (own cycle counter, own four scheduler slots, own live
+//! count).  SMs interact with run-shared state — global memory, the L2
+//! and TLB, the L2/DRAM bandwidth queues — only through *shared-class*
+//! instructions (see [`super::needs_shared`]), and those are serialized
+//! by a gate that grants access in strict `(cycle, sm)` order, which is
+//! exactly the order the serial engine visits SMs within a cycle.  All
+//! other work commutes across SMs, so the parallel schedule is a
+//! reordering of commuting operations and the final state — metrics,
+//! energy, memory contents, achieved clock — is bitwise identical to the
+//! serial run.  The `parallel_equivalence` audit oracle enforces this.
+//!
+//! ## Protocol
+//!
+//! Every SM publishes a monotonic clock (its current cycle; `u64::MAX`
+//! once all its warps retire).  When an SM's slot scan reaches a
+//! shared-class instruction that passes all warp-local checks, the scan
+//! aborts *before* `execute` touches anything (the only writes so far —
+//! `retry_at` on stalled warps and completed-group drains — replay
+//! identically when the scan re-runs at the same cycle), and the SM
+//! suspends at `(cycle, slot)`.  A suspended SM is granted the gate once
+//! it is the earliest suspended event *and* every other live SM's clock
+//! proves it can no longer produce an earlier-ordered shared access:
+//! `clock > cycle`, or `clock == cycle` with a larger SM index (the
+//! serial scan visits same-cycle SMs in index order).  The granted SM
+//! re-runs the aborted slot and finishes the cycle with full shared
+//! access, then reverts to local-only execution; publishing its advanced
+//! clock is what releases the gate.
+//!
+//! Mutual exclusion is emergent: while a granted SM is still inside its
+//! cycle `c`, its clock stays at `c`, which blocks every other grant at
+//! cycles `>= c` (and earlier events would have been granted first).
+//!
+//! ## Blocking
+//!
+//! Workers own SMs round-robin (`worker w` drives SMs `w, w+T, …`) and
+//! only block when every owned SM is suspended or done.  Wakeups are
+//! best-effort — a runner that advances its clock past the smallest
+//! wanted cycle notifies the condvar — backed by a short `wait_timeout`
+//! so a missed notify costs bounded latency, never progress.
+//!
+//! ## Safety
+//!
+//! Workers share the engine through a raw pointer and materialize `&mut
+//! Engine` concurrently.  The accesses are disjoint by construction
+//! (per-SM state by ownership, shared state by the gate), but
+//! overlapping `&mut` is still formally UB by Rust's aliasing rules; the
+//! honest alternative — splitting `Engine` into per-SM shards behind
+//! `UnsafeCell` — would churn every accessor in the hot path.  We take
+//! the documented tradeoff: the pointer never escapes this module, and
+//! the serial oracle plus the equivalence suite guard the behaviour.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use super::{
+    Engine, IssueResult, SlotState, WarpStatus, CANCEL_CHECK_PERIOD, MAX_CYCLES, MAX_SLOT_WARPS,
+};
+
+/// Clock value published once an SM has retired all its warps.
+const DONE: u64 = u64::MAX;
+
+/// Upper bound on a blocked worker's sleep between grant re-checks; the
+/// correctness net under best-effort notifies.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// Where a driven SM stands between `drive` calls.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Executing locally (initial state, and after stop interrupts).
+    Running,
+    /// Parked at `(cycle, resume_slot)` awaiting a shared-access grant.
+    Suspended,
+    /// All warps retired.
+    Done,
+}
+
+/// Per-SM mirror of the serial ready-set loop's locals, persisted across
+/// suspensions.
+struct SmRun {
+    cycle: u64,
+    live: usize,
+    slots: [SlotState; 4],
+    /// Slot to (re-)enter on the next `drive` call.
+    resume_slot: usize,
+    /// `issued_any` accumulated over the current (possibly partial) cycle.
+    issued_any: bool,
+    /// `earliest_wakeup` accumulated over the current cycle.
+    earliest: u64,
+    phase: Phase,
+}
+
+impl SmRun {
+    fn new(sm: usize, roster: &[Vec<Vec<usize>>]) -> SmRun {
+        let mut live = 0usize;
+        let slots = std::array::from_fn(|sched| {
+            let len = roster[sm][sched].len();
+            live += len;
+            let ready = if len == 0 {
+                0
+            } else if len >= MAX_SLOT_WARPS {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
+            SlotState {
+                ready,
+                sleep: 0,
+                sleep_min: u64::MAX,
+                dirty: false,
+            }
+        });
+        SmRun {
+            cycle: 0,
+            live,
+            slots,
+            resume_slot: 0,
+            issued_any: false,
+            earliest: u64::MAX,
+            phase: Phase::Running,
+        }
+    }
+}
+
+/// The shared-access gate plus run-wide control flags.
+struct Gate {
+    /// Per-SM progress clocks (current cycle; [`DONE`] when retired).
+    /// Monotonic — a reader seeing `clock[s] > c` knows SM `s` will
+    /// never produce a shared access ordered at or before cycle `c`.
+    clocks: Vec<AtomicU64>,
+    /// Suspended SMs awaiting a grant, keyed `(cycle, sm)`.
+    waiting: Mutex<std::collections::BTreeSet<(u64, u32)>>,
+    cv: Condvar,
+    /// Cycle of the earliest suspended event (`u64::MAX` when none);
+    /// runners crossing it notify the condvar.
+    min_wanted: AtomicU64,
+    /// Abort everything (cancel, panic, or MAX_CYCLES assert).
+    stop: AtomicBool,
+    /// `stop` was due to the run's cancel flag (sets `hit_limit`).
+    cancelled: AtomicBool,
+}
+
+impl Gate {
+    fn new(nsms: usize) -> Gate {
+        Gate {
+            clocks: (0..nsms).map(|_| AtomicU64::new(0)).collect(),
+            waiting: Mutex::new(std::collections::BTreeSet::new()),
+            cv: Condvar::new(),
+            min_wanted: AtomicU64::new(u64::MAX),
+            stop: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Lock the waiting set, shrugging off poison (a panicking worker
+    /// already set `stop`; survivors only need the set's last state).
+    fn lock_waiting(&self) -> MutexGuard<'_, std::collections::BTreeSet<(u64, u32)>> {
+        self.waiting
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Park SM `sm` at `cycle` pending a shared-access grant.
+    fn suspend(&self, cycle: u64, sm: usize) {
+        let mut set = self.lock_waiting();
+        set.insert((cycle, sm as u32));
+        self.min_wanted
+            .store(set.first().expect("just inserted").0, Ordering::SeqCst);
+    }
+
+    /// Try to acquire the gate for suspended SM `sm` at `cycle`.  Grants
+    /// in strict serial `(cycle, sm)` order: the event must be the
+    /// earliest suspended one and every other live SM must provably be
+    /// past it.  Clock monotonicity makes the check stable: once an SM's
+    /// clock passes `cycle` it cannot come back.
+    fn try_grant(&self, cycle: u64, sm: usize) -> bool {
+        let mut set = self.lock_waiting();
+        if set.first() != Some(&(cycle, sm as u32)) {
+            return false;
+        }
+        for (i, clock) in self.clocks.iter().enumerate() {
+            if i == sm {
+                continue;
+            }
+            let c = clock.load(Ordering::SeqCst);
+            if !(c > cycle || (c == cycle && i > sm)) {
+                return false;
+            }
+        }
+        set.pop_first();
+        self.min_wanted
+            .store(set.first().map_or(u64::MAX, |e| e.0), Ordering::SeqCst);
+        true
+    }
+
+    /// Publish SM `sm`'s advance from cycle `from` to `to`, waking
+    /// blocked workers whose wanted cycle we just crossed.
+    fn advance_clock(&self, sm: usize, from: u64, to: u64) {
+        self.clocks[sm].store(to, Ordering::SeqCst);
+        let m = self.min_wanted.load(Ordering::SeqCst);
+        // `m == to` also wakes: landing exactly on the wanted cycle can
+        // enable a grant through the same-cycle SM-index ordering.
+        if from <= m && m <= to {
+            let _guard = self.lock_waiting();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Request a run-wide abort and wake everyone.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self.lock_waiting();
+        self.cv.notify_all();
+    }
+
+    /// Block briefly; callers re-check their grants on return.
+    fn park(&self) {
+        std::thread::yield_now();
+        if self.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let guard = self.lock_waiting();
+        drop(self.cv.wait_timeout(guard, PARK_TIMEOUT));
+    }
+}
+
+/// Sets `stop` if its worker unwinds, so siblings drain instead of
+/// waiting forever on a clock that will never advance; `thread::scope`
+/// then re-raises the panic on the caller.
+struct PanicGuard<'g>(&'g Gate);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.request_stop();
+        }
+    }
+}
+
+/// Raw shared access to the engine and the per-SM run states.  See the
+/// module docs for the aliasing contract.
+struct Shards<'a, 'b> {
+    eng: *mut Engine<'a>,
+    runs: *mut SmRun,
+    _marker: PhantomData<&'b ()>,
+}
+
+unsafe impl Send for Shards<'_, '_> {}
+unsafe impl Sync for Shards<'_, '_> {}
+
+/// Outcome of scanning one scheduler slot.
+enum SlotOutcome {
+    Done,
+    NeedsShared,
+}
+
+impl<'a> Engine<'a> {
+    /// Parallel counterpart of [`Engine::run_ready_set`] for the
+    /// untraced, unbounded, single-block-cluster case (checked by
+    /// [`Engine::par_workers`]).  Bitwise-identical results to the
+    /// serial path, per the module-level argument.
+    pub(super) fn run_parallel(&mut self, roster: &[Vec<Vec<usize>>], workers: usize) {
+        debug_assert!(self.sink.is_none() && !self.capture && self.replay.is_none());
+        self.par_run = true;
+        let nsms = self.sms.len();
+        let gate = Gate::new(nsms);
+        let cancel = self.cfg.limit.cancel.clone();
+        let mut runs: Vec<SmRun> = (0..nsms).map(|sm| SmRun::new(sm, roster)).collect();
+        // SMs with no warps are born done.
+        for (sm, run) in runs.iter_mut().enumerate() {
+            if run.live == 0 {
+                run.phase = Phase::Done;
+                gate.clocks[sm].store(DONE, Ordering::SeqCst);
+            }
+        }
+        let shards = Shards {
+            eng: self as *mut Engine<'a>,
+            runs: runs.as_mut_ptr(),
+            _marker: PhantomData,
+        };
+        rayon::spmd(workers, |wid| {
+            let _guard = PanicGuard(&gate);
+            worker_loop(
+                &shards,
+                &gate,
+                roster,
+                cancel.as_deref(),
+                wid,
+                workers,
+                nsms,
+            );
+        });
+        self.par_run = false;
+        self.cycle = runs
+            .iter()
+            .map(|r| r.cycle)
+            .max()
+            .unwrap_or(self.cycle)
+            .max(self.cycle);
+        if gate.cancelled.load(Ordering::SeqCst) {
+            self.hit_limit = true;
+        }
+    }
+}
+
+/// One worker: round-robin over its owned SMs, driving each until it
+/// suspends or finishes, granting gates where possible, parking only
+/// when nothing owned can move.
+fn worker_loop(
+    shards: &Shards<'_, '_>,
+    gate: &Gate,
+    roster: &[Vec<Vec<usize>>],
+    cancel: Option<&AtomicBool>,
+    wid: usize,
+    workers: usize,
+    nsms: usize,
+) {
+    let owned: Vec<usize> = (wid..nsms).step_by(workers).collect();
+    let mut cancel_countdown = CANCEL_CHECK_PERIOD;
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for &sm in &owned {
+            if gate.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            // Each owned index is touched by exactly this worker; the
+            // engine pointer aliases per the module-level contract.
+            let run = unsafe { &mut *shards.runs.add(sm) };
+            let eng = unsafe { &mut *shards.eng };
+            match run.phase {
+                Phase::Done => continue,
+                Phase::Running => {
+                    all_done = false;
+                    progressed = true;
+                    drive(
+                        eng,
+                        gate,
+                        roster,
+                        run,
+                        sm,
+                        cancel,
+                        &mut cancel_countdown,
+                        false,
+                    );
+                }
+                Phase::Suspended => {
+                    all_done = false;
+                    if gate.try_grant(run.cycle, sm) {
+                        progressed = true;
+                        drive(
+                            eng,
+                            gate,
+                            roster,
+                            run,
+                            sm,
+                            cancel,
+                            &mut cancel_countdown,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+        if all_done {
+            return;
+        }
+        if !progressed {
+            gate.park();
+            if gate.stop.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+    }
+}
+
+/// Advance one SM until it suspends on a shared access, retires all its
+/// warps, or a stop is requested.  `gate_held` is true when entered via
+/// a grant: the resumed slot and the remainder of that cycle then run
+/// with full shared access.
+#[allow(clippy::too_many_arguments)]
+fn drive<'a>(
+    eng: &mut Engine<'a>,
+    gate: &Gate,
+    roster: &[Vec<Vec<usize>>],
+    run: &mut SmRun,
+    sm: usize,
+    cancel: Option<&AtomicBool>,
+    cancel_countdown: &mut u32,
+    mut gate_held: bool,
+) {
+    loop {
+        if run.live == 0 {
+            run.phase = Phase::Done;
+            gate.advance_clock(sm, run.cycle, DONE);
+            return;
+        }
+        assert!(
+            run.cycle < MAX_CYCLES,
+            "kernel `{}` exceeded {MAX_CYCLES} cycles — runaway loop?",
+            eng.kernel.name
+        );
+        if let Some(c) = cancel {
+            *cancel_countdown -= 1;
+            if *cancel_countdown == 0 {
+                *cancel_countdown = CANCEL_CHECK_PERIOD;
+                if c.load(Ordering::Relaxed) {
+                    gate.cancelled.store(true, Ordering::SeqCst);
+                    gate.request_stop();
+                    return;
+                }
+            }
+        }
+        if gate.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        for (sched, slot_roster) in roster[sm].iter().enumerate().skip(run.resume_slot) {
+            if slot_roster.is_empty() {
+                continue;
+            }
+            match scan_slot(eng, run, sm, sched, slot_roster, gate_held) {
+                SlotOutcome::Done => {}
+                SlotOutcome::NeedsShared => {
+                    run.resume_slot = sched;
+                    run.phase = Phase::Suspended;
+                    gate.suspend(run.cycle, sm);
+                    return;
+                }
+            }
+        }
+        gate_held = false;
+        run.resume_slot = 0;
+        eng.release_sm_barriers(sm, run.cycle);
+        let from = run.cycle;
+        if run.issued_any || run.earliest == u64::MAX {
+            run.cycle += 1;
+        } else {
+            // Fast-forward across an SM-local stall; sound for the same
+            // reason as the serial ready-set jump (DESIGN.md §4d) — no
+            // event on this SM can occur before `earliest`.
+            run.cycle = run.earliest.max(run.cycle + 1);
+        }
+        run.issued_any = false;
+        run.earliest = u64::MAX;
+        gate.advance_clock(sm, from, run.cycle);
+    }
+}
+
+/// One slot's issue scan for the current cycle: the untraced arm of the
+/// serial ready-set loop, restated per-SM.  Aborts with
+/// [`SlotOutcome::NeedsShared`] when a local-only scan reaches a
+/// shared-class candidate; everything written up to that point (parked
+/// warps' `retry_at`, drained async-group queues) replays identically on
+/// the granted re-run, so nothing is rolled back.
+fn scan_slot(
+    eng: &mut Engine<'_>,
+    run: &mut SmRun,
+    sm: usize,
+    sched: usize,
+    candidates: &[usize],
+    gate_held: bool,
+) -> SlotOutcome {
+    let cycle = run.cycle;
+    let st = &mut run.slots[sched];
+    // Wake drain: re-admit sleepers whose wakeup arrived.  Committed
+    // eagerly (it is idempotent at a fixed cycle) so a NeedsShared abort
+    // below needs no rollback.
+    if st.sleep_min <= cycle {
+        let mut min = u64::MAX;
+        let mut m = st.sleep;
+        while m != 0 {
+            let pos = m.trailing_zeros() as usize;
+            let bit = 1u64 << pos;
+            m &= m - 1;
+            let wk = eng.warps[candidates[pos]].retry_at;
+            if wk <= cycle {
+                st.sleep &= !bit;
+                st.ready |= bit;
+            } else {
+                min = min.min(wk);
+            }
+        }
+        st.sleep_min = min;
+    }
+    if st.ready == 0 {
+        run.earliest = run.earliest.min(st.sleep_min);
+        return SlotOutcome::Done;
+    }
+    let len = candidates.len();
+    let start = eng.sms[sm].last_sched[sched] % len;
+    let low_mask = (1u64 << start) - 1;
+    let (mut ready, mut sleep, mut sleep_min) = (st.ready, st.sleep, st.sleep_min);
+    'scan: for half in [!low_mask, low_mask] {
+        let mut m = ready & half;
+        while m != 0 {
+            let pos = m.trailing_zeros() as usize;
+            let bit = 1u64 << pos;
+            m &= m - 1;
+            let w = candidates[pos];
+            match eng.try_issue(w, cycle, !gate_held) {
+                IssueResult::Issued => {
+                    eng.sms[sm].last_sched[sched] = pos;
+                    run.issued_any = true;
+                    if eng.warps[w].status == WarpStatus::Done {
+                        run.live -= 1;
+                        ready &= !bit;
+                    }
+                    break 'scan;
+                }
+                IssueResult::Stalled(until, _) => {
+                    if until != u64::MAX {
+                        let wk = until.max(cycle + 1);
+                        eng.warps[w].retry_at = wk;
+                        ready &= !bit;
+                        sleep |= bit;
+                        sleep_min = sleep_min.min(wk);
+                    }
+                }
+                IssueResult::NeedsShared => {
+                    // Scan-local mask edits are discarded; the granted
+                    // re-run recomputes them from the committed state.
+                    return SlotOutcome::NeedsShared;
+                }
+            }
+        }
+    }
+    let st = &mut run.slots[sched];
+    st.ready = ready;
+    st.sleep = sleep;
+    st.sleep_min = sleep_min;
+    run.earliest = run.earliest.min(sleep_min);
+    SlotOutcome::Done
+}

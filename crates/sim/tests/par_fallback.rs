@@ -1,0 +1,89 @@
+//! Over-wide scheduler slots (> 64 warps, wider than the ready-set bit
+//! masks) silently fall back to the legacy serial scan.  The parallel
+//! engine must take the same fallback — never shard a wave the ready-set
+//! path cannot represent — and the engine must say so once through the
+//! structured log, so sweeps that hit the fallback can see why their
+//! `--sim-threads` request bought nothing.
+//!
+//! Kept in its own test binary: the warning is one-shot per process.
+
+use hopper_isa::asm::assemble_named;
+use hopper_sim::engine::CacheState;
+use hopper_sim::{
+    BlockSpec, DeviceConfig, Engine, EngineConfig, GlobalMem, Metrics, RunLimit, Scheduler,
+    SimOptions,
+};
+
+/// 9 blocks of 1024 threads on one SM = 288 warps = 72 per scheduler
+/// slot — past the 64-warp ready mask.
+fn overwide_config(sim_threads: u32) -> EngineConfig {
+    EngineConfig {
+        blocks: (0..9)
+            .map(|i| BlockSpec {
+                ctaid: i,
+                sm: 0,
+                cluster_id: i,
+                cluster_rank: 0,
+                smid: 0,
+            })
+            .collect(),
+        threads_per_block: 1024,
+        grid_dim: 9,
+        cluster_size: 1,
+        params: vec![],
+        l2_bw_scale: 1.0,
+        dram_bw_scale: 1.0,
+        opts: SimOptions {
+            scheduler: Scheduler::ReadySet,
+            sim_threads,
+            ..Default::default()
+        },
+        limit: RunLimit::none(),
+    }
+}
+
+fn run_overwide(dev: &DeviceConfig, sim_threads: u32) -> Metrics {
+    let k = assemble_named(
+        r#"
+        mov %r1, %tid.x;
+        add.s32 %r2, %r1, 1;
+        exit;
+    "#,
+        "overwide",
+    )
+    .expect("assembles");
+    let mut mem = GlobalMem::new();
+    let mut caches = CacheState::new(dev);
+    Engine::new(dev, &k, overwide_config(sim_threads), &mut mem, &mut caches).run()
+}
+
+#[test]
+fn overwide_slots_fall_back_and_warn_once() {
+    let dev = DeviceConfig::h800();
+    let cap = hopper_obs::log::Capture::start();
+
+    // Parallel request over an over-wide roster: must complete (via the
+    // legacy fallback) and match the serial run exactly.
+    let serial = run_overwide(&dev, 0);
+    let parallel = run_overwide(&dev, 4);
+    assert_eq!(
+        serial, parallel,
+        "sim_threads=4 over-wide fallback diverged from serial"
+    );
+
+    let warns: Vec<String> = cap
+        .lines()
+        .into_iter()
+        .filter(|l| l.contains("64 warps"))
+        .collect();
+    assert_eq!(
+        warns.len(),
+        1,
+        "expected exactly one over-wide warning, got {warns:#?}"
+    );
+    assert!(
+        warns[0].contains("sim.engine") && warns[0].contains("overwide"),
+        "warning missing target or kernel name: {}",
+        warns[0]
+    );
+}

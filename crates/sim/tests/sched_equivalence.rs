@@ -13,8 +13,13 @@ use hopper_isa::{
 use hopper_sim::{ChromeTrace, DeviceConfig, Gpu, Launch, PcSampleSink, Scheduler, SimOptions};
 
 fn gpu_with(dev: DeviceConfig, sched: Scheduler) -> Gpu {
+    gpu_with_threads(dev, sched, 1)
+}
+
+fn gpu_with_threads(dev: DeviceConfig, sched: Scheduler, sim_threads: u32) -> Gpu {
     let opts = SimOptions {
         scheduler: sched,
+        sim_threads,
         ..Default::default()
     };
     Gpu::with_options(dev, opts)
@@ -22,6 +27,9 @@ fn gpu_with(dev: DeviceConfig, sched: Scheduler) -> Gpu {
 
 /// Run `setup` under both schedulers three ways (untraced, profiled,
 /// Chrome-traced) and assert every observable output matches exactly.
+/// The untraced ready-set run additionally re-executes with the SM loop
+/// sharded across 2 and 4 workers; the parallel engine must stay
+/// bitwise-identical to the serial one.
 fn assert_equivalent(name: &str, dev: DeviceConfig, setup: impl Fn(&mut Gpu) -> (Kernel, Launch)) {
     // Untraced: Metrics must be bitwise identical (including the f64
     // energy accumulator — same issue order implies same summation order).
@@ -37,6 +45,21 @@ fn assert_equivalent(name: &str, dev: DeviceConfig, setup: impl Fn(&mut Gpu) -> 
         a.achieved_clock_hz, b.achieved_clock_hz,
         "{name}: DVFS outcome differs"
     );
+
+    // Parallel engine: same untraced run sharded over a worker pool.
+    for threads in [2u32, 4] {
+        let mut gpu = gpu_with_threads(dev.clone(), Scheduler::ReadySet, threads);
+        let (k, l) = setup(&mut gpu);
+        let p = gpu.launch(&k, &l).expect("launch");
+        assert_eq!(
+            b.metrics, p.metrics,
+            "{name}: sim_threads={threads} Metrics differ from serial"
+        );
+        assert_eq!(
+            b.achieved_clock_hz, p.achieved_clock_hz,
+            "{name}: sim_threads={threads} DVFS outcome differs"
+        );
+    }
 
     // Profiled: stall attribution and per-slot aggregates must match.
     let prof = |sched| {

@@ -16,8 +16,11 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q --workspace
 
-echo "== scheduler equivalence (ready-set vs legacy scan)"
-cargo test -q -p hopper-sim --test sched_equivalence
+echo "== scheduler equivalence (ready-set vs legacy vs sim_threads {2,4})"
+# Debug profile = debug assertions on; the suite replays every workload
+# serially and under the sharded parallel engine and demands bitwise-
+# identical metrics, so data races or grant-order bugs fail loudly here.
+cargo test -q -p hopper-sim --test sched_equivalence --test par_fallback
 
 echo "== hopper-sim under the threaded rayon shim"
 RAYON_NUM_THREADS=4 cargo test -q -p hopper-sim

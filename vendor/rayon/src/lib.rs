@@ -117,6 +117,32 @@ fn par_apply<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<
     out.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Run `f(worker_index)` on `n` workers concurrently and wait for all of
+/// them (SPMD-style scoped fan-out, used by the simulator's intra-kernel
+/// SM sharding). Unlike the iterator adaptors this does not consult the
+/// global pool size: the caller has already resolved its thread budget.
+/// Sequential when `n <= 1`. A panic on any worker propagates to the
+/// caller once every worker has returned.
+pub fn spmd(n: usize, f: impl Fn(usize) + Sync) {
+    if n <= 1 {
+        if n == 1 {
+            f(0);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for i in 1..n {
+            let f = &f;
+            s.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                f(i);
+            });
+        }
+        // Worker 0 runs on the calling thread.
+        f(0);
+    });
+}
+
 /// A deterministic, eagerly-driven parallel iterator.
 ///
 /// `run` executes the whole pipeline and returns the items in the order
@@ -424,6 +450,26 @@ mod tests {
                 (2, 34)
             ]
         );
+    }
+
+    #[test]
+    fn spmd_runs_every_worker_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let hits: Vec<AtomicU32> = (0..7).map(|_| AtomicU32::new(0)).collect();
+        spmd(7, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+        // n == 0 and n == 1 degenerate forms.
+        spmd(0, |_| panic!("no workers expected"));
+        let one = AtomicU32::new(0);
+        spmd(1, |i| {
+            assert_eq!(i, 0);
+            one.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(one.load(Ordering::SeqCst), 1);
     }
 
     #[test]
